@@ -1,0 +1,220 @@
+/**
+ * @file
+ * Shared helpers for the per-figure benchmark harnesses.
+ *
+ * Every bench binary reproduces one table or figure of the ASPLOS'23
+ * ASK paper: it runs the workload (on the discrete-event simulator or
+ * the calibrated cost models), prints the same rows/series the paper
+ * reports, and where the paper gives concrete numbers, prints them
+ * alongside as "paper" columns. Pass --full to run closer to paper
+ * scale (slower); the default is a scaled run with identical shape.
+ */
+#ifndef ASK_BENCH_BENCH_UTIL_H
+#define ASK_BENCH_BENCH_UTIL_H
+
+#include <cstdint>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "ask/cluster.h"
+#include "ask/key_space.h"
+#include "common/hash.h"
+#include "common/string_util.h"
+#include "common/table.h"
+
+namespace ask::bench {
+
+/**
+ * Pick `count` task ids whose hash-based channel assignment on
+ * `sender_host` is perfectly balanced over `channels` data channels
+ * (replicates AskDaemon::channel_for_task). Benches splitting one
+ * logical job into per-channel tasks use this so a small task count
+ * doesn't skew per-core utilization.
+ */
+inline std::vector<std::uint32_t>
+balanced_task_ids(std::uint32_t sender_host, std::uint32_t channels,
+                  std::uint32_t count)
+{
+    std::vector<std::uint32_t> ids;
+    std::vector<std::uint32_t> load(channels, 0);
+    std::uint32_t per_channel = (count + channels - 1) / channels;
+    for (std::uint32_t candidate = 1; ids.size() < count; ++candidate) {
+        std::uint32_t ch = static_cast<std::uint32_t>(
+            mix64(candidate ^ mix64(sender_host + 1)) % channels);
+        if (load[ch] < per_channel) {
+            ++load[ch];
+            ids.push_back(candidate);
+        }
+    }
+    return ids;
+}
+
+/**
+ * Like balanced_task_ids, but balanced for *several* sender hosts at
+ * once (each host hashes tasks with its own salt, so an id set that is
+ * even on one host can be skewed on another). Greedy search over
+ * candidate ids; balance is within +-ceil(count/channels) per host.
+ */
+inline std::vector<std::uint32_t>
+balanced_task_ids_multi(const std::vector<std::uint32_t>& hosts,
+                        std::uint32_t channels, std::uint32_t count)
+{
+    std::vector<std::uint32_t> ids;
+    std::vector<std::vector<std::uint32_t>> load(
+        hosts.size(), std::vector<std::uint32_t>(channels, 0));
+    std::uint32_t cap = (count + channels - 1) / channels;
+    for (std::uint32_t candidate = 1;
+         ids.size() < count && candidate < 20000000; ++candidate) {
+        bool ok = true;
+        for (std::size_t h = 0; h < hosts.size() && ok; ++h) {
+            std::uint32_t ch = static_cast<std::uint32_t>(
+                mix64(candidate ^ mix64(hosts[h] + 1)) % channels);
+            ok = load[h][ch] < cap;
+        }
+        if (!ok)
+            continue;
+        for (std::size_t h = 0; h < hosts.size(); ++h) {
+            std::uint32_t ch = static_cast<std::uint32_t>(
+                mix64(candidate ^ mix64(hosts[h] + 1)) % channels);
+            ++load[h][ch];
+        }
+        ids.push_back(candidate);
+    }
+    return ids;
+}
+
+/**
+ * Build a key-value stream whose keys are spread *exactly evenly* over
+ * the short-key payload slots (keys_per_slot keys in each of the
+ * config's short AAs) and whose arrivals cycle the slots round-robin,
+ * so every DATA packet is full. This reproduces the paper's
+ * microbenchmark conditions: uniform small keys with maximal packing.
+ * `offset_base` isolates key spaces across tasks.
+ */
+inline core::KvStream
+balanced_uniform_stream(const core::KeySpace& ks, std::uint32_t keys_per_slot,
+                        std::uint64_t n, std::uint64_t offset_base)
+{
+    std::uint32_t slots = ks.config().short_aas();
+    std::vector<std::vector<core::Key>> by_slot(slots);
+    std::uint32_t filled = 0;
+    for (std::uint64_t id = offset_base; filled < slots; ++id) {
+        core::Key key = u64_key(id);
+        if (ks.classify(key) != core::KeyClass::kShort)
+            continue;
+        auto& bucket = by_slot[ks.short_slot(key)];
+        if (bucket.size() < keys_per_slot) {
+            bucket.push_back(key);
+            if (bucket.size() == keys_per_slot)
+                ++filled;
+        }
+    }
+    core::KvStream out;
+    out.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+        const auto& bucket = by_slot[i % slots];
+        out.push_back({bucket[(i / slots) % keys_per_slot], 1});
+    }
+    return out;
+}
+
+/** True when --full was passed (paper-scale volumes). */
+inline bool
+full_scale(int argc, char** argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--full") == 0)
+            return true;
+    }
+    return false;
+}
+
+/** One aggregation task for run_streaming_tasks. */
+struct StreamingTask
+{
+    core::TaskId id;
+    std::uint32_t receiver_host;
+    std::vector<core::StreamSpec> streams;
+    std::uint32_t region_len = 0;
+};
+
+/** Outcome of a streaming measurement. */
+struct StreamingResult
+{
+    /** Time the last sender finished (all its data ACKed + FIN_ACKed):
+     *  the paper's sender-side aggregation-throughput endpoint. */
+    sim::SimTime senders_done = 0;
+    /** Time the last task fully finalized (fetch + merge). */
+    sim::SimTime all_done = 0;
+};
+
+/**
+ * Run tasks with per-stream completion tracking: unlike
+ * AskCluster::run_task, this reports when the *senders* finished, which
+ * excludes teardown fetches from throughput measurements.
+ */
+inline StreamingResult
+run_streaming_tasks(core::AskCluster& cluster,
+                    std::vector<StreamingTask> tasks)
+{
+    StreamingResult result;
+    std::size_t tasks_left = tasks.size();
+    std::size_t streams_left = 0;
+    for (const auto& t : tasks)
+        streams_left += t.streams.size();
+
+    for (auto& t : tasks) {
+        core::AskDaemon& receiver = cluster.daemon(t.receiver_host);
+        net::NodeId receiver_node = receiver.node_id();
+        auto n_senders = static_cast<std::uint32_t>(t.streams.size());
+        receiver.start_receive(
+            t.id, n_senders, t.region_len,
+            [&result, &tasks_left, &cluster](core::AggregateMap,
+                                             core::TaskReport) {
+                if (--tasks_left == 0)
+                    result.all_done = cluster.simulator().now();
+            },
+            [&cluster, &result, &streams_left, receiver_node,
+             id = t.id, streams = std::move(t.streams)]() mutable {
+                cluster.simulator().schedule_after(
+                    cluster.config().notify_latency_ns,
+                    [&cluster, &result, &streams_left, receiver_node, id,
+                     streams = std::move(streams)]() mutable {
+                        for (auto& s : streams) {
+                            cluster.daemon(s.host).submit_send(
+                                id, receiver_node, std::move(s.stream),
+                                [&result, &streams_left, &cluster] {
+                                    if (--streams_left == 0) {
+                                        result.senders_done =
+                                            cluster.simulator().now();
+                                    }
+                                });
+                        }
+                    });
+            });
+    }
+    cluster.run();
+    return result;
+}
+
+/** Print the bench banner with experiment id and description. */
+inline void
+banner(const std::string& experiment, const std::string& what)
+{
+    std::cout << "\n==========================================================\n"
+              << experiment << " — " << what << "\n"
+              << "==========================================================\n";
+}
+
+/** Print a footnote line. */
+inline void
+note(const std::string& text)
+{
+    std::cout << "note: " << text << "\n";
+}
+
+}  // namespace ask::bench
+
+#endif  // ASK_BENCH_BENCH_UTIL_H

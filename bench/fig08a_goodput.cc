@@ -1,0 +1,58 @@
+/**
+ * Figure 8(a) — Single-server goodput vs key-value tuples per packet
+ * (1..64), compared with the ideal 8x/(8x+78) * 100 Gbps curve. Below
+ * 32 tuples the host PPS limit binds (goodput grows linearly with the
+ * packet size); from 32 up the wire efficiency curve binds. The PCIe
+ * TLP quantization produces the paper's glitches at x = 18 and 26.
+ */
+#include <cstdint>
+#include <iostream>
+
+#include "baselines/noaggr.h"
+#include "bench_util.h"
+#include "net/cost_model.h"
+
+namespace {
+
+using namespace ask;
+
+double
+ideal_goodput(std::uint32_t x)
+{
+    return 8.0 * x / (8.0 * x + 78.0) * 100.0;
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    bool full = bench::full_scale(argc, argv);
+
+    bench::banner("Figure 8(a)",
+                  "goodput vs tuples/packet, vs ideal 8x/(8x+78)*100 Gbps");
+
+    TextTable t;
+    t.header({"tuples/pkt", "goodput (Gbps)", "ideal (Gbps)", "TLPs", ""});
+    net::CostModel cm;
+    for (std::uint32_t x = 1; x <= 64;
+         x += (x < 32 || full) ? 1 : 4) {
+        baselines::BulkSpec spec;
+        spec.payload_bytes = 8 * x;
+        spec.sender_channels = 4;
+        // Fixed transfer duration across x: equal simulated work.
+        spec.tuples_per_sender = static_cast<std::uint64_t>(
+            (full ? 4000000 : 800000) * (x / 32.0 + 0.3));
+        baselines::BulkResult r = baselines::run_noaggr(spec);
+        std::uint32_t tlps = cm.tlp_count(40 + 8ull * x);
+        bool glitch = x > 1 && tlps > cm.tlp_count(40 + 8ull * (x - 1));
+        t.row({std::to_string(x), fmt_double(r.goodput_gbps, 2),
+               fmt_double(ideal_goodput(x), 2), std::to_string(tlps),
+               glitch ? "<- TLP step" : ""});
+    }
+    t.print(std::cout);
+    bench::note("paper: linear PPS-bound growth below 32 tuples/packet, "
+                "matches the ideal curve above; glitches at 18 and 26 from "
+                "PCIe TLP quantization");
+    return 0;
+}

@@ -1,0 +1,78 @@
+/**
+ * Figure 12 — Distributed-training throughput (images/second) for
+ * ResNet50/101/152 and VGG11/16/19 with the gradient aggregation done
+ * by ASK (BytePS integration), ATP-like, and SwitchML-like backends.
+ * Paper: the three land close together (all offload aggregation to the
+ * switch); ASK and ATP slightly outperform SwitchML on some models
+ * because SwitchML's small packets underuse the network.
+ *
+ * Our reproduction measures each backend's gradient goodput with a real
+ * simulated allreduce/push; see EXPERIMENTS.md for the documented
+ * deviation on communication-bound (VGG-class) models, where ASK's
+ * asynchronous drain cost shows.
+ */
+#include <algorithm>
+#include <iostream>
+
+#include "apps/trainsim.h"
+#include "bench_util.h"
+
+int
+main(int argc, char** argv)
+{
+    using namespace ask;
+    bool full = bench::full_scale(argc, argv);
+
+    bench::banner("Figure 12", "training throughput (images/s), 8 workers");
+
+    // Goodput probes are per backend (independent of the model).
+    apps::TrainBackend backends[] = {apps::TrainBackend::kAsk,
+                                     apps::TrainBackend::kAtp,
+                                     apps::TrainBackend::kSwitchMl};
+    double goodput[3];
+    for (int b = 0; b < 3; ++b) {
+        apps::TrainSpec spec;
+        spec.model = workload::resnet50();
+        spec.workers = 8;
+        spec.backend = backends[b];
+        spec.probe_elements = full ? (1u << 21) : (1u << 19);
+        goodput[b] = apps::measure_gradient_goodput_gbps(spec);
+    }
+    std::cout << "measured gradient goodput (Gbps/worker): ASK "
+              << fmt_double(goodput[0], 2) << ", ATP "
+              << fmt_double(goodput[1], 2) << ", SwitchML "
+              << fmt_double(goodput[2], 2) << "\n\n";
+
+    TextTable t;
+    t.header({"model", "ASK (img/s)", "ATP (img/s)", "SwitchML (img/s)",
+              "1-GPU x8"});
+    for (const auto& model : workload::figure12_models()) {
+        double ips[3];
+        for (int b = 0; b < 3; ++b) {
+            apps::TrainSpec spec;
+            spec.model = model;
+            spec.workers = 8;
+            spec.backend = backends[b];
+            // Reuse the measured goodput: replicate run_training's math.
+            apps::TrainResult r;
+            r.goodput_gbps = goodput[b];
+            double grad_bits = static_cast<double>(model.gradient_bytes()) * 8;
+            double compute_s = units::to_seconds(model.compute_ns);
+            double push_s = grad_bits / (r.goodput_gbps * 1e9);
+            double comm_s =
+                backends[b] == apps::TrainBackend::kAsk
+                    ? push_s + grad_bits / (0.9 * spec.link_gbps * 1e9)
+                    : push_s;
+            double step = std::max(compute_s, comm_s) +
+                          spec.non_overlap * std::min(compute_s, comm_s);
+            ips[b] = spec.workers * model.batch_size / step;
+        }
+        t.row({model.name, fmt_double(ips[0], 0), fmt_double(ips[1], 0),
+               fmt_double(ips[2], 0),
+               fmt_double(8 * model.single_gpu_ips(), 0)});
+    }
+    t.print(std::cout);
+    bench::note("paper: ASK ~= ATP >= SwitchML across all six models; see "
+                "EXPERIMENTS.md for our VGG-class deviation analysis");
+    return 0;
+}

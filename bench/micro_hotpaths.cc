@@ -1,0 +1,168 @@
+/**
+ * Microbenchmarks (google-benchmark) of the ASK hot paths: hashing,
+ * packet encode/decode, receive-window operations, packet building,
+ * the full switch-program pass, and host-side aggregation.
+ */
+#include <benchmark/benchmark.h>
+
+#include "ask/controller.h"
+#include "ask/packet_builder.h"
+#include "ask/seen_window.h"
+#include "ask/switch_program.h"
+#include "ask/wire.h"
+#include "common/hash.h"
+#include "common/random.h"
+#include "common/string_util.h"
+#include "net/network.h"
+#include "pisa/pisa_switch.h"
+#include "sim/simulator.h"
+#include "workload/generators.h"
+
+namespace {
+
+using namespace ask;
+
+void
+BM_Hash64(benchmark::State& state)
+{
+    std::string key = "benchmark-key-123";
+    std::uint64_t acc = 0;
+    for (auto _ : state)
+        acc ^= hash64(key, hash_seeds::kAggregatorAddress);
+    benchmark::DoNotOptimize(acc);
+}
+BENCHMARK(BM_Hash64);
+
+void
+BM_HeaderRoundTrip(benchmark::State& state)
+{
+    core::AskHeader hdr;
+    hdr.channel_id = 3;
+    hdr.task_id = 9;
+    hdr.seq = 1234;
+    hdr.bitmap = 0xffffffff;
+    for (auto _ : state) {
+        auto frame = core::make_frame(hdr, 256);
+        auto parsed = core::parse_header(frame);
+        benchmark::DoNotOptimize(parsed);
+    }
+}
+BENCHMARK(BM_HeaderRoundTrip);
+
+void
+BM_CompactSeenObserve(benchmark::State& state)
+{
+    core::CompactSeen seen(256);
+    core::Seq s = 0;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(seen.observe(s++));
+}
+BENCHMARK(BM_CompactSeenObserve);
+
+void
+BM_PacketBuilderDrain(benchmark::State& state)
+{
+    core::AskConfig cfg;
+    cfg.medium_groups = 0;
+    core::KeySpace ks(cfg);
+    Rng rng(1);
+    core::KvStream stream;
+    for (int i = 0; i < 4096; ++i)
+        stream.push_back({u64_key(rng.next_below(100000)), 1});
+    for (auto _ : state) {
+        core::PacketBuilder builder(ks);
+        builder.enqueue(stream);
+        std::uint64_t packets = 0;
+        while (auto built = builder.next_data())
+            ++packets;
+        benchmark::DoNotOptimize(packets);
+    }
+    state.SetItemsProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_PacketBuilderDrain);
+
+/** One full DATA packet pass through the ASK switch program. */
+void
+BM_SwitchPass(benchmark::State& state)
+{
+    sim::Simulator simulator;
+    net::Network network(simulator);
+    pisa::PisaSwitch sw(network);
+    core::AskConfig cfg;
+    cfg.medium_groups = 0;
+    cfg.max_hosts = 2;
+    cfg.channels_per_host = 1;
+    core::AskSwitchProgram program(cfg, sw);
+    core::AskSwitchController controller(program);
+    controller.allocate(1, 1024);
+
+    core::KeySpace ks(cfg);
+    core::PacketBuilder builder(ks);
+    Rng rng(2);
+    for (int i = 0; i < 32; ++i)
+        builder.enqueue({u64_key(rng.next_below(4096)), 1});
+    auto built = builder.next_data();
+
+    core::AskHeader hdr;
+    hdr.type = core::PacketType::kData;
+    hdr.channel_id = 0;
+    hdr.task_id = 1;
+    hdr.bitmap = built->bitmap;
+    auto frame = core::make_frame(hdr, cfg.payload_bytes());
+    for (std::uint32_t i = 0; i < cfg.num_aas; ++i) {
+        if (built->bitmap & (1ULL << i))
+            core::write_slot(frame, i, built->slots[i]);
+    }
+
+    class NullEmitter : public pisa::Emitter
+    {
+      public:
+        void emit(net::NodeId, net::Packet) override {}
+    } emitter;
+
+    core::Seq seq = 0;
+    for (auto _ : state) {
+        core::rewrite_bitmap(frame, built->bitmap);
+        net::Packet pkt;
+        pkt.data = frame;
+        // Fresh seq each pass to stay on the aggregation path.
+        pkt.data[20 + 8] = static_cast<std::uint8_t>(seq);
+        pkt.data[20 + 9] = static_cast<std::uint8_t>(seq >> 8);
+        pkt.data[20 + 10] = static_cast<std::uint8_t>(seq >> 16);
+        ++seq;
+        sw.pipeline().begin_pass();
+        program.process(std::move(pkt), emitter);
+    }
+    state.SetItemsProcessed(state.iterations() * 32);
+}
+BENCHMARK(BM_SwitchPass);
+
+void
+BM_HostAggregate(benchmark::State& state)
+{
+    Rng rng(3);
+    core::KvStream stream;
+    for (int i = 0; i < 4096; ++i)
+        stream.push_back({u64_key(rng.next_below(1024)), 1});
+    for (auto _ : state) {
+        core::AggregateMap acc;
+        core::aggregate_into(acc, stream, core::AggOp::kAdd);
+        benchmark::DoNotOptimize(acc);
+    }
+    state.SetItemsProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_HostAggregate);
+
+void
+BM_ZipfSample(benchmark::State& state)
+{
+    workload::ZipfGenerator z(1 << 16, 1.0, 4);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(z.sample_rank());
+}
+
+BENCHMARK(BM_ZipfSample);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Distributed-training throughput model (paper §5.6, Figure 12): a
+ * BytePS-style parameter-server loop where the gradient-aggregation
+ * backend is ASK (value-stream mode), ATP-like, or SwitchML-like.
+ *
+ * Per-step communication time comes from *measured* gradient goodput:
+ * the sync-INA backends run a real allreduce on the simulator, and the
+ * ASK backend pushes a real value stream through the ASK service; the
+ * measured goodput is then applied to the model's full gradient size.
+ * Compute and communication overlap as in BytePS (priority scheduling),
+ * modeled as max(compute, comm) plus a small non-overlappable residue.
+ */
+#ifndef ASK_APPS_TRAINSIM_H
+#define ASK_APPS_TRAINSIM_H
+
+#include <cstdint>
+
+#include "workload/models.h"
+
+namespace ask::apps {
+
+/** Gradient synchronization backend. */
+enum class TrainBackend : std::uint8_t
+{
+    kAsk,
+    kAtp,
+    kSwitchMl,
+};
+
+const char* train_backend_name(TrainBackend b);
+
+/** One training configuration. */
+struct TrainSpec
+{
+    workload::ModelSpec model;
+    std::uint32_t workers = 8;
+    TrainBackend backend = TrainBackend::kAsk;
+    double link_gbps = 100.0;
+    /** Fraction of the smaller phase that cannot be overlapped. */
+    double non_overlap = 0.12;
+    /** Gradient elements simulated to measure goodput (scaled). */
+    std::uint64_t probe_elements = 1 << 20;
+};
+
+/** Per-configuration outcome. */
+struct TrainResult
+{
+    double images_per_second = 0.0;
+    double compute_s = 0.0;
+    double comm_s = 0.0;
+    /** Measured gradient goodput of the backend (values only). */
+    double goodput_gbps = 0.0;
+};
+
+/** Evaluate one configuration (runs the backend probe on the DES). */
+TrainResult run_training(const TrainSpec& spec);
+
+/**
+ * Measure a backend's gradient goodput (Gbps of gradient values per
+ * worker) with a probe allreduce/push of `probe_elements` elements.
+ * Results are deterministic for equal specs.
+ */
+double measure_gradient_goodput_gbps(const TrainSpec& spec);
+
+}  // namespace ask::apps
+
+#endif  // ASK_APPS_TRAINSIM_H

@@ -1,0 +1,106 @@
+#include "ask/cluster.h"
+
+#include <utility>
+
+#include "common/logging.h"
+
+namespace ask::core {
+
+AskCluster::AskCluster(const ClusterConfig& config)
+    : config_(config), network_(simulator_)
+{
+    config_.ask.validate();
+    ASK_ASSERT(config_.num_hosts >= 1, "cluster needs at least one host");
+    ASK_ASSERT(config_.num_hosts <= config_.ask.max_hosts,
+               "more hosts than the switch provisions state for");
+
+    switch_ = std::make_unique<pisa::PisaSwitch>(
+        network_, config_.switch_stages, config_.switch_sram_per_stage);
+    network_.attach(switch_.get());
+
+    program_ = std::make_unique<AskSwitchProgram>(config_.ask, *switch_);
+    controller_ = std::make_unique<AskSwitchController>(*program_);
+
+    net::CostModel cost_model(config_.cost);
+    for (std::uint32_t h = 0; h < config_.num_hosts; ++h) {
+        daemons_.push_back(std::make_unique<AskDaemon>(
+            config_.ask, cost_model, network_, h, switch_->node_id(),
+            *controller_, config_.mgmt_latency_ns));
+        network_.attach(daemons_.back().get());
+        network_.connect(daemons_.back()->node_id(), switch_->node_id(),
+                         config_.link_gbps, config_.link_propagation_ns,
+                         config_.faults, config_.seed + h);
+    }
+}
+
+AskCluster::~AskCluster() = default;
+
+void
+AskCluster::submit_task(TaskId task, std::uint32_t receiver_host,
+                        std::vector<StreamSpec> streams,
+                        std::uint32_t region_len, TaskDoneFn on_done)
+{
+    ASK_ASSERT(receiver_host < daemons_.size(), "bad receiver host");
+    for (const auto& s : streams)
+        ASK_ASSERT(s.host < daemons_.size(), "bad sender host");
+
+    AskDaemon& receiver = *daemons_[receiver_host];
+    net::NodeId receiver_node = receiver.node_id();
+    auto n_senders = static_cast<std::uint32_t>(streams.size());
+
+    // §3.1 workflow: the receiver registers the task and obtains a switch
+    // region; once ready, sender daemons are notified over the control
+    // channel and begin streaming.
+    receiver.start_receive(
+        task, n_senders, region_len, std::move(on_done),
+        /*on_ready=*/[this, task, receiver_node,
+                      streams = std::move(streams)]() mutable {
+            simulator_.schedule_after(
+                config_.notify_latency_ns,
+                [this, task, receiver_node,
+                 streams = std::move(streams)]() mutable {
+                    for (auto& s : streams) {
+                        daemons_[s.host]->submit_send(task, receiver_node,
+                                                      std::move(s.stream));
+                    }
+                });
+        });
+}
+
+TaskResult
+AskCluster::run_task(TaskId task, std::uint32_t receiver_host,
+                     std::vector<StreamSpec> streams,
+                     std::uint32_t region_len)
+{
+    TaskResult out;
+    submit_task(task, receiver_host, std::move(streams), region_len,
+                [&out](AggregateMap result, TaskReport report) {
+                    out.result = std::move(result);
+                    out.report = report;
+                    out.completed = true;
+                });
+    run();
+    ASK_ASSERT(out.completed, "task ", task, " did not complete");
+    return out;
+}
+
+HostStats
+AskCluster::total_host_stats() const
+{
+    HostStats total;
+    for (const auto& d : daemons_) {
+        const HostStats& s = d->stats();
+        total.data_packets_sent += s.data_packets_sent;
+        total.long_packets_sent += s.long_packets_sent;
+        total.retransmissions += s.retransmissions;
+        total.tuples_sent += s.tuples_sent;
+        total.tuples_aggregated_locally += s.tuples_aggregated_locally;
+        total.packets_received += s.packets_received;
+        total.duplicates_received += s.duplicates_received;
+        total.fetch_tuples += s.fetch_tuples;
+        total.swap_requests += s.swap_requests;
+    }
+    return total;
+}
+
+}  // namespace ask::core

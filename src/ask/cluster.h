@@ -1,0 +1,131 @@
+/**
+ * @file
+ * AskCluster: the top-level facade wiring a complete ASK deployment —
+ * simulator, star fabric, PISA switch running the ASK program, switch
+ * controller, and one daemon per server. This is the public entry point
+ * used by examples, tests, and benchmarks.
+ */
+#ifndef ASK_ASK_CLUSTER_H
+#define ASK_ASK_CLUSTER_H
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "ask/config.h"
+#include "ask/controller.h"
+#include "ask/daemon.h"
+#include "ask/switch_program.h"
+#include "net/cost_model.h"
+#include "net/network.h"
+#include "pisa/pisa_switch.h"
+#include "sim/simulator.h"
+
+namespace ask::core {
+
+/** Cluster-level deployment parameters. */
+struct ClusterConfig
+{
+    AskConfig ask;
+    net::CostModelSpec cost;
+
+    /** Servers attached to the ToR switch. */
+    std::uint32_t num_hosts = 2;
+    /** Per-port line rate. */
+    double link_gbps = 100.0;
+    /** One-way cable propagation delay. */
+    Nanoseconds link_propagation_ns = 500;
+    /** Fault injection on every host<->switch cable. */
+    net::FaultSpec faults = net::FaultSpec::reliable();
+    /** Seed for fault streams. */
+    std::uint64_t seed = 1;
+
+    /** Management-network latency (controller RPCs). */
+    Nanoseconds mgmt_latency_ns = 20 * units::kMicrosecond;
+    /** Latency of the receiver->sender task notification (§3.1 step 4). */
+    Nanoseconds notify_latency_ns = 50 * units::kMicrosecond;
+
+    /** Pipeline depth; the default fits the 32-AA program. Chained
+     *  pipelines are modeled as more stages. */
+    std::size_t switch_stages = pisa::kDefaultStagesPerPipeline;
+    std::size_t switch_sram_per_stage = pisa::kDefaultStageSramBytes;
+};
+
+/** One sender's contribution to a task. */
+struct StreamSpec
+{
+    std::uint32_t host = 0;
+    KvStream stream;
+};
+
+/** Result of a completed aggregation task. */
+struct TaskResult
+{
+    AggregateMap result;
+    TaskReport report;
+    bool completed = false;
+};
+
+/** A fully wired ASK deployment. */
+class AskCluster
+{
+  public:
+    explicit AskCluster(const ClusterConfig& config);
+    ~AskCluster();
+
+    AskCluster(const AskCluster&) = delete;
+    AskCluster& operator=(const AskCluster&) = delete;
+
+    /**
+     * Submit an aggregation task: `receiver_host` runs the receiver,
+     * each StreamSpec's host streams its tuples. `on_done` fires at
+     * completion (simulated time). Call run() to execute.
+     *
+     * @param region_len aggregators per AA per copy; 0 = all free.
+     */
+    void submit_task(TaskId task, std::uint32_t receiver_host,
+                     std::vector<StreamSpec> streams,
+                     std::uint32_t region_len = 0,
+                     TaskDoneFn on_done = nullptr);
+
+    /** Convenience: submit one task, run the simulator to completion,
+     *  and return the result. */
+    TaskResult run_task(TaskId task, std::uint32_t receiver_host,
+                        std::vector<StreamSpec> streams,
+                        std::uint32_t region_len = 0);
+
+    /** Drain the event queue. Returns the final simulated time. */
+    sim::SimTime run() { return simulator_.run(); }
+
+    sim::Simulator& simulator() { return simulator_; }
+    net::Network& network() { return network_; }
+    AskDaemon& daemon(std::uint32_t host) { return *daemons_.at(host); }
+    std::uint32_t num_hosts() const
+    {
+        return static_cast<std::uint32_t>(daemons_.size());
+    }
+    pisa::PisaSwitch& pisa_switch() { return *switch_; }
+    AskSwitchProgram& program() { return *program_; }
+    AskSwitchController& controller() { return *controller_; }
+    const SwitchAggStats& switch_stats() const { return program_->stats(); }
+    const ClusterConfig& config() const { return config_; }
+    net::NodeId switch_node() const { return switch_->node_id(); }
+
+    /** Aggregate host stats over all daemons. */
+    HostStats total_host_stats() const;
+
+  private:
+    ClusterConfig config_;
+    sim::Simulator simulator_;
+    net::Network network_;
+    std::unique_ptr<pisa::PisaSwitch> switch_;
+    std::unique_ptr<AskSwitchProgram> program_;
+    std::unique_ptr<AskSwitchController> controller_;
+    std::vector<std::unique_ptr<AskDaemon>> daemons_;
+};
+
+}  // namespace ask::core
+
+#endif  // ASK_ASK_CLUSTER_H

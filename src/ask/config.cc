@@ -1,0 +1,33 @@
+#include "ask/config.h"
+
+#include "common/logging.h"
+
+namespace ask::core {
+
+void
+AskConfig::validate() const
+{
+    if (num_aas == 0 || num_aas > 64)
+        fatal("num_aas must be 1..64 (bitmap is 64 bits wide): ", num_aas);
+    if (part_bits != 16 && part_bits != 32)
+        fatal("part_bits must be 16 or 32: ", part_bits);
+    if (medium_segments < 1)
+        fatal("medium_segments must be >= 1");
+    if (medium_aas() > num_aas)
+        fatal("medium groups (", medium_aas(), " AAs) exceed num_aas (",
+              num_aas, ")");
+    if (medium_groups > 0 && short_aas() == 0)
+        fatal("no AAs left for short keys");
+    if (shadow_copies && aggregators_per_aa % 2 != 0)
+        fatal("aggregators_per_aa must be even with shadow copies");
+    if (aggregators_per_aa == 0)
+        fatal("aggregators_per_aa must be positive");
+    if (window == 0 || (window & (window - 1)) != 0)
+        fatal("window must be a positive power of two: ", window);
+    if (channels_per_host == 0)
+        fatal("channels_per_host must be positive");
+    if (max_hosts == 0)
+        fatal("max_hosts must be positive");
+}
+
+}  // namespace ask::core

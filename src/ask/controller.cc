@@ -1,0 +1,97 @@
+#include "ask/controller.h"
+
+#include "common/logging.h"
+
+namespace ask::core {
+
+AskSwitchController::AskSwitchController(AskSwitchProgram& program)
+    : program_(program),
+      capacity_(program.config().copy_size()),
+      epoch_slot_used_(program.config().max_tasks, false)
+{
+}
+
+std::optional<TaskRegion>
+AskSwitchController::allocate(TaskId task, std::uint32_t len)
+{
+    if (len == 0 || len > capacity_)
+        return std::nullopt;
+
+    // First-fit over the gaps between allocated slices.
+    std::uint32_t cursor = 0;
+    std::uint32_t base = capacity_;  // sentinel: not found
+    for (const auto& [alloc_base, info] : allocated_) {
+        if (alloc_base - cursor >= len) {
+            base = cursor;
+            break;
+        }
+        cursor = alloc_base + info.first;
+    }
+    if (base == capacity_) {
+        if (capacity_ - cursor >= len)
+            base = cursor;
+        else
+            return std::nullopt;
+    }
+
+    std::uint32_t epoch_slot = 0;
+    while (epoch_slot < epoch_slot_used_.size() && epoch_slot_used_[epoch_slot])
+        ++epoch_slot;
+    if (epoch_slot == epoch_slot_used_.size())
+        return std::nullopt;
+
+    TaskRegion region;
+    region.base = base;
+    region.len = len;
+    region.epoch_slot = epoch_slot;
+
+    epoch_slot_used_[epoch_slot] = true;
+    allocated_[base] = {len, task};
+    program_.install_task(task, region);
+    return region;
+}
+
+void
+AskSwitchController::release(TaskId task)
+{
+    const TaskRegion* region = program_.find_task(task);
+    ASK_ASSERT(region != nullptr, "release of unknown task ", task);
+    epoch_slot_used_[region->epoch_slot] = false;
+    // Clear the aggregators and reset the swap epoch so a future task
+    // reusing this slice starts blank on copy 0 with epoch 0.
+    program_.reset_epoch(task);
+    program_.read_region(task, 0, /*clear=*/true);
+    if (program_.config().shadow_copies)
+        program_.read_region(task, 1, /*clear=*/true);
+    allocated_.erase(region->base);
+    program_.remove_task(task);
+}
+
+KvStream
+AskSwitchController::fetch(TaskId task, std::uint32_t copy, bool clear)
+{
+    return program_.read_region(task, copy, clear);
+}
+
+std::uint64_t
+AskSwitchController::fetch_scan_entries(TaskId task) const
+{
+    return program_.region_scan_entries(task);
+}
+
+std::uint32_t
+AskSwitchController::current_epoch(TaskId task) const
+{
+    return program_.current_epoch(task);
+}
+
+std::uint32_t
+AskSwitchController::free_aggregators() const
+{
+    std::uint32_t used = 0;
+    for (const auto& [base, info] : allocated_)
+        used += info.first;
+    return capacity_ - used;
+}
+
+}  // namespace ask::core

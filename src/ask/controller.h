@@ -1,0 +1,68 @@
+/**
+ * @file
+ * The switch control plane: allocates switch-memory regions to
+ * aggregation tasks (workflow steps 3 and 12 of paper §3.1) and provides
+ * the slow-path fetch/reset used at task teardown and shadow-copy swaps.
+ */
+#ifndef ASK_ASK_CONTROLLER_H
+#define ASK_ASK_CONTROLLER_H
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "ask/switch_program.h"
+#include "ask/types.h"
+
+namespace ask::core {
+
+/**
+ * Manages the aggregator index space [0, copy_size) shared by all AAs:
+ * every task receives one contiguous slice visible in all AAs (and both
+ * shadow copies). First-fit allocation with coalescing free.
+ */
+class AskSwitchController
+{
+  public:
+    explicit AskSwitchController(AskSwitchProgram& program);
+
+    /**
+     * Allocate `len` aggregators per AA per copy for a task and install
+     * it on the data plane.
+     * @return the region, or std::nullopt when memory or epoch slots are
+     *         exhausted.
+     */
+    std::optional<TaskRegion> allocate(TaskId task, std::uint32_t len);
+
+    /** Release a task's region and uninstall it. */
+    void release(TaskId task);
+
+    /**
+     * Slow-path read of one shadow copy of the task's region (optionally
+     * clearing it), decoding the aggregators into tuples.
+     */
+    KvStream fetch(TaskId task, std::uint32_t copy, bool clear);
+
+    /** Aggregator entries a fetch of this task scans (cost accounting). */
+    std::uint64_t fetch_scan_entries(TaskId task) const;
+
+    /** Current swap epoch of the task. */
+    std::uint32_t current_epoch(TaskId task) const;
+
+    /** Free aggregators per AA per copy remaining. */
+    std::uint32_t free_aggregators() const;
+
+    AskSwitchProgram& program() { return program_; }
+
+  private:
+    AskSwitchProgram& program_;
+    std::uint32_t capacity_;
+    /** Allocated slices: base -> (len, task). */
+    std::map<std::uint32_t, std::pair<std::uint32_t, TaskId>> allocated_;
+    std::vector<bool> epoch_slot_used_;
+};
+
+}  // namespace ask::core
+
+#endif  // ASK_ASK_CONTROLLER_H

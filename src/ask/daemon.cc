@@ -1,0 +1,724 @@
+#include "ask/daemon.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "common/hash.h"
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace ask::core {
+
+// ---------------------------------------------------------------------------
+// DataChannel
+// ---------------------------------------------------------------------------
+
+DataChannel::DataChannel(AskDaemon& daemon, std::uint32_t local_index)
+    : daemon_(daemon), local_index_(local_index)
+{
+}
+
+ChannelId
+DataChannel::global_id() const
+{
+    return static_cast<ChannelId>(
+        daemon_.host_index() * daemon_.config().channels_per_host +
+        local_index_);
+}
+
+sim::SimTime
+DataChannel::charge(Nanoseconds cost)
+{
+    sim::SimTime now = daemon_.simulator().now();
+    core_busy_ = std::max(core_busy_, now) + cost;
+    busy_ns_ += static_cast<std::uint64_t>(cost);
+    return core_busy_;
+}
+
+sim::SimTime
+DataChannel::charge_background(Nanoseconds cost)
+{
+    // Background work also starts no earlier than the I/O lane is free
+    // of already-queued work, approximating one core interleaving both.
+    sim::SimTime now = daemon_.simulator().now();
+    background_busy_ =
+        std::max({background_busy_, core_busy_, now}) + cost;
+    busy_ns_ += static_cast<std::uint64_t>(cost);
+    return background_busy_;
+}
+
+void
+DataChannel::submit_send(TaskId task, net::NodeId receiver, KvStream stream,
+                         std::function<void()> on_complete)
+{
+    SendJob job;
+    job.task = task;
+    job.receiver = receiver;
+    job.builder = std::make_unique<PacketBuilder>(daemon_.key_space());
+    job.builder->enqueue(stream);
+    job.on_complete = std::move(on_complete);
+    daemon_.stats().tuples_sent += stream.size();
+    jobs_.push_back(std::move(job));
+    pump();
+}
+
+void
+DataChannel::schedule_pump(sim::SimTime at)
+{
+    if (pump_pending_)
+        return;
+    pump_pending_ = true;
+    daemon_.simulator().schedule_at(at, [this] {
+        pump_pending_ = false;
+        pump();
+    });
+}
+
+void
+DataChannel::pump()
+{
+    sim::Simulator& simulator = daemon_.simulator();
+    const AskConfig& cfg = daemon_.config();
+
+    while (!jobs_.empty() && !fin_outstanding_) {
+        SendJob& job = jobs_.front();
+
+        if (job.builder->empty()) {
+            // All frames ACKed and none pending: close the task on this
+            // channel with a (reliable) FIN.
+            if (in_flight_.empty()) {
+                send_fin(job);
+            }
+            return;
+        }
+
+        // Window check: at most min(cwnd, W) packets outstanding,
+        // spanning < W sequence numbers.
+        Seq base = in_flight_.empty() ? next_seq_ : in_flight_.begin()->first;
+        std::uint32_t window = std::min(cwnd_, cfg.window);
+        if (next_seq_ >= base + window || in_flight_.size() >= window)
+            return;
+
+        // Core pacing: one packet per tx_cost of CPU.
+        if (core_busy_ > simulator.now()) {
+            schedule_pump(core_busy_);
+            return;
+        }
+
+        // Build the next frame: DATA first, then LONG_DATA batches.
+        std::vector<std::uint8_t> frame;
+        if (auto built = job.builder->next_data()) {
+            AskHeader hdr;
+            hdr.type = PacketType::kData;
+            hdr.num_slots = static_cast<std::uint8_t>(cfg.num_aas);
+            hdr.channel_id = global_id();
+            hdr.task_id = job.task;
+            hdr.seq = next_seq_;
+            hdr.bitmap = built->bitmap;
+            frame = make_frame(hdr, cfg.payload_bytes());
+            for (std::uint32_t i = 0; i < cfg.num_aas; ++i) {
+                if (built->bitmap & (1ULL << i))
+                    write_slot(frame, i, built->slots[i]);
+            }
+            ++daemon_.stats().data_packets_sent;
+        } else {
+            auto batch = job.builder->next_long_batch(cfg.long_payload_bytes);
+            ASK_ASSERT(batch.has_value(), "builder non-empty but no frames");
+            AskHeader hdr;
+            hdr.type = PacketType::kLongData;
+            hdr.channel_id = global_id();
+            hdr.task_id = job.task;
+            hdr.seq = next_seq_;
+            frame = make_long_frame(hdr, *batch);
+            ++daemon_.stats().long_packets_sent;
+        }
+
+        Seq seq = next_seq_++;
+        auto [it, inserted] =
+            in_flight_.emplace(seq, InFlight{std::move(frame), job.receiver,
+                                             sim::kInvalidEvent});
+        ASK_ASSERT(inserted, "duplicate in-flight seq");
+        (void)it;
+        transmit(seq, /*is_retransmit=*/false);
+    }
+}
+
+void
+DataChannel::transmit(Seq seq, bool is_retransmit)
+{
+    auto it = in_flight_.find(seq);
+    ASK_ASSERT(it != in_flight_.end(), "transmit of unknown seq ", seq);
+    InFlight& entry = it->second;
+
+    if (is_retransmit) {
+        ++daemon_.stats().retransmissions;
+        cwnd_ = std::max(cwnd_ / 2, 8u);  // multiplicative decrease
+    }
+    ++entry.tries;
+
+    sim::SimTime ready =
+        charge(daemon_.cost_model().tx_cost_ns(entry.frame.size()));
+
+    net::Packet pkt;
+    pkt.src = daemon_.node_id();
+    pkt.dst = entry.receiver;
+    pkt.data = entry.frame;  // keep a copy for retransmission
+
+    net::Network& network = daemon_.network();
+    net::NodeId self = daemon_.node_id();
+    net::NodeId hop = daemon_.switch_node();
+    daemon_.simulator().schedule_at(
+        ready, [&network, self, hop, p = std::move(pkt)]() mutable {
+            network.send(self, hop, std::move(p));
+        });
+    entry.sent_at = ready;
+
+    // Adaptive timeout plus exponential backoff on retransmissions: a
+    // congested receiver delays ACKs past the base timeout, and
+    // hammering it with more copies only makes it worse.
+    std::uint32_t shift = std::min(entry.tries - 1, 5u);
+    arm_timer(seq, ready + (rto() << shift));
+}
+
+Nanoseconds
+DataChannel::rto() const
+{
+    if (!have_rtt_)
+        return daemon_.config().retransmit_timeout_ns;
+    auto est = static_cast<Nanoseconds>(srtt_ns_ + 4.0 * rttvar_ns_);
+    return std::clamp(est, daemon_.config().retransmit_timeout_ns,
+                      100 * daemon_.config().retransmit_timeout_ns);
+}
+
+void
+DataChannel::observe_rtt(Nanoseconds sample)
+{
+    double s = static_cast<double>(sample);
+    if (!have_rtt_) {
+        srtt_ns_ = s;
+        rttvar_ns_ = s / 2.0;
+        have_rtt_ = true;
+        return;
+    }
+    rttvar_ns_ = 0.75 * rttvar_ns_ + 0.25 * std::abs(s - srtt_ns_);
+    srtt_ns_ = 0.875 * srtt_ns_ + 0.125 * s;
+}
+
+void
+DataChannel::arm_timer(Seq seq, sim::SimTime at)
+{
+    auto it = in_flight_.find(seq);
+    ASK_ASSERT(it != in_flight_.end(), "timer for unknown seq");
+    it->second.timer = daemon_.simulator().schedule_at(at, [this, seq] {
+        auto jt = in_flight_.find(seq);
+        if (jt == in_flight_.end())
+            return;  // ACKed in the meantime
+        jt->second.timer = sim::kInvalidEvent;
+        transmit(seq, /*is_retransmit=*/true);
+    });
+}
+
+void
+DataChannel::on_ack(Seq seq)
+{
+    auto it = in_flight_.find(seq);
+    if (it == in_flight_.end())
+        return;  // duplicate ACK (e.g. for a retransmitted packet)
+    if (it->second.timer != sim::kInvalidEvent)
+        daemon_.simulator().cancel(it->second.timer);
+    // Karn's rule: only un-retransmitted packets give clean RTT samples.
+    if (it->second.tries == 1)
+        observe_rtt(daemon_.simulator().now() - it->second.sent_at);
+    in_flight_.erase(it);
+    cwnd_ = std::min(cwnd_ + 1, daemon_.config().window);
+    // ACK processing occupies the core briefly (burst-amortized).
+    charge(daemon_.cost_model().ctrl_cost_ns());
+    pump();
+}
+
+void
+DataChannel::send_fin(const SendJob& job)
+{
+    fin_outstanding_ = true;
+    ++fin_tries_;
+    if (fin_tries_ > 1000)
+        fatal("channel ", global_id(), " cannot deliver FIN for task ",
+              job.task, " after 1000 attempts");
+
+    AskHeader hdr;
+    hdr.type = PacketType::kFin;
+    hdr.channel_id = global_id();
+    hdr.task_id = job.task;
+
+    sim::SimTime ready = charge(daemon_.cost_model().tx_cost_ns(
+        net::kIpHeaderBytes + kAskHeaderBytes));
+    net::Packet pkt = make_control_packet(daemon_.node_id(), job.receiver, hdr);
+
+    net::Network& network = daemon_.network();
+    net::NodeId self = daemon_.node_id();
+    net::NodeId hop = daemon_.switch_node();
+    daemon_.simulator().schedule_at(
+        ready, [&network, self, hop, p = std::move(pkt)]() mutable {
+            network.send(self, hop, std::move(p));
+        });
+
+    // FINs can be lost like anything else; retransmit until FIN_ACK.
+    fin_timer_ = daemon_.simulator().schedule_at(
+        ready + 4 * daemon_.config().retransmit_timeout_ns, [this] {
+            fin_timer_ = sim::kInvalidEvent;
+            if (fin_outstanding_) {
+                fin_outstanding_ = false;
+                ASK_ASSERT(!jobs_.empty(), "FIN timer with no job");
+                send_fin(jobs_.front());
+            }
+        });
+}
+
+void
+DataChannel::on_fin_ack(TaskId task)
+{
+    if (!fin_outstanding_ || jobs_.empty() || jobs_.front().task != task)
+        return;  // stale or duplicate FIN_ACK
+    fin_outstanding_ = false;
+    fin_tries_ = 0;
+    if (fin_timer_ != sim::kInvalidEvent) {
+        daemon_.simulator().cancel(fin_timer_);
+        fin_timer_ = sim::kInvalidEvent;
+    }
+    finish_front_job();
+}
+
+void
+DataChannel::finish_front_job()
+{
+    ASK_ASSERT(!jobs_.empty(), "no job to finish");
+    auto on_complete = std::move(jobs_.front().on_complete);
+    jobs_.pop_front();
+    if (on_complete)
+        on_complete();
+    pump();
+}
+
+// ---------------------------------------------------------------------------
+// AskDaemon
+// ---------------------------------------------------------------------------
+
+AskDaemon::AskDaemon(const AskConfig& config, const net::CostModel& cost_model,
+                     net::Network& network, std::uint32_t host_index,
+                     net::NodeId switch_node, AskSwitchController& controller,
+                     Nanoseconds mgmt_latency_ns)
+    : config_(config),
+      key_space_(config),
+      cost_model_(cost_model),
+      network_(network),
+      host_index_(host_index),
+      switch_node_(switch_node),
+      controller_(controller),
+      mgmt_latency_ns_(mgmt_latency_ns)
+{
+    ASK_ASSERT(host_index < config_.max_hosts,
+               "host index exceeds configured max_hosts");
+    for (std::uint32_t i = 0; i < config_.channels_per_host; ++i)
+        channels_.push_back(std::make_unique<DataChannel>(*this, i));
+}
+
+std::string
+AskDaemon::name() const
+{
+    return strf("ask-daemon-%u", host_index_);
+}
+
+DataChannel&
+AskDaemon::channel_for_task(TaskId task)
+{
+    // Salt the hash with the host identity: daemons balance their own
+    // channel pools independently, so one task does not land on the
+    // same local channel index cluster-wide (which would funnel all of
+    // the task's flows into a single receiver-side RSS lane).
+    std::uint64_t h = mix64(task ^ mix64(host_index_ + 1));
+    return *channels_[h % channels_.size()];
+}
+
+void
+AskDaemon::start_receive(TaskId task, std::uint32_t expected_senders,
+                         std::uint32_t region_len, TaskDoneFn on_done,
+                         std::function<void()> on_ready)
+{
+    // Steps 1-3 of §3.1: register the task, then request a switch memory
+    // region over the management network.
+    simulator().schedule_after(mgmt_latency_ns_, [this, task,
+                                                  expected_senders,
+                                                  region_len,
+                                                  on_done = std::move(on_done),
+                                                  on_ready =
+                                                      std::move(on_ready)] {
+        std::uint32_t len =
+            region_len > 0 ? region_len : controller_.free_aggregators();
+        auto region = controller_.allocate(task, len);
+        if (!region) {
+            fatal("switch memory exhausted allocating ", len,
+                  " aggregators/AA for task ", task);
+        }
+        ReceiveTask rx;
+        rx.id = task;
+        rx.expected_senders = expected_senders;
+        rx.on_done = std::move(on_done);
+        rx.report.start_time = simulator().now();
+        auto [it, inserted] = rx_tasks_.emplace(task, std::move(rx));
+        (void)it;
+        ASK_ASSERT(inserted, "task ", task, " already receiving here");
+        if (on_ready)
+            on_ready();
+    });
+}
+
+void
+AskDaemon::submit_send(TaskId task, net::NodeId receiver, KvStream stream,
+                       std::function<void()> on_complete)
+{
+    channel_for_task(task).submit_send(task, receiver, std::move(stream),
+                                       std::move(on_complete));
+}
+
+void
+AskDaemon::receive(net::Packet pkt)
+{
+    auto hdr = parse_header(pkt.data);
+    if (!hdr) {
+        warn(name(), ": dropping non-ASK packet");
+        return;
+    }
+    switch (hdr->type) {
+      case PacketType::kAck:
+      case PacketType::kFinAck:
+        dispatch_to_sender_channel(*hdr, pkt);
+        return;
+      case PacketType::kData:
+        handle_data(std::move(pkt), *hdr);
+        return;
+      case PacketType::kLongData:
+        handle_long_data(std::move(pkt), *hdr);
+        return;
+      case PacketType::kFin:
+        handle_fin(pkt, *hdr);
+        return;
+      case PacketType::kSwapAck:
+        handle_swap_ack(*hdr);
+        return;
+      default:
+        warn(name(), ": unexpected packet type ",
+             static_cast<int>(static_cast<std::uint8_t>(hdr->type)));
+        return;
+    }
+}
+
+void
+AskDaemon::dispatch_to_sender_channel(const AskHeader& hdr,
+                                      const net::Packet& pkt)
+{
+    (void)pkt;
+    std::uint32_t owner = hdr.channel_id / config_.channels_per_host;
+    if (owner != host_index_) {
+        warn(name(), ": ACK for channel ", hdr.channel_id,
+             " owned by host ", owner);
+        return;
+    }
+    DataChannel& ch = *channels_[hdr.channel_id % config_.channels_per_host];
+    if (hdr.type == PacketType::kAck)
+        ch.on_ack(hdr.seq);
+    else
+        ch.on_fin_ack(hdr.task_id);
+}
+
+HostReceiveWindow&
+AskDaemon::window_for(ReceiveTask& task, ChannelId channel)
+{
+    auto it = task.windows.find(channel);
+    if (it == task.windows.end()) {
+        it = task.windows.emplace(channel, HostReceiveWindow(config_.window))
+                 .first;
+    }
+    return it->second;
+}
+
+void
+AskDaemon::send_ack_to(net::NodeId sender, const AskHeader& data_hdr)
+{
+    AskHeader ack;
+    ack.type = data_hdr.type == PacketType::kFin ? PacketType::kFinAck
+                                                 : PacketType::kAck;
+    ack.channel_id = data_hdr.channel_id;
+    ack.task_id = data_hdr.task_id;
+    ack.seq = data_hdr.seq;
+
+    net::Packet pkt = make_control_packet(node_id(), sender, ack);
+    net::Network& network = network_;
+    net::NodeId self = node_id();
+    net::NodeId hop = switch_node_;
+    network.send(self, hop, std::move(pkt));
+}
+
+void
+AskDaemon::handle_data(net::Packet&& pkt, const AskHeader& hdr)
+{
+    auto it = rx_tasks_.find(hdr.task_id);
+    if (it == rx_tasks_.end())
+        return;  // roaming duplicate of a completed task
+    ReceiveTask& task = it->second;
+    // RSS: the NIC spreads incoming *flows* (sender channels) across the
+    // daemon's cores, so one task's receive load uses every channel.
+    DataChannel& ch = *channels_[hdr.channel_id % channels_.size()];
+
+    // Charge packet reception; the aggregation work is charged once the
+    // packet is deduplicated (in process_data).
+    sim::SimTime done = ch.charge(cost_model_.rx_cost_ns(pkt.data.size()));
+    simulator().schedule_at(done,
+                            [this, task_id = hdr.task_id, hdr,
+                             p = std::move(pkt), &ch]() mutable {
+                                auto jt = rx_tasks_.find(task_id);
+                                if (jt == rx_tasks_.end())
+                                    return;
+                                process_data(jt->second, p, hdr, ch);
+                            });
+}
+
+void
+AskDaemon::process_data(ReceiveTask& task, const net::Packet& pkt,
+                        const AskHeader& hdr, DataChannel& ch)
+{
+    ++stats_.packets_received;
+    SeenOutcome outcome = window_for(task, hdr.channel_id).observe(hdr.seq);
+    if (outcome == SeenOutcome::kStale)
+        return;  // pre-window duplicate: the original was ACKed long ago
+
+    // ACK as soon as the packet is deduplicated — before the aggregation
+    // work — so ACK latency tracks packet reception, not the aggregation
+    // backlog (otherwise bursts trigger spurious retransmission storms).
+    // ACKs go out in DPDK bursts, so their cost is amortized.
+    ch.charge(cost_model_.ctrl_cost_ns());
+    send_ack_to(pkt.src, hdr);
+
+    if (outcome == SeenOutcome::kFresh) {
+        std::uint64_t tuples = 0;
+        if (hdr.type == PacketType::kData) {
+            // Aggregate the tuples the switch left in the packet.
+            for (std::uint32_t i = 0; i < config_.short_aas(); ++i) {
+                if (!(hdr.bitmap & (1ULL << i)))
+                    continue;
+                WireSlot slot = read_slot(pkt.data, i);
+                Key key = KeySpace::unpad(key_space_.decode_segment(slot.seg));
+                accumulate(task.local, key, slot.value, config_.op);
+                ++tuples;
+            }
+            for (std::uint32_t g = 0; g < config_.medium_groups; ++g) {
+                std::uint32_t mb = config_.medium_base(g);
+                if (!(hdr.bitmap & (1ULL << mb)))
+                    continue;
+                std::string padded;
+                Value value = 0;
+                for (std::uint32_t j = 0; j < config_.medium_segments; ++j) {
+                    ASK_ASSERT(hdr.bitmap & (1ULL << (mb + j)),
+                               "medium group bitmap must be all-or-nothing");
+                    WireSlot slot = read_slot(pkt.data, mb + j);
+                    padded += key_space_.decode_segment(slot.seg);
+                    if (j + 1 == config_.medium_segments)
+                        value = slot.value;
+                }
+                accumulate(task.local, KeySpace::unpad(padded), value,
+                           config_.op);
+                ++tuples;
+            }
+        } else {  // kLongData
+            for (const auto& t : parse_long_tuples(pkt.data)) {
+                accumulate(task.local, t.key, t.value, config_.op);
+                ++tuples;
+            }
+        }
+        stats_.tuples_aggregated_locally += tuples;
+        task.report.tuples_aggregated_locally += tuples;
+        // Deferred aggregation is farmed out over the daemon's thread
+        // pool round-robin, not pinned to the flow's RSS lane.
+        channels_[bg_round_robin_++ % channels_.size()]->charge_background(
+            cost_model_.host_aggregate_ns(tuples));
+        ++task.report.packets_received;
+        ++task.packets_since_swap;
+    } else {
+        ++stats_.duplicates_received;
+    }
+
+    maybe_start_swap(task, ch);
+}
+
+void
+AskDaemon::handle_long_data(net::Packet&& pkt, const AskHeader& hdr)
+{
+    handle_data(std::move(pkt), hdr);
+}
+
+void
+AskDaemon::handle_fin(const net::Packet& pkt, const AskHeader& hdr)
+{
+    auto it = rx_tasks_.find(hdr.task_id);
+    if (it == rx_tasks_.end()) {
+        // Retransmitted FIN after completion: re-ACK so the sender stops.
+        send_ack_to(pkt.src, hdr);
+        return;
+    }
+    ReceiveTask& task = it->second;
+    task.fins.insert(hdr.channel_id);
+    DataChannel& ch = channel_for_task(hdr.task_id);
+    ch.charge(cost_model_.rx_cost_ns(pkt.data.size()) +
+              cost_model_.ctrl_cost_ns());
+    send_ack_to(pkt.src, hdr);
+    maybe_finalize(task);
+}
+
+void
+AskDaemon::maybe_start_swap(ReceiveTask& task, DataChannel& ch)
+{
+    (void)ch;
+    if (!config_.shadow_copies || config_.swap_threshold_packets == 0)
+        return;
+    if (task.swap_in_flight || task.finalizing)
+        return;
+    if (task.packets_since_swap < config_.swap_threshold_packets)
+        return;
+    task.swap_in_flight = true;
+    task.swap_target = task.committed_epoch + 1;
+    ++stats_.swap_requests;
+    send_swap(task.id);
+}
+
+void
+AskDaemon::send_swap(TaskId task_id)
+{
+    auto it = rx_tasks_.find(task_id);
+    if (it == rx_tasks_.end() || !it->second.swap_in_flight)
+        return;
+    ReceiveTask& task = it->second;
+
+    AskHeader hdr;
+    hdr.type = PacketType::kSwap;
+    hdr.task_id = task_id;
+    hdr.seq = task.swap_target;  // SWAP reuses seq as the epoch
+    // dst = self: the switch spoofs the SwapAck source from pkt.dst.
+    net::Packet pkt = make_control_packet(node_id(), node_id(), hdr);
+    network_.send(node_id(), switch_node_, std::move(pkt));
+
+    task.swap_timer = simulator().schedule_after(
+        4 * config_.retransmit_timeout_ns, [this, task_id] {
+            auto jt = rx_tasks_.find(task_id);
+            if (jt != rx_tasks_.end() && jt->second.swap_in_flight) {
+                jt->second.swap_timer = sim::kInvalidEvent;
+                send_swap(task_id);
+            }
+        });
+}
+
+void
+AskDaemon::handle_swap_ack(const AskHeader& hdr)
+{
+    auto it = rx_tasks_.find(hdr.task_id);
+    if (it == rx_tasks_.end())
+        return;
+    ReceiveTask& task = it->second;
+    if (!task.swap_in_flight || hdr.seq != task.swap_target)
+        return;  // duplicate or stale SwapAck
+    if (task.swap_timer != sim::kInvalidEvent) {
+        simulator().cancel(task.swap_timer);
+        task.swap_timer = sim::kInvalidEvent;
+    }
+    complete_swap(task);
+}
+
+sim::SimTime
+AskDaemon::charge_control(Nanoseconds cost)
+{
+    control_busy_ = std::max(control_busy_, simulator().now()) + cost;
+    return control_busy_;
+}
+
+void
+AskDaemon::complete_swap(ReceiveTask& task)
+{
+    // The switch now directs traffic at copy (target & 1); drain the
+    // other copy: fetch over the management plane, merge locally, clear.
+    // Fetches run on the control thread so the data path keeps ACKing.
+    std::uint32_t old_copy = 1 - (task.swap_target & 1);
+    std::uint64_t entries = controller_.fetch_scan_entries(task.id);
+    Nanoseconds scan_cost = static_cast<Nanoseconds>(
+        static_cast<double>(entries) * 2.0);  // slow-path read per entry
+    sim::SimTime done = charge_control(mgmt_latency_ns_ + scan_cost);
+
+    simulator().schedule_at(done, [this, task_id = task.id, old_copy] {
+        auto it = rx_tasks_.find(task_id);
+        if (it == rx_tasks_.end())
+            return;
+        ReceiveTask& t = it->second;
+        KvStream fetched = controller_.fetch(task_id, old_copy, /*clear=*/true);
+        stats_.fetch_tuples += fetched.size();
+        t.report.tuples_fetched_from_switch += fetched.size();
+        aggregate_into(t.local, fetched, config_.op);
+        t.committed_epoch = t.swap_target;
+        t.packets_since_swap = 0;
+        t.swap_in_flight = false;
+        ++t.report.swaps;
+        if (t.finalize_pending)
+            maybe_finalize(t);
+    });
+}
+
+void
+AskDaemon::maybe_finalize(ReceiveTask& task)
+{
+    if (task.fins.size() < task.expected_senders)
+        return;
+    if (task.swap_in_flight) {
+        task.finalize_pending = true;
+        return;
+    }
+    if (task.finalizing)
+        return;
+    finalize(task);
+}
+
+void
+AskDaemon::finalize(ReceiveTask& task)
+{
+    task.finalizing = true;
+    std::uint64_t entries = controller_.fetch_scan_entries(task.id);
+    std::uint32_t copies = config_.shadow_copies ? 2 : 1;
+    Nanoseconds scan_cost = static_cast<Nanoseconds>(
+        static_cast<double>(entries) * 2.0 * copies);
+    sim::SimTime done = charge_control(mgmt_latency_ns_ + scan_cost);
+    // The result is complete only once the deferred aggregation backlog
+    // of every channel has drained.
+    for (const auto& ch : channels_)
+        done = std::max(done, ch->background_busy_until());
+
+    simulator().schedule_at(done, [this, task_id = task.id] {
+        auto it = rx_tasks_.find(task_id);
+        ASK_ASSERT(it != rx_tasks_.end(), "finalizing vanished task");
+        ReceiveTask& t = it->second;
+
+        for (std::uint32_t copy = 0;
+             copy < (config_.shadow_copies ? 2u : 1u); ++copy) {
+            KvStream fetched = controller_.fetch(task_id, copy, /*clear=*/true);
+            stats_.fetch_tuples += fetched.size();
+            t.report.tuples_fetched_from_switch += fetched.size();
+            aggregate_into(t.local, fetched, config_.op);
+        }
+        controller_.release(task_id);
+
+        t.report.finish_time = simulator().now();
+        TaskDoneFn on_done = std::move(t.on_done);
+        AggregateMap result = std::move(t.local);
+        TaskReport report = t.report;
+        rx_tasks_.erase(it);
+        if (on_done)
+            on_done(std::move(result), report);
+    });
+}
+
+}  // namespace ask::core

@@ -1,0 +1,277 @@
+/**
+ * @file
+ * The ASK host daemon (paper §3.1): a per-server service process that
+ * exchanges key-value data with applications and speaks the ASK protocol
+ * with the switch and peer daemons.
+ *
+ * Each daemon owns `channels_per_host` data channels. A data channel
+ * models one DPDK thread pinned to a core: it packetizes streams, runs
+ * the sliding-window sender (§3.3 "Host Sender"), processes incoming
+ * forwarded packets as the receiver endpoint (§3.3 "Host Receiver"),
+ * initiates shadow-copy swaps (§3.4), and performs the result fetch at
+ * task teardown. All CPU work is charged to the channel's core clock, so
+ * per-core packet rates and backpressure emerge naturally.
+ *
+ * Management traffic (task setup with the switch controller and peer
+ * daemons) flows over a modeled management network with configurable
+ * latency — in the paper this is the control channel plus switch gRPC.
+ */
+#ifndef ASK_ASK_DAEMON_H
+#define ASK_ASK_DAEMON_H
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ask/config.h"
+#include "ask/controller.h"
+#include "ask/key_space.h"
+#include "ask/metrics.h"
+#include "ask/packet_builder.h"
+#include "ask/seen_window.h"
+#include "ask/types.h"
+#include "ask/wire.h"
+#include "net/cost_model.h"
+#include "net/network.h"
+#include "sim/simulator.h"
+
+namespace ask::core {
+
+class AskDaemon;
+
+/** Completion report for one aggregation task at its receiver. */
+struct TaskReport
+{
+    sim::SimTime start_time = 0;
+    sim::SimTime finish_time = 0;
+    std::uint64_t tuples_aggregated_locally = 0;
+    std::uint64_t tuples_fetched_from_switch = 0;
+    std::uint64_t packets_received = 0;
+    std::uint64_t swaps = 0;
+};
+
+/** Callback invoked when a receive task completes. */
+using TaskDoneFn = std::function<void(AggregateMap, TaskReport)>;
+
+/**
+ * One data channel: a duplex host endpoint bound to one core.
+ */
+class DataChannel
+{
+  public:
+    DataChannel(AskDaemon& daemon, std::uint32_t local_index);
+
+    /** Cluster-wide channel id. */
+    ChannelId global_id() const;
+
+    /** Enqueue a sending task (FIFO within the channel). */
+    void submit_send(TaskId task, net::NodeId receiver, KvStream stream,
+                     std::function<void()> on_complete);
+
+    // ---- packet handlers (called by the daemon's dispatcher) ------------
+    void on_ack(Seq seq);
+    void on_fin_ack(TaskId task);
+
+    /** Charge `cost` to this channel's core; returns the completion
+     *  time. Used for latency-critical packet I/O (TX, RX, ACKs). */
+    sim::SimTime charge(Nanoseconds cost);
+
+    /**
+     * Charge deferred work (hash-map aggregation of forwarded tuples).
+     * The DPDK fast path ACKs from the rx burst and queues tuples for
+     * processing between bursts, so this work consumes the core's
+     * capacity without sitting in front of later packets' ACKs. Task
+     * completion still waits for it (see AskDaemon::finalize).
+     */
+    sim::SimTime charge_background(Nanoseconds cost);
+
+    sim::SimTime core_busy_until() const { return core_busy_; }
+    sim::SimTime background_busy_until() const { return background_busy_; }
+    std::uint64_t busy_ns() const { return busy_ns_; }
+
+  private:
+    friend class AskDaemon;
+
+    struct SendJob
+    {
+        TaskId task = 0;
+        net::NodeId receiver = 0;
+        std::unique_ptr<PacketBuilder> builder;
+        std::function<void()> on_complete;
+    };
+
+    struct InFlight
+    {
+        std::vector<std::uint8_t> frame;
+        net::NodeId receiver = 0;
+        sim::EventId timer = sim::kInvalidEvent;
+        std::uint32_t tries = 0;  ///< transmissions so far (for backoff)
+        sim::SimTime sent_at = 0;  ///< last transmission time (RTT sample)
+    };
+
+    void pump();
+    void schedule_pump(sim::SimTime at);
+    void transmit(Seq seq, bool is_retransmit);
+    void arm_timer(Seq seq, sim::SimTime after);
+    void send_fin(const SendJob& job);
+    void finish_front_job();
+
+    AskDaemon& daemon_;
+    std::uint32_t local_index_;
+
+    sim::SimTime core_busy_ = 0;
+    sim::SimTime background_busy_ = 0;
+    std::uint64_t busy_ns_ = 0;
+
+    std::deque<SendJob> jobs_;
+    Seq next_seq_ = 0;
+    std::map<Seq, InFlight> in_flight_;
+    /** Congestion window (paper §7: a congestion-control window runs
+     *  beneath the reliability window W). AIMD: +1 per ACK, halved on
+     *  timeout, never above W. Prevents full-window bursts from
+     *  overrunning receiver cores. */
+    std::uint32_t cwnd_ = 16;
+    /** Adaptive retransmission timeout (Jacobson/Karn), floored at the
+     *  paper's fine-grained 100 us: receiver-bound flows see RTTs well
+     *  above the base RTT, and a fixed timeout would retransmit every
+     *  packet of such flows. */
+    double srtt_ns_ = 0.0;
+    double rttvar_ns_ = 0.0;
+    bool have_rtt_ = false;
+    Nanoseconds rto() const;
+    void observe_rtt(Nanoseconds sample);
+
+    bool fin_outstanding_ = false;
+    sim::EventId fin_timer_ = sim::kInvalidEvent;
+    std::uint32_t fin_tries_ = 0;
+
+    bool pump_pending_ = false;
+};
+
+/** The per-host daemon. */
+class AskDaemon : public net::Node
+{
+  public:
+    /**
+     * @param host_index   dense index of this server (0..max_hosts-1).
+     * @param switch_node  node id of the ToR switch on the fabric.
+     * @param controller   the switch control plane (management network).
+     */
+    AskDaemon(const AskConfig& config, const net::CostModel& cost_model,
+              net::Network& network, std::uint32_t host_index,
+              net::NodeId switch_node, AskSwitchController& controller,
+              Nanoseconds mgmt_latency_ns = 20 * units::kMicrosecond);
+
+    // ---- application-facing API ------------------------------------------
+
+    /**
+     * Start an aggregation task with this host as the receiver:
+     * allocates the switch region (over the management network) and
+     * invokes `on_ready` once senders may stream.
+     *
+     * @param region_len aggregators per AA per shadow copy; 0 = all free.
+     */
+    void start_receive(TaskId task, std::uint32_t expected_senders,
+                       std::uint32_t region_len, TaskDoneFn on_done,
+                       std::function<void()> on_ready);
+
+    /** Submit a key-value stream for `task` toward `receiver`. */
+    void submit_send(TaskId task, net::NodeId receiver, KvStream stream,
+                     std::function<void()> on_complete = nullptr);
+
+    // ---- net::Node ---------------------------------------------------------
+    void receive(net::Packet pkt) override;
+    std::string name() const override;
+
+    // ---- introspection ----------------------------------------------------
+    const AskConfig& config() const { return config_; }
+    const KeySpace& key_space() const { return key_space_; }
+    const net::CostModel& cost_model() const { return cost_model_; }
+    net::Network& network() { return network_; }
+    sim::Simulator& simulator() { return network_.simulator(); }
+    net::NodeId switch_node() const { return switch_node_; }
+    std::uint32_t host_index() const { return host_index_; }
+    const HostStats& stats() const { return stats_; }
+    HostStats& stats() { return stats_; }
+    DataChannel& channel(std::uint32_t i) { return *channels_.at(i); }
+    std::uint32_t num_channels() const
+    {
+        return static_cast<std::uint32_t>(channels_.size());
+    }
+
+    /** Channel serving a task (hash-based load balancing, §3.1). */
+    DataChannel& channel_for_task(TaskId task);
+
+  private:
+    friend class DataChannel;
+
+    struct ReceiveTask
+    {
+        TaskId id = 0;
+        std::uint32_t expected_senders = 0;
+        std::set<ChannelId> fins;
+        AggregateMap local;
+        std::unordered_map<ChannelId, HostReceiveWindow> windows;
+        TaskDoneFn on_done;
+        TaskReport report;
+
+        std::uint64_t packets_since_swap = 0;
+        std::uint32_t committed_epoch = 0;
+        bool swap_in_flight = false;
+        std::uint32_t swap_target = 0;
+        sim::EventId swap_timer = sim::kInvalidEvent;
+        bool finalize_pending = false;
+        bool finalizing = false;
+    };
+
+    /** Charge work to the control-channel thread (fetches, setup). */
+    sim::SimTime charge_control(Nanoseconds cost);
+
+    void dispatch_to_sender_channel(const AskHeader& hdr,
+                                    const net::Packet& pkt);
+    void handle_data(net::Packet&& pkt, const AskHeader& hdr);
+    void handle_long_data(net::Packet&& pkt, const AskHeader& hdr);
+    void handle_fin(const net::Packet& pkt, const AskHeader& hdr);
+    void handle_swap_ack(const AskHeader& hdr);
+
+    void process_data(ReceiveTask& task, const net::Packet& pkt,
+                      const AskHeader& hdr, DataChannel& ch);
+    void send_ack_to(net::NodeId sender, const AskHeader& data_hdr);
+    void maybe_start_swap(ReceiveTask& task, DataChannel& ch);
+    void send_swap(TaskId task_id);
+    void complete_swap(ReceiveTask& task);
+    void maybe_finalize(ReceiveTask& task);
+    void finalize(ReceiveTask& task);
+
+    HostReceiveWindow& window_for(ReceiveTask& task, ChannelId channel);
+
+    AskConfig config_;
+    KeySpace key_space_;
+    net::CostModel cost_model_;
+    net::Network& network_;
+    std::uint32_t host_index_;
+    net::NodeId switch_node_;
+    AskSwitchController& controller_;
+    Nanoseconds mgmt_latency_ns_;
+
+    std::vector<std::unique_ptr<DataChannel>> channels_;
+    std::unordered_map<TaskId, ReceiveTask> rx_tasks_;
+    HostStats stats_;
+    /** Busy-until of the control-channel thread (region fetches run
+     *  here so they never stall the data path; §4: "one thread as the
+     *  control channel"). */
+    sim::SimTime control_busy_ = 0;
+    /** Round-robin cursor for deferred-aggregation work. */
+    std::uint64_t bg_round_robin_ = 0;
+};
+
+}  // namespace ask::core
+
+#endif  // ASK_ASK_DAEMON_H

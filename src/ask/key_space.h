@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Key classification, key-space partition, and segment encoding
+ * (paper §3.2.2 and §3.2.3).
+ *
+ * The whole key space splits into short keys (fit one aggregator kPart),
+ * medium keys (fit one coalesced group of m adjacent AAs), and long keys
+ * (bypass the switch). Short and medium subspaces are further partitioned
+ * by a sender-side hash so that a key always lands in the same payload
+ * slot and hence the same AA — avoiding the single-key-multiple-spot
+ * problem.
+ */
+#ifndef ASK_ASK_KEY_SPACE_H
+#define ASK_ASK_KEY_SPACE_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ask/config.h"
+#include "ask/types.h"
+
+namespace ask::core {
+
+/** Where a key is processed. */
+enum class KeyClass : std::uint8_t
+{
+    kShort,   ///< <= n bits: one aggregator in a short AA
+    kMedium,  ///< (n, n*m] bits: one coalesced medium group
+    kLong,    ///< > n*m bits: bypasses the switch entirely
+};
+
+/**
+ * Pure functions mapping keys to classes, slots, and wire segments.
+ * Sender, switch, and receiver all consult the same KeySpace, which is
+ * fully determined by the AskConfig.
+ */
+class KeySpace
+{
+  public:
+    explicit KeySpace(const AskConfig& config);
+
+    /** Classify a key by its length. fatal()s on invalid keys (empty or
+     *  containing NUL bytes). */
+    KeyClass classify(const Key& key) const;
+
+    /** Subspace (== AA index == payload slot) of a *short* key. */
+    std::uint32_t short_slot(const Key& key) const;
+
+    /** Medium group index g of a *medium* key; the key occupies payload
+     *  slots [medium_base(g), medium_base(g) + m). */
+    std::uint32_t medium_group(const Key& key) const;
+
+    /**
+     * Wire segments of a key: the key NUL-padded to the class width and
+     * cut into n-bit chunks (1 chunk for short keys, m for medium).
+     * Each segment is returned as a little-endian integer of seg_bytes().
+     */
+    std::vector<std::uint32_t> segments(const Key& key) const;
+
+    /** Padded wire form of the key (the bytes the switch hashes). */
+    std::string padded(const Key& key) const;
+
+    /** Recover the application key from its padded wire form. */
+    static Key unpad(std::string_view padded);
+
+    /** Encode one segment from padded bytes [offset, offset+seg_bytes). */
+    std::uint32_t encode_segment(std::string_view padded_key,
+                                 std::uint32_t seg_index) const;
+
+    /** Decode a segment integer back into seg_bytes() raw bytes. */
+    std::string decode_segment(std::uint32_t seg) const;
+
+    /** Aggregator index (within one shadow copy of size `copy_len`) that
+     *  the switch addresses this key to. `padded_key` is the wire form. */
+    std::uint32_t aggregator_index(std::string_view padded_key,
+                                   std::uint32_t copy_len) const;
+
+    const AskConfig& config() const { return config_; }
+
+  private:
+    void check_key(const Key& key) const;
+
+    AskConfig config_;
+};
+
+}  // namespace ask::core
+
+#endif  // ASK_ASK_KEY_SPACE_H

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Counters collected across the ASK data plane and hosts. These drive
+ * the paper's Table 1 and several figures.
+ */
+#ifndef ASK_ASK_METRICS_H
+#define ASK_ASK_METRICS_H
+
+#include <cstdint>
+
+namespace ask::core {
+
+/** Switch-side aggregation counters. */
+struct SwitchAggStats
+{
+    std::uint64_t data_packets = 0;       ///< DATA packets entering the pipeline
+    std::uint64_t tuples_in = 0;          ///< valid tuples in arriving DATA
+    std::uint64_t tuples_aggregated = 0;  ///< tuples consumed by aggregators
+    std::uint64_t tuples_collided = 0;    ///< tuples that failed (collision)
+    std::uint64_t packets_acked = 0;      ///< fully aggregated -> switch ACK
+    std::uint64_t packets_forwarded = 0;  ///< partial/failed -> to receiver
+    std::uint64_t duplicates = 0;         ///< retransmissions deduplicated
+    std::uint64_t stale_dropped = 0;      ///< out-of-window packets dropped
+    std::uint64_t long_packets = 0;       ///< LONG_DATA forwarded
+    std::uint64_t swaps = 0;              ///< shadow-copy swaps applied
+    std::uint64_t unknown_task = 0;       ///< DATA for unknown task regions
+};
+
+/** Host-side per-cluster counters. */
+struct HostStats
+{
+    std::uint64_t data_packets_sent = 0;
+    std::uint64_t long_packets_sent = 0;
+    std::uint64_t retransmissions = 0;
+    std::uint64_t tuples_sent = 0;
+    std::uint64_t tuples_aggregated_locally = 0;  ///< at the receiver host
+    std::uint64_t packets_received = 0;           ///< at the receiver host
+    std::uint64_t duplicates_received = 0;
+    std::uint64_t fetch_tuples = 0;   ///< tuples fetched from switch regions
+    std::uint64_t swap_requests = 0;  ///< shadow-copy swaps initiated
+};
+
+}  // namespace ask::core
+
+#endif  // ASK_ASK_METRICS_H

@@ -1,0 +1,101 @@
+#include "ask/seen_window.h"
+
+#include "common/logging.h"
+
+namespace ask::core {
+
+namespace {
+
+/** True when `s` falls before the window (max_seq - W, max_seq]. */
+bool
+is_stale(Seq s, Seq max_seq, std::uint32_t window)
+{
+    return static_cast<std::uint64_t>(s) + window <=
+           static_cast<std::uint64_t>(max_seq);
+}
+
+}  // namespace
+
+PlainSeen::PlainSeen(std::uint32_t window)
+    : window_(window), bits_(2 * static_cast<std::size_t>(window), false)
+{
+    ASK_ASSERT(window > 0, "window must be positive");
+}
+
+SeenOutcome
+PlainSeen::observe(Seq s)
+{
+    if (!any_ || s > max_seq_) {
+        max_seq_ = s;
+        any_ = true;
+    }
+    if (is_stale(s, max_seq_, window_))
+        return SeenOutcome::kStale;
+
+    std::size_t idx = s % (2 * window_);
+    bool observed = bits_[idx];
+    bits_[idx] = true;                          // Eq. (6): record appearance
+    bits_[(idx + window_) % (2 * window_)] = false;  // Eq. (7): clear ahead
+    return observed ? SeenOutcome::kDuplicate : SeenOutcome::kFresh;
+}
+
+CompactSeen::CompactSeen(std::uint32_t window)
+    : window_(window), bits_(window, false)
+{
+    ASK_ASSERT(window > 0, "window must be positive");
+}
+
+SeenOutcome
+CompactSeen::observe(Seq s)
+{
+    if (!any_ || s > max_seq_) {
+        max_seq_ = s;
+        any_ = true;
+    }
+    if (is_stale(s, max_seq_, window_))
+        return SeenOutcome::kStale;
+
+    std::uint32_t q = s / window_;  // segment number
+    std::uint32_t r = s % window_;  // offset within the segment
+    bool observed;
+    if (q % 2 == 0) {
+        // Even segment: set_bit(b) — returns the previous value, sets the
+        // bit. A set bit doubles as the pre-cleared state ("1 == unseen")
+        // for the following odd segment (cases 1-2 of §3.3).
+        observed = bits_[r];
+        bits_[r] = true;
+    } else {
+        // Odd segment: clr_bitc(b) — returns the complement of the
+        // previous value, clears the bit; the cleared bit is the
+        // pre-initialized state for the next even segment (cases 3-4).
+        observed = !bits_[r];
+        bits_[r] = false;
+    }
+    return observed ? SeenOutcome::kDuplicate : SeenOutcome::kFresh;
+}
+
+HostReceiveWindow::HostReceiveWindow(std::uint32_t window)
+    : window_(window),
+      last_seq_plus1_(2 * static_cast<std::size_t>(window), 0)
+{
+    ASK_ASSERT(window > 0, "window must be positive");
+}
+
+SeenOutcome
+HostReceiveWindow::observe(Seq s)
+{
+    if (!any_ || s > max_seq_) {
+        max_seq_ = s;
+        any_ = true;
+    }
+    if (is_stale(s, max_seq_, window_))
+        return SeenOutcome::kStale;
+
+    std::uint64_t& slot = last_seq_plus1_[s % last_seq_plus1_.size()];
+    if (slot == static_cast<std::uint64_t>(s) + 1)
+        return SeenOutcome::kDuplicate;
+    slot = static_cast<std::uint64_t>(s) + 1;
+    return SeenOutcome::kFresh;
+}
+
+}  // namespace ask::core

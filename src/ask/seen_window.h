@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Receive-window data structures of the reliability mechanism (§3.3).
+ *
+ * Two behaviorally-equivalent switch-side designs are provided:
+ *
+ *  - PlainSeen: the reference design. A 2W-bit circular array `seen`;
+ *    each packet records its bit (Eq. 6) and clears the bit one window
+ *    ahead for a future packet (Eq. 7).
+ *  - CompactSeen: the memory-compact design. W bits; packet sequences
+ *    are split into alternating even/odd segments of size W, and a single
+ *    atomic set_bit / clr_bitc instruction per packet performs record,
+ *    lookup, and future-initialization at once (Eq. 8, cases 1-4).
+ *
+ * Both also track max_seq to reject stale packets from before the
+ * current window (the corner case of §3.3). A property test
+ * (tests/ask/seen_window_test.cc) verifies the two designs agree on
+ * every sequence-arrival pattern a correct sender can produce.
+ *
+ * HostReceiveWindow is the receiver-host dedup structure. It cannot use
+ * the parity trick: packets fully aggregated at the switch never reach
+ * the receiver, so the receiver observes a *subset* of sequence numbers
+ * and a toggling scheme would desynchronize. Host DRAM is plentiful, so
+ * it stores the last sequence seen per ring slot instead.
+ */
+#ifndef ASK_ASK_SEEN_WINDOW_H
+#define ASK_ASK_SEEN_WINDOW_H
+
+#include <cstdint>
+#include <vector>
+
+#include "ask/types.h"
+
+namespace ask::core {
+
+/** Outcome of observing one packet arrival. */
+enum class SeenOutcome : std::uint8_t
+{
+    kFresh,      ///< first appearance: process the packet
+    kDuplicate,  ///< retransmission: deduplicate
+    kStale,      ///< older than the window: drop entirely
+};
+
+/** The reference 2W-bit receive window. */
+class PlainSeen
+{
+  public:
+    explicit PlainSeen(std::uint32_t window);
+
+    /** Record the arrival of sequence `s` and classify it. */
+    SeenOutcome observe(Seq s);
+
+    std::uint32_t window() const { return window_; }
+    /** Bits of state this design needs (for the ablation bench). */
+    std::size_t state_bits() const { return bits_.size(); }
+
+  private:
+    std::uint32_t window_;
+    std::vector<bool> bits_;
+    Seq max_seq_ = 0;
+    bool any_ = false;
+};
+
+/** The memory-compact W-bit receive window. */
+class CompactSeen
+{
+  public:
+    explicit CompactSeen(std::uint32_t window);
+
+    /** Record the arrival of sequence `s` and classify it. */
+    SeenOutcome observe(Seq s);
+
+    std::uint32_t window() const { return window_; }
+    std::size_t state_bits() const { return bits_.size(); }
+
+  private:
+    std::uint32_t window_;
+    std::vector<bool> bits_;
+    Seq max_seq_ = 0;
+    bool any_ = false;
+};
+
+/**
+ * Receiver-host dedup window: a ring of the last sequence number seen at
+ * each slot, robust to sequence gaps (see file comment).
+ */
+class HostReceiveWindow
+{
+  public:
+    explicit HostReceiveWindow(std::uint32_t window);
+
+    /** Record the arrival of sequence `s` and classify it. */
+    SeenOutcome observe(Seq s);
+
+  private:
+    std::uint32_t window_;
+    std::vector<std::uint64_t> last_seq_plus1_;
+    Seq max_seq_ = 0;
+    bool any_ = false;
+};
+
+}  // namespace ask::core
+
+#endif  // ASK_ASK_SEEN_WINDOW_H

@@ -1,0 +1,529 @@
+#include "ask/switch_program.h"
+
+#include <bit>
+#include <utility>
+
+#include "common/hash.h"
+#include "common/logging.h"
+
+namespace ask::core {
+
+namespace {
+
+/** Pack kPart (key segment) and vPart (value) into one register word. */
+std::uint64_t
+pack_agg(std::uint32_t part_bits, std::uint32_t seg, Value value)
+{
+    return (static_cast<std::uint64_t>(seg) << part_bits) | value;
+}
+
+std::uint32_t
+kpart(std::uint32_t part_bits, std::uint64_t word)
+{
+    return static_cast<std::uint32_t>(word >> part_bits);
+}
+
+Value
+vpart(std::uint32_t part_bits, std::uint64_t word)
+{
+    return static_cast<Value>(word & ((1ULL << part_bits) - 1));
+}
+
+}  // namespace
+
+AskSwitchProgram::AskSwitchProgram(const AskConfig& config,
+                                   pisa::PisaSwitch& sw)
+    : config_(config), key_space_(config)
+{
+    config_.validate();
+    pisa::Pipeline& pipe = sw.pipeline();
+
+    std::size_t aa_stages = (config_.num_aas + 3) / 4;
+    std::size_t needed = 2 + aa_stages + 1;
+    if (pipe.num_stages() < needed) {
+        fatal("pipeline has ", pipe.num_stages(), " stages but the ASK ",
+              "program needs ", needed,
+              " (chain pipelines or reduce num_aas)");
+    }
+
+    std::uint32_t channels = config_.max_channels();
+    std::uint32_t w = config_.window;
+
+    // Stage 0: stale-packet boundary.
+    max_seq_ = pipe.stage(0)->add_register_array("max_seq", channels, 32);
+
+    // Stage 1: receive window + copy indicator.
+    if (config_.compact_seen) {
+        seen_ = pipe.stage(1)->add_register_array(
+            "seen", static_cast<std::size_t>(channels) * w, 1);
+    } else {
+        // Two arrays so Eq. (6)'s record and Eq. (7)'s clear-ahead touch
+        // different register arrays within the single pass.
+        seen_even_ = pipe.stage(1)->add_register_array(
+            "seen_even", static_cast<std::size_t>(channels) * w, 1);
+        seen_odd_ = pipe.stage(1)->add_register_array(
+            "seen_odd", static_cast<std::size_t>(channels) * w, 1);
+    }
+    swap_epoch_ =
+        pipe.stage(1)->add_register_array("swap_epoch", config_.max_tasks, 32);
+
+    // Stages 2..: the aggregator arrays, four per stage. Medium-key
+    // groups land on consecutive AAs, i.e. physically adjacent stages.
+    aas_.reserve(config_.num_aas);
+    for (std::uint32_t i = 0; i < config_.num_aas; ++i) {
+        pisa::Stage* st = pipe.stage(2 + i / 4);
+        aas_.push_back(st->add_register_array(
+            "aa_" + std::to_string(i), config_.aggregators_per_aa,
+            config_.part_bits * 2));
+    }
+
+    // Final stage: per-packet aggregation-state bitmaps.
+    pkt_state_ = pipe.stage(2 + aa_stages)
+                     ->add_register_array(
+                         "pkt_state", static_cast<std::size_t>(channels) * w,
+                         config_.num_aas);
+
+    sw.install(this);
+}
+
+void
+AskSwitchProgram::install_task(TaskId task, const TaskRegion& region)
+{
+    ASK_ASSERT(region.len > 0, "empty task region");
+    ASK_ASSERT(region.base + region.len <= config_.copy_size(),
+               "task region exceeds a shadow copy");
+    ASK_ASSERT(region.epoch_slot < config_.max_tasks, "bad epoch slot");
+    auto [it, inserted] = tasks_.emplace(task, region);
+    (void)it;
+    ASK_ASSERT(inserted, "task ", task, " already installed");
+}
+
+void
+AskSwitchProgram::remove_task(TaskId task)
+{
+    tasks_.erase(task);
+}
+
+const TaskRegion*
+AskSwitchProgram::find_task(TaskId task) const
+{
+    auto it = tasks_.find(task);
+    return it == tasks_.end() ? nullptr : &it->second;
+}
+
+std::uint32_t
+AskSwitchProgram::current_epoch(TaskId task) const
+{
+    const TaskRegion* r = find_task(task);
+    ASK_ASSERT(r != nullptr, "epoch of unknown task ", task);
+    return static_cast<std::uint32_t>(swap_epoch_->cp_read(r->epoch_slot));
+}
+
+void
+AskSwitchProgram::set_local_channels(ChannelId lo, ChannelId hi)
+{
+    ASK_ASSERT(lo < hi, "empty local channel range");
+    local_lo_ = lo;
+    local_hi_ = hi;
+}
+
+void
+AskSwitchProgram::reset_epoch(TaskId task)
+{
+    const TaskRegion* r = find_task(task);
+    ASK_ASSERT(r != nullptr, "reset_epoch of unknown task ", task);
+    swap_epoch_->cp_write(r->epoch_slot, 0);
+}
+
+std::uint64_t
+AskSwitchProgram::region_scan_entries(TaskId task) const
+{
+    const TaskRegion* r = find_task(task);
+    ASK_ASSERT(r != nullptr, "scan of unknown task ", task);
+    return static_cast<std::uint64_t>(r->len) * config_.num_aas;
+}
+
+KvStream
+AskSwitchProgram::read_region(TaskId task, std::uint32_t copy, bool clear)
+{
+    const TaskRegion* r = find_task(task);
+    ASK_ASSERT(r != nullptr, "read_region of unknown task ", task);
+    ASK_ASSERT(copy == 0 || (config_.shadow_copies && copy == 1),
+               "invalid shadow copy index");
+
+    std::uint32_t off = copy * config_.copy_size();
+    KvStream out;
+
+    // Short-key AAs: one aggregator holds one whole tuple.
+    for (std::uint32_t i = 0; i < config_.short_aas(); ++i) {
+        for (std::uint32_t idx = r->base; idx < r->base + r->len; ++idx) {
+            std::uint64_t word = aas_[i]->cp_read(off + idx);
+            std::uint32_t k = kpart(config_.part_bits, word);
+            if (k != 0) {
+                out.push_back(KvTuple{
+                    KeySpace::unpad(key_space_.decode_segment(k)),
+                    vpart(config_.part_bits, word)});
+            }
+            if (clear)
+                aas_[i]->cp_write(off + idx, 0);
+        }
+    }
+
+    // Medium-key groups: m adjacent AAs share one key at a unified index.
+    for (std::uint32_t g = 0; g < config_.medium_groups; ++g) {
+        std::uint32_t mb = config_.medium_base(g);
+        for (std::uint32_t idx = r->base; idx < r->base + r->len; ++idx) {
+            std::uint64_t first = aas_[mb]->cp_read(off + idx);
+            if (kpart(config_.part_bits, first) != 0) {
+                std::string padded;
+                Value value = 0;
+                for (std::uint32_t j = 0; j < config_.medium_segments; ++j) {
+                    std::uint64_t word = aas_[mb + j]->cp_read(off + idx);
+                    padded += key_space_.decode_segment(
+                        kpart(config_.part_bits, word));
+                    if (j + 1 == config_.medium_segments)
+                        value = vpart(config_.part_bits, word);
+                }
+                out.push_back(KvTuple{KeySpace::unpad(padded), value});
+            }
+            if (clear) {
+                for (std::uint32_t j = 0; j < config_.medium_segments; ++j)
+                    aas_[mb + j]->cp_write(off + idx, 0);
+            }
+        }
+    }
+    return out;
+}
+
+AskSwitchProgram::WindowVerdict
+AskSwitchProgram::check_window(ChannelId channel, Seq seq)
+{
+    ASK_ASSERT(channel < config_.max_channels(), "channel id out of range");
+    std::uint32_t w = config_.window;
+    WindowVerdict verdict;
+
+    // Stage 0: max_seq = max(max_seq, seq); stale if seq <= max_seq - W.
+    std::uint64_t max_after = max_seq_->rmw(channel, [&](std::uint64_t& v) {
+        if (seq > v)
+            v = seq;
+    });
+    if (static_cast<std::uint64_t>(seq) + w <= max_after) {
+        verdict.stale = true;
+        return verdict;
+    }
+
+    // Stage 1: the receive window.
+    std::uint32_t r = seq % w;
+    std::size_t idx = static_cast<std::size_t>(channel) * w + r;
+    if (config_.compact_seen) {
+        std::uint32_t q = seq / w;
+        if (q % 2 == 0) {
+            // set_bit: return previous value, leave the bit set.
+            seen_->rmw(idx, [&](std::uint64_t& b) {
+                verdict.observed = b != 0;
+                b = 1;
+            });
+        } else {
+            // clr_bitc: return complement of previous value, clear it.
+            seen_->rmw(idx, [&](std::uint64_t& b) {
+                verdict.observed = b == 0;
+                b = 0;
+            });
+        }
+    } else {
+        // Reference design: 2W bits as two arrays; record in one segment
+        // array, clear the slot one window ahead in the other.
+        bool even = (seq / w) % 2 == 0;
+        pisa::RegisterArray* rec = even ? seen_even_ : seen_odd_;
+        pisa::RegisterArray* clr = even ? seen_odd_ : seen_even_;
+        rec->rmw(idx, [&](std::uint64_t& b) {
+            verdict.observed = b != 0;
+            b = 1;
+        });
+        clr->rmw(idx, [&](std::uint64_t& b) { b = 0; });
+    }
+    return verdict;
+}
+
+std::uint32_t
+AskSwitchProgram::read_indicator(const TaskRegion& region)
+{
+    if (!config_.shadow_copies)
+        return 0;
+    std::uint64_t epoch = swap_epoch_->rmw(region.epoch_slot,
+                                           [](std::uint64_t&) {});
+    return static_cast<std::uint32_t>(epoch & 1);
+}
+
+std::uint64_t
+AskSwitchProgram::aa_index(const TaskRegion& region, std::uint32_t indicator,
+                           std::string_view padded_key) const
+{
+    return static_cast<std::uint64_t>(indicator) * config_.copy_size() +
+           region.base + key_space_.aggregator_index(padded_key, region.len);
+}
+
+bool
+AskSwitchProgram::aggregate_short(const TaskRegion& region,
+                                  std::uint32_t indicator,
+                                  std::uint32_t slot_index,
+                                  const WireSlot& slot)
+{
+    std::string padded = key_space_.decode_segment(slot.seg);
+    std::uint64_t idx = aa_index(region, indicator, padded);
+    bool success = false;
+    aas_[slot_index]->rmw(idx, [&](std::uint64_t& word) {
+        std::uint32_t k = kpart(config_.part_bits, word);
+        if (k == 0) {
+            word = pack_agg(config_.part_bits, slot.seg, slot.value);
+            success = true;
+        } else if (k == slot.seg) {
+            Value acc = vpart(config_.part_bits, word);
+            word = pack_agg(config_.part_bits, slot.seg,
+                            apply_op(config_.op, acc, slot.value));
+            success = true;
+        }
+    });
+    return success;
+}
+
+bool
+AskSwitchProgram::aggregate_medium(const TaskRegion& region,
+                                   std::uint32_t indicator,
+                                   std::uint32_t group,
+                                   const std::vector<WireSlot>& slots)
+{
+    std::uint32_t m = config_.medium_segments;
+    ASK_ASSERT(slots.size() == m, "medium group slot count mismatch");
+
+    // The unified index: hash of the whole padded key (paper §3.2.3).
+    std::string padded;
+    for (const auto& s : slots)
+        padded += key_space_.decode_segment(s.seg);
+    std::uint64_t idx = aa_index(region, indicator, padded);
+
+    std::uint32_t mb = config_.medium_base(group);
+    bool installing = false;
+    for (std::uint32_t j = 0; j < m; ++j) {
+        bool ok = false;
+        Value write_val = (j + 1 == m) ? slots[j].value : 0;
+        aas_[mb + j]->rmw(idx, [&](std::uint64_t& word) {
+            std::uint32_t k = kpart(config_.part_bits, word);
+            if (k == 0) {
+                // Blank. The group invariant (all segments at one index
+                // are installed atomically, in order) means the remaining
+                // segments are blank too.
+                ASK_ASSERT(j == 0 || installing,
+                           "medium group invariant violated: blank segment ",
+                           j, " after a matching segment");
+                installing = true;
+                word = pack_agg(config_.part_bits, slots[j].seg, write_val);
+                ok = true;
+            } else if (k == slots[j].seg && !installing) {
+                if (j + 1 == m) {
+                    Value acc = vpart(config_.part_bits, word);
+                    word = pack_agg(config_.part_bits, slots[j].seg,
+                                    apply_op(config_.op, acc, slots[j].value));
+                }
+                ok = true;
+            } else if (installing) {
+                panic("medium group invariant violated: occupied segment ",
+                      j, " while installing");
+            }
+        });
+        if (!ok)
+            return false;  // collision; no earlier segment was modified
+    }
+    return true;
+}
+
+void
+AskSwitchProgram::process_data(net::Packet&& pkt, const AskHeader& hdr,
+                               pisa::Emitter& emit)
+{
+    ++stats_.data_packets;
+    WindowVerdict verdict = check_window(hdr.channel_id, hdr.seq);
+    if (verdict.stale) {
+        ++stats_.stale_dropped;
+        return;
+    }
+
+    const TaskRegion* region = find_task(hdr.task_id);
+    std::uint64_t new_bitmap = hdr.bitmap;
+
+    if (!verdict.observed) {
+        // Count logical tuples: one per short slot bit plus one per
+        // medium group (a medium tuple occupies m bitmap bits).
+        std::uint64_t short_mask =
+            config_.short_aas() >= 64 ? ~0ULL
+                                      : ((1ULL << config_.short_aas()) - 1);
+        stats_.tuples_in += std::popcount(hdr.bitmap & short_mask);
+        for (std::uint32_t g = 0; g < config_.medium_groups; ++g) {
+            if (hdr.bitmap & (1ULL << config_.medium_base(g)))
+                ++stats_.tuples_in;
+        }
+        if (region != nullptr) {
+            std::uint32_t indicator = read_indicator(*region);
+
+            // Short-key slots.
+            for (std::uint32_t i = 0; i < config_.short_aas(); ++i) {
+                if (!(hdr.bitmap & (1ULL << i)))
+                    continue;
+                WireSlot slot = read_slot(pkt.data, i);
+                if (aggregate_short(*region, indicator, i, slot)) {
+                    new_bitmap &= ~(1ULL << i);
+                    ++stats_.tuples_aggregated;
+                } else {
+                    ++stats_.tuples_collided;
+                }
+            }
+
+            // Medium-key groups (all-or-nothing per group).
+            for (std::uint32_t g = 0; g < config_.medium_groups; ++g) {
+                std::uint32_t mb = config_.medium_base(g);
+                std::uint64_t group_mask = 0;
+                for (std::uint32_t j = 0; j < config_.medium_segments; ++j)
+                    group_mask |= 1ULL << (mb + j);
+                std::uint64_t present = hdr.bitmap & group_mask;
+                if (present == 0)
+                    continue;
+                ASK_ASSERT(present == group_mask,
+                           "medium group bitmap must be all-or-nothing");
+                std::vector<WireSlot> slots;
+                slots.reserve(config_.medium_segments);
+                for (std::uint32_t j = 0; j < config_.medium_segments; ++j)
+                    slots.push_back(read_slot(pkt.data, mb + j));
+                if (aggregate_medium(*region, indicator, g, slots)) {
+                    new_bitmap &= ~group_mask;
+                    ++stats_.tuples_aggregated;
+                } else {
+                    ++stats_.tuples_collided;
+                }
+            }
+        } else {
+            ++stats_.unknown_task;
+        }
+    } else {
+        ++stats_.duplicates;
+    }
+
+    // Final stage: pkt_state — record the aggregation outcome on first
+    // appearance (Eq. 9); restore it on retransmissions (Eq. 10).
+    std::size_t ps_idx = static_cast<std::size_t>(hdr.channel_id) *
+                             config_.window +
+                         hdr.seq % config_.window;
+    pkt_state_->rmw(ps_idx, [&](std::uint64_t& state) {
+        if (!verdict.observed)
+            state = new_bitmap;
+        else
+            new_bitmap = state;
+    });
+
+    if (new_bitmap == 0) {
+        // Fully aggregated: consume the packet and ACK the sender with
+        // the same sequence number (the switch impersonates the
+        // receiver endpoint).
+        ++stats_.packets_acked;
+        AskHeader ack;
+        ack.type = PacketType::kAck;
+        ack.channel_id = hdr.channel_id;
+        ack.task_id = hdr.task_id;
+        ack.seq = hdr.seq;
+        emit.emit(pkt.src, make_control_packet(pkt.dst, pkt.src, ack));
+    } else {
+        ++stats_.packets_forwarded;
+        rewrite_bitmap(pkt.data, new_bitmap);
+        net::NodeId dst = pkt.dst;
+        emit.emit(dst, std::move(pkt));
+    }
+}
+
+void
+AskSwitchProgram::process_swap(const net::Packet& pkt, const AskHeader& hdr,
+                               pisa::Emitter& emit)
+{
+    const TaskRegion* region = find_task(hdr.task_id);
+    if (region == nullptr) {
+        ++stats_.unknown_task;
+        return;
+    }
+    std::uint32_t requested = hdr.seq;  // SWAP reuses seq as the epoch
+    bool applied = false;
+    swap_epoch_->rmw(region->epoch_slot, [&](std::uint64_t& epoch) {
+        if (requested > epoch) {
+            epoch = requested;
+            applied = true;
+        }
+    });
+    if (applied)
+        ++stats_.swaps;
+
+    AskHeader ack;
+    ack.type = PacketType::kSwapAck;
+    ack.task_id = hdr.task_id;
+    ack.channel_id = hdr.channel_id;
+    ack.seq = requested;
+    emit.emit(pkt.src, make_control_packet(pkt.dst, pkt.src, ack));
+}
+
+void
+AskSwitchProgram::process(net::Packet pkt, pisa::Emitter& emit)
+{
+    auto hdr = parse_header(pkt.data);
+    if (!hdr) {
+        // Not ASK traffic: plain L3 forwarding.
+        net::NodeId dst = pkt.dst;
+        emit.emit(dst, std::move(pkt));
+        return;
+    }
+
+    // Multi-rack bypass (§7): data-plane state only covers this rack's
+    // own channels; cross-rack traffic is plain-forwarded toward the
+    // receiver host (aggregation happens there, or on its own ToR).
+    bool local = local_hi_ == 0 || (hdr->channel_id >= local_lo_ &&
+                                    hdr->channel_id < local_hi_);
+    if (!local && (hdr->type == PacketType::kData ||
+                   hdr->type == PacketType::kLongData)) {
+        net::NodeId dst = pkt.dst;
+        emit.emit(dst, std::move(pkt));
+        return;
+    }
+
+    switch (hdr->type) {
+      case PacketType::kData:
+        process_data(std::move(pkt), *hdr, emit);
+        return;
+      case PacketType::kLongData: {
+        // Long keys bypass aggregation but still occupy channel sequence
+        // numbers, so they must be recorded in the receive window to keep
+        // the compact-seen segment parity consistent.
+        ++stats_.long_packets;
+        WindowVerdict verdict = check_window(hdr->channel_id, hdr->seq);
+        if (verdict.stale) {
+            ++stats_.stale_dropped;
+            return;
+        }
+        if (verdict.observed)
+            ++stats_.duplicates;
+        net::NodeId dst = pkt.dst;
+        emit.emit(dst, std::move(pkt));
+        return;
+      }
+      case PacketType::kSwap:
+        process_swap(pkt, *hdr, emit);
+        return;
+      case PacketType::kAck:
+      case PacketType::kFin:
+      case PacketType::kFinAck:
+      case PacketType::kSwapAck: {
+        // Control traffic between hosts: forward.
+        net::NodeId dst = pkt.dst;
+        emit.emit(dst, std::move(pkt));
+        return;
+      }
+    }
+    panic("unknown ASK packet type ",
+          static_cast<int>(static_cast<std::uint8_t>(hdr->type)));
+}
+
+}  // namespace ask::core

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * The ASK data-plane program (paper §3.2-§3.4), written against the PISA
+ * substrate so every hardware restriction is enforced at runtime.
+ *
+ * Register-array placement (default 32-AA configuration):
+ *
+ *   stage 0 : max_seq     (per channel, 32b)       - stale-packet boundary
+ *   stage 1 : seen        (per channel, W or 2x W bits) + swap_epoch
+ *             (per task slot, 32b; copy indicator = epoch parity)
+ *   stage 2+: aa_0..aa_{N-1}, four per stage, 2n-bit registers holding
+ *             kPart|vPart, both shadow copies in one array
+ *   last    : pkt_state   (per channel x window, N-bit bitmaps)
+ *
+ * Dependencies flow strictly forward: max_seq gates seen, seen gates the
+ * aggregator accesses, and the final bitmap feeds pkt_state — so the
+ * program is expressible on a real Tofino pipeline.
+ *
+ * In the non-compact variant, `seen` is two one-bit arrays (even/odd
+ * sequence segments); Eq. (6)'s record and Eq. (7)'s clear-ahead then
+ * touch different arrays, keeping the single-access-per-array rule.
+ */
+#ifndef ASK_ASK_SWITCH_PROGRAM_H
+#define ASK_ASK_SWITCH_PROGRAM_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ask/config.h"
+#include "ask/key_space.h"
+#include "ask/metrics.h"
+#include "ask/types.h"
+#include "ask/wire.h"
+#include "pisa/pisa_switch.h"
+
+namespace ask::core {
+
+/** The switch-memory slice serving one aggregation task. */
+struct TaskRegion
+{
+    /** First aggregator index (within each shadow copy) of the slice. */
+    std::uint32_t base = 0;
+    /** Aggregators per AA per copy available to the task. */
+    std::uint32_t len = 0;
+    /** Index into the swap_epoch register array. */
+    std::uint32_t epoch_slot = 0;
+};
+
+/** The ASK switch program. */
+class AskSwitchProgram : public pisa::SwitchProgram
+{
+  public:
+    /**
+     * Declares all register arrays on `sw`'s pipeline and installs
+     * itself. fatal()s if the configuration does not fit the pipeline
+     * (stage count, arrays per stage, or SRAM).
+     */
+    AskSwitchProgram(const AskConfig& config, pisa::PisaSwitch& sw);
+
+    // ---- control plane (used by AskSwitchController) --------------------
+
+    /** Bind a task to a region. */
+    void install_task(TaskId task, const TaskRegion& region);
+
+    /** Unbind a task (the region itself is managed by the controller). */
+    void remove_task(TaskId task);
+
+    /** Region of a task; nullptr when unknown. */
+    const TaskRegion* find_task(TaskId task) const;
+
+    /** Current swap epoch of a task (copy indicator = parity). */
+    std::uint32_t current_epoch(TaskId task) const;
+
+    /** Reset a task's swap epoch to 0 (on region release). */
+    void reset_epoch(TaskId task);
+
+    /**
+     * Multi-rack deployments (paper §7): restrict the aggregation (and
+     * all reliability state) to this ToR's local data channels
+     * [lo, hi). Traffic from other racks is forwarded untouched, so
+     * per-switch state stays bounded by the rack's own hosts. Default:
+     * every channel is local (single-rack deployment).
+     */
+    void set_local_channels(ChannelId lo, ChannelId hi);
+
+    /**
+     * Slow-path read of one shadow copy of a task's region, decoding
+     * aggregators back into key-value tuples; optionally clears the copy.
+     * @param copy 0 or 1; with shadow copies disabled, pass 0.
+     */
+    KvStream read_region(TaskId task, std::uint32_t copy, bool clear);
+
+    /** Aggregators the read_region scan touches (for cost accounting). */
+    std::uint64_t region_scan_entries(TaskId task) const;
+
+    // ---- data plane ------------------------------------------------------
+
+    void process(net::Packet pkt, pisa::Emitter& emit) override;
+    std::string name() const override { return "ask-aggregation"; }
+
+    const SwitchAggStats& stats() const { return stats_; }
+    const KeySpace& key_space() const { return key_space_; }
+    const AskConfig& config() const { return config_; }
+
+  private:
+    /** Outcome of the reliability stage for one DATA/LONG_DATA packet. */
+    struct WindowVerdict
+    {
+        bool stale = false;
+        bool observed = false;
+    };
+
+    WindowVerdict check_window(ChannelId channel, Seq seq);
+    std::uint32_t read_indicator(const TaskRegion& region);
+    void process_data(net::Packet&& pkt, const AskHeader& hdr,
+                      pisa::Emitter& emit);
+    void process_swap(const net::Packet& pkt, const AskHeader& hdr,
+                      pisa::Emitter& emit);
+
+    /** Aggregate the short-key tuple in slot `i`; true on success. */
+    bool aggregate_short(const TaskRegion& region, std::uint32_t indicator,
+                         std::uint32_t slot_index, const WireSlot& slot);
+
+    /** Aggregate the medium-key group `g`; true on success. */
+    bool aggregate_medium(const TaskRegion& region, std::uint32_t indicator,
+                          std::uint32_t group,
+                          const std::vector<WireSlot>& slots);
+
+    std::uint64_t aa_index(const TaskRegion& region, std::uint32_t indicator,
+                           std::string_view padded_key) const;
+
+    AskConfig config_;
+    KeySpace key_space_;
+
+    // Register arrays (owned by the pipeline's stages).
+    pisa::RegisterArray* max_seq_ = nullptr;
+    pisa::RegisterArray* seen_ = nullptr;       ///< compact variant
+    pisa::RegisterArray* seen_even_ = nullptr;  ///< plain variant
+    pisa::RegisterArray* seen_odd_ = nullptr;   ///< plain variant
+    pisa::RegisterArray* swap_epoch_ = nullptr;
+    std::vector<pisa::RegisterArray*> aas_;
+    pisa::RegisterArray* pkt_state_ = nullptr;
+
+    std::unordered_map<TaskId, TaskRegion> tasks_;
+    SwitchAggStats stats_;
+    ChannelId local_lo_ = 0;
+    ChannelId local_hi_ = 0;  ///< 0,0 = all channels local
+};
+
+}  // namespace ask::core
+
+#endif  // ASK_ASK_SWITCH_PROGRAM_H

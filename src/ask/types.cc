@@ -1,0 +1,48 @@
+#include "ask/types.h"
+
+namespace ask::core {
+
+namespace {
+
+std::uint64_t
+apply_op64(AggOp op, std::uint64_t acc, std::uint64_t v)
+{
+    switch (op) {
+      case AggOp::kAdd:
+        return acc + v;
+      case AggOp::kMax:
+        return acc > v ? acc : v;
+      case AggOp::kMin:
+        return acc < v ? acc : v;
+    }
+    return acc;
+}
+
+}  // namespace
+
+void
+accumulate(AggregateMap& acc, const Key& key, std::uint64_t value, AggOp op)
+{
+    auto [it, inserted] = acc.try_emplace(key, value);
+    if (!inserted)
+        it->second = apply_op64(op, it->second, value);
+}
+
+void
+aggregate_into(AggregateMap& acc, const KvStream& stream, AggOp op)
+{
+    for (const auto& kv : stream)
+        accumulate(acc, kv.key, kv.value, op);
+}
+
+void
+merge_into(AggregateMap& acc, const AggregateMap& from, AggOp op)
+{
+    for (const auto& [k, v] : from) {
+        auto [it, inserted] = acc.try_emplace(k, v);
+        if (!inserted)
+            it->second = apply_op64(op, it->second, v);
+    }
+}
+
+}  // namespace ask::core

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Fundamental types of the ASK service.
+ */
+#ifndef ASK_ASK_TYPES_H
+#define ASK_ASK_TYPES_H
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace ask::core {
+
+/**
+ * An application key: a non-empty byte string containing no NUL bytes.
+ *
+ * The NUL restriction comes from the data plane: aggregator kParts use an
+ * all-zero segment to mean "blank", and key padding uses NUL bytes
+ * (paper §3.2.3 pads keys to the aggregator width). Numeric keys should
+ * be encoded with ask::u64_key().
+ */
+using Key = std::string;
+
+/** A 32-bit value, matching the switch register vPart width. Sums wrap
+ *  modulo 2^32 exactly as they would on the Tofino ALU. */
+using Value = std::uint32_t;
+
+/** One key-value tuple of a stream. */
+struct KvTuple
+{
+    Key key;
+    Value value = 0;
+
+    bool
+    operator==(const KvTuple& o) const
+    {
+        return key == o.key && value == o.value;
+    }
+};
+
+/** A key-value stream: the unit applications hand to ASK (paper Eq. 1). */
+using KvStream = std::vector<KvTuple>;
+
+/** Aggregation result: key -> accumulated value (host accumulates in 64
+ *  bits; the on-switch portion wraps at 32 bits per register semantics). */
+using AggregateMap = std::unordered_map<Key, std::uint64_t>;
+
+/** Identifies an aggregation task cluster-wide. */
+using TaskId = std::uint32_t;
+
+/** Cluster-wide data-channel id: host * channels_per_host + local index. */
+using ChannelId = std::uint16_t;
+
+/** Per-channel packet sequence number. */
+using Seq = std::uint32_t;
+
+/** Aggregation operator supported by the switch ALU. */
+enum class AggOp : std::uint8_t
+{
+    kAdd = 0,
+    kMax = 1,
+    kMin = 2,
+};
+
+/** Apply an AggOp to two 32-bit operands (the switch ALU semantics). */
+inline Value
+apply_op(AggOp op, Value acc, Value v)
+{
+    switch (op) {
+      case AggOp::kAdd:
+        return static_cast<Value>(acc + v);  // wraps mod 2^32
+      case AggOp::kMax:
+        return acc > v ? acc : v;
+      case AggOp::kMin:
+        return acc < v ? acc : v;
+    }
+    return acc;
+}
+
+/** Accumulate one observation into a 64-bit host-side aggregate map. */
+void accumulate(AggregateMap& acc, const Key& key, std::uint64_t value,
+                AggOp op);
+
+/** Reference aggregation of whole streams on the host (ground truth for
+ *  tests; also the receiver-side merge primitive). */
+void aggregate_into(AggregateMap& acc, const KvStream& stream, AggOp op);
+
+/** Merge `from` into `acc` with the given operator. */
+void merge_into(AggregateMap& acc, const AggregateMap& from, AggOp op);
+
+}  // namespace ask::core
+
+#endif  // ASK_ASK_TYPES_H

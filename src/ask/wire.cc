@@ -1,0 +1,175 @@
+#include "ask/wire.h"
+
+#include "common/logging.h"
+
+namespace ask::core {
+
+namespace {
+
+constexpr std::uint32_t kHeaderOffset = net::kIpHeaderBytes;
+constexpr std::uint32_t kPayloadOffset = kHeaderOffset + kAskHeaderBytes;
+
+void
+put_u16(std::vector<std::uint8_t>& b, std::size_t off, std::uint16_t v)
+{
+    b[off] = static_cast<std::uint8_t>(v);
+    b[off + 1] = static_cast<std::uint8_t>(v >> 8);
+}
+
+void
+put_u32(std::vector<std::uint8_t>& b, std::size_t off, std::uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        b[off + static_cast<std::size_t>(i)] =
+            static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+void
+put_u64(std::vector<std::uint8_t>& b, std::size_t off, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        b[off + static_cast<std::size_t>(i)] =
+            static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+std::uint16_t
+get_u16(const std::vector<std::uint8_t>& b, std::size_t off)
+{
+    return static_cast<std::uint16_t>(b[off] | (b[off + 1] << 8));
+}
+
+std::uint32_t
+get_u32(const std::vector<std::uint8_t>& b, std::size_t off)
+{
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+        v |= static_cast<std::uint32_t>(b[off + static_cast<std::size_t>(i)])
+             << (8 * i);
+    return v;
+}
+
+std::uint64_t
+get_u64(const std::vector<std::uint8_t>& b, std::size_t off)
+{
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= static_cast<std::uint64_t>(b[off + static_cast<std::size_t>(i)])
+             << (8 * i);
+    return v;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t>
+make_frame(const AskHeader& hdr, std::uint32_t payload_bytes)
+{
+    std::vector<std::uint8_t> data(kPayloadOffset + payload_bytes, 0);
+    data[kHeaderOffset + 0] = static_cast<std::uint8_t>(hdr.type);
+    data[kHeaderOffset + 1] = hdr.num_slots;
+    put_u16(data, kHeaderOffset + 2, hdr.channel_id);
+    put_u32(data, kHeaderOffset + 4, hdr.task_id);
+    put_u32(data, kHeaderOffset + 8, hdr.seq);
+    put_u64(data, kHeaderOffset + 12, hdr.bitmap);
+    return data;
+}
+
+std::optional<AskHeader>
+parse_header(const std::vector<std::uint8_t>& data)
+{
+    if (data.size() < kPayloadOffset)
+        return std::nullopt;
+    AskHeader hdr;
+    hdr.type = static_cast<PacketType>(data[kHeaderOffset + 0]);
+    hdr.num_slots = data[kHeaderOffset + 1];
+    hdr.channel_id = get_u16(data, kHeaderOffset + 2);
+    hdr.task_id = get_u32(data, kHeaderOffset + 4);
+    hdr.seq = get_u32(data, kHeaderOffset + 8);
+    hdr.bitmap = get_u64(data, kHeaderOffset + 12);
+    return hdr;
+}
+
+void
+rewrite_bitmap(std::vector<std::uint8_t>& data, std::uint64_t bitmap)
+{
+    ASK_ASSERT(data.size() >= kPayloadOffset, "frame too short");
+    put_u64(data, kHeaderOffset + 12, bitmap);
+}
+
+void
+write_slot(std::vector<std::uint8_t>& data, std::uint32_t i,
+           const WireSlot& slot)
+{
+    std::size_t off = kPayloadOffset + static_cast<std::size_t>(i) * 8;
+    ASK_ASSERT(off + 8 <= data.size(), "slot ", i, " beyond payload");
+    put_u32(data, off, slot.seg);
+    put_u32(data, off + 4, slot.value);
+}
+
+WireSlot
+read_slot(const std::vector<std::uint8_t>& data, std::uint32_t i)
+{
+    std::size_t off = kPayloadOffset + static_cast<std::size_t>(i) * 8;
+    ASK_ASSERT(off + 8 <= data.size(), "slot ", i, " beyond payload");
+    return WireSlot{get_u32(data, off), get_u32(data, off + 4)};
+}
+
+std::vector<std::uint8_t>
+make_long_frame(const AskHeader& hdr, const std::vector<KvTuple>& tuples)
+{
+    std::size_t payload = 2;
+    for (const auto& t : tuples)
+        payload += 2 + t.key.size() + 4;
+
+    AskHeader h = hdr;
+    h.type = PacketType::kLongData;
+    auto data = make_frame(h, static_cast<std::uint32_t>(payload));
+
+    std::size_t off = kPayloadOffset;
+    put_u16(data, off, static_cast<std::uint16_t>(tuples.size()));
+    off += 2;
+    for (const auto& t : tuples) {
+        put_u16(data, off, static_cast<std::uint16_t>(t.key.size()));
+        off += 2;
+        for (char c : t.key)
+            data[off++] = static_cast<std::uint8_t>(c);
+        put_u32(data, off, t.value);
+        off += 4;
+    }
+    return data;
+}
+
+std::vector<KvTuple>
+parse_long_tuples(const std::vector<std::uint8_t>& data)
+{
+    ASK_ASSERT(data.size() >= kPayloadOffset + 2, "LONG_DATA frame too short");
+    std::size_t off = kPayloadOffset;
+    std::uint16_t count = get_u16(data, off);
+    off += 2;
+    std::vector<KvTuple> tuples;
+    tuples.reserve(count);
+    for (std::uint16_t i = 0; i < count; ++i) {
+        ASK_ASSERT(off + 2 <= data.size(), "truncated LONG_DATA tuple");
+        std::uint16_t len = get_u16(data, off);
+        off += 2;
+        ASK_ASSERT(off + len + 4 <= data.size(), "truncated LONG_DATA key");
+        KvTuple t;
+        t.key.assign(reinterpret_cast<const char*>(&data[off]), len);
+        off += len;
+        t.value = get_u32(data, off);
+        off += 4;
+        tuples.push_back(std::move(t));
+    }
+    return tuples;
+}
+
+net::Packet
+make_control_packet(net::NodeId src, net::NodeId dst, const AskHeader& hdr)
+{
+    net::Packet pkt;
+    pkt.src = src;
+    pkt.dst = dst;
+    pkt.data = make_frame(hdr, 0);
+    return pkt;
+}
+
+}  // namespace ask::core

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * The ASK wire protocol: header and payload codecs.
+ *
+ * Packet layout inside net::Packet::data:
+ *
+ *   [20-byte IP header (modeled)] [20-byte ASK header] [payload]
+ *
+ * ASK header fields (little-endian):
+ *   u8  type        packet type (PacketType)
+ *   u8  num_slots   DATA: number of payload slots (== num_aas)
+ *   u16 channel_id  cluster-wide data-channel id
+ *   u32 task_id     aggregation task
+ *   u32 seq         channel sequence number (SWAP: the swap epoch)
+ *   u64 bitmap      DATA: slot-occupancy bitmap (bit i == slot i valid)
+ *
+ * A DATA payload is a fixed array of 8-byte slots (4-byte key segment +
+ * 4-byte value), one per aggregator array; blank slots are transmitted
+ * (the hardware parses a fixed layout), which is why packing efficiency
+ * (Fig. 8b) matters. LONG_DATA payloads carry explicit length-prefixed
+ * tuples and bypass switch aggregation.
+ */
+#ifndef ASK_ASK_WIRE_H
+#define ASK_ASK_WIRE_H
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "ask/types.h"
+#include "net/packet.h"
+
+namespace ask::core {
+
+/** Serialized size of the ASK header (paper's 20-byte INA header). */
+constexpr std::uint32_t kAskHeaderBytes = 20;
+
+/** ASK packet types. */
+enum class PacketType : std::uint8_t
+{
+    kData = 1,      ///< vectorized key-value tuples (switch aggregates)
+    kLongData = 2,  ///< long-key tuples (switch forwards, marks seen)
+    kAck = 3,       ///< per-seq acknowledgment (from switch or receiver)
+    kFin = 4,       ///< sender-channel end-of-task marker
+    kFinAck = 5,    ///< receiver's acknowledgment of a FIN
+    kSwap = 6,      ///< shadow-copy swap request (seq = epoch)
+    kSwapAck = 7,   ///< switch's acknowledgment of a swap (seq = epoch)
+};
+
+/** Parsed ASK header. */
+struct AskHeader
+{
+    PacketType type = PacketType::kData;
+    std::uint8_t num_slots = 0;
+    ChannelId channel_id = 0;
+    TaskId task_id = 0;
+    Seq seq = 0;
+    std::uint64_t bitmap = 0;
+};
+
+/** One DATA payload slot: a key segment and a value. */
+struct WireSlot
+{
+    std::uint32_t seg = 0;
+    Value value = 0;
+};
+
+/** Serialize a header (plus the modeled IP header) into a fresh buffer
+ *  with room for `payload_bytes` of payload. */
+std::vector<std::uint8_t> make_frame(const AskHeader& hdr,
+                                     std::uint32_t payload_bytes);
+
+/** Parse the ASK header; std::nullopt if the buffer is too short. */
+std::optional<AskHeader> parse_header(const std::vector<std::uint8_t>& data);
+
+/** Rewrite the bitmap field of an already-serialized frame in place. */
+void rewrite_bitmap(std::vector<std::uint8_t>& data, std::uint64_t bitmap);
+
+/** Write slot `i` of a DATA frame. */
+void write_slot(std::vector<std::uint8_t>& data, std::uint32_t i,
+                const WireSlot& slot);
+
+/** Read slot `i` of a DATA frame. */
+WireSlot read_slot(const std::vector<std::uint8_t>& data, std::uint32_t i);
+
+/** Serialize LONG_DATA tuples after the header of `data`. */
+std::vector<std::uint8_t> make_long_frame(const AskHeader& hdr,
+                                          const std::vector<KvTuple>& tuples);
+
+/** Parse the tuples of a LONG_DATA frame. */
+std::vector<KvTuple> parse_long_tuples(const std::vector<std::uint8_t>& data);
+
+/** Build a control-style packet (ACK/FIN/FIN_ACK/SWAP/SWAP_ACK): header
+ *  only, no payload. */
+net::Packet make_control_packet(net::NodeId src, net::NodeId dst,
+                                const AskHeader& hdr);
+
+}  // namespace ask::core
+
+#endif  // ASK_ASK_WIRE_H

@@ -1,0 +1,190 @@
+#include "baselines/noaggr.h"
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "common/logging.h"
+#include "net/network.h"
+#include "sim/simulator.h"
+
+namespace ask::baselines {
+
+void
+ForwardProgram::process(net::Packet pkt, pisa::Emitter& emit)
+{
+    net::NodeId dst = pkt.dst;
+    emit.emit(dst, std::move(pkt));
+}
+
+namespace {
+
+constexpr std::uint32_t kTupleBytes = 8;
+constexpr std::uint32_t kHeadersBytes = net::kIpHeaderBytes + 20;
+
+/** Receiving host: per-core processing of arriving bulk packets. */
+class BulkReceiver : public net::Node
+{
+  public:
+    BulkReceiver(sim::Simulator& simulator, const net::CostModel& cost,
+                 const BulkSpec& spec, std::uint64_t total_tuples)
+        : simulator_(simulator),
+          cost_(cost),
+          spec_(spec),
+          total_tuples_(total_tuples),
+          core_busy_(spec.receiver_channels, 0)
+    {
+    }
+
+    void
+    receive(net::Packet pkt) override
+    {
+        std::uint64_t tuples = (pkt.data.size() - kHeadersBytes) / kTupleBytes;
+        Nanoseconds work = cost_.rx_cost_ns(pkt.data.size());
+        if (spec_.receiver_aggregates)
+            work += cost_.host_aggregate_ns(tuples);
+        // RSS spreads a flow's packets across the receive cores.
+        std::size_t ch = rx_count_++ % core_busy_.size();
+        core_busy_[ch] = std::max(core_busy_[ch], simulator_.now()) + work;
+        simulator_.schedule_at(core_busy_[ch], [this, tuples] {
+            processed_ += tuples;
+            if (processed_ >= total_tuples_)
+                finish_time_ = simulator_.now();
+        });
+    }
+
+    std::string name() const override { return "bulk-receiver"; }
+    sim::SimTime finish_time() const { return finish_time_; }
+
+  private:
+    sim::Simulator& simulator_;
+    net::CostModel cost_;
+    BulkSpec spec_;
+    std::uint64_t total_tuples_;
+    std::uint64_t processed_ = 0;
+    std::uint64_t rx_count_ = 0;
+    std::vector<sim::SimTime> core_busy_;
+    sim::SimTime finish_time_ = 0;
+};
+
+/** Sending host: channels push MTU packets paced by per-core TX cost. */
+class BulkSender : public net::Node
+{
+  public:
+    BulkSender(net::Network& network, const net::CostModel& cost,
+               const BulkSpec& spec, net::NodeId switch_node,
+               net::NodeId receiver)
+        : network_(network),
+          cost_(cost),
+          spec_(spec),
+          switch_node_(switch_node),
+          receiver_(receiver)
+    {
+    }
+
+    void
+    start()
+    {
+        std::uint64_t per_channel =
+            (spec_.tuples_per_sender + spec_.sender_channels - 1) /
+            spec_.sender_channels;
+        std::uint64_t assigned = 0;
+        for (std::uint32_t c = 0; c < spec_.sender_channels; ++c) {
+            std::uint64_t quota =
+                std::min<std::uint64_t>(per_channel,
+                                        spec_.tuples_per_sender - assigned);
+            assigned += quota;
+            if (quota > 0)
+                send_loop(quota, 0);
+        }
+    }
+
+    void receive(net::Packet) override {}
+    std::string name() const override { return "bulk-sender"; }
+    std::uint64_t packets_sent() const { return packets_sent_; }
+
+  private:
+    void
+    send_loop(std::uint64_t remaining_tuples, sim::SimTime core_free)
+    {
+        if (remaining_tuples == 0)
+            return;
+        std::uint32_t tuples_per_pkt = spec_.payload_bytes / kTupleBytes;
+        std::uint64_t tuples = std::min<std::uint64_t>(remaining_tuples,
+                                                       tuples_per_pkt);
+        net::Packet pkt;
+        pkt.src = node_id();
+        pkt.dst = receiver_;
+        pkt.data.resize(kHeadersBytes + tuples * kTupleBytes);
+
+        sim::SimTime start =
+            std::max(core_free, network_.simulator().now());
+        sim::SimTime ready = start + cost_.tx_cost_ns(pkt.data.size());
+        ++packets_sent_;
+        network_.simulator().schedule_at(
+            ready, [this, remaining_tuples, tuples, ready,
+                    p = std::move(pkt)]() mutable {
+                network_.send(node_id(), switch_node_, std::move(p));
+                send_loop(remaining_tuples - tuples, ready);
+            });
+    }
+
+    net::Network& network_;
+    net::CostModel cost_;
+    BulkSpec spec_;
+    net::NodeId switch_node_;
+    net::NodeId receiver_;
+    std::uint64_t packets_sent_ = 0;
+};
+
+}  // namespace
+
+BulkResult
+run_noaggr(const BulkSpec& spec)
+{
+    ASK_ASSERT(spec.num_senders > 0 && spec.tuples_per_sender > 0,
+               "empty bulk transfer");
+    sim::Simulator simulator;
+    net::Network network(simulator);
+    pisa::PisaSwitch sw(network, 4, pisa::kDefaultStageSramBytes);
+    network.attach(&sw);
+    ForwardProgram forward;
+    sw.install(&forward);
+
+    net::CostModel cost(spec.cost);
+    std::uint64_t total = spec.tuples_per_sender * spec.num_senders;
+
+    BulkReceiver receiver(simulator, cost, spec, total);
+    network.attach(&receiver);
+    network.connect(receiver.node_id(), sw.node_id(), spec.link_gbps,
+                    spec.link_propagation_ns);
+
+    std::vector<std::unique_ptr<BulkSender>> senders;
+    for (std::uint32_t s = 0; s < spec.num_senders; ++s) {
+        senders.push_back(std::make_unique<BulkSender>(
+            network, cost, spec, sw.node_id(), receiver.node_id()));
+        network.attach(senders.back().get());
+        network.connect(senders.back()->node_id(), sw.node_id(),
+                        spec.link_gbps, spec.link_propagation_ns);
+    }
+    for (auto& s : senders)
+        s->start();
+
+    simulator.run();
+
+    BulkResult out;
+    out.elapsed_ns = receiver.finish_time();
+    ASK_ASSERT(out.elapsed_ns > 0, "bulk transfer never completed");
+    for (auto& s : senders)
+        out.packets += s->packets_sent();
+    out.wire_bytes =
+        network.link_bytes(sw.node_id(), receiver.node_id());
+    double tuple_bytes = static_cast<double>(total) * kTupleBytes;
+    out.goodput_gbps = units::gbps(tuple_bytes, out.elapsed_ns);
+    out.throughput_gbps =
+        units::gbps(static_cast<double>(out.wire_bytes), out.elapsed_ns);
+    out.per_sender_goodput_gbps = out.goodput_gbps / spec.num_senders;
+    return out;
+}
+
+}  // namespace ask::baselines

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * The NoAggr baseline (paper §5.1): pure DPDK transmission of key-value
+ * tuples in MTU-sized packets through the switch (plain forwarding, no
+ * in-network aggregation), with all aggregation at the receiving host.
+ * Used by Fig. 3 (vanilla transfer ceiling), Fig. 13(a) overhead and
+ * Fig. 13(b) scalability comparisons.
+ */
+#ifndef ASK_BASELINES_NOAGGR_H
+#define ASK_BASELINES_NOAGGR_H
+
+#include <cstdint>
+
+#include "common/units.h"
+#include "net/cost_model.h"
+#include "pisa/pisa_switch.h"
+
+namespace ask::baselines {
+
+/** A switch program that only forwards packets toward pkt.dst. */
+class ForwardProgram : public pisa::SwitchProgram
+{
+  public:
+    void process(net::Packet pkt, pisa::Emitter& emit) override;
+    std::string name() const override { return "l3-forward"; }
+};
+
+/** Parameters of one bulk key-value transfer. */
+struct BulkSpec
+{
+    std::uint32_t num_senders = 1;
+    /** DPDK cores (channels) per sending host. */
+    std::uint32_t sender_channels = 4;
+    /** DPDK cores at the receiving host. */
+    std::uint32_t receiver_channels = 4;
+    /** 8-byte key-value tuples each sender ships. */
+    std::uint64_t tuples_per_sender = 1000000;
+    /** Tuple payload bytes per packet (1460 = MTU-filling). */
+    std::uint32_t payload_bytes = 1460;
+    /** Charge the receiver the per-tuple hash-map aggregation cost.
+     *  Off by default: the paper's NoAggr is pure network transmission
+     *  (Fig. 13); enable it for host-aggregation JCT comparisons. */
+    bool receiver_aggregates = false;
+
+    double link_gbps = 100.0;
+    Nanoseconds link_propagation_ns = 500;
+    net::CostModelSpec cost;
+};
+
+/** Measured outcome of a bulk transfer. */
+struct BulkResult
+{
+    Nanoseconds elapsed_ns = 0;
+    /** Application tuple bytes delivered / elapsed. */
+    double goodput_gbps = 0.0;
+    /** Wire bytes (payload + headers + framing) / elapsed. */
+    double throughput_gbps = 0.0;
+    /** Per-sender average goodput (Fig. 13b's metric). */
+    double per_sender_goodput_gbps = 0.0;
+    std::uint64_t packets = 0;
+    std::uint64_t wire_bytes = 0;
+};
+
+/** Run a NoAggr transfer on the discrete-event simulator. */
+BulkResult run_noaggr(const BulkSpec& spec);
+
+}  // namespace ask::baselines
+
+#endif  // ASK_BASELINES_NOAGGR_H

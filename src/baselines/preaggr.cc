@@ -1,0 +1,32 @@
+#include "baselines/preaggr.h"
+
+#include "common/logging.h"
+
+namespace ask::baselines {
+
+PreAggrResult
+run_preaggr(const PreAggrSpec& spec)
+{
+    ASK_ASSERT(spec.tuples > 0 && spec.threads > 0, "empty PreAggr job");
+    net::CostModel cost(spec.cost);
+
+    PreAggrResult out;
+    out.combine_s = units::to_seconds(
+        cost.preaggr_combine_ns(spec.tuples, spec.threads));
+
+    // The combined volume is tiny (paper: 51.2 GB -> 256 MB), so the
+    // transfer is line-rate bound and negligible next to the combine.
+    double combined_bytes = static_cast<double>(spec.distinct_keys) * 8.0;
+    out.transfer_s = combined_bytes * 8.0 / (spec.link_gbps * 1e9);
+
+    out.reduce_s = units::to_seconds(cost.host_aggregate_ns(
+                       spec.distinct_keys)) /
+                   spec.threads;
+
+    out.jct_s = out.combine_s + out.transfer_s + out.reduce_s;
+    out.cpu_fraction = static_cast<double>(spec.threads) /
+                       cost.spec().cores_per_host;
+    return out;
+}
+
+}  // namespace ask::baselines

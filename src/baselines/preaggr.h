@@ -1,0 +1,47 @@
+/**
+ * @file
+ * The PreAggr baseline (paper §5.1): host-only aggregation where each
+ * sender first combines its stream locally (sort by key, merge equal
+ * neighbors), ships the combined result, and the receiver merges.
+ * Fig. 7 compares ASK's JCT and CPU use against this baseline.
+ */
+#ifndef ASK_BASELINES_PREAGGR_H
+#define ASK_BASELINES_PREAGGR_H
+
+#include <cstdint>
+
+#include "common/units.h"
+#include "net/cost_model.h"
+
+namespace ask::baselines {
+
+/** Parameters of one PreAggr job. */
+struct PreAggrSpec
+{
+    /** Raw key-value tuples at the sender. */
+    std::uint64_t tuples = 0;
+    /** Distinct keys (combined output size). */
+    std::uint64_t distinct_keys = 0;
+    /** Mapper==reducer thread count on each host. */
+    std::uint32_t threads = 8;
+    double link_gbps = 100.0;
+    net::CostModelSpec cost;
+};
+
+/** Phase breakdown of the job. */
+struct PreAggrResult
+{
+    double combine_s = 0.0;   ///< sender-side sort-merge
+    double transfer_s = 0.0;  ///< shipping the combined tuples
+    double reduce_s = 0.0;    ///< receiver-side final merge
+    double jct_s = 0.0;
+    /** Fraction of the sender's cores busy during the combine. */
+    double cpu_fraction = 0.0;
+};
+
+/** Evaluate the PreAggr cost model. */
+PreAggrResult run_preaggr(const PreAggrSpec& spec);
+
+}  // namespace ask::baselines
+
+#endif  // ASK_BASELINES_PREAGGR_H

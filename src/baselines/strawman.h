@@ -1,0 +1,29 @@
+/**
+ * @file
+ * The strawman in-network key-value aggregation of paper §2.2.2: one
+ * key-value tuple per packet, reliable network assumed, and every key
+ * fitting switch memory. Rather than a separate implementation, the
+ * strawman is the ASK service configured down to a single slot per
+ * packet with ample aggregators — which keeps it on the production code
+ * path while matching the strawman's three assumptions.
+ */
+#ifndef ASK_BASELINES_STRAWMAN_H
+#define ASK_BASELINES_STRAWMAN_H
+
+#include "ask/cluster.h"
+
+namespace ask::baselines {
+
+/**
+ * ASK cluster configuration realizing the strawman: num_aas = 1 (one
+ * 4-byte key + 4-byte value per packet), no medium groups, no shadow
+ * copies, and an aggregator pool sized to hold `expected_distinct_keys`
+ * without eviction.
+ */
+core::ClusterConfig strawman_cluster(std::uint32_t hosts,
+                                     std::uint32_t channels_per_host,
+                                     std::uint32_t expected_distinct_keys);
+
+}  // namespace ask::baselines
+
+#endif  // ASK_BASELINES_STRAWMAN_H

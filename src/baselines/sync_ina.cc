@@ -1,0 +1,500 @@
+#include "baselines/sync_ina.h"
+
+#include <algorithm>
+#include <deque>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/logging.h"
+#include "net/network.h"
+#include "pisa/pisa_switch.h"
+#include "sim/simulator.h"
+
+namespace ask::baselines {
+
+const char*
+sync_variant_name(SyncVariant v)
+{
+    return v == SyncVariant::kSwitchMl ? "SwitchML-like" : "ATP-like";
+}
+
+namespace {
+
+constexpr std::uint32_t kHeadersBytes = net::kIpHeaderBytes + 20;
+constexpr std::uint8_t kGrad = 1;
+constexpr std::uint8_t kResult = 2;
+
+/** Gradient value of worker w, chunk c, lane i (deterministic). */
+std::uint32_t
+grad_value(std::uint32_t w, std::uint64_t c, std::uint32_t i)
+{
+    return (w + 1) * 1000u +
+           static_cast<std::uint32_t>((c * 31 + i) % 997);
+}
+
+struct SyncFrame
+{
+    std::uint8_t type = kGrad;
+    /** Set on timeout retransmissions: bypass the switch aggregator and
+     *  deliver to the PS (ATP's backstop against stuck partials). */
+    std::uint8_t force_ps = 0;
+    std::uint32_t chunk = 0;
+    std::uint16_t worker = 0;
+    std::vector<std::uint32_t> values;
+};
+
+net::Packet
+make_sync_packet(net::NodeId src, net::NodeId dst, const SyncFrame& f)
+{
+    net::Packet pkt;
+    pkt.src = src;
+    pkt.dst = dst;
+    pkt.data.resize(kHeadersBytes + 10 + f.values.size() * 4, 0);
+    std::size_t off = kHeadersBytes;
+    pkt.data[off++] = f.type;
+    pkt.data[off++] = f.force_ps;
+    for (int i = 0; i < 4; ++i)
+        pkt.data[off++] = static_cast<std::uint8_t>(f.chunk >> (8 * i));
+    pkt.data[off++] = static_cast<std::uint8_t>(f.worker);
+    pkt.data[off++] = static_cast<std::uint8_t>(f.worker >> 8);
+    pkt.data[off++] = static_cast<std::uint8_t>(f.values.size());
+    pkt.data[off++] = static_cast<std::uint8_t>(f.values.size() >> 8);
+    for (std::uint32_t v : f.values) {
+        for (int i = 0; i < 4; ++i)
+            pkt.data[off++] = static_cast<std::uint8_t>(v >> (8 * i));
+    }
+    return pkt;
+}
+
+SyncFrame
+parse_sync_packet(const net::Packet& pkt)
+{
+    SyncFrame f;
+    std::size_t off = kHeadersBytes;
+    ASK_ASSERT(pkt.data.size() >= off + 10, "short sync frame");
+    f.type = pkt.data[off++];
+    f.force_ps = pkt.data[off++];
+    f.chunk = 0;
+    for (int i = 0; i < 4; ++i)
+        f.chunk |= static_cast<std::uint32_t>(pkt.data[off++]) << (8 * i);
+    f.worker = static_cast<std::uint16_t>(pkt.data[off] |
+                                          (pkt.data[off + 1] << 8));
+    off += 2;
+    std::uint16_t count = static_cast<std::uint16_t>(
+        pkt.data[off] | (pkt.data[off + 1] << 8));
+    off += 2;
+    f.values.resize(count);
+    for (auto& v : f.values) {
+        v = 0;
+        for (int i = 0; i < 4; ++i)
+            v |= static_cast<std::uint32_t>(pkt.data[off++]) << (8 * i);
+    }
+    return f;
+}
+
+/**
+ * The synchronous-aggregation switch program. Register layout:
+ *   stage 0: owner (ATP only; chunk+1 per slot, 0 = free)
+ *   stage 1: cnt   (arrivals per slot; resets to 0 on completion)
+ *   stage 2+: packed value arrays, two 32-bit lanes per 64-bit register
+ */
+class SyncInaProgram : public pisa::SwitchProgram
+{
+  public:
+    SyncInaProgram(const SyncInaSpec& spec, pisa::PisaSwitch& sw)
+        : spec_(spec)
+    {
+        pisa::Pipeline& pipe = sw.pipeline();
+        std::uint32_t packed = (spec_.values_per_packet + 1) / 2;
+        std::size_t needed = 2 + (packed + 3) / 4;
+        if (pipe.num_stages() < needed) {
+            fatal("sync INA program needs ", needed, " stages, pipeline has ",
+                  pipe.num_stages());
+        }
+        if (spec_.variant == SyncVariant::kAtp) {
+            owner_ = pipe.stage(0)->add_register_array("owner", spec_.slots,
+                                                       64);
+        }
+        cnt_ = pipe.stage(1)->add_register_array("cnt", spec_.slots, 32);
+        for (std::uint32_t j = 0; j < packed; ++j) {
+            vals_.push_back(pipe.stage(2 + j / 4)
+                                ->add_register_array(
+                                    "val_" + std::to_string(j), spec_.slots,
+                                    64));
+        }
+        sw.install(this);
+    }
+
+    void
+    set_group(std::vector<net::NodeId> workers, net::NodeId ps)
+    {
+        workers_ = std::move(workers);
+        ps_ = ps;
+    }
+
+    void
+    process(net::Packet pkt, pisa::Emitter& emit) override
+    {
+        SyncFrame f = parse_sync_packet(pkt);
+        if (f.type == kResult) {
+            // PS-produced results: plain forwarding to the worker.
+            net::NodeId dst = pkt.dst;
+            emit.emit(dst, std::move(pkt));
+            return;
+        }
+
+        if (f.force_ps) {
+            // Timeout retransmission: unconditionally deliver to the PS.
+            ++fallback_packets_;
+            emit.emit(ps_, std::move(pkt));
+            return;
+        }
+
+        std::size_t slot;
+        if (spec_.variant == SyncVariant::kSwitchMl) {
+            // Static allocation: the sync protocol guarantees chunk c and
+            // c + slots are never concurrently in flight.
+            slot = f.chunk % spec_.slots;
+        } else {
+            slot = mix64(f.chunk) % spec_.slots;
+            bool mine = false;
+            owner_->rmw(slot, [&](std::uint64_t& o) {
+                if (o == 0) {
+                    o = static_cast<std::uint64_t>(f.chunk) + 1;
+                    mine = true;
+                } else if (o == static_cast<std::uint64_t>(f.chunk) + 1) {
+                    mine = true;
+                }
+            });
+            if (!mine) {
+                // Collision: this chunk's aggregation falls back to the
+                // parameter server (ATP best-effort semantics).
+                ++fallback_packets_;
+                emit.emit(ps_, std::move(pkt));
+                return;
+            }
+        }
+
+        bool first = false;
+        bool complete = false;
+        cnt_->rmw(slot, [&](std::uint64_t& c) {
+            first = c == 0;
+            std::uint64_t next = c + 1;
+            complete = next == spec_.workers;
+            c = complete ? 0 : next;  // completion frees the slot
+        });
+
+        std::vector<std::uint32_t> out(f.values.size(), 0);
+        for (std::uint32_t j = 0; j < vals_.size(); ++j) {
+            std::uint32_t lane0 = 2 * j;
+            std::uint32_t v0 = lane0 < f.values.size() ? f.values[lane0] : 0;
+            std::uint32_t v1 =
+                lane0 + 1 < f.values.size() ? f.values[lane0 + 1] : 0;
+            vals_[j]->rmw(slot, [&](std::uint64_t& word) {
+                std::uint32_t a =
+                    first ? v0
+                          : static_cast<std::uint32_t>(word & 0xffffffffULL) + v0;
+                std::uint32_t b =
+                    first ? v1 : static_cast<std::uint32_t>(word >> 32) + v1;
+                word = (static_cast<std::uint64_t>(b) << 32) | a;
+                if (complete) {
+                    if (lane0 < out.size())
+                        out[lane0] = a;
+                    if (lane0 + 1 < out.size())
+                        out[lane0 + 1] = b;
+                }
+            });
+        }
+
+        if (complete) {
+            if (owner_ != nullptr) {
+                // Models ATP's aggregator release (a recirculated pass on
+                // real hardware).
+                owner_->cp_write(slot, 0);
+            }
+            SyncFrame result;
+            result.type = kResult;
+            result.chunk = f.chunk;
+            result.values = std::move(out);
+            for (net::NodeId w : workers_)
+                emit.emit(w, make_sync_packet(pkt.dst, w, result));
+        }
+        // Non-final gradient packets are consumed by the switch.
+    }
+
+    std::string name() const override { return "sync-ina"; }
+    std::uint64_t fallback_packets() const { return fallback_packets_; }
+
+  private:
+    SyncInaSpec spec_;
+    pisa::RegisterArray* owner_ = nullptr;
+    pisa::RegisterArray* cnt_ = nullptr;
+    std::vector<pisa::RegisterArray*> vals_;
+    std::vector<net::NodeId> workers_;
+    net::NodeId ps_ = 0;
+    std::uint64_t fallback_packets_ = 0;
+};
+
+/** ATP's parameter server: aggregates fallback chunks in host memory. */
+class PsNode : public net::Node
+{
+  public:
+    PsNode(net::Network& network, const net::CostModel& cost,
+           const SyncInaSpec& spec, net::NodeId switch_node)
+        : network_(network), cost_(cost), spec_(spec), switch_node_(switch_node)
+    {
+    }
+
+    void
+    set_workers(std::vector<net::NodeId> workers)
+    {
+        workers_ = std::move(workers);
+    }
+
+    void
+    receive(net::Packet pkt) override
+    {
+        SyncFrame f = parse_sync_packet(pkt);
+        ASK_ASSERT(f.type == kGrad, "PS expects gradient packets");
+        Nanoseconds work = cost_.rx_cost_ns(pkt.data.size()) +
+                           cost_.host_aggregate_ns(f.values.size());
+        core_busy_ = std::max(core_busy_, network_.simulator().now()) + work;
+
+        auto& entry = chunks_[f.chunk];
+        std::uint64_t bit = 1ULL << f.worker;
+        if (entry.bitmap & bit)
+            return;  // duplicate (timeout retransmission): deduplicate
+        entry.bitmap |= bit;
+        if (entry.values.empty())
+            entry.values.assign(f.values.size(), 0);
+        for (std::size_t i = 0; i < f.values.size(); ++i)
+            entry.values[i] += f.values[i];
+        if (++entry.count == spec_.workers) {
+            ++fallback_chunks_;
+            SyncFrame result;
+            result.type = kResult;
+            result.chunk = f.chunk;
+            result.values = std::move(entry.values);
+            chunks_.erase(f.chunk);
+            net::NodeId self = node_id();
+            for (net::NodeId w : workers_) {
+                core_busy_ += cost_.tx_cost_ns(kHeadersBytes + 9 +
+                                               result.values.size() * 4);
+                net::Packet out = make_sync_packet(self, w, result);
+                network_.simulator().schedule_at(
+                    core_busy_,
+                    [this, p = std::move(out)]() mutable {
+                        network_.send(node_id(), switch_node_, std::move(p));
+                    });
+            }
+        }
+    }
+
+    std::string name() const override { return "atp-ps"; }
+    std::uint64_t fallback_chunks() const { return fallback_chunks_; }
+
+  private:
+    struct Pending
+    {
+        std::uint32_t count = 0;
+        std::uint64_t bitmap = 0;  ///< workers covered (dedup)
+        std::vector<std::uint32_t> values;
+    };
+
+    net::Network& network_;
+    net::CostModel cost_;
+    SyncInaSpec spec_;
+    net::NodeId switch_node_;
+    std::vector<net::NodeId> workers_;
+    std::unordered_map<std::uint32_t, Pending> chunks_;
+    sim::SimTime core_busy_ = 0;
+    std::uint64_t fallback_chunks_ = 0;
+};
+
+/** One training worker: streams gradient chunks, validates results. */
+class WorkerNode : public net::Node
+{
+  public:
+    static constexpr std::uint32_t kChannels = 4;
+
+    WorkerNode(net::Network& network, const net::CostModel& cost,
+               const SyncInaSpec& spec, std::uint16_t index,
+               net::NodeId switch_node, std::uint64_t chunks)
+        : network_(network),
+          cost_(cost),
+          spec_(spec),
+          index_(index),
+          switch_node_(switch_node),
+          chunks_(chunks),
+          core_busy_(kChannels, 0),
+          done_(chunks, false)
+    {
+    }
+
+    void
+    start()
+    {
+        std::uint64_t burst = std::min<std::uint64_t>(spec_.slots, chunks_);
+        for (std::uint64_t c = 0; c < burst; ++c)
+            pending_.push_back({c, false});
+        for (std::uint32_t ch = 0; ch < kChannels; ++ch)
+            drain(ch);
+    }
+
+    void
+    receive(net::Packet pkt) override
+    {
+        SyncFrame f = parse_sync_packet(pkt);
+        ASK_ASSERT(f.type == kResult, "worker expects result packets");
+        std::uint32_t ch = f.chunk % kChannels;
+        core_busy_[ch] = std::max(core_busy_[ch], network_.simulator().now()) +
+                         cost_.rx_cost_ns(pkt.data.size());
+
+        if (done_.at(f.chunk))
+            return;  // duplicate result (possible via PS + switch races)
+        done_[f.chunk] = true;
+        ++done_count_;
+
+        // Validate the sums.
+        for (std::uint32_t i = 0; i < f.values.size(); ++i) {
+            std::uint32_t expect = 0;
+            for (std::uint32_t w = 0; w < spec_.workers; ++w)
+                expect += grad_value(w, f.chunk, i);
+            if (f.values[i] != expect)
+                correct_ = false;
+        }
+        if (done_count_ == chunks_)
+            finish_time_ = network_.simulator().now();
+
+        std::uint64_t next = f.chunk + spec_.slots;
+        if (next < chunks_) {
+            pending_.push_back({next, false});
+            drain(ch);
+        }
+    }
+
+    std::string name() const override { return "worker"; }
+    bool correct() const { return correct_ && done_count_ == chunks_; }
+    sim::SimTime finish_time() const { return finish_time_; }
+
+  private:
+    void
+    drain(std::uint32_t ch)
+    {
+        if (pending_.empty())
+            return;
+        auto [chunk, force_ps] = pending_.front();
+        pending_.pop_front();
+        if (done_.at(chunk)) {
+            drain(ch);  // resolved while queued (stale retransmission)
+            return;
+        }
+
+        SyncFrame f;
+        f.type = kGrad;
+        f.force_ps = force_ps ? 1 : 0;
+        f.chunk = static_cast<std::uint32_t>(chunk);
+        f.worker = index_;
+        f.values.resize(spec_.values_per_packet);
+        for (std::uint32_t i = 0; i < spec_.values_per_packet; ++i)
+            f.values[i] = grad_value(index_, chunk, i);
+        net::Packet pkt = make_sync_packet(node_id(), node_id(), f);
+
+        sim::SimTime start =
+            std::max(core_busy_[ch], network_.simulator().now());
+        core_busy_[ch] = start + cost_.tx_cost_ns(pkt.data.size());
+        network_.simulator().schedule_at(
+            core_busy_[ch], [this, ch, p = std::move(pkt)]() mutable {
+                network_.send(node_id(), switch_node_, std::move(p));
+                drain(ch);
+            });
+
+        // ATP backstop: dynamic allocation can strand a chunk split
+        // between the switch and the PS; after a timeout, resend with
+        // the force-to-PS flag (the PS deduplicates by worker).
+        if (spec_.variant == SyncVariant::kAtp) {
+            network_.simulator().schedule_after(
+                spec_.retransmit_timeout_ns, [this, chunk, ch] {
+                    if (!done_.at(chunk)) {
+                        pending_.push_back({chunk, true});
+                        drain(ch);
+                    }
+                });
+        }
+    }
+
+    net::Network& network_;
+    net::CostModel cost_;
+    SyncInaSpec spec_;
+    std::uint16_t index_;
+    net::NodeId switch_node_;
+    std::uint64_t chunks_;
+    std::vector<sim::SimTime> core_busy_;
+    std::deque<std::pair<std::uint64_t, bool>> pending_;
+    std::vector<bool> done_;
+    std::uint64_t done_count_ = 0;
+    bool correct_ = true;
+    sim::SimTime finish_time_ = 0;
+};
+
+}  // namespace
+
+SyncInaResult
+run_sync_allreduce(const SyncInaSpec& spec)
+{
+    ASK_ASSERT(spec.workers >= 1, "need at least one worker");
+    ASK_ASSERT(spec.values_per_packet >= 1 && spec.values_per_packet <= 64,
+               "values_per_packet must be 1..64");
+
+    sim::Simulator simulator;
+    net::Network network(simulator);
+    pisa::PisaSwitch sw(network);
+    network.attach(&sw);
+    SyncInaProgram program(spec, sw);
+
+    net::CostModel cost(spec.cost);
+    std::uint64_t chunks =
+        (spec.grad_elements + spec.values_per_packet - 1) /
+        spec.values_per_packet;
+
+    PsNode ps(network, cost, spec, sw.node_id());
+    network.attach(&ps);
+    network.connect(ps.node_id(), sw.node_id(), spec.link_gbps,
+                    spec.link_propagation_ns);
+
+    std::vector<std::unique_ptr<WorkerNode>> workers;
+    std::vector<net::NodeId> worker_ids;
+    for (std::uint32_t w = 0; w < spec.workers; ++w) {
+        workers.push_back(std::make_unique<WorkerNode>(
+            network, cost, spec, static_cast<std::uint16_t>(w), sw.node_id(),
+            chunks));
+        network.attach(workers.back().get());
+        network.connect(workers.back()->node_id(), sw.node_id(),
+                        spec.link_gbps,
+                        spec.link_propagation_ns + w * spec.worker_skew_ns);
+        worker_ids.push_back(workers.back()->node_id());
+    }
+    program.set_group(worker_ids, ps.node_id());
+    ps.set_workers(worker_ids);
+
+    for (auto& w : workers)
+        w->start();
+    simulator.run();
+
+    SyncInaResult out;
+    out.chunks = chunks;
+    out.ps_fallback_chunks = ps.fallback_chunks();
+    out.correct = true;
+    for (auto& w : workers) {
+        out.correct = out.correct && w->correct();
+        out.allreduce_ns = std::max(out.allreduce_ns, w->finish_time());
+    }
+    double grad_bytes = static_cast<double>(chunks) *
+                        spec.values_per_packet * 4.0;
+    out.per_worker_goodput_gbps = units::gbps(grad_bytes, out.allreduce_ns);
+    return out;
+}
+
+}  // namespace ask::baselines

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Synchronous value-stream INA baselines (paper §2.1.3, §5.6): a
+ * SwitchML-like design (static slot allocation, small packets) and an
+ * ATP-like design (dynamic hash allocation with fallback to a parameter
+ * server on collision). Both run as real switch programs on the PISA
+ * substrate with worker nodes driving a gradient allreduce; Figure 12
+ * uses the measured per-element communication time.
+ */
+#ifndef ASK_BASELINES_SYNC_INA_H
+#define ASK_BASELINES_SYNC_INA_H
+
+#include <cstdint>
+
+#include "common/units.h"
+#include "net/cost_model.h"
+
+namespace ask::baselines {
+
+/** Which synchronous INA design to run. */
+enum class SyncVariant : std::uint8_t
+{
+    kSwitchMl,  ///< static slot = chunk % slots; no fallback needed
+    kAtp,       ///< dynamic slot = hash(chunk) % slots; PS fallback
+};
+
+const char* sync_variant_name(SyncVariant v);
+
+/** Parameters of one allreduce run. */
+struct SyncInaSpec
+{
+    SyncVariant variant = SyncVariant::kSwitchMl;
+    std::uint32_t workers = 4;
+    /** Gradient elements (4-byte values) per worker. */
+    std::uint64_t grad_elements = 1 << 16;
+    /** Values per packet: SwitchML-like uses small packets (16), the
+     *  ATP-like design larger ones (64). */
+    std::uint32_t values_per_packet = 16;
+    /** Switch aggregator slots (chunks resident at once). */
+    std::uint32_t slots = 256;
+
+    double link_gbps = 100.0;
+    Nanoseconds link_propagation_ns = 500;
+    net::CostModelSpec cost;
+    /** ATP backstop: a chunk unresolved for this long is retransmitted
+     *  with a force-to-PS flag (recovers stuck partial aggregations). */
+    Nanoseconds retransmit_timeout_ns = 200 * units::kMicrosecond;
+    /** Extra propagation delay per worker index (straggler model):
+     *  worker w's cable adds w * worker_skew_ns. Skewed arrivals keep
+     *  aggregator slots occupied longer, exposing collision handling. */
+    Nanoseconds worker_skew_ns = 0;
+};
+
+/** Outcome of an allreduce. */
+struct SyncInaResult
+{
+    Nanoseconds allreduce_ns = 0;
+    /** All workers received the correct sums for every chunk. */
+    bool correct = false;
+    std::uint64_t chunks = 0;
+    /** Chunks aggregated at the parameter server (ATP fallback). */
+    std::uint64_t ps_fallback_chunks = 0;
+    /** Per-worker gradient goodput (values only) in Gbps. */
+    double per_worker_goodput_gbps = 0.0;
+};
+
+/** Run one synchronous allreduce on the discrete-event simulator. */
+SyncInaResult run_sync_allreduce(const SyncInaSpec& spec);
+
+}  // namespace ask::baselines
+
+#endif  // ASK_BASELINES_SYNC_INA_H

@@ -1,0 +1,33 @@
+#include "common/hash.h"
+
+namespace ask {
+
+std::uint64_t
+fnv1a64(std::string_view bytes)
+{
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (unsigned char c : bytes) {
+        h ^= c;
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdULL;
+    x ^= x >> 33;
+    x *= 0xc4ceb9fe1a85ec53ULL;
+    x ^= x >> 33;
+    return x;
+}
+
+std::uint64_t
+hash64(std::string_view bytes, std::uint64_t seed)
+{
+    return mix64(fnv1a64(bytes) ^ mix64(seed));
+}
+
+}  // namespace ask

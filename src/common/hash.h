@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Hash functions used throughout ASK.
+ *
+ * ASK needs *two independent* hash families (paper §3.2.2): one to
+ * partition the key space into per-slot subspaces at the sender, and one
+ * to address a key to an aggregator index inside an aggregator array (AA)
+ * on the switch. Independence matters: if the same function served both
+ * roles, every key landing in subspace i would also cluster within AA i,
+ * inflating collisions. We provide a seeded 64-bit string hash so callers
+ * can draw as many independent functions as needed.
+ */
+#ifndef ASK_COMMON_HASH_H
+#define ASK_COMMON_HASH_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace ask {
+
+/** FNV-1a 64-bit hash of a byte string. */
+std::uint64_t fnv1a64(std::string_view bytes);
+
+/** Strong 64-bit finalizer (Murmur3 fmix64). */
+std::uint64_t mix64(std::uint64_t x);
+
+/** Seeded 64-bit hash of a byte string; distinct seeds give independent
+ *  functions for practical purposes. */
+std::uint64_t hash64(std::string_view bytes, std::uint64_t seed);
+
+/**
+ * A member of a seeded hash family, usable as a function object.
+ *
+ * Used for the sender-side key-space partition (one seed) and the
+ * switch-side aggregator addressing (another seed).
+ */
+class HashFn
+{
+  public:
+    explicit HashFn(std::uint64_t seed) : seed_(seed) {}
+
+    std::uint64_t
+    operator()(std::string_view bytes) const
+    {
+        return hash64(bytes, seed_);
+    }
+
+    std::uint64_t seed() const { return seed_; }
+
+  private:
+    std::uint64_t seed_;
+};
+
+/** Well-known seeds used by the ASK data plane and hosts. The sender
+ *  partition and switch addressing functions must differ (see file
+ *  comment); both sides must agree on each. */
+namespace hash_seeds {
+constexpr std::uint64_t kKeyPartition = 0x5bd1e9955bd1e995ULL;
+constexpr std::uint64_t kAggregatorAddress = 0xc2b2ae3d27d4eb4fULL;
+constexpr std::uint64_t kChannelLoadBalance = 0x165667b19e3779f9ULL;
+}  // namespace hash_seeds
+
+}  // namespace ask
+
+#endif  // ASK_COMMON_HASH_H

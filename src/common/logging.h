@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Logging and error-reporting primitives.
+ *
+ * Semantics follow the gem5 convention:
+ *  - inform(): status messages with no connotation of incorrect behavior.
+ *  - warn():   something may not be handled ideally but execution continues.
+ *  - fatal():  the run cannot continue due to a *user* error (bad config,
+ *              invalid arguments); exits with code 1.
+ *  - panic():  an internal invariant was violated (a bug in this library);
+ *              aborts so a core dump / debugger can capture state.
+ */
+#ifndef ASK_COMMON_LOGGING_H
+#define ASK_COMMON_LOGGING_H
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace ask {
+
+namespace detail {
+
+/** Stream a pack of arguments into a string. */
+template <typename... Args>
+std::string
+concat_args(Args&&... args)
+{
+    std::ostringstream oss;
+    (oss << ... << std::forward<Args>(args));
+    return oss.str();
+}
+
+/** Emit one log line with a severity tag. */
+void log_line(const char* tag, const std::string& msg);
+
+/** Controls whether inform()/warn() produce output (tests may silence). */
+bool& log_enabled();
+
+}  // namespace detail
+
+/** Print an informational status message. */
+template <typename... Args>
+void
+inform(Args&&... args)
+{
+    if (detail::log_enabled())
+        detail::log_line("info", detail::concat_args(std::forward<Args>(args)...));
+}
+
+/** Print a warning; execution continues. */
+template <typename... Args>
+void
+warn(Args&&... args)
+{
+    if (detail::log_enabled())
+        detail::log_line("warn", detail::concat_args(std::forward<Args>(args)...));
+}
+
+/**
+ * Terminate the process due to a user-facing error (bad configuration or
+ * arguments). Exits with status 1; never returns.
+ */
+template <typename... Args>
+[[noreturn]] void
+fatal(Args&&... args)
+{
+    detail::log_line("fatal", detail::concat_args(std::forward<Args>(args)...));
+    std::exit(1);
+}
+
+/**
+ * Terminate the process because an internal invariant was violated.
+ * Aborts; never returns.
+ */
+template <typename... Args>
+[[noreturn]] void
+panic(Args&&... args)
+{
+    detail::log_line("panic", detail::concat_args(std::forward<Args>(args)...));
+    std::abort();
+}
+
+/** panic() when a condition that must hold does not. */
+#define ASK_ASSERT(cond, ...)                                               \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            ::ask::panic("assertion failed: ", #cond, " at ", __FILE__,     \
+                         ":", __LINE__, " ", ##__VA_ARGS__);                \
+        }                                                                   \
+    } while (0)
+
+/** RAII guard that silences inform()/warn() within a scope (for tests). */
+class ScopedLogSilencer
+{
+  public:
+    ScopedLogSilencer();
+    ~ScopedLogSilencer();
+
+    ScopedLogSilencer(const ScopedLogSilencer&) = delete;
+    ScopedLogSilencer& operator=(const ScopedLogSilencer&) = delete;
+
+  private:
+    bool saved_;
+};
+
+}  // namespace ask
+
+#endif  // ASK_COMMON_LOGGING_H

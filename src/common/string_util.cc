@@ -1,0 +1,89 @@
+#include "common/string_util.h"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace ask {
+
+std::string
+strf(const char* fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    va_list copy;
+    va_copy(copy, args);
+    int len = std::vsnprintf(nullptr, 0, fmt, copy);
+    va_end(copy);
+    std::string out;
+    if (len > 0) {
+        out.resize(static_cast<std::size_t>(len));
+        std::vsnprintf(out.data(), out.size() + 1, fmt, args);
+    }
+    va_end(args);
+    return out;
+}
+
+std::string
+fmt_double(double v, int decimals)
+{
+    return strf("%.*f", decimals, v);
+}
+
+std::string
+fmt_bytes(std::uint64_t bytes)
+{
+    const char* suffix[] = {"B", "KiB", "MiB", "GiB", "TiB"};
+    double v = static_cast<double>(bytes);
+    int i = 0;
+    while (v >= 1024.0 && i < 4) {
+        v /= 1024.0;
+        ++i;
+    }
+    return strf("%.2f %s", v, suffix[i]);
+}
+
+std::string
+fmt_count(double count)
+{
+    const char* suffix[] = {"", "K", "M", "G", "T"};
+    double v = count;
+    int i = 0;
+    while (v >= 1000.0 && i < 4) {
+        v /= 1000.0;
+        ++i;
+    }
+    return strf("%.2f%s", v, suffix[i]);
+}
+
+std::vector<std::string>
+split(const std::string& s, char delim)
+{
+    std::vector<std::string> out;
+    std::string cur;
+    for (char c : s) {
+        if (c == delim) {
+            if (!cur.empty())
+                out.push_back(cur);
+            cur.clear();
+        } else {
+            cur.push_back(c);
+        }
+    }
+    if (!cur.empty())
+        out.push_back(cur);
+    return out;
+}
+
+std::string
+u64_key(std::uint64_t x)
+{
+    // Base-255 digits, each stored as digit+1 so no byte is ever 0.
+    std::string out;
+    do {
+        out.push_back(static_cast<char>(static_cast<unsigned char>(x % 255 + 1)));
+        x /= 255;
+    } while (x != 0);
+    return out;
+}
+
+}  // namespace ask

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Small string helpers used by benches and examples.
+ */
+#ifndef ASK_COMMON_STRING_UTIL_H
+#define ASK_COMMON_STRING_UTIL_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ask {
+
+/** printf-style formatting into a std::string. */
+std::string strf(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Format a double with the given number of decimals. */
+std::string fmt_double(double v, int decimals = 2);
+
+/** Human-readable byte count ("1.50 GiB"). */
+std::string fmt_bytes(std::uint64_t bytes);
+
+/** Human-readable count with SI suffix ("1.2M"). */
+std::string fmt_count(double count);
+
+/** Split on a delimiter, dropping empty pieces. */
+std::vector<std::string> split(const std::string& s, char delim);
+
+/**
+ * Encode a u64 as a short, NUL-free byte string (base-255 digits offset
+ * by 1). Used to derive wire keys for numeric workloads: the ASK data
+ * plane treats an all-zero key segment as "blank", so keys must not
+ * contain NUL bytes (see ask/key_space.h).
+ */
+std::string u64_key(std::uint64_t x);
+
+}  // namespace ask
+
+#endif  // ASK_COMMON_STRING_UTIL_H

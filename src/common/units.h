@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Unit helpers: time (nanosecond-granularity), data sizes, and rates.
+ *
+ * Simulated time is a plain int64 nanosecond count (SimTime lives in
+ * sim/; these helpers are pure arithmetic shared by every layer).
+ */
+#ifndef ASK_COMMON_UNITS_H
+#define ASK_COMMON_UNITS_H
+
+#include <cstdint>
+
+namespace ask {
+
+/** Nanoseconds, the base time unit of the simulator. */
+using Nanoseconds = std::int64_t;
+
+namespace units {
+
+constexpr Nanoseconds kNanosecond = 1;
+constexpr Nanoseconds kMicrosecond = 1000;
+constexpr Nanoseconds kMillisecond = 1000 * kMicrosecond;
+constexpr Nanoseconds kSecond = 1000 * kMillisecond;
+
+constexpr std::uint64_t kKiB = 1024;
+constexpr std::uint64_t kMiB = 1024 * kKiB;
+constexpr std::uint64_t kGiB = 1024 * kMiB;
+
+constexpr double kKilo = 1e3;
+constexpr double kMega = 1e6;
+constexpr double kGiga = 1e9;
+
+/** Convert a byte count and a duration to gigabits per second. */
+constexpr double
+gbps(double bytes, Nanoseconds elapsed)
+{
+    if (elapsed <= 0)
+        return 0.0;
+    return bytes * 8.0 / static_cast<double>(elapsed);
+    // bytes*8 bits over ns == Gbit/s exactly (1e9 ns/s over 1e9 b/Gb).
+}
+
+/** Time to serialize `bytes` at `rate_gbps` gigabits per second. */
+constexpr Nanoseconds
+serialize_ns(std::uint64_t bytes, double rate_gbps)
+{
+    return static_cast<Nanoseconds>(
+        static_cast<double>(bytes) * 8.0 / rate_gbps + 0.5);
+}
+
+/** Duration in seconds as a double. */
+constexpr double
+to_seconds(Nanoseconds t)
+{
+    return static_cast<double>(t) / static_cast<double>(kSecond);
+}
+
+}  // namespace units
+}  // namespace ask
+
+#endif  // ASK_COMMON_UNITS_H

@@ -1,0 +1,37 @@
+#include "net/fault_model.h"
+
+namespace ask::net {
+
+FaultModel::FaultModel(FaultSpec spec, std::uint64_t seed)
+    : spec_(spec), rng_(seed)
+{
+}
+
+Nanoseconds
+FaultModel::extra_delay()
+{
+    if (spec_.reorder_prob > 0.0 && rng_.chance(spec_.reorder_prob)) {
+        ++delayed_;
+        return static_cast<Nanoseconds>(
+            rng_.next_exponential(static_cast<double>(spec_.reorder_delay_ns)));
+    }
+    return 0;
+}
+
+std::vector<Nanoseconds>
+FaultModel::deliveries()
+{
+    std::vector<Nanoseconds> out;
+    if (rng_.chance(spec_.loss_prob)) {
+        ++dropped_;
+        return out;
+    }
+    out.push_back(extra_delay());
+    if (rng_.chance(spec_.dup_prob)) {
+        ++duplicated_;
+        out.push_back(extra_delay());
+    }
+    return out;
+}
+
+}  // namespace ask::net

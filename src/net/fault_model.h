@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Network fault injection: loss, duplication, and reordering.
+ *
+ * Data centers lose and retransmit packets (paper §2.3, §3.3); ASK's
+ * reliability mechanism exists exactly because of that. The FaultModel
+ * decides, per transmission, how many copies of a packet arrive and how
+ * much extra delay each copy suffers. A seeded Rng makes every fault
+ * pattern reproducible.
+ */
+#ifndef ASK_NET_FAULT_MODEL_H
+#define ASK_NET_FAULT_MODEL_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "common/units.h"
+
+namespace ask::net {
+
+/** Per-link fault probabilities and delay inflation. */
+struct FaultSpec
+{
+    /** Probability a transmission is silently dropped. */
+    double loss_prob = 0.0;
+    /** Probability a transmission is delivered twice. */
+    double dup_prob = 0.0;
+    /** Probability a delivery gets extra delay (causing reordering). */
+    double reorder_prob = 0.0;
+    /** Mean of the exponential extra delay applied to reordered copies. */
+    Nanoseconds reorder_delay_ns = 20 * units::kMicrosecond;
+
+    /** A perfectly reliable network. */
+    static FaultSpec reliable() { return FaultSpec{}; }
+
+    /** A lossy profile exercising every reliability path. */
+    static FaultSpec
+    lossy(double loss, double dup = 0.01, double reorder = 0.05)
+    {
+        FaultSpec s;
+        s.loss_prob = loss;
+        s.dup_prob = dup;
+        s.reorder_prob = reorder;
+        return s;
+    }
+};
+
+/**
+ * Draws fault outcomes for packet deliveries.
+ */
+class FaultModel
+{
+  public:
+    FaultModel(FaultSpec spec, std::uint64_t seed);
+
+    /**
+     * Decide the fate of one transmission.
+     * @return extra delays, one entry per delivered copy (possibly empty
+     *         when the packet is lost; two entries when duplicated).
+     */
+    std::vector<Nanoseconds> deliveries();
+
+    const FaultSpec& spec() const { return spec_; }
+
+    std::uint64_t dropped() const { return dropped_; }
+    std::uint64_t duplicated() const { return duplicated_; }
+    std::uint64_t delayed() const { return delayed_; }
+
+  private:
+    Nanoseconds extra_delay();
+
+    FaultSpec spec_;
+    Rng rng_;
+    std::uint64_t dropped_ = 0;
+    std::uint64_t duplicated_ = 0;
+    std::uint64_t delayed_ = 0;
+};
+
+}  // namespace ask::net
+
+#endif  // ASK_NET_FAULT_MODEL_H

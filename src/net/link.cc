@@ -1,0 +1,26 @@
+#include "net/link.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace ask::net {
+
+Link::Link(double rate_gbps, Nanoseconds propagation_ns)
+    : rate_gbps_(rate_gbps), propagation_ns_(propagation_ns)
+{
+    ASK_ASSERT(rate_gbps > 0.0, "link rate must be positive");
+    ASK_ASSERT(propagation_ns >= 0, "negative propagation delay");
+}
+
+sim::SimTime
+Link::transmit(sim::SimTime now, std::uint64_t wire_bytes)
+{
+    sim::SimTime start = std::max(now, busy_until_);
+    sim::SimTime tx_done = start + units::serialize_ns(wire_bytes, rate_gbps_);
+    busy_until_ = tx_done;
+    bytes_carried_ += wire_bytes;
+    return tx_done + propagation_ns_;
+}
+
+}  // namespace ask::net

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * A directed point-to-point link with bandwidth and propagation delay.
+ */
+#ifndef ASK_NET_LINK_H
+#define ASK_NET_LINK_H
+
+#include <cstdint>
+
+#include "common/units.h"
+#include "sim/simulator.h"
+
+namespace ask::net {
+
+/**
+ * Models one direction of a cable: serialization at a fixed rate plus a
+ * fixed propagation delay. Transmissions queue behind each other
+ * (store-and-forward with an unbounded buffer); congestive loss is
+ * injected separately by the FaultModel.
+ */
+class Link
+{
+  public:
+    /**
+     * @param rate_gbps line rate in gigabits per second.
+     * @param propagation_ns one-way propagation delay.
+     */
+    Link(double rate_gbps, Nanoseconds propagation_ns);
+
+    /**
+     * Reserve the wire for `wire_bytes` starting no earlier than `now`.
+     * @return the absolute time the last bit arrives at the far end.
+     */
+    sim::SimTime transmit(sim::SimTime now, std::uint64_t wire_bytes);
+
+    /** Time the transmitter becomes free again. */
+    sim::SimTime busy_until() const { return busy_until_; }
+
+    double rate_gbps() const { return rate_gbps_; }
+    Nanoseconds propagation_ns() const { return propagation_ns_; }
+
+    /** Total bytes ever accepted onto the wire. */
+    std::uint64_t bytes_carried() const { return bytes_carried_; }
+
+  private:
+    double rate_gbps_;
+    Nanoseconds propagation_ns_;
+    sim::SimTime busy_until_ = 0;
+    std::uint64_t bytes_carried_ = 0;
+};
+
+}  // namespace ask::net
+
+#endif  // ASK_NET_LINK_H

@@ -1,0 +1,106 @@
+#include "net/network.h"
+
+#include <utility>
+
+#include "common/logging.h"
+
+namespace ask::net {
+
+Network::Network(sim::Simulator& simulator) : simulator_(simulator) {}
+
+NodeId
+Network::attach(Node* node)
+{
+    ASK_ASSERT(node != nullptr, "cannot attach a null node");
+    NodeId id = static_cast<NodeId>(nodes_.size());
+    node->node_id_ = id;
+    nodes_.push_back(node);
+    return id;
+}
+
+void
+Network::connect(NodeId a, NodeId b, double rate_gbps,
+                 Nanoseconds propagation_ns, const FaultSpec& faults,
+                 std::uint64_t fault_seed)
+{
+    ASK_ASSERT(a < nodes_.size() && b < nodes_.size() && a != b,
+               "connect requires two distinct attached nodes");
+    auto make_edge = [&](NodeId from, NodeId to, std::uint64_t seed) {
+        Edge e;
+        e.link = std::make_unique<Link>(rate_gbps, propagation_ns);
+        e.faults = std::make_unique<FaultModel>(faults, seed);
+        edges_[{from, to}] = std::move(e);
+    };
+    make_edge(a, b, fault_seed * 2 + 1);
+    make_edge(b, a, fault_seed * 2 + 2);
+}
+
+Network::Edge&
+Network::edge(NodeId from, NodeId to)
+{
+    auto it = edges_.find({from, to});
+    ASK_ASSERT(it != edges_.end(), "no link from node ", from, " to ", to);
+    return it->second;
+}
+
+const Network::Edge&
+Network::edge(NodeId from, NodeId to) const
+{
+    auto it = edges_.find({from, to});
+    ASK_ASSERT(it != edges_.end(), "no link from node ", from, " to ", to);
+    return it->second;
+}
+
+void
+Network::send(NodeId from, NodeId to, Packet pkt)
+{
+    Edge& e = edge(from, to);
+    if (pkt.uid == 0)
+        pkt.uid = next_uid_++;
+
+    ++stats_.packets_sent;
+    stats_.bytes_sent += pkt.wire_bytes();
+
+    // The wire is occupied whether or not the packet survives; loss is
+    // modeled at the receiving end of the hop.
+    sim::SimTime arrival = e.link->transmit(simulator_.now(), pkt.wire_bytes());
+
+    std::vector<Nanoseconds> copies = e.faults->deliveries();
+    if (copies.empty()) {
+        ++stats_.packets_dropped;
+        return;
+    }
+    Node* sink = nodes_.at(to);
+    for (std::size_t i = 0; i < copies.size(); ++i) {
+        Packet copy;
+        if (i + 1 < copies.size())
+            copy = pkt;  // duplicate: keep the original for later copies
+        else
+            copy = std::move(pkt);
+        ++stats_.packets_delivered;
+        simulator_.schedule_at(
+            arrival + copies[i],
+            [sink, p = std::move(copy)]() mutable { sink->receive(std::move(p)); });
+    }
+}
+
+sim::SimTime
+Network::tx_free_at(NodeId from, NodeId to) const
+{
+    return edge(from, to).link->busy_until();
+}
+
+std::uint64_t
+Network::link_bytes(NodeId from, NodeId to) const
+{
+    return edge(from, to).link->bytes_carried();
+}
+
+Node*
+Network::node(NodeId id) const
+{
+    ASK_ASSERT(id < nodes_.size(), "unknown node id ", id);
+    return nodes_[id];
+}
+
+}  // namespace ask::net

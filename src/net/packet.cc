@@ -1,0 +1,4 @@
+#include "net/packet.h"
+
+// Packet is a plain aggregate; this translation unit exists to anchor the
+// library and keep a place for future out-of-line helpers.

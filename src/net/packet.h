@@ -1,0 +1,53 @@
+/**
+ * @file
+ * The simulated packet and wire-level framing constants.
+ *
+ * A Packet's `data` holds everything above the Ethernet payload boundary,
+ * i.e. the IP header plus upper-layer bytes (for ASK traffic: IP header +
+ * ASK header + tuple slots). Physical-layer and Ethernet framing is
+ * accounted analytically via kFramingOverheadBytes, matching the paper's
+ * 78-byte per-packet overhead: 12 (inter-packet gap) + 7 (preamble) +
+ * 1 (start frame delimiter) + 14 (Ethernet) + 4 (CRC) = 38 framing bytes,
+ * plus the 20-byte IP and 20-byte ASK headers carried inside `data`.
+ */
+#ifndef ASK_NET_PACKET_H
+#define ASK_NET_PACKET_H
+
+#include <cstdint>
+#include <vector>
+
+namespace ask::net {
+
+/** Identifies an attached node (host or switch). */
+using NodeId = std::uint32_t;
+
+/** Framing bytes outside Packet::data (IPG+preamble+SFD+Ethernet+CRC). */
+constexpr std::uint32_t kFramingOverheadBytes = 12 + 7 + 1 + 14 + 4;
+
+/** Size of the IPv4 header we model at the front of Packet::data. */
+constexpr std::uint32_t kIpHeaderBytes = 20;
+
+/** A simulated network packet. */
+struct Packet
+{
+    /** Origin node. */
+    NodeId src = 0;
+    /** Final destination node (the switch may consume or redirect). */
+    NodeId dst = 0;
+    /** IP header + upper-layer bytes. */
+    std::vector<std::uint8_t> data;
+    /** Unique id assigned by the Network on first transmission; preserved
+     *  across duplication so receivers can observe duplicates in tests. */
+    std::uint64_t uid = 0;
+
+    /** Bytes occupying the wire, including framing overhead. */
+    std::uint64_t
+    wire_bytes() const
+    {
+        return data.size() + kFramingOverheadBytes;
+    }
+};
+
+}  // namespace ask::net
+
+#endif  // ASK_NET_PACKET_H

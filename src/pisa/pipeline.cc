@@ -1,0 +1,65 @@
+#include "pisa/pipeline.h"
+
+#include "common/logging.h"
+
+namespace ask::pisa {
+
+Pipeline::Pipeline(std::size_t num_stages, std::size_t sram_per_stage)
+{
+    ASK_ASSERT(num_stages > 0, "pipeline needs at least one stage");
+    stages_.reserve(num_stages);
+    for (std::size_t i = 0; i < num_stages; ++i)
+        stages_.push_back(std::make_unique<Stage>(this, i, sram_per_stage));
+}
+
+void
+Pipeline::begin_pass()
+{
+    ++pass_epoch_;
+    pass_stage_cursor_ = 0;
+}
+
+void
+Pipeline::touch_stage(std::size_t stage_index)
+{
+    // A packet flows forward through the stages; a program accessing a
+    // stage earlier than one it already used would require a second pass
+    // on real hardware.
+    if (stage_index < pass_stage_cursor_) {
+        panic("pipeline pass went backwards: stage ", stage_index,
+              " touched after stage ", pass_stage_cursor_);
+    }
+    pass_stage_cursor_ = stage_index;
+}
+
+RegisterArray*
+Pipeline::find_array(const std::string& name) const
+{
+    for (const auto& st : stages_) {
+        for (std::size_t i = 0; i < st->array_count(); ++i) {
+            if (st->array(i)->name() == name)
+                return st->array(i);
+        }
+    }
+    return nullptr;
+}
+
+std::size_t
+Pipeline::sram_used_bytes() const
+{
+    std::size_t used = 0;
+    for (const auto& st : stages_)
+        used += st->sram_used_bytes();
+    return used;
+}
+
+std::size_t
+Pipeline::sram_budget_bytes() const
+{
+    std::size_t budget = 0;
+    for (const auto& st : stages_)
+        budget += st->sram_budget_bytes();
+    return budget;
+}
+
+}  // namespace ask::pisa

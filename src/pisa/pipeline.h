@@ -1,0 +1,69 @@
+/**
+ * @file
+ * A PISA pipeline: an ordered sequence of match-action stages.
+ *
+ * A packet traverses the stages sequentially exactly once per pass
+ * (paper §2.2.1). The pipeline tracks the pass discipline: begin_pass()
+ * opens a pass, and register accesses must proceed in non-decreasing
+ * stage order within it.
+ */
+#ifndef ASK_PISA_PIPELINE_H
+#define ASK_PISA_PIPELINE_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "pisa/stage.h"
+
+namespace ask::pisa {
+
+/** Default number of match-action stages per pipeline (Tofino3: 16). */
+constexpr std::size_t kDefaultStagesPerPipeline = 16;
+
+/** An ordered sequence of stages with a per-pass access discipline. */
+class Pipeline
+{
+  public:
+    /**
+     * @param num_stages stage count (chained pipelines are modeled as one
+     *        longer pipeline; see DESIGN.md).
+     * @param sram_per_stage SRAM budget per stage in bytes.
+     */
+    explicit Pipeline(std::size_t num_stages = kDefaultStagesPerPipeline,
+                      std::size_t sram_per_stage = kDefaultStageSramBytes);
+
+    Pipeline(const Pipeline&) = delete;
+    Pipeline& operator=(const Pipeline&) = delete;
+
+    /** Open a new pass: resets the per-pass access state. */
+    void begin_pass();
+
+    /** Current pass number (increments on begin_pass). */
+    std::uint64_t pass_epoch() const { return pass_epoch_; }
+
+    /** Called by RegisterArray::rmw to enforce stage ordering. */
+    void touch_stage(std::size_t stage_index);
+
+    std::size_t num_stages() const { return stages_.size(); }
+    Stage* stage(std::size_t i) { return stages_.at(i).get(); }
+
+    /** Look up an array by name across all stages; nullptr if absent. */
+    RegisterArray* find_array(const std::string& name) const;
+
+    /** Total SRAM used across stages. */
+    std::size_t sram_used_bytes() const;
+
+    /** Total SRAM budget across stages. */
+    std::size_t sram_budget_bytes() const;
+
+  private:
+    std::vector<std::unique_ptr<Stage>> stages_;
+    std::uint64_t pass_epoch_ = 0;
+    std::size_t pass_stage_cursor_ = 0;
+};
+
+}  // namespace ask::pisa
+
+#endif  // ASK_PISA_PIPELINE_H

@@ -1,0 +1,84 @@
+#include "pisa/register_array.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "pisa/pipeline.h"
+#include "pisa/stage.h"
+
+namespace ask::pisa {
+
+RegisterArray::RegisterArray(std::string name, std::size_t num_entries,
+                             std::uint32_t width_bits)
+    : name_(std::move(name)),
+      width_bits_(width_bits),
+      values_(num_entries, 0)
+{
+    ASK_ASSERT(width_bits >= 1 && width_bits <= 64,
+               "register width must be 1..64 bits: ", name_);
+    ASK_ASSERT(num_entries > 0, "empty register array: ", name_);
+    max_value_ = width_bits == 64 ? ~0ULL : ((1ULL << width_bits) - 1);
+}
+
+void
+RegisterArray::check_access(std::size_t index)
+{
+    ASK_ASSERT(stage_ != nullptr,
+               "register array '", name_, "' not placed on a stage");
+    ASK_ASSERT(index < values_.size(),
+               "index ", index, " out of range in '", name_, "'");
+    Pipeline* pipe = stage_->pipeline();
+    std::uint64_t epoch = pipe->pass_epoch();
+    // PISA: one stateful-ALU access per register array per packet pass.
+    if (pass_epoch_ == epoch) {
+        panic("register array '", name_,
+              "' accessed twice in one pipeline pass");
+    }
+    pipe->touch_stage(stage_->index());
+    pass_epoch_ = epoch;
+    ++access_count_;
+}
+
+void
+RegisterArray::check_width(std::uint64_t value) const
+{
+    if (value > max_value_) {
+        panic("value 0x", std::hex, value, " overflows ", std::dec,
+              width_bits_, "-bit register in '", name_, "'");
+    }
+}
+
+std::uint64_t
+RegisterArray::cp_read(std::size_t index) const
+{
+    ASK_ASSERT(index < values_.size(), "cp_read out of range in '", name_, "'");
+    return values_[index];
+}
+
+void
+RegisterArray::cp_write(std::size_t index, std::uint64_t value)
+{
+    ASK_ASSERT(index < values_.size(), "cp_write out of range in '", name_, "'");
+    check_width(value);
+    values_[index] = value;
+}
+
+void
+RegisterArray::cp_clear(std::size_t first, std::size_t count)
+{
+    ASK_ASSERT(first + count <= values_.size(),
+               "cp_clear region out of range in '", name_, "'");
+    std::fill(values_.begin() + static_cast<std::ptrdiff_t>(first),
+              values_.begin() + static_cast<std::ptrdiff_t>(first + count), 0);
+}
+
+std::size_t
+RegisterArray::sram_bytes() const
+{
+    // Entries are bit-packed in SRAM (a 1-bit array of W entries costs
+    // W bits, matching the paper's 256 + 256x32 bit = 1056 B per-channel
+    // accounting).
+    return (values_.size() * width_bits_ + 7) / 8;
+}
+
+}  // namespace ask::pisa

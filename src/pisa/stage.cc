@@ -1,0 +1,43 @@
+#include "pisa/stage.h"
+
+#include "common/logging.h"
+
+namespace ask::pisa {
+
+Stage::Stage(Pipeline* pipeline, std::size_t index,
+             std::size_t sram_budget_bytes)
+    : pipeline_(pipeline), index_(index), sram_budget_(sram_budget_bytes)
+{
+}
+
+std::size_t
+Stage::sram_used_bytes() const
+{
+    std::size_t used = 0;
+    for (const auto& a : arrays_)
+        used += a->sram_bytes();
+    return used;
+}
+
+RegisterArray*
+Stage::add_register_array(std::string name, std::size_t num_entries,
+                          std::uint32_t width_bits)
+{
+    if (arrays_.size() >= kMaxRegisterArraysPerStage) {
+        fatal("stage ", index_, " already hosts ",
+              kMaxRegisterArraysPerStage,
+              " register arrays; cannot place '", name, "'");
+    }
+    auto arr =
+        std::make_unique<RegisterArray>(std::move(name), num_entries, width_bits);
+    if (sram_used_bytes() + arr->sram_bytes() > sram_budget_) {
+        fatal("stage ", index_, " SRAM exhausted placing '", arr->name(),
+              "': used ", sram_used_bytes(), " + ", arr->sram_bytes(),
+              " > budget ", sram_budget_);
+    }
+    arr->stage_ = this;
+    arrays_.push_back(std::move(arr));
+    return arrays_.back().get();
+}
+
+}  // namespace ask::pisa

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * One match-action stage of a PISA pipeline.
+ *
+ * Stages have isolated, scarce SRAM (Tofino3: 1280 KiB per stage) and can
+ * host at most four register arrays (paper §3.2.1). Both limits are
+ * enforced when a switch program declares its state.
+ */
+#ifndef ASK_PISA_STAGE_H
+#define ASK_PISA_STAGE_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "pisa/register_array.h"
+
+namespace ask::pisa {
+
+class Pipeline;
+
+/** Default per-stage SRAM budget (Tofino3). */
+constexpr std::size_t kDefaultStageSramBytes = 1280 * 1024;
+
+/** Hardware limit on register arrays per stage. */
+constexpr std::size_t kMaxRegisterArraysPerStage = 4;
+
+/** A match-action stage: a slice of SRAM hosting register arrays. */
+class Stage
+{
+  public:
+    Stage(Pipeline* pipeline, std::size_t index, std::size_t sram_budget_bytes);
+
+    Stage(const Stage&) = delete;
+    Stage& operator=(const Stage&) = delete;
+
+    /**
+     * Declare a register array on this stage.
+     * fatal()s if the stage is out of array slots or SRAM: these are
+     * configuration errors a user can hit by over-provisioning.
+     * @return the array, owned by the stage.
+     */
+    RegisterArray* add_register_array(std::string name,
+                                      std::size_t num_entries,
+                                      std::uint32_t width_bits);
+
+    std::size_t index() const { return index_; }
+    Pipeline* pipeline() const { return pipeline_; }
+
+    std::size_t sram_budget_bytes() const { return sram_budget_; }
+    std::size_t sram_used_bytes() const;
+    std::size_t array_count() const { return arrays_.size(); }
+    RegisterArray* array(std::size_t i) const { return arrays_.at(i).get(); }
+
+  private:
+    Pipeline* pipeline_;
+    std::size_t index_;
+    std::size_t sram_budget_;
+    std::vector<std::unique_ptr<RegisterArray>> arrays_;
+};
+
+}  // namespace ask::pisa
+
+#endif  // ASK_PISA_STAGE_H

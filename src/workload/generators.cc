@@ -1,0 +1,110 @@
+#include "workload/generators.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace ask::workload {
+
+UniformGenerator::UniformGenerator(std::uint64_t distinct_keys,
+                                   std::uint64_t seed, std::string key_prefix,
+                                   std::uint64_t id_offset)
+    : distinct_(distinct_keys),
+      rng_(seed),
+      prefix_(std::move(key_prefix)),
+      offset_(id_offset)
+{
+    ASK_ASSERT(distinct_keys > 0, "vocabulary must be non-empty");
+}
+
+core::Key
+UniformGenerator::key_of(std::uint64_t id) const
+{
+    return prefix_ + u64_key(offset_ + id);
+}
+
+core::KvStream
+UniformGenerator::generate(std::uint64_t n, core::Value value)
+{
+    core::KvStream out;
+    out.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i)
+        out.push_back({key_of(rng_.next_below(distinct_)), value});
+    return out;
+}
+
+ZipfGenerator::ZipfGenerator(std::uint64_t distinct_keys, double alpha,
+                             std::uint64_t seed, std::string key_prefix)
+    : distinct_(distinct_keys),
+      alpha_(alpha),
+      rng_(seed),
+      prefix_(std::move(key_prefix))
+{
+    ASK_ASSERT(distinct_keys > 0, "vocabulary must be non-empty");
+    ASK_ASSERT(alpha >= 0.0, "zipf exponent must be non-negative");
+    cdf_.resize(distinct_);
+    double acc = 0.0;
+    for (std::uint64_t r = 0; r < distinct_; ++r) {
+        acc += 1.0 / std::pow(static_cast<double>(r + 1), alpha_);
+        cdf_[r] = acc;
+    }
+    for (auto& c : cdf_)
+        c /= acc;
+}
+
+std::uint64_t
+ZipfGenerator::sample_rank()
+{
+    double u = rng_.next_double();
+    auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+    return static_cast<std::uint64_t>(it - cdf_.begin());
+}
+
+core::Key
+ZipfGenerator::key_of(std::uint64_t rank) const
+{
+    return prefix_ + u64_key(rank);
+}
+
+core::KvStream
+ZipfGenerator::generate(std::uint64_t n, KeyOrder order, core::Value value)
+{
+    std::vector<std::uint64_t> ranks(n);
+    for (auto& r : ranks)
+        r = sample_rank();
+    switch (order) {
+      case KeyOrder::kShuffled:
+        break;  // draws are already i.i.d.
+      case KeyOrder::kHotFirst:
+        std::sort(ranks.begin(), ranks.end());
+        break;
+      case KeyOrder::kColdFirst:
+        std::sort(ranks.begin(), ranks.end(), std::greater<>());
+        break;
+    }
+    core::KvStream out;
+    out.reserve(n);
+    for (auto r : ranks)
+        out.push_back({key_of(r), value});
+    return out;
+}
+
+core::KvStream
+value_stream(std::uint64_t length, core::Value value, std::uint64_t seed,
+             std::uint64_t index_offset)
+{
+    Rng rng(seed);
+    core::KvStream out;
+    out.reserve(length);
+    for (std::uint64_t i = 0; i < length; ++i) {
+        core::Value v = value != 0
+                            ? value
+                            : static_cast<core::Value>(rng.next_below(1000));
+        out.push_back({u64_key(index_offset + i), v});
+    }
+    return out;
+}
+
+}  // namespace ask::workload

@@ -1,0 +1,37 @@
+#include "workload/models.h"
+
+namespace ask::workload {
+
+namespace {
+
+ModelSpec
+make(const char* name, std::uint64_t params, double images_per_second)
+{
+    ModelSpec m;
+    m.name = name;
+    m.parameters = params;
+    m.batch_size = 32;
+    m.compute_ns = static_cast<Nanoseconds>(
+        m.batch_size / images_per_second * 1e9);
+    return m;
+}
+
+}  // namespace
+
+// Parameter counts are the standard ImageNet-classification figures;
+// single-GPU throughputs are RTX 2080Ti fp32 training rates (batch 32).
+
+ModelSpec resnet50() { return make("ResNet50", 25557032, 220.0); }
+ModelSpec resnet101() { return make("ResNet101", 44549160, 132.0); }
+ModelSpec resnet152() { return make("ResNet152", 60192808, 94.0); }
+ModelSpec vgg11() { return make("VGG11", 132863336, 158.0); }
+ModelSpec vgg16() { return make("VGG16", 138357544, 110.0); }
+ModelSpec vgg19() { return make("VGG19", 143667240, 96.0); }
+
+std::vector<ModelSpec>
+figure12_models()
+{
+    return {resnet50(), resnet101(), resnet152(), vgg11(), vgg16(), vgg19()};
+}
+
+}  // namespace ask::workload

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * The model zoo for the distributed-training experiments (paper §5.6):
+ * parameter counts and single-GPU step times for the six models the
+ * paper trains (ResNet50/101/152, VGG11/16/19) on an RTX 2080Ti-class
+ * accelerator with ImageNet-shaped inputs.
+ */
+#ifndef ASK_WORKLOAD_MODELS_H
+#define ASK_WORKLOAD_MODELS_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+
+namespace ask::workload {
+
+/** One trainable model. */
+struct ModelSpec
+{
+    std::string name;
+    /** Trainable parameters == gradient elements per step. */
+    std::uint64_t parameters = 0;
+    /** Per-GPU minibatch size. */
+    std::uint32_t batch_size = 32;
+    /** Forward+backward compute time for one minibatch on one GPU. */
+    Nanoseconds compute_ns = 0;
+
+    /** Gradient bytes per step (fp32). */
+    std::uint64_t gradient_bytes() const { return parameters * 4; }
+
+    /** Single-GPU throughput in images/second. */
+    double
+    single_gpu_ips() const
+    {
+        return static_cast<double>(batch_size) /
+               ask::units::to_seconds(compute_ns);
+    }
+};
+
+/** The six models of Figure 12. */
+ModelSpec resnet50();
+ModelSpec resnet101();
+ModelSpec resnet152();
+ModelSpec vgg11();
+ModelSpec vgg16();
+ModelSpec vgg19();
+std::vector<ModelSpec> figure12_models();
+
+}  // namespace ask::workload
+
+#endif  // ASK_WORKLOAD_MODELS_H

@@ -1,0 +1,195 @@
+/** Tests for the baseline systems: NoAggr, PreAggr, Spark models,
+ *  strawman config, and the synchronous INA programs. */
+#include <gtest/gtest.h>
+
+#include "baselines/noaggr.h"
+#include "baselines/preaggr.h"
+#include "baselines/spark_model.h"
+#include "baselines/strawman.h"
+#include "baselines/sync_ina.h"
+
+namespace ask::baselines {
+namespace {
+
+TEST(NoAggr, SingleSenderSaturatesNearLineRate)
+{
+    BulkSpec spec;
+    spec.tuples_per_sender = 2000000;  // 16 MB
+    spec.sender_channels = 4;
+    spec.receiver_channels = 4;
+    BulkResult r = run_noaggr(spec);
+    // MTU packets: goodput ~ 1460/1538 of line rate minus ramp effects.
+    EXPECT_GT(r.goodput_gbps, 85.0);
+    EXPECT_LE(r.goodput_gbps, 95.0);
+    EXPECT_GT(r.throughput_gbps, r.goodput_gbps);
+    EXPECT_LE(r.throughput_gbps, 100.5);
+}
+
+TEST(NoAggr, OneCoreCannotSaturate)
+{
+    BulkSpec spec;
+    spec.tuples_per_sender = 1000000;
+    spec.sender_channels = 1;
+    BulkResult one = run_noaggr(spec);
+    spec.sender_channels = 2;
+    spec.tuples_per_sender = 2000000;
+    BulkResult two = run_noaggr(spec);
+    // Paper Fig. 13(a): NoAggr saturates the NIC with 2 cores, not 1.
+    EXPECT_LT(one.throughput_gbps, 95.0);
+    EXPECT_GT(two.throughput_gbps, 97.0);
+    EXPECT_GT(two.goodput_gbps, 89.0);
+}
+
+TEST(NoAggr, ReceiverLinkLimitsManySenders)
+{
+    // Paper Fig. 13(b): per-sender throughput ~ 1/n with NoAggr.
+    BulkSpec spec;
+    spec.tuples_per_sender = 500000;
+    spec.num_senders = 8;
+    BulkResult r = run_noaggr(spec);
+    EXPECT_LT(r.per_sender_goodput_gbps, 13.0);
+    EXPECT_GT(r.per_sender_goodput_gbps, 10.0);
+}
+
+TEST(NoAggr, SmallPacketsHurtGoodput)
+{
+    BulkSpec mtu, tiny;
+    mtu.tuples_per_sender = tiny.tuples_per_sender = 500000;
+    tiny.payload_bytes = 64;
+    BulkResult rm = run_noaggr(mtu);
+    BulkResult rt = run_noaggr(tiny);
+    EXPECT_LT(rt.goodput_gbps, rm.goodput_gbps / 2);
+}
+
+TEST(PreAggr, MatchesPaperCalibration)
+{
+    PreAggrSpec spec;
+    spec.tuples = 6400000000ULL;  // 51.2 GB of 8-byte tuples
+    spec.distinct_keys = 33554432;  // 256 MB combined
+    spec.threads = 8;
+    PreAggrResult r8 = run_preaggr(spec);
+    EXPECT_NEAR(r8.jct_s, 111.2, 4.0);
+    spec.threads = 32;
+    PreAggrResult r32 = run_preaggr(spec);
+    EXPECT_NEAR(r32.jct_s, 33.2, 2.0);
+    EXPECT_NEAR(r32.cpu_fraction, 32.0 / 56.0, 1e-9);
+    // Sub-linear thread scaling (contention).
+    EXPECT_GT(r32.jct_s, r8.jct_s / 4.0);
+}
+
+TEST(SparkModel, VariantOrderingAndBand)
+{
+    SparkJobSpec spec;  // the Fig. 10/11 configuration
+    auto vanilla = run_spark_job(spec);
+    spec.variant = SparkVariant::kShm;
+    auto shm = run_spark_job(spec);
+    spec.variant = SparkVariant::kRdma;
+    auto rdma = run_spark_job(spec);
+
+    // Paper Fig. 11: mapper TCTs in the 15.89-17.67 s band at 1.5e8
+    // tuples/mapper; SHM < RDMA < vanilla.
+    EXPECT_NEAR(vanilla.mapper_tct_s, 17.7, 0.5);
+    EXPECT_NEAR(shm.mapper_tct_s, 15.9, 0.5);
+    EXPECT_NEAR(rdma.mapper_tct_s, 16.8, 0.5);
+    EXPECT_LT(shm.jct_s, rdma.jct_s);
+    EXPECT_LT(rdma.jct_s, vanilla.jct_s);
+
+    // Paper Fig. 10 finding: SHM/RDMA give no *significant* gain over
+    // vanilla (pre-aggregated shuffle volume is small).
+    EXPECT_GT(shm.jct_s, vanilla.jct_s * 0.8);
+}
+
+TEST(SparkModel, JctScalesWithVolume)
+{
+    SparkJobSpec spec;
+    spec.tuples_per_mapper = 50000000;
+    double jct5 = run_spark_job(spec).jct_s;
+    spec.tuples_per_mapper = 200000000;
+    double jct20 = run_spark_job(spec).jct_s;
+    EXPECT_GT(jct20, 3.0 * jct5);
+    EXPECT_LT(jct20, 4.5 * jct5);
+}
+
+TEST(Strawman, ConfigurationMatchesAssumptions)
+{
+    auto cc = strawman_cluster(2, 16, 1 << 16);
+    EXPECT_EQ(cc.ask.num_aas, 1u);
+    EXPECT_EQ(cc.ask.medium_groups, 0u);
+    EXPECT_FALSE(cc.ask.shadow_copies);
+    EXPECT_GE(cc.ask.aggregators_per_aa, 4u << 16);
+    cc.ask.validate();
+}
+
+TEST(SyncIna, SwitchMlCorrectSums)
+{
+    SyncInaSpec spec;
+    spec.variant = SyncVariant::kSwitchMl;
+    spec.workers = 4;
+    spec.grad_elements = 1 << 14;
+    spec.values_per_packet = 16;
+    spec.slots = 64;
+    SyncInaResult r = run_sync_allreduce(spec);
+    EXPECT_TRUE(r.correct);
+    EXPECT_EQ(r.ps_fallback_chunks, 0u);
+    EXPECT_GT(r.per_worker_goodput_gbps, 1.0);
+}
+
+TEST(SyncIna, AtpCorrectWithFallback)
+{
+    SyncInaSpec spec;
+    spec.variant = SyncVariant::kAtp;
+    spec.workers = 4;
+    spec.grad_elements = 1 << 14;
+    spec.values_per_packet = 64;
+    spec.slots = 8;  // tiny pool -> hash collisions -> PS fallback
+    // Stragglers keep slots occupied long enough for other chunks to
+    // collide (synchronized workers drain slots almost instantly).
+    spec.worker_skew_ns = 50 * units::kMicrosecond;
+    SyncInaResult r = run_sync_allreduce(spec);
+    EXPECT_TRUE(r.correct);
+    EXPECT_GT(r.ps_fallback_chunks, 0u);
+}
+
+TEST(SyncIna, AtpLargePoolRarelyFallsBack)
+{
+    SyncInaSpec spec;
+    spec.variant = SyncVariant::kAtp;
+    spec.workers = 2;
+    spec.grad_elements = 1 << 13;
+    spec.values_per_packet = 64;
+    spec.slots = 4096;
+    SyncInaResult r = run_sync_allreduce(spec);
+    EXPECT_TRUE(r.correct);
+    EXPECT_LT(static_cast<double>(r.ps_fallback_chunks) /
+                  static_cast<double>(r.chunks),
+              0.2);
+}
+
+TEST(SyncIna, SmallPacketsUnderperformLargeOnes)
+{
+    // The §5.6 claim: SwitchML-style small packets leave bandwidth on
+    // the table relative to ATP-style larger packets.
+    SyncInaSpec small;
+    small.variant = SyncVariant::kSwitchMl;
+    small.grad_elements = 1 << 18;
+    small.values_per_packet = 16;
+    small.slots = 512;
+    SyncInaSpec large = small;
+    large.values_per_packet = 64;
+    double g_small = run_sync_allreduce(small).per_worker_goodput_gbps;
+    double g_large = run_sync_allreduce(large).per_worker_goodput_gbps;
+    EXPECT_GT(g_large, 1.4 * g_small);
+}
+
+TEST(SyncIna, MoreWorkersStillCorrect)
+{
+    SyncInaSpec spec;
+    spec.workers = 8;
+    spec.grad_elements = 1 << 13;
+    spec.slots = 128;
+    SyncInaResult r = run_sync_allreduce(spec);
+    EXPECT_TRUE(r.correct);
+}
+
+}  // namespace
+}  // namespace ask::baselines

@@ -1,0 +1,190 @@
+/** Unit tests for key classification, partition, and segment encoding. */
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "ask/key_space.h"
+#include "common/string_util.h"
+
+namespace ask::core {
+namespace {
+
+AskConfig
+small_config()
+{
+    AskConfig c;
+    c.num_aas = 8;
+    c.aggregators_per_aa = 64;
+    c.medium_groups = 2;
+    c.medium_segments = 2;
+    return c;  // 4 short AAs, 2 groups x 2 AAs
+}
+
+TEST(KeySpace, ClassifiesByLength)
+{
+    KeySpace ks(small_config());
+    EXPECT_EQ(ks.classify("a"), KeyClass::kShort);
+    EXPECT_EQ(ks.classify("abcd"), KeyClass::kShort);
+    EXPECT_EQ(ks.classify("abcde"), KeyClass::kMedium);
+    EXPECT_EQ(ks.classify("abcdefgh"), KeyClass::kMedium);
+    EXPECT_EQ(ks.classify("abcdefghi"), KeyClass::kLong);
+}
+
+TEST(KeySpace, NoMediumGroupsMeansLong)
+{
+    AskConfig c = small_config();
+    c.medium_groups = 0;
+    KeySpace ks(c);
+    EXPECT_EQ(ks.classify("abcde"), KeyClass::kLong);
+}
+
+TEST(KeySpace, ShortSlotIsStableAndInRange)
+{
+    KeySpace ks(small_config());
+    for (int i = 0; i < 200; ++i) {
+        std::string k = u64_key(static_cast<std::uint64_t>(i));
+        if (ks.classify(k) != KeyClass::kShort)
+            continue;
+        std::uint32_t s1 = ks.short_slot(k);
+        std::uint32_t s2 = ks.short_slot(k);
+        EXPECT_EQ(s1, s2);
+        EXPECT_LT(s1, 4u);
+    }
+}
+
+TEST(KeySpace, ShortSlotsRoughlyUniform)
+{
+    KeySpace ks(small_config());
+    std::map<std::uint32_t, int> counts;
+    int shorts = 0;
+    for (int i = 0; i < 4000; ++i) {
+        std::string k = "k" + std::to_string(i);
+        if (k.size() <= 4) {
+            ++counts[ks.short_slot(k)];
+            ++shorts;
+        }
+    }
+    for (auto& [slot, n] : counts)
+        EXPECT_NEAR(n, shorts / 4.0, shorts / 4.0 * 0.3);
+}
+
+TEST(KeySpace, PaddedAndUnpadRoundTrip)
+{
+    KeySpace ks(small_config());
+    EXPECT_EQ(ks.padded("ab").size(), 4u);
+    EXPECT_EQ(ks.padded("abcde").size(), 8u);
+    EXPECT_EQ(KeySpace::unpad(ks.padded("ab")), "ab");
+    EXPECT_EQ(KeySpace::unpad(ks.padded("abcde")), "abcde");
+    EXPECT_EQ(KeySpace::unpad(ks.padded("abcdefgh")), "abcdefgh");
+}
+
+TEST(KeySpace, SegmentsRoundTripThroughDecode)
+{
+    KeySpace ks(small_config());
+    for (const std::string& key : {"x", "ab", "abcd", "abcde", "abcdefgh"}) {
+        auto segs = ks.segments(key);
+        std::string rebuilt;
+        for (auto s : segs)
+            rebuilt += ks.decode_segment(s);
+        EXPECT_EQ(KeySpace::unpad(rebuilt), key);
+    }
+}
+
+TEST(KeySpace, SegmentCountMatchesClass)
+{
+    KeySpace ks(small_config());
+    EXPECT_EQ(ks.segments("ab").size(), 1u);
+    EXPECT_EQ(ks.segments("abcdef").size(), 2u);
+}
+
+TEST(KeySpace, SegmentsOfRealKeysAreNonZero)
+{
+    // The data plane uses kPart == 0 as "blank", so no key segment may
+    // encode to zero (keys are NUL-free and non-empty).
+    KeySpace ks(small_config());
+    for (int i = 0; i < 5000; ++i) {
+        std::string k = u64_key(static_cast<std::uint64_t>(i) * 2654435761u);
+        if (ks.classify(k) == KeyClass::kLong)
+            continue;
+        for (auto seg : ks.segments(k))
+            ASSERT_NE(seg, 0u) << "zero segment for key index " << i;
+    }
+}
+
+TEST(KeySpace, AggregatorIndexInRangeAndStable)
+{
+    KeySpace ks(small_config());
+    std::string p = ks.padded("word");
+    std::uint32_t i1 = ks.aggregator_index(p, 32);
+    std::uint32_t i2 = ks.aggregator_index(p, 32);
+    EXPECT_EQ(i1, i2);
+    EXPECT_LT(i1, 32u);
+}
+
+TEST(KeySpace, MediumGroupStable)
+{
+    KeySpace ks(small_config());
+    EXPECT_EQ(ks.medium_group("abcdef"), ks.medium_group("abcdef"));
+    EXPECT_LT(ks.medium_group("abcdef"), 2u);
+}
+
+TEST(KeySpace, PartitionAndAddressingAreIndependent)
+{
+    // Keys in the same subspace must not cluster within the AA: the two
+    // hash roles use different seeds (common/hash.h).
+    AskConfig c = small_config();
+    c.medium_groups = 0;  // all 8 AAs short
+    KeySpace ks(c);
+    std::map<std::uint32_t, std::map<std::uint32_t, int>> index_by_slot;
+    for (int i = 0; i < 8000; ++i) {
+        std::string k = u64_key(static_cast<std::uint64_t>(i));
+        if (ks.classify(k) != KeyClass::kShort)
+            continue;
+        std::uint32_t slot = ks.short_slot(k);
+        std::uint32_t idx = ks.aggregator_index(ks.padded(k), 16);
+        ++index_by_slot[slot][idx];
+    }
+    // Within each slot, indices should cover most of [0,16).
+    for (auto& [slot, dist] : index_by_slot)
+        EXPECT_GE(dist.size(), 12u) << "slot " << slot << " clustered";
+}
+
+TEST(AskConfig, DerivedLayout)
+{
+    AskConfig c;  // paper defaults
+    c.validate();
+    EXPECT_EQ(c.short_aas(), 16u);
+    EXPECT_EQ(c.medium_aas(), 16u);
+    EXPECT_EQ(c.payload_bytes(), 256u);
+    EXPECT_EQ(c.copy_size(), 16384u);
+    EXPECT_EQ(c.max_medium_key_bytes(), 8u);
+    EXPECT_EQ(c.medium_base(0), 16u);
+    EXPECT_EQ(c.medium_base(7), 30u);
+    EXPECT_EQ(c.max_channels(), 256u);
+}
+
+TEST(AskConfig, ShadowDisabledUsesFullArray)
+{
+    AskConfig c;
+    c.shadow_copies = false;
+    EXPECT_EQ(c.copy_size(), 32768u);
+}
+
+using KeySpaceDeath = KeySpace;
+
+TEST(KeySpaceDeathTest, RejectsEmptyKey)
+{
+    KeySpace ks(small_config());
+    EXPECT_EXIT(ks.classify(""), ::testing::ExitedWithCode(1), "non-empty");
+}
+
+TEST(KeySpaceDeathTest, RejectsNulBytes)
+{
+    KeySpace ks(small_config());
+    std::string bad("a\0b", 3);
+    EXPECT_EXIT(ks.classify(bad), ::testing::ExitedWithCode(1), "NUL");
+}
+
+}  // namespace
+}  // namespace ask::core

@@ -1,0 +1,237 @@
+/** Unit tests for the network substrate: links, faults, fabric, costs. */
+#include <gtest/gtest.h>
+
+#include "net/cost_model.h"
+#include "net/fault_model.h"
+#include "net/link.h"
+#include "net/network.h"
+#include "sim/simulator.h"
+
+namespace ask::net {
+namespace {
+
+TEST(Link, SerializationDelay)
+{
+    Link l(100.0, 500);
+    // 1250 bytes at 100 Gbps = 100 ns + 500 ns propagation.
+    EXPECT_EQ(l.transmit(0, 1250), 600);
+    EXPECT_EQ(l.busy_until(), 100);
+}
+
+TEST(Link, BackToBackQueues)
+{
+    Link l(100.0, 0);
+    EXPECT_EQ(l.transmit(0, 1250), 100);
+    // Second packet waits for the wire.
+    EXPECT_EQ(l.transmit(0, 1250), 200);
+    // A later packet starts fresh.
+    EXPECT_EQ(l.transmit(1000, 1250), 1100);
+    EXPECT_EQ(l.bytes_carried(), 3750u);
+}
+
+TEST(Link, RateScales)
+{
+    Link slow(10.0, 0);
+    EXPECT_EQ(slow.transmit(0, 1250), 1000);
+}
+
+TEST(FaultModel, ReliableDeliversExactlyOnce)
+{
+    FaultModel fm(FaultSpec::reliable(), 1);
+    for (int i = 0; i < 1000; ++i) {
+        auto d = fm.deliveries();
+        ASSERT_EQ(d.size(), 1u);
+        EXPECT_EQ(d[0], 0);
+    }
+    EXPECT_EQ(fm.dropped(), 0u);
+}
+
+TEST(FaultModel, LossRateApproximatelyHonored)
+{
+    FaultSpec spec;
+    spec.loss_prob = 0.1;
+    FaultModel fm(spec, 7);
+    int lost = 0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i)
+        lost += fm.deliveries().empty();
+    EXPECT_NEAR(lost / static_cast<double>(n), 0.1, 0.01);
+    EXPECT_EQ(fm.dropped(), static_cast<std::uint64_t>(lost));
+}
+
+TEST(FaultModel, DuplicationYieldsTwoCopies)
+{
+    FaultSpec spec;
+    spec.dup_prob = 1.0;
+    FaultModel fm(spec, 3);
+    EXPECT_EQ(fm.deliveries().size(), 2u);
+}
+
+TEST(FaultModel, ReorderAddsDelay)
+{
+    FaultSpec spec;
+    spec.reorder_prob = 1.0;
+    spec.reorder_delay_ns = 1000;
+    FaultModel fm(spec, 5);
+    auto d = fm.deliveries();
+    ASSERT_EQ(d.size(), 1u);
+    EXPECT_GT(d[0], 0);
+}
+
+class CountingNode : public Node
+{
+  public:
+    void receive(Packet pkt) override { received.push_back(std::move(pkt)); }
+    std::string name() const override { return "counting"; }
+    std::vector<Packet> received;
+};
+
+TEST(Network, DeliversBetweenConnectedNodes)
+{
+    sim::Simulator simulator;
+    Network network(simulator);
+    CountingNode a, b;
+    network.attach(&a);
+    network.attach(&b);
+    network.connect(a.node_id(), b.node_id(), 100.0, 100);
+
+    Packet pkt;
+    pkt.src = a.node_id();
+    pkt.dst = b.node_id();
+    pkt.data.resize(60);
+    network.send(a.node_id(), b.node_id(), std::move(pkt));
+    simulator.run();
+
+    ASSERT_EQ(b.received.size(), 1u);
+    EXPECT_EQ(b.received[0].data.size(), 60u);
+    EXPECT_NE(b.received[0].uid, 0u);
+    EXPECT_EQ(network.stats().packets_delivered, 1u);
+}
+
+TEST(Network, LossCountsDropped)
+{
+    sim::Simulator simulator;
+    Network network(simulator);
+    CountingNode a, b;
+    network.attach(&a);
+    network.attach(&b);
+    FaultSpec lossy;
+    lossy.loss_prob = 1.0;
+    network.connect(a.node_id(), b.node_id(), 100.0, 0, lossy);
+
+    Packet pkt;
+    network.send(a.node_id(), b.node_id(), std::move(pkt));
+    simulator.run();
+    EXPECT_TRUE(b.received.empty());
+    EXPECT_EQ(network.stats().packets_dropped, 1u);
+}
+
+TEST(Network, DuplicationPreservesUid)
+{
+    sim::Simulator simulator;
+    Network network(simulator);
+    CountingNode a, b;
+    network.attach(&a);
+    network.attach(&b);
+    FaultSpec dup;
+    dup.dup_prob = 1.0;
+    network.connect(a.node_id(), b.node_id(), 100.0, 0, dup);
+
+    network.send(a.node_id(), b.node_id(), Packet{});
+    simulator.run();
+    ASSERT_EQ(b.received.size(), 2u);
+    EXPECT_EQ(b.received[0].uid, b.received[1].uid);
+}
+
+TEST(Network, LinkBytesAccounting)
+{
+    sim::Simulator simulator;
+    Network network(simulator);
+    CountingNode a, b;
+    network.attach(&a);
+    network.attach(&b);
+    network.connect(a.node_id(), b.node_id(), 100.0, 0);
+    Packet pkt;
+    pkt.data.resize(100);
+    network.send(a.node_id(), b.node_id(), std::move(pkt));
+    EXPECT_EQ(network.link_bytes(a.node_id(), b.node_id()),
+              100u + kFramingOverheadBytes);
+    EXPECT_EQ(network.link_bytes(b.node_id(), a.node_id()), 0u);
+}
+
+TEST(Network, SendOnMissingEdgePanics)
+{
+    sim::Simulator simulator;
+    Network network(simulator);
+    CountingNode a, b;
+    network.attach(&a);
+    network.attach(&b);
+    EXPECT_DEATH(network.send(a.node_id(), b.node_id(), Packet{}), "no link");
+}
+
+TEST(CostModel, TlpQuantizationMatchesFig8aGlitches)
+{
+    CostModel cm;
+    // TLP-count steps for 8x+40-byte frames land at x = 3, 11, 18, 26
+    // (the paper's Fig. 8a shows the visible ones at 18 and 26).
+    auto tlps = [&](int x) { return cm.tlp_count(8 * x + 40); };
+    EXPECT_EQ(tlps(17), tlps(12));
+    EXPECT_GT(tlps(18), tlps(17));
+    EXPECT_EQ(tlps(25), tlps(19));
+    EXPECT_GT(tlps(26), tlps(25));
+}
+
+TEST(CostModel, TxCostMonotoneInSize)
+{
+    CostModel cm;
+    Nanoseconds prev = 0;
+    for (std::uint64_t b = 48; b <= 1500; b += 8) {
+        Nanoseconds c = cm.tx_cost_ns(b);
+        EXPECT_GE(c, prev);
+        prev = c;
+    }
+}
+
+TEST(CostModel, CalibratedRates)
+{
+    CostModel cm;
+    // A 32-tuple ASK packet (296B of IP+ASK+payload) should cost ~80 ns
+    // so that 4 channels saturate 100 Gbps (see EXPERIMENTS.md).
+    Nanoseconds ask_pkt = cm.tx_cost_ns(296);
+    EXPECT_GE(ask_pkt, 70);
+    EXPECT_LE(ask_pkt, 95);
+    // An MTU packet must be cheap enough for 2 cores to saturate the
+    // line (< 246 ns) but too costly for one (> 123 ns).
+    Nanoseconds mtu = cm.tx_cost_ns(1500);
+    EXPECT_GT(mtu, 123);
+    EXPECT_LT(mtu, 246);
+}
+
+TEST(CostModel, PreaggrCalibration)
+{
+    CostModel cm;
+    // Paper Fig. 7: 6.4e9 tuples, 8 threads -> 111.2 s; 32 -> 33.2 s.
+    double t8 = units::to_seconds(cm.preaggr_combine_ns(6400000000ULL, 8));
+    double t32 = units::to_seconds(cm.preaggr_combine_ns(6400000000ULL, 32));
+    EXPECT_NEAR(t8, 111.2, 3.0);
+    EXPECT_NEAR(t32, 33.2, 1.5);
+}
+
+TEST(CostModel, SparkCurveAnchors)
+{
+    EXPECT_NEAR(spark_akvs(4), 7.74e6, 1e4);
+    EXPECT_NEAR(spark_akvs(16), 2.9e7, 1e5);
+    EXPECT_NEAR(spark_akvs(56), 4.26e7, 1e5);
+    EXPECT_EQ(spark_akvs(100), spark_akvs(56));  // plateau
+    EXPECT_LT(spark_akvs(1), spark_akvs(2));     // interpolation rises
+}
+
+TEST(CostModel, HostAggregateLinear)
+{
+    CostModel cm;
+    EXPECT_EQ(cm.host_aggregate_ns(0), 0);
+    EXPECT_EQ(cm.host_aggregate_ns(1000), 80000);
+}
+
+}  // namespace
+}  // namespace ask::net

@@ -1,0 +1,147 @@
+/** Unit tests for the discrete-event simulation kernel. */
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulator.h"
+
+namespace ask::sim {
+namespace {
+
+TEST(Simulator, StartsAtZero)
+{
+    Simulator s;
+    EXPECT_EQ(s.now(), 0);
+    EXPECT_EQ(s.pending(), 0u);
+}
+
+TEST(Simulator, RunsEventsInTimeOrder)
+{
+    Simulator s;
+    std::vector<int> order;
+    s.schedule_at(30, [&] { order.push_back(3); });
+    s.schedule_at(10, [&] { order.push_back(1); });
+    s.schedule_at(20, [&] { order.push_back(2); });
+    s.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(s.now(), 30);
+}
+
+TEST(Simulator, FifoAmongEqualTimestamps)
+{
+    Simulator s;
+    std::vector<int> order;
+    for (int i = 0; i < 5; ++i)
+        s.schedule_at(10, [&order, i] { order.push_back(i); });
+    s.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Simulator, ScheduleAfterUsesCurrentTime)
+{
+    Simulator s;
+    SimTime inner_time = -1;
+    s.schedule_at(100, [&] {
+        s.schedule_after(50, [&] { inner_time = s.now(); });
+    });
+    s.run();
+    EXPECT_EQ(inner_time, 150);
+}
+
+TEST(Simulator, CancelPreventsExecution)
+{
+    Simulator s;
+    bool fired = false;
+    EventId id = s.schedule_at(10, [&] { fired = true; });
+    EXPECT_TRUE(s.cancel(id));
+    s.run();
+    EXPECT_FALSE(fired);
+}
+
+TEST(Simulator, CancelInvalidIdReturnsFalse)
+{
+    Simulator s;
+    EXPECT_FALSE(s.cancel(kInvalidEvent));
+    EXPECT_FALSE(s.cancel(999));
+}
+
+TEST(Simulator, DoubleCancelReturnsFalse)
+{
+    Simulator s;
+    EventId id = s.schedule_at(10, [] {});
+    EXPECT_TRUE(s.cancel(id));
+    EXPECT_FALSE(s.cancel(id));
+}
+
+TEST(Simulator, RunUntilStopsAtDeadline)
+{
+    Simulator s;
+    int fired = 0;
+    s.schedule_at(10, [&] { ++fired; });
+    s.schedule_at(20, [&] { ++fired; });
+    s.schedule_at(30, [&] { ++fired; });
+    s.run_until(20);
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(s.now(), 20);
+    s.run();
+    EXPECT_EQ(fired, 3);
+}
+
+TEST(Simulator, RunUntilAdvancesTimeWithEmptyQueue)
+{
+    Simulator s;
+    s.run_until(500);
+    EXPECT_EQ(s.now(), 500);
+}
+
+TEST(Simulator, StepExecutesOneEvent)
+{
+    Simulator s;
+    int fired = 0;
+    s.schedule_at(1, [&] { ++fired; });
+    s.schedule_at(2, [&] { ++fired; });
+    EXPECT_TRUE(s.step());
+    EXPECT_EQ(fired, 1);
+    EXPECT_TRUE(s.step());
+    EXPECT_FALSE(s.step());
+}
+
+TEST(Simulator, EventsCanScheduleEvents)
+{
+    Simulator s;
+    int depth = 0;
+    std::function<void()> recurse = [&] {
+        if (++depth < 10)
+            s.schedule_after(5, recurse);
+    };
+    s.schedule_at(0, recurse);
+    s.run();
+    EXPECT_EQ(depth, 10);
+    EXPECT_EQ(s.now(), 45);
+    EXPECT_EQ(s.executed(), 10u);
+}
+
+TEST(Simulator, PendingCountsLiveEvents)
+{
+    Simulator s;
+    EventId a = s.schedule_at(10, [] {});
+    s.schedule_at(20, [] {});
+    EXPECT_EQ(s.pending(), 2u);
+    s.cancel(a);
+    EXPECT_EQ(s.pending(), 1u);
+    s.run();
+    EXPECT_EQ(s.pending(), 0u);
+}
+
+TEST(Simulator, CancelledEventDoesNotAdvanceClock)
+{
+    Simulator s;
+    EventId far = s.schedule_at(1000, [] {});
+    s.schedule_at(10, [] {});
+    s.cancel(far);
+    s.run();
+    EXPECT_EQ(s.now(), 10);
+}
+
+}  // namespace
+}  // namespace ask::sim

@@ -1,0 +1,133 @@
+/** Unit tests for the ASK wire format. */
+#include <gtest/gtest.h>
+
+#include "ask/wire.h"
+#include "net/packet.h"
+
+namespace ask::core {
+namespace {
+
+AskHeader
+sample_header()
+{
+    AskHeader h;
+    h.type = PacketType::kData;
+    h.num_slots = 32;
+    h.channel_id = 513;
+    h.task_id = 0xdeadbeef;
+    h.seq = 123456789;
+    h.bitmap = 0xa5a5a5a5ULL;
+    return h;
+}
+
+TEST(Wire, HeaderRoundTrip)
+{
+    auto data = make_frame(sample_header(), 0);
+    auto parsed = parse_header(data);
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->type, PacketType::kData);
+    EXPECT_EQ(parsed->num_slots, 32);
+    EXPECT_EQ(parsed->channel_id, 513);
+    EXPECT_EQ(parsed->task_id, 0xdeadbeefu);
+    EXPECT_EQ(parsed->seq, 123456789u);
+    EXPECT_EQ(parsed->bitmap, 0xa5a5a5a5ULL);
+}
+
+TEST(Wire, FrameSizeMatchesPaperAccounting)
+{
+    // IP (20) + ASK header (20) + payload; +38 framing = the paper's
+    // "8x + 78" wire bytes for an x-tuple packet.
+    auto data = make_frame(sample_header(), 256);
+    EXPECT_EQ(data.size(), 20u + 20u + 256u);
+    net::Packet pkt;
+    pkt.data = data;
+    EXPECT_EQ(pkt.wire_bytes(), 256u + 78u);
+}
+
+TEST(Wire, ParseRejectsShortBuffer)
+{
+    std::vector<std::uint8_t> tiny(10, 0);
+    EXPECT_FALSE(parse_header(tiny).has_value());
+}
+
+TEST(Wire, RewriteBitmapInPlace)
+{
+    auto data = make_frame(sample_header(), 8);
+    rewrite_bitmap(data, 0x1ULL);
+    auto parsed = parse_header(data);
+    EXPECT_EQ(parsed->bitmap, 0x1ULL);
+    // Other fields untouched.
+    EXPECT_EQ(parsed->seq, 123456789u);
+}
+
+TEST(Wire, SlotRoundTrip)
+{
+    auto data = make_frame(sample_header(), 32 * 8);
+    for (std::uint32_t i = 0; i < 32; ++i)
+        write_slot(data, i, WireSlot{0x41424344u + i, 1000 + i});
+    for (std::uint32_t i = 0; i < 32; ++i) {
+        WireSlot s = read_slot(data, i);
+        EXPECT_EQ(s.seg, 0x41424344u + i);
+        EXPECT_EQ(s.value, 1000 + i);
+    }
+}
+
+TEST(Wire, LongFrameRoundTrip)
+{
+    std::vector<KvTuple> tuples{
+        {"a-rather-long-key-beyond-eight-bytes", 7},
+        {"another_long_key_here", 0xffffffffu},
+        {"third", 3},
+    };
+    AskHeader h;
+    h.channel_id = 9;
+    h.task_id = 4;
+    h.seq = 77;
+    auto data = make_long_frame(h, tuples);
+
+    auto parsed_hdr = parse_header(data);
+    ASSERT_TRUE(parsed_hdr.has_value());
+    EXPECT_EQ(parsed_hdr->type, PacketType::kLongData);
+    EXPECT_EQ(parsed_hdr->seq, 77u);
+
+    auto parsed = parse_long_tuples(data);
+    ASSERT_EQ(parsed.size(), 3u);
+    EXPECT_EQ(parsed[0], tuples[0]);
+    EXPECT_EQ(parsed[1], tuples[1]);
+    EXPECT_EQ(parsed[2], tuples[2]);
+}
+
+TEST(Wire, LongFrameEmpty)
+{
+    auto data = make_long_frame(AskHeader{}, {});
+    EXPECT_TRUE(parse_long_tuples(data).empty());
+}
+
+TEST(Wire, ControlPacketHasNoPayload)
+{
+    AskHeader h;
+    h.type = PacketType::kAck;
+    h.seq = 5;
+    net::Packet pkt = make_control_packet(3, 9, h);
+    EXPECT_EQ(pkt.src, 3u);
+    EXPECT_EQ(pkt.dst, 9u);
+    EXPECT_EQ(pkt.data.size(), 40u);  // IP + ASK header only
+    auto parsed = parse_header(pkt.data);
+    EXPECT_EQ(parsed->type, PacketType::kAck);
+    EXPECT_EQ(parsed->seq, 5u);
+}
+
+TEST(Wire, AllPacketTypesSurviveRoundTrip)
+{
+    for (auto t : {PacketType::kData, PacketType::kLongData, PacketType::kAck,
+                   PacketType::kFin, PacketType::kFinAck, PacketType::kSwap,
+                   PacketType::kSwapAck}) {
+        AskHeader h;
+        h.type = t;
+        auto data = make_frame(h, 0);
+        EXPECT_EQ(parse_header(data)->type, t);
+    }
+}
+
+}  // namespace
+}  // namespace ask::core

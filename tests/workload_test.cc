@@ -1,0 +1,164 @@
+/** Unit tests for the workload generators and corpus synthesizers. */
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "ask/key_space.h"
+#include "workload/generators.h"
+#include "workload/models.h"
+#include "workload/text_corpus.h"
+
+namespace ask::workload {
+namespace {
+
+TEST(UniformGenerator, RespectsVocabularyAndReproducible)
+{
+    UniformGenerator a(100, 5), b(100, 5);
+    auto sa = a.generate(1000);
+    auto sb = b.generate(1000);
+    EXPECT_EQ(sa.size(), 1000u);
+    EXPECT_EQ(sa, sb);
+    std::set<core::Key> keys;
+    for (const auto& t : sa)
+        keys.insert(t.key);
+    EXPECT_LE(keys.size(), 100u);
+    EXPECT_GT(keys.size(), 80u);  // most of the vocabulary appears
+}
+
+TEST(UniformGenerator, PrefixIsolatesSenders)
+{
+    UniformGenerator a(10, 1, "a-"), b(10, 1, "b-");
+    EXPECT_NE(a.key_of(3), b.key_of(3));
+}
+
+TEST(ZipfGenerator, SkewMatchesExponent)
+{
+    ZipfGenerator z(1000, 1.0, 9);
+    std::map<std::uint64_t, std::uint64_t> counts;
+    const std::uint64_t n = 200000;
+    for (std::uint64_t i = 0; i < n; ++i)
+        ++counts[z.sample_rank()];
+    // Rank 0 should be ~1/H(1000) of the mass (~13.4% for alpha=1).
+    double top = static_cast<double>(counts[0]) / n;
+    EXPECT_NEAR(top, 0.134, 0.02);
+    // Frequencies are (weakly) decreasing over the head ranks.
+    EXPECT_GT(counts[0], counts[9]);
+    EXPECT_GT(counts[1], counts[50]);
+}
+
+TEST(ZipfGenerator, AlphaZeroIsUniform)
+{
+    ZipfGenerator z(100, 0.0, 3);
+    std::map<std::uint64_t, std::uint64_t> counts;
+    for (int i = 0; i < 100000; ++i)
+        ++counts[z.sample_rank()];
+    EXPECT_NEAR(counts[0], 1000, 250);
+    EXPECT_NEAR(counts[99], 1000, 250);
+}
+
+TEST(ZipfGenerator, OrderModes)
+{
+    ZipfGenerator z(500, 1.0, 7);
+    auto hot = z.generate(5000, KeyOrder::kHotFirst);
+    // Hot-first: ranks non-decreasing == hottest keys first.
+    ZipfGenerator z2(500, 1.0, 7);
+    auto cold = z2.generate(5000, KeyOrder::kColdFirst);
+    EXPECT_EQ(hot.front().key, z.key_of(0));
+    EXPECT_EQ(cold.back().key, z.key_of(0));
+    // Same seed -> same multiset of keys.
+    std::multiset<core::Key> mh, mc;
+    for (const auto& t : hot)
+        mh.insert(t.key);
+    for (const auto& t : cold)
+        mc.insert(t.key);
+    EXPECT_EQ(mh, mc);
+}
+
+TEST(ValueStream, DenseIndexKeys)
+{
+    auto s = value_stream(100, 7, 1);
+    ASSERT_EQ(s.size(), 100u);
+    std::set<core::Key> keys;
+    for (const auto& t : s) {
+        EXPECT_EQ(t.value, 7u);
+        keys.insert(t.key);
+    }
+    EXPECT_EQ(keys.size(), 100u);  // all indices distinct
+}
+
+TEST(TextCorpus, DeterministicAndNulFree)
+{
+    TextCorpus a(newsgroups_profile(), 11), b(newsgroups_profile(), 11);
+    auto sa = a.generate(2000);
+    auto sb = b.generate(2000);
+    EXPECT_EQ(sa, sb);
+    for (const auto& t : sa) {
+        EXPECT_FALSE(t.key.empty());
+        EXPECT_EQ(t.key.find('\0'), core::Key::npos);
+    }
+}
+
+TEST(TextCorpus, WordsAreUniquePerRank)
+{
+    CorpusProfile p = movie_reviews_profile();
+    p.vocabulary = 20000;
+    TextCorpus c(p, 3);
+    std::set<core::Key> words;
+    for (std::uint64_t r = 0; r < p.vocabulary; ++r)
+        EXPECT_TRUE(words.insert(c.word(r)).second) << "rank " << r;
+}
+
+TEST(TextCorpus, LawOfAbbreviation)
+{
+    // Frequent words are shorter on average than rare ones.
+    CorpusProfile p = yelp_profile();
+    p.vocabulary = 50000;
+    TextCorpus c(p, 5);
+    double head = 0, tail = 0;
+    for (std::uint64_t r = 0; r < 100; ++r)
+        head += static_cast<double>(c.word(r).size());
+    for (std::uint64_t r = 49900; r < 50000; ++r)
+        tail += static_cast<double>(c.word(r).size());
+    EXPECT_LT(head / 100, tail / 100 - 2.0);
+}
+
+TEST(TextCorpus, MixOfKeyClasses)
+{
+    // A realistic corpus exercises all three key classes of the ASK
+    // data plane (4-byte segments, m=2 -> short <=4, medium 5..8, long >8).
+    core::AskConfig cfg;
+    core::KeySpace ks(cfg);
+    CorpusProfile p = blog_authorship_profile();
+    p.vocabulary = 30000;
+    TextCorpus c(p, 9);
+    std::map<core::KeyClass, std::uint64_t> by_class;
+    for (const auto& t : c.generate(20000))
+        ++by_class[ks.classify(t.key)];
+    EXPECT_GT(by_class[core::KeyClass::kShort], 0u);
+    EXPECT_GT(by_class[core::KeyClass::kMedium], 0u);
+    EXPECT_GT(by_class[core::KeyClass::kLong], 0u);
+    // Frequency-weighted text is dominated by short+medium words.
+    EXPECT_GT(by_class[core::KeyClass::kShort] +
+                  by_class[core::KeyClass::kMedium],
+              by_class[core::KeyClass::kLong]);
+}
+
+TEST(Models, Figure12Zoo)
+{
+    auto models = figure12_models();
+    ASSERT_EQ(models.size(), 6u);
+    EXPECT_EQ(models[0].name, "ResNet50");
+    EXPECT_EQ(models[0].parameters, 25557032u);
+    EXPECT_EQ(models[5].name, "VGG19");
+    // VGG gradients are much larger than ResNet's.
+    EXPECT_GT(models[3].gradient_bytes(), 4 * models[0].gradient_bytes());
+    for (const auto& m : models) {
+        EXPECT_GT(m.compute_ns, 0);
+        EXPECT_GT(m.single_gpu_ips(), 50.0);
+        EXPECT_LT(m.single_gpu_ips(), 400.0);
+    }
+}
+
+}  // namespace
+}  // namespace ask::workload

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig03_akvs"
+  "../bench/fig03_akvs.pdb"
+  "CMakeFiles/fig03_akvs.dir/fig03_akvs.cc.o"
+  "CMakeFiles/fig03_akvs.dir/fig03_akvs.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_akvs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

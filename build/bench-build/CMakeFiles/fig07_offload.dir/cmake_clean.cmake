@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig07_offload"
+  "../bench/fig07_offload.pdb"
+  "CMakeFiles/fig07_offload.dir/fig07_offload.cc.o"
+  "CMakeFiles/fig07_offload.dir/fig07_offload.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_offload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

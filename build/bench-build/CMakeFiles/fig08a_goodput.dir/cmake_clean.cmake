@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig08a_goodput"
+  "../bench/fig08a_goodput.pdb"
+  "CMakeFiles/fig08a_goodput.dir/fig08a_goodput.cc.o"
+  "CMakeFiles/fig08a_goodput.dir/fig08a_goodput.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08a_goodput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig08b_packing"
+  "../bench/fig08b_packing.pdb"
+  "CMakeFiles/fig08b_packing.dir/fig08b_packing.cc.o"
+  "CMakeFiles/fig08b_packing.dir/fig08b_packing.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08b_packing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

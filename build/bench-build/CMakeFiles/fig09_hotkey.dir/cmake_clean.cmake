@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig09_hotkey"
+  "../bench/fig09_hotkey.pdb"
+  "CMakeFiles/fig09_hotkey.dir/fig09_hotkey.cc.o"
+  "CMakeFiles/fig09_hotkey.dir/fig09_hotkey.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_hotkey.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig10_jct.cc" "bench-build/CMakeFiles/fig10_jct.dir/fig10_jct.cc.o" "gcc" "bench-build/CMakeFiles/fig10_jct.dir/fig10_jct.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/ask_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/ask_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/ask_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/ask/CMakeFiles/ask_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/pisa/CMakeFiles/ask_pisa.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ask_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ask_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ask_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

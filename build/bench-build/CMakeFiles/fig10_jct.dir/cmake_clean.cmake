@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_jct"
+  "../bench/fig10_jct.pdb"
+  "CMakeFiles/fig10_jct.dir/fig10_jct.cc.o"
+  "CMakeFiles/fig10_jct.dir/fig10_jct.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_jct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig11_tct"
+  "../bench/fig11_tct.pdb"
+  "CMakeFiles/fig11_tct.dir/fig11_tct.cc.o"
+  "CMakeFiles/fig11_tct.dir/fig11_tct.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_tct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

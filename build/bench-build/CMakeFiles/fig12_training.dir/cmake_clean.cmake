@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig12_training"
+  "../bench/fig12_training.pdb"
+  "CMakeFiles/fig12_training.dir/fig12_training.cc.o"
+  "CMakeFiles/fig12_training.dir/fig12_training.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig13b_scalability"
+  "../bench/fig13b_scalability.pdb"
+  "CMakeFiles/fig13b_scalability.dir/fig13b_scalability.cc.o"
+  "CMakeFiles/fig13b_scalability.dir/fig13b_scalability.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13b_scalability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

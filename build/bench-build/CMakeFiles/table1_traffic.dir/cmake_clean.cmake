@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table1_traffic"
+  "../bench/table1_traffic.pdb"
+  "CMakeFiles/table1_traffic.dir/table1_traffic.cc.o"
+  "CMakeFiles/table1_traffic.dir/table1_traffic.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/streaming_analytics"
+  "../examples/streaming_analytics.pdb"
+  "CMakeFiles/streaming_analytics.dir/streaming_analytics.cpp.o"
+  "CMakeFiles/streaming_analytics.dir/streaming_analytics.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streaming_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ask_apps.dir/minimr.cc.o"
+  "CMakeFiles/ask_apps.dir/minimr.cc.o.d"
+  "CMakeFiles/ask_apps.dir/trainsim.cc.o"
+  "CMakeFiles/ask_apps.dir/trainsim.cc.o.d"
+  "libask_apps.a"
+  "libask_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ask_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

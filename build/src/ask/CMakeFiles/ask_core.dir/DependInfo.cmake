@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ask/cluster.cc" "src/ask/CMakeFiles/ask_core.dir/cluster.cc.o" "gcc" "src/ask/CMakeFiles/ask_core.dir/cluster.cc.o.d"
+  "/root/repo/src/ask/config.cc" "src/ask/CMakeFiles/ask_core.dir/config.cc.o" "gcc" "src/ask/CMakeFiles/ask_core.dir/config.cc.o.d"
+  "/root/repo/src/ask/controller.cc" "src/ask/CMakeFiles/ask_core.dir/controller.cc.o" "gcc" "src/ask/CMakeFiles/ask_core.dir/controller.cc.o.d"
+  "/root/repo/src/ask/daemon.cc" "src/ask/CMakeFiles/ask_core.dir/daemon.cc.o" "gcc" "src/ask/CMakeFiles/ask_core.dir/daemon.cc.o.d"
+  "/root/repo/src/ask/key_space.cc" "src/ask/CMakeFiles/ask_core.dir/key_space.cc.o" "gcc" "src/ask/CMakeFiles/ask_core.dir/key_space.cc.o.d"
+  "/root/repo/src/ask/packet_builder.cc" "src/ask/CMakeFiles/ask_core.dir/packet_builder.cc.o" "gcc" "src/ask/CMakeFiles/ask_core.dir/packet_builder.cc.o.d"
+  "/root/repo/src/ask/seen_window.cc" "src/ask/CMakeFiles/ask_core.dir/seen_window.cc.o" "gcc" "src/ask/CMakeFiles/ask_core.dir/seen_window.cc.o.d"
+  "/root/repo/src/ask/switch_program.cc" "src/ask/CMakeFiles/ask_core.dir/switch_program.cc.o" "gcc" "src/ask/CMakeFiles/ask_core.dir/switch_program.cc.o.d"
+  "/root/repo/src/ask/types.cc" "src/ask/CMakeFiles/ask_core.dir/types.cc.o" "gcc" "src/ask/CMakeFiles/ask_core.dir/types.cc.o.d"
+  "/root/repo/src/ask/wire.cc" "src/ask/CMakeFiles/ask_core.dir/wire.cc.o" "gcc" "src/ask/CMakeFiles/ask_core.dir/wire.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ask_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ask_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ask_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/pisa/CMakeFiles/ask_pisa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ask_core.dir/cluster.cc.o"
+  "CMakeFiles/ask_core.dir/cluster.cc.o.d"
+  "CMakeFiles/ask_core.dir/config.cc.o"
+  "CMakeFiles/ask_core.dir/config.cc.o.d"
+  "CMakeFiles/ask_core.dir/controller.cc.o"
+  "CMakeFiles/ask_core.dir/controller.cc.o.d"
+  "CMakeFiles/ask_core.dir/daemon.cc.o"
+  "CMakeFiles/ask_core.dir/daemon.cc.o.d"
+  "CMakeFiles/ask_core.dir/key_space.cc.o"
+  "CMakeFiles/ask_core.dir/key_space.cc.o.d"
+  "CMakeFiles/ask_core.dir/packet_builder.cc.o"
+  "CMakeFiles/ask_core.dir/packet_builder.cc.o.d"
+  "CMakeFiles/ask_core.dir/seen_window.cc.o"
+  "CMakeFiles/ask_core.dir/seen_window.cc.o.d"
+  "CMakeFiles/ask_core.dir/switch_program.cc.o"
+  "CMakeFiles/ask_core.dir/switch_program.cc.o.d"
+  "CMakeFiles/ask_core.dir/types.cc.o"
+  "CMakeFiles/ask_core.dir/types.cc.o.d"
+  "CMakeFiles/ask_core.dir/wire.cc.o"
+  "CMakeFiles/ask_core.dir/wire.cc.o.d"
+  "libask_core.a"
+  "libask_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ask_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

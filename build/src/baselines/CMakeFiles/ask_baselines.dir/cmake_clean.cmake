@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ask_baselines.dir/noaggr.cc.o"
+  "CMakeFiles/ask_baselines.dir/noaggr.cc.o.d"
+  "CMakeFiles/ask_baselines.dir/preaggr.cc.o"
+  "CMakeFiles/ask_baselines.dir/preaggr.cc.o.d"
+  "CMakeFiles/ask_baselines.dir/spark_model.cc.o"
+  "CMakeFiles/ask_baselines.dir/spark_model.cc.o.d"
+  "CMakeFiles/ask_baselines.dir/strawman.cc.o"
+  "CMakeFiles/ask_baselines.dir/strawman.cc.o.d"
+  "CMakeFiles/ask_baselines.dir/sync_ina.cc.o"
+  "CMakeFiles/ask_baselines.dir/sync_ina.cc.o.d"
+  "libask_baselines.a"
+  "libask_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ask_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

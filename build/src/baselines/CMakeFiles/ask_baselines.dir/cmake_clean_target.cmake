@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libask_baselines.a"
+)

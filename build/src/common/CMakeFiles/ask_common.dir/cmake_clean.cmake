@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ask_common.dir/hash.cc.o"
+  "CMakeFiles/ask_common.dir/hash.cc.o.d"
+  "CMakeFiles/ask_common.dir/logging.cc.o"
+  "CMakeFiles/ask_common.dir/logging.cc.o.d"
+  "CMakeFiles/ask_common.dir/random.cc.o"
+  "CMakeFiles/ask_common.dir/random.cc.o.d"
+  "CMakeFiles/ask_common.dir/stats.cc.o"
+  "CMakeFiles/ask_common.dir/stats.cc.o.d"
+  "CMakeFiles/ask_common.dir/string_util.cc.o"
+  "CMakeFiles/ask_common.dir/string_util.cc.o.d"
+  "CMakeFiles/ask_common.dir/table.cc.o"
+  "CMakeFiles/ask_common.dir/table.cc.o.d"
+  "libask_common.a"
+  "libask_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ask_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

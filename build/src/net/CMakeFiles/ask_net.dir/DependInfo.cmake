@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/cost_model.cc" "src/net/CMakeFiles/ask_net.dir/cost_model.cc.o" "gcc" "src/net/CMakeFiles/ask_net.dir/cost_model.cc.o.d"
+  "/root/repo/src/net/fault_model.cc" "src/net/CMakeFiles/ask_net.dir/fault_model.cc.o" "gcc" "src/net/CMakeFiles/ask_net.dir/fault_model.cc.o.d"
+  "/root/repo/src/net/link.cc" "src/net/CMakeFiles/ask_net.dir/link.cc.o" "gcc" "src/net/CMakeFiles/ask_net.dir/link.cc.o.d"
+  "/root/repo/src/net/network.cc" "src/net/CMakeFiles/ask_net.dir/network.cc.o" "gcc" "src/net/CMakeFiles/ask_net.dir/network.cc.o.d"
+  "/root/repo/src/net/packet.cc" "src/net/CMakeFiles/ask_net.dir/packet.cc.o" "gcc" "src/net/CMakeFiles/ask_net.dir/packet.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ask_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ask_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

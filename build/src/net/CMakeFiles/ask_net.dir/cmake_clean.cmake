@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ask_net.dir/cost_model.cc.o"
+  "CMakeFiles/ask_net.dir/cost_model.cc.o.d"
+  "CMakeFiles/ask_net.dir/fault_model.cc.o"
+  "CMakeFiles/ask_net.dir/fault_model.cc.o.d"
+  "CMakeFiles/ask_net.dir/link.cc.o"
+  "CMakeFiles/ask_net.dir/link.cc.o.d"
+  "CMakeFiles/ask_net.dir/network.cc.o"
+  "CMakeFiles/ask_net.dir/network.cc.o.d"
+  "CMakeFiles/ask_net.dir/packet.cc.o"
+  "CMakeFiles/ask_net.dir/packet.cc.o.d"
+  "libask_net.a"
+  "libask_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ask_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pisa/pipeline.cc" "src/pisa/CMakeFiles/ask_pisa.dir/pipeline.cc.o" "gcc" "src/pisa/CMakeFiles/ask_pisa.dir/pipeline.cc.o.d"
+  "/root/repo/src/pisa/pisa_switch.cc" "src/pisa/CMakeFiles/ask_pisa.dir/pisa_switch.cc.o" "gcc" "src/pisa/CMakeFiles/ask_pisa.dir/pisa_switch.cc.o.d"
+  "/root/repo/src/pisa/register_array.cc" "src/pisa/CMakeFiles/ask_pisa.dir/register_array.cc.o" "gcc" "src/pisa/CMakeFiles/ask_pisa.dir/register_array.cc.o.d"
+  "/root/repo/src/pisa/stage.cc" "src/pisa/CMakeFiles/ask_pisa.dir/stage.cc.o" "gcc" "src/pisa/CMakeFiles/ask_pisa.dir/stage.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ask_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ask_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ask_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ask_pisa.dir/pipeline.cc.o"
+  "CMakeFiles/ask_pisa.dir/pipeline.cc.o.d"
+  "CMakeFiles/ask_pisa.dir/pisa_switch.cc.o"
+  "CMakeFiles/ask_pisa.dir/pisa_switch.cc.o.d"
+  "CMakeFiles/ask_pisa.dir/register_array.cc.o"
+  "CMakeFiles/ask_pisa.dir/register_array.cc.o.d"
+  "CMakeFiles/ask_pisa.dir/stage.cc.o"
+  "CMakeFiles/ask_pisa.dir/stage.cc.o.d"
+  "libask_pisa.a"
+  "libask_pisa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ask_pisa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ask_sim.dir/simulator.cc.o"
+  "CMakeFiles/ask_sim.dir/simulator.cc.o.d"
+  "libask_sim.a"
+  "libask_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ask_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

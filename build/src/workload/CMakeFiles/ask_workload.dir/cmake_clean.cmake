@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ask_workload.dir/generators.cc.o"
+  "CMakeFiles/ask_workload.dir/generators.cc.o.d"
+  "CMakeFiles/ask_workload.dir/models.cc.o"
+  "CMakeFiles/ask_workload.dir/models.cc.o.d"
+  "CMakeFiles/ask_workload.dir/text_corpus.cc.o"
+  "CMakeFiles/ask_workload.dir/text_corpus.cc.o.d"
+  "libask_workload.a"
+  "libask_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ask_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

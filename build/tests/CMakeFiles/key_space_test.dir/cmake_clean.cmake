@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/key_space_test.dir/key_space_test.cc.o"
+  "CMakeFiles/key_space_test.dir/key_space_test.cc.o.d"
+  "key_space_test"
+  "key_space_test.pdb"
+  "key_space_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/key_space_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

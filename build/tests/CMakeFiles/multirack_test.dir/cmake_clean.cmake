@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multirack_test.dir/multirack_test.cc.o"
+  "CMakeFiles/multirack_test.dir/multirack_test.cc.o.d"
+  "multirack_test"
+  "multirack_test.pdb"
+  "multirack_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multirack_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seen_window_test.dir/seen_window_test.cc.o"
+  "CMakeFiles/seen_window_test.dir/seen_window_test.cc.o.d"
+  "seen_window_test"
+  "seen_window_test.pdb"
+  "seen_window_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seen_window_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/switch_program_test.dir/switch_program_test.cc.o"
+  "CMakeFiles/switch_program_test.dir/switch_program_test.cc.o.d"
+  "switch_program_test"
+  "switch_program_test.pdb"
+  "switch_program_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/switch_program_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

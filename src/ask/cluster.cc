@@ -21,11 +21,18 @@ AskCluster::AskCluster(const ClusterConfig& config)
     program_ = std::make_unique<AskSwitchProgram>(config_.ask, *switch_);
     controller_ = std::make_unique<AskSwitchController>(*program_);
 
+    MgmtRetryPolicy mgmt_policy;
+    mgmt_policy.max_tries = config_.ask.mgmt_max_tries;
+    mgmt_policy.backoff_base_ns = config_.ask.mgmt_backoff_base_ns;
+    mgmt_policy.backoff_cap_ns = config_.ask.mgmt_backoff_cap_ns;
+    mgmt_ = std::make_unique<MgmtPlane>(simulator_, config_.mgmt_latency_ns,
+                                        mgmt_policy);
+
     net::CostModel cost_model(config_.cost);
     for (std::uint32_t h = 0; h < config_.num_hosts; ++h) {
         daemons_.push_back(std::make_unique<AskDaemon>(
             config_.ask, cost_model, network_, h, switch_->node_id(),
-            *controller_, config_.mgmt_latency_ns));
+            *controller_, *mgmt_));
         network_.attach(daemons_.back().get());
         network_.connect(daemons_.back()->node_id(), switch_->node_id(),
                          config_.link_gbps, config_.link_propagation_ns,
@@ -48,11 +55,31 @@ AskCluster::submit_task(TaskId task, std::uint32_t receiver_host,
     net::NodeId receiver_node = receiver.node_id();
     auto n_senders = static_cast<std::uint32_t>(streams.size());
 
+    // Register the task for chaos recovery: a switch reboot needs to
+    // know which hosts hold replayable archives for which tasks.
+    ActiveTask active;
+    active.receiver_host = receiver_host;
+    for (const auto& s : streams)
+        active.sender_hosts.push_back(s.host);
+    active_tasks_[task] = std::move(active);
+
+    auto wrapped_done = [this, task, on_done = std::move(on_done)](
+                            AggregateMap result, TaskReport report) {
+        auto it = active_tasks_.find(task);
+        if (it != active_tasks_.end()) {
+            for (std::uint32_t h : it->second.sender_hosts)
+                daemons_[h]->forget_task(task);
+            active_tasks_.erase(it);
+        }
+        if (on_done)
+            on_done(std::move(result), std::move(report));
+    };
+
     // §3.1 workflow: the receiver registers the task and obtains a switch
     // region; once ready, sender daemons are notified over the control
     // channel and begin streaming.
     receiver.start_receive(
-        task, n_senders, region_len, std::move(on_done),
+        task, n_senders, region_len, std::move(wrapped_done),
         /*on_ready=*/[this, task, receiver_node,
                       streams = std::move(streams)]() mutable {
             simulator_.schedule_after(
@@ -82,6 +109,149 @@ AskCluster::run_task(TaskId task, std::uint32_t receiver_host,
     run();
     ASK_ASSERT(out.completed, "task ", task, " did not complete");
     return out;
+}
+
+void
+AskCluster::arm_chaos(const sim::ChaosPlan& plan)
+{
+    ASK_ASSERT(fault_scheduler_ == nullptr, "chaos already armed");
+    fault_scheduler_ = std::make_unique<sim::FaultScheduler>(simulator_);
+    net::NodeId sw = switch_->node_id();
+
+    auto host_node = [this](std::uint32_t host) {
+        return daemons_[host % daemons_.size()]->node_id();
+    };
+
+    fault_scheduler_->set_handler(
+        sim::ChaosKind::kLinkBlackout,
+        [this, sw, host_node](const sim::ChaosEvent& e) {
+            ++chaos_stats_.link_blackouts;
+            network_.set_cable_override(host_node(e.subject), sw,
+                                        net::FaultSpec::blackout());
+        },
+        [this, sw, host_node](const sim::ChaosEvent& e) {
+            network_.clear_cable_override(host_node(e.subject), sw);
+        });
+
+    fault_scheduler_->set_handler(
+        sim::ChaosKind::kBurstLoss,
+        [this, sw, host_node](const sim::ChaosEvent& e) {
+            ++chaos_stats_.burst_loss_windows;
+            net::FaultSpec burst = config_.faults;
+            burst.loss_prob = e.intensity;
+            network_.set_cable_override(host_node(e.subject), sw, burst);
+        },
+        [this, sw, host_node](const sim::ChaosEvent& e) {
+            network_.clear_cable_override(host_node(e.subject), sw);
+        });
+
+    fault_scheduler_->set_handler(
+        sim::ChaosKind::kSwitchReboot,
+        [this](const sim::ChaosEvent& e) { on_switch_reboot_start(e); },
+        [this](const sim::ChaosEvent& e) { on_switch_reboot_end(e); });
+
+    fault_scheduler_->set_handler(
+        sim::ChaosKind::kMgmtOutage,
+        [this](const sim::ChaosEvent&) {
+            ++chaos_stats_.mgmt_outages;
+            mgmt_->set_outage(true);
+        },
+        [this](const sim::ChaosEvent&) { mgmt_->set_outage(false); });
+
+    fault_scheduler_->set_handler(
+        sim::ChaosKind::kMgmtDelay,
+        [this](const sim::ChaosEvent& e) {
+            ++chaos_stats_.mgmt_delay_windows;
+            mgmt_->set_extra_delay(static_cast<Nanoseconds>(e.intensity));
+        },
+        [this](const sim::ChaosEvent&) { mgmt_->set_extra_delay(0); });
+
+    fault_scheduler_->set_handler(
+        sim::ChaosKind::kDataBlackhole,
+        [this](const sim::ChaosEvent&) {
+            ++chaos_stats_.data_blackholes;
+            program_->set_data_blackhole(true);
+        },
+        [this](const sim::ChaosEvent&) {
+            program_->set_data_blackhole(false);
+        });
+
+    fault_scheduler_->arm(plan);
+}
+
+void
+AskCluster::on_switch_reboot_start(const sim::ChaosEvent& e)
+{
+    (void)e;
+    ++chaos_stats_.switch_reboots;
+    // The crash destroys everything at once: the data plane stops
+    // (offline drops all traffic), the register SRAM is volatile, the
+    // control-plane task table lived in switch DRAM, and the switch CPU
+    // takes the management endpoint down with it.
+    switch_->set_offline(true);
+    switch_->pipeline().wipe_registers();
+    program_->on_reboot();
+    mgmt_->set_outage(true);
+}
+
+void
+AskCluster::on_switch_reboot_end(const sim::ChaosEvent& e)
+{
+    (void)e;
+    switch_->set_offline(false);
+
+    // Recovery, in dependency order. (1) The controller re-installs
+    // every journaled region — allocation truth lives host-side.
+    chaos_stats_.regions_reinstalled += controller_->reinstall_after_reboot();
+
+    // (2) Silence the senders of every active task BEFORE fencing:
+    // the fence boundary is each channel's next_seq, and nothing may be
+    // transmitted between reading it and the replay.
+    for (const auto& [task, info] : active_tasks_) {
+        for (std::uint32_t h : info.sender_hosts)
+            daemons_[h]->abort_send(task);
+    }
+
+    // (3) Fence every data channel: stale-drop pre-crash sequences and
+    // repair the compact-seen parity the wipe destroyed.
+    for (const auto& d : daemons_) {
+        for (std::uint32_t c = 0; c < d->num_channels(); ++c) {
+            DataChannel& ch = d->channel(c);
+            controller_->fence_channel(ch.global_id(), ch.next_seq());
+            ++chaos_stats_.channels_fenced;
+        }
+    }
+
+    // (4) Reset the receiver state of every active task and let the
+    // fabric drain, (5) then replay the archived streams. The epoch
+    // voids replays scheduled by an earlier recovery that this reboot
+    // interrupted — they would stream on top of this epoch's replay.
+    std::uint64_t epoch = ++recovery_epoch_;
+    sim::SimTime drain_until =
+        simulator_.now() + config_.ask.recovery_drain_ns;
+    for (const auto& [task, info] : active_tasks_) {
+        daemons_[info.receiver_host]->prepare_replay(task, drain_until);
+        for (std::uint32_t h : info.sender_hosts) {
+            simulator_.schedule_at(drain_until, [this, task, h, epoch] {
+                if (recovery_epoch_ == epoch &&
+                    active_tasks_.count(task) != 0)
+                    daemons_[h]->replay_task(task);
+            });
+        }
+    }
+
+    // (6) The switch CPU is back: management RPCs flow again.
+    mgmt_->set_outage(false);
+}
+
+ChaosStats
+AskCluster::chaos_stats() const
+{
+    ChaosStats total = chaos_stats_;
+    total.merge(mgmt_->chaos_stats());
+    for (const auto& d : daemons_)
+        total.merge(d->chaos_stats());
+    return total;
 }
 
 HostStats

@@ -12,15 +12,18 @@
 #include <functional>
 #include <memory>
 #include <optional>
+#include <unordered_map>
 #include <vector>
 
 #include "ask/config.h"
 #include "ask/controller.h"
 #include "ask/daemon.h"
+#include "ask/mgmt.h"
 #include "ask/switch_program.h"
 #include "net/cost_model.h"
 #include "net/network.h"
 #include "pisa/pisa_switch.h"
+#include "sim/chaos.h"
 #include "sim/simulator.h"
 
 namespace ask::core {
@@ -66,6 +69,9 @@ struct TaskResult
     AggregateMap result;
     TaskReport report;
     bool completed = false;
+
+    /** The task ran to completion AND produced a result. */
+    bool ok() const { return completed && !report.failed; }
 };
 
 /** A fully wired ASK deployment. */
@@ -116,14 +122,47 @@ class AskCluster
     /** Aggregate host stats over all daemons. */
     HostStats total_host_stats() const;
 
+    /** The shared management plane (control network + controller RPCs). */
+    MgmtPlane& mgmt() { return *mgmt_; }
+
+    /**
+     * Arm a chaos plan: every episode kind is wired to the matching
+     * recovery machinery — link overrides on the fabric, register wipe
+     * plus region-reinstall/fence/replay on switch reboot, outage and
+     * delay windows on the management plane, and the data-plane
+     * blackhole on the switch program. May be called once per cluster.
+     */
+    void arm_chaos(const sim::ChaosPlan& plan);
+
+    /** Fault-injection/recovery counters over every component. */
+    ChaosStats chaos_stats() const;
+
   private:
+    /** Tasks currently in flight, for reboot recovery. */
+    struct ActiveTask
+    {
+        std::uint32_t receiver_host = 0;
+        std::vector<std::uint32_t> sender_hosts;
+    };
+
+    void on_switch_reboot_start(const sim::ChaosEvent& e);
+    void on_switch_reboot_end(const sim::ChaosEvent& e);
+
     ClusterConfig config_;
     sim::Simulator simulator_;
     net::Network network_;
     std::unique_ptr<pisa::PisaSwitch> switch_;
     std::unique_ptr<AskSwitchProgram> program_;
     std::unique_ptr<AskSwitchController> controller_;
+    std::unique_ptr<MgmtPlane> mgmt_;
     std::vector<std::unique_ptr<AskDaemon>> daemons_;
+    std::unique_ptr<sim::FaultScheduler> fault_scheduler_;
+    std::unordered_map<TaskId, ActiveTask> active_tasks_;
+    /** Bumped per reboot recovery: a replay scheduled by recovery N is
+     *  void once recovery N+1 has re-fenced the channels (its frames
+     *  would land on top of recovery N+1's own replay). */
+    std::uint64_t recovery_epoch_ = 0;
+    ChaosStats chaos_stats_;
 };
 
 }  // namespace ask::core

@@ -28,6 +28,14 @@ AskConfig::validate() const
         fatal("channels_per_host must be positive");
     if (max_hosts == 0)
         fatal("max_hosts must be positive");
+    if (max_fin_tries == 0)
+        fatal("max_fin_tries must be positive");
+    if (mgmt_max_tries == 0)
+        fatal("mgmt_max_tries must be positive");
+    if (mgmt_backoff_base_ns <= 0 || mgmt_backoff_cap_ns < mgmt_backoff_base_ns)
+        fatal("management backoff must satisfy 0 < base <= cap");
+    if (recovery_drain_ns < 0 || sender_liveness_timeout_ns < 0)
+        fatal("robustness timeouts must be non-negative");
 }
 
 }  // namespace ask::core

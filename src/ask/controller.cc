@@ -25,7 +25,7 @@ AskSwitchController::allocate(TaskId task, std::uint32_t len)
             base = cursor;
             break;
         }
-        cursor = alloc_base + info.first;
+        cursor = alloc_base + info.first.len;
     }
     if (base == capacity_) {
         if (capacity_ - cursor >= len)
@@ -46,7 +46,7 @@ AskSwitchController::allocate(TaskId task, std::uint32_t len)
     region.epoch_slot = epoch_slot;
 
     epoch_slot_used_[epoch_slot] = true;
-    allocated_[base] = {len, task};
+    allocated_[base] = {region, task};
     program_.install_task(task, region);
     return region;
 }
@@ -54,17 +54,44 @@ AskSwitchController::allocate(TaskId task, std::uint32_t len)
 void
 AskSwitchController::release(TaskId task)
 {
-    const TaskRegion* region = program_.find_task(task);
-    ASK_ASSERT(region != nullptr, "release of unknown task ", task);
-    epoch_slot_used_[region->epoch_slot] = false;
+    auto it = allocated_.begin();
+    while (it != allocated_.end() && it->second.second != task)
+        ++it;
+    ASK_ASSERT(it != allocated_.end(), "release of unknown task ", task);
+    epoch_slot_used_[it->second.first.epoch_slot] = false;
     // Clear the aggregators and reset the swap epoch so a future task
     // reusing this slice starts blank on copy 0 with epoch 0.
     program_.reset_epoch(task);
     program_.read_region(task, 0, /*clear=*/true);
     if (program_.config().shadow_copies)
         program_.read_region(task, 1, /*clear=*/true);
-    allocated_.erase(region->base);
+    allocated_.erase(it);
     program_.remove_task(task);
+}
+
+std::uint32_t
+AskSwitchController::reinstall_after_reboot()
+{
+    std::uint32_t count = 0;
+    for (const auto& [base, info] : allocated_) {
+        if (program_.find_task(info.second) == nullptr) {
+            program_.install_task(info.second, info.first);
+            ++count;
+        }
+    }
+    return count;
+}
+
+void
+AskSwitchController::fence_channel(ChannelId channel, Seq next_seq)
+{
+    program_.fence_channel(channel, next_seq);
+}
+
+AskSwitchProgram::ProbeResult
+AskSwitchController::probe_packet(ChannelId channel, Seq seq) const
+{
+    return program_.probe_packet(channel, seq);
 }
 
 KvStream
@@ -90,7 +117,7 @@ AskSwitchController::free_aggregators() const
 {
     std::uint32_t used = 0;
     for (const auto& [base, info] : allocated_)
-        used += info.first;
+        used += info.first.len;
     return capacity_ - used;
 }
 

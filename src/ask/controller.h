@@ -53,13 +53,33 @@ class AskSwitchController
     /** Free aggregators per AA per copy remaining. */
     std::uint32_t free_aggregators() const;
 
+    /**
+     * Failure recovery: the switch CPU rebooted and lost its task table
+     * (and all register state). Re-install every journaled region on the
+     * data plane. The controller's journal — not switch memory — is the
+     * source of truth for allocations, which is what makes this safe.
+     * @return the number of regions re-installed.
+     */
+    std::uint32_t reinstall_after_reboot();
+
+    /** Recovery passthrough: see AskSwitchProgram::fence_channel. */
+    void fence_channel(ChannelId channel, Seq next_seq);
+
+    /** Degraded-mode passthrough: see AskSwitchProgram::probe_packet. */
+    AskSwitchProgram::ProbeResult probe_packet(ChannelId channel,
+                                               Seq seq) const;
+
     AskSwitchProgram& program() { return program_; }
 
   private:
     AskSwitchProgram& program_;
     std::uint32_t capacity_;
-    /** Allocated slices: base -> (len, task). */
-    std::map<std::uint32_t, std::pair<std::uint32_t, TaskId>> allocated_;
+    /**
+     * Allocation journal, base -> (region, task). Holds the full region
+     * (not just the length) so a post-reboot reinstall can restore the
+     * exact epoch-slot bindings the senders' traffic still references.
+     */
+    std::map<std::uint32_t, std::pair<TaskRegion, TaskId>> allocated_;
     std::vector<bool> epoch_slot_used_;
 };
 

@@ -106,9 +106,23 @@ DataChannel::pump()
             return;
         }
 
-        // Build the next frame: DATA first, then LONG_DATA batches.
+        // Build the next frame: DATA first, then LONG_DATA batches. A
+        // degraded daemon routes everything — short and medium keys
+        // included — through the bypass path in LONG framing.
         std::vector<std::uint8_t> frame;
-        if (auto built = job.builder->next_data()) {
+        PacketType type;
+        if (daemon_.degraded()) {
+            auto batch = job.builder->next_bypass_batch(cfg.long_payload_bytes);
+            ASK_ASSERT(batch.has_value(), "builder non-empty but no frames");
+            AskHeader hdr;
+            hdr.type = PacketType::kLongData;
+            hdr.channel_id = global_id();
+            hdr.task_id = job.task;
+            hdr.seq = next_seq_;
+            frame = make_long_frame(hdr, *batch);
+            type = PacketType::kLongData;
+            ++daemon_.stats().long_packets_sent;
+        } else if (auto built = job.builder->next_data()) {
             AskHeader hdr;
             hdr.type = PacketType::kData;
             hdr.num_slots = static_cast<std::uint8_t>(cfg.num_aas);
@@ -121,6 +135,7 @@ DataChannel::pump()
                 if (built->bitmap & (1ULL << i))
                     write_slot(frame, i, built->slots[i]);
             }
+            type = PacketType::kData;
             ++daemon_.stats().data_packets_sent;
         } else {
             auto batch = job.builder->next_long_batch(cfg.long_payload_bytes);
@@ -131,13 +146,14 @@ DataChannel::pump()
             hdr.task_id = job.task;
             hdr.seq = next_seq_;
             frame = make_long_frame(hdr, *batch);
+            type = PacketType::kLongData;
             ++daemon_.stats().long_packets_sent;
         }
 
         Seq seq = next_seq_++;
         auto [it, inserted] =
             in_flight_.emplace(seq, InFlight{std::move(frame), job.receiver,
-                                             sim::kInvalidEvent});
+                                             sim::kInvalidEvent, 0, 0, type});
         ASK_ASSERT(inserted, "duplicate in-flight seq");
         (void)it;
         transmit(seq, /*is_retransmit=*/false);
@@ -150,6 +166,25 @@ DataChannel::transmit(Seq seq, bool is_retransmit)
     auto it = in_flight_.find(seq);
     ASK_ASSERT(it != in_flight_.end(), "transmit of unknown seq ", seq);
     InFlight& entry = it->second;
+
+    // Retransmission budget: a frame this persistent marks the path as
+    // broken, not congested. For DATA the remedy is the bypass path;
+    // for a bypass/LONG frame there is no further fallback.
+    const AskConfig& budget_cfg = daemon_.config();
+    if (budget_cfg.max_data_tries > 0 &&
+        entry.tries >= budget_cfg.max_data_tries) {
+        if (entry.type == PacketType::kData) {
+            daemon_.enter_degraded_mode(
+                strf("DATA seq %u on channel %u exhausted %u transmissions",
+                     seq, global_id(), entry.tries));
+        } else {
+            ++daemon_.chaos_.send_failures;
+            fail_front_job(strf(
+                "bypass seq %u on channel %u exhausted %u transmissions", seq,
+                global_id(), entry.tries));
+        }
+        return;
+    }
 
     if (is_retransmit) {
         ++daemon_.stats().retransmissions;
@@ -242,9 +277,14 @@ DataChannel::send_fin(const SendJob& job)
 {
     fin_outstanding_ = true;
     ++fin_tries_;
-    if (fin_tries_ > 1000)
-        fatal("channel ", global_id(), " cannot deliver FIN for task ",
-              job.task, " after 1000 attempts");
+    if (fin_tries_ > daemon_.config().max_fin_tries) {
+        // The receiver is unreachable for good: fail the job through the
+        // task-failure handler instead of aborting the whole process.
+        ++daemon_.chaos_.fin_giveups;
+        fail_front_job(strf("FIN for task %u undeliverable after %u attempts",
+                            job.task, fin_tries_ - 1));
+        return;
+    }
 
     AskHeader hdr;
     hdr.type = PacketType::kFin;
@@ -300,6 +340,123 @@ DataChannel::finish_front_job()
     pump();
 }
 
+void
+DataChannel::fail_front_job(const std::string& reason)
+{
+    ASK_ASSERT(!jobs_.empty(), "no job to fail");
+    for (auto& [seq, entry] : in_flight_) {
+        if (entry.timer != sim::kInvalidEvent)
+            daemon_.simulator().cancel(entry.timer);
+    }
+    in_flight_.clear();
+    if (fin_timer_ != sim::kInvalidEvent) {
+        daemon_.simulator().cancel(fin_timer_);
+        fin_timer_ = sim::kInvalidEvent;
+    }
+    fin_outstanding_ = false;
+    fin_tries_ = 0;
+
+    TaskId task = jobs_.front().task;
+    // on_complete is deliberately NOT invoked: the stream was not
+    // delivered. The failure handler is the channel of record.
+    jobs_.pop_front();
+    daemon_.notify_task_failure(task, reason);
+    pump();
+}
+
+void
+DataChannel::abort_task(TaskId task)
+{
+    if (!jobs_.empty() && jobs_.front().task == task) {
+        // In-flight frames always belong to the front job.
+        for (auto& [seq, entry] : in_flight_) {
+            if (entry.timer != sim::kInvalidEvent)
+                daemon_.simulator().cancel(entry.timer);
+        }
+        in_flight_.clear();
+        if (fin_timer_ != sim::kInvalidEvent) {
+            daemon_.simulator().cancel(fin_timer_);
+            fin_timer_ = sim::kInvalidEvent;
+        }
+        fin_outstanding_ = false;
+        fin_tries_ = 0;
+    }
+    std::erase_if(jobs_, [task](const SendJob& j) { return j.task == task; });
+}
+
+void
+DataChannel::convert_in_flight_to_bypass()
+{
+    for (auto& [seq, entry] : in_flight_) {
+        if (entry.type != PacketType::kData)
+            continue;  // LONG frames keep retransmitting as they are
+        if (entry.timer != sim::kInvalidEvent) {
+            daemon_.simulator().cancel(entry.timer);
+            entry.timer = sim::kInvalidEvent;
+        }
+        // Probe the switch's receive-window and PktState registers: only
+        // the tuples the switch did NOT consume may be re-sent, or
+        // register contents fetched at finalize would double-count them.
+        ++daemon_.chaos_.probe_rpcs;
+        Seq s = seq;
+        daemon_.mgmt_.call(
+            [this, s] {
+                // Sequence numbers are never reused, so presence in
+                // in_flight_ proves the frame (and its job) still stand.
+                if (in_flight_.find(s) == in_flight_.end())
+                    return;
+                finish_conversion(
+                    s, daemon_.controller_.probe_packet(global_id(), s));
+            },
+            [this, s] {
+                if (in_flight_.find(s) == in_flight_.end())
+                    return;
+                ++daemon_.chaos_.send_failures;
+                fail_front_job(
+                    "management probe unreachable during bypass conversion");
+            });
+    }
+    pump();
+}
+
+void
+DataChannel::finish_conversion(Seq seq, AskSwitchProgram::ProbeResult probe)
+{
+    auto it = in_flight_.find(seq);
+    ASK_ASSERT(it != in_flight_.end(), "conversion of unknown seq ", seq);
+    InFlight& entry = it->second;
+    auto hdr = parse_header(entry.frame);
+    ASK_ASSERT(hdr && hdr->type == PacketType::kData,
+               "conversion of a non-DATA frame");
+
+    std::uint64_t unconsumed =
+        probe.observed ? (hdr->bitmap & probe.remaining) : hdr->bitmap;
+    if (unconsumed == 0) {
+        // Fully aggregated switch-side; only the ACK was lost. The
+        // tuples sit in the registers and arrive with the final fetch.
+        in_flight_.erase(it);
+        pump();
+        return;
+    }
+
+    // Re-issue under the ORIGINAL sequence number: the receiver window
+    // dedups DATA and LONG_DATA uniformly per (channel, seq), so if the
+    // forwarded original did reach the receiver, this copy is ignored.
+    KvStream tuples = daemon_.tuples_from_data_frame(entry.frame, unconsumed);
+    AskHeader lh;
+    lh.type = PacketType::kLongData;
+    lh.channel_id = hdr->channel_id;
+    lh.task_id = hdr->task_id;
+    lh.seq = seq;
+    entry.frame = make_long_frame(lh, tuples);
+    entry.type = PacketType::kLongData;
+    // A fresh frame on a different path: its retransmission budget —
+    // consumed by the dead switch path — starts over.
+    entry.tries = 0;
+    ++daemon_.chaos_.bypass_conversions;
+    transmit(seq, /*is_retransmit=*/false);
+}
+
 // ---------------------------------------------------------------------------
 // AskDaemon
 // ---------------------------------------------------------------------------
@@ -307,7 +464,7 @@ DataChannel::finish_front_job()
 AskDaemon::AskDaemon(const AskConfig& config, const net::CostModel& cost_model,
                      net::Network& network, std::uint32_t host_index,
                      net::NodeId switch_node, AskSwitchController& controller,
-                     Nanoseconds mgmt_latency_ns)
+                     MgmtPlane& mgmt)
     : config_(config),
       key_space_(config),
       cost_model_(cost_model),
@@ -315,7 +472,7 @@ AskDaemon::AskDaemon(const AskConfig& config, const net::CostModel& cost_model,
       host_index_(host_index),
       switch_node_(switch_node),
       controller_(controller),
-      mgmt_latency_ns_(mgmt_latency_ns)
+      mgmt_(mgmt)
 {
     ASK_ASSERT(host_index < config_.max_hosts,
                "host index exceeds configured max_hosts");
@@ -346,39 +503,143 @@ AskDaemon::start_receive(TaskId task, std::uint32_t expected_senders,
                          std::function<void()> on_ready)
 {
     // Steps 1-3 of §3.1: register the task, then request a switch memory
-    // region over the management network.
-    simulator().schedule_after(mgmt_latency_ns_, [this, task,
-                                                  expected_senders,
-                                                  region_len,
-                                                  on_done = std::move(on_done),
-                                                  on_ready =
-                                                      std::move(on_ready)] {
-        std::uint32_t len =
-            region_len > 0 ? region_len : controller_.free_aggregators();
-        auto region = controller_.allocate(task, len);
-        if (!region) {
-            fatal("switch memory exhausted allocating ", len,
-                  " aggregators/AA for task ", task);
-        }
-        ReceiveTask rx;
-        rx.id = task;
-        rx.expected_senders = expected_senders;
-        rx.on_done = std::move(on_done);
-        rx.report.start_time = simulator().now();
-        auto [it, inserted] = rx_tasks_.emplace(task, std::move(rx));
-        (void)it;
-        ASK_ASSERT(inserted, "task ", task, " already receiving here");
-        if (on_ready)
-            on_ready();
-    });
+    // region over the management network. Both failure modes — region
+    // exhaustion and an unreachable management plane — surface to the
+    // application as a failed TaskReport, never as a silent hang.
+    auto done = std::make_shared<TaskDoneFn>(std::move(on_done));
+    sim::SimTime requested_at = simulator().now();
+    auto fail = [this, done, requested_at](std::string err) {
+        warn(name(), ": task setup failed: ", err);
+        TaskReport report;
+        report.start_time = requested_at;
+        report.finish_time = simulator().now();
+        report.failed = true;
+        report.error = std::move(err);
+        if (*done)
+            (*done)(AggregateMap{}, std::move(report));
+    };
+    mgmt_.call(
+        [this, task, expected_senders, region_len, done, fail,
+         on_ready = std::move(on_ready)]() mutable {
+            std::uint32_t len =
+                region_len > 0 ? region_len : controller_.free_aggregators();
+            auto region = controller_.allocate(task, len);
+            if (!region) {
+                ++chaos_.alloc_failures;
+                fail(strf("switch memory exhausted: %u aggregators/AA "
+                          "requested, %u free",
+                          len, controller_.free_aggregators()));
+                return;
+            }
+            ReceiveTask rx;
+            rx.id = task;
+            rx.expected_senders = expected_senders;
+            rx.on_done = std::move(*done);
+            rx.report.start_time = simulator().now();
+            rx.last_activity = simulator().now();
+            auto [it, inserted] = rx_tasks_.emplace(task, std::move(rx));
+            (void)it;
+            ASK_ASSERT(inserted, "task ", task, " already receiving here");
+            if (config_.sender_liveness_timeout_ns > 0)
+                arm_liveness(task);
+            if (on_ready)
+                on_ready();
+        },
+        [fail]() mutable {
+            fail("management network unreachable during task setup");
+        });
 }
 
 void
 AskDaemon::submit_send(TaskId task, net::NodeId receiver, KvStream stream,
                        std::function<void()> on_complete)
 {
+    // Archive the stream for replay: a switch reboot wipes the partial
+    // aggregate, and exactness then requires re-sending from the source.
+    sent_archive_[task].push_back(ArchivedSend{receiver, stream, on_complete});
     channel_for_task(task).submit_send(task, receiver, std::move(stream),
                                        std::move(on_complete));
+}
+
+void
+AskDaemon::abort_send(TaskId task)
+{
+    for (auto& ch : channels_)
+        ch->abort_task(task);
+}
+
+std::uint32_t
+AskDaemon::replay_task(TaskId task)
+{
+    for (auto& ch : channels_)
+        ch->abort_task(task);
+    auto it = sent_archive_.find(task);
+    if (it == sent_archive_.end())
+        return 0;
+    std::uint32_t n = 0;
+    for (const auto& a : it->second) {
+        // Straight to the channel: replay must not re-archive.
+        channel_for_task(task).submit_send(task, a.receiver, a.stream,
+                                           a.on_complete);
+        ++n;
+    }
+    chaos_.streams_replayed += n;
+    return n;
+}
+
+void
+AskDaemon::forget_task(TaskId task)
+{
+    sent_archive_.erase(task);
+}
+
+void
+AskDaemon::notify_task_failure(TaskId task, const std::string& reason)
+{
+    warn(name(), ": send job for task ", task, " failed: ", reason);
+    if (on_task_failure_)
+        on_task_failure_(task, reason);
+}
+
+void
+AskDaemon::enter_degraded_mode(const std::string& reason)
+{
+    if (degraded_)
+        return;
+    degraded_ = true;
+    ++chaos_.degraded_entries;
+    warn(name(), ": degrading to host-side aggregation: ", reason);
+    for (auto& ch : channels_)
+        ch->convert_in_flight_to_bypass();
+}
+
+KvStream
+AskDaemon::tuples_from_data_frame(const std::vector<std::uint8_t>& frame,
+                                  std::uint64_t mask) const
+{
+    KvStream out;
+    for (std::uint32_t i = 0; i < config_.short_aas(); ++i) {
+        if (!(mask & (1ULL << i)))
+            continue;
+        WireSlot slot = read_slot(frame, i);
+        out.push_back(KvTuple{
+            KeySpace::unpad(key_space_.decode_segment(slot.seg)), slot.value});
+    }
+    for (std::uint32_t g = 0; g < config_.medium_groups; ++g) {
+        std::uint32_t mb = config_.medium_base(g);
+        if (!(mask & (1ULL << mb)))
+            continue;
+        std::string padded;
+        Value value = 0;
+        for (std::uint32_t j = 0; j < config_.medium_segments; ++j) {
+            WireSlot slot = read_slot(frame, mb + j);
+            padded += key_space_.decode_segment(slot.seg);
+            if (j + 1 == config_.medium_segments)
+                value = slot.value;
+        }
+        out.push_back(KvTuple{KeySpace::unpad(padded), value});
+    }
+    return out;
 }
 
 void
@@ -466,19 +727,34 @@ AskDaemon::handle_data(net::Packet&& pkt, const AskHeader& hdr)
     if (it == rx_tasks_.end())
         return;  // roaming duplicate of a completed task
     ReceiveTask& task = it->second;
+    if (simulator().now() < task.restarting_until) {
+        // Recovery drain: pre-crash traffic must not reach the reset
+        // aggregate — the replay re-delivers every tuple. No ACK, and
+        // the sender's in-flight state was already aborted.
+        ++chaos_.drain_dropped;
+        return;
+    }
+    task.last_activity = simulator().now();
     // RSS: the NIC spreads incoming *flows* (sender channels) across the
     // daemon's cores, so one task's receive load uses every channel.
     DataChannel& ch = *channels_[hdr.channel_id % channels_.size()];
 
     // Charge packet reception; the aggregation work is charged once the
-    // packet is deduplicated (in process_data).
+    // packet is deduplicated (in process_data). The generation capture
+    // keeps a packet charged before a crash-reset from landing in the
+    // task's next life.
     sim::SimTime done = ch.charge(cost_model_.rx_cost_ns(pkt.data.size()));
+    std::uint64_t gen = task.generation;
     simulator().schedule_at(done,
-                            [this, task_id = hdr.task_id, hdr,
+                            [this, task_id = hdr.task_id, hdr, gen,
                              p = std::move(pkt), &ch]() mutable {
                                 auto jt = rx_tasks_.find(task_id);
                                 if (jt == rx_tasks_.end())
                                     return;
+                                if (jt->second.generation != gen) {
+                                    ++chaos_.drain_dropped;
+                                    return;
+                                }
                                 process_data(jt->second, p, hdr, ch);
                             });
 }
@@ -566,6 +842,13 @@ AskDaemon::handle_fin(const net::Packet& pkt, const AskHeader& hdr)
         return;
     }
     ReceiveTask& task = it->second;
+    if (simulator().now() < task.restarting_until) {
+        // A FIN racing the crash must not complete the fin set: the
+        // replay will re-send the stream and a fresh FIN after it.
+        ++chaos_.drain_dropped;
+        return;
+    }
+    task.last_activity = simulator().now();
     task.fins.insert(hdr.channel_id);
     DataChannel& ch = channel_for_task(hdr.task_id);
     ch.charge(cost_model_.rx_cost_ns(pkt.data.size()) +
@@ -580,12 +863,13 @@ AskDaemon::maybe_start_swap(ReceiveTask& task, DataChannel& ch)
     (void)ch;
     if (!config_.shadow_copies || config_.swap_threshold_packets == 0)
         return;
-    if (task.swap_in_flight || task.finalizing)
+    if (task.swap_in_flight || task.finalizing || task.swaps_disabled)
         return;
     if (task.packets_since_swap < config_.swap_threshold_packets)
         return;
     task.swap_in_flight = true;
     task.swap_target = task.committed_epoch + 1;
+    task.swap_tries = 0;
     ++stats_.swap_requests;
     send_swap(task.id);
 }
@@ -597,6 +881,22 @@ AskDaemon::send_swap(TaskId task_id)
     if (it == rx_tasks_.end() || !it->second.swap_in_flight)
         return;
     ReceiveTask& task = it->second;
+
+    if (config_.max_swap_tries > 0 &&
+        task.swap_tries >= config_.max_swap_tries) {
+        // The swap path is dead (e.g. a blackholed program eats SWAPs).
+        // Stop swapping for good: hot-key prioritization is lost but the
+        // result stays exact — the finalize fetch drains both copies.
+        ++chaos_.swap_giveups;
+        warn(name(), ": disabling shadow-copy swaps for task ", task_id,
+             " after ", task.swap_tries, " attempts");
+        task.swaps_disabled = true;
+        task.swap_in_flight = false;
+        if (task.finalize_pending)
+            maybe_finalize(task);
+        return;
+    }
+    ++task.swap_tries;
 
     AskHeader hdr;
     hdr.type = PacketType::kSwap;
@@ -629,6 +929,7 @@ AskDaemon::handle_swap_ack(const AskHeader& hdr)
         simulator().cancel(task.swap_timer);
         task.swap_timer = sim::kInvalidEvent;
     }
+    task.swap_tries = 0;
     complete_swap(task);
 }
 
@@ -649,23 +950,45 @@ AskDaemon::complete_swap(ReceiveTask& task)
     std::uint64_t entries = controller_.fetch_scan_entries(task.id);
     Nanoseconds scan_cost = static_cast<Nanoseconds>(
         static_cast<double>(entries) * 2.0);  // slow-path read per entry
-    sim::SimTime done = charge_control(mgmt_latency_ns_ + scan_cost);
+    sim::SimTime done = charge_control(scan_cost);
+    std::uint64_t gen = task.generation;
 
-    simulator().schedule_at(done, [this, task_id = task.id, old_copy] {
-        auto it = rx_tasks_.find(task_id);
-        if (it == rx_tasks_.end())
-            return;
-        ReceiveTask& t = it->second;
-        KvStream fetched = controller_.fetch(task_id, old_copy, /*clear=*/true);
-        stats_.fetch_tuples += fetched.size();
-        t.report.tuples_fetched_from_switch += fetched.size();
-        aggregate_into(t.local, fetched, config_.op);
-        t.committed_epoch = t.swap_target;
-        t.packets_since_swap = 0;
-        t.swap_in_flight = false;
-        ++t.report.swaps;
-        if (t.finalize_pending)
-            maybe_finalize(t);
+    simulator().schedule_at(done, [this, task_id = task.id, old_copy, gen] {
+        mgmt_.call(
+            [this, task_id, old_copy, gen] {
+                auto it = rx_tasks_.find(task_id);
+                if (it == rx_tasks_.end())
+                    return;
+                ReceiveTask& t = it->second;
+                // A crash-reset between SwapAck and fetch invalidates
+                // the swap: the registers it would drain are gone.
+                if (t.generation != gen || !t.swap_in_flight)
+                    return;
+                KvStream fetched =
+                    controller_.fetch(task_id, old_copy, /*clear=*/true);
+                stats_.fetch_tuples += fetched.size();
+                t.report.tuples_fetched_from_switch += fetched.size();
+                aggregate_into(t.local, fetched, config_.op);
+                t.committed_epoch = t.swap_target;
+                t.packets_since_swap = 0;
+                t.swap_in_flight = false;
+                ++t.report.swaps;
+                if (t.finalize_pending)
+                    maybe_finalize(t);
+            },
+            [this, task_id, gen] {
+                auto it = rx_tasks_.find(task_id);
+                if (it == rx_tasks_.end())
+                    return;
+                ReceiveTask& t = it->second;
+                if (t.generation != gen)
+                    return;
+                ++chaos_.swap_giveups;
+                t.swaps_disabled = true;
+                t.swap_in_flight = false;
+                if (t.finalize_pending)
+                    maybe_finalize(t);
+            });
     });
 }
 
@@ -691,34 +1014,147 @@ AskDaemon::finalize(ReceiveTask& task)
     std::uint32_t copies = config_.shadow_copies ? 2 : 1;
     Nanoseconds scan_cost = static_cast<Nanoseconds>(
         static_cast<double>(entries) * 2.0 * copies);
-    sim::SimTime done = charge_control(mgmt_latency_ns_ + scan_cost);
+    sim::SimTime done = charge_control(scan_cost);
     // The result is complete only once the deferred aggregation backlog
     // of every channel has drained.
     for (const auto& ch : channels_)
         done = std::max(done, ch->background_busy_until());
+    std::uint64_t gen = task.generation;
 
-    simulator().schedule_at(done, [this, task_id = task.id] {
-        auto it = rx_tasks_.find(task_id);
-        ASK_ASSERT(it != rx_tasks_.end(), "finalizing vanished task");
-        ReceiveTask& t = it->second;
+    simulator().schedule_at(done, [this, task_id = task.id, gen] {
+        mgmt_.call(
+            [this, task_id, gen] {
+                auto it = rx_tasks_.find(task_id);
+                if (it == rx_tasks_.end())
+                    return;  // failed (e.g. liveness) while queued
+                ReceiveTask& t = it->second;
+                // A crash-reset re-opened the task: the FIN set was
+                // cleared and the replay will re-trigger finalize.
+                if (t.generation != gen)
+                    return;
 
-        for (std::uint32_t copy = 0;
-             copy < (config_.shadow_copies ? 2u : 1u); ++copy) {
-            KvStream fetched = controller_.fetch(task_id, copy, /*clear=*/true);
-            stats_.fetch_tuples += fetched.size();
-            t.report.tuples_fetched_from_switch += fetched.size();
-            aggregate_into(t.local, fetched, config_.op);
-        }
-        controller_.release(task_id);
+                for (std::uint32_t copy = 0;
+                     copy < (config_.shadow_copies ? 2u : 1u); ++copy) {
+                    KvStream fetched =
+                        controller_.fetch(task_id, copy, /*clear=*/true);
+                    stats_.fetch_tuples += fetched.size();
+                    t.report.tuples_fetched_from_switch += fetched.size();
+                    aggregate_into(t.local, fetched, config_.op);
+                }
+                controller_.release(task_id);
 
-        t.report.finish_time = simulator().now();
-        TaskDoneFn on_done = std::move(t.on_done);
-        AggregateMap result = std::move(t.local);
-        TaskReport report = t.report;
-        rx_tasks_.erase(it);
-        if (on_done)
-            on_done(std::move(result), report);
+                if (t.liveness_timer != sim::kInvalidEvent) {
+                    simulator().cancel(t.liveness_timer);
+                    t.liveness_timer = sim::kInvalidEvent;
+                }
+                t.report.finish_time = simulator().now();
+                TaskDoneFn on_done = std::move(t.on_done);
+                AggregateMap result = std::move(t.local);
+                TaskReport report = std::move(t.report);
+                rx_tasks_.erase(it);
+                if (on_done)
+                    on_done(std::move(result), std::move(report));
+            },
+            [this, task_id, gen] {
+                auto it = rx_tasks_.find(task_id);
+                if (it == rx_tasks_.end() || it->second.generation != gen)
+                    return;
+                // Without the final register fetch the result cannot be
+                // exact; surface the failure instead of guessing.
+                fail_receive_task(
+                    task_id, "management plane unreachable during finalize");
+            });
     });
+}
+
+void
+AskDaemon::arm_liveness(TaskId task_id)
+{
+    auto it = rx_tasks_.find(task_id);
+    if (it == rx_tasks_.end())
+        return;
+    ReceiveTask& t = it->second;
+    sim::SimTime deadline =
+        t.last_activity + config_.sender_liveness_timeout_ns;
+    t.liveness_timer = simulator().schedule_at(deadline, [this, task_id] {
+        auto jt = rx_tasks_.find(task_id);
+        if (jt == rx_tasks_.end())
+            return;
+        ReceiveTask& t = jt->second;
+        t.liveness_timer = sim::kInvalidEvent;
+        if (t.finalizing)
+            return;  // the result fetch is already under way
+        sim::SimTime deadline =
+            t.last_activity + config_.sender_liveness_timeout_ns;
+        if (simulator().now() < deadline) {
+            arm_liveness(task_id);  // activity since: re-arm lazily
+            return;
+        }
+        ++chaos_.sender_timeouts;
+        fail_receive_task(
+            task_id,
+            strf("sender liveness timeout: heard FINs from %zu of %u senders",
+                 t.fins.size(), t.expected_senders));
+    });
+}
+
+void
+AskDaemon::fail_receive_task(TaskId task_id, std::string error)
+{
+    auto it = rx_tasks_.find(task_id);
+    if (it == rx_tasks_.end())
+        return;
+    ReceiveTask& t = it->second;
+    warn(name(), ": receive task ", task_id, " failed: ", error);
+    if (t.swap_timer != sim::kInvalidEvent)
+        simulator().cancel(t.swap_timer);
+    if (t.liveness_timer != sim::kInvalidEvent)
+        simulator().cancel(t.liveness_timer);
+    t.report.finish_time = simulator().now();
+    t.report.failed = true;
+    t.report.error = std::move(error);
+    TaskDoneFn on_done = std::move(t.on_done);
+    TaskReport report = std::move(t.report);
+    rx_tasks_.erase(it);
+    // Best-effort region release; under a permanent management outage
+    // the region is abandoned (the journal still records it).
+    mgmt_.call([this, task_id] { controller_.release(task_id); });
+    if (on_done)
+        on_done(AggregateMap{}, std::move(report));
+}
+
+void
+AskDaemon::prepare_replay(TaskId task_id, sim::SimTime drain_until)
+{
+    auto it = rx_tasks_.find(task_id);
+    if (it == rx_tasks_.end())
+        return;
+    ReceiveTask& t = it->second;
+    ++t.generation;  // scheduled fetch/finalize callbacks are now void
+    t.local.clear();
+    t.fins.clear();
+    t.report.tuples_aggregated_locally = 0;
+    t.report.tuples_fetched_from_switch = 0;
+    t.packets_since_swap = 0;
+    // The register wipe rewound swap_epoch to 0; mirror it host-side.
+    t.committed_epoch = 0;
+    t.swap_in_flight = false;
+    t.swap_target = 0;
+    t.swap_tries = 0;
+    t.swaps_disabled = false;
+    if (t.swap_timer != sim::kInvalidEvent) {
+        simulator().cancel(t.swap_timer);
+        t.swap_timer = sim::kInvalidEvent;
+    }
+    t.finalize_pending = false;
+    t.finalizing = false;
+    t.restarting_until = drain_until;
+    // Give the replay breathing room before the liveness clock resumes.
+    t.last_activity = drain_until;
+    // t.windows is deliberately KEPT: HostReceiveWindow tolerates gaps,
+    // and replayed sequence numbers continue past the crash point — a
+    // fresh window would mis-classify them relative to pre-crash seqs.
+    ++chaos_.tasks_reset;
 }
 
 }  // namespace ask::core

@@ -34,6 +34,7 @@
 #include "ask/controller.h"
 #include "ask/key_space.h"
 #include "ask/metrics.h"
+#include "ask/mgmt.h"
 #include "ask/packet_builder.h"
 #include "ask/seen_window.h"
 #include "ask/types.h"
@@ -55,6 +56,11 @@ struct TaskReport
     std::uint64_t tuples_fetched_from_switch = 0;
     std::uint64_t packets_received = 0;
     std::uint64_t swaps = 0;
+    /** The task did NOT produce a result; `error` says why. Fired for
+     *  region-allocation failure, sender-liveness timeout, and
+     *  management-plane unreachability. */
+    bool failed = false;
+    std::string error;
 };
 
 /** Callback invoked when a receive task completes. */
@@ -70,6 +76,9 @@ class DataChannel
 
     /** Cluster-wide channel id. */
     ChannelId global_id() const;
+
+    /** Next unused sequence number (the fence boundary at recovery). */
+    Seq next_seq() const { return next_seq_; }
 
     /** Enqueue a sending task (FIFO within the channel). */
     void submit_send(TaskId task, net::NodeId receiver, KvStream stream,
@@ -114,6 +123,7 @@ class DataChannel
         sim::EventId timer = sim::kInvalidEvent;
         std::uint32_t tries = 0;  ///< transmissions so far (for backoff)
         sim::SimTime sent_at = 0;  ///< last transmission time (RTT sample)
+        PacketType type = PacketType::kData;
     };
 
     void pump();
@@ -122,6 +132,27 @@ class DataChannel
     void arm_timer(Seq seq, sim::SimTime after);
     void send_fin(const SendJob& job);
     void finish_front_job();
+
+    /** Fail the front send job: drop its in-flight state, notify the
+     *  daemon's task-failure handler, and move on to the next job. */
+    void fail_front_job(const std::string& reason);
+
+    /**
+     * Replay support: forget every job and in-flight frame of `task`
+     * (timers cancelled, no callbacks). The channel's sequence space
+     * keeps advancing, so a subsequent fence admits only replayed
+     * traffic.
+     */
+    void abort_task(TaskId task);
+
+    /**
+     * Degraded-mode entry: every in-flight DATA frame is probed over
+     * the management plane and re-issued — under its original sequence
+     * number, so end-to-end dedup still holds — as a bypass LONG_DATA
+     * frame carrying exactly the tuples the switch did not consume.
+     */
+    void convert_in_flight_to_bypass();
+    void finish_conversion(Seq seq, AskSwitchProgram::ProbeResult probe);
 
     AskDaemon& daemon_;
     std::uint32_t local_index_;
@@ -162,19 +193,23 @@ class AskDaemon : public net::Node
     /**
      * @param host_index   dense index of this server (0..max_hosts-1).
      * @param switch_node  node id of the ToR switch on the fabric.
-     * @param controller   the switch control plane (management network).
+     * @param controller   the switch control plane.
+     * @param mgmt         the management network all controller RPCs use.
      */
     AskDaemon(const AskConfig& config, const net::CostModel& cost_model,
               net::Network& network, std::uint32_t host_index,
               net::NodeId switch_node, AskSwitchController& controller,
-              Nanoseconds mgmt_latency_ns = 20 * units::kMicrosecond);
+              MgmtPlane& mgmt);
 
     // ---- application-facing API ------------------------------------------
 
     /**
      * Start an aggregation task with this host as the receiver:
      * allocates the switch region (over the management network) and
-     * invokes `on_ready` once senders may stream.
+     * invokes `on_ready` once senders may stream. When the switch
+     * cannot host the region (memory/epoch-slot exhaustion) or the
+     * management plane stays unreachable, `on_done` fires with a failed
+     * TaskReport instead — the application always learns the outcome.
      *
      * @param region_len aggregators per AA per shadow copy; 0 = all free.
      */
@@ -182,9 +217,63 @@ class AskDaemon : public net::Node
                        std::uint32_t region_len, TaskDoneFn on_done,
                        std::function<void()> on_ready);
 
-    /** Submit a key-value stream for `task` toward `receiver`. */
+    /** Submit a key-value stream for `task` toward `receiver`. The
+     *  stream is archived until forget_task() so it can be replayed
+     *  after a switch failure. */
     void submit_send(TaskId task, net::NodeId receiver, KvStream stream,
                      std::function<void()> on_complete = nullptr);
+
+    /** Sender-side send jobs that fail permanently (FIN or bypass
+     *  retransmission budget exhausted) are reported here. */
+    void set_task_failure_handler(
+        std::function<void(TaskId, const std::string&)> handler)
+    {
+        on_task_failure_ = std::move(handler);
+    }
+
+    // ---- failure recovery (driven by AskCluster's chaos handlers) --------
+
+    /**
+     * Sticky switch from switch-side to host-side aggregation: the
+     * switch data path is persistently unresponsive (retransmission
+     * budget exhausted), so every future frame — and every abandoned
+     * in-flight DATA frame, after a PktState probe — travels the
+     * long-key bypass path and is aggregated at the receiver. Slower,
+     * still exact.
+     */
+    void enter_degraded_mode(const std::string& reason);
+    bool degraded() const { return degraded_; }
+
+    /**
+     * Receiver-side reset of a task whose switch state was wiped:
+     * clears the partial aggregate, FIN set, and swap state (register
+     * contents are gone, so senders replay from scratch), and drops
+     * this task's traffic until `drain_until` so pre-crash packets
+     * still in the fabric cannot be double-counted. Receive windows are
+     * kept — they are gap-tolerant, and replayed sequence numbers
+     * continue past the crash point.
+     */
+    void prepare_replay(TaskId task, sim::SimTime drain_until);
+
+    /**
+     * Silence the sender side of `task` immediately: drop its jobs and
+     * in-flight frames on every channel. Called at switch-recovery time
+     * BEFORE the channels are fenced — a frame sent after the fence
+     * boundary was read would be accepted by the switch and then
+     * double-counted by the replay.
+     */
+    void abort_send(TaskId task);
+
+    /** Re-submit every archived stream of `task` (aborting any live
+     *  jobs first). @return streams re-submitted. */
+    std::uint32_t replay_task(TaskId task);
+
+    /** Drop the replay archive of a completed task. */
+    void forget_task(TaskId task);
+
+    /** Fail a receive task: fires on_done with a failed report and
+     *  releases the switch region best-effort. */
+    void fail_receive_task(TaskId task, std::string error);
 
     // ---- net::Node ---------------------------------------------------------
     void receive(net::Packet pkt) override;
@@ -200,6 +289,9 @@ class AskDaemon : public net::Node
     std::uint32_t host_index() const { return host_index_; }
     const HostStats& stats() const { return stats_; }
     HostStats& stats() { return stats_; }
+    const ChaosStats& chaos_stats() const { return chaos_; }
+    MgmtPlane& mgmt() { return mgmt_; }
+    AskSwitchController& controller() { return controller_; }
     DataChannel& channel(std::uint32_t i) { return *channels_.at(i); }
     std::uint32_t num_channels() const
     {
@@ -226,9 +318,20 @@ class AskDaemon : public net::Node
         std::uint32_t committed_epoch = 0;
         bool swap_in_flight = false;
         std::uint32_t swap_target = 0;
+        std::uint32_t swap_tries = 0;
+        bool swaps_disabled = false;
         sim::EventId swap_timer = sim::kInvalidEvent;
         bool finalize_pending = false;
         bool finalizing = false;
+
+        /** Bumped by prepare_replay/failure: scheduled fetch/finalize
+         *  callbacks from the previous life must not touch the task. */
+        std::uint64_t generation = 0;
+        /** Recovery drain guard: drop this task's traffic until then. */
+        sim::SimTime restarting_until = 0;
+        /** Last DATA/FIN arrival (sender-liveness timeout). */
+        sim::SimTime last_activity = 0;
+        sim::EventId liveness_timer = sim::kInvalidEvent;
     };
 
     /** Charge work to the control-channel thread (fetches, setup). */
@@ -249,8 +352,23 @@ class AskDaemon : public net::Node
     void complete_swap(ReceiveTask& task);
     void maybe_finalize(ReceiveTask& task);
     void finalize(ReceiveTask& task);
+    void arm_liveness(TaskId task_id);
+    void notify_task_failure(TaskId task, const std::string& reason);
+
+    /** Decode the tuples of a DATA frame whose slot bit is in `mask`
+     *  (degraded-mode conversion to bypass frames). */
+    KvStream tuples_from_data_frame(const std::vector<std::uint8_t>& frame,
+                                    std::uint64_t mask) const;
 
     HostReceiveWindow& window_for(ReceiveTask& task, ChannelId channel);
+
+    /** One archived submit_send (kept until forget_task for replay). */
+    struct ArchivedSend
+    {
+        net::NodeId receiver = 0;
+        KvStream stream;
+        std::function<void()> on_complete;
+    };
 
     AskConfig config_;
     KeySpace key_space_;
@@ -259,11 +377,15 @@ class AskDaemon : public net::Node
     std::uint32_t host_index_;
     net::NodeId switch_node_;
     AskSwitchController& controller_;
-    Nanoseconds mgmt_latency_ns_;
+    MgmtPlane& mgmt_;
 
     std::vector<std::unique_ptr<DataChannel>> channels_;
     std::unordered_map<TaskId, ReceiveTask> rx_tasks_;
+    std::unordered_map<TaskId, std::vector<ArchivedSend>> sent_archive_;
+    std::function<void(TaskId, const std::string&)> on_task_failure_;
+    bool degraded_ = false;
     HostStats stats_;
+    ChaosStats chaos_;
     /** Busy-until of the control-channel thread (region fetches run
      *  here so they never stall the data path; §4: "one thread as the
      *  control channel"). */

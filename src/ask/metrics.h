@@ -24,6 +24,70 @@ struct SwitchAggStats
     std::uint64_t long_packets = 0;       ///< LONG_DATA forwarded
     std::uint64_t swaps = 0;              ///< shadow-copy swaps applied
     std::uint64_t unknown_task = 0;       ///< DATA for unknown task regions
+    std::uint64_t blackholed = 0;         ///< DATA/SWAP eaten by a sick program
+};
+
+/**
+ * Fault-injection and recovery counters. Every component that observes
+ * a chaos event or performs a recovery action owns a slice of these
+ * (daemons, the management plane, the cluster coordinator);
+ * AskCluster::chaos_stats() merges the slices.
+ */
+struct ChaosStats
+{
+    // ---- faults observed --------------------------------------------------
+    std::uint64_t link_blackouts = 0;    ///< cable blackout windows opened
+    std::uint64_t burst_loss_windows = 0;
+    std::uint64_t switch_reboots = 0;
+    std::uint64_t mgmt_outages = 0;
+    std::uint64_t mgmt_delay_windows = 0;
+    std::uint64_t data_blackholes = 0;
+
+    // ---- recovery actions -------------------------------------------------
+    std::uint64_t regions_reinstalled = 0;  ///< task regions re-pushed post-reboot
+    std::uint64_t channels_fenced = 0;      ///< max_seq/seen fences written
+    std::uint64_t tasks_reset = 0;          ///< receiver tasks reset for replay
+    std::uint64_t streams_replayed = 0;     ///< sender streams re-submitted
+    std::uint64_t drain_dropped = 0;        ///< packets dropped by drain guards
+    std::uint64_t degraded_entries = 0;     ///< daemons entering host-only mode
+    std::uint64_t bypass_conversions = 0;   ///< in-flight DATA rerouted to bypass
+    std::uint64_t probe_rpcs = 0;           ///< PktState probes during conversion
+    std::uint64_t swap_giveups = 0;         ///< tasks that stopped swapping
+    std::uint64_t fin_giveups = 0;          ///< send jobs failed at FIN budget
+    std::uint64_t send_failures = 0;        ///< send jobs failed at data budget
+    std::uint64_t sender_timeouts = 0;      ///< rx tasks failed by liveness timeout
+    std::uint64_t alloc_failures = 0;       ///< region allocation rejections
+    std::uint64_t mgmt_rpcs = 0;            ///< management RPC attempts
+    std::uint64_t mgmt_retries = 0;         ///< attempts that hit an outage
+    std::uint64_t mgmt_giveups = 0;         ///< RPCs abandoned after max tries
+
+    ChaosStats&
+    merge(const ChaosStats& o)
+    {
+        link_blackouts += o.link_blackouts;
+        burst_loss_windows += o.burst_loss_windows;
+        switch_reboots += o.switch_reboots;
+        mgmt_outages += o.mgmt_outages;
+        mgmt_delay_windows += o.mgmt_delay_windows;
+        data_blackholes += o.data_blackholes;
+        regions_reinstalled += o.regions_reinstalled;
+        channels_fenced += o.channels_fenced;
+        tasks_reset += o.tasks_reset;
+        streams_replayed += o.streams_replayed;
+        drain_dropped += o.drain_dropped;
+        degraded_entries += o.degraded_entries;
+        bypass_conversions += o.bypass_conversions;
+        probe_rpcs += o.probe_rpcs;
+        swap_giveups += o.swap_giveups;
+        fin_giveups += o.fin_giveups;
+        send_failures += o.send_failures;
+        sender_timeouts += o.sender_timeouts;
+        alloc_failures += o.alloc_failures;
+        mgmt_rpcs += o.mgmt_rpcs;
+        mgmt_retries += o.mgmt_retries;
+        mgmt_giveups += o.mgmt_giveups;
+        return *this;
+    }
 };
 
 /** Host-side per-cluster counters. */

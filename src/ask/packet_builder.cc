@@ -104,4 +104,39 @@ PacketBuilder::next_long_batch(std::uint32_t max_payload_bytes)
     return batch;
 }
 
+std::optional<std::vector<KvTuple>>
+PacketBuilder::next_bypass_batch(std::uint32_t max_payload_bytes)
+{
+    if (empty())
+        return std::nullopt;
+
+    std::vector<KvTuple> batch;
+    std::uint32_t bytes = 2;  // tuple-count field
+    auto take = [&](std::deque<KvTuple>& q, bool counts_as_data) {
+        while (!q.empty()) {
+            const KvTuple& t = q.front();
+            std::uint32_t need =
+                2 + static_cast<std::uint32_t>(t.key.size()) + 4;
+            if (!batch.empty() && bytes + need > max_payload_bytes)
+                return false;
+            bytes += need;
+            batch.push_back(t);
+            q.pop_front();
+            if (counts_as_data)
+                --queued_data_;
+        }
+        return true;
+    };
+
+    if (take(long_queue_, false)) {
+        for (auto& q : short_queues_)
+            if (!take(q, true))
+                break;
+        for (auto& q : medium_queues_)
+            if (!take(q, true))
+                break;
+    }
+    return batch;
+}
+
 }  // namespace ask::core

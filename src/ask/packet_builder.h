@@ -69,6 +69,22 @@ class PacketBuilder
     std::optional<std::vector<KvTuple>> next_long_batch(
         std::uint32_t max_payload_bytes);
 
+    /**
+     * Degraded mode: pop the next batch of tuples of ANY class for the
+     * host-only bypass path — the long queue first, then the
+     * short/medium slot queues. Same wire format and size accounting as
+     * next_long_batch. std::nullopt when the builder is empty.
+     */
+    std::optional<std::vector<KvTuple>> next_bypass_batch(
+        std::uint32_t max_payload_bytes);
+
+    /**
+     * Degraded mode: route a tuple through the bypass queue regardless
+     * of its key class (used when abandoned in-flight DATA is converted
+     * to host-side aggregation).
+     */
+    void enqueue_bypass(const KvTuple& tuple) { long_queue_.push_back(tuple); }
+
     /** Tuples enqueued so far, by class. */
     std::uint64_t short_enqueued() const { return short_enqueued_; }
     std::uint64_t medium_enqueued() const { return medium_enqueued_; }

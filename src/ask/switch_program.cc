@@ -195,6 +195,60 @@ AskSwitchProgram::read_region(TaskId task, std::uint32_t copy, bool clear)
     return out;
 }
 
+void
+AskSwitchProgram::on_reboot()
+{
+    tasks_.clear();
+}
+
+void
+AskSwitchProgram::fence_channel(ChannelId channel, Seq next_seq)
+{
+    ASK_ASSERT(channel < config_.max_channels(), "channel id out of range");
+    std::uint32_t w = config_.window;
+    max_seq_->cp_write(channel, static_cast<std::uint64_t>(next_seq) + w - 1);
+
+    std::size_t base = static_cast<std::size_t>(channel) * w;
+    if (config_.compact_seen) {
+        // A fresh packet in an even segment expects bit==0 (set_bit),
+        // in an odd segment bit==1 (clr_bitc). Pre-set the parity for
+        // the one window the fence admits.
+        for (std::uint64_t seq = next_seq;
+             seq < static_cast<std::uint64_t>(next_seq) + w; ++seq) {
+            std::uint64_t q = seq / w;
+            seen_->cp_write(base + seq % w, q % 2 == 1 ? 1 : 0);
+        }
+    } else {
+        seen_even_->cp_clear(base, w);
+        seen_odd_->cp_clear(base, w);
+    }
+    pkt_state_->cp_clear(base, w);
+}
+
+AskSwitchProgram::ProbeResult
+AskSwitchProgram::probe_packet(ChannelId channel, Seq seq) const
+{
+    ASK_ASSERT(channel < config_.max_channels(), "channel id out of range");
+    std::uint32_t w = config_.window;
+    ProbeResult out;
+
+    std::uint64_t max = max_seq_->cp_read(channel);
+    if (static_cast<std::uint64_t>(seq) + w <= max)
+        return out;  // outside the live window: report not-observed
+
+    std::size_t idx = static_cast<std::size_t>(channel) * w + seq % w;
+    if (config_.compact_seen) {
+        std::uint64_t bit = seen_->cp_read(idx);
+        out.observed = (seq / w) % 2 == 0 ? bit != 0 : bit == 0;
+    } else {
+        bool even = (seq / w) % 2 == 0;
+        out.observed = (even ? seen_even_ : seen_odd_)->cp_read(idx) != 0;
+    }
+    if (out.observed)
+        out.remaining = pkt_state_->cp_read(idx);
+    return out;
+}
+
 AskSwitchProgram::WindowVerdict
 AskSwitchProgram::check_window(ChannelId channel, Seq seq)
 {
@@ -475,6 +529,19 @@ AskSwitchProgram::process(net::Packet pkt, pisa::Emitter& emit)
         net::NodeId dst = pkt.dst;
         emit.emit(dst, std::move(pkt));
         return;
+    }
+
+    if (data_blackhole_) {
+        if (hdr->type == PacketType::kData || hdr->type == PacketType::kSwap) {
+            ++stats_.blackholed;
+            return;
+        }
+        if (hdr->type == PacketType::kLongData) {
+            ++stats_.long_packets;
+            net::NodeId dst = pkt.dst;
+            emit.emit(dst, std::move(pkt));
+            return;
+        }
     }
 
     // Multi-rack bypass (§7): data-plane state only covers this rack's

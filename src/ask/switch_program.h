@@ -93,6 +93,63 @@ class AskSwitchProgram : public pisa::SwitchProgram
      */
     KvStream read_region(TaskId task, std::uint32_t copy, bool clear);
 
+    // ---- failure recovery (chaos injection) ------------------------------
+
+    /**
+     * The switch CPU came back after a reboot: the program image
+     * survives (it is reloaded from flash) but every task binding lived
+     * in the control plane's DRAM-backed table and is gone, as is all
+     * register state (the pipeline wipe is modeled separately by
+     * pisa::Pipeline::wipe_registers()). The controller re-installs
+     * regions from its journal afterwards.
+     */
+    void on_reboot();
+
+    /**
+     * Re-synchronize a channel's reliability state after a register
+     * wipe, given the sender's next unused sequence number. Writes
+     * max_seq = next_seq + W - 1 so every pre-crash in-flight packet
+     * (seq < next_seq) is stale-dropped, and repairs the compact-seen
+     * parity for the upcoming window [next_seq, next_seq + W): a wiped
+     * bit reads 0, which the odd-segment clr_bitc check would
+     * misinterpret as "already observed" and falsely ACK a fresh packet
+     * against a zeroed pkt_state — losing its tuples.
+     */
+    void fence_channel(ChannelId channel, Seq next_seq);
+
+    /** Control-plane view of one in-flight packet's aggregation state. */
+    struct ProbeResult
+    {
+        /** Whether the data plane processed (channel, seq). */
+        bool observed = false;
+        /** pkt_state bitmap: slots NOT consumed by aggregators. Only
+         *  meaningful when observed. */
+        std::uint64_t remaining = 0;
+    };
+
+    /**
+     * Read-only control-plane probe of one (channel, seq): did the
+     * switch see the packet, and which of its slots still need host
+     * delivery? Used when a daemon degrades to the bypass path and must
+     * decide, per abandoned in-flight DATA packet, which tuples the
+     * switch already consumed. A sequence outside the live window
+     * probes as not-observed (the daemon resends via bypass; see the
+     * degraded-mode notes in DESIGN.md).
+     */
+    ProbeResult probe_packet(ChannelId channel, Seq seq) const;
+
+    /**
+     * Chaos injection: a "sick" program that eats every DATA/SWAP
+     * packet (counted in stats().blackholed) while still forwarding
+     * LONG_DATA and control traffic — the shape of a miscompiled or
+     * misconfigured aggregation table. Blackholed LONG_DATA skips the
+     * receive-window check: safe because daemons that degrade stop
+     * sending DATA on their channels for good (sticky), so the skipped
+     * seen updates are never consulted again.
+     */
+    void set_data_blackhole(bool on) { data_blackhole_ = on; }
+    bool data_blackhole() const { return data_blackhole_; }
+
     /** Aggregators the read_region scan touches (for cost accounting). */
     std::uint64_t region_scan_entries(TaskId task) const;
 
@@ -148,6 +205,7 @@ class AskSwitchProgram : public pisa::SwitchProgram
     SwitchAggStats stats_;
     ChannelId local_lo_ = 0;
     ChannelId local_hi_ = 0;  ///< 0,0 = all channels local
+    bool data_blackhole_ = false;
 };
 
 }  // namespace ask::core

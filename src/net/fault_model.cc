@@ -10,10 +10,11 @@ FaultModel::FaultModel(FaultSpec spec, std::uint64_t seed)
 Nanoseconds
 FaultModel::extra_delay()
 {
-    if (spec_.reorder_prob > 0.0 && rng_.chance(spec_.reorder_prob)) {
+    const FaultSpec& s = active_spec();
+    if (s.reorder_prob > 0.0 && rng_.chance(s.reorder_prob)) {
         ++delayed_;
         return static_cast<Nanoseconds>(
-            rng_.next_exponential(static_cast<double>(spec_.reorder_delay_ns)));
+            rng_.next_exponential(static_cast<double>(s.reorder_delay_ns)));
     }
     return 0;
 }
@@ -21,13 +22,16 @@ FaultModel::extra_delay()
 std::vector<Nanoseconds>
 FaultModel::deliveries()
 {
+    const FaultSpec& s = active_spec();
+    if (override_)
+        ++overridden_tx_;
     std::vector<Nanoseconds> out;
-    if (rng_.chance(spec_.loss_prob)) {
+    if (rng_.chance(s.loss_prob)) {
         ++dropped_;
         return out;
     }
     out.push_back(extra_delay());
-    if (rng_.chance(spec_.dup_prob)) {
+    if (rng_.chance(s.dup_prob)) {
         ++duplicated_;
         out.push_back(extra_delay());
     }

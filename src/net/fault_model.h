@@ -12,6 +12,7 @@
 #define ASK_NET_FAULT_MODEL_H
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "common/random.h"
@@ -44,6 +45,15 @@ struct FaultSpec
         s.reorder_prob = reorder;
         return s;
     }
+
+    /** A dead wire: every transmission disappears. */
+    static FaultSpec
+    blackout()
+    {
+        FaultSpec s;
+        s.loss_prob = 1.0;
+        return s;
+    }
 };
 
 /**
@@ -61,20 +71,42 @@ class FaultModel
      */
     std::vector<Nanoseconds> deliveries();
 
+    /** The steady-state fault profile the model was built with. */
     const FaultSpec& spec() const { return spec_; }
+
+    /**
+     * Chaos-episode override: while set, `deliveries()` draws from this
+     * spec instead of the steady-state one (a blackout or burst-loss
+     * window). Episodes restore the base spec when they end; stacked
+     * windows are not modeled — the latest override wins and clearing
+     * always returns to the base spec.
+     */
+    void set_override(const FaultSpec& spec) { override_ = spec; }
+    void clear_override() { override_.reset(); }
+    bool overridden() const { return override_.has_value(); }
+
+    /** The spec currently governing deliveries. */
+    const FaultSpec& active_spec() const
+    {
+        return override_ ? *override_ : spec_;
+    }
 
     std::uint64_t dropped() const { return dropped_; }
     std::uint64_t duplicated() const { return duplicated_; }
     std::uint64_t delayed() const { return delayed_; }
+    /** Transmissions decided while an override window was active. */
+    std::uint64_t overridden_transmissions() const { return overridden_tx_; }
 
   private:
     Nanoseconds extra_delay();
 
     FaultSpec spec_;
+    std::optional<FaultSpec> override_;
     Rng rng_;
     std::uint64_t dropped_ = 0;
     std::uint64_t duplicated_ = 0;
     std::uint64_t delayed_ = 0;
+    std::uint64_t overridden_tx_ = 0;
 };
 
 }  // namespace ask::net

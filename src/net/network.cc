@@ -90,6 +90,26 @@ Network::tx_free_at(NodeId from, NodeId to) const
     return edge(from, to).link->busy_until();
 }
 
+FaultModel&
+Network::fault_model(NodeId from, NodeId to)
+{
+    return *edge(from, to).faults;
+}
+
+void
+Network::set_cable_override(NodeId a, NodeId b, const FaultSpec& spec)
+{
+    edge(a, b).faults->set_override(spec);
+    edge(b, a).faults->set_override(spec);
+}
+
+void
+Network::clear_cable_override(NodeId a, NodeId b)
+{
+    edge(a, b).faults->clear_override();
+    edge(b, a).faults->clear_override();
+}
+
 std::uint64_t
 Network::link_bytes(NodeId from, NodeId to) const
 {

@@ -32,6 +32,17 @@ Pipeline::touch_stage(std::size_t stage_index)
     pass_stage_cursor_ = stage_index;
 }
 
+void
+Pipeline::wipe_registers()
+{
+    for (const auto& st : stages_) {
+        for (std::size_t i = 0; i < st->array_count(); ++i) {
+            RegisterArray* arr = st->array(i);
+            arr->cp_clear(0, arr->size());
+        }
+    }
+}
+
 RegisterArray*
 Pipeline::find_array(const std::string& name) const
 {

@@ -52,6 +52,14 @@ class Pipeline
     /** Look up an array by name across all stages; nullptr if absent. */
     RegisterArray* find_array(const std::string& name) const;
 
+    /**
+     * Zero every register of every array (chaos injection: the SRAM
+     * state a switch reboot destroys). Array declarations survive — a
+     * rebooted switch reloads its program image; only the stateful
+     * register contents are volatile.
+     */
+    void wipe_registers();
+
     /** Total SRAM used across stages. */
     std::size_t sram_used_bytes() const;
 

@@ -68,6 +68,10 @@ void
 PisaSwitch::receive(net::Packet pkt)
 {
     ASK_ASSERT(program_ != nullptr, "switch received a packet with no program");
+    if (offline_) {
+        ++stats_.dropped_offline;
+        return;
+    }
     ++stats_.packets_in;
     ++stats_.passes;
     pipeline_.begin_pass();

@@ -55,6 +55,7 @@ struct SwitchStats
     std::uint64_t packets_in = 0;
     std::uint64_t packets_out = 0;
     std::uint64_t passes = 0;
+    std::uint64_t dropped_offline = 0;  ///< arrived while the switch was down
 };
 
 /**
@@ -91,6 +92,15 @@ class PisaSwitch : public net::Node
     /** Resolve the egress neighbor for a destination. */
     net::NodeId next_hop(net::NodeId dst) const;
 
+    /**
+     * Power state (chaos injection): while offline, every arriving
+     * packet is dropped — a crashed or rebooting switch. Register state
+     * is wiped separately via Pipeline::wipe_registers(); a real reboot
+     * does both.
+     */
+    void set_offline(bool offline) { offline_ = offline; }
+    bool offline() const { return offline_; }
+
     /** The pipeline, for programs declaring state and for the control
      *  plane (slow-path reads/resets). */
     Pipeline& pipeline() { return pipeline_; }
@@ -108,6 +118,7 @@ class PisaSwitch : public net::Node
     net::Network& network_;
     Pipeline pipeline_;
     SwitchProgram* program_ = nullptr;
+    bool offline_ = false;
     Nanoseconds pipeline_latency_ns_;
     SwitchStats stats_;
     std::unordered_map<net::NodeId, net::NodeId> routes_;

@@ -1,0 +1,486 @@
+/**
+ * Chaos-injection tests: scheduled fault episodes against a full ASK
+ * deployment. Exactness must survive a mid-task switch reboot (register
+ * wipe + region reinstall + fence + replay) and a persistently sick
+ * data plane (graceful degradation to host-side aggregation); tasks
+ * whose dependencies are truly gone must fail with a clear error
+ * instead of hanging.
+ */
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "ask/cluster.h"
+#include "common/hash.h"
+#include "common/random.h"
+#include "sim/chaos.h"
+
+namespace ask::core {
+namespace {
+
+using units::kMicrosecond;
+using units::kMillisecond;
+
+KvStream
+mixed_stream(Rng& rng, std::size_t n, std::size_t distinct)
+{
+    KvStream s;
+    s.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        std::uint64_t id = rng.next_below(distinct);
+        std::size_t len = 1 + id % 12;  // short/medium/long mix
+        std::string key;
+        std::uint64_t x = mix64(id + 1);
+        for (std::size_t j = 0; j < len; ++j)
+            key.push_back(static_cast<char>('a' + (x >> (5 * (j % 12))) % 26));
+        s.push_back({key, static_cast<Value>(1 + id % 7)});
+    }
+    return s;
+}
+
+KvStream
+short_stream(Rng& rng, std::size_t n, std::size_t distinct)
+{
+    KvStream s;
+    s.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        s.push_back({"k" + std::to_string(rng.next_below(distinct)),
+                     static_cast<Value>(1 + rng.next_below(5))});
+    }
+    return s;
+}
+
+AggregateMap
+truth_of(const std::vector<StreamSpec>& streams, AggOp op)
+{
+    AggregateMap t;
+    for (const auto& s : streams)
+        aggregate_into(t, s.stream, op);
+    return t;
+}
+
+ClusterConfig
+base_config()
+{
+    ClusterConfig cc;
+    cc.num_hosts = 3;
+    cc.ask.max_hosts = 3;
+    cc.ask.num_aas = 8;
+    cc.ask.aggregators_per_aa = 128;
+    cc.ask.medium_groups = 2;
+    cc.ask.window = 16;
+    cc.ask.swap_threshold_packets = 0;
+    return cc;
+}
+
+std::vector<StreamSpec>
+two_streams(std::uint64_t seed, std::size_t n)
+{
+    Rng rng(seed);
+    return {{1, mixed_stream(rng, n, 60)}, {2, mixed_stream(rng, n, 60)}};
+}
+
+/** Dry-run the task on an identical fault-free cluster to learn when it
+ *  would finish, so chaos can be aimed at the middle of the run. */
+sim::SimTime
+undisturbed_finish_time(const ClusterConfig& cc,
+                        const std::vector<StreamSpec>& streams)
+{
+    AskCluster cluster(cc);
+    TaskResult r = cluster.run_task(1, 0, streams);
+    EXPECT_TRUE(r.ok());
+    return r.report.finish_time;
+}
+
+// ---------------------------------------------------------------------------
+// Tentpole scenario 1: the switch crashes mid-task, losing every
+// register and its task table. Recovery (reinstall + fence + replay)
+// must keep the result exactly-once.
+// ---------------------------------------------------------------------------
+
+TEST(Chaos, SwitchRebootMidTaskStaysExact)
+{
+    ClusterConfig cc = base_config();
+    cc.seed = 11;
+    std::vector<StreamSpec> streams = two_streams(11, 1200);
+    AggregateMap truth = truth_of(streams, AggOp::kAdd);
+    sim::SimTime mid = undisturbed_finish_time(cc, streams) / 2;
+
+    AskCluster cluster(cc);
+    sim::ChaosPlan plan;
+    plan.switch_reboot(mid, 200 * kMicrosecond);
+    cluster.arm_chaos(plan);
+
+    TaskResult r = cluster.run_task(1, 0, streams);
+    ASSERT_TRUE(r.ok()) << r.report.error;
+    EXPECT_EQ(r.result, truth);
+
+    ChaosStats cs = cluster.chaos_stats();
+    EXPECT_EQ(cs.switch_reboots, 1u);
+    EXPECT_GE(cs.regions_reinstalled, 1u);
+    EXPECT_GT(cs.channels_fenced, 0u);
+    EXPECT_EQ(cs.tasks_reset, 1u);
+    EXPECT_EQ(cs.streams_replayed, 2u);
+}
+
+TEST(Chaos, SwitchRebootUnderLossWithSwapsStaysExact)
+{
+    // Reboot on top of a lossy fabric with shadow-copy swaps enabled:
+    // the crash can race retransmissions, in-flight swaps, and fetches.
+    ClusterConfig cc = base_config();
+    cc.ask.swap_threshold_packets = 32;
+    cc.faults = net::FaultSpec::lossy(0.08, 0.04, 0.1);
+    cc.seed = 23;
+    std::vector<StreamSpec> streams = two_streams(23, 1000);
+    AggregateMap truth = truth_of(streams, AggOp::kAdd);
+    sim::SimTime mid = undisturbed_finish_time(cc, streams) / 2;
+
+    AskCluster cluster(cc);
+    sim::ChaosPlan plan;
+    plan.switch_reboot(mid, 300 * kMicrosecond);
+    cluster.arm_chaos(plan);
+
+    TaskResult r = cluster.run_task(1, 0, streams);
+    ASSERT_TRUE(r.ok()) << r.report.error;
+    EXPECT_EQ(r.result, truth);
+    EXPECT_EQ(cluster.chaos_stats().switch_reboots, 1u);
+}
+
+TEST(Chaos, TwoRebootsBackToBackStayExact)
+{
+    ClusterConfig cc = base_config();
+    cc.seed = 31;
+    std::vector<StreamSpec> streams = two_streams(31, 1200);
+    AggregateMap truth = truth_of(streams, AggOp::kAdd);
+    sim::SimTime finish = undisturbed_finish_time(cc, streams);
+
+    AskCluster cluster(cc);
+    sim::ChaosPlan plan;
+    plan.switch_reboot(finish / 3, 150 * kMicrosecond);
+    plan.switch_reboot(finish, 150 * kMicrosecond);  // mid-recovery run
+    cluster.arm_chaos(plan);
+
+    TaskResult r = cluster.run_task(1, 0, streams);
+    ASSERT_TRUE(r.ok()) << r.report.error;
+    EXPECT_EQ(r.result, truth);
+    EXPECT_EQ(cluster.chaos_stats().switch_reboots, 2u);
+    EXPECT_GE(cluster.chaos_stats().streams_replayed, 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Tentpole scenario 2: the data plane silently eats aggregation traffic
+// ("sick program"). The daemon must detect the dead path via its
+// retransmission budget and degrade to host-side aggregation — slower,
+// still exact.
+// ---------------------------------------------------------------------------
+
+TEST(Chaos, DataBlackholeDegradesToHostAggregation)
+{
+    ClusterConfig cc = base_config();
+    cc.ask.max_data_tries = 6;  // detect the dead path quickly
+    cc.seed = 41;
+    Rng rng(41);
+    std::vector<StreamSpec> streams{{1, mixed_stream(rng, 300, 40)},
+                                    {2, mixed_stream(rng, 300, 40)}};
+    AggregateMap truth = truth_of(streams, AggOp::kAdd);
+
+    AskCluster cluster(cc);
+    sim::ChaosPlan plan;
+    // The data plane is sick from the very start, forever: task setup
+    // (management plane) still works, but no DATA is ever aggregated.
+    plan.data_blackhole(0, 3600UL * units::kSecond);
+    cluster.arm_chaos(plan);
+
+    TaskResult r = cluster.run_task(1, 0, streams);
+    ASSERT_TRUE(r.ok()) << r.report.error;
+    EXPECT_EQ(r.result, truth);
+
+    ChaosStats cs = cluster.chaos_stats();
+    EXPECT_EQ(cs.data_blackholes, 1u);
+    EXPECT_GE(cs.degraded_entries, 1u);  // at least one sender fell back
+    EXPECT_GT(cluster.switch_stats().blackholed, 0u);
+    // Everything after the fallback travels the long-key bypass.
+    EXPECT_GT(cluster.total_host_stats().long_packets_sent, 0u);
+    EXPECT_GT(cluster.total_host_stats().tuples_aggregated_locally, 0u);
+}
+
+TEST(Chaos, TransientBlackholeRecoversAndStaysExact)
+{
+    // A blackhole shorter than the retransmission budget: senders ride
+    // it out with retransmissions and never degrade.
+    ClusterConfig cc = base_config();
+    cc.seed = 43;
+    std::vector<StreamSpec> streams = two_streams(43, 600);
+    AggregateMap truth = truth_of(streams, AggOp::kAdd);
+
+    AskCluster cluster(cc);
+    sim::ChaosPlan plan;
+    // Covers the data phase (senders start streaming at ~70us: mgmt
+    // setup plus the task notification) but is far shorter than the
+    // retransmission budget.
+    plan.data_blackhole(0, 300 * kMicrosecond);
+    cluster.arm_chaos(plan);
+
+    TaskResult r = cluster.run_task(1, 0, streams);
+    ASSERT_TRUE(r.ok()) << r.report.error;
+    EXPECT_EQ(r.result, truth);
+    EXPECT_GT(cluster.switch_stats().blackholed, 0u);
+    EXPECT_EQ(cluster.chaos_stats().degraded_entries, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Link episodes: blackouts and burst loss delay but never corrupt.
+// ---------------------------------------------------------------------------
+
+TEST(Chaos, LinkEpisodesStayExact)
+{
+    ClusterConfig cc = base_config();
+    cc.seed = 53;
+    std::vector<StreamSpec> streams = two_streams(53, 1000);
+    AggregateMap truth = truth_of(streams, AggOp::kAdd);
+    sim::SimTime finish = undisturbed_finish_time(cc, streams);
+
+    AskCluster cluster(cc);
+    sim::ChaosPlan plan;
+    plan.link_blackout(finish / 4, 400 * kMicrosecond, /*host=*/1);
+    plan.burst_loss(finish / 2, 600 * kMicrosecond, /*host=*/2, 0.5);
+    cluster.arm_chaos(plan);
+
+    TaskResult r = cluster.run_task(1, 0, streams);
+    ASSERT_TRUE(r.ok()) << r.report.error;
+    EXPECT_EQ(r.result, truth);
+    EXPECT_EQ(cluster.chaos_stats().link_blackouts, 1u);
+    EXPECT_EQ(cluster.chaos_stats().burst_loss_windows, 1u);
+}
+
+TEST(Chaos, RandomizedPlanOnLossyFabricStaysExact)
+{
+    ClusterConfig cc = base_config();
+    cc.faults = net::FaultSpec::lossy(0.05, 0.02, 0.1);
+    cc.ask.swap_threshold_packets = 48;
+    cc.seed = 67;
+
+    std::vector<StreamSpec> streams = two_streams(67, 1200);
+    AggregateMap truth = truth_of(streams, AggOp::kAdd);
+
+    AskCluster cluster(cc);
+    cluster.arm_chaos(sim::ChaosPlan::randomized(
+        /*seed=*/67, /*horizon=*/50 * kMillisecond, /*episodes=*/12,
+        /*num_hosts=*/cc.num_hosts, /*mean_duration=*/200 * kMicrosecond,
+        /*intensity=*/0.4));
+
+    TaskResult r = cluster.run_task(1, 0, streams);
+    ASSERT_TRUE(r.ok()) << r.report.error;
+    EXPECT_EQ(r.result, truth);
+}
+
+// ---------------------------------------------------------------------------
+// Management-plane episodes: retry with backoff, bounded give-up.
+// ---------------------------------------------------------------------------
+
+TEST(Chaos, MgmtOutageIsRiddenOutByRetries)
+{
+    ClusterConfig cc = base_config();
+    cc.seed = 71;
+    Rng rng(71);
+    std::vector<StreamSpec> streams{{1, mixed_stream(rng, 300, 40)}};
+    AggregateMap truth = truth_of(streams, AggOp::kAdd);
+
+    AskCluster cluster(cc);
+    sim::ChaosPlan plan;
+    // The outage covers task setup; retries with backoff outlast it.
+    plan.mgmt_outage(0, 500 * kMicrosecond);
+    cluster.arm_chaos(plan);
+
+    TaskResult r = cluster.run_task(1, 0, streams);
+    ASSERT_TRUE(r.ok()) << r.report.error;
+    EXPECT_EQ(r.result, truth);
+    EXPECT_GT(cluster.chaos_stats().mgmt_retries, 0u);
+    EXPECT_EQ(cluster.chaos_stats().mgmt_giveups, 0u);
+}
+
+TEST(Chaos, PermanentMgmtOutageFailsSetupWithClearError)
+{
+    ClusterConfig cc = base_config();
+    cc.ask.mgmt_max_tries = 4;
+    cc.ask.mgmt_backoff_cap_ns = 100 * kMicrosecond;
+
+    AskCluster cluster(cc);
+    sim::ChaosPlan plan;
+    plan.mgmt_outage(0, 3600UL * units::kSecond);
+    cluster.arm_chaos(plan);
+
+    Rng rng(73);
+    TaskReport report;
+    bool done = false;
+    cluster.submit_task(1, 0, {{1, mixed_stream(rng, 100, 20)}}, 0,
+                        [&](AggregateMap, TaskReport rep) {
+                            report = std::move(rep);
+                            done = true;
+                        });
+    cluster.run();
+    ASSERT_TRUE(done);
+    EXPECT_TRUE(report.failed);
+    EXPECT_NE(report.error.find("management"), std::string::npos)
+        << report.error;
+    EXPECT_GE(cluster.chaos_stats().mgmt_giveups, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Satellite: region exhaustion propagates to the application.
+// ---------------------------------------------------------------------------
+
+TEST(Chaos, RegionExhaustionFailsSecondTask)
+{
+    ClusterConfig cc = base_config();
+    cc.seed = 83;
+    AskCluster cluster(cc);
+
+    Rng rng(83);
+    std::vector<StreamSpec> s1{{1, mixed_stream(rng, 400, 50)}};
+    AggregateMap truth = truth_of(s1, AggOp::kAdd);
+
+    TaskResult first;
+    TaskReport second;
+    bool second_done = false;
+    // Task 1 claims the whole free pool (region_len = 0); task 2 then
+    // asks for 32 aggregators/AA while nothing is free.
+    cluster.submit_task(1, 0, s1, 0,
+                        [&](AggregateMap m, TaskReport rep) {
+                            first.result = std::move(m);
+                            first.report = std::move(rep);
+                            first.completed = true;
+                        });
+    cluster.submit_task(2, 1, {{2, mixed_stream(rng, 100, 20)}}, 32,
+                        [&](AggregateMap, TaskReport rep) {
+                            second = std::move(rep);
+                            second_done = true;
+                        });
+    cluster.run();
+
+    ASSERT_TRUE(first.ok()) << first.report.error;
+    EXPECT_EQ(first.result, truth);
+    ASSERT_TRUE(second_done);
+    EXPECT_TRUE(second.failed);
+    EXPECT_NE(second.error.find("exhausted"), std::string::npos)
+        << second.error;
+    EXPECT_EQ(cluster.chaos_stats().alloc_failures, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Satellite: a dead sender fails the receive task within the liveness
+// timeout instead of hanging forever.
+// ---------------------------------------------------------------------------
+
+TEST(Chaos, DeadSenderFailsReceiverByLivenessTimeout)
+{
+    ClusterConfig cc = base_config();
+    cc.ask.sender_liveness_timeout_ns = 5 * kMillisecond;
+    AskCluster cluster(cc);
+
+    Rng rng(91);
+    KvStream stream = mixed_stream(rng, 200, 30);
+
+    TaskReport report;
+    bool done = false;
+    AskDaemon& rx = cluster.daemon(0);
+    // The receiver expects two senders but only one ever streams.
+    rx.start_receive(
+        1, /*expected_senders=*/2, 0,
+        [&](AggregateMap, TaskReport rep) {
+            report = std::move(rep);
+            done = true;
+        },
+        [&] { cluster.daemon(1).submit_send(1, rx.node_id(), stream); });
+    sim::SimTime end = cluster.run();
+
+    ASSERT_TRUE(done);
+    EXPECT_TRUE(report.failed);
+    EXPECT_NE(report.error.find("liveness"), std::string::npos)
+        << report.error;
+    EXPECT_EQ(cluster.chaos_stats().sender_timeouts, 1u);
+    // It failed within (roughly) the timeout, not after hours of FIN
+    // retries: the last activity is the lone sender's final packet.
+    EXPECT_LT(end, 60 * kMillisecond);
+}
+
+// ---------------------------------------------------------------------------
+// Satellite: the FIN retransmission budget is configurable and failing
+// it reports the task instead of retrying forever.
+// ---------------------------------------------------------------------------
+
+TEST(Chaos, FinBudgetFailsSenderWhenReceiverIsGone)
+{
+    ClusterConfig cc = base_config();
+    cc.ask.max_fin_tries = 5;
+    cc.ask.sender_liveness_timeout_ns = 20 * kMillisecond;
+    AskCluster cluster(cc);
+
+    Rng rng(97);
+    // Short keys only: the switch consumes every tuple and impersonates
+    // the ACKs, so DATA completes even with the receiver dark — only
+    // the FIN needs the receiver.
+    KvStream stream = short_stream(rng, 200, 8);
+
+    std::string sender_error;
+    cluster.daemon(1).set_task_failure_handler(
+        [&](TaskId, const std::string& reason) { sender_error = reason; });
+
+    sim::ChaosPlan plan;
+    // The receiver's cable is dark from the start. Task setup and the
+    // sender notification use the management/control path, so streaming
+    // still begins.
+    plan.link_blackout(0, 3600UL * units::kSecond, /*host=*/0);
+    cluster.arm_chaos(plan);
+
+    TaskReport report;
+    bool done = false;
+    cluster.submit_task(1, 0, {{1, stream}}, 0,
+                        [&](AggregateMap, TaskReport rep) {
+                            report = std::move(rep);
+                            done = true;
+                        });
+    cluster.run();
+
+    ASSERT_TRUE(done);
+    EXPECT_TRUE(report.failed);  // liveness timeout at the receiver
+    EXPECT_NE(sender_error.find("FIN"), std::string::npos) << sender_error;
+    EXPECT_EQ(cluster.chaos_stats().fin_giveups, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Kitchen sink: every episode kind in one run, exactness holds.
+// ---------------------------------------------------------------------------
+
+TEST(Chaos, EverythingEverywhereStaysExact)
+{
+    ClusterConfig cc = base_config();
+    cc.faults = net::FaultSpec::lossy(0.03, 0.01, 0.05);
+    cc.seed = 101;
+    std::vector<StreamSpec> streams = two_streams(101, 1500);
+    AggregateMap truth = truth_of(streams, AggOp::kAdd);
+    sim::SimTime finish = undisturbed_finish_time(cc, streams);
+
+    AskCluster cluster(cc);
+    sim::ChaosPlan plan;
+    plan.burst_loss(finish / 6, 200 * kMicrosecond, 1, 0.4);
+    plan.mgmt_delay(finish / 5, 2 * kMillisecond,
+                    /*extra=*/100 * kMicrosecond);
+    plan.switch_reboot(finish / 2, 250 * kMicrosecond);
+    plan.link_blackout(finish * 3 / 4, 300 * kMicrosecond, 2);
+    plan.mgmt_outage(finish * 5 / 6, 200 * kMicrosecond);
+    cluster.arm_chaos(plan);
+
+    TaskResult r = cluster.run_task(1, 0, streams);
+    ASSERT_TRUE(r.ok()) << r.report.error;
+    EXPECT_EQ(r.result, truth);
+
+    ChaosStats cs = cluster.chaos_stats();
+    EXPECT_EQ(cs.switch_reboots, 1u);
+    EXPECT_EQ(cs.mgmt_delay_windows, 1u);
+    EXPECT_EQ(cs.burst_loss_windows, 1u);
+}
+
+}  // namespace
+}  // namespace ask::core

@@ -57,6 +57,8 @@ class MultiRackFixture : public ::testing::Test
                 std::make_unique<AskSwitchProgram>(config_, *tors_.back()));
             controllers_.push_back(
                 std::make_unique<AskSwitchController>(*programs_.back()));
+            mgmts_.push_back(std::make_unique<MgmtPlane>(
+                simulator_, 20 * units::kMicrosecond, MgmtRetryPolicy{}));
             network_.connect(tors_.back()->node_id(), core_->node_id(), 400.0,
                              500);
 
@@ -71,7 +73,8 @@ class MultiRackFixture : public ::testing::Test
                 std::uint32_t host_index = r * kHostsPerRack + h;
                 daemons_.push_back(std::make_unique<AskDaemon>(
                     config_, cost, network_, host_index,
-                    tors_.back()->node_id(), *controllers_.back()));
+                    tors_.back()->node_id(), *controllers_.back(),
+                    *mgmts_.back()));
                 network_.attach(daemons_.back().get());
                 network_.connect(daemons_.back()->node_id(),
                                  tors_.back()->node_id(), 100.0, 500);
@@ -128,6 +131,7 @@ class MultiRackFixture : public ::testing::Test
     std::vector<std::unique_ptr<pisa::PisaSwitch>> tors_;
     std::vector<std::unique_ptr<AskSwitchProgram>> programs_;
     std::vector<std::unique_ptr<AskSwitchController>> controllers_;
+    std::vector<std::unique_ptr<MgmtPlane>> mgmts_;
     std::vector<std::unique_ptr<AskDaemon>> daemons_;
 };
 

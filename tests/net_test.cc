@@ -78,6 +78,68 @@ TEST(FaultModel, ReorderAddsDelay)
     EXPECT_GT(d[0], 0);
 }
 
+TEST(FaultModel, CountersStatisticallyMatchSpec)
+{
+    // Every counter at once over a large sample: the observed rates of
+    // drop, duplication, and delay must track the FaultSpec within a
+    // few standard deviations (fixed seed, so this never flakes), and
+    // the counters must agree with the delivery vectors they describe.
+    FaultSpec spec = FaultSpec::lossy(0.1, 0.05, 0.2);
+    spec.reorder_delay_ns = 10 * units::kMicrosecond;
+    FaultModel fm(spec, 42);
+
+    const int n = 100000;
+    std::uint64_t copies = 0;
+    Nanoseconds delay_sum = 0;
+    for (int i = 0; i < n; ++i) {
+        auto d = fm.deliveries();
+        copies += d.size();
+        for (Nanoseconds extra : d)
+            delay_sum += extra;
+    }
+
+    auto rate = [n](std::uint64_t count) {
+        return static_cast<double>(count) / n;
+    };
+    // sigma = sqrt(p(1-p)/n) is ~1e-3 here; 5e-3 is comfortably over
+    // four sigmas for every probability involved.
+    EXPECT_NEAR(rate(fm.dropped()), spec.loss_prob, 5e-3);
+    EXPECT_NEAR(rate(fm.duplicated()), spec.dup_prob * (1 - spec.loss_prob),
+                5e-3);
+    EXPECT_NEAR(rate(fm.delayed()),
+                spec.reorder_prob * (1 - spec.loss_prob) *
+                    (1 + spec.dup_prob),
+                8e-3);
+    // Copies delivered = survivors + duplicate extras.
+    EXPECT_EQ(copies, n - fm.dropped() + fm.duplicated());
+    // Mean extra delay per delayed copy follows the exponential's mean.
+    EXPECT_NEAR(static_cast<double>(delay_sum) /
+                    static_cast<double>(fm.delayed()),
+                static_cast<double>(spec.reorder_delay_ns), 500.0);
+    EXPECT_EQ(fm.overridden_transmissions(), 0u);
+}
+
+TEST(FaultModel, OverrideWindowGovernsAndCounts)
+{
+    FaultModel fm(FaultSpec::reliable(), 9);
+    for (int i = 0; i < 100; ++i)
+        ASSERT_EQ(fm.deliveries().size(), 1u);
+    EXPECT_EQ(fm.overridden_transmissions(), 0u);
+
+    fm.set_override(FaultSpec::blackout());
+    EXPECT_TRUE(fm.overridden());
+    for (int i = 0; i < 100; ++i)
+        EXPECT_TRUE(fm.deliveries().empty());
+    EXPECT_EQ(fm.overridden_transmissions(), 100u);
+    EXPECT_EQ(fm.dropped(), 100u);
+
+    fm.clear_override();
+    EXPECT_FALSE(fm.overridden());
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(fm.deliveries().size(), 1u);
+    EXPECT_EQ(fm.overridden_transmissions(), 100u);
+}
+
 class CountingNode : public Node
 {
   public:

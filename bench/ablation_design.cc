@@ -31,7 +31,7 @@ switch_fraction(bool shadow, const core::KvStream& stream)
     cc.ask.shadow_copies = shadow;
     cc.ask.swap_threshold_packets = shadow ? 256 : 0;
     core::AskCluster cluster(cc);
-    cluster.run_task(1, 0, {{1, stream}}, /*region_len=*/32);
+    cluster.run_task(1, 0, {{1, stream}}, {.region_len = 32});
     const core::SwitchAggStats& sw = cluster.switch_stats();
     return 100.0 * static_cast<double>(sw.tuples_aggregated) /
            static_cast<double>(sw.tuples_in);
@@ -59,41 +59,59 @@ seen_sram_per_channel(bool compact)
 int
 main(int argc, char** argv)
 {
-    (void)argc;
-    (void)argv;
+    bench::BenchReport report(
+        "ablation_design", "seen compaction, shadow copies, vectorization",
+        argc, argv);
+    std::uint64_t tuples = report.smoke() ? 100000 : 400000;
+    report.param("shadow_tuples", tuples);
+
     bench::banner("Ablation", "seen compaction, shadow copies, vectorization");
 
     // 1. seen SRAM.
     TextTable seen;
     seen.header({"seen design", "SRAM/channel (bytes)"});
-    seen.row({"compact (W bits)", std::to_string(seen_sram_per_channel(true))});
-    seen.row({"reference (2W bits)",
-              std::to_string(seen_sram_per_channel(false))});
+    std::size_t compact_bytes = seen_sram_per_channel(true);
+    std::size_t reference_bytes = seen_sram_per_channel(false);
+    seen.row({"compact (W bits)", std::to_string(compact_bytes)});
+    seen.row({"reference (2W bits)", std::to_string(reference_bytes)});
     std::cout << "\n1. receive-window state (W = 256)\n";
     seen.print(std::cout);
-    bench::note("paper §3.3: the compact design halves the seen footprint; "
+    report.row({{"section", "seen_sram"},
+                {"compact_bytes_per_channel", std::uint64_t{compact_bytes}},
+                {"reference_bytes_per_channel",
+                 std::uint64_t{reference_bytes}}});
+    report.note("paper §3.3: the compact design halves the seen footprint; "
                 "behavioral equivalence is property-tested in "
                 "tests/seen_window_test.cc");
 
     // 2. shadow copies at a fixed aggregator budget.
     workload::ZipfGenerator zipf(1 << 13, 1.0, 13);
-    core::KvStream stream = zipf.generate(400000);
+    core::KvStream stream = zipf.generate(tuples);
     std::cout << "\n2. hot-key prioritization at a 1/8 aggregator/key ratio\n";
     TextTable shadow;
     shadow.header({"shadow copies", "tuples aggregated on switch (%)"});
-    shadow.row({"off (FCFS only)", fmt_double(switch_fraction(false, stream), 2)});
-    shadow.row({"on (periodic swap)", fmt_double(switch_fraction(true, stream), 2)});
+    double off_pct = switch_fraction(false, stream);
+    double on_pct = switch_fraction(true, stream);
+    shadow.row({"off (FCFS only)", fmt_double(off_pct, 2)});
+    shadow.row({"on (periodic swap)", fmt_double(on_pct, 2)});
     shadow.print(std::cout);
+    report.row({{"section", "shadow_copies"},
+                {"off_pct", off_pct},
+                {"on_pct", on_pct}});
 
     // 3. vectorization degree: ideal goodput at the wire.
     std::cout << "\n3. vectorization: wire efficiency by tuples/packet\n";
     TextTable vec;
     vec.header({"tuples/packet", "ideal goodput (Gbps)"});
-    for (std::uint32_t x : {1u, 8u, 32u, 64u})
-        vec.row({std::to_string(x),
-                 fmt_double(8.0 * x / (8.0 * x + 78.0) * 100.0, 2)});
+    for (std::uint32_t x : {1u, 8u, 32u, 64u}) {
+        double gbps = 8.0 * x / (8.0 * x + 78.0) * 100.0;
+        vec.row({std::to_string(x), fmt_double(gbps, 2)});
+        report.row({{"section", "vectorization"},
+                    {"tuples_per_packet", x},
+                    {"ideal_goodput_gbps", gbps}});
+    }
     vec.print(std::cout);
-    bench::note("paper §2.3: single-tuple packets cap goodput at 9.76 Gbps "
+    report.note("paper §2.3: single-tuple packets cap goodput at 9.76 Gbps "
                 "even at a 100 Gbps line rate");
     return 0;
 }

@@ -13,18 +13,165 @@
 #define ASK_BENCH_BENCH_UTIL_H
 
 #include <cstdint>
+#include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <initializer_list>
 #include <iostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "ask/cluster.h"
 #include "ask/key_space.h"
 #include "common/hash.h"
+#include "common/logging.h"
 #include "common/string_util.h"
 #include "common/table.h"
+#include "obs/json.h"
 
 namespace ask::bench {
+
+/**
+ * Scale a bench binary runs at. Every binary accepts --smoke (CI:
+ * seconds-scale volumes, same shape) and --full (paper-scale volumes);
+ * the default sits in between.
+ */
+enum class Mode
+{
+    kSmoke,
+    kDefault,
+    kFull,
+};
+
+inline Mode
+parse_mode(int argc, char** argv)
+{
+    Mode mode = Mode::kDefault;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--smoke") == 0)
+            mode = Mode::kSmoke;
+        else if (std::strcmp(argv[i], "--full") == 0)
+            mode = Mode::kFull;
+    }
+    return mode;
+}
+
+inline const char*
+mode_name(Mode mode)
+{
+    switch (mode) {
+        case Mode::kSmoke: return "smoke";
+        case Mode::kDefault: return "default";
+        case Mode::kFull: return "full";
+    }
+    return "?";
+}
+
+/**
+ * Machine-readable counterpart of a bench binary's stdout tables.
+ *
+ * Every bench constructs one of these, records its parameters and
+ * result rows while printing the human tables as before, and — at
+ * destruction or an explicit write() — emits `BENCH_<experiment>.json`
+ * (schema "ask-bench/v1") into the working directory, or into
+ * $ASK_BENCH_OUT_DIR when set. The document shape is validated by
+ * bench_json_check and pinned by the golden-schema test in
+ * tests/obs_test.cc:
+ *
+ *   { "schema": "ask-bench/v1", "experiment": ..., "description": ...,
+ *     "mode": "smoke|default|full", "params": {...},
+ *     "rows": [{...}, ...], "notes": [...], "metrics": {...}? }
+ */
+class BenchReport
+{
+  public:
+    BenchReport(std::string experiment, std::string description, int argc,
+                char** argv)
+        : experiment_(std::move(experiment)), mode_(parse_mode(argc, argv))
+    {
+        doc_ = obs::Json::object();
+        doc_.set("schema", "ask-bench/v1");
+        doc_.set("experiment", experiment_);
+        doc_.set("description", std::move(description));
+        doc_.set("mode", mode_name(mode_));
+        doc_.set("params", obs::Json::object());
+        doc_.set("rows", obs::Json::array());
+        doc_.set("notes", obs::Json::array());
+    }
+
+    BenchReport(const BenchReport&) = delete;
+    BenchReport& operator=(const BenchReport&) = delete;
+
+    ~BenchReport() { write(); }
+
+    Mode mode() const { return mode_; }
+    bool smoke() const { return mode_ == Mode::kSmoke; }
+    bool full() const { return mode_ == Mode::kFull; }
+
+    /** Record one experiment parameter (workload size, host count...). */
+    void param(const std::string& name, obs::Json value)
+    {
+        member("params").set(name, std::move(value));
+    }
+
+    /** Record one result row; keys should match the printed columns. */
+    void row(std::initializer_list<std::pair<std::string, obs::Json>> cells)
+    {
+        obs::Json r = obs::Json::object();
+        for (const auto& [k, v] : cells)
+            r.set(k, v);
+        member("rows").push_back(std::move(r));
+    }
+
+    /** Record a pre-built row object (for programmatic producers). */
+    void row_json(obs::Json r) { member("rows").push_back(std::move(r)); }
+
+    /** Print a footnote line and record it in the report. */
+    void note(const std::string& text)
+    {
+        std::cout << "note: " << text << "\n";
+        member("notes").push_back(text);
+    }
+
+    /** Attach a cluster metrics snapshot (obs::MetricsSnapshot::to_json). */
+    void metrics(obs::Json snapshot)
+    {
+        doc_.set("metrics", std::move(snapshot));
+    }
+
+    /** Emit the JSON file now (idempotent; also runs at destruction). */
+    void write()
+    {
+        if (written_)
+            return;
+        written_ = true;
+        std::string dir;
+        if (const char* env = std::getenv("ASK_BENCH_OUT_DIR"))
+            dir = std::string(env) + "/";
+        std::string path = dir + "BENCH_" + experiment_ + ".json";
+        std::ofstream out(path);
+        if (!out) {
+            warn("bench: cannot write ", path);
+            return;
+        }
+        out << doc_.dump(2) << "\n";
+        std::cout << "\nwrote " << path << "\n";
+    }
+
+  private:
+    obs::Json& member(const char* key)
+    {
+        obs::Json* v = doc_.find(key);
+        ASK_ASSERT(v != nullptr, "bench report member ", key, " missing");
+        return *v;
+    }
+
+    std::string experiment_;
+    Mode mode_;
+    obs::Json doc_;
+    bool written_ = false;
+};
 
 /**
  * Pick `count` task ids whose hash-based channel assignment on
@@ -137,7 +284,7 @@ struct StreamingTask
     core::TaskId id;
     std::uint32_t receiver_host;
     std::vector<core::StreamSpec> streams;
-    std::uint32_t region_len = 0;
+    core::TaskOptions options;
 };
 
 /** Outcome of a streaming measurement. */
@@ -170,7 +317,7 @@ run_streaming_tasks(core::AskCluster& cluster,
         net::NodeId receiver_node = receiver.node_id();
         auto n_senders = static_cast<std::uint32_t>(t.streams.size());
         receiver.start_receive(
-            t.id, n_senders, t.region_len,
+            t.id, n_senders, t.options,
             [&result, &tasks_left, &cluster](core::AggregateMap,
                                              core::TaskReport) {
                 if (--tasks_left == 0)

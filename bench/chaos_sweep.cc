@@ -64,6 +64,7 @@ struct RowResult
     bool exact = false;
     core::ChaosStats stats;
     std::uint64_t retransmissions = 0;
+    obs::Json metrics;
 };
 
 RowResult
@@ -71,6 +72,10 @@ run_one(const sim::ChaosPlan& plan, const std::vector<StreamSpec>& streams,
         const AggregateMap& truth)
 {
     AskCluster cluster(sweep_config());
+    // Periodic time-series sampling of goodput, core occupancy, the
+    // switch aggregation ratio, and the congestion state; the resulting
+    // snapshot rides along in the JSON report.
+    cluster.enable_sampling(100 * units::kMicrosecond);
     if (!plan.empty())
         cluster.arm_chaos(plan);
     TaskResult r = cluster.run_task(1, 0, streams);
@@ -79,6 +84,7 @@ run_one(const sim::ChaosPlan& plan, const std::vector<StreamSpec>& streams,
     out.exact = r.ok() && r.result == truth;
     out.stats = cluster.chaos_stats();
     out.retransmissions = cluster.total_host_stats().retransmissions;
+    out.metrics = cluster.metrics_snapshot().to_json();
     return out;
 }
 
@@ -87,13 +93,19 @@ run_one(const sim::ChaosPlan& plan, const std::vector<StreamSpec>& streams,
 int
 main(int argc, char** argv)
 {
-    bool full = bench::full_scale(argc, argv);
+    bench::BenchReport report(
+        "chaos_sweep",
+        "task completion vs fault-episode density under chaos injection",
+        argc, argv);
+    bool full = report.full();
 
     bench::banner("Chaos sweep",
                   "task completion vs fault-episode density (exactness must "
                   "hold in every row)");
 
-    std::size_t n = full ? 60000 : 12000;
+    std::size_t n = report.smoke() ? 4000 : (full ? 60000 : 12000);
+    report.param("tuples_per_sender", std::uint64_t{n});
+    report.param("senders", 3);
     Rng rng(7);
     std::vector<StreamSpec> streams{{1, sweep_stream(rng, n)},
                                     {2, sweep_stream(rng, n)},
@@ -121,6 +133,17 @@ main(int argc, char** argv)
                std::to_string(r.stats.streams_replayed),
                std::to_string(r.stats.degraded_entries),
                r.exact ? "yes" : "NO"});
+        report.row({{"scenario", name},
+                    {"jct_ms",
+                     static_cast<double>(r.jct) / units::kMillisecond},
+                    {"slowdown", base.jct
+                                     ? static_cast<double>(r.jct) /
+                                           static_cast<double>(base.jct)
+                                     : 0.0},
+                    {"retransmissions", r.retransmissions},
+                    {"streams_replayed", r.stats.streams_replayed},
+                    {"degraded_entries", r.stats.degraded_entries},
+                    {"exact", r.exact}});
     };
     add_row("no chaos", base);
 
@@ -161,7 +184,8 @@ main(int argc, char** argv)
     }
 
     t.print(std::cout);
-    bench::note("recovery cost: link episodes cost retransmissions, a "
+    report.metrics(base.metrics);
+    report.note("recovery cost: link episodes cost retransmissions, a "
                 "reboot costs a drain window plus a full replay, and the "
                 "degraded mode trades the switch's aggregation for "
                 "host-side exactness");

@@ -49,7 +49,7 @@ measure_akvs(core::ClusterConfig cc, std::uint64_t tuples,
              {{1, bench::balanced_uniform_stream(
                       ks, keys_per_slot, per_part,
                       p * (keys_per_part + 1))}},
-             region});
+             {.region_len = region}});
     }
     // Throughput is measured to the point all senders finished (their
     // data ACKed), matching the paper's sender-side metric; setup
@@ -66,17 +66,26 @@ measure_akvs(core::ClusterConfig cc, std::uint64_t tuples,
 int
 main(int argc, char** argv)
 {
-    bool full = bench::full_scale(argc, argv);
-    std::uint64_t tuples = full ? 8000000 : 1500000;
+    bench::BenchReport report(
+        "fig03_akvs", "single-machine AKV/s: Spark vs strawman INA vs ASK",
+        argc, argv);
+    bool full = report.full();
+    std::uint64_t tuples = report.smoke() ? 300000 : (full ? 8000000 : 1500000);
     std::uint64_t distinct = 1 << 14;
+    report.param("tuples", tuples);
+    report.param("distinct_keys", distinct);
 
     bench::banner("Figure 3", "single-machine AKV/s: Spark vs strawman INA vs ASK");
 
     // (a) Vanilla Spark: the calibrated curve (JVM aggregation path).
     TextTable spark;
     spark.header({"cores", "Spark AKV/s"});
-    for (std::uint32_t c : {1u, 2u, 4u, 8u, 16u, 32u, 56u})
+    for (std::uint32_t c : {1u, 2u, 4u, 8u, 16u, 32u, 56u}) {
         spark.row({std::to_string(c), fmt_count(net::spark_akvs(c))});
+        report.row({{"series", "spark"},
+                    {"cores", c},
+                    {"akvs", net::spark_akvs(c)}});
+    }
     std::cout << "\n(a) vanilla Spark\n";
     spark.print(std::cout);
 
@@ -93,9 +102,13 @@ main(int argc, char** argv)
             straw16 = akvs;
         straw.row({std::to_string(c), fmt_count(akvs),
                    fmt_double(akvs / net::spark_akvs(c), 1) + "x"});
+        report.row({{"series", "strawman"},
+                    {"cores", c},
+                    {"akvs", akvs},
+                    {"vs_spark", akvs / net::spark_akvs(c)}});
     }
     straw.print(std::cout);
-    bench::note("paper: strawman ~5x Spark at 16 cores; line rate = 145M AKV/s");
+    report.note("paper: strawman ~5x Spark at 16 cores; line rate = 145M AKV/s");
     std::cout << "measured strawman(16)/Spark(16) = "
               << fmt_double(straw16 / net::spark_akvs(16), 2) << "x (paper ~5x)\n";
 
@@ -116,6 +129,10 @@ main(int argc, char** argv)
             ask4 = akvs;
         askt.row({std::to_string(ch), fmt_count(akvs),
                   fmt_double(akvs / net::spark_akvs(ch), 1) + "x"});
+        report.row({{"series", "ask"},
+                    {"channels", ch},
+                    {"akvs", akvs},
+                    {"vs_spark", akvs / net::spark_akvs(ch)}});
     }
     askt.print(std::cout);
     std::cout << "measured ASK(4 dCh)/Spark(4 cores) = "

@@ -47,7 +47,7 @@ ask_jct_seconds(std::uint32_t channels, std::uint64_t sim_scale)
                          {{1, bench::balanced_uniform_stream(
                                   ks, keys_per_slot, tuples / parts,
                                   static_cast<std::uint64_t>(p) << 24)}},
-                         cc.ask.copy_size() / parts});
+                         {.region_len = cc.ask.copy_size() / parts}});
     }
     bench::StreamingResult sr =
         bench::run_streaming_tasks(cluster, std::move(tasks));
@@ -66,8 +66,13 @@ ask_jct_seconds(std::uint32_t channels, std::uint64_t sim_scale)
 int
 main(int argc, char** argv)
 {
-    bool full = bench::full_scale(argc, argv);
-    std::uint64_t sim_scale = full ? 1000 : 4000;
+    bench::BenchReport report(
+        "fig07_offload", "JCT and CPU: ASK data channels vs PreAggr threads",
+        argc, argv);
+    bool full = report.full();
+    std::uint64_t sim_scale = report.smoke() ? 16000 : (full ? 1000 : 4000);
+    report.param("sim_scale", sim_scale);
+    report.param("paper_tuples", kPaperTuples);
 
     bench::banner("Figure 7",
                   "JCT and CPU: ASK data channels vs PreAggr threads");
@@ -86,6 +91,11 @@ main(int argc, char** argv)
         t.row({"PreAggr " + std::to_string(ref.threads) + " thr",
                fmt_double(r.jct_s, 2), fmt_double(r.cpu_fraction * 100, 2),
                ref.paper});
+        report.row({{"solution", "preaggr"},
+                    {"threads", ref.threads},
+                    {"jct_s", r.jct_s},
+                    {"cpu_pct", r.cpu_fraction * 100},
+                    {"paper_jct_s", ref.paper}});
     }
 
     struct AskRef { std::uint32_t ch; const char* paper; };
@@ -94,11 +104,16 @@ main(int argc, char** argv)
         double cpu = 100.0 * ref.ch / 56.0;
         t.row({"ASK " + std::to_string(ref.ch) + " dCh", fmt_double(jct, 2),
                fmt_double(cpu, 2), ref.paper});
+        report.row({{"solution", "ask"},
+                    {"channels", ref.ch},
+                    {"jct_s", jct},
+                    {"cpu_pct", cpu},
+                    {"paper_jct_s", ref.paper}});
     }
     t.print(std::cout);
-    bench::note("ASK rows are DES runs at 1/" + std::to_string(sim_scale) +
+    report.note("ASK rows are DES runs at 1/" + std::to_string(sim_scale) +
                 " volume, streaming time rescaled (fixed costs not scaled)");
-    bench::note("paper CPU: 1.78/3.57/7.14 % for 1/2/4 dCh; PreAggr "
+    report.note("paper CPU: 1.78/3.57/7.14 % for 1/2/4 dCh; PreAggr "
                 "14.3 % @ 8 thr to 100 % @ 56 thr");
     return 0;
 }

@@ -27,7 +27,13 @@ ideal_goodput(std::uint32_t x)
 int
 main(int argc, char** argv)
 {
-    bool full = bench::full_scale(argc, argv);
+    bench::BenchReport report(
+        "fig08a_goodput",
+        "goodput vs tuples/packet, vs ideal 8x/(8x+78)*100 Gbps", argc, argv);
+    bool full = report.full();
+    std::uint64_t base_tuples =
+        report.smoke() ? 120000 : (full ? 4000000 : 800000);
+    report.param("base_tuples_per_sender", base_tuples);
 
     bench::banner("Figure 8(a)",
                   "goodput vs tuples/packet, vs ideal 8x/(8x+78)*100 Gbps");
@@ -42,16 +48,21 @@ main(int argc, char** argv)
         spec.sender_channels = 4;
         // Fixed transfer duration across x: equal simulated work.
         spec.tuples_per_sender = static_cast<std::uint64_t>(
-            (full ? 4000000 : 800000) * (x / 32.0 + 0.3));
+            static_cast<double>(base_tuples) * (x / 32.0 + 0.3));
         baselines::BulkResult r = baselines::run_noaggr(spec);
         std::uint32_t tlps = cm.tlp_count(40 + 8ull * x);
         bool glitch = x > 1 && tlps > cm.tlp_count(40 + 8ull * (x - 1));
         t.row({std::to_string(x), fmt_double(r.goodput_gbps, 2),
                fmt_double(ideal_goodput(x), 2), std::to_string(tlps),
                glitch ? "<- TLP step" : ""});
+        report.row({{"tuples_per_packet", x},
+                    {"goodput_gbps", r.goodput_gbps},
+                    {"ideal_gbps", ideal_goodput(x)},
+                    {"tlps", tlps},
+                    {"tlp_step", glitch}});
     }
     t.print(std::cout);
-    bench::note("paper: linear PPS-bound growth below 32 tuples/packet, "
+    report.note("paper: linear PPS-bound growth below 32 tuples/packet, "
                 "matches the ideal curve above; glitches at 18 and 26 from "
                 "PCIe TLP quantization");
     return 0;

@@ -34,8 +34,12 @@ packing_distribution(const core::KeySpace& ks, const core::KvStream& stream)
 int
 main(int argc, char** argv)
 {
-    bool full = bench::full_scale(argc, argv);
-    std::uint64_t tuples = full ? 3000000 : 400000;
+    bench::BenchReport report("fig08b_packing",
+                              "CDF of valid tuples per packet, by dataset",
+                              argc, argv);
+    bool full = report.full();
+    std::uint64_t tuples = report.smoke() ? 100000 : (full ? 3000000 : 400000);
+    report.param("tuples", tuples);
 
     bench::banner("Figure 8(b)",
                   "CDF of valid tuples per packet, by dataset");
@@ -53,6 +57,12 @@ main(int argc, char** argv)
         t.row({"Uniform", fmt_double(s.mean(), 2),
                fmt_double(s.quantile(0.1), 1), fmt_double(s.quantile(0.5), 1),
                fmt_double(s.quantile(0.9), 1), std::to_string(s.count())});
+        report.row({{"dataset", "uniform"},
+                    {"mean", s.mean()},
+                    {"p10", s.quantile(0.1)},
+                    {"p50", s.quantile(0.5)},
+                    {"p90", s.quantile(0.9)},
+                    {"packets", s.count()}});
     }
 
     // Corpora: the default layout (16 short AAs + 8 medium groups).
@@ -66,9 +76,15 @@ main(int argc, char** argv)
         t.row({profile.name, fmt_double(s.mean(), 2),
                fmt_double(s.quantile(0.1), 1), fmt_double(s.quantile(0.5), 1),
                fmt_double(s.quantile(0.9), 1), std::to_string(s.count())});
+        report.row({{"dataset", profile.name},
+                    {"mean", s.mean()},
+                    {"p10", s.quantile(0.1)},
+                    {"p50", s.quantile(0.5)},
+                    {"p90", s.quantile(0.9)},
+                    {"packets", s.count()}});
     }
     t.print(std::cout);
-    bench::note("paper: Uniform has almost no blank slots (32 valid/packet); "
+    report.note("paper: Uniform has almost no blank slots (32 valid/packet); "
                 "the worst trace (yelp) still averages 16.91 valid tuples");
     return 0;
 }

@@ -30,7 +30,7 @@ switch_fraction(bool prioritize, std::uint32_t region_per_aa,
     core::AskCluster cluster(cc);
 
     core::TaskResult r = cluster.run_task(
-        1, 0, {{1, stream}}, region_per_aa);
+        1, 0, {{1, stream}}, {.region_len = region_per_aa});
     (void)r;
     const core::SwitchAggStats& sw = cluster.switch_stats();
     return 100.0 * static_cast<double>(sw.tuples_aggregated) /
@@ -42,11 +42,18 @@ switch_fraction(bool prioritize, std::uint32_t region_per_aa,
 int
 main(int argc, char** argv)
 {
-    bool full = bench::full_scale(argc, argv);
+    bench::BenchReport report("fig09_hotkey",
+                              "switch-aggregated tuple % vs aggregator/key "
+                              "ratio, +/- hot-key prioritization",
+                              argc, argv);
+    bool full = report.full();
     // Paper: 2^16 distinct keys, ~1e8 tuples; scaled here with the same
     // aggregator-to-distinct-key ratios.
-    std::uint64_t distinct = full ? 1 << 15 : 1 << 13;
-    std::uint64_t tuples = full ? 8000000 : 1000000;
+    std::uint64_t distinct =
+        report.smoke() ? 1 << 11 : (full ? 1 << 15 : 1 << 13);
+    std::uint64_t tuples = report.smoke() ? 150000 : (full ? 8000000 : 1000000);
+    report.param("distinct_keys", distinct);
+    report.param("tuples", tuples);
 
     bench::banner("Figure 9", "switch-aggregated tuple % vs aggregator/key "
                               "ratio, +/- hot-key prioritization");
@@ -73,14 +80,20 @@ main(int argc, char** argv)
                 std::max<std::uint64_t>(1, total / 32));
             std::string ratio =
                 shift == 0 ? "1" : "1/" + std::to_string(1u << shift);
-            t.row({ratio,
-                   fmt_double(switch_fraction(prioritize, per_aa, zipf_hot), 2),
-                   fmt_double(switch_fraction(prioritize, per_aa, zipf_cold), 2),
-                   fmt_double(switch_fraction(prioritize, per_aa, uniform), 2)});
+            double zipf_pct = switch_fraction(prioritize, per_aa, zipf_hot);
+            double zipf_r_pct = switch_fraction(prioritize, per_aa, zipf_cold);
+            double uni_pct = switch_fraction(prioritize, per_aa, uniform);
+            t.row({ratio, fmt_double(zipf_pct, 2), fmt_double(zipf_r_pct, 2),
+                   fmt_double(uni_pct, 2)});
+            report.row({{"prioritization", prioritize},
+                        {"aggr_key_ratio", ratio},
+                        {"zipf_pct", zipf_pct},
+                        {"zipf_reverse_pct", zipf_r_pct},
+                        {"uniform_pct", uni_pct}});
         }
         t.print(std::cout);
     }
-    bench::note("paper: without prioritization cold keys pin aggregators for "
+    report.note("paper: without prioritization cold keys pin aggregators for "
                 "the task lifetime; with it, ratio 1/16 reaches 95.85 % on Zipf");
     return 0;
 }

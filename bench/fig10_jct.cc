@@ -17,7 +17,12 @@ main(int argc, char** argv)
 {
     using namespace ask;
     using apps::MrBackend;
-    bool full = bench::full_scale(argc, argv);
+    bench::BenchReport report("fig10_jct",
+                              "WordCount JCT vs tuples per mapper", argc,
+                              argv);
+    bool full = report.full();
+    std::uint64_t sim_scale = report.smoke() ? 8000 : (full ? 500 : 2000);
+    report.param("sim_scale", sim_scale);
 
     bench::banner("Figure 10", "WordCount JCT vs tuples per mapper");
 
@@ -28,7 +33,7 @@ main(int argc, char** argv)
                                  200000000ULL}) {
         apps::MrJobSpec spec;
         spec.tuples_per_mapper = volume;
-        spec.sim_scale = full ? 500 : 2000;
+        spec.sim_scale = sim_scale;
 
         double jct[4];
         MrBackend backends[] = {MrBackend::kSpark, MrBackend::kSparkShm,
@@ -42,8 +47,15 @@ main(int argc, char** argv)
                fmt_double(jct[0], 2), fmt_double(jct[1], 2),
                fmt_double(jct[2], 2), fmt_double(jct[3], 2),
                fmt_double(100.0 * (1.0 - jct[3] / best_baseline), 1) + "%"});
+        report.row({{"tuples_per_mapper", volume},
+                    {"spark_s", jct[0]},
+                    {"spark_shm_s", jct[1]},
+                    {"spark_rdma_s", jct[2]},
+                    {"ask_s", jct[3]},
+                    {"ask_reduction_pct",
+                     100.0 * (1.0 - jct[3] / best_baseline)}});
     }
     t.print(std::cout);
-    bench::note("paper: ASK reduces JCT by 67.3-75.1 % in all settings");
+    report.note("paper: ASK reduces JCT by 67.3-75.1 % in all settings");
     return 0;
 }

@@ -16,7 +16,13 @@ main(int argc, char** argv)
 {
     using namespace ask;
     using apps::MrBackend;
-    bool full = bench::full_scale(argc, argv);
+    bench::BenchReport report("fig11_tct",
+                              "mapper/reducer TCT at 1.5e8 tuples/mapper",
+                              argc, argv);
+    bool full = report.full();
+    std::uint64_t sim_scale = report.smoke() ? 8000 : (full ? 500 : 2000);
+    report.param("sim_scale", sim_scale);
+    report.param("tuples_per_mapper", std::uint64_t{150000000});
 
     bench::banner("Figure 11", "mapper/reducer TCT at 1.5e8 tuples/mapper");
 
@@ -34,14 +40,18 @@ main(int argc, char** argv)
         apps::MrJobSpec spec;
         spec.backend = ref.backend;
         spec.tuples_per_mapper = 150000000;
-        spec.sim_scale = full ? 500 : 2000;
+        spec.sim_scale = sim_scale;
         apps::MrJobResult r = apps::run_mr_job(spec);
         t.row({apps::mr_backend_name(ref.backend),
                fmt_double(r.mapper_tct_s, 2), ref.paper_mapper,
                fmt_double(r.reducer_tct_s, 2)});
+        report.row({{"backend", apps::mr_backend_name(ref.backend)},
+                    {"mapper_tct_s", r.mapper_tct_s},
+                    {"paper_mapper_tct_s", ref.paper_mapper},
+                    {"reducer_tct_s", r.reducer_tct_s}});
     }
     t.print(std::cout);
-    bench::note("paper: ASK mapper mean 1.67 s vs 15.89-17.67 s; the mapper "
+    report.note("paper: ASK mapper mean 1.67 s vs 15.89-17.67 s; the mapper "
                 "saving outweighs the longer ASK reducer phase");
     return 0;
 }

@@ -21,7 +21,14 @@ int
 main(int argc, char** argv)
 {
     using namespace ask;
-    bool full = bench::full_scale(argc, argv);
+    bench::BenchReport report("fig12_training",
+                              "training throughput (images/s), 8 workers",
+                              argc, argv);
+    bool full = report.full();
+    std::uint32_t probe_elements =
+        report.smoke() ? (1u << 16) : (full ? (1u << 21) : (1u << 19));
+    report.param("workers", 8);
+    report.param("probe_elements", probe_elements);
 
     bench::banner("Figure 12", "training throughput (images/s), 8 workers");
 
@@ -35,7 +42,7 @@ main(int argc, char** argv)
         spec.model = workload::resnet50();
         spec.workers = 8;
         spec.backend = backends[b];
-        spec.probe_elements = full ? (1u << 21) : (1u << 19);
+        spec.probe_elements = probe_elements;
         goodput[b] = apps::measure_gradient_goodput_gbps(spec);
     }
     std::cout << "measured gradient goodput (Gbps/worker): ASK "
@@ -70,9 +77,14 @@ main(int argc, char** argv)
         t.row({model.name, fmt_double(ips[0], 0), fmt_double(ips[1], 0),
                fmt_double(ips[2], 0),
                fmt_double(8 * model.single_gpu_ips(), 0)});
+        report.row({{"model", model.name},
+                    {"ask_ips", ips[0]},
+                    {"atp_ips", ips[1]},
+                    {"switchml_ips", ips[2]},
+                    {"one_gpu_x8_ips", 8 * model.single_gpu_ips()}});
     }
     t.print(std::cout);
-    bench::note("paper: ASK ~= ATP >= SwitchML across all six models; see "
+    report.note("paper: ASK ~= ATP >= SwitchML across all six models; see "
                 "EXPERIMENTS.md for our VGG-class deviation analysis");
     return 0;
 }

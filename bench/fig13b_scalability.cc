@@ -54,7 +54,7 @@ ask_per_sender_gbps(std::uint32_t senders, std::uint64_t tuples_per_sender)
                                       static_cast<std::uint64_t>(p) << 16)});
         }
         tasks.push_back({ids[p], 0, std::move(streams),
-                         cc.ask.copy_size() / parts});
+                         {.region_len = cc.ask.copy_size() / parts}});
     }
     bench::StreamingResult sr =
         bench::run_streaming_tasks(cluster, std::move(tasks));
@@ -70,8 +70,15 @@ ask_per_sender_gbps(std::uint32_t senders, std::uint64_t tuples_per_sender)
 int
 main(int argc, char** argv)
 {
-    bool full = bench::full_scale(argc, argv);
-    std::uint64_t tuples = full ? 4000000 : 1200000;
+    bench::BenchReport report(
+        "fig13b_scalability", "average per-sender goodput vs number of senders",
+        argc, argv);
+    bool full = report.full();
+    std::uint64_t tuples = report.smoke() ? 300000 : (full ? 4000000 : 1200000);
+    std::uint64_t noaggr_tuples =
+        report.smoke() ? 150000 : (full ? 2000000 : 600000);
+    report.param("ask_tuples_per_sender", tuples);
+    report.param("noaggr_tuples_per_sender", noaggr_tuples);
 
     bench::banner("Figure 13(b)",
                   "average per-sender goodput vs number of senders");
@@ -82,15 +89,19 @@ main(int argc, char** argv)
     for (std::uint32_t n : {1u, 2u, 4u, 8u}) {
         baselines::BulkSpec spec;
         spec.num_senders = n;
-        spec.tuples_per_sender = full ? 2000000 : 600000;
+        spec.tuples_per_sender = noaggr_tuples;
         baselines::BulkResult nr = baselines::run_noaggr(spec);
         double ask = ask_per_sender_gbps(n, tuples);
         t.row({std::to_string(n), fmt_double(ask, 2),
                fmt_double(nr.per_sender_goodput_gbps, 2),
                fmt_double(94.9 / n, 2)});
+        report.row({{"senders", n},
+                    {"ask_gbps_per_sender", ask},
+                    {"noaggr_gbps_per_sender", nr.per_sender_goodput_gbps},
+                    {"noaggr_ideal_gbps_per_sender", 94.9 / n}});
     }
     t.print(std::cout);
-    bench::note("paper: ASK flat (~92.61 Gbps per sender up to 8 senders); "
+    report.note("paper: ASK flat (~92.61 Gbps per sender up to 8 senders); "
                 "NoAggr 11.88 Gbps per sender at 8 (receiver link bound)");
     return 0;
 }

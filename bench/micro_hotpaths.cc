@@ -5,7 +5,14 @@
  */
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <string>
+#include <vector>
+
 #include "ask/controller.h"
+#include "bench_util.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "ask/packet_builder.h"
 #include "ask/seen_window.h"
 #include "ask/switch_program.h"
@@ -163,6 +170,96 @@ BM_ZipfSample(benchmark::State& state)
 
 BENCHMARK(BM_ZipfSample);
 
+void
+BM_LogHistogramObserve(benchmark::State& state)
+{
+    obs::LogHistogram h;
+    std::uint64_t v = 1;
+    for (auto _ : state) {
+        h.observe(v);
+        v = v * 6364136223846793005ULL + 1442695040888963407ULL;
+    }
+    benchmark::DoNotOptimize(h.count());
+}
+BENCHMARK(BM_LogHistogramObserve);
+
+/** One enabled-path trace record (ring write). In builds configured
+ *  with -DASK_ENABLE_TRACE=OFF this measures the compiled-out macro. */
+void
+BM_TraceRecord(benchmark::State& state)
+{
+    obs::PacketTracer tracer;
+    tracer.set_enabled(true);
+    obs::PacketTracer* t = &tracer;
+    std::int64_t now = 0;
+    std::uint32_t seq = 0;
+    for (auto _ : state) {
+        ASK_TRACE(t, now++, 1, 0, seq++, obs::TraceStage::kTx, 1, 0);
+        benchmark::DoNotOptimize(t);
+    }
+}
+BENCHMARK(BM_TraceRecord);
+
+/** Console reporter that also captures every run into the JSON report. */
+class JsonCaptureReporter : public benchmark::ConsoleReporter
+{
+  public:
+    explicit JsonCaptureReporter(bench::BenchReport& report) : report_(report)
+    {
+    }
+
+    void ReportRuns(const std::vector<Run>& runs) override
+    {
+        for (const Run& run : runs) {
+            if (run.error_occurred || run.run_type != Run::RT_Iteration)
+                continue;
+            obs::Json row = obs::Json::object();
+            row.set("benchmark", run.benchmark_name());
+            row.set("real_time_per_iter", run.GetAdjustedRealTime());
+            row.set("cpu_time_per_iter", run.GetAdjustedCPUTime());
+            row.set("time_unit",
+                    benchmark::GetTimeUnitString(run.time_unit));
+            row.set("iterations",
+                    static_cast<std::uint64_t>(run.iterations));
+            auto items = run.counters.find("items_per_second");
+            if (items != run.counters.end())
+                row.set("items_per_second", items->second.value);
+            report_.row_json(std::move(row));
+        }
+        ConsoleReporter::ReportRuns(runs);
+    }
+
+  private:
+    bench::BenchReport& report_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char** argv)
+{
+    ask::bench::BenchReport report(
+        "micro_hotpaths", "hot-path microbenchmarks (google-benchmark)", argc,
+        argv);
+
+    // google-benchmark rejects flags it does not know: scrub --smoke and
+    // --full from argv before Initialize, and in smoke mode cap the
+    // per-benchmark measuring time so the whole binary runs in seconds.
+    std::vector<char*> args;
+    args.push_back(argv[0]);
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--smoke") != 0 &&
+            std::strcmp(argv[i], "--full") != 0)
+            args.push_back(argv[i]);
+    }
+    std::string min_time = "--benchmark_min_time=0.01s";
+    if (report.smoke())
+        args.push_back(min_time.data());
+    int bench_argc = static_cast<int>(args.size());
+    benchmark::Initialize(&bench_argc, args.data());
+
+    JsonCaptureReporter reporter(report);
+    benchmark::RunSpecifiedBenchmarks(&reporter);
+    benchmark::Shutdown();
+    return 0;
+}

@@ -1,0 +1,55 @@
+# Runs every bench binary with --smoke and validates the emitted
+# BENCH_*.json against the ask-bench/v1 schema. Invoked by the
+# `bench_smoke` ctest target:
+#
+#   cmake -DBENCH_DIR=<build>/bench -DOUT_DIR=<scratch> -P smoke.cmake
+#
+# Every binary must exit 0 and leave exactly one schema-valid
+# BENCH_<experiment>.json in OUT_DIR.
+
+if(NOT DEFINED BENCH_DIR OR NOT DEFINED OUT_DIR)
+    message(FATAL_ERROR "usage: cmake -DBENCH_DIR=... -DOUT_DIR=... -P smoke.cmake")
+endif()
+
+file(REMOVE_RECURSE "${OUT_DIR}")
+file(MAKE_DIRECTORY "${OUT_DIR}")
+
+file(GLOB benches "${BENCH_DIR}/*")
+list(SORT benches)
+
+set(ran 0)
+foreach(bench IN LISTS benches)
+    get_filename_component(name "${bench}" NAME)
+    if(name STREQUAL "bench_json_check" OR IS_DIRECTORY "${bench}")
+        continue()
+    endif()
+    message(STATUS "smoke: ${name} --smoke")
+    execute_process(
+        COMMAND "${bench}" --smoke
+        WORKING_DIRECTORY "${OUT_DIR}"
+        RESULT_VARIABLE rc
+        OUTPUT_VARIABLE out
+        ERROR_VARIABLE err)
+    if(NOT rc EQUAL 0)
+        message(FATAL_ERROR "smoke: ${name} exited ${rc}\n${out}\n${err}")
+    endif()
+    if(NOT EXISTS "${OUT_DIR}/BENCH_${name}.json")
+        message(FATAL_ERROR "smoke: ${name} did not write BENCH_${name}.json")
+    endif()
+    math(EXPR ran "${ran} + 1")
+endforeach()
+
+if(ran EQUAL 0)
+    message(FATAL_ERROR "smoke: no bench binaries found in ${BENCH_DIR}")
+endif()
+
+file(GLOB reports "${OUT_DIR}/BENCH_*.json")
+list(SORT reports)
+execute_process(
+    COMMAND "${BENCH_DIR}/bench_json_check" ${reports}
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "smoke: bench_json_check failed")
+endif()
+
+message(STATUS "smoke: ${ran} benches ran, JSON schema valid")

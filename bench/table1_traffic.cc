@@ -56,9 +56,14 @@ measure(const workload::CorpusProfile& profile, std::uint64_t tuples,
 int
 main(int argc, char** argv)
 {
-    bool full = bench::full_scale(argc, argv);
-    std::uint64_t tuples = full ? 4000000 : 600000;
-    std::uint64_t vocab_scale = full ? 4 : 16;
+    bench::BenchReport report("table1_traffic",
+                              "traffic reduction on text-corpus traces",
+                              argc, argv);
+    bool full = report.full();
+    std::uint64_t tuples = report.smoke() ? 150000 : (full ? 4000000 : 600000);
+    std::uint64_t vocab_scale = report.smoke() ? 32 : (full ? 4 : 16);
+    report.param("tuples", tuples);
+    report.param("vocab_scale", vocab_scale);
 
     bench::banner("Table 1", "traffic reduction on text-corpus traces");
 
@@ -75,10 +80,15 @@ main(int argc, char** argv)
         Measured m = measure(profile, tuples, vocab_scale);
         t.row({profile.name, fmt_double(m.tuple_pct, 2), refs[i].tuple,
                fmt_double(m.packet_pct, 2), refs[i].packet});
+        report.row({{"dataset", profile.name},
+                    {"tuples_aggregated_pct", m.tuple_pct},
+                    {"paper_tuples_pct", refs[i].tuple},
+                    {"packets_acked_pct", m.packet_pct},
+                    {"paper_packets_pct", refs[i].packet}});
         ++i;
     }
     t.print(std::cout);
-    bench::note("synthetic corpora calibrated to each dataset's skew and "
+    report.note("synthetic corpora calibrated to each dataset's skew and "
                 "word-length statistics; vocabulary scaled 1/" +
                 std::to_string(vocab_scale) + " with the stream volume");
     return 0;

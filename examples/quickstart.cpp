@@ -35,10 +35,16 @@ main()
         {"win", 1},  {"in", 1},
     };
 
-    // 3. Run the aggregation task: host 1 sends, host 0 receives.
+    // 3. Run the aggregation task: host 1 sends, host 0 receives. Task
+    //    knobs travel in TaskOptions; everything defaults sensibly, so
+    //    name only what you change.
     core::TaskResult result =
         cluster.run_task(/*task=*/1, /*receiver_host=*/0,
-                         {{/*host=*/1, stream}});
+                         {{/*host=*/1, stream}}, {.region_len = 64});
+    if (!result.report.ok()) {
+        std::cerr << "task failed: " << result.report.detail << "\n";
+        return 1;
+    }
 
     // 4. Use the aggregate.
     std::cout << "aggregated " << result.result.size() << " distinct keys in "
@@ -51,5 +57,16 @@ main()
     std::cout << "switch aggregated " << sw.tuples_aggregated
               << " tuples and fully absorbed " << sw.packets_acked
               << " packets\n";
+
+    // 5. Every component also publishes counters to the cluster's
+    //    metrics registry; snapshot it for a machine-readable view.
+    obs::MetricsSnapshot snap = cluster.metrics_snapshot();
+    std::cout << "\nmetrics snapshot:\n"
+              << "  net.packets_delivered  = "
+              << snap.counter("net.packets_delivered") << "\n"
+              << "  switch.tuples_aggregated = "
+              << snap.counter("switch.tuples_aggregated") << "\n"
+              << "  host.data_packets_sent = "
+              << snap.counter("host.data_packets_sent") << "\n";
     return 0;
 }

@@ -53,13 +53,13 @@ main()
 
     core::TaskResult clicks_result;
     core::TaskResult metrics_result;
-    cluster.submit_task(1, 0, click_streams, /*region_len=*/512,
+    cluster.submit_task(1, 0, click_streams, {.region_len = 512},
                         [&](core::AggregateMap m, core::TaskReport rep) {
-                            clicks_result = {std::move(m), rep, true};
+                            clicks_result = {std::move(m), rep};
                         });
-    cluster.submit_task(2, 3, metric_streams, /*region_len=*/512,
+    cluster.submit_task(2, 3, metric_streams, {.region_len = 512},
                         [&](core::AggregateMap m, core::TaskReport rep) {
-                            metrics_result = {std::move(m), rep, true};
+                            metrics_result = {std::move(m), rep};
                         });
     cluster.run();
 

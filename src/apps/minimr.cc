@@ -148,7 +148,7 @@ run_ask_backend(const MrJobSpec& spec)
             streams.push_back({h, gen.generate(per_stream)});
         }
         cluster.submit_task(task_ids[t], receiver, std::move(streams),
-                            region_len,
+                            {.region_len = region_len},
                             [&done, t](core::AggregateMap,
                                        core::TaskReport) { done[t] = true; });
     }

@@ -60,7 +60,8 @@ ask_push_elapsed(const TrainSpec& spec, std::uint64_t elements)
             streams.push_back(
                 {w, workload::value_stream(shard, 0, 7 + w, s * shard)});
         }
-        cluster.submit_task(s + 1, s, std::move(streams), region,
+        cluster.submit_task(s + 1, s, std::move(streams),
+                            {.region_len = region},
                             [&done, s](core::AggregateMap,
                                        core::TaskReport) { done[s] = true; });
     }

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "common/string_util.h"
 
 namespace ask::core {
 
@@ -19,6 +20,7 @@ AskCluster::AskCluster(const ClusterConfig& config)
     network_.attach(switch_.get());
 
     program_ = std::make_unique<AskSwitchProgram>(config_.ask, *switch_);
+    program_->set_tracer(&obs_.tracer);
     controller_ = std::make_unique<AskSwitchController>(*program_);
 
     MgmtRetryPolicy mgmt_policy;
@@ -32,12 +34,29 @@ AskCluster::AskCluster(const ClusterConfig& config)
     for (std::uint32_t h = 0; h < config_.num_hosts; ++h) {
         daemons_.push_back(std::make_unique<AskDaemon>(
             config_.ask, cost_model, network_, h, switch_->node_id(),
-            *controller_, *mgmt_));
+            *controller_, *mgmt_, &obs_));
         network_.attach(daemons_.back().get());
         network_.connect(daemons_.back()->node_id(), switch_->node_id(),
                          config_.link_gbps, config_.link_propagation_ns,
                          config_.faults, config_.seed + h);
     }
+
+    // Wire every component's counters into the registry. The chaos
+    // counters are sliced by owner — cluster, management plane, daemons
+    // each register exactly the fields they increment — and the
+    // disjointness of those slices is asserted, not assumed.
+    network_.register_metrics(obs_.registry);
+    switch_->register_metrics(obs_.registry);
+    register_switch_agg_stats(obs_.registry, program_->stats());
+    register_chaos_stats(obs_.registry, chaos_stats_, StatsOwner::kCluster);
+    register_chaos_stats(obs_.registry, mgmt_->chaos_stats(),
+                         StatsOwner::kMgmt);
+    for (const auto& d : daemons_) {
+        register_host_stats(obs_.registry, d->stats());
+        register_chaos_stats(obs_.registry, d->chaos_stats(),
+                             StatsOwner::kDaemon);
+    }
+    obs_.registry.assert_disjoint_owners("chaos.");
 }
 
 AskCluster::~AskCluster() = default;
@@ -45,7 +64,7 @@ AskCluster::~AskCluster() = default;
 void
 AskCluster::submit_task(TaskId task, std::uint32_t receiver_host,
                         std::vector<StreamSpec> streams,
-                        std::uint32_t region_len, TaskDoneFn on_done)
+                        const TaskOptions& options, TaskDoneFn on_done)
 {
     ASK_ASSERT(receiver_host < daemons_.size(), "bad receiver host");
     for (const auto& s : streams)
@@ -79,7 +98,7 @@ AskCluster::submit_task(TaskId task, std::uint32_t receiver_host,
     // region; once ready, sender daemons are notified over the control
     // channel and begin streaming.
     receiver.start_receive(
-        task, n_senders, region_len, std::move(wrapped_done),
+        task, n_senders, options, std::move(wrapped_done),
         /*on_ready=*/[this, task, receiver_node,
                       streams = std::move(streams)]() mutable {
             simulator_.schedule_after(
@@ -97,17 +116,18 @@ AskCluster::submit_task(TaskId task, std::uint32_t receiver_host,
 TaskResult
 AskCluster::run_task(TaskId task, std::uint32_t receiver_host,
                      std::vector<StreamSpec> streams,
-                     std::uint32_t region_len)
+                     const TaskOptions& options)
 {
     TaskResult out;
-    submit_task(task, receiver_host, std::move(streams), region_len,
-                [&out](AggregateMap result, TaskReport report) {
+    bool completed = false;
+    submit_task(task, receiver_host, std::move(streams), options,
+                [&out, &completed](AggregateMap result, TaskReport report) {
                     out.result = std::move(result);
                     out.report = report;
-                    out.completed = true;
+                    completed = true;
                 });
     run();
-    ASK_ASSERT(out.completed, "task ", task, " did not complete");
+    ASK_ASSERT(completed, "task ", task, " did not complete");
     return out;
 }
 
@@ -258,19 +278,90 @@ HostStats
 AskCluster::total_host_stats() const
 {
     HostStats total;
-    for (const auto& d : daemons_) {
-        const HostStats& s = d->stats();
-        total.data_packets_sent += s.data_packets_sent;
-        total.long_packets_sent += s.long_packets_sent;
-        total.retransmissions += s.retransmissions;
-        total.tuples_sent += s.tuples_sent;
-        total.tuples_aggregated_locally += s.tuples_aggregated_locally;
-        total.packets_received += s.packets_received;
-        total.duplicates_received += s.duplicates_received;
-        total.fetch_tuples += s.fetch_tuples;
-        total.swap_requests += s.swap_requests;
-    }
+    for (const auto& d : daemons_)
+        total.merge(d->stats());
     return total;
+}
+
+void
+AskCluster::enable_sampling(Nanoseconds interval_ns)
+{
+    ASK_ASSERT(sampler_ == nullptr, "sampling already enabled");
+    sampler_ =
+        std::make_unique<obs::Sampler>(simulator_, obs_.registry, interval_ns);
+
+    // Goodput over the last period, from the fabric's cumulative byte
+    // counter. Rate probes carry their own previous-sample state.
+    sampler_->add_probe(
+        "goodput_gbps",
+        [this, prev_bytes = std::uint64_t{0},
+         prev_t = simulator_.now()](sim::SimTime t) mutable {
+            std::uint64_t bytes = network_.stats().bytes_sent;
+            double gbps =
+                t > prev_t ? 8.0 * static_cast<double>(bytes - prev_bytes) /
+                                 static_cast<double>(t - prev_t)
+                           : 0.0;
+            prev_bytes = bytes;
+            prev_t = t;
+            return gbps;
+        });
+
+    // Per-channel core occupancy: busy-ns accumulated over the period.
+    for (std::uint32_t h = 0; h < num_hosts(); ++h) {
+        for (std::uint32_t c = 0; c < daemons_[h]->num_channels(); ++c) {
+            DataChannel* ch = &daemons_[h]->channel(c);
+            sampler_->add_probe(
+                strf("occupancy.h%u.c%u", h, c),
+                [ch, prev_busy = std::uint64_t{0},
+                 prev_t = simulator_.now()](sim::SimTime t) mutable {
+                    std::uint64_t busy = ch->busy_ns();
+                    double frac =
+                        t > prev_t
+                            ? static_cast<double>(busy - prev_busy) /
+                                  static_cast<double>(t - prev_t)
+                            : 0.0;
+                    prev_busy = busy;
+                    prev_t = t;
+                    return frac;
+                });
+        }
+    }
+
+    // Switch aggregation ratio over the last period: of the tuples that
+    // entered the pipeline, how many were consumed in-network.
+    sampler_->add_probe(
+        "switch.agg_ratio",
+        [this, prev_in = std::uint64_t{0},
+         prev_agg = std::uint64_t{0}](sim::SimTime) mutable {
+            const SwitchAggStats& st = program_->stats();
+            std::uint64_t din = st.tuples_in - prev_in;
+            std::uint64_t dagg = st.tuples_aggregated - prev_agg;
+            prev_in = st.tuples_in;
+            prev_agg = st.tuples_aggregated;
+            return din > 0 ? static_cast<double>(dagg) /
+                                 static_cast<double>(din)
+                           : 0.0;
+        });
+
+    // Sender congestion state, averaged over every channel.
+    sampler_->add_probe("cwnd.mean", [this](sim::SimTime) {
+        double sum = 0.0;
+        std::uint32_t n = 0;
+        for (const auto& d : daemons_) {
+            for (std::uint32_t c = 0; c < d->num_channels(); ++c, ++n)
+                sum += static_cast<double>(d->channel(c).cwnd());
+        }
+        return n > 0 ? sum / n : 0.0;
+    });
+    sampler_->add_probe("rto.mean_ns", [this](sim::SimTime) {
+        double sum = 0.0;
+        std::uint32_t n = 0;
+        for (const auto& d : daemons_) {
+            for (std::uint32_t c = 0; c < d->num_channels(); ++c, ++n)
+                sum += static_cast<double>(d->channel(c).rto());
+        }
+        return n > 0 ? sum / n : 0.0;
+    });
 }
 
 }  // namespace ask::core

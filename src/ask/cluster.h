@@ -22,6 +22,8 @@
 #include "ask/switch_program.h"
 #include "net/cost_model.h"
 #include "net/network.h"
+#include "obs/observability.h"
+#include "obs/sampler.h"
 #include "pisa/pisa_switch.h"
 #include "sim/chaos.h"
 #include "sim/simulator.h"
@@ -68,10 +70,9 @@ struct TaskResult
 {
     AggregateMap result;
     TaskReport report;
-    bool completed = false;
 
-    /** The task ran to completion AND produced a result. */
-    bool ok() const { return completed && !report.failed; }
+    /** The task produced a result (report.status == TaskStatus::kOk). */
+    bool ok() const { return report.ok(); }
 };
 
 /** A fully wired ASK deployment. */
@@ -87,20 +88,20 @@ class AskCluster
     /**
      * Submit an aggregation task: `receiver_host` runs the receiver,
      * each StreamSpec's host streams its tuples. `on_done` fires at
-     * completion (simulated time). Call run() to execute.
-     *
-     * @param region_len aggregators per AA per copy; 0 = all free.
+     * completion (simulated time). Call run() to execute. Per-task
+     * knobs (region length, liveness timeout, swap policy, tracing)
+     * travel in `options`: `{.region_len = 32}`.
      */
     void submit_task(TaskId task, std::uint32_t receiver_host,
                      std::vector<StreamSpec> streams,
-                     std::uint32_t region_len = 0,
+                     const TaskOptions& options = {},
                      TaskDoneFn on_done = nullptr);
 
     /** Convenience: submit one task, run the simulator to completion,
      *  and return the result. */
     TaskResult run_task(TaskId task, std::uint32_t receiver_host,
                         std::vector<StreamSpec> streams,
-                        std::uint32_t region_len = 0);
+                        const TaskOptions& options = {});
 
     /** Drain the event queue. Returns the final simulated time. */
     sim::SimTime run() { return simulator_.run(); }
@@ -124,6 +125,35 @@ class AskCluster
 
     /** The shared management plane (control network + controller RPCs). */
     MgmtPlane& mgmt() { return *mgmt_; }
+
+    // ---- observability ----------------------------------------------------
+
+    /** The cluster-wide metrics registry. Every component's counters
+     *  are exposed here at construction time. */
+    obs::MetricsRegistry& metrics() { return obs_.registry; }
+
+    /** The cluster-wide packet tracer. Disabled by default; enable
+     *  globally (`tracer().set_enabled(true)`) or per task
+     *  (TaskOptions::trace). */
+    obs::PacketTracer& tracer() { return obs_.tracer; }
+
+    /** The whole bundle, for hand-wired daemons. */
+    obs::Observability& observability() { return obs_; }
+
+    /** Point-in-time copy of every metric (counters summed over their
+     *  sources). Snapshots merge associatively across clusters. */
+    obs::MetricsSnapshot metrics_snapshot() const
+    {
+        return obs_.registry.snapshot();
+    }
+
+    /**
+     * Start periodic time-series sampling (simulated time): goodput,
+     * per-channel core occupancy, switch aggregation ratio, and
+     * cwnd/RTO means, recorded into the registry every `interval_ns`.
+     * Call once, before run().
+     */
+    void enable_sampling(Nanoseconds interval_ns);
 
     /**
      * Arm a chaos plan: every episode kind is wired to the matching
@@ -149,6 +179,10 @@ class AskCluster
     void on_switch_reboot_end(const sim::ChaosEvent& e);
 
     ClusterConfig config_;
+    /** Declared before every component: the registry holds pointers to
+     *  their live counters, so it must construct first (and destruct
+     *  last). */
+    obs::Observability obs_;
     sim::Simulator simulator_;
     net::Network network_;
     std::unique_ptr<pisa::PisaSwitch> switch_;
@@ -163,6 +197,7 @@ class AskCluster
      *  would land on top of recovery N+1's own replay). */
     std::uint64_t recovery_epoch_ = 0;
     ChaosStats chaos_stats_;
+    std::unique_ptr<obs::Sampler> sampler_;
 };
 
 }  // namespace ask::core

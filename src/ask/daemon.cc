@@ -10,6 +10,24 @@
 
 namespace ask::core {
 
+const char*
+task_status_name(TaskStatus status)
+{
+    switch (status) {
+      case TaskStatus::kOk:
+        return "ok";
+      case TaskStatus::kRegionExhausted:
+        return "region_exhausted";
+      case TaskStatus::kSenderTimeout:
+        return "sender_timeout";
+      case TaskStatus::kMgmtUnreachable:
+        return "mgmt_unreachable";
+      case TaskStatus::kSendBudgetExhausted:
+        return "send_budget_exhausted";
+    }
+    return "?";
+}
+
 // ---------------------------------------------------------------------------
 // DataChannel
 // ---------------------------------------------------------------------------
@@ -50,7 +68,7 @@ DataChannel::charge_background(Nanoseconds cost)
 
 void
 DataChannel::submit_send(TaskId task, net::NodeId receiver, KvStream stream,
-                         std::function<void()> on_complete)
+                         std::function<void()> on_complete, bool replay)
 {
     SendJob job;
     job.task = task;
@@ -58,7 +76,11 @@ DataChannel::submit_send(TaskId task, net::NodeId receiver, KvStream stream,
     job.builder = std::make_unique<PacketBuilder>(daemon_.key_space());
     job.builder->enqueue(stream);
     job.on_complete = std::move(on_complete);
+    job.replay = replay;
     daemon_.stats().tuples_sent += stream.size();
+    ASK_TRACE(daemon_.tracer_, daemon_.simulator().now(), task, global_id(),
+              0, obs::TraceStage::kSubmit, stream.size(),
+              replay ? obs::kTraceFlagReplay : std::uint8_t{0});
     jobs_.push_back(std::move(job));
     pump();
 }
@@ -151,6 +173,9 @@ DataChannel::pump()
         }
 
         Seq seq = next_seq_++;
+        ASK_TRACE(daemon_.tracer_, simulator.now(), job.task, global_id(),
+                  seq, obs::TraceStage::kPacketize, 0,
+                  job.replay ? obs::kTraceFlagReplay : std::uint8_t{0});
         auto [it, inserted] =
             in_flight_.emplace(seq, InFlight{std::move(frame), job.receiver,
                                              sim::kInvalidEvent, 0, 0, type});
@@ -179,9 +204,10 @@ DataChannel::transmit(Seq seq, bool is_retransmit)
                      seq, global_id(), entry.tries));
         } else {
             ++daemon_.chaos_.send_failures;
-            fail_front_job(strf(
-                "bypass seq %u on channel %u exhausted %u transmissions", seq,
-                global_id(), entry.tries));
+            fail_front_job(TaskStatus::kSendBudgetExhausted,
+                           strf("bypass seq %u on channel %u exhausted %u "
+                                "transmissions",
+                                seq, global_id(), entry.tries));
         }
         return;
     }
@@ -191,6 +217,10 @@ DataChannel::transmit(Seq seq, bool is_retransmit)
         cwnd_ = std::max(cwnd_ / 2, 8u);  // multiplicative decrease
     }
     ++entry.tries;
+    ASK_TRACE(daemon_.tracer_, daemon_.simulator().now(),
+              jobs_.empty() ? 0 : jobs_.front().task, global_id(), seq,
+              obs::TraceStage::kTx, entry.tries,
+              is_retransmit ? obs::kTraceFlagRetransmit : std::uint8_t{0});
 
     sim::SimTime ready =
         charge(daemon_.cost_model().tx_cost_ns(entry.frame.size()));
@@ -229,6 +259,8 @@ DataChannel::rto() const
 void
 DataChannel::observe_rtt(Nanoseconds sample)
 {
+    if (daemon_.rtt_hist_ != nullptr && sample >= 0)
+        daemon_.rtt_hist_->observe(static_cast<std::uint64_t>(sample));
     double s = static_cast<double>(sample);
     if (!have_rtt_) {
         srtt_ns_ = s;
@@ -265,6 +297,9 @@ DataChannel::on_ack(Seq seq)
     // Karn's rule: only un-retransmitted packets give clean RTT samples.
     if (it->second.tries == 1)
         observe_rtt(daemon_.simulator().now() - it->second.sent_at);
+    ASK_TRACE(daemon_.tracer_, daemon_.simulator().now(),
+              jobs_.empty() ? 0 : jobs_.front().task, global_id(), seq,
+              obs::TraceStage::kSenderAcked, it->second.tries);
     in_flight_.erase(it);
     cwnd_ = std::min(cwnd_ + 1, daemon_.config().window);
     // ACK processing occupies the core briefly (burst-amortized).
@@ -281,7 +316,8 @@ DataChannel::send_fin(const SendJob& job)
         // The receiver is unreachable for good: fail the job through the
         // task-failure handler instead of aborting the whole process.
         ++daemon_.chaos_.fin_giveups;
-        fail_front_job(strf("FIN for task %u undeliverable after %u attempts",
+        fail_front_job(TaskStatus::kSendBudgetExhausted,
+                       strf("FIN for task %u undeliverable after %u attempts",
                             job.task, fin_tries_ - 1));
         return;
     }
@@ -341,7 +377,7 @@ DataChannel::finish_front_job()
 }
 
 void
-DataChannel::fail_front_job(const std::string& reason)
+DataChannel::fail_front_job(TaskStatus status, const std::string& reason)
 {
     ASK_ASSERT(!jobs_.empty(), "no job to fail");
     for (auto& [seq, entry] : in_flight_) {
@@ -360,7 +396,7 @@ DataChannel::fail_front_job(const std::string& reason)
     // on_complete is deliberately NOT invoked: the stream was not
     // delivered. The failure handler is the channel of record.
     jobs_.pop_front();
-    daemon_.notify_task_failure(task, reason);
+    daemon_.notify_task_failure(task, status, reason);
     pump();
 }
 
@@ -372,6 +408,9 @@ DataChannel::abort_task(TaskId task)
         for (auto& [seq, entry] : in_flight_) {
             if (entry.timer != sim::kInvalidEvent)
                 daemon_.simulator().cancel(entry.timer);
+            ASK_TRACE(daemon_.tracer_, daemon_.simulator().now(), task,
+                      global_id(), seq, obs::TraceStage::kAbort,
+                      entry.tries);
         }
         in_flight_.clear();
         if (fin_timer_ != sim::kInvalidEvent) {
@@ -413,6 +452,7 @@ DataChannel::convert_in_flight_to_bypass()
                     return;
                 ++daemon_.chaos_.send_failures;
                 fail_front_job(
+                    TaskStatus::kMgmtUnreachable,
                     "management probe unreachable during bypass conversion");
             });
     }
@@ -454,6 +494,9 @@ DataChannel::finish_conversion(Seq seq, AskSwitchProgram::ProbeResult probe)
     // consumed by the dead switch path — starts over.
     entry.tries = 0;
     ++daemon_.chaos_.bypass_conversions;
+    ASK_TRACE(daemon_.tracer_, daemon_.simulator().now(), hdr->task_id,
+              global_id(), seq, obs::TraceStage::kBypassConvert, unconsumed,
+              obs::kTraceFlagBypass);
     transmit(seq, /*is_retransmit=*/false);
 }
 
@@ -464,7 +507,7 @@ DataChannel::finish_conversion(Seq seq, AskSwitchProgram::ProbeResult probe)
 AskDaemon::AskDaemon(const AskConfig& config, const net::CostModel& cost_model,
                      net::Network& network, std::uint32_t host_index,
                      net::NodeId switch_node, AskSwitchController& controller,
-                     MgmtPlane& mgmt)
+                     MgmtPlane& mgmt, obs::Observability* obs)
     : config_(config),
       key_space_(config),
       cost_model_(cost_model),
@@ -476,6 +519,10 @@ AskDaemon::AskDaemon(const AskConfig& config, const net::CostModel& cost_model,
 {
     ASK_ASSERT(host_index < config_.max_hosts,
                "host index exceeds configured max_hosts");
+    if (obs != nullptr) {
+        tracer_ = &obs->tracer;
+        rtt_hist_ = &obs->registry.histogram("host.rtt_ns");
+    }
     for (std::uint32_t i = 0; i < config_.channels_per_host; ++i)
         channels_.push_back(std::make_unique<DataChannel>(*this, i));
 }
@@ -499,34 +546,39 @@ AskDaemon::channel_for_task(TaskId task)
 
 void
 AskDaemon::start_receive(TaskId task, std::uint32_t expected_senders,
-                         std::uint32_t region_len, TaskDoneFn on_done,
+                         const TaskOptions& options, TaskDoneFn on_done,
                          std::function<void()> on_ready)
 {
     // Steps 1-3 of §3.1: register the task, then request a switch memory
     // region over the management network. Both failure modes — region
     // exhaustion and an unreachable management plane — surface to the
     // application as a failed TaskReport, never as a silent hang.
+    if (tracer_ != nullptr && options.trace)
+        tracer_->trace_task(task);
     auto done = std::make_shared<TaskDoneFn>(std::move(on_done));
     sim::SimTime requested_at = simulator().now();
-    auto fail = [this, done, requested_at](std::string err) {
-        warn(name(), ": task setup failed: ", err);
+    auto fail = [this, done, requested_at](TaskStatus status,
+                                           std::string detail) {
+        warn(name(), ": task setup failed: ", detail);
         TaskReport report;
         report.start_time = requested_at;
         report.finish_time = simulator().now();
-        report.failed = true;
-        report.error = std::move(err);
+        report.status = status;
+        report.detail = std::move(detail);
         if (*done)
             (*done)(AggregateMap{}, std::move(report));
     };
     mgmt_.call(
-        [this, task, expected_senders, region_len, done, fail,
+        [this, task, expected_senders, options, done, fail,
          on_ready = std::move(on_ready)]() mutable {
-            std::uint32_t len =
-                region_len > 0 ? region_len : controller_.free_aggregators();
+            std::uint32_t len = options.region_len > 0
+                                    ? options.region_len
+                                    : controller_.free_aggregators();
             auto region = controller_.allocate(task, len);
             if (!region) {
                 ++chaos_.alloc_failures;
-                fail(strf("switch memory exhausted: %u aggregators/AA "
+                fail(TaskStatus::kRegionExhausted,
+                     strf("switch memory exhausted: %u aggregators/AA "
                           "requested, %u free",
                           len, controller_.free_aggregators()));
                 return;
@@ -537,16 +589,22 @@ AskDaemon::start_receive(TaskId task, std::uint32_t expected_senders,
             rx.on_done = std::move(*done);
             rx.report.start_time = simulator().now();
             rx.last_activity = simulator().now();
+            rx.swaps_disabled =
+                options.swap_policy == TaskOptions::SwapPolicy::kDisabled;
+            rx.liveness_timeout_ns =
+                options.sender_liveness_timeout_ns < 0
+                    ? config_.sender_liveness_timeout_ns
+                    : options.sender_liveness_timeout_ns;
             auto [it, inserted] = rx_tasks_.emplace(task, std::move(rx));
-            (void)it;
             ASK_ASSERT(inserted, "task ", task, " already receiving here");
-            if (config_.sender_liveness_timeout_ns > 0)
+            if (it->second.liveness_timeout_ns > 0)
                 arm_liveness(task);
             if (on_ready)
                 on_ready();
         },
         [fail]() mutable {
-            fail("management network unreachable during task setup");
+            fail(TaskStatus::kMgmtUnreachable,
+                 "management network unreachable during task setup");
         });
 }
 
@@ -580,10 +638,12 @@ AskDaemon::replay_task(TaskId task)
     for (const auto& a : it->second) {
         // Straight to the channel: replay must not re-archive.
         channel_for_task(task).submit_send(task, a.receiver, a.stream,
-                                           a.on_complete);
+                                           a.on_complete, /*replay=*/true);
         ++n;
     }
     chaos_.streams_replayed += n;
+    ASK_TRACE(tracer_, simulator().now(), task, 0, 0,
+              obs::TraceStage::kReplay, n, obs::kTraceFlagReplay);
     return n;
 }
 
@@ -594,11 +654,13 @@ AskDaemon::forget_task(TaskId task)
 }
 
 void
-AskDaemon::notify_task_failure(TaskId task, const std::string& reason)
+AskDaemon::notify_task_failure(TaskId task, TaskStatus status,
+                               const std::string& reason)
 {
-    warn(name(), ": send job for task ", task, " failed: ", reason);
+    warn(name(), ": send job for task ", task, " failed (",
+         task_status_name(status), "): ", reason);
     if (on_task_failure_)
-        on_task_failure_(task, reason);
+        on_task_failure_(task, status, reason);
 }
 
 void
@@ -732,6 +794,8 @@ AskDaemon::handle_data(net::Packet&& pkt, const AskHeader& hdr)
         // aggregate — the replay re-delivers every tuple. No ACK, and
         // the sender's in-flight state was already aborted.
         ++chaos_.drain_dropped;
+        ASK_TRACE(tracer_, simulator().now(), hdr.task_id, hdr.channel_id,
+                  hdr.seq, obs::TraceStage::kDrainDrop);
         return;
     }
     task.last_activity = simulator().now();
@@ -753,6 +817,10 @@ AskDaemon::handle_data(net::Packet&& pkt, const AskHeader& hdr)
                                     return;
                                 if (jt->second.generation != gen) {
                                     ++chaos_.drain_dropped;
+                                    ASK_TRACE(tracer_, simulator().now(),
+                                              task_id, hdr.channel_id,
+                                              hdr.seq,
+                                              obs::TraceStage::kDrainDrop);
                                     return;
                                 }
                                 process_data(jt->second, p, hdr, ch);
@@ -813,6 +881,8 @@ AskDaemon::process_data(ReceiveTask& task, const net::Packet& pkt,
         }
         stats_.tuples_aggregated_locally += tuples;
         task.report.tuples_aggregated_locally += tuples;
+        ASK_TRACE(tracer_, simulator().now(), task.id, hdr.channel_id,
+                  hdr.seq, obs::TraceStage::kHostAggregate, tuples);
         // Deferred aggregation is farmed out over the daemon's thread
         // pool round-robin, not pinned to the flow's RSS lane.
         channels_[bg_round_robin_++ % channels_.size()]->charge_background(
@@ -821,6 +891,8 @@ AskDaemon::process_data(ReceiveTask& task, const net::Packet& pkt,
         ++task.packets_since_swap;
     } else {
         ++stats_.duplicates_received;
+        ASK_TRACE(tracer_, simulator().now(), task.id, hdr.channel_id,
+                  hdr.seq, obs::TraceStage::kHostDuplicate);
     }
 
     maybe_start_swap(task, ch);
@@ -1048,6 +1120,9 @@ AskDaemon::finalize(ReceiveTask& task)
                     t.liveness_timer = sim::kInvalidEvent;
                 }
                 t.report.finish_time = simulator().now();
+                ASK_TRACE(tracer_, simulator().now(), task_id, 0, 0,
+                          obs::TraceStage::kFinalize,
+                          t.report.packets_received);
                 TaskDoneFn on_done = std::move(t.on_done);
                 AggregateMap result = std::move(t.local);
                 TaskReport report = std::move(t.report);
@@ -1062,7 +1137,8 @@ AskDaemon::finalize(ReceiveTask& task)
                 // Without the final register fetch the result cannot be
                 // exact; surface the failure instead of guessing.
                 fail_receive_task(
-                    task_id, "management plane unreachable during finalize");
+                    task_id, TaskStatus::kMgmtUnreachable,
+                    "management plane unreachable during finalize");
             });
     });
 }
@@ -1074,8 +1150,7 @@ AskDaemon::arm_liveness(TaskId task_id)
     if (it == rx_tasks_.end())
         return;
     ReceiveTask& t = it->second;
-    sim::SimTime deadline =
-        t.last_activity + config_.sender_liveness_timeout_ns;
+    sim::SimTime deadline = t.last_activity + t.liveness_timeout_ns;
     t.liveness_timer = simulator().schedule_at(deadline, [this, task_id] {
         auto jt = rx_tasks_.find(task_id);
         if (jt == rx_tasks_.end())
@@ -1084,35 +1159,36 @@ AskDaemon::arm_liveness(TaskId task_id)
         t.liveness_timer = sim::kInvalidEvent;
         if (t.finalizing)
             return;  // the result fetch is already under way
-        sim::SimTime deadline =
-            t.last_activity + config_.sender_liveness_timeout_ns;
+        sim::SimTime deadline = t.last_activity + t.liveness_timeout_ns;
         if (simulator().now() < deadline) {
             arm_liveness(task_id);  // activity since: re-arm lazily
             return;
         }
         ++chaos_.sender_timeouts;
         fail_receive_task(
-            task_id,
+            task_id, TaskStatus::kSenderTimeout,
             strf("sender liveness timeout: heard FINs from %zu of %u senders",
                  t.fins.size(), t.expected_senders));
     });
 }
 
 void
-AskDaemon::fail_receive_task(TaskId task_id, std::string error)
+AskDaemon::fail_receive_task(TaskId task_id, TaskStatus status,
+                             std::string detail)
 {
     auto it = rx_tasks_.find(task_id);
     if (it == rx_tasks_.end())
         return;
     ReceiveTask& t = it->second;
-    warn(name(), ": receive task ", task_id, " failed: ", error);
+    warn(name(), ": receive task ", task_id, " failed (",
+         task_status_name(status), "): ", detail);
     if (t.swap_timer != sim::kInvalidEvent)
         simulator().cancel(t.swap_timer);
     if (t.liveness_timer != sim::kInvalidEvent)
         simulator().cancel(t.liveness_timer);
     t.report.finish_time = simulator().now();
-    t.report.failed = true;
-    t.report.error = std::move(error);
+    t.report.status = status;
+    t.report.detail = std::move(detail);
     TaskDoneFn on_done = std::move(t.on_done);
     TaskReport report = std::move(t.report);
     rx_tasks_.erase(it);

@@ -41,11 +41,60 @@
 #include "ask/wire.h"
 #include "net/cost_model.h"
 #include "net/network.h"
+#include "obs/observability.h"
 #include "sim/simulator.h"
 
 namespace ask::core {
 
 class AskDaemon;
+
+/**
+ * How an aggregation task ended. Every failure mode the stack can
+ * surface has its own value — callers branch on the status instead of
+ * string-matching on an error message.
+ */
+enum class TaskStatus : std::uint8_t
+{
+    kOk = 0,
+    /** The switch could not host the region (memory/epoch-slot
+     *  exhaustion at allocation time). */
+    kRegionExhausted,
+    /** The receiver stopped hearing from senders before every FIN
+     *  arrived (sender-liveness timeout). */
+    kSenderTimeout,
+    /** A management-plane RPC the task cannot proceed without was
+     *  abandoned after its retry budget (setup, finalize fetch, or a
+     *  PktState probe during bypass conversion). */
+    kMgmtUnreachable,
+    /** A sender-side frame (bypass DATA or FIN) exhausted its
+     *  transmission budget; the stream was not delivered. */
+    kSendBudgetExhausted,
+};
+
+const char* task_status_name(TaskStatus status);
+
+/**
+ * Per-task knobs for AskCluster::submit_task / run_task and
+ * AskDaemon::start_receive. Aggregate-initializable:
+ * `{.region_len = 32, .trace = true}`.
+ */
+struct TaskOptions
+{
+    /** Aggregators per AA per shadow copy; 0 = all free aggregators. */
+    std::uint32_t region_len = 0;
+    /** Sender-liveness timeout; < 0 = use the config default, 0 =
+     *  disabled, > 0 = override in nanoseconds. */
+    Nanoseconds sender_liveness_timeout_ns = -1;
+    /** Shadow-copy swap policy for this task. */
+    enum class SwapPolicy : std::uint8_t
+    {
+        kAuto,      ///< swap per the config thresholds (default)
+        kDisabled,  ///< never swap; finalize drains both copies
+    };
+    SwapPolicy swap_policy = SwapPolicy::kAuto;
+    /** Opt this task into packet-lifecycle tracing. */
+    bool trace = false;
+};
 
 /** Completion report for one aggregation task at its receiver. */
 struct TaskReport
@@ -56,11 +105,13 @@ struct TaskReport
     std::uint64_t tuples_fetched_from_switch = 0;
     std::uint64_t packets_received = 0;
     std::uint64_t swaps = 0;
-    /** The task did NOT produce a result; `error` says why. Fired for
-     *  region-allocation failure, sender-liveness timeout, and
-     *  management-plane unreachability. */
-    bool failed = false;
-    std::string error;
+    /** How the task ended. Anything but kOk means the task did NOT
+     *  produce a result; `detail` carries the human-readable
+     *  specifics (counts, ids) for logs. */
+    TaskStatus status = TaskStatus::kOk;
+    std::string detail;
+
+    bool ok() const { return status == TaskStatus::kOk; }
 };
 
 /** Callback invoked when a receive task completes. */
@@ -80,9 +131,10 @@ class DataChannel
     /** Next unused sequence number (the fence boundary at recovery). */
     Seq next_seq() const { return next_seq_; }
 
-    /** Enqueue a sending task (FIFO within the channel). */
+    /** Enqueue a sending task (FIFO within the channel). `replay`
+     *  marks post-crash re-submissions for the packet tracer. */
     void submit_send(TaskId task, net::NodeId receiver, KvStream stream,
-                     std::function<void()> on_complete);
+                     std::function<void()> on_complete, bool replay = false);
 
     // ---- packet handlers (called by the daemon's dispatcher) ------------
     void on_ack(Seq seq);
@@ -105,6 +157,11 @@ class DataChannel
     sim::SimTime background_busy_until() const { return background_busy_; }
     std::uint64_t busy_ns() const { return busy_ns_; }
 
+    /** Current congestion window (for the occupancy/cwnd samplers). */
+    std::uint32_t cwnd() const { return cwnd_; }
+    /** Current adaptive retransmission timeout. */
+    Nanoseconds rto() const;
+
   private:
     friend class AskDaemon;
 
@@ -114,6 +171,7 @@ class DataChannel
         net::NodeId receiver = 0;
         std::unique_ptr<PacketBuilder> builder;
         std::function<void()> on_complete;
+        bool replay = false;  ///< post-crash re-submission (trace flag)
     };
 
     struct InFlight
@@ -135,7 +193,7 @@ class DataChannel
 
     /** Fail the front send job: drop its in-flight state, notify the
      *  daemon's task-failure handler, and move on to the next job. */
-    void fail_front_job(const std::string& reason);
+    void fail_front_job(TaskStatus status, const std::string& reason);
 
     /**
      * Replay support: forget every job and in-flight frame of `task`
@@ -176,7 +234,6 @@ class DataChannel
     double srtt_ns_ = 0.0;
     double rttvar_ns_ = 0.0;
     bool have_rtt_ = false;
-    Nanoseconds rto() const;
     void observe_rtt(Nanoseconds sample);
 
     bool fin_outstanding_ = false;
@@ -195,11 +252,13 @@ class AskDaemon : public net::Node
      * @param switch_node  node id of the ToR switch on the fabric.
      * @param controller   the switch control plane.
      * @param mgmt         the management network all controller RPCs use.
+     * @param obs          optional observability bundle (metrics + trace);
+     *                     must outlive the daemon when given.
      */
     AskDaemon(const AskConfig& config, const net::CostModel& cost_model,
               net::Network& network, std::uint32_t host_index,
               net::NodeId switch_node, AskSwitchController& controller,
-              MgmtPlane& mgmt);
+              MgmtPlane& mgmt, obs::Observability* obs = nullptr);
 
     // ---- application-facing API ------------------------------------------
 
@@ -210,11 +269,9 @@ class AskDaemon : public net::Node
      * cannot host the region (memory/epoch-slot exhaustion) or the
      * management plane stays unreachable, `on_done` fires with a failed
      * TaskReport instead — the application always learns the outcome.
-     *
-     * @param region_len aggregators per AA per shadow copy; 0 = all free.
      */
     void start_receive(TaskId task, std::uint32_t expected_senders,
-                       std::uint32_t region_len, TaskDoneFn on_done,
+                       const TaskOptions& options, TaskDoneFn on_done,
                        std::function<void()> on_ready);
 
     /** Submit a key-value stream for `task` toward `receiver`. The
@@ -223,10 +280,14 @@ class AskDaemon : public net::Node
     void submit_send(TaskId task, net::NodeId receiver, KvStream stream,
                      std::function<void()> on_complete = nullptr);
 
+    /** The packet tracer of the observability bundle (null without). */
+    obs::PacketTracer* tracer() { return tracer_; }
+
     /** Sender-side send jobs that fail permanently (FIN or bypass
-     *  retransmission budget exhausted) are reported here. */
+     *  retransmission budget exhausted) are reported here with the
+     *  status and a human-readable detail string. */
     void set_task_failure_handler(
-        std::function<void(TaskId, const std::string&)> handler)
+        std::function<void(TaskId, TaskStatus, const std::string&)> handler)
     {
         on_task_failure_ = std::move(handler);
     }
@@ -273,7 +334,8 @@ class AskDaemon : public net::Node
 
     /** Fail a receive task: fires on_done with a failed report and
      *  releases the switch region best-effort. */
-    void fail_receive_task(TaskId task, std::string error);
+    void fail_receive_task(TaskId task, TaskStatus status,
+                           std::string detail);
 
     // ---- net::Node ---------------------------------------------------------
     void receive(net::Packet pkt) override;
@@ -332,6 +394,9 @@ class AskDaemon : public net::Node
         /** Last DATA/FIN arrival (sender-liveness timeout). */
         sim::SimTime last_activity = 0;
         sim::EventId liveness_timer = sim::kInvalidEvent;
+        /** Effective liveness timeout (TaskOptions override resolved
+         *  against the config default); 0 = disabled. */
+        Nanoseconds liveness_timeout_ns = 0;
     };
 
     /** Charge work to the control-channel thread (fetches, setup). */
@@ -353,7 +418,8 @@ class AskDaemon : public net::Node
     void maybe_finalize(ReceiveTask& task);
     void finalize(ReceiveTask& task);
     void arm_liveness(TaskId task_id);
-    void notify_task_failure(TaskId task, const std::string& reason);
+    void notify_task_failure(TaskId task, TaskStatus status,
+                             const std::string& reason);
 
     /** Decode the tuples of a DATA frame whose slot bit is in `mask`
      *  (degraded-mode conversion to bypass frames). */
@@ -382,8 +448,13 @@ class AskDaemon : public net::Node
     std::vector<std::unique_ptr<DataChannel>> channels_;
     std::unordered_map<TaskId, ReceiveTask> rx_tasks_;
     std::unordered_map<TaskId, std::vector<ArchivedSend>> sent_archive_;
-    std::function<void(TaskId, const std::string&)> on_task_failure_;
+    std::function<void(TaskId, TaskStatus, const std::string&)>
+        on_task_failure_;
     bool degraded_ = false;
+    /** Borrowed observability hooks (may be null). The RTT histogram is
+     *  shared across daemons: one `host.rtt_ns` per cluster. */
+    obs::PacketTracer* tracer_ = nullptr;
+    obs::LogHistogram* rtt_hist_ = nullptr;
     HostStats stats_;
     ChaosStats chaos_;
     /** Busy-until of the control-channel thread (region fetches run

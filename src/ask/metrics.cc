@@ -1,0 +1,55 @@
+#include "ask/metrics.h"
+
+#include "obs/metrics.h"
+
+namespace ask::core {
+
+const char*
+stats_owner_name(StatsOwner owner)
+{
+    switch (owner) {
+      case StatsOwner::kCluster:
+        return "cluster";
+      case StatsOwner::kMgmt:
+        return "mgmt";
+      case StatsOwner::kDaemon:
+        return "daemon";
+    }
+    return "?";
+}
+
+void
+register_switch_agg_stats(obs::MetricsRegistry& registry,
+                          const SwitchAggStats& stats,
+                          const std::string& prefix)
+{
+#define ASK_X(field, doc) \
+    registry.expose(prefix + #field, &stats.field, "switch");
+    ASK_SWITCH_AGG_STATS_FIELDS(ASK_X)
+#undef ASK_X
+}
+
+void
+register_host_stats(obs::MetricsRegistry& registry, const HostStats& stats,
+                    const std::string& prefix)
+{
+#define ASK_X(field, doc) \
+    registry.expose(prefix + #field, &stats.field, "host");
+    ASK_HOST_STATS_FIELDS(ASK_X)
+#undef ASK_X
+}
+
+void
+register_chaos_stats(obs::MetricsRegistry& registry, const ChaosStats& stats,
+                     StatsOwner owner, const std::string& prefix)
+{
+#define ASK_X(field, field_owner, doc)                      \
+    if (owner == StatsOwner::field_owner) {                 \
+        registry.expose(prefix + #field, &stats.field,      \
+                        stats_owner_name(owner));           \
+    }
+    ASK_CHAOS_STATS_FIELDS(ASK_X)
+#undef ASK_X
+}
+
+}  // namespace ask::core

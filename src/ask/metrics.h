@@ -2,90 +2,125 @@
  * @file
  * Counters collected across the ASK data plane and hosts. These drive
  * the paper's Table 1 and several figures.
+ *
+ * The field lists are X-macros: each list expands once into the struct
+ * definition, once into merge(), and once into the registration helper
+ * that exposes every field to an obs::MetricsRegistry — so a counter
+ * added to the list is automatically merged, snapshotted, and named.
+ *
+ * ChaosStats is special: every component that observes a chaos event
+ * or performs a recovery action owns a *disjoint slice* of the struct
+ * (the cluster coordinator, the management plane, the daemons). The
+ * owner of each field is declared right here in the list, and
+ * register_chaos_stats() registers only the caller's slice, so
+ * MetricsRegistry::assert_disjoint_owners() can verify structurally
+ * that no counter is double-counted.
  */
 #ifndef ASK_ASK_METRICS_H
 #define ASK_ASK_METRICS_H
 
 #include <cstdint>
+#include <string>
+
+namespace ask::obs {
+class MetricsRegistry;
+}  // namespace ask::obs
 
 namespace ask::core {
+
+// ---------------------------------------------------------------------------
+// Field lists
+// ---------------------------------------------------------------------------
+
+/** Switch-side aggregation counters: X(field, doc). */
+#define ASK_SWITCH_AGG_STATS_FIELDS(X)                                      \
+    X(data_packets, "DATA packets entering the pipeline")                   \
+    X(tuples_in, "valid tuples in arriving DATA")                           \
+    X(tuples_aggregated, "tuples consumed by aggregators")                  \
+    X(tuples_collided, "tuples that failed (collision)")                    \
+    X(packets_acked, "fully aggregated -> switch ACK")                      \
+    X(packets_forwarded, "partial/failed -> to receiver")                   \
+    X(duplicates, "retransmissions deduplicated")                           \
+    X(stale_dropped, "out-of-window packets dropped")                       \
+    X(long_packets, "LONG_DATA forwarded")                                  \
+    X(swaps, "shadow-copy swaps applied")                                   \
+    X(unknown_task, "DATA for unknown task regions")                        \
+    X(blackholed, "DATA/SWAP eaten by a sick program")
+
+/**
+ * Fault-injection and recovery counters: X(field, owner, doc).
+ * `owner` is the StatsOwner member whose component increments the
+ * field; AskCluster::chaos_stats() merges the slices.
+ */
+#define ASK_CHAOS_STATS_FIELDS(X)                                           \
+    /* ---- faults observed ---- */                                         \
+    X(link_blackouts, kCluster, "cable blackout windows opened")            \
+    X(burst_loss_windows, kCluster, "burst-loss windows opened")            \
+    X(switch_reboots, kCluster, "switch reboot episodes")                   \
+    X(mgmt_outages, kCluster, "management-plane outage windows")            \
+    X(mgmt_delay_windows, kCluster, "management-plane delay windows")       \
+    X(data_blackholes, kCluster, "sick-program blackhole windows")          \
+    /* ---- recovery actions ---- */                                        \
+    X(regions_reinstalled, kCluster, "task regions re-pushed post-reboot")  \
+    X(channels_fenced, kCluster, "max_seq/seen fences written")             \
+    X(tasks_reset, kDaemon, "receiver tasks reset for replay")              \
+    X(streams_replayed, kDaemon, "sender streams re-submitted")             \
+    X(drain_dropped, kDaemon, "packets dropped by drain guards")            \
+    X(degraded_entries, kDaemon, "daemons entering host-only mode")         \
+    X(bypass_conversions, kDaemon, "in-flight DATA rerouted to bypass")     \
+    X(probe_rpcs, kDaemon, "PktState probes during conversion")             \
+    X(swap_giveups, kDaemon, "tasks that stopped swapping")                 \
+    X(fin_giveups, kDaemon, "send jobs failed at FIN budget")               \
+    X(send_failures, kDaemon, "send jobs failed at data budget")            \
+    X(sender_timeouts, kDaemon, "rx tasks failed by liveness timeout")      \
+    X(alloc_failures, kDaemon, "region allocation rejections")              \
+    X(mgmt_rpcs, kMgmt, "management RPC attempts")                          \
+    X(mgmt_retries, kMgmt, "attempts that hit an outage")                   \
+    X(mgmt_giveups, kMgmt, "RPCs abandoned after max tries")
+
+/** Host-side per-cluster counters: X(field, doc). */
+#define ASK_HOST_STATS_FIELDS(X)                                            \
+    X(data_packets_sent, "DATA packets sent")                               \
+    X(long_packets_sent, "LONG_DATA (bypass) packets sent")                 \
+    X(retransmissions, "timer-driven retransmissions")                      \
+    X(tuples_sent, "tuples packetized and sent")                            \
+    X(tuples_aggregated_locally, "tuples aggregated at the receiver host")  \
+    X(packets_received, "packets arriving at the receiver host")            \
+    X(duplicates_received, "duplicate packets at the receiver host")        \
+    X(fetch_tuples, "tuples fetched from switch regions")                   \
+    X(swap_requests, "shadow-copy swaps initiated")
+
+// ---------------------------------------------------------------------------
+// Structs generated from the lists
+// ---------------------------------------------------------------------------
+
+#define ASK_STATS_DECLARE_FIELD_2(field, doc) std::uint64_t field = 0;
+#define ASK_STATS_DECLARE_FIELD_3(field, owner, doc) std::uint64_t field = 0;
+#define ASK_STATS_MERGE_FIELD_2(field, doc) field += o.field;
+#define ASK_STATS_MERGE_FIELD_3(field, owner, doc) field += o.field;
 
 /** Switch-side aggregation counters. */
 struct SwitchAggStats
 {
-    std::uint64_t data_packets = 0;       ///< DATA packets entering the pipeline
-    std::uint64_t tuples_in = 0;          ///< valid tuples in arriving DATA
-    std::uint64_t tuples_aggregated = 0;  ///< tuples consumed by aggregators
-    std::uint64_t tuples_collided = 0;    ///< tuples that failed (collision)
-    std::uint64_t packets_acked = 0;      ///< fully aggregated -> switch ACK
-    std::uint64_t packets_forwarded = 0;  ///< partial/failed -> to receiver
-    std::uint64_t duplicates = 0;         ///< retransmissions deduplicated
-    std::uint64_t stale_dropped = 0;      ///< out-of-window packets dropped
-    std::uint64_t long_packets = 0;       ///< LONG_DATA forwarded
-    std::uint64_t swaps = 0;              ///< shadow-copy swaps applied
-    std::uint64_t unknown_task = 0;       ///< DATA for unknown task regions
-    std::uint64_t blackholed = 0;         ///< DATA/SWAP eaten by a sick program
+    ASK_SWITCH_AGG_STATS_FIELDS(ASK_STATS_DECLARE_FIELD_2)
+
+    SwitchAggStats&
+    merge(const SwitchAggStats& o)
+    {
+        ASK_SWITCH_AGG_STATS_FIELDS(ASK_STATS_MERGE_FIELD_2)
+        return *this;
+    }
 };
 
-/**
- * Fault-injection and recovery counters. Every component that observes
- * a chaos event or performs a recovery action owns a slice of these
- * (daemons, the management plane, the cluster coordinator);
- * AskCluster::chaos_stats() merges the slices.
- */
+/** Fault-injection and recovery counters (see the field list above). */
 struct ChaosStats
 {
-    // ---- faults observed --------------------------------------------------
-    std::uint64_t link_blackouts = 0;    ///< cable blackout windows opened
-    std::uint64_t burst_loss_windows = 0;
-    std::uint64_t switch_reboots = 0;
-    std::uint64_t mgmt_outages = 0;
-    std::uint64_t mgmt_delay_windows = 0;
-    std::uint64_t data_blackholes = 0;
-
-    // ---- recovery actions -------------------------------------------------
-    std::uint64_t regions_reinstalled = 0;  ///< task regions re-pushed post-reboot
-    std::uint64_t channels_fenced = 0;      ///< max_seq/seen fences written
-    std::uint64_t tasks_reset = 0;          ///< receiver tasks reset for replay
-    std::uint64_t streams_replayed = 0;     ///< sender streams re-submitted
-    std::uint64_t drain_dropped = 0;        ///< packets dropped by drain guards
-    std::uint64_t degraded_entries = 0;     ///< daemons entering host-only mode
-    std::uint64_t bypass_conversions = 0;   ///< in-flight DATA rerouted to bypass
-    std::uint64_t probe_rpcs = 0;           ///< PktState probes during conversion
-    std::uint64_t swap_giveups = 0;         ///< tasks that stopped swapping
-    std::uint64_t fin_giveups = 0;          ///< send jobs failed at FIN budget
-    std::uint64_t send_failures = 0;        ///< send jobs failed at data budget
-    std::uint64_t sender_timeouts = 0;      ///< rx tasks failed by liveness timeout
-    std::uint64_t alloc_failures = 0;       ///< region allocation rejections
-    std::uint64_t mgmt_rpcs = 0;            ///< management RPC attempts
-    std::uint64_t mgmt_retries = 0;         ///< attempts that hit an outage
-    std::uint64_t mgmt_giveups = 0;         ///< RPCs abandoned after max tries
+    ASK_CHAOS_STATS_FIELDS(ASK_STATS_DECLARE_FIELD_3)
 
     ChaosStats&
     merge(const ChaosStats& o)
     {
-        link_blackouts += o.link_blackouts;
-        burst_loss_windows += o.burst_loss_windows;
-        switch_reboots += o.switch_reboots;
-        mgmt_outages += o.mgmt_outages;
-        mgmt_delay_windows += o.mgmt_delay_windows;
-        data_blackholes += o.data_blackholes;
-        regions_reinstalled += o.regions_reinstalled;
-        channels_fenced += o.channels_fenced;
-        tasks_reset += o.tasks_reset;
-        streams_replayed += o.streams_replayed;
-        drain_dropped += o.drain_dropped;
-        degraded_entries += o.degraded_entries;
-        bypass_conversions += o.bypass_conversions;
-        probe_rpcs += o.probe_rpcs;
-        swap_giveups += o.swap_giveups;
-        fin_giveups += o.fin_giveups;
-        send_failures += o.send_failures;
-        sender_timeouts += o.sender_timeouts;
-        alloc_failures += o.alloc_failures;
-        mgmt_rpcs += o.mgmt_rpcs;
-        mgmt_retries += o.mgmt_retries;
-        mgmt_giveups += o.mgmt_giveups;
+        ASK_CHAOS_STATS_FIELDS(ASK_STATS_MERGE_FIELD_3)
         return *this;
     }
 };
@@ -93,16 +128,54 @@ struct ChaosStats
 /** Host-side per-cluster counters. */
 struct HostStats
 {
-    std::uint64_t data_packets_sent = 0;
-    std::uint64_t long_packets_sent = 0;
-    std::uint64_t retransmissions = 0;
-    std::uint64_t tuples_sent = 0;
-    std::uint64_t tuples_aggregated_locally = 0;  ///< at the receiver host
-    std::uint64_t packets_received = 0;           ///< at the receiver host
-    std::uint64_t duplicates_received = 0;
-    std::uint64_t fetch_tuples = 0;   ///< tuples fetched from switch regions
-    std::uint64_t swap_requests = 0;  ///< shadow-copy swaps initiated
+    ASK_HOST_STATS_FIELDS(ASK_STATS_DECLARE_FIELD_2)
+
+    HostStats&
+    merge(const HostStats& o)
+    {
+        ASK_HOST_STATS_FIELDS(ASK_STATS_MERGE_FIELD_2)
+        return *this;
+    }
 };
+
+#undef ASK_STATS_DECLARE_FIELD_2
+#undef ASK_STATS_DECLARE_FIELD_3
+#undef ASK_STATS_MERGE_FIELD_2
+#undef ASK_STATS_MERGE_FIELD_3
+
+// ---------------------------------------------------------------------------
+// Registry integration
+// ---------------------------------------------------------------------------
+
+/** The component kinds that own ChaosStats slices. */
+enum class StatsOwner : std::uint8_t
+{
+    kCluster,  ///< AskCluster fault-arming / reboot recovery
+    kMgmt,     ///< MgmtPlane RPC bookkeeping
+    kDaemon,   ///< AskDaemon send/receive recovery paths
+};
+
+const char* stats_owner_name(StatsOwner owner);
+
+/** Expose every SwitchAggStats field as `<prefix><field>` (owner
+ *  "switch"). `stats` must outlive the registry's snapshots. */
+void register_switch_agg_stats(obs::MetricsRegistry& registry,
+                               const SwitchAggStats& stats,
+                               const std::string& prefix = "switch.");
+
+/** Expose every HostStats field as `<prefix><field>` (owner "host"). */
+void register_host_stats(obs::MetricsRegistry& registry,
+                         const HostStats& stats,
+                         const std::string& prefix = "host.");
+
+/**
+ * Expose only the fields of `stats` owned by `owner` — each caller
+ * registers exactly its slice, so the registry can assert that the
+ * slices are disjoint and nothing is double-counted.
+ */
+void register_chaos_stats(obs::MetricsRegistry& registry,
+                          const ChaosStats& stats, StatsOwner owner,
+                          const std::string& prefix = "chaos.");
 
 }  // namespace ask::core
 

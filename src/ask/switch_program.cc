@@ -33,7 +33,7 @@ vpart(std::uint32_t part_bits, std::uint64_t word)
 
 AskSwitchProgram::AskSwitchProgram(const AskConfig& config,
                                    pisa::PisaSwitch& sw)
-    : config_(config), key_space_(config)
+    : config_(config), key_space_(config), simulator_(&sw.simulator())
 {
     config_.validate();
     pisa::Pipeline& pipe = sw.pipeline();
@@ -399,6 +399,8 @@ AskSwitchProgram::process_data(net::Packet&& pkt, const AskHeader& hdr,
     WindowVerdict verdict = check_window(hdr.channel_id, hdr.seq);
     if (verdict.stale) {
         ++stats_.stale_dropped;
+        ASK_TRACE(tracer_, simulator_->now(), hdr.task_id, hdr.channel_id,
+                  hdr.seq, obs::TraceStage::kSwitchStale);
         return;
     }
 
@@ -478,6 +480,8 @@ AskSwitchProgram::process_data(net::Packet&& pkt, const AskHeader& hdr,
         // the same sequence number (the switch impersonates the
         // receiver endpoint).
         ++stats_.packets_acked;
+        ASK_TRACE(tracer_, simulator_->now(), hdr.task_id, hdr.channel_id,
+                  hdr.seq, obs::TraceStage::kSwitchAck);
         AskHeader ack;
         ack.type = PacketType::kAck;
         ack.channel_id = hdr.channel_id;
@@ -486,6 +490,8 @@ AskSwitchProgram::process_data(net::Packet&& pkt, const AskHeader& hdr,
         emit.emit(pkt.src, make_control_packet(pkt.dst, pkt.src, ack));
     } else {
         ++stats_.packets_forwarded;
+        ASK_TRACE(tracer_, simulator_->now(), hdr.task_id, hdr.channel_id,
+                  hdr.seq, obs::TraceStage::kSwitchForward, new_bitmap);
         rewrite_bitmap(pkt.data, new_bitmap);
         net::NodeId dst = pkt.dst;
         emit.emit(dst, std::move(pkt));
@@ -534,6 +540,9 @@ AskSwitchProgram::process(net::Packet pkt, pisa::Emitter& emit)
     if (data_blackhole_) {
         if (hdr->type == PacketType::kData || hdr->type == PacketType::kSwap) {
             ++stats_.blackholed;
+            ASK_TRACE(tracer_, simulator_->now(), hdr->task_id,
+                      hdr->channel_id, hdr->seq,
+                      obs::TraceStage::kSwitchBlackhole);
             return;
         }
         if (hdr->type == PacketType::kLongData) {
@@ -568,10 +577,16 @@ AskSwitchProgram::process(net::Packet pkt, pisa::Emitter& emit)
         WindowVerdict verdict = check_window(hdr->channel_id, hdr->seq);
         if (verdict.stale) {
             ++stats_.stale_dropped;
+            ASK_TRACE(tracer_, simulator_->now(), hdr->task_id,
+                      hdr->channel_id, hdr->seq,
+                      obs::TraceStage::kSwitchStale);
             return;
         }
         if (verdict.observed)
             ++stats_.duplicates;
+        ASK_TRACE(tracer_, simulator_->now(), hdr->task_id, hdr->channel_id,
+                  hdr->seq, obs::TraceStage::kSwitchForward, 0,
+                  obs::kTraceFlagBypass);
         net::NodeId dst = pkt.dst;
         emit.emit(dst, std::move(pkt));
         return;

@@ -34,6 +34,7 @@
 #include "ask/metrics.h"
 #include "ask/types.h"
 #include "ask/wire.h"
+#include "obs/trace.h"
 #include "pisa/pisa_switch.h"
 
 namespace ask::core {
@@ -153,6 +154,9 @@ class AskSwitchProgram : public pisa::SwitchProgram
     /** Aggregators the read_region scan touches (for cost accounting). */
     std::uint64_t region_scan_entries(TaskId task) const;
 
+    /** Record per-packet lifecycle spans into `tracer` (null = off). */
+    void set_tracer(obs::PacketTracer* tracer) { tracer_ = tracer; }
+
     // ---- data plane ------------------------------------------------------
 
     void process(net::Packet pkt, pisa::Emitter& emit) override;
@@ -191,6 +195,7 @@ class AskSwitchProgram : public pisa::SwitchProgram
 
     AskConfig config_;
     KeySpace key_space_;
+    sim::Simulator* simulator_ = nullptr;  ///< trace timestamps
 
     // Register arrays (owned by the pipeline's stages).
     pisa::RegisterArray* max_seq_ = nullptr;
@@ -206,6 +211,7 @@ class AskSwitchProgram : public pisa::SwitchProgram
     ChannelId local_lo_ = 0;
     ChannelId local_hi_ = 0;  ///< 0,0 = all channels local
     bool data_blackhole_ = false;
+    obs::PacketTracer* tracer_ = nullptr;  ///< borrowed, may be null
 };
 
 }  // namespace ask::core

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "obs/metrics.h"
 
 namespace ask::net {
 
@@ -121,6 +122,18 @@ Network::node(NodeId id) const
 {
     ASK_ASSERT(id < nodes_.size(), "unknown node id ", id);
     return nodes_[id];
+}
+
+void
+Network::register_metrics(obs::MetricsRegistry& registry,
+                          const std::string& prefix) const
+{
+    registry.expose(prefix + "packets_sent", &stats_.packets_sent, "net");
+    registry.expose(prefix + "packets_delivered", &stats_.packets_delivered,
+                    "net");
+    registry.expose(prefix + "packets_dropped", &stats_.packets_dropped,
+                    "net");
+    registry.expose(prefix + "bytes_sent", &stats_.bytes_sent, "net");
 }
 
 }  // namespace ask::net

@@ -20,6 +20,10 @@
 #include "net/packet.h"
 #include "sim/simulator.h"
 
+namespace ask::obs {
+class MetricsRegistry;
+}  // namespace ask::obs
+
 namespace ask::net {
 
 /** Anything that can be attached to the network and receive packets. */
@@ -97,6 +101,10 @@ class Network
 
     Node* node(NodeId id) const;
     const NetworkStats& stats() const { return stats_; }
+
+    /** Expose the fabric counters under `prefix` (owner "net"). */
+    void register_metrics(obs::MetricsRegistry& registry,
+                          const std::string& prefix = "net.") const;
     sim::Simulator& simulator() { return simulator_; }
 
   private:

@@ -1,0 +1,471 @@
+#include "obs/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace ask::obs {
+
+Json
+Json::array()
+{
+    Json j;
+    j.type_ = Type::kArray;
+    return j;
+}
+
+Json
+Json::object()
+{
+    Json j;
+    j.type_ = Type::kObject;
+    return j;
+}
+
+std::size_t
+Json::size() const
+{
+    if (is_array())
+        return array_.size();
+    if (is_object())
+        return object_.size();
+    return 0;
+}
+
+const Json&
+Json::at(std::size_t i) const
+{
+    ASK_ASSERT(is_array(), "Json::at on a non-array");
+    return array_.at(i);
+}
+
+void
+Json::push_back(Json v)
+{
+    ASK_ASSERT(is_array() || is_null(), "Json::push_back on a non-array");
+    type_ = Type::kArray;
+    array_.push_back(std::move(v));
+}
+
+const Json*
+Json::find(const std::string& key) const
+{
+    if (!is_object())
+        return nullptr;
+    for (const auto& [k, v] : object_) {
+        if (k == key)
+            return &v;
+    }
+    return nullptr;
+}
+
+Json*
+Json::find(const std::string& key)
+{
+    return const_cast<Json*>(std::as_const(*this).find(key));
+}
+
+void
+Json::set(const std::string& key, Json v)
+{
+    ASK_ASSERT(is_object() || is_null(), "Json::set on a non-object");
+    type_ = Type::kObject;
+    for (auto& [k, existing] : object_) {
+        if (k == key) {
+            existing = std::move(v);
+            return;
+        }
+    }
+    object_.emplace_back(key, std::move(v));
+}
+
+namespace {
+
+void
+append_escaped(std::string& out, const std::string& s)
+{
+    out.push_back('"');
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x",
+                              static_cast<unsigned>(c) & 0xff);
+                out += buf;
+            } else {
+                out.push_back(c);
+            }
+        }
+    }
+    out.push_back('"');
+}
+
+void
+append_double(std::string& out, double v)
+{
+    if (!std::isfinite(v)) {
+        // JSON has no inf/nan; emit null so documents always parse.
+        out += "null";
+        return;
+    }
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    // Trim to the shortest representation that round-trips.
+    for (int prec = 1; prec < 17; ++prec) {
+        char trial[32];
+        std::snprintf(trial, sizeof trial, "%.*g", prec, v);
+        double back = 0.0;
+        std::sscanf(trial, "%lf", &back);
+        if (back == v) {
+            std::memcpy(buf, trial, sizeof trial);
+            break;
+        }
+    }
+    out += buf;
+    // Keep doubles visually distinct from integers ("1" -> "1.0").
+    if (out.find_last_of(".eE") == std::string::npos ||
+        out.find_last_of(".eE") < out.size() - std::strlen(buf)) {
+        if (std::strchr(buf, '.') == nullptr &&
+            std::strchr(buf, 'e') == nullptr &&
+            std::strchr(buf, 'E') == nullptr)
+            out += ".0";
+    }
+}
+
+void
+newline_indent(std::string& out, int indent, int depth)
+{
+    if (indent <= 0)
+        return;
+    out.push_back('\n');
+    out.append(static_cast<std::size_t>(indent) * depth, ' ');
+}
+
+}  // namespace
+
+void
+Json::dump_to(std::string& out, int indent, int depth) const
+{
+    switch (type_) {
+      case Type::kNull:
+        out += "null";
+        return;
+      case Type::kBool:
+        out += bool_ ? "true" : "false";
+        return;
+      case Type::kInt:
+        out += std::to_string(int_);
+        return;
+      case Type::kDouble:
+        append_double(out, double_);
+        return;
+      case Type::kString:
+        append_escaped(out, string_);
+        return;
+      case Type::kArray: {
+        if (array_.empty()) {
+            out += "[]";
+            return;
+        }
+        out.push_back('[');
+        for (std::size_t i = 0; i < array_.size(); ++i) {
+            if (i > 0)
+                out.push_back(',');
+            newline_indent(out, indent, depth + 1);
+            array_[i].dump_to(out, indent, depth + 1);
+        }
+        newline_indent(out, indent, depth);
+        out.push_back(']');
+        return;
+      }
+      case Type::kObject: {
+        if (object_.empty()) {
+            out += "{}";
+            return;
+        }
+        out.push_back('{');
+        for (std::size_t i = 0; i < object_.size(); ++i) {
+            if (i > 0)
+                out.push_back(',');
+            newline_indent(out, indent, depth + 1);
+            append_escaped(out, object_[i].first);
+            out.push_back(':');
+            if (indent > 0)
+                out.push_back(' ');
+            object_[i].second.dump_to(out, indent, depth + 1);
+        }
+        newline_indent(out, indent, depth);
+        out.push_back('}');
+        return;
+      }
+    }
+}
+
+std::string
+Json::dump(int indent) const
+{
+    std::string out;
+    dump_to(out, indent, 0);
+    return out;
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct Parser
+{
+    const std::string& text;
+    std::size_t pos = 0;
+    std::string error;
+
+    bool
+    fail(const std::string& what)
+    {
+        if (error.empty())
+            error = what + " at offset " + std::to_string(pos);
+        return false;
+    }
+
+    void
+    skip_ws()
+    {
+        while (pos < text.size() &&
+               (text[pos] == ' ' || text[pos] == '\t' || text[pos] == '\n' ||
+                text[pos] == '\r'))
+            ++pos;
+    }
+
+    bool
+    consume(char c)
+    {
+        skip_ws();
+        if (pos >= text.size() || text[pos] != c)
+            return false;
+        ++pos;
+        return true;
+    }
+
+    bool
+    parse_string(std::string& out)
+    {
+        if (!consume('"'))
+            return fail("expected string");
+        out.clear();
+        while (pos < text.size()) {
+            char c = text[pos++];
+            if (c == '"')
+                return true;
+            if (c == '\\') {
+                if (pos >= text.size())
+                    return fail("truncated escape");
+                char e = text[pos++];
+                switch (e) {
+                  case '"':
+                    out.push_back('"');
+                    break;
+                  case '\\':
+                    out.push_back('\\');
+                    break;
+                  case '/':
+                    out.push_back('/');
+                    break;
+                  case 'n':
+                    out.push_back('\n');
+                    break;
+                  case 'r':
+                    out.push_back('\r');
+                    break;
+                  case 't':
+                    out.push_back('\t');
+                    break;
+                  case 'b':
+                    out.push_back('\b');
+                    break;
+                  case 'f':
+                    out.push_back('\f');
+                    break;
+                  case 'u': {
+                    if (pos + 4 > text.size())
+                        return fail("truncated \\u escape");
+                    unsigned code = 0;
+                    for (int i = 0; i < 4; ++i) {
+                        char h = text[pos++];
+                        code <<= 4;
+                        if (h >= '0' && h <= '9')
+                            code |= static_cast<unsigned>(h - '0');
+                        else if (h >= 'a' && h <= 'f')
+                            code |= static_cast<unsigned>(h - 'a' + 10);
+                        else if (h >= 'A' && h <= 'F')
+                            code |= static_cast<unsigned>(h - 'A' + 10);
+                        else
+                            return fail("bad \\u escape");
+                    }
+                    // Our writer only emits \u00xx; decode BMP points as
+                    // UTF-8 for completeness.
+                    if (code < 0x80) {
+                        out.push_back(static_cast<char>(code));
+                    } else if (code < 0x800) {
+                        out.push_back(static_cast<char>(0xc0 | (code >> 6)));
+                        out.push_back(
+                            static_cast<char>(0x80 | (code & 0x3f)));
+                    } else {
+                        out.push_back(static_cast<char>(0xe0 | (code >> 12)));
+                        out.push_back(
+                            static_cast<char>(0x80 | ((code >> 6) & 0x3f)));
+                        out.push_back(
+                            static_cast<char>(0x80 | (code & 0x3f)));
+                    }
+                    break;
+                  }
+                  default:
+                    return fail("unknown escape");
+                }
+            } else {
+                out.push_back(c);
+            }
+        }
+        return fail("unterminated string");
+    }
+
+    bool
+    parse_value(Json& out)
+    {
+        skip_ws();
+        if (pos >= text.size())
+            return fail("unexpected end of input");
+        char c = text[pos];
+        if (c == '{') {
+            ++pos;
+            out = Json::object();
+            skip_ws();
+            if (consume('}'))
+                return true;
+            while (true) {
+                std::string key;
+                if (!parse_string(key))
+                    return false;
+                if (!consume(':'))
+                    return fail("expected ':'");
+                Json v;
+                if (!parse_value(v))
+                    return false;
+                out.set(key, std::move(v));
+                if (consume(','))
+                    continue;
+                if (consume('}'))
+                    return true;
+                return fail("expected ',' or '}'");
+            }
+        }
+        if (c == '[') {
+            ++pos;
+            out = Json::array();
+            skip_ws();
+            if (consume(']'))
+                return true;
+            while (true) {
+                Json v;
+                if (!parse_value(v))
+                    return false;
+                out.push_back(std::move(v));
+                if (consume(','))
+                    continue;
+                if (consume(']'))
+                    return true;
+                return fail("expected ',' or ']'");
+            }
+        }
+        if (c == '"') {
+            std::string s;
+            if (!parse_string(s))
+                return false;
+            out = Json(std::move(s));
+            return true;
+        }
+        if (text.compare(pos, 4, "true") == 0) {
+            pos += 4;
+            out = Json(true);
+            return true;
+        }
+        if (text.compare(pos, 5, "false") == 0) {
+            pos += 5;
+            out = Json(false);
+            return true;
+        }
+        if (text.compare(pos, 4, "null") == 0) {
+            pos += 4;
+            out = Json(nullptr);
+            return true;
+        }
+        // Number.
+        std::size_t start = pos;
+        if (text[pos] == '-')
+            ++pos;
+        bool is_double = false;
+        while (pos < text.size() &&
+               (std::isdigit(static_cast<unsigned char>(text[pos])) ||
+                text[pos] == '.' || text[pos] == 'e' || text[pos] == 'E' ||
+                text[pos] == '+' || text[pos] == '-')) {
+            if (text[pos] == '.' || text[pos] == 'e' || text[pos] == 'E')
+                is_double = true;
+            ++pos;
+        }
+        if (pos == start || (pos == start + 1 && text[start] == '-'))
+            return fail("expected value");
+        std::string num = text.substr(start, pos - start);
+        if (is_double) {
+            out = Json(std::stod(num));
+        } else {
+            try {
+                out = Json(static_cast<std::int64_t>(std::stoll(num)));
+            } catch (...) {
+                out = Json(std::stod(num));
+            }
+        }
+        return true;
+    }
+};
+
+}  // namespace
+
+std::optional<Json>
+Json::parse(const std::string& text, std::string* error)
+{
+    Parser p{text, 0, {}};
+    Json out;
+    if (!p.parse_value(out)) {
+        if (error)
+            *error = p.error;
+        return std::nullopt;
+    }
+    p.skip_ws();
+    if (p.pos != text.size()) {
+        if (error)
+            *error = "trailing garbage at offset " + std::to_string(p.pos);
+        return std::nullopt;
+    }
+    return out;
+}
+
+}  // namespace ask::obs

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * A minimal ordered JSON value type for the observability layer.
+ *
+ * Metric snapshots, trace dumps, and bench reports all serialize
+ * through this one type so every emitted document has the same shape
+ * rules: object keys keep insertion order (schema-stable diffs), and
+ * numbers print either as integers or with enough digits to round-trip
+ * a double. A small recursive-descent parser is included for the bench
+ * JSON validator and the golden-schema tests; it accepts exactly the
+ * documents dump() produces (strict JSON, no comments or trailing
+ * commas).
+ */
+#ifndef ASK_OBS_JSON_H
+#define ASK_OBS_JSON_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace ask::obs {
+
+/** One JSON value: null, bool, integer, double, string, array, object. */
+class Json
+{
+  public:
+    enum class Type
+    {
+        kNull,
+        kBool,
+        kInt,
+        kDouble,
+        kString,
+        kArray,
+        kObject,
+    };
+
+    Json() = default;
+    Json(std::nullptr_t) {}
+    Json(bool b) : type_(Type::kBool), bool_(b) {}
+    Json(int v) : type_(Type::kInt), int_(v) {}
+    Json(std::int64_t v) : type_(Type::kInt), int_(v) {}
+    Json(std::uint32_t v) : type_(Type::kInt), int_(v) {}
+    Json(std::uint64_t v)
+        : type_(Type::kInt), int_(static_cast<std::int64_t>(v))
+    {
+    }
+    Json(double v) : type_(Type::kDouble), double_(v) {}
+    Json(const char* s) : type_(Type::kString), string_(s) {}
+    Json(std::string s) : type_(Type::kString), string_(std::move(s)) {}
+
+    /** An empty array / object (distinct from null). */
+    static Json array();
+    static Json object();
+
+    Type type() const { return type_; }
+    bool is_null() const { return type_ == Type::kNull; }
+    bool is_bool() const { return type_ == Type::kBool; }
+    bool is_int() const { return type_ == Type::kInt; }
+    bool is_double() const { return type_ == Type::kDouble; }
+    /** Either integer or double. */
+    bool is_number() const { return is_int() || is_double(); }
+    bool is_string() const { return type_ == Type::kString; }
+    bool is_array() const { return type_ == Type::kArray; }
+    bool is_object() const { return type_ == Type::kObject; }
+
+    bool as_bool() const { return bool_; }
+    std::int64_t as_int() const { return int_; }
+    double as_double() const
+    {
+        return is_int() ? static_cast<double>(int_) : double_;
+    }
+    const std::string& as_string() const { return string_; }
+
+    // ---- array access -----------------------------------------------------
+    std::size_t size() const;
+    const Json& at(std::size_t i) const;
+    /** Append to an array (converts a null value into an array). */
+    void push_back(Json v);
+
+    // ---- object access ----------------------------------------------------
+    /** Member lookup; nullptr when absent or not an object. */
+    const Json* find(const std::string& key) const;
+    Json* find(const std::string& key);
+    /** Set a member, keeping first-insertion order (converts null into
+     *  an object). */
+    void set(const std::string& key, Json v);
+    const std::vector<std::pair<std::string, Json>>& members() const
+    {
+        return object_;
+    }
+
+    /** Serialize. `indent` > 0 pretty-prints with that many spaces. */
+    std::string dump(int indent = 0) const;
+
+    /** Strict parse; std::nullopt (with *error set) on malformed input. */
+    static std::optional<Json> parse(const std::string& text,
+                                     std::string* error = nullptr);
+
+  private:
+    void dump_to(std::string& out, int indent, int depth) const;
+
+    Type type_ = Type::kNull;
+    bool bool_ = false;
+    std::int64_t int_ = 0;
+    double double_ = 0.0;
+    std::string string_;
+    std::vector<Json> array_;
+    std::vector<std::pair<std::string, Json>> object_;
+};
+
+}  // namespace ask::obs
+
+#endif  // ASK_OBS_JSON_H

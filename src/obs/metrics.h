@@ -1,0 +1,216 @@
+/**
+ * @file
+ * The cluster-wide metrics registry.
+ *
+ * Design constraints, in order:
+ *
+ *  1. **Zero hot-path cost for counters.** Components keep incrementing
+ *     their own plain `std::uint64_t` struct fields (SwitchAggStats,
+ *     HostStats, ChaosStats, NetworkStats, ...); the registry holds
+ *     *pointers* to those fields (`expose()`) and reads them only when
+ *     a snapshot is taken. No string lookup, no atomic, no indirection
+ *     on the increment path.
+ *  2. **Multiple sources per name.** Every daemon exposes
+ *     `host.retransmissions`; the snapshot sums all sources of a name,
+ *     which replaces the hand-written per-struct merge boilerplate.
+ *  3. **Ownership is declared, then checked.** Each source carries an
+ *     owner tag ("cluster", "mgmt", "daemon"); `assert_disjoint_owners`
+ *     verifies no metric name is claimed by two different owner kinds
+ *     and no field pointer is registered twice — the structural form of
+ *     "each component owns a disjoint slice of the chaos counters".
+ *
+ * Histograms are log-linear (HdrHistogram-style: 8 linear sub-buckets
+ * per power of two), giving quantiles with <= 1/8 relative error over
+ * the full uint64 range in 512 fixed buckets. Time series are plain
+ * (SimTime, double) append-only vectors fed by obs::Sampler.
+ */
+#ifndef ASK_OBS_METRICS_H
+#define ASK_OBS_METRICS_H
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace ask::obs {
+
+/** An owned monotonic counter (for components without a stats struct). */
+class Counter
+{
+  public:
+    void add(std::uint64_t n = 1) { value_ += n; }
+    std::uint64_t value() const { return value_; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/** A last-value-wins instantaneous measurement. */
+class Gauge
+{
+  public:
+    void set(double v) { value_ = v; }
+    double value() const { return value_; }
+
+  private:
+    double value_ = 0.0;
+};
+
+/**
+ * Log-linear histogram over non-negative integer values.
+ *
+ * Bucket layout: values < kSubBuckets land in exact unit buckets;
+ * beyond that, each power-of-two range splits into kSubBuckets linear
+ * sub-buckets, so the bucket width is always <= value / kSubBuckets
+ * and quantile() is exact to a relative error of 1/kSubBuckets.
+ */
+class LogHistogram
+{
+  public:
+    static constexpr std::uint32_t kSubBucketBits = 3;
+    static constexpr std::uint32_t kSubBuckets = 1u << kSubBucketBits;
+    /** 64-bit range: one linear region + one set of sub-buckets per
+     *  remaining exponent. */
+    static constexpr std::size_t kBuckets =
+        kSubBuckets + (64 - kSubBucketBits) * kSubBuckets;
+
+    void observe(std::uint64_t value);
+
+    std::uint64_t count() const { return count_; }
+    std::uint64_t sum() const { return sum_; }
+    std::uint64_t max() const { return max_; }
+    std::uint64_t min() const { return count_ ? min_ : 0; }
+    double mean() const
+    {
+        return count_ ? static_cast<double>(sum_) /
+                            static_cast<double>(count_)
+                      : 0.0;
+    }
+
+    /**
+     * Value at quantile q in [0, 1] (0.5 = median): the representative
+     * (upper edge) of the bucket containing the q-th observation,
+     * clamped to the exact observed max. Relative error <= 1/8.
+     */
+    std::uint64_t quantile(double q) const;
+
+    /** Bucket-wise merge (associative, commutative). */
+    void merge(const LogHistogram& o);
+
+    /** {count, sum, min, max, mean, p50, p95, p99} */
+    Json summary_json() const;
+
+    static std::size_t bucket_index(std::uint64_t value);
+    /** Inclusive upper edge of bucket i (its representative value). */
+    static std::uint64_t bucket_upper(std::size_t i);
+
+  private:
+    std::array<std::uint64_t, kBuckets> counts_{};
+    std::uint64_t count_ = 0;
+    std::uint64_t sum_ = 0;
+    std::uint64_t min_ = ~0ULL;
+    std::uint64_t max_ = 0;
+};
+
+/** One sampled time series in simulated time. */
+struct TimeSeries
+{
+    std::vector<std::int64_t> times_ns;
+    std::vector<double> values;
+
+    void
+    record(std::int64_t t_ns, double v)
+    {
+        times_ns.push_back(t_ns);
+        values.push_back(v);
+    }
+};
+
+/**
+ * A point-in-time, self-contained copy of every metric: counter values
+ * summed over their sources, gauges, histogram summaries (with raw
+ * buckets kept so merge stays exact), and time series.
+ *
+ * Snapshots merge associatively: counters add, histograms merge
+ * bucket-wise, gauges keep the last writer, series concatenate.
+ */
+class MetricsSnapshot
+{
+  public:
+    MetricsSnapshot& merge(const MetricsSnapshot& o);
+
+    /** {counters: {...}, gauges: {...}, histograms: {...},
+     *   series: {...}} with keys sorted for schema stability. */
+    Json to_json() const;
+
+    std::uint64_t counter(const std::string& name) const;
+    const LogHistogram* histogram(const std::string& name) const;
+
+  private:
+    friend class MetricsRegistry;
+
+    std::map<std::string, std::uint64_t> counters_;
+    std::map<std::string, double> gauges_;
+    std::map<std::string, LogHistogram> histograms_;
+    std::map<std::string, TimeSeries> series_;
+};
+
+/**
+ * The registry. Components either `expose()` fields of their own stats
+ * structs (preferred: free on the hot path) or create owned
+ * counters/gauges/histograms by name.
+ */
+class MetricsRegistry
+{
+  public:
+    MetricsRegistry() = default;
+    MetricsRegistry(const MetricsRegistry&) = delete;
+    MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+    /**
+     * Register `field` (a live counter the component keeps
+     * incrementing) as one source of metric `name`. Multiple sources
+     * per name are summed at snapshot time. `owner` tags the component
+     * kind for the disjoint-ownership check.
+     */
+    void expose(const std::string& name, const std::uint64_t* field,
+                const std::string& owner);
+
+    /** Owned metrics, created on first use (one instance per name). */
+    Counter& counter(const std::string& name);
+    Gauge& gauge(const std::string& name);
+    LogHistogram& histogram(const std::string& name);
+    TimeSeries& series(const std::string& name);
+
+    /** Read the current value of every metric. */
+    MetricsSnapshot snapshot() const;
+
+    /**
+     * Verify that, among metric names starting with `prefix`, every
+     * name's sources share one owner tag and no field pointer was
+     * registered twice. panics (internal bug) on violation.
+     */
+    void assert_disjoint_owners(const std::string& prefix) const;
+
+  private:
+    struct Source
+    {
+        const std::uint64_t* field;
+        std::string owner;
+    };
+
+    std::map<std::string, std::vector<Source>> exposed_;
+    std::map<std::string, std::unique_ptr<Counter>> counters_;
+    std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+    std::map<std::string, std::unique_ptr<LogHistogram>> histograms_;
+    std::map<std::string, std::unique_ptr<TimeSeries>> series_;
+};
+
+}  // namespace ask::obs
+
+#endif  // ASK_OBS_METRICS_H

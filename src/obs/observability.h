@@ -1,0 +1,25 @@
+/**
+ * @file
+ * The observability bundle handed to instrumented components: one
+ * metrics registry plus one packet tracer per cluster. Components take
+ * an `Observability*` (may be null — observability is optional for
+ * hand-built daemons) and pull out what they need.
+ */
+#ifndef ASK_OBS_OBSERVABILITY_H
+#define ASK_OBS_OBSERVABILITY_H
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace ask::obs {
+
+/** Per-cluster observability state. */
+struct Observability
+{
+    MetricsRegistry registry;
+    PacketTracer tracer;
+};
+
+}  // namespace ask::obs
+
+#endif  // ASK_OBS_OBSERVABILITY_H

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "obs/metrics.h"
 
 namespace ask::pisa {
 
@@ -62,6 +63,17 @@ PisaSwitch::install(SwitchProgram* program)
 {
     ASK_ASSERT(program != nullptr, "cannot install a null program");
     program_ = program;
+}
+
+void
+PisaSwitch::register_metrics(obs::MetricsRegistry& registry,
+                             const std::string& prefix) const
+{
+    registry.expose(prefix + "packets_in", &stats_.packets_in, "pisa");
+    registry.expose(prefix + "packets_out", &stats_.packets_out, "pisa");
+    registry.expose(prefix + "passes", &stats_.passes, "pisa");
+    registry.expose(prefix + "dropped_offline", &stats_.dropped_offline,
+                    "pisa");
 }
 
 void

@@ -15,6 +15,10 @@
 #include "net/packet.h"
 #include "pisa/pipeline.h"
 
+namespace ask::obs {
+class MetricsRegistry;
+}  // namespace ask::obs
+
 namespace ask::pisa {
 
 /**
@@ -105,12 +109,19 @@ class PisaSwitch : public net::Node
      *  plane (slow-path reads/resets). */
     Pipeline& pipeline() { return pipeline_; }
 
+    /** The simulation clock (programs stamp trace spans with it). */
+    sim::Simulator& simulator() { return network_.simulator(); }
+
     // net::Node
     void receive(net::Packet pkt) override;
     std::string name() const override { return "pisa-switch"; }
 
     const SwitchStats& stats() const { return stats_; }
     Nanoseconds pipeline_latency_ns() const { return pipeline_latency_ns_; }
+
+    /** Expose the switch counters under `prefix` (owner "pisa"). */
+    void register_metrics(obs::MetricsRegistry& registry,
+                          const std::string& prefix = "pisa.") const;
 
   private:
     class PortEmitter;

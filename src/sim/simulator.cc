@@ -52,6 +52,8 @@ Simulator::pop_and_run()
         now_ = e.time;
         ++executed_;
         e.fn();
+        if (after_event_)
+            after_event_(now_);
         return true;
     }
     return false;

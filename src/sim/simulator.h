@@ -81,6 +81,17 @@ class Simulator
     /** Total events executed since construction. */
     std::uint64_t executed() const { return executed_; }
 
+    /**
+     * Install a hook invoked after every executed event with the current
+     * time. Used by obs::Sampler to take periodic samples without ever
+     * scheduling events of its own (a self-rescheduling sampler event
+     * would keep run() from draining). One hook; pass nullptr to clear.
+     */
+    void set_after_event_hook(std::function<void(SimTime)> hook)
+    {
+        after_event_ = std::move(hook);
+    }
+
   private:
     struct Entry
     {
@@ -102,6 +113,7 @@ class Simulator
 
     SimTime now_ = 0;
     EventId next_id_ = 1;
+    std::function<void(SimTime)> after_event_;
     std::uint64_t executed_ = 0;
     std::size_t cancelled_live_ = 0;
     std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue_;

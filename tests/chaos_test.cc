@@ -113,7 +113,7 @@ TEST(Chaos, SwitchRebootMidTaskStaysExact)
     cluster.arm_chaos(plan);
 
     TaskResult r = cluster.run_task(1, 0, streams);
-    ASSERT_TRUE(r.ok()) << r.report.error;
+    ASSERT_TRUE(r.ok()) << r.report.detail;
     EXPECT_EQ(r.result, truth);
 
     ChaosStats cs = cluster.chaos_stats();
@@ -142,7 +142,7 @@ TEST(Chaos, SwitchRebootUnderLossWithSwapsStaysExact)
     cluster.arm_chaos(plan);
 
     TaskResult r = cluster.run_task(1, 0, streams);
-    ASSERT_TRUE(r.ok()) << r.report.error;
+    ASSERT_TRUE(r.ok()) << r.report.detail;
     EXPECT_EQ(r.result, truth);
     EXPECT_EQ(cluster.chaos_stats().switch_reboots, 1u);
 }
@@ -162,7 +162,7 @@ TEST(Chaos, TwoRebootsBackToBackStayExact)
     cluster.arm_chaos(plan);
 
     TaskResult r = cluster.run_task(1, 0, streams);
-    ASSERT_TRUE(r.ok()) << r.report.error;
+    ASSERT_TRUE(r.ok()) << r.report.detail;
     EXPECT_EQ(r.result, truth);
     EXPECT_EQ(cluster.chaos_stats().switch_reboots, 2u);
     EXPECT_GE(cluster.chaos_stats().streams_replayed, 2u);
@@ -193,7 +193,7 @@ TEST(Chaos, DataBlackholeDegradesToHostAggregation)
     cluster.arm_chaos(plan);
 
     TaskResult r = cluster.run_task(1, 0, streams);
-    ASSERT_TRUE(r.ok()) << r.report.error;
+    ASSERT_TRUE(r.ok()) << r.report.detail;
     EXPECT_EQ(r.result, truth);
 
     ChaosStats cs = cluster.chaos_stats();
@@ -223,7 +223,7 @@ TEST(Chaos, TransientBlackholeRecoversAndStaysExact)
     cluster.arm_chaos(plan);
 
     TaskResult r = cluster.run_task(1, 0, streams);
-    ASSERT_TRUE(r.ok()) << r.report.error;
+    ASSERT_TRUE(r.ok()) << r.report.detail;
     EXPECT_EQ(r.result, truth);
     EXPECT_GT(cluster.switch_stats().blackholed, 0u);
     EXPECT_EQ(cluster.chaos_stats().degraded_entries, 0u);
@@ -248,7 +248,7 @@ TEST(Chaos, LinkEpisodesStayExact)
     cluster.arm_chaos(plan);
 
     TaskResult r = cluster.run_task(1, 0, streams);
-    ASSERT_TRUE(r.ok()) << r.report.error;
+    ASSERT_TRUE(r.ok()) << r.report.detail;
     EXPECT_EQ(r.result, truth);
     EXPECT_EQ(cluster.chaos_stats().link_blackouts, 1u);
     EXPECT_EQ(cluster.chaos_stats().burst_loss_windows, 1u);
@@ -271,7 +271,7 @@ TEST(Chaos, RandomizedPlanOnLossyFabricStaysExact)
         /*intensity=*/0.4));
 
     TaskResult r = cluster.run_task(1, 0, streams);
-    ASSERT_TRUE(r.ok()) << r.report.error;
+    ASSERT_TRUE(r.ok()) << r.report.detail;
     EXPECT_EQ(r.result, truth);
 }
 
@@ -294,7 +294,7 @@ TEST(Chaos, MgmtOutageIsRiddenOutByRetries)
     cluster.arm_chaos(plan);
 
     TaskResult r = cluster.run_task(1, 0, streams);
-    ASSERT_TRUE(r.ok()) << r.report.error;
+    ASSERT_TRUE(r.ok()) << r.report.detail;
     EXPECT_EQ(r.result, truth);
     EXPECT_GT(cluster.chaos_stats().mgmt_retries, 0u);
     EXPECT_EQ(cluster.chaos_stats().mgmt_giveups, 0u);
@@ -314,16 +314,15 @@ TEST(Chaos, PermanentMgmtOutageFailsSetupWithClearError)
     Rng rng(73);
     TaskReport report;
     bool done = false;
-    cluster.submit_task(1, 0, {{1, mixed_stream(rng, 100, 20)}}, 0,
+    cluster.submit_task(1, 0, {{1, mixed_stream(rng, 100, 20)}}, {},
                         [&](AggregateMap, TaskReport rep) {
                             report = std::move(rep);
                             done = true;
                         });
     cluster.run();
     ASSERT_TRUE(done);
-    EXPECT_TRUE(report.failed);
-    EXPECT_NE(report.error.find("management"), std::string::npos)
-        << report.error;
+    EXPECT_FALSE(report.ok());
+    EXPECT_EQ(report.status, TaskStatus::kMgmtUnreachable) << report.detail;
     EXPECT_GE(cluster.chaos_stats().mgmt_giveups, 1u);
 }
 
@@ -346,25 +345,24 @@ TEST(Chaos, RegionExhaustionFailsSecondTask)
     bool second_done = false;
     // Task 1 claims the whole free pool (region_len = 0); task 2 then
     // asks for 32 aggregators/AA while nothing is free.
-    cluster.submit_task(1, 0, s1, 0,
+    cluster.submit_task(1, 0, s1, {},
                         [&](AggregateMap m, TaskReport rep) {
                             first.result = std::move(m);
                             first.report = std::move(rep);
-                            first.completed = true;
                         });
-    cluster.submit_task(2, 1, {{2, mixed_stream(rng, 100, 20)}}, 32,
+    cluster.submit_task(2, 1, {{2, mixed_stream(rng, 100, 20)}},
+                        {.region_len = 32},
                         [&](AggregateMap, TaskReport rep) {
                             second = std::move(rep);
                             second_done = true;
                         });
     cluster.run();
 
-    ASSERT_TRUE(first.ok()) << first.report.error;
+    ASSERT_TRUE(first.ok()) << first.report.detail;
     EXPECT_EQ(first.result, truth);
     ASSERT_TRUE(second_done);
-    EXPECT_TRUE(second.failed);
-    EXPECT_NE(second.error.find("exhausted"), std::string::npos)
-        << second.error;
+    EXPECT_FALSE(second.ok());
+    EXPECT_EQ(second.status, TaskStatus::kRegionExhausted) << second.detail;
     EXPECT_EQ(cluster.chaos_stats().alloc_failures, 1u);
 }
 
@@ -387,7 +385,7 @@ TEST(Chaos, DeadSenderFailsReceiverByLivenessTimeout)
     AskDaemon& rx = cluster.daemon(0);
     // The receiver expects two senders but only one ever streams.
     rx.start_receive(
-        1, /*expected_senders=*/2, 0,
+        1, /*expected_senders=*/2, {},
         [&](AggregateMap, TaskReport rep) {
             report = std::move(rep);
             done = true;
@@ -396,9 +394,8 @@ TEST(Chaos, DeadSenderFailsReceiverByLivenessTimeout)
     sim::SimTime end = cluster.run();
 
     ASSERT_TRUE(done);
-    EXPECT_TRUE(report.failed);
-    EXPECT_NE(report.error.find("liveness"), std::string::npos)
-        << report.error;
+    EXPECT_FALSE(report.ok());
+    EXPECT_EQ(report.status, TaskStatus::kSenderTimeout) << report.detail;
     EXPECT_EQ(cluster.chaos_stats().sender_timeouts, 1u);
     // It failed within (roughly) the timeout, not after hours of FIN
     // retries: the last activity is the lone sender's final packet.
@@ -423,9 +420,13 @@ TEST(Chaos, FinBudgetFailsSenderWhenReceiverIsGone)
     // the FIN needs the receiver.
     KvStream stream = short_stream(rng, 200, 8);
 
-    std::string sender_error;
+    TaskStatus sender_status = TaskStatus::kOk;
+    std::string sender_detail;
     cluster.daemon(1).set_task_failure_handler(
-        [&](TaskId, const std::string& reason) { sender_error = reason; });
+        [&](TaskId, TaskStatus status, const std::string& reason) {
+            sender_status = status;
+            sender_detail = reason;
+        });
 
     sim::ChaosPlan plan;
     // The receiver's cable is dark from the start. Task setup and the
@@ -436,7 +437,7 @@ TEST(Chaos, FinBudgetFailsSenderWhenReceiverIsGone)
 
     TaskReport report;
     bool done = false;
-    cluster.submit_task(1, 0, {{1, stream}}, 0,
+    cluster.submit_task(1, 0, {{1, stream}}, {},
                         [&](AggregateMap, TaskReport rep) {
                             report = std::move(rep);
                             done = true;
@@ -444,8 +445,9 @@ TEST(Chaos, FinBudgetFailsSenderWhenReceiverIsGone)
     cluster.run();
 
     ASSERT_TRUE(done);
-    EXPECT_TRUE(report.failed);  // liveness timeout at the receiver
-    EXPECT_NE(sender_error.find("FIN"), std::string::npos) << sender_error;
+    EXPECT_FALSE(report.ok());  // liveness timeout at the receiver
+    EXPECT_EQ(sender_status, TaskStatus::kSendBudgetExhausted)
+        << sender_detail;
     EXPECT_EQ(cluster.chaos_stats().fin_giveups, 1u);
 }
 
@@ -473,7 +475,7 @@ TEST(Chaos, EverythingEverywhereStaysExact)
     cluster.arm_chaos(plan);
 
     TaskResult r = cluster.run_task(1, 0, streams);
-    ASSERT_TRUE(r.ok()) << r.report.error;
+    ASSERT_TRUE(r.ok()) << r.report.detail;
     EXPECT_EQ(r.result, truth);
 
     ChaosStats cs = cluster.chaos_stats();

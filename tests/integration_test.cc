@@ -67,7 +67,7 @@ TEST(Integration, SingleSenderExactResult)
     AggregateMap truth = ground_truth(streams);
 
     TaskResult r = cluster.run_task(1, 0, streams);
-    EXPECT_TRUE(r.completed);
+    EXPECT_TRUE(r.ok());
     EXPECT_EQ(r.result, truth);
 }
 
@@ -105,7 +105,7 @@ TEST(Integration, EmptyStreamCompletes)
     AskCluster cluster(small_cluster(2));
     std::vector<StreamSpec> streams{{1, KvStream{}}};
     TaskResult r = cluster.run_task(1, 0, streams);
-    EXPECT_TRUE(r.completed);
+    EXPECT_TRUE(r.ok());
     EXPECT_TRUE(r.result.empty());
 }
 
@@ -147,7 +147,7 @@ TEST(Integration, ConservationOfTuples)
     HostStats hosts = cluster.total_host_stats();
     EXPECT_EQ(sw.tuples_aggregated + hosts.tuples_aggregated_locally, total);
     EXPECT_EQ(sw.tuples_in, total);
-    ASSERT_TRUE(r.completed);
+    ASSERT_TRUE(r.ok());
 }
 
 TEST(Integration, SmallRegionFallsBackToReceiver)
@@ -158,7 +158,7 @@ TEST(Integration, SmallRegionFallsBackToReceiver)
     Rng rng(6);
     std::vector<StreamSpec> streams{{1, random_stream(rng, 500, 50)}};
     AggregateMap truth = ground_truth(streams);
-    TaskResult r = cluster.run_task(1, 0, streams, /*region_len=*/1);
+    TaskResult r = cluster.run_task(1, 0, streams, {.region_len = 1});
     EXPECT_EQ(r.result, truth);
     EXPECT_GT(cluster.total_host_stats().tuples_aggregated_locally, 0u);
 }
@@ -182,6 +182,7 @@ TEST(Integration, ConcurrentTasksMultiplexTheService)
     std::vector<std::vector<StreamSpec>> specs;
     std::vector<AggregateMap> truths;
     std::vector<TaskResult> results(3);
+    std::vector<bool> done(3, false);
 
     for (TaskId t = 0; t < 3; ++t) {
         std::vector<StreamSpec> streams{
@@ -189,16 +190,16 @@ TEST(Integration, ConcurrentTasksMultiplexTheService)
             {(t + 2) % 4, random_stream(rng, 300, 30)},
         };
         truths.push_back(ground_truth(streams));
-        cluster.submit_task(100 + t, t, streams, /*region_len=*/32,
-                            [&results, t](AggregateMap m, TaskReport rep) {
+        cluster.submit_task(100 + t, t, streams, {.region_len = 32},
+                            [&results, &done, t](AggregateMap m, TaskReport rep) {
                                 results[t].result = std::move(m);
                                 results[t].report = rep;
-                                results[t].completed = true;
+                                done[t] = true;
                             });
     }
     cluster.run();
     for (TaskId t = 0; t < 3; ++t) {
-        ASSERT_TRUE(results[t].completed) << "task " << t;
+        ASSERT_TRUE(done[t]) << "task " << t;
         EXPECT_EQ(results[t].result, truths[t]) << "task " << t;
     }
 }
@@ -217,7 +218,7 @@ TEST(Integration, ShadowCopySwapsPreserveExactness)
     std::vector<StreamSpec> streams{{1, std::move(s)}};
     AggregateMap truth = ground_truth(streams);
 
-    TaskResult r = cluster.run_task(1, 0, streams, /*region_len=*/2);
+    TaskResult r = cluster.run_task(1, 0, streams, {.region_len = 2});
     EXPECT_EQ(r.result, truth);
     EXPECT_GT(r.report.swaps, 0u);
     EXPECT_GT(cluster.switch_stats().swaps, 0u);
@@ -256,11 +257,12 @@ TEST_P(FaultyNetwork, ExactlyOnceAggregation)
     AggregateMap truth = ground_truth(streams);
 
     TaskResult r = cluster.run_task(1, 0, streams);
-    ASSERT_TRUE(r.completed);
+    ASSERT_TRUE(r.ok());
     EXPECT_EQ(r.result, truth)
         << "loss=" << fc.loss << " dup=" << fc.dup << " seed=" << fc.seed;
-    if (fc.loss > 0.0)
+    if (fc.loss > 0.0) {
         EXPECT_GT(cluster.total_host_stats().retransmissions, 0u);
+    }
 }
 
 INSTANTIATE_TEST_SUITE_P(

@@ -107,7 +107,7 @@ class MultiRackFixture : public ::testing::Test
         bool done = false;
         AskDaemon& rx = *daemons_[receiver];
         rx.start_receive(
-            task, static_cast<std::uint32_t>(streams.size()), 0,
+            task, static_cast<std::uint32_t>(streams.size()), {},
             [&](AggregateMap m, TaskReport) {
                 result = std::move(m);
                 done = true;
@@ -184,7 +184,7 @@ TEST_F(MultiRackFixture, ConcurrentTasksInBothRacks)
 
     AggregateMap ra, rb;
     int done = 0;
-    daemons_[0]->start_receive(10, 1, 0,
+    daemons_[0]->start_receive(10, 1, {},
                                [&](AggregateMap m, TaskReport) {
                                    ra = std::move(m);
                                    ++done;
@@ -193,7 +193,7 @@ TEST_F(MultiRackFixture, ConcurrentTasksInBothRacks)
                                    daemons_[1]->submit_send(
                                        10, daemons_[0]->node_id(), sa);
                                });
-    daemons_[2]->start_receive(11, 1, 0,
+    daemons_[2]->start_receive(11, 1, {},
                                [&](AggregateMap m, TaskReport) {
                                    rb = std::move(m);
                                    ++done;

@@ -78,7 +78,7 @@ TEST_P(ReliabilitySweep, ExactUnderFaults)
                                     {2, mixed_stream(rng, 400, 60)}};
     AggregateMap truth = truth_of(streams, AggOp::kAdd);
     TaskResult r = cluster.run_task(1, 0, streams);
-    ASSERT_TRUE(r.completed);
+    ASSERT_TRUE(r.ok());
     EXPECT_EQ(r.result, truth)
         << "W=" << window << " compact=" << compact << " loss=" << loss;
 }
@@ -223,7 +223,7 @@ TEST(Protocol, FinSurvivesHeavyLoss)
     std::vector<StreamSpec> streams{{1, mixed_stream(rng, 100, 20)}};
     AggregateMap truth = truth_of(streams, AggOp::kAdd);
     TaskResult r = cluster.run_task(1, 0, streams);
-    EXPECT_TRUE(r.completed);
+    EXPECT_TRUE(r.ok());
     EXPECT_EQ(r.result, truth);
     EXPECT_GT(cluster.total_host_stats().retransmissions, 0u);
 }
@@ -245,7 +245,7 @@ TEST(Protocol, ChannelServesTasksFifo)
     std::vector<sim::SimTime> finish(2, 0);
     for (TaskId t = 0; t < 2; ++t) {
         std::vector<StreamSpec> streams{{1, mixed_stream(rng, 300, 30)}};
-        cluster.submit_task(t + 1, 0, std::move(streams), 32,
+        cluster.submit_task(t + 1, 0, std::move(streams), {.region_len = 32},
                             [&finish, t, &cluster](AggregateMap,
                                                    TaskReport rep) {
                                 finish[t] = rep.finish_time;

@@ -106,7 +106,7 @@ main(int argc, char** argv)
     std::size_t n = report.smoke() ? 4000 : (full ? 60000 : 12000);
     report.param("tuples_per_sender", std::uint64_t{n});
     report.param("senders", 3);
-    Rng rng(7);
+    Rng rng = seeded_rng("chaos_sweep", 7);
     std::vector<StreamSpec> streams{{1, sweep_stream(rng, n)},
                                     {2, sweep_stream(rng, n)},
                                     {3, sweep_stream(rng, n)}};

@@ -72,7 +72,7 @@ BM_PacketBuilderDrain(benchmark::State& state)
     core::AskConfig cfg;
     cfg.medium_groups = 0;
     core::KeySpace ks(cfg);
-    Rng rng(1);
+    Rng rng = seeded_rng("micro_hotpaths", 1);
     core::KvStream stream;
     for (int i = 0; i < 4096; ++i)
         stream.push_back({u64_key(rng.next_below(100000)), 1});
@@ -105,7 +105,7 @@ BM_SwitchPass(benchmark::State& state)
 
     core::KeySpace ks(cfg);
     core::PacketBuilder builder(ks);
-    Rng rng(2);
+    Rng rng = seeded_rng("micro_hotpaths", 2);
     for (int i = 0; i < 32; ++i)
         builder.enqueue({u64_key(rng.next_below(4096)), 1});
     auto built = builder.next_data();
@@ -147,7 +147,7 @@ BENCHMARK(BM_SwitchPass);
 void
 BM_HostAggregate(benchmark::State& state)
 {
-    Rng rng(3);
+    Rng rng = seeded_rng("micro_hotpaths", 3);
     core::KvStream stream;
     for (int i = 0; i < 4096; ++i)
         stream.push_back({u64_key(rng.next_below(1024)), 1});

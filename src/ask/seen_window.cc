@@ -1,5 +1,7 @@
 #include "ask/seen_window.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
 
 namespace ask::core {
@@ -39,6 +41,26 @@ PlainSeen::observe(Seq s)
     return observed ? SeenOutcome::kDuplicate : SeenOutcome::kFresh;
 }
 
+void
+PlainSeen::wipe()
+{
+    std::fill(bits_.begin(), bits_.end(), false);
+    max_seq_ = 0;
+    any_ = false;
+}
+
+void
+PlainSeen::repair(Seq next_seq)
+{
+    // The fence: every pre-crash sequence (< next_seq) must classify
+    // stale, and the whole admitted window [next_seq, next_seq + W)
+    // must read unseen. For the plain design wiped bits already mean
+    // "unseen", so only the boundary needs restoring.
+    std::fill(bits_.begin(), bits_.end(), false);
+    max_seq_ = next_seq + window_ - 1;
+    any_ = true;
+}
+
 CompactSeen::CompactSeen(std::uint32_t window)
     : window_(window), bits_(window, false)
 {
@@ -72,6 +94,31 @@ CompactSeen::observe(Seq s)
         bits_[r] = false;
     }
     return observed ? SeenOutcome::kDuplicate : SeenOutcome::kFresh;
+}
+
+void
+CompactSeen::wipe()
+{
+    std::fill(bits_.begin(), bits_.end(), false);
+    max_seq_ = 0;
+    any_ = false;
+}
+
+void
+CompactSeen::repair(Seq next_seq)
+{
+    // Mirror of AskSwitchProgram::fence_channel: a fresh packet in an
+    // even segment expects bit == 0 (set_bit), in an odd segment
+    // bit == 1 (clr_bitc), so the parity of the one admitted window
+    // must be pre-set — a wiped 0 in an odd segment would be misread
+    // as "already observed" and falsely dedup a fresh packet.
+    for (std::uint64_t seq = next_seq;
+         seq < static_cast<std::uint64_t>(next_seq) + window_; ++seq) {
+        std::uint32_t q = static_cast<std::uint32_t>(seq / window_);
+        bits_[seq % window_] = q % 2 == 1;
+    }
+    max_seq_ = next_seq + window_ - 1;
+    any_ = true;
 }
 
 HostReceiveWindow::HostReceiveWindow(std::uint32_t window)

@@ -50,6 +50,17 @@ class PlainSeen
     /** Record the arrival of sequence `s` and classify it. */
     SeenOutcome observe(Seq s);
 
+    /** Chaos model: lose all register state (a switch reboot). */
+    void wipe();
+
+    /**
+     * Recovery model of AskSwitchProgram::fence_channel: given the
+     * sender's next unused sequence number, re-arm the window so every
+     * pre-crash sequence (< next_seq) is stale-dropped and the upcoming
+     * window [next_seq, next_seq + W) reads as unseen.
+     */
+    void repair(Seq next_seq);
+
     std::uint32_t window() const { return window_; }
     /** Bits of state this design needs (for the ablation bench). */
     std::size_t state_bits() const { return bits_.size(); }
@@ -69,6 +80,17 @@ class CompactSeen
 
     /** Record the arrival of sequence `s` and classify it. */
     SeenOutcome observe(Seq s);
+
+    /** Chaos model: lose all register state (a switch reboot). */
+    void wipe();
+
+    /**
+     * Recovery model of AskSwitchProgram::fence_channel for the compact
+     * design: fence max_seq at next_seq + W - 1 and pre-set the parity
+     * of the one admitted window — a wiped bit reads 0, which an odd
+     * segment's clr_bitc would misread as "already observed".
+     */
+    void repair(Seq next_seq);
 
     std::uint32_t window() const { return window_; }
     std::size_t state_bits() const { return bits_.size(); }

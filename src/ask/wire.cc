@@ -141,17 +141,28 @@ make_long_frame(const AskHeader& hdr, const std::vector<KvTuple>& tuples)
 std::vector<KvTuple>
 parse_long_tuples(const std::vector<std::uint8_t>& data)
 {
-    ASK_ASSERT(data.size() >= kPayloadOffset + 2, "LONG_DATA frame too short");
+    auto tuples = try_parse_long_tuples(data);
+    ASK_ASSERT(tuples.has_value(), "malformed LONG_DATA frame");
+    return std::move(*tuples);
+}
+
+std::optional<std::vector<KvTuple>>
+try_parse_long_tuples(const std::vector<std::uint8_t>& data)
+{
+    if (data.size() < kPayloadOffset + 2)
+        return std::nullopt;
     std::size_t off = kPayloadOffset;
     std::uint16_t count = get_u16(data, off);
     off += 2;
     std::vector<KvTuple> tuples;
     tuples.reserve(count);
     for (std::uint16_t i = 0; i < count; ++i) {
-        ASK_ASSERT(off + 2 <= data.size(), "truncated LONG_DATA tuple");
+        if (off + 2 > data.size())
+            return std::nullopt;
         std::uint16_t len = get_u16(data, off);
         off += 2;
-        ASK_ASSERT(off + len + 4 <= data.size(), "truncated LONG_DATA key");
+        if (off + static_cast<std::size_t>(len) + 4 > data.size())
+            return std::nullopt;
         KvTuple t;
         t.key.assign(reinterpret_cast<const char*>(&data[off]), len);
         off += len;

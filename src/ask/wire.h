@@ -87,8 +87,18 @@ WireSlot read_slot(const std::vector<std::uint8_t>& data, std::uint32_t i);
 std::vector<std::uint8_t> make_long_frame(const AskHeader& hdr,
                                           const std::vector<KvTuple>& tuples);
 
-/** Parse the tuples of a LONG_DATA frame. */
+/** Parse the tuples of a LONG_DATA frame. panic()s on a malformed
+ *  frame: internal paths only hand it frames this codec built. */
 std::vector<KvTuple> parse_long_tuples(const std::vector<std::uint8_t>& data);
+
+/**
+ * Bounds-checked LONG_DATA parse for untrusted buffers: std::nullopt on
+ * any truncation or length-field corruption instead of aborting, and
+ * never reads past data.size(). The fuzz tests feed this mangled
+ * frames; the data path keeps the asserting parse_long_tuples.
+ */
+std::optional<std::vector<KvTuple>>
+try_parse_long_tuples(const std::vector<std::uint8_t>& data);
 
 /** Build a control-style packet (ACK/FIN/FIN_ACK/SWAP/SWAP_ACK): header
  *  only, no payload. */

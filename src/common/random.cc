@@ -1,6 +1,7 @@
 #include "common/random.h"
 
 #include <cmath>
+#include <cstdlib>
 
 #include "common/logging.h"
 
@@ -101,6 +102,51 @@ Rng
 Rng::fork()
 {
     return Rng(next_u64());
+}
+
+namespace {
+
+std::vector<SeedRecord>&
+seed_registry()
+{
+    static std::vector<SeedRecord> records;
+    return records;
+}
+
+}  // namespace
+
+void
+note_seed(const std::string& label, std::uint64_t seed)
+{
+    seed_registry().push_back({label, seed});
+}
+
+const std::vector<SeedRecord>&
+noted_seeds()
+{
+    return seed_registry();
+}
+
+void
+clear_noted_seeds()
+{
+    seed_registry().clear();
+}
+
+std::uint64_t
+effective_seed(std::uint64_t requested)
+{
+    if (const char* env = std::getenv("ASK_SEED"))
+        return std::strtoull(env, nullptr, 0);
+    return requested;
+}
+
+Rng
+seeded_rng(const std::string& label, std::uint64_t seed)
+{
+    std::uint64_t s = effective_seed(seed);
+    note_seed(label, s);
+    return Rng(s);
 }
 
 }  // namespace ask

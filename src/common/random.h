@@ -11,6 +11,8 @@
 #define ASK_COMMON_RANDOM_H
 
 #include <cstdint>
+#include <string>
+#include <utility>
 #include <vector>
 
 namespace ask {
@@ -65,6 +67,47 @@ class Rng
   private:
     std::uint64_t s_[4];
 };
+
+// ---------------------------------------------------------------------------
+// Seed registry (reproducibility of tests and benchmarks)
+// ---------------------------------------------------------------------------
+//
+// Every test/bench RNG is supposed to be constructed through
+// seeded_rng(), which records (label, seed) in a process-wide registry.
+// On a test failure the harness dumps the registry (see
+// tests/seed_support.cc), so any ctest failure log names the exact
+// seeds needed to replay it. ASK_SEED=<n> in the environment overrides
+// every registered seed at once — the replay knob.
+
+/** One recorded seeding event. */
+struct SeedRecord
+{
+    std::string label;
+    std::uint64_t seed = 0;
+};
+
+/** Record a seed under a human-readable label (kept in call order). */
+void note_seed(const std::string& label, std::uint64_t seed);
+
+/** Every seed noted since the last clear_noted_seeds(). */
+const std::vector<SeedRecord>& noted_seeds();
+
+/** Reset the registry (test fixtures call this between tests). */
+void clear_noted_seeds();
+
+/**
+ * The seed tests/benches should actually run with: `requested` unless
+ * the ASK_SEED environment variable is set, which overrides every
+ * seeded_rng() in the process (the one-knob replay for a logged seed).
+ */
+std::uint64_t effective_seed(std::uint64_t requested);
+
+/**
+ * Construct an Rng through the registry: applies the ASK_SEED override
+ * and records the effective seed under `label` so a failing test can
+ * print it. All test and bench RNG seeding flows through here.
+ */
+Rng seeded_rng(const std::string& label, std::uint64_t seed);
 
 }  // namespace ask
 

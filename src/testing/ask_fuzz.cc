@@ -1,0 +1,145 @@
+/**
+ * ask_fuzz — the model-based differential fuzzer for the ASK service.
+ *
+ * Runs seed-derived scenarios (random deployments, task mixes, sender
+ * streams, fault specs, and chaos plans) through a full AskCluster and
+ * checks every delivered aggregate against the sequential oracle, plus
+ * the invariant probes (controller journal, register hygiene, seen-
+ * window model equivalence). Failures are shrunk to a minimal
+ * reproducer and named by their scenario seed:
+ *
+ *     ask_fuzz                      # 500 scenarios from base seed 1
+ *     ask_fuzz --seed 7 --count 64  # a different, equally replayable run
+ *     ask_fuzz --smoke              # CI-sized campaign (ctest fuzz_smoke)
+ *     ask_fuzz --replay 1234        # re-run one scenario by seed
+ *     ask_fuzz --json out.json      # write the ask-fuzz/v1 report
+ *
+ * The report is byte-deterministic for a given (--seed, --count): CI
+ * runs the smoke campaign twice and diffs the bytes.
+ */
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "common/logging.h"
+#include "common/random.h"
+#include "testing/fuzzer.h"
+
+namespace {
+
+using namespace ask;
+
+[[noreturn]] void
+usage(const char* argv0)
+{
+    std::cerr << "usage: " << argv0
+              << " [--seed N] [--count N] [--smoke] [--replay SEED]\n"
+                 "       [--no-shrink] [--max-failures N] [--json PATH]\n";
+    std::exit(2);
+}
+
+std::uint64_t
+parse_u64(const char* argv0, const char* text)
+{
+    char* end = nullptr;
+    std::uint64_t v = std::strtoull(text, &end, 10);
+    if (end == text || *end != '\0')
+        usage(argv0);
+    return v;
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    testing::FuzzOptions options;
+    bool replay = false;
+    std::uint64_t replay_target = 0;
+    std::string json_path;
+
+    for (int i = 1; i < argc; ++i) {
+        auto value = [&]() -> const char* {
+            if (i + 1 >= argc)
+                usage(argv[0]);
+            return argv[++i];
+        };
+        if (std::strcmp(argv[i], "--seed") == 0)
+            options.base_seed = parse_u64(argv[0], value());
+        else if (std::strcmp(argv[i], "--count") == 0)
+            options.count =
+                static_cast<std::uint32_t>(parse_u64(argv[0], value()));
+        else if (std::strcmp(argv[i], "--smoke") == 0)
+            options.count = 60;
+        else if (std::strcmp(argv[i], "--replay") == 0) {
+            replay = true;
+            replay_target = parse_u64(argv[0], value());
+        } else if (std::strcmp(argv[i], "--no-shrink") == 0)
+            options.shrink = false;
+        else if (std::strcmp(argv[i], "--max-failures") == 0)
+            options.max_failures =
+                static_cast<std::uint32_t>(parse_u64(argv[0], value()));
+        else if (std::strcmp(argv[i], "--json") == 0)
+            json_path = value();
+        else
+            usage(argv[0]);
+    }
+
+    // ASK_SEED overrides the base seed, like every other seeded run.
+    options.base_seed = effective_seed(options.base_seed);
+
+    testing::FuzzReport report;
+    if (replay) {
+        std::cout << "ask_fuzz: replaying scenario seed " << replay_target
+                  << "\n";
+        report =
+            testing::replay_seed(replay_target, options.shrink,
+                                 options.shrink_attempts);
+    } else {
+        std::cout << "ask_fuzz: " << options.count
+                  << " scenarios from base seed " << options.base_seed
+                  << "\n";
+        options.progress = [](std::uint32_t done, std::uint32_t count,
+                              std::uint32_t failures) {
+            if (done % 50 == 0 || done == count)
+                std::cout << "  " << done << "/" << count << " scenarios, "
+                          << failures << " failure(s)\n";
+        };
+        report = testing::run_fuzz(options);
+    }
+
+    if (!json_path.empty()) {
+        std::ofstream out(json_path);
+        if (!out)
+            fatal("ask_fuzz: cannot write ", json_path);
+        out << report.to_json().dump(2) << "\n";
+        std::cout << "ask_fuzz: report written to " << json_path << "\n";
+    }
+
+    std::cout << "ask_fuzz: " << report.scenarios_run << " scenarios ("
+              << report.chaos_scenarios << " with chaos, "
+              << report.total_tuples << " tuples), "
+              << report.failures.size() << " failure(s)\n";
+
+    if (!report.ok()) {
+        for (const auto& f : report.failures) {
+            std::cout << "\nFAILURE seed " << f.seed << " (replay: ask_fuzz"
+                      << " --replay " << f.seed << ")\n";
+            std::cout << "  diff: " << f.diff.dump() << "\n";
+            if (!f.shrunk_scenario.is_null()) {
+                std::cout << "  shrunk (" << f.shrink_stats.attempts
+                          << " attempts, " << f.shrink_stats.accepted
+                          << " reductions): " << f.shrunk_scenario.dump()
+                          << "\n";
+                std::cout << "  shrunk diff: " << f.shrunk_diff.dump()
+                          << "\n";
+            }
+        }
+        return 1;
+    }
+    std::cout << "ask_fuzz: OK\n";
+    return 0;
+}

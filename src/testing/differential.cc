@@ -1,0 +1,264 @@
+#include "testing/differential.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <utility>
+
+#include "ask/seen_window.h"
+#include "common/hash.h"
+#include "common/random.h"
+#include "testing/oracle.h"
+
+namespace ask::testing {
+
+namespace {
+
+const char*
+seen_outcome_name(core::SeenOutcome o)
+{
+    switch (o) {
+      case core::SeenOutcome::kFresh: return "fresh";
+      case core::SeenOutcome::kDuplicate: return "duplicate";
+      case core::SeenOutcome::kStale: return "stale";
+    }
+    return "?";
+}
+
+/**
+ * Model-equivalence probe: the compact W-bit window must classify every
+ * in-contract delivery trace exactly like the plain 2W-bit design —
+ * including across a register wipe healed by the fence repair.
+ */
+void
+probe_seen_models(const ScenarioSpec& spec, DiffResult& out)
+{
+    std::uint32_t window = spec.cluster.ask.window;
+    Rng rng(mix64(spec.seed ^ 0x5ee2ULL));
+    core::PlainSeen plain(window);
+    core::CompactSeen compact(window);
+
+    core::Seq issued = 0;  // highest sequence number handed out so far
+    bool started = false;
+    for (int step = 0; step < 2000; ++step) {
+        core::Seq s;
+        double roll = rng.next_double();
+        if (!started || roll < 0.7) {
+            s = started ? ++issued : issued;
+            started = true;
+        } else if (roll < 0.95) {
+            // Re-deliver (duplicate / reordered) something recent.
+            std::uint32_t back = static_cast<std::uint32_t>(
+                rng.next_below(window));
+            s = issued > back ? issued - back : 0;
+        } else {
+            // Crash-and-fence: wipe both models, repair at the next
+            // fresh sequence, exactly like fence_channel after a
+            // switch reboot — then deliver that fence sequence. (The
+            // compact design requires every admitted sequence to be
+            // observed before its window passes; the sender's
+            // retransmission loop guarantees that in the real system,
+            // so the trace must not leave gaps either.)
+            plain.wipe();
+            compact.wipe();
+            issued += 1;
+            plain.repair(issued);
+            compact.repair(issued);
+            s = issued;
+        }
+        auto po = plain.observe(s);
+        auto co = compact.observe(s);
+        if (po != co) {
+            out.probe_failures.push_back(
+                {"seen_model_equivalence",
+                 "seq " + std::to_string(s) + " window " +
+                     std::to_string(window) + ": plain=" +
+                     seen_outcome_name(po) + " compact=" +
+                     seen_outcome_name(co)});
+            return;  // one witness is enough; traces diverge after it
+        }
+    }
+}
+
+void
+probe_journal(const ScenarioSpec& spec, core::AskCluster& cluster,
+              DiffResult& out)
+{
+    std::uint32_t free_now = cluster.controller().free_aggregators();
+    std::uint32_t copy = spec.cluster.ask.copy_size();
+    if (free_now != copy) {
+        out.probe_failures.push_back(
+            {"controller_journal",
+             "free pool after drain: " + std::to_string(free_now) + " of " +
+                 std::to_string(copy) + " aggregators per AA"});
+    }
+    for (const auto& t : spec.tasks) {
+        if (cluster.program().find_task(t.id) != nullptr) {
+            out.probe_failures.push_back(
+                {"controller_journal",
+                 "task " + std::to_string(t.id) +
+                     " still mapped on the data plane after completion"});
+        }
+    }
+}
+
+void
+probe_register_hygiene(const ScenarioSpec& spec, core::AskCluster& cluster,
+                       DiffResult& out)
+{
+    for (std::uint32_t i = 0; i < spec.cluster.ask.num_aas; ++i) {
+        auto* arr = cluster.pisa_switch().pipeline().find_array(
+            "aa_" + std::to_string(i));
+        if (arr == nullptr) {
+            out.probe_failures.push_back(
+                {"register_hygiene", "aa_" + std::to_string(i) + " missing"});
+            continue;
+        }
+        for (std::size_t slot = 0; slot < arr->size(); ++slot) {
+            if (arr->cp_read(slot) != 0) {
+                out.probe_failures.push_back(
+                    {"register_hygiene",
+                     "aa_" + std::to_string(i) + "[" + std::to_string(slot) +
+                         "] nonzero after final fetch"});
+                break;  // one witness per array keeps reports short
+            }
+        }
+    }
+}
+
+}  // namespace
+
+bool
+DiffResult::ok() const
+{
+    if (!divergences.empty() || !probe_failures.empty())
+        return false;
+    for (const auto& t : tasks)
+        if (!t.done || t.status != "ok" || t.divergent_keys != 0)
+            return false;
+    return true;
+}
+
+obs::Json
+DiffResult::describe() const
+{
+    obs::Json d = obs::Json::object();
+    d.set("ok", ok());
+    d.set("finish_time_ns", finish_time);
+
+    obs::Json tasks_json = obs::Json::array();
+    for (const auto& t : tasks) {
+        obs::Json tj = obs::Json::object();
+        tj.set("task", t.task);
+        tj.set("done", t.done);
+        tj.set("status", t.status);
+        tj.set("divergent_keys", t.divergent_keys);
+        tasks_json.push_back(std::move(tj));
+    }
+    d.set("tasks", std::move(tasks_json));
+
+    obs::Json div_json = obs::Json::array();
+    for (const auto& v : divergences) {
+        obs::Json vj = obs::Json::object();
+        vj.set("task", v.task);
+        vj.set("key", v.key);
+        vj.set("expected", v.expected ? obs::Json(*v.expected) : obs::Json());
+        vj.set("actual", v.actual ? obs::Json(*v.actual) : obs::Json());
+        div_json.push_back(std::move(vj));
+    }
+    d.set("divergences", std::move(div_json));
+
+    obs::Json probe_json = obs::Json::array();
+    for (const auto& p : probe_failures) {
+        obs::Json pj = obs::Json::object();
+        pj.set("probe", p.probe);
+        pj.set("detail", p.detail);
+        probe_json.push_back(std::move(pj));
+    }
+    d.set("probe_failures", std::move(probe_json));
+    return d;
+}
+
+DiffResult
+run_differential(const ScenarioSpec& spec)
+{
+    DiffResult out;
+
+    core::AskCluster cluster(spec.cluster);
+    if (!spec.chaos.empty())
+        cluster.arm_chaos(spec.chaos);
+
+    struct Completion
+    {
+        bool done = false;
+        core::AggregateMap result;
+        core::TaskReport report;
+    };
+    std::unordered_map<core::TaskId, Completion> completions;
+    for (const auto& t : spec.tasks)
+        completions[t.id];  // stable addresses: all slots exist pre-run
+
+    for (const auto& t : spec.tasks) {
+        Completion* slot = &completions[t.id];
+        cluster.submit_task(
+            t.id, t.receiver_host, t.streams, t.options,
+            [slot](core::AggregateMap result, core::TaskReport report) {
+                slot->done = true;
+                slot->result = std::move(result);
+                slot->report = report;
+            });
+    }
+    out.finish_time = cluster.run();
+
+    // ---- key-by-key diff against the oracle ------------------------------
+    for (const auto& t : spec.tasks) {
+        const Completion& c = completions[t.id];
+        TaskOutcome outcome;
+        outcome.task = t.id;
+        outcome.done = c.done;
+        outcome.status =
+            c.done ? core::task_status_name(c.report.status) : "unfinished";
+
+        if (c.done) {
+            core::AggregateMap truth =
+                ground_truth(t, spec.cluster.ask.op);
+            for (const auto& [key, expected] : truth) {
+                auto it = c.result.find(key);
+                if (it == c.result.end()) {
+                    out.divergences.push_back(
+                        {t.id, key, expected, std::nullopt});
+                } else if (it->second != expected) {
+                    out.divergences.push_back(
+                        {t.id, key, expected, it->second});
+                }
+            }
+            for (const auto& [key, actual] : c.result) {
+                if (truth.find(key) == truth.end())
+                    out.divergences.push_back(
+                        {t.id, key, std::nullopt, actual});
+            }
+        }
+        out.tasks.push_back(std::move(outcome));
+    }
+
+    // Deterministic order (AggregateMap iteration is not), then count
+    // per task and cap what the report carries.
+    std::sort(out.divergences.begin(), out.divergences.end(),
+              [](const Divergence& a, const Divergence& b) {
+                  return a.task != b.task ? a.task < b.task : a.key < b.key;
+              });
+    for (const auto& v : out.divergences)
+        for (auto& t : out.tasks)
+            if (t.task == v.task)
+                ++t.divergent_keys;
+    if (out.divergences.size() > DiffResult::kMaxRecordedDivergences)
+        out.divergences.resize(DiffResult::kMaxRecordedDivergences);
+
+    // ---- invariant probes ------------------------------------------------
+    probe_journal(spec, cluster, out);
+    probe_register_hygiene(spec, cluster, out);
+    probe_seen_models(spec, out);
+
+    return out;
+}
+
+}  // namespace ask::testing

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * The differential checker: run one ScenarioSpec on a full AskCluster
+ * and diff every task's delivered aggregate against the sequential
+ * oracle, key by key.
+ *
+ * Beyond the value diff, the checker runs invariant probes:
+ *
+ *  - task status: every generated scenario stays inside the service
+ *    contract (regions fit, chaos episodes are survivable), so any
+ *    non-kOk TaskStatus is a failure, chaos or not;
+ *  - controller journal: after the last task completes, every journaled
+ *    region must have been released — the controller's free pool is back
+ *    to the full copy size and the data plane maps no task;
+ *  - register hygiene: the final fetch clears switch state, so every
+ *    aggregator-array register must read zero through the control-plane
+ *    port once the run drains;
+ *  - seen-window model equivalence: a seed-derived trace of observes,
+ *    wipes, and fence repairs must classify identically under the plain
+ *    2W-bit and the compact W-bit designs (§3.3, Eqs. 6-8);
+ *  - PISA discipline: register-access and pass-legality violations
+ *    panic() inside the switch model, so a run that completes has also
+ *    passed the hardware-feasibility probes.
+ *
+ * The result is plain data with a deterministic describe() — same spec,
+ * same bytes — so fuzz reports diff cleanly across runs and machines.
+ */
+#ifndef ASK_TESTING_DIFFERENTIAL_H
+#define ASK_TESTING_DIFFERENTIAL_H
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "testing/scenario.h"
+
+namespace ask::testing {
+
+/** One key whose delivered aggregate differs from the oracle's. */
+struct Divergence
+{
+    core::TaskId task = 0;
+    core::Key key;
+    /** Oracle value; nullopt when the cluster invented the key. */
+    std::optional<std::uint64_t> expected;
+    /** Delivered value; nullopt when the cluster dropped the key. */
+    std::optional<std::uint64_t> actual;
+};
+
+/** One violated invariant probe. */
+struct ProbeFailure
+{
+    std::string probe;
+    std::string detail;
+};
+
+/** Outcome of one task inside a differential run. */
+struct TaskOutcome
+{
+    core::TaskId task = 0;
+    std::string status;
+    bool done = false;
+    std::uint64_t divergent_keys = 0;
+};
+
+/** Everything a differential run observed. */
+struct DiffResult
+{
+    std::vector<TaskOutcome> tasks;
+    /** Sorted by (task, key); capped at kMaxRecordedDivergences with the
+     *  full count in `divergent_keys` of the task outcomes. */
+    std::vector<Divergence> divergences;
+    std::vector<ProbeFailure> probe_failures;
+    sim::SimTime finish_time = 0;
+
+    static constexpr std::size_t kMaxRecordedDivergences = 20;
+
+    bool ok() const;
+
+    /** Deterministic JSON rendering (fuzz report / replay log). */
+    obs::Json describe() const;
+};
+
+/** Execute `spec` on a fresh cluster and diff against the oracle. */
+DiffResult run_differential(const ScenarioSpec& spec);
+
+}  // namespace ask::testing
+
+#endif  // ASK_TESTING_DIFFERENTIAL_H

@@ -1,0 +1,36 @@
+# Bounded fuzz campaign for CI, invoked by the `fuzz_smoke` ctest
+# target:
+#
+#   cmake -DFUZZ_BIN=<build>/testing/ask_fuzz -DOUT_DIR=<scratch> -P fuzz_smoke.cmake
+#
+# Runs the smoke campaign twice with the same base seed and requires
+# (a) zero failures and (b) byte-identical ask-fuzz/v1 reports — the
+# determinism contract the replay workflow depends on.
+
+if(NOT DEFINED FUZZ_BIN OR NOT DEFINED OUT_DIR)
+    message(FATAL_ERROR "usage: cmake -DFUZZ_BIN=... -DOUT_DIR=... -P fuzz_smoke.cmake")
+endif()
+
+file(REMOVE_RECURSE "${OUT_DIR}")
+file(MAKE_DIRECTORY "${OUT_DIR}")
+
+foreach(run a b)
+    message(STATUS "fuzz_smoke: campaign ${run}")
+    execute_process(
+        COMMAND "${FUZZ_BIN}" --smoke --json "${OUT_DIR}/report_${run}.json"
+        WORKING_DIRECTORY "${OUT_DIR}"
+        RESULT_VARIABLE rc
+        OUTPUT_VARIABLE out
+        ERROR_VARIABLE err)
+    if(NOT rc EQUAL 0)
+        message(FATAL_ERROR "fuzz_smoke: campaign ${run} exited ${rc}\n${out}\n${err}")
+    endif()
+endforeach()
+
+file(READ "${OUT_DIR}/report_a.json" report_a)
+file(READ "${OUT_DIR}/report_b.json" report_b)
+if(NOT report_a STREQUAL report_b)
+    message(FATAL_ERROR "fuzz_smoke: reports differ between identical campaigns")
+endif()
+
+message(STATUS "fuzz_smoke: zero failures, byte-identical reports")

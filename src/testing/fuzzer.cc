@@ -1,0 +1,121 @@
+#include "testing/fuzzer.h"
+
+#include <utility>
+
+#include "common/random.h"
+
+namespace ask::testing {
+
+namespace {
+
+FuzzFailure
+make_failure(const ScenarioSpec& spec, const DiffResult& diff, bool shrink,
+             std::uint32_t shrink_attempts)
+{
+    FuzzFailure f;
+    f.seed = spec.seed;
+    f.scenario = spec.describe();
+    f.diff = diff.describe();
+    if (shrink) {
+        ScenarioSpec reduced =
+            shrink_scenario(spec, shrink_attempts, &f.shrink_stats);
+        f.shrunk_scenario = reduced.describe();
+        f.shrunk_diff = run_differential(reduced).describe();
+    }
+    return f;
+}
+
+}  // namespace
+
+std::uint64_t
+scenario_seed(std::uint64_t base_seed, std::uint32_t index)
+{
+    // SplitMix64 chain: cheap, and seed i is independent of whether
+    // earlier iterations passed or failed.
+    std::uint64_t state = base_seed;
+    std::uint64_t seed = 0;
+    for (std::uint32_t i = 0; i <= index; ++i)
+        seed = split_mix64(state);
+    return seed;
+}
+
+obs::Json
+FuzzReport::to_json() const
+{
+    obs::Json d = obs::Json::object();
+    d.set("schema", "ask-fuzz/v1");
+    d.set("base_seed", std::to_string(base_seed));
+    d.set("scenarios_run", scenarios_run);
+    d.set("chaos_scenarios", chaos_scenarios);
+    d.set("total_tuples", total_tuples);
+    d.set("ok", ok());
+
+    obs::Json fails = obs::Json::array();
+    for (const auto& f : failures) {
+        obs::Json fj = obs::Json::object();
+        fj.set("seed", std::to_string(f.seed));
+        fj.set("scenario", f.scenario);
+        fj.set("diff", f.diff);
+        if (!f.shrunk_scenario.is_null()) {
+            fj.set("shrunk_scenario", f.shrunk_scenario);
+            fj.set("shrunk_diff", f.shrunk_diff);
+            fj.set("shrink_attempts", f.shrink_stats.attempts);
+            fj.set("shrink_accepted", f.shrink_stats.accepted);
+        }
+        fails.push_back(std::move(fj));
+    }
+    d.set("failures", std::move(fails));
+    return d;
+}
+
+FuzzReport
+run_fuzz(const FuzzOptions& options)
+{
+    FuzzReport report;
+    report.base_seed = options.base_seed;
+
+    std::uint64_t chain = options.base_seed;
+    for (std::uint32_t i = 0; i < options.count; ++i) {
+        std::uint64_t seed = split_mix64(chain);
+        ScenarioSpec spec = generate_scenario(seed);
+        report.total_tuples += spec.total_tuples();
+        if (!spec.chaos.empty())
+            ++report.chaos_scenarios;
+
+        DiffResult diff = run_differential(spec);
+        ++report.scenarios_run;
+        if (!diff.ok()) {
+            report.failures.push_back(make_failure(
+                spec, diff, options.shrink, options.shrink_attempts));
+        }
+        if (options.progress)
+            options.progress(i + 1, options.count,
+                             static_cast<std::uint32_t>(
+                                 report.failures.size()));
+        if (options.max_failures != 0 &&
+            report.failures.size() >= options.max_failures)
+            break;
+    }
+    return report;
+}
+
+FuzzReport
+replay_seed(std::uint64_t seed, bool shrink, std::uint32_t shrink_attempts)
+{
+    FuzzReport report;
+    report.base_seed = seed;
+    report.scenarios_run = 1;
+
+    ScenarioSpec spec = generate_scenario(seed);
+    report.total_tuples = spec.total_tuples();
+    if (!spec.chaos.empty())
+        report.chaos_scenarios = 1;
+
+    DiffResult diff = run_differential(spec);
+    if (!diff.ok())
+        report.failures.push_back(
+            make_failure(spec, diff, shrink, shrink_attempts));
+    return report;
+}
+
+}  // namespace ask::testing

@@ -1,0 +1,43 @@
+#include "testing/oracle.h"
+
+#include "common/logging.h"
+
+namespace ask::testing {
+
+core::AggregateMap
+ground_truth(const TaskSpec& task, core::AggOp op)
+{
+    // Direct fold: every tuple of every stream, in order.
+    core::AggregateMap direct;
+    for (const auto& s : task.streams)
+        core::aggregate_into(direct, s.stream, op);
+
+    // Independent fold: per-sender partials merged afterwards. Both must
+    // agree for commutative/associative ops — a mismatch is a bug in the
+    // reference itself (or a non-mergeable op leaking in), and the
+    // differential result would be meaningless.
+    core::AggregateMap merged;
+    for (const auto& s : task.streams) {
+        core::AggregateMap partial;
+        core::aggregate_into(partial, s.stream, op);
+        core::merge_into(merged, partial, op);
+    }
+    ASK_ASSERT(maps_equal(direct, merged),
+               "oracle self-check failed for task ", task.id);
+    return direct;
+}
+
+bool
+maps_equal(const core::AggregateMap& a, const core::AggregateMap& b)
+{
+    if (a.size() != b.size())
+        return false;
+    for (const auto& [key, value] : a) {
+        auto it = b.find(key);
+        if (it == b.end() || it->second != value)
+            return false;
+    }
+    return true;
+}
+
+}  // namespace ask::testing

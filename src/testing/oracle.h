@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Sequential reference oracle for the differential checker.
+ *
+ * The oracle computes, per task, the exact aggregate a correct run must
+ * deliver: a single-threaded fold of every sender stream with 64-bit
+ * accumulators (AggregateMap semantics). It shares no code with the
+ * data path it checks — no switch model, no windows, no packets — so a
+ * divergence between cluster and oracle localizes the bug to the
+ * service, not the reference.
+ *
+ * A second, independently-structured reference (aggregate each sender's
+ * stream alone, then merge the partials) cross-checks the oracle
+ * itself: for the supported commutative/associative ops both folds must
+ * agree, and `ground_truth` asserts that they do before the result is
+ * ever compared against a cluster run.
+ */
+#ifndef ASK_TESTING_ORACLE_H
+#define ASK_TESTING_ORACLE_H
+
+#include "testing/scenario.h"
+
+namespace ask::testing {
+
+/** The exact per-key aggregate `task` must produce under `op`. */
+core::AggregateMap ground_truth(const TaskSpec& task, core::AggOp op);
+
+/** True when the two maps hold exactly the same key set and values. */
+bool maps_equal(const core::AggregateMap& a, const core::AggregateMap& b);
+
+}  // namespace ask::testing
+
+#endif  // ASK_TESTING_ORACLE_H

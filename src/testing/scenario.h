@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Seed-driven scenario generation for the model-based fuzzer.
+ *
+ * A ScenarioSpec is everything a differential run needs: a cluster
+ * deployment (topology, ASK tunables, steady-state fault spec), a set
+ * of aggregation tasks with their sender streams and TaskOptions, and a
+ * chaos plan. One 64-bit seed materializes one spec, deterministically
+ * — the seed is the only thing a failure report has to name for the
+ * whole scenario to be replayable (`ask_fuzz --replay <seed>`).
+ *
+ * The sampled space deliberately stays inside the service's contract:
+ * region lengths always fit the switch memory, chaos episode durations
+ * stay below the management retry budget, and per-key value totals stay
+ * far from the 32-bit register wrap — so the oracle's ground truth is
+ * exactly what a correct deployment must produce, with or without
+ * chaos. Anything else the checker observes is a bug.
+ */
+#ifndef ASK_TESTING_SCENARIO_H
+#define ASK_TESTING_SCENARIO_H
+
+#include <cstdint>
+#include <vector>
+
+#include "ask/cluster.h"
+#include "obs/json.h"
+#include "sim/chaos.h"
+
+namespace ask::testing {
+
+/** One aggregation task of a scenario. */
+struct TaskSpec
+{
+    core::TaskId id = 1;
+    std::uint32_t receiver_host = 0;
+    std::vector<core::StreamSpec> streams;
+    core::TaskOptions options;
+};
+
+/** A complete generated scenario. */
+struct ScenarioSpec
+{
+    /** The seed that materialized this spec (provenance; replay key). */
+    std::uint64_t seed = 0;
+    core::ClusterConfig cluster;
+    std::vector<TaskSpec> tasks;
+    sim::ChaosPlan chaos;
+
+    /** Tuples across every task and stream. */
+    std::uint64_t total_tuples() const;
+
+    /** Compact, deterministic description (fuzz report / replay log). */
+    obs::Json describe() const;
+};
+
+/**
+ * Materialize the scenario for `seed`. Equal seeds yield equal specs,
+ * byte for byte — the generator draws every choice from one Rng chain
+ * and touches no global state.
+ */
+ScenarioSpec generate_scenario(std::uint64_t seed);
+
+}  // namespace ask::testing
+
+#endif  // ASK_TESTING_SCENARIO_H

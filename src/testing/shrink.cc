@@ -1,0 +1,195 @@
+#include "testing/shrink.h"
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "testing/differential.h"
+
+namespace ask::testing {
+
+namespace {
+
+class Shrinker
+{
+  public:
+    Shrinker(ScenarioSpec spec, std::uint32_t max_attempts,
+             ShrinkStats* stats)
+        : best_(std::move(spec)), max_attempts_(max_attempts), stats_(stats)
+    {
+    }
+
+    ScenarioSpec
+    run()
+    {
+        // Confirm the input actually fails before spending the budget.
+        if (!fails(best_))
+            return best_;
+
+        bool progress = true;
+        while (progress && attempts_ < max_attempts_) {
+            progress = false;
+            progress |= drop_chaos_events();
+            progress |= drop_tasks();
+            progress |= drop_streams();
+            progress |= halve_streams();
+            progress |= drop_tuples();
+        }
+        return best_;
+    }
+
+  private:
+    bool
+    fails(const ScenarioSpec& spec)
+    {
+        ++attempts_;
+        if (stats_ != nullptr)
+            stats_->attempts = attempts_;
+        return !run_differential(spec).ok();
+    }
+
+    /** Keep `candidate` if it still fails. */
+    bool
+    accept_if_failing(ScenarioSpec candidate)
+    {
+        if (attempts_ >= max_attempts_ || !fails(candidate))
+            return false;
+        best_ = std::move(candidate);
+        if (stats_ != nullptr)
+            ++stats_->accepted;
+        return true;
+    }
+
+    bool
+    drop_chaos_events()
+    {
+        bool progress = false;
+        for (std::size_t i = 0; i < best_.chaos.events.size();) {
+            ScenarioSpec candidate = best_;
+            candidate.chaos.events.erase(candidate.chaos.events.begin() +
+                                         static_cast<std::ptrdiff_t>(i));
+            if (accept_if_failing(std::move(candidate)))
+                progress = true;  // same index now names the next event
+            else
+                ++i;
+        }
+        return progress;
+    }
+
+    bool
+    drop_tasks()
+    {
+        bool progress = false;
+        for (std::size_t i = 0; best_.tasks.size() > 1 &&
+                                i < best_.tasks.size();) {
+            ScenarioSpec candidate = best_;
+            candidate.tasks.erase(candidate.tasks.begin() +
+                                  static_cast<std::ptrdiff_t>(i));
+            if (accept_if_failing(std::move(candidate)))
+                progress = true;
+            else
+                ++i;
+        }
+        return progress;
+    }
+
+    bool
+    drop_streams()
+    {
+        bool progress = false;
+        for (std::size_t t = 0; t < best_.tasks.size(); ++t) {
+            for (std::size_t s = 0;
+                 best_.tasks[t].streams.size() > 1 &&
+                 s < best_.tasks[t].streams.size();) {
+                ScenarioSpec candidate = best_;
+                auto& streams = candidate.tasks[t].streams;
+                streams.erase(streams.begin() +
+                              static_cast<std::ptrdiff_t>(s));
+                if (accept_if_failing(std::move(candidate)))
+                    progress = true;
+                else
+                    ++s;
+            }
+        }
+        return progress;
+    }
+
+    bool
+    halve_streams()
+    {
+        bool progress = false;
+        for (std::size_t t = 0; t < best_.tasks.size(); ++t) {
+            for (std::size_t s = 0; s < best_.tasks[t].streams.size(); ++s) {
+                // Try keeping either half while the stream is big enough
+                // for halving to beat tuple-by-tuple removal.
+                while (best_.tasks[t].streams[s].stream.size() >= 8) {
+                    const auto& stream = best_.tasks[t].streams[s].stream;
+                    std::size_t half = stream.size() / 2;
+
+                    ScenarioSpec front = best_;
+                    auto& fs = front.tasks[t].streams[s].stream;
+                    fs.assign(stream.begin(),
+                              stream.begin() +
+                                  static_cast<std::ptrdiff_t>(half));
+                    if (accept_if_failing(std::move(front))) {
+                        progress = true;
+                        continue;
+                    }
+
+                    ScenarioSpec back = best_;
+                    auto& bs = back.tasks[t].streams[s].stream;
+                    bs.assign(stream.begin() +
+                                  static_cast<std::ptrdiff_t>(half),
+                              stream.end());
+                    if (accept_if_failing(std::move(back))) {
+                        progress = true;
+                        continue;
+                    }
+                    break;
+                }
+            }
+        }
+        return progress;
+    }
+
+    bool
+    drop_tuples()
+    {
+        bool progress = false;
+        for (std::size_t t = 0; t < best_.tasks.size(); ++t) {
+            for (std::size_t s = 0; s < best_.tasks[t].streams.size(); ++s) {
+                for (std::size_t i = 0;
+                     best_.tasks[t].streams[s].stream.size() > 1 &&
+                     i < best_.tasks[t].streams[s].stream.size();) {
+                    if (attempts_ >= max_attempts_)
+                        return progress;
+                    ScenarioSpec candidate = best_;
+                    auto& stream = candidate.tasks[t].streams[s].stream;
+                    stream.erase(stream.begin() +
+                                 static_cast<std::ptrdiff_t>(i));
+                    if (accept_if_failing(std::move(candidate)))
+                        progress = true;
+                    else
+                        ++i;
+                }
+            }
+        }
+        return progress;
+    }
+
+    ScenarioSpec best_;
+    std::uint32_t max_attempts_;
+    std::uint32_t attempts_ = 0;
+    ShrinkStats* stats_;
+};
+
+}  // namespace
+
+ScenarioSpec
+shrink_scenario(const ScenarioSpec& failing, std::uint32_t max_attempts,
+                ShrinkStats* stats)
+{
+    return Shrinker(failing, max_attempts, stats).run();
+}
+
+}  // namespace ask::testing

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Greedy scenario shrinking for fuzz failures.
+ *
+ * Given a failing ScenarioSpec, the shrinker repeatedly tries
+ * structurally smaller candidates — chaos events dropped, whole tasks
+ * dropped, sender streams dropped, streams halved, then individual
+ * tuples removed — keeping a candidate only when the differential still
+ * fails on it, until a fixpoint or the attempt budget is reached. Every
+ * accepted candidate is strictly smaller, so termination is guaranteed;
+ * greediness means the result is a local minimum, not the global one,
+ * which is exactly the delta-debugging trade-off (cf. ddmin).
+ *
+ * The shrinker re-runs the full differential per candidate, so its cost
+ * is `attempts` cluster runs; scenarios are small by construction
+ * (hundreds of tuples) and shrink in well under a second.
+ */
+#ifndef ASK_TESTING_SHRINK_H
+#define ASK_TESTING_SHRINK_H
+
+#include <cstdint>
+
+#include "testing/scenario.h"
+
+namespace ask::testing {
+
+/** Bookkeeping of one shrink session. */
+struct ShrinkStats
+{
+    /** Differential runs attempted. */
+    std::uint32_t attempts = 0;
+    /** Candidates accepted (still failing, strictly smaller). */
+    std::uint32_t accepted = 0;
+};
+
+/**
+ * Shrink `failing` (a spec on which run_differential reported a
+ * failure) to a smaller spec that still fails. Runs at most
+ * `max_attempts` differentials. Returns `failing` unchanged when it
+ * does not actually fail.
+ */
+ScenarioSpec shrink_scenario(const ScenarioSpec& failing,
+                             std::uint32_t max_attempts = 200,
+                             ShrinkStats* stats = nullptr);
+
+}  // namespace ask::testing
+
+#endif  // ASK_TESTING_SHRINK_H

@@ -77,7 +77,7 @@ base_config()
 std::vector<StreamSpec>
 two_streams(std::uint64_t seed, std::size_t n)
 {
-    Rng rng(seed);
+    Rng rng = seeded_rng("chaos_test", seed);
     return {{1, mixed_stream(rng, n, 60)}, {2, mixed_stream(rng, n, 60)}};
 }
 
@@ -180,7 +180,7 @@ TEST(Chaos, DataBlackholeDegradesToHostAggregation)
     ClusterConfig cc = base_config();
     cc.ask.max_data_tries = 6;  // detect the dead path quickly
     cc.seed = 41;
-    Rng rng(41);
+    Rng rng = seeded_rng("chaos_test", 41);
     std::vector<StreamSpec> streams{{1, mixed_stream(rng, 300, 40)},
                                     {2, mixed_stream(rng, 300, 40)}};
     AggregateMap truth = truth_of(streams, AggOp::kAdd);
@@ -283,7 +283,7 @@ TEST(Chaos, MgmtOutageIsRiddenOutByRetries)
 {
     ClusterConfig cc = base_config();
     cc.seed = 71;
-    Rng rng(71);
+    Rng rng = seeded_rng("chaos_test", 71);
     std::vector<StreamSpec> streams{{1, mixed_stream(rng, 300, 40)}};
     AggregateMap truth = truth_of(streams, AggOp::kAdd);
 
@@ -311,7 +311,7 @@ TEST(Chaos, PermanentMgmtOutageFailsSetupWithClearError)
     plan.mgmt_outage(0, 3600UL * units::kSecond);
     cluster.arm_chaos(plan);
 
-    Rng rng(73);
+    Rng rng = seeded_rng("chaos_test", 73);
     TaskReport report;
     bool done = false;
     cluster.submit_task(1, 0, {{1, mixed_stream(rng, 100, 20)}}, {},
@@ -336,7 +336,7 @@ TEST(Chaos, RegionExhaustionFailsSecondTask)
     cc.seed = 83;
     AskCluster cluster(cc);
 
-    Rng rng(83);
+    Rng rng = seeded_rng("chaos_test", 83);
     std::vector<StreamSpec> s1{{1, mixed_stream(rng, 400, 50)}};
     AggregateMap truth = truth_of(s1, AggOp::kAdd);
 
@@ -377,7 +377,7 @@ TEST(Chaos, DeadSenderFailsReceiverByLivenessTimeout)
     cc.ask.sender_liveness_timeout_ns = 5 * kMillisecond;
     AskCluster cluster(cc);
 
-    Rng rng(91);
+    Rng rng = seeded_rng("chaos_test", 91);
     KvStream stream = mixed_stream(rng, 200, 30);
 
     TaskReport report;
@@ -414,7 +414,7 @@ TEST(Chaos, FinBudgetFailsSenderWhenReceiverIsGone)
     cc.ask.sender_liveness_timeout_ns = 20 * kMillisecond;
     AskCluster cluster(cc);
 
-    Rng rng(97);
+    Rng rng = seeded_rng("chaos_test", 97);
     // Short keys only: the switch consumes every tuple and impersonates
     // the ACKs, so DATA completes even with the receiver dark — only
     // the FIN needs the receiver.

@@ -62,7 +62,7 @@ ground_truth(const std::vector<StreamSpec>& streams)
 TEST(Integration, SingleSenderExactResult)
 {
     AskCluster cluster(small_cluster(2));
-    Rng rng(1);
+    Rng rng = seeded_rng("integration_test", 1);
     std::vector<StreamSpec> streams{{1, random_stream(rng, 500, 40)}};
     AggregateMap truth = ground_truth(streams);
 
@@ -74,7 +74,7 @@ TEST(Integration, SingleSenderExactResult)
 TEST(Integration, MultiSenderExactResult)
 {
     AskCluster cluster(small_cluster(4));
-    Rng rng(2);
+    Rng rng = seeded_rng("integration_test", 2);
     std::vector<StreamSpec> streams;
     for (std::uint32_t h = 1; h < 4; ++h)
         streams.push_back({h, random_stream(rng, 400, 60)});
@@ -90,7 +90,7 @@ TEST(Integration, ReceiverCanAlsoSend)
 {
     // A co-located mapper: the receiver host itself contributes a stream.
     AskCluster cluster(small_cluster(2));
-    Rng rng(3);
+    Rng rng = seeded_rng("integration_test", 3);
     std::vector<StreamSpec> streams{
         {0, random_stream(rng, 200, 30)},
         {1, random_stream(rng, 200, 30)},
@@ -112,7 +112,7 @@ TEST(Integration, EmptyStreamCompletes)
 TEST(Integration, MixedKeyLengthsIncludingLong)
 {
     AskCluster cluster(small_cluster(2));
-    Rng rng(4);
+    Rng rng = seeded_rng("integration_test", 4);
     KvStream s;
     for (int i = 0; i < 600; ++i) {
         std::size_t len = 1 + rng.next_below(14);  // short/medium/long mix
@@ -135,7 +135,7 @@ TEST(Integration, ConservationOfTuples)
     // Every valid tuple is aggregated exactly once: on the switch or at
     // the receiver.
     AskCluster cluster(small_cluster(3));
-    Rng rng(5);
+    Rng rng = seeded_rng("integration_test", 5);
     std::vector<StreamSpec> streams{
         {1, random_stream(rng, 700, 25)},
         {2, random_stream(rng, 700, 25)},
@@ -155,7 +155,7 @@ TEST(Integration, SmallRegionFallsBackToReceiver)
     // With a one-aggregator region, most tuples collide and the receiver
     // does the work — the result must still be exact.
     AskCluster cluster(small_cluster(2));
-    Rng rng(6);
+    Rng rng = seeded_rng("integration_test", 6);
     std::vector<StreamSpec> streams{{1, random_stream(rng, 500, 50)}};
     AggregateMap truth = ground_truth(streams);
     TaskResult r = cluster.run_task(1, 0, streams, {.region_len = 1});
@@ -166,7 +166,7 @@ TEST(Integration, SmallRegionFallsBackToReceiver)
 TEST(Integration, SequentialTasksReuseChannelsAndRegions)
 {
     AskCluster cluster(small_cluster(2));
-    Rng rng(7);
+    Rng rng = seeded_rng("integration_test", 7);
     for (TaskId t = 1; t <= 4; ++t) {
         std::vector<StreamSpec> streams{{1, random_stream(rng, 300, 20)}};
         AggregateMap truth = ground_truth(streams);
@@ -178,7 +178,7 @@ TEST(Integration, SequentialTasksReuseChannelsAndRegions)
 TEST(Integration, ConcurrentTasksMultiplexTheService)
 {
     AskCluster cluster(small_cluster(4));
-    Rng rng(8);
+    Rng rng = seeded_rng("integration_test", 8);
     std::vector<std::vector<StreamSpec>> specs;
     std::vector<AggregateMap> truths;
     std::vector<TaskResult> results(3);
@@ -209,7 +209,7 @@ TEST(Integration, ShadowCopySwapsPreserveExactness)
     ClusterConfig cc = small_cluster(2);
     cc.ask.swap_threshold_packets = 8;  // swap aggressively
     AskCluster cluster(cc);
-    Rng rng(9);
+    Rng rng = seeded_rng("integration_test", 9);
     // More distinct keys than the (tiny) region: collisions keep packets
     // flowing to the receiver, which triggers periodic swaps.
     KvStream s;
@@ -249,7 +249,7 @@ TEST_P(FaultyNetwork, ExactlyOnceAggregation)
     cc.ask.swap_threshold_packets = 16;  // swaps in the mix too
     AskCluster cluster(cc);
 
-    Rng rng(fc.seed);
+    Rng rng = seeded_rng("integration_test", fc.seed);
     std::vector<StreamSpec> streams{
         {1, random_stream(rng, 600, 40, /*max_len=*/10)},
         {2, random_stream(rng, 600, 40, /*max_len=*/10)},
@@ -277,7 +277,7 @@ TEST(Integration, LossyLongKeysStillExact)
     ClusterConfig cc = small_cluster(2);
     cc.faults = net::FaultSpec::lossy(0.1, 0.05, 0.1);
     AskCluster cluster(cc);
-    Rng rng(21);
+    Rng rng = seeded_rng("integration_test", 21);
     KvStream s;
     for (int i = 0; i < 400; ++i) {
         std::string key = "long-key-number-" + std::to_string(rng.next_below(37));
@@ -292,7 +292,7 @@ TEST(Integration, LossyLongKeysStillExact)
 TEST(Integration, ReportAccountsForAllTuples)
 {
     AskCluster cluster(small_cluster(2));
-    Rng rng(22);
+    Rng rng = seeded_rng("integration_test", 22);
     std::vector<StreamSpec> streams{{1, random_stream(rng, 500, 30)}};
     TaskResult r = cluster.run_task(1, 0, streams);
     // Every distinct key came from the switch fetch or local merge.

@@ -138,7 +138,7 @@ class MultiRackFixture : public ::testing::Test
 KvStream
 rack_stream(std::uint64_t seed, std::size_t n)
 {
-    Rng rng(seed);
+    Rng rng = seeded_rng("multirack_test", seed);
     KvStream s;
     for (std::size_t i = 0; i < n; ++i)
         s.push_back({u64_key(rng.next_below(64)), 1});

@@ -62,7 +62,7 @@ TEST(LogHistogram, QuantileRelativeErrorWithinOneEighth)
 
 TEST(LogHistogram, MergeMatchesCombinedObservation)
 {
-    Rng rng(7);
+    Rng rng = seeded_rng("obs_test", 7);
     obs::LogHistogram a;
     obs::LogHistogram b;
     obs::LogHistogram both;
@@ -248,7 +248,7 @@ TEST(Trace, ChainReconstructionThroughLossAndReboot)
 {
     ClusterConfig cc = trace_config();
     cc.seed = 31;
-    Rng rng(31);
+    Rng rng = seeded_rng("obs_test", 31);
     std::vector<StreamSpec> streams{{1, trace_stream(rng, 800)},
                                     {2, trace_stream(rng, 800)}};
 

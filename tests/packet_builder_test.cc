@@ -127,7 +127,7 @@ TEST(PacketBuilder, UniformKeysFillPackets)
     c.medium_groups = 0;  // all-short config for a clean count
     KeySpace ks(c);
     PacketBuilder b(ks);
-    Rng rng(4);
+    Rng rng = seeded_rng("packet_builder_test", 4);
     for (int i = 0; i < 4000; ++i)
         b.enqueue(KvTuple{u64_key(rng.next_below(100000)), 1});  // short keys
 
@@ -168,7 +168,7 @@ TEST(PacketBuilder, DrainsEverythingExactlyOnce)
 {
     KeySpace ks(cfg8());
     PacketBuilder b(ks);
-    Rng rng(17);
+    Rng rng = seeded_rng("packet_builder_test", 17);
     std::map<std::string, std::uint64_t> truth;
     for (int i = 0; i < 2000; ++i) {
         std::size_t len = 1 + rng.next_below(12);

@@ -73,7 +73,7 @@ TEST_P(ReliabilitySweep, ExactUnderFaults)
     cc.seed = window * 7 + (compact ? 1 : 0) + 1;
     AskCluster cluster(cc);
 
-    Rng rng(cc.seed);
+    Rng rng = seeded_rng("robustness_test", cc.seed);
     std::vector<StreamSpec> streams{{1, mixed_stream(rng, 400, 60)},
                                     {2, mixed_stream(rng, 400, 60)}};
     AggregateMap truth = truth_of(streams, AggOp::kAdd);
@@ -117,7 +117,7 @@ TEST_P(LayoutSweep, ExactAcrossGeometries)
         cc.switch_stages = 34;  // 64 AAs need two chained pipelines
     AskCluster cluster(cc);
 
-    Rng rng(aas * 31 + groups * 7 + channels);
+    Rng rng = seeded_rng("robustness_test", aas * 31 + groups * 7 + channels);
     std::vector<StreamSpec> streams{{1, mixed_stream(rng, 500, 80)}};
     AggregateMap truth = truth_of(streams, AggOp::kAdd);
     TaskResult r = cluster.run_task(1, 0, streams);
@@ -146,7 +146,7 @@ TEST(AggOps, MaxEndToEnd)
     cc.ask.swap_threshold_packets = 0;
     AskCluster cluster(cc);
 
-    Rng rng(5);
+    Rng rng = seeded_rng("robustness_test", 5);
     KvStream s;
     for (int i = 0; i < 800; ++i) {
         s.push_back({"k" + std::to_string(rng.next_below(30)),
@@ -170,7 +170,7 @@ TEST(AggOps, MinEndToEnd)
     cc.ask.swap_threshold_packets = 0;
     AskCluster cluster(cc);
 
-    Rng rng(6);
+    Rng rng = seeded_rng("robustness_test", 6);
     KvStream s;
     for (int i = 0; i < 800; ++i) {
         s.push_back({u64_key(rng.next_below(40)),
@@ -219,7 +219,7 @@ TEST(Protocol, FinSurvivesHeavyLoss)
     cc.seed = 99;
     AskCluster cluster(cc);
 
-    Rng rng(99);
+    Rng rng = seeded_rng("robustness_test", 99);
     std::vector<StreamSpec> streams{{1, mixed_stream(rng, 100, 20)}};
     AggregateMap truth = truth_of(streams, AggOp::kAdd);
     TaskResult r = cluster.run_task(1, 0, streams);
@@ -241,7 +241,7 @@ TEST(Protocol, ChannelServesTasksFifo)
     cc.ask.channels_per_host = 1;  // force sharing
     AskCluster cluster(cc);
 
-    Rng rng(3);
+    Rng rng = seeded_rng("robustness_test", 3);
     std::vector<sim::SimTime> finish(2, 0);
     for (TaskId t = 0; t < 2; ++t) {
         std::vector<StreamSpec> streams{{1, mixed_stream(rng, 300, 30)}};
@@ -270,7 +270,7 @@ TEST(Protocol, ManySequentialTasksDoNotLeakSwitchMemory)
     AskCluster cluster(cc);
 
     std::uint32_t free_before = cluster.controller().free_aggregators();
-    Rng rng(8);
+    Rng rng = seeded_rng("robustness_test", 8);
     for (TaskId t = 1; t <= 12; ++t) {
         std::vector<StreamSpec> streams{{1, mixed_stream(rng, 100, 10)}};
         AggregateMap truth = truth_of(streams, AggOp::kAdd);
@@ -318,7 +318,7 @@ TEST(Protocol, SingleHostSelfAggregation)
     cc.ask.medium_groups = 0;
     AskCluster cluster(cc);
 
-    Rng rng(4);
+    Rng rng = seeded_rng("robustness_test", 4);
     std::vector<StreamSpec> streams{{0, mixed_stream(rng, 200, 20)}};
     AggregateMap truth = truth_of(streams, AggOp::kAdd);
     TaskResult r = cluster.run_task(1, 0, streams);

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Seed reporting for test failures.
+ *
+ * Compiled into every test binary (see the ask_test CMake function). A
+ * gtest event listener clears the seed registry before each test and,
+ * when the test fails, prints every seed that was drawn through
+ * seeded_rng() along with the ASK_SEED replay recipe — so any red ctest
+ * log carries the exact seeds needed to reproduce it.
+ */
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace {
+
+class SeedReporter : public ::testing::EmptyTestEventListener
+{
+    void
+    OnTestStart(const ::testing::TestInfo&) override
+    {
+        ask::clear_noted_seeds();
+    }
+
+    void
+    OnTestEnd(const ::testing::TestInfo& info) override
+    {
+        if (info.result() == nullptr || !info.result()->Failed())
+            return;
+        const auto& seeds = ask::noted_seeds();
+        if (seeds.empty())
+            return;
+        std::printf("[  SEEDS   ] %s.%s drew:\n", info.test_suite_name(),
+                    info.name());
+        for (const auto& record : seeds)
+            std::printf("[  SEEDS   ]   %s = %llu\n", record.label.c_str(),
+                        static_cast<unsigned long long>(record.seed));
+        std::printf("[  SEEDS   ] replay with ASK_SEED=<seed> (overrides "
+                    "every seeded_rng in the process)\n");
+    }
+};
+
+/** Registers the listener before main() runs. */
+const bool kRegistered = [] {
+    ::testing::UnitTest::GetInstance()->listeners().Append(
+        new SeedReporter);
+    return true;
+}();
+
+}  // namespace

@@ -107,7 +107,7 @@ class SeenEquivalence : public ::testing::TestWithParam<std::uint64_t>
 
 TEST_P(SeenEquivalence, RandomizedSenderPatterns)
 {
-    Rng rng(GetParam());
+    Rng rng = seeded_rng("seen_window_test", GetParam());
     std::uint32_t w = 1u << rng.next_in(2, 6);  // W in {4..64}
     PlainSeen plain(w);
     CompactSeen compact(w);
@@ -179,7 +179,7 @@ TEST(HostReceiveWindow, RandomizedSubsetDelivery)
 {
     // Property: with arbitrary subsets and duplicates within the window,
     // the window reports kFresh exactly once per sequence.
-    Rng rng(99);
+    Rng rng = seeded_rng("seen_window_test", 99);
     HostReceiveWindow wdw(64);
     std::vector<int> fresh_count(5000, 0);
     Seq base = 0;
@@ -192,6 +192,127 @@ TEST(HostReceiveWindow, RandomizedSubsetDelivery)
     }
     for (std::size_t s = 0; s < fresh_count.size(); ++s)
         EXPECT_LE(fresh_count[s], 1) << "seq " << s << " fresh twice";
+}
+
+// ---------------------------------------------------------------------------
+// Edge cases: wraparound, window-full backpressure, wipe + fence repair
+// ---------------------------------------------------------------------------
+
+TEST(SeenWindowEdge, OperatesNearSequenceNumberCeiling)
+{
+    // Seq is 32-bit but the staleness comparison is done in 64-bit, so
+    // windows near the top of the range must behave exactly like
+    // windows near zero: fresh once, duplicate after, stale below the
+    // window — no overflow in `s + W`.
+    // A window can't *start* cold at an arbitrary sequence (the compact
+    // design's zeroed construction state is only valid at seq 0); the
+    // fence repair is the documented way to establish one mid-stream.
+    const Seq top = 0xffffffffu;
+    const Seq start = top - 3 * kW;
+    for (int design = 0; design < 2; ++design) {
+        PlainSeen plain(kW);
+        CompactSeen compact(kW);
+        plain.repair(start);
+        compact.repair(start);
+        auto observe = [&](Seq s) {
+            return design == 0 ? plain.observe(s) : compact.observe(s);
+        };
+        for (Seq s = start; s < top; ++s)
+            EXPECT_EQ(observe(s), SeenOutcome::kFresh) << "seq " << s;
+        EXPECT_EQ(observe(top), SeenOutcome::kFresh);
+        EXPECT_EQ(observe(top), SeenOutcome::kDuplicate);
+        EXPECT_EQ(observe(top - kW + 1), SeenOutcome::kDuplicate);
+        EXPECT_EQ(observe(top - kW), SeenOutcome::kStale);
+    }
+}
+
+TEST(SeenWindowEdge, HostWindowNearSequenceNumberCeiling)
+{
+    HostReceiveWindow wdw(kW);
+    const Seq top = 0xffffffffu;
+    EXPECT_EQ(wdw.observe(top - 1), SeenOutcome::kFresh);
+    EXPECT_EQ(wdw.observe(top), SeenOutcome::kFresh);
+    EXPECT_EQ(wdw.observe(top - 1), SeenOutcome::kDuplicate);
+    EXPECT_EQ(wdw.observe(top - kW), SeenOutcome::kStale);
+}
+
+TEST(SeenWindowEdge, WindowFullAdvanceExpiresUnackedSequence)
+{
+    // Why the sender must stall when its window is full: if it slid
+    // anyway, the oldest outstanding (un-ACKed) sequence would fall
+    // below the window and its retransmission would be dropped as
+    // stale — silently losing the tuple. Both designs agree.
+    PlainSeen plain(kW);
+    CompactSeen compact(kW);
+    // Fill the window without ACK progress: W outstanding sequences.
+    for (Seq s = 0; s < kW; ++s) {
+        EXPECT_EQ(plain.observe(s), SeenOutcome::kFresh);
+        EXPECT_EQ(compact.observe(s), SeenOutcome::kFresh);
+    }
+    // Every outstanding sequence is still retransmittable (duplicate,
+    // not stale) while the window holds.
+    EXPECT_EQ(plain.observe(0), SeenOutcome::kDuplicate);
+    EXPECT_EQ(compact.observe(0), SeenOutcome::kDuplicate);
+    // A non-compliant send past the full window expires seq 0.
+    EXPECT_EQ(plain.observe(kW), SeenOutcome::kFresh);
+    EXPECT_EQ(compact.observe(kW), SeenOutcome::kFresh);
+    EXPECT_EQ(plain.observe(0), SeenOutcome::kStale);
+    EXPECT_EQ(compact.observe(0), SeenOutcome::kStale);
+}
+
+TEST(SeenWindowEdge, RepairAfterMidWindowWipe)
+{
+    // Crash model: the switch reboots mid-window and every register
+    // reads zero. The fence (AskSwitchProgram::fence_channel) repairs
+    // the window at the sender's next sequence — which is generally
+    // *mid-segment*, so the compact design's parity must be pre-set for
+    // the admitted range (a wiped 0 in an odd segment would misread as
+    // "already observed" and falsely dedup a fresh packet).
+    for (std::uint32_t offset : {0u, 1u, kW / 2, kW - 1}) {
+        PlainSeen plain(kW);
+        CompactSeen compact(kW);
+        // Progress into the third segment so parity state is nontrivial,
+        // stopping at an arbitrary offset within the segment.
+        Seq next = 2 * kW + offset;
+        for (Seq s = 0; s < next; ++s) {
+            plain.observe(s);
+            compact.observe(s);
+        }
+
+        plain.wipe();
+        compact.wipe();
+        plain.repair(next);
+        compact.repair(next);
+
+        // Pre-crash sequences replayed by in-flight frames: stale.
+        EXPECT_EQ(plain.observe(next - 1), SeenOutcome::kStale);
+        EXPECT_EQ(compact.observe(next - 1), SeenOutcome::kStale);
+        EXPECT_EQ(plain.observe(0), SeenOutcome::kStale);
+        EXPECT_EQ(compact.observe(0), SeenOutcome::kStale);
+
+        // The whole admitted window: fresh exactly once, then
+        // duplicate, in both designs — this is the parity repair.
+        for (Seq s = next; s < next + kW; ++s) {
+            EXPECT_EQ(plain.observe(s), SeenOutcome::kFresh)
+                << "offset " << offset << " seq " << s;
+            EXPECT_EQ(compact.observe(s), SeenOutcome::kFresh)
+                << "offset " << offset << " seq " << s;
+            EXPECT_EQ(plain.observe(s), SeenOutcome::kDuplicate);
+            EXPECT_EQ(compact.observe(s), SeenOutcome::kDuplicate);
+        }
+    }
+}
+
+TEST(SeenWindowEdge, WipeWithoutRepairLosesDedupState)
+{
+    // The negative control for the fence: a bare wipe (no repair) makes
+    // the window forget everything — a replayed pre-crash frame would
+    // be re-admitted and double-aggregated. This is exactly the bug the
+    // fence exists to prevent.
+    PlainSeen plain(kW);
+    plain.observe(5);
+    plain.wipe();
+    EXPECT_EQ(plain.observe(5), SeenOutcome::kFresh);  // double-count!
 }
 
 }  // namespace

@@ -2,10 +2,29 @@
 #include <gtest/gtest.h>
 
 #include "ask/wire.h"
+#include "common/random.h"
 #include "net/packet.h"
 
 namespace ask::core {
 namespace {
+
+/** Random tuple batch: key lengths 0..40 cover empty, short, medium,
+ *  and bypass-length keys; bytes span the full 0..255 range. */
+std::vector<KvTuple>
+fuzz_tuples(Rng& rng, std::size_t count)
+{
+    std::vector<KvTuple> tuples;
+    tuples.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        KvTuple t;
+        std::size_t len = rng.next_below(41);
+        for (std::size_t j = 0; j < len; ++j)
+            t.key.push_back(static_cast<char>(rng.next_below(256)));
+        t.value = static_cast<Value>(rng.next_u64());
+        tuples.push_back(std::move(t));
+    }
+    return tuples;
+}
 
 AskHeader
 sample_header()
@@ -127,6 +146,140 @@ TEST(Wire, AllPacketTypesSurviveRoundTrip)
         auto data = make_frame(h, 0);
         EXPECT_EQ(parse_header(data)->type, t);
     }
+}
+
+// ---------------------------------------------------------------------------
+// Property tests over fuzzed payloads
+// ---------------------------------------------------------------------------
+
+TEST(WireProperty, HeaderRoundTripsFuzzedFields)
+{
+    Rng rng = seeded_rng("wire_test", 101);
+    for (int iter = 0; iter < 500; ++iter) {
+        AskHeader h;
+        h.type = static_cast<PacketType>(1 + rng.next_below(7));
+        h.num_slots = static_cast<std::uint8_t>(rng.next_u64());
+        h.channel_id = static_cast<ChannelId>(rng.next_u64());
+        h.task_id = static_cast<TaskId>(rng.next_u64());
+        h.seq = static_cast<Seq>(rng.next_u64());
+        h.bitmap = rng.next_u64();
+        std::uint32_t payload =
+            static_cast<std::uint32_t>(rng.next_below(300));
+
+        auto data = make_frame(h, payload);
+        auto parsed = parse_header(data);
+        ASSERT_TRUE(parsed.has_value());
+        EXPECT_EQ(parsed->type, h.type);
+        EXPECT_EQ(parsed->num_slots, h.num_slots);
+        EXPECT_EQ(parsed->channel_id, h.channel_id);
+        EXPECT_EQ(parsed->task_id, h.task_id);
+        EXPECT_EQ(parsed->seq, h.seq);
+        EXPECT_EQ(parsed->bitmap, h.bitmap);
+    }
+}
+
+TEST(WireProperty, SlotsRoundTripFuzzedValues)
+{
+    Rng rng = seeded_rng("wire_test", 103);
+    for (int iter = 0; iter < 200; ++iter) {
+        std::uint32_t slots =
+            1 + static_cast<std::uint32_t>(rng.next_below(64));
+        auto data = make_frame(sample_header(), slots * 8);
+        std::vector<WireSlot> want(slots);
+        for (std::uint32_t i = 0; i < slots; ++i) {
+            want[i] = {static_cast<std::uint32_t>(rng.next_u64()),
+                       static_cast<Value>(rng.next_u64())};
+            write_slot(data, i, want[i]);
+        }
+        for (std::uint32_t i = 0; i < slots; ++i) {
+            WireSlot got = read_slot(data, i);
+            EXPECT_EQ(got.seg, want[i].seg);
+            EXPECT_EQ(got.value, want[i].value);
+        }
+    }
+}
+
+TEST(WireProperty, LongFrameRoundTripsFuzzedTuples)
+{
+    Rng rng = seeded_rng("wire_test", 107);
+    for (int iter = 0; iter < 200; ++iter) {
+        auto tuples = fuzz_tuples(rng, rng.next_below(20));
+        auto data = make_long_frame(sample_header(), tuples);
+        auto parsed = try_parse_long_tuples(data);
+        ASSERT_TRUE(parsed.has_value());
+        ASSERT_EQ(parsed->size(), tuples.size());
+        for (std::size_t i = 0; i < tuples.size(); ++i)
+            EXPECT_EQ((*parsed)[i], tuples[i]);
+    }
+}
+
+TEST(WireProperty, TruncatedLongFramesRejectedWithoutUb)
+{
+    // Every proper prefix of a valid frame must parse to nullopt (or,
+    // for prefixes that happen to end exactly on a tuple boundary
+    // before the advertised count is reached, still must not read past
+    // the buffer — ASAN/UBSAN guards the "without UB" half).
+    Rng rng = seeded_rng("wire_test", 109);
+    for (int iter = 0; iter < 50; ++iter) {
+        auto tuples = fuzz_tuples(rng, 1 + rng.next_below(8));
+        auto data = make_long_frame(sample_header(), tuples);
+        for (std::size_t cut = 0; cut < data.size(); ++cut) {
+            std::vector<std::uint8_t> prefix(data.begin(),
+                                             data.begin() +
+                                                 static_cast<std::ptrdiff_t>(
+                                                     cut));
+            EXPECT_FALSE(try_parse_long_tuples(prefix).has_value())
+                << "prefix of " << cut << " bytes parsed";
+        }
+    }
+}
+
+TEST(WireProperty, CorruptedLengthFieldsRejectedWithoutUb)
+{
+    Rng rng = seeded_rng("wire_test", 113);
+    for (int iter = 0; iter < 300; ++iter) {
+        auto tuples = fuzz_tuples(rng, 1 + rng.next_below(8));
+        auto data = make_long_frame(sample_header(), tuples);
+        // Flip random payload bytes — counts and key lengths included.
+        std::size_t flips = 1 + rng.next_below(4);
+        for (std::size_t f = 0; f < flips; ++f) {
+            std::size_t at = rng.next_below(data.size());
+            data[at] = static_cast<std::uint8_t>(rng.next_u64());
+        }
+        // Must either parse (corruption hit only key/value bytes) or
+        // return nullopt; either way no out-of-bounds access.
+        auto parsed = try_parse_long_tuples(data);
+        if (parsed.has_value())
+            EXPECT_LE(parsed->size(), 0xffffu);
+    }
+}
+
+TEST(WireProperty, RandomGarbageBuffersNeverParseOutOfBounds)
+{
+    Rng rng = seeded_rng("wire_test", 127);
+    for (int iter = 0; iter < 500; ++iter) {
+        std::vector<std::uint8_t> garbage(rng.next_below(120));
+        for (auto& b : garbage)
+            b = static_cast<std::uint8_t>(rng.next_u64());
+        // Exercise both codec entry points used on receive paths.
+        auto hdr = parse_header(garbage);
+        auto tuples = try_parse_long_tuples(garbage);
+        if (garbage.size() < 40)
+            EXPECT_FALSE(hdr.has_value());
+        if (garbage.size() < 42)
+            EXPECT_FALSE(tuples.has_value());
+    }
+}
+
+TEST(WireProperty, AsymmetricCountFieldRejected)
+{
+    // A frame advertising more tuples than its bytes carry must be
+    // rejected, not read past the end.
+    auto data = make_long_frame(sample_header(), {{"abcdefgh", 1}});
+    // Payload starts at 40; bump the tuple count field to 0xffff.
+    data[40] = 0xff;
+    data[41] = 0xff;
+    EXPECT_FALSE(try_parse_long_tuples(data).has_value());
 }
 
 }  // namespace

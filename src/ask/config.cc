@@ -8,34 +8,34 @@ void
 AskConfig::validate() const
 {
     if (num_aas == 0 || num_aas > 64)
-        fatal("num_aas must be 1..64 (bitmap is 64 bits wide): ", num_aas);
+        fail_config("num_aas must be 1..64 (bitmap is 64 bits wide): ", num_aas);
     if (part_bits != 16 && part_bits != 32)
-        fatal("part_bits must be 16 or 32: ", part_bits);
+        fail_config("part_bits must be 16 or 32: ", part_bits);
     if (medium_segments < 1)
-        fatal("medium_segments must be >= 1");
+        fail_config("medium_segments must be >= 1");
     if (medium_aas() > num_aas)
-        fatal("medium groups (", medium_aas(), " AAs) exceed num_aas (",
+        fail_config("medium groups (", medium_aas(), " AAs) exceed num_aas (",
               num_aas, ")");
     if (medium_groups > 0 && short_aas() == 0)
-        fatal("no AAs left for short keys");
+        fail_config("no AAs left for short keys");
     if (shadow_copies && aggregators_per_aa % 2 != 0)
-        fatal("aggregators_per_aa must be even with shadow copies");
+        fail_config("aggregators_per_aa must be even with shadow copies");
     if (aggregators_per_aa == 0)
-        fatal("aggregators_per_aa must be positive");
+        fail_config("aggregators_per_aa must be positive");
     if (window == 0 || (window & (window - 1)) != 0)
-        fatal("window must be a positive power of two: ", window);
+        fail_config("window must be a positive power of two: ", window);
     if (channels_per_host == 0)
-        fatal("channels_per_host must be positive");
+        fail_config("channels_per_host must be positive");
     if (max_hosts == 0)
-        fatal("max_hosts must be positive");
+        fail_config("max_hosts must be positive");
     if (max_fin_tries == 0)
-        fatal("max_fin_tries must be positive");
+        fail_config("max_fin_tries must be positive");
     if (mgmt_max_tries == 0)
-        fatal("mgmt_max_tries must be positive");
+        fail_config("mgmt_max_tries must be positive");
     if (mgmt_backoff_base_ns <= 0 || mgmt_backoff_cap_ns < mgmt_backoff_base_ns)
-        fatal("management backoff must satisfy 0 < base <= cap");
+        fail_config("management backoff must satisfy 0 < base <= cap");
     if (recovery_drain_ns < 0 || sender_liveness_timeout_ns < 0)
-        fatal("robustness timeouts must be non-negative");
+        fail_config("robustness timeouts must be non-negative");
 }
 
 }  // namespace ask::core

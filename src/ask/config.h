@@ -134,7 +134,7 @@ struct AskConfig
     /** Total data-channel slots the switch provisions. */
     std::uint32_t max_channels() const { return max_hosts * channels_per_host; }
 
-    /** fatal()s if the configuration is inconsistent. */
+    /** Throws ask::ConfigError if the configuration is inconsistent. */
     void validate() const;
 };
 

@@ -1,10 +1,13 @@
 #include "ask/switch_program.h"
 
 #include <bit>
+#include <cstdlib>
+#include <string_view>
 #include <utility>
 
 #include "common/hash.h"
 #include "common/logging.h"
+#include "pisa/verify/verifier.h"
 
 namespace ask::core {
 
@@ -31,59 +34,220 @@ vpart(std::uint32_t part_bits, std::uint64_t word)
 
 }  // namespace
 
+pisa::verify::AccessPlan
+AskSwitchProgram::make_access_plan(const AskConfig& config)
+{
+    namespace v = pisa::verify;
+    using v::AccessKind;
+
+    std::size_t channels = config.max_channels();
+    std::size_t w = config.window;
+    std::size_t aa_stages = (config.num_aas + 3) / 4;
+    std::size_t last_stage = 2 + aa_stages;
+
+    v::AccessPlan plan;
+    plan.program = "ask-aggregation";
+
+    // ---- declarations: the layout the constructor installs ------------
+
+    plan.arrays.push_back({"max_seq", 0, channels, 32});
+    if (config.compact_seen) {
+        plan.arrays.push_back({"seen", 1, channels * w, 1});
+    } else {
+        plan.arrays.push_back({"seen_even", 1, channels * w, 1});
+        plan.arrays.push_back({"seen_odd", 1, channels * w, 1});
+    }
+    plan.arrays.push_back({"swap_epoch", 1, config.max_tasks, 32});
+    for (std::uint32_t i = 0; i < config.num_aas; ++i) {
+        plan.arrays.push_back({"aa_" + std::to_string(i), 2 + i / 4,
+                               config.aggregators_per_aa,
+                               config.part_bits * 2});
+    }
+    plan.arrays.push_back(
+        {"pkt_state", last_stage, channels * w, config.num_aas});
+
+    // ---- shared fragments ---------------------------------------------
+
+    // Receive window (stage 1), branched on the sequence segment parity
+    // (a header-only predicate). The compact variant flips one bit's
+    // meaning per segment; the plain variant records in one array and
+    // clears one window ahead in the other, in parity order.
+    auto seen_steps = [&]() -> v::Step {
+        if (config.compact_seen) {
+            return v::branch(
+                {"segment parity (seq/W)", {}},
+                {{"even-segment", {{v::access("seen", AccessKind::kRmw)}}},
+                 {"odd-segment", {{v::access("seen", AccessKind::kRmw)}}}});
+        }
+        return v::branch(
+            {"segment parity (seq/W)", {}},
+            {{"even-segment",
+              {{v::access("seen_even", AccessKind::kRmw),
+                v::access("seen_odd", AccessKind::kRmw)}}},
+             {"odd-segment",
+              {{v::access("seen_odd", AccessKind::kRmw),
+                v::access("seen_even", AccessKind::kRmw)}}}});
+    };
+
+    std::vector<std::string> seen_deps =
+        config.compact_seen
+            ? std::vector<std::string>{"seen"}
+            : std::vector<std::string>{"seen_even", "seen_odd"};
+
+    // The aggregator arrays: each access is predicated on its slot bit
+    // in the packet's bitmap (header-only), so any subset may run —
+    // always in ascending array (= non-decreasing stage) order.
+    auto aa_steps = [&]() -> std::vector<v::Step> {
+        std::vector<v::Step> steps;
+        steps.reserve(config.num_aas);
+        for (std::uint32_t i = 0; i < config.num_aas; ++i) {
+            steps.push_back(v::guarded_access(
+                "aa_" + std::to_string(i), AccessKind::kRmw,
+                {"bitmap slot " + std::to_string(i), {}}));
+        }
+        return steps;
+    };
+
+    // First-appearance aggregation: with shadow copies the epoch parity
+    // (read at stage 1) selects the copy the AAs index into; without
+    // them the AAs run unconditionally on the single copy.
+    v::Seq first_arm;
+    if (config.shadow_copies) {
+        first_arm.steps.push_back(
+            v::branch({"epoch parity copy selection", {"swap_epoch"}},
+                      {{"copy-0", {aa_steps()}}, {"copy-1", {aa_steps()}}}));
+    } else {
+        first_arm.steps = aa_steps();
+    }
+
+    // Task-bound arm: the copy indicator is read before the seen verdict
+    // can gate it (both live on stage 1), so the plan models it as a
+    // header-predicated skippable read — a sound over-approximation of
+    // "read only on first appearance".
+    v::Seq task_arm;
+    if (config.shadow_copies) {
+        task_arm.steps.push_back(v::guarded_access(
+            "swap_epoch", AccessKind::kRead, {"copy indicator needed", {}}));
+    }
+    task_arm.steps.push_back(
+        v::branch({"first appearance (per seen)", seen_deps},
+                  {{"duplicate", {}}, {"first-appearance", first_arm}}));
+
+    // Fresh arm of the DATA pass: record the window, maybe aggregate,
+    // then store (first appearance) or restore (retransmission) the
+    // per-packet aggregation state — the operation, not the access, is
+    // selected by the seen verdict.
+    v::Seq fresh_arm;
+    fresh_arm.steps.push_back(seen_steps());
+    fresh_arm.steps.push_back(
+        v::branch({"aggregation table: task known", {}},
+                  {{"unknown-task", {}}, {"task-bound", task_arm}}));
+    fresh_arm.steps.push_back(
+        v::access("pkt_state", AccessKind::kRmw, seen_deps));
+
+    // ---- passes ---------------------------------------------------------
+
+    v::PassPlan data;
+    data.name = "data";
+    data.body.steps.push_back(v::access("max_seq", AccessKind::kRmw));
+    data.body.steps.push_back(
+        v::branch({"stale (seq + W <= max_seq)", {"max_seq"}},
+                  {{"stale-drop", {}}, {"fresh", fresh_arm}}));
+    plan.passes.push_back(std::move(data));
+
+    v::PassPlan long_data;
+    long_data.name = "long_data";
+    long_data.body.steps.push_back(v::access("max_seq", AccessKind::kRmw));
+    long_data.body.steps.push_back(
+        v::branch({"stale (seq + W <= max_seq)", {"max_seq"}},
+                  {{"stale-drop", {}}, {"fresh", {{seen_steps()}}}}));
+    plan.passes.push_back(std::move(long_data));
+
+    v::PassPlan swap;
+    swap.name = "swap";
+    swap.body.steps.push_back(v::branch(
+        {"aggregation table: task known", {}},
+        {{"unknown-task", {}},
+         {"task-bound", {{v::access("swap_epoch", AccessKind::kRmw)}}}}));
+    plan.passes.push_back(std::move(swap));
+
+    v::PassPlan forward;
+    forward.name = "forward";  // control / non-ASK traffic: no state
+    plan.passes.push_back(std::move(forward));
+
+    return plan;
+}
+
 AskSwitchProgram::AskSwitchProgram(const AskConfig& config,
                                    pisa::PisaSwitch& sw)
-    : config_(config), key_space_(config), simulator_(&sw.simulator())
+    : config_(config),
+      key_space_(config),
+      simulator_(&sw.simulator()),
+      pipeline_(&sw.pipeline())
 {
     config_.validate();
-    pisa::Pipeline& pipe = sw.pipeline();
+    plan_ = make_access_plan(config_);
 
-    std::size_t aa_stages = (config_.num_aas + 3) / 4;
-    std::size_t needed = 2 + aa_stages + 1;
-    if (pipe.num_stages() < needed) {
-        fatal("pipeline has ", pipe.num_stages(), " stages but the ASK ",
-              "program needs ", needed,
-              " (chain pipelines or reduce num_aas)");
+    // Prove the plan PISA-legal before touching the pipeline: an illegal
+    // program never installs (and never partially declares arrays).
+    pisa::verify::PipelineBudget budget;
+    budget.num_stages = pipeline_->num_stages();
+    budget.sram_per_stage = pipeline_->stage(0)->sram_budget_bytes();
+    budget.max_arrays_per_stage = pisa::kMaxRegisterArraysPerStage;
+    pisa::verify::VerifyResult proof = pisa::verify::verify(plan_, budget);
+    if (!proof.ok()) {
+        fail_config("ASK program rejected by the static PISA verifier: ",
+                    proof.describe());
     }
 
-    std::uint32_t channels = config_.max_channels();
-    std::uint32_t w = config_.window;
-
-    // Stage 0: stale-packet boundary.
-    max_seq_ = pipe.stage(0)->add_register_array("max_seq", channels, 32);
-
-    // Stage 1: receive window + copy indicator.
-    if (config_.compact_seen) {
-        seen_ = pipe.stage(1)->add_register_array(
-            "seen", static_cast<std::size_t>(channels) * w, 1);
-    } else {
-        // Two arrays so Eq. (6)'s record and Eq. (7)'s clear-ahead touch
-        // different register arrays within the single pass.
-        seen_even_ = pipe.stage(1)->add_register_array(
-            "seen_even", static_cast<std::size_t>(channels) * w, 1);
-        seen_odd_ = pipe.stage(1)->add_register_array(
-            "seen_odd", static_cast<std::size_t>(channels) * w, 1);
-    }
-    swap_epoch_ =
-        pipe.stage(1)->add_register_array("swap_epoch", config_.max_tasks, 32);
-
-    // Stages 2..: the aggregator arrays, four per stage. Medium-key
-    // groups land on consecutive AAs, i.e. physically adjacent stages.
+    // Declare exactly what the verified plan names: the plan is the
+    // single source of truth for placement, so the static proof and the
+    // installed layout cannot diverge.
     aas_.reserve(config_.num_aas);
-    for (std::uint32_t i = 0; i < config_.num_aas; ++i) {
-        pisa::Stage* st = pipe.stage(2 + i / 4);
-        aas_.push_back(st->add_register_array(
-            "aa_" + std::to_string(i), config_.aggregators_per_aa,
-            config_.part_bits * 2));
+    for (const auto& d : plan_.arrays) {
+        pisa::RegisterArray* arr =
+            pipeline_->stage(d.stage)->add_register_array(d.name, d.entries,
+                                                          d.width_bits);
+        if (d.name == "max_seq")
+            max_seq_ = arr;
+        else if (d.name == "seen")
+            seen_ = arr;
+        else if (d.name == "seen_even")
+            seen_even_ = arr;
+        else if (d.name == "seen_odd")
+            seen_odd_ = arr;
+        else if (d.name == "swap_epoch")
+            swap_epoch_ = arr;
+        else if (d.name == "pkt_state")
+            pkt_state_ = arr;
+        else
+            aas_.push_back(arr);  // declared in ascending aa_i order
     }
-
-    // Final stage: per-packet aggregation-state bitmaps.
-    pkt_state_ = pipe.stage(2 + aa_stages)
-                     ->add_register_array(
-                         "pkt_state", static_cast<std::size_t>(channels) * w,
-                         config_.num_aas);
 
     sw.install(this);
+
+    const char* env = std::getenv("ASK_VERIFY_ACCESSES");
+    if (env != nullptr && std::string_view(env) != "" &&
+        std::string_view(env) != "0") {
+        enable_access_verification();
+    }
+}
+
+AskSwitchProgram::~AskSwitchProgram()
+{
+    if (oracle_ != nullptr && pipeline_ != nullptr &&
+        pipeline_->access_oracle() == oracle_.get()) {
+        pipeline_->set_access_oracle(nullptr);
+    }
+}
+
+void
+AskSwitchProgram::enable_access_verification()
+{
+    if (oracle_ != nullptr)
+        return;
+    oracle_ = std::make_unique<pisa::verify::AccessOracle>(plan_);
+    pipeline_->set_access_oracle(oracle_.get());
 }
 
 void

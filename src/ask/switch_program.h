@@ -24,6 +24,7 @@
 #define ASK_ASK_SWITCH_PROGRAM_H
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -36,6 +37,8 @@
 #include "ask/wire.h"
 #include "obs/trace.h"
 #include "pisa/pisa_switch.h"
+#include "pisa/verify/access_plan.h"
+#include "pisa/verify/oracle.h"
 
 namespace ask::core {
 
@@ -55,11 +58,45 @@ class AskSwitchProgram : public pisa::SwitchProgram
 {
   public:
     /**
-     * Declares all register arrays on `sw`'s pipeline and installs
-     * itself. fatal()s if the configuration does not fit the pipeline
-     * (stage count, arrays per stage, or SRAM).
+     * Statically verifies the program's AccessPlan against `sw`'s
+     * pipeline budgets, then declares the register arrays the plan
+     * names and installs itself. Throws ask::ConfigError — *before*
+     * touching the pipeline — if the plan is not PISA-legal (stage
+     * count, arrays per stage, SRAM, access discipline on any path):
+     * illegal programs never install.
+     *
+     * With the environment variable ASK_VERIFY_ACCESSES set (to
+     * anything but "0"), the runtime cross-check is armed at install
+     * (see enable_access_verification()).
      */
     AskSwitchProgram(const AskConfig& config, pisa::PisaSwitch& sw);
+
+    ~AskSwitchProgram() override;
+
+    /**
+     * The declarative access plan for `config`: every register array
+     * (name, stage, shape) plus the guarded branch structure of every
+     * packet-kind pass. This is the exact layout the constructor
+     * declares, the object the verifier proves PISA-legality over, and
+     * the oracle the runtime cross-check replays — one source of truth.
+     */
+    static pisa::verify::AccessPlan make_access_plan(const AskConfig& config);
+
+    /**
+     * Arm the runtime cross-check: every subsequent data-plane access
+     * is replayed against this program's AccessPlan, and an access the
+     * static proof never predicted panics. Idempotent.
+     */
+    void enable_access_verification();
+
+    /** The armed cross-check oracle; nullptr when not armed. */
+    const pisa::verify::AccessOracle* access_oracle() const
+    {
+        return oracle_.get();
+    }
+
+    /** The verified plan this program was installed from. */
+    const pisa::verify::AccessPlan& access_plan() const { return plan_; }
 
     // ---- control plane (used by AskSwitchController) --------------------
 
@@ -196,6 +233,9 @@ class AskSwitchProgram : public pisa::SwitchProgram
     AskConfig config_;
     KeySpace key_space_;
     sim::Simulator* simulator_ = nullptr;  ///< trace timestamps
+    pisa::Pipeline* pipeline_ = nullptr;   ///< hosts the arrays + oracle hook
+    pisa::verify::AccessPlan plan_;
+    std::unique_ptr<pisa::verify::AccessOracle> oracle_;
 
     // Register arrays (owned by the pipeline's stages).
     pisa::RegisterArray* max_seq_ = nullptr;

@@ -9,6 +9,10 @@
  *              invalid arguments); exits with code 1.
  *  - panic():  an internal invariant was violated (a bug in this library);
  *              aborts so a core dump / debugger can capture state.
+ *  - fail_config(): an install-time configuration reject (a program or
+ *              layout a pipeline cannot legally host); throws ConfigError
+ *              so embedders — the controller, the verifier sweep, tests —
+ *              can catch it and report or recover instead of dying.
  */
 #ifndef ASK_COMMON_LOGGING_H
 #define ASK_COMMON_LOGGING_H
@@ -16,6 +20,7 @@
 #include <cstdlib>
 #include <iostream>
 #include <sstream>
+#include <stdexcept>
 #include <string>
 
 namespace ask {
@@ -80,6 +85,31 @@ panic(Args&&... args)
 {
     detail::log_line("panic", detail::concat_args(std::forward<Args>(args)...));
     std::abort();
+}
+
+/**
+ * An install-time configuration reject: the requested program, layout,
+ * or tunable cannot be hosted by the target pipeline. Catchable — a
+ * rejected install must leave the process alive (the verifier sweep
+ * and the controller rely on comparing/reporting rejects).
+ */
+class ConfigError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/**
+ * Reject an install-time configuration: throws ConfigError. Unlike
+ * fatal(), the caller survives; unlike panic(), this is a *user* error
+ * (over-provisioned SRAM, illegal access plan, bad tunables), not a
+ * library bug.
+ */
+template <typename... Args>
+[[noreturn]] void
+fail_config(Args&&... args)
+{
+    throw ConfigError(detail::concat_args(std::forward<Args>(args)...));
 }
 
 /** panic() when a condition that must hold does not. */

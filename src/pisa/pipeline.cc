@@ -1,12 +1,14 @@
 #include "pisa/pipeline.h"
 
 #include "common/logging.h"
+#include "pisa/verify/oracle.h"
 
 namespace ask::pisa {
 
 Pipeline::Pipeline(std::size_t num_stages, std::size_t sram_per_stage)
 {
-    ASK_ASSERT(num_stages > 0, "pipeline needs at least one stage");
+    if (num_stages == 0)
+        fail_config("pipeline needs at least one stage");
     stages_.reserve(num_stages);
     for (std::size_t i = 0; i < num_stages; ++i)
         stages_.push_back(std::make_unique<Stage>(this, i, sram_per_stage));
@@ -17,6 +19,24 @@ Pipeline::begin_pass()
 {
     ++pass_epoch_;
     pass_stage_cursor_ = 0;
+    if (oracle_ != nullptr)
+        oracle_->begin_pass();
+}
+
+void
+Pipeline::set_access_oracle(verify::AccessOracle* oracle)
+{
+    oracle_ = oracle;
+}
+
+void
+Pipeline::check_predicted(const std::string& array_name)
+{
+    if (oracle_ == nullptr)
+        return;
+    std::string diag;
+    if (!oracle_->on_access(array_name, &diag))
+        panic("ASK_VERIFY_ACCESSES: ", diag);
 }
 
 void

@@ -19,6 +19,10 @@
 
 namespace ask::pisa {
 
+namespace verify {
+class AccessOracle;
+}  // namespace verify
+
 /** Default number of match-action stages per pipeline (Tofino3: 16). */
 constexpr std::size_t kDefaultStagesPerPipeline = 16;
 
@@ -46,6 +50,20 @@ class Pipeline
     /** Called by RegisterArray::rmw to enforce stage ordering. */
     void touch_stage(std::size_t stage_index);
 
+    /**
+     * Arm the ASK_VERIFY_ACCESSES runtime cross-check: every data-plane
+     * access of every subsequent pass is replayed against `oracle`'s
+     * access plan, and an access the static proof never predicted
+     * panics with the pass's access log. `oracle` is borrowed (owned by
+     * the installed program); nullptr disarms.
+     */
+    void set_access_oracle(verify::AccessOracle* oracle);
+    verify::AccessOracle* access_oracle() const { return oracle_; }
+
+    /** Called by RegisterArray::rmw: cross-check one access against
+     *  the armed oracle (no-op when disarmed). */
+    void check_predicted(const std::string& array_name);
+
     std::size_t num_stages() const { return stages_.size(); }
     Stage* stage(std::size_t i) { return stages_.at(i).get(); }
 
@@ -70,6 +88,7 @@ class Pipeline
     std::vector<std::unique_ptr<Stage>> stages_;
     std::uint64_t pass_epoch_ = 0;
     std::size_t pass_stage_cursor_ = 0;
+    verify::AccessOracle* oracle_ = nullptr;  ///< borrowed, may be null
 };
 
 }  // namespace ask::pisa

@@ -14,9 +14,10 @@ RegisterArray::RegisterArray(std::string name, std::size_t num_entries,
       width_bits_(width_bits),
       values_(num_entries, 0)
 {
-    ASK_ASSERT(width_bits >= 1 && width_bits <= 64,
-               "register width must be 1..64 bits: ", name_);
-    ASK_ASSERT(num_entries > 0, "empty register array: ", name_);
+    if (width_bits < 1 || width_bits > 64)
+        fail_config("register width must be 1..64 bits: ", name_);
+    if (num_entries == 0)
+        fail_config("empty register array: ", name_);
     max_value_ = width_bits == 64 ? ~0ULL : ((1ULL << width_bits) - 1);
 }
 
@@ -35,6 +36,7 @@ RegisterArray::check_access(std::size_t index)
               "' accessed twice in one pipeline pass");
     }
     pipe->touch_stage(stage_->index());
+    pipe->check_predicted(name_);
     pass_epoch_ = epoch;
     ++access_count_;
 }

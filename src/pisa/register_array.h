@@ -8,7 +8,11 @@
  * a read-modify-write of a *single* index (one stateful-ALU operation).
  * The model enforces the restriction at runtime — a program that touches
  * an array twice in one pass, or walks back to an earlier stage, panics —
- * so passing the test suite proves the ASK program is PISA-legal.
+ * so passing the test suite proves the ASK program is PISA-legal on the
+ * packets it ran. The static verifier (`pisa/verify/`) complements this
+ * with an install-time proof over *every* path, and with
+ * ASK_VERIFY_ACCESSES armed each dynamic access is additionally
+ * cross-checked against that proof's access plan.
  */
 #ifndef ASK_PISA_REGISTER_ARRAY_H
 #define ASK_PISA_REGISTER_ARRAY_H

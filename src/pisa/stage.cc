@@ -24,16 +24,16 @@ Stage::add_register_array(std::string name, std::size_t num_entries,
                           std::uint32_t width_bits)
 {
     if (arrays_.size() >= kMaxRegisterArraysPerStage) {
-        fatal("stage ", index_, " already hosts ",
-              kMaxRegisterArraysPerStage,
-              " register arrays; cannot place '", name, "'");
+        fail_config("stage ", index_, " already hosts ",
+                    kMaxRegisterArraysPerStage,
+                    " register arrays; cannot place '", name, "'");
     }
     auto arr =
         std::make_unique<RegisterArray>(std::move(name), num_entries, width_bits);
     if (sram_used_bytes() + arr->sram_bytes() > sram_budget_) {
-        fatal("stage ", index_, " SRAM exhausted placing '", arr->name(),
-              "': used ", sram_used_bytes(), " + ", arr->sram_bytes(),
-              " > budget ", sram_budget_);
+        fail_config("stage ", index_, " SRAM exhausted placing '", arr->name(),
+                    "': used ", sram_used_bytes(), " + ", arr->sram_bytes(),
+                    " > budget ", sram_budget_);
     }
     arr->stage_ = this;
     arrays_.push_back(std::move(arr));

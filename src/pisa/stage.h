@@ -37,8 +37,10 @@ class Stage
 
     /**
      * Declare a register array on this stage.
-     * fatal()s if the stage is out of array slots or SRAM: these are
-     * configuration errors a user can hit by over-provisioning.
+     * Throws ask::ConfigError if the stage is out of array slots or
+     * SRAM: these are install-time configuration errors a user can hit
+     * by over-provisioning, and they must leave the process alive (the
+     * verifier sweep compares rejects against the static proof).
      * @return the array, owned by the stage.
      */
     RegisterArray* add_register_array(std::string name,

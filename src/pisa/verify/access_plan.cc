@@ -1,0 +1,69 @@
+#include "pisa/verify/access_plan.h"
+
+#include <utility>
+
+namespace ask::pisa::verify {
+
+const char*
+access_kind_name(AccessKind kind)
+{
+    switch (kind) {
+      case AccessKind::kRead: return "read";
+      case AccessKind::kRmw: return "RMW";
+      case AccessKind::kWrite: return "write";
+    }
+    return "?";
+}
+
+std::size_t
+ArrayDecl::sram_bytes() const
+{
+    return (entries * width_bits + 7) / 8;
+}
+
+const ArrayDecl*
+AccessPlan::find_array(const std::string& name) const
+{
+    for (const auto& d : arrays)
+        if (d.name == name)
+            return &d;
+    return nullptr;
+}
+
+Step
+access(std::string array, AccessKind kind)
+{
+    Step s;
+    s.kind = Step::Kind::kAccess;
+    s.array = std::move(array);
+    s.access = kind;
+    return s;
+}
+
+Step
+access(std::string array, AccessKind kind, std::vector<std::string> data_deps)
+{
+    Step s = access(std::move(array), kind);
+    s.data_deps = std::move(data_deps);
+    return s;
+}
+
+Step
+guarded_access(std::string array, AccessKind kind, Guard guard)
+{
+    Step s = access(std::move(array), kind);
+    s.guard = std::move(guard);
+    return s;
+}
+
+Step
+branch(Guard guard, std::vector<Arm> arms)
+{
+    Step s;
+    s.kind = Step::Kind::kBranch;
+    s.guard = std::move(guard);
+    s.arms = std::move(arms);
+    return s;
+}
+
+}  // namespace ask::pisa::verify

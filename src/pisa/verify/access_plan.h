@@ -1,0 +1,158 @@
+/**
+ * @file
+ * AccessPlan: a declarative IR describing every register-array access a
+ * switch program can make during one pipeline pass.
+ *
+ * A plan has two halves:
+ *
+ *  - **Array declarations**: per named array, its stage placement,
+ *    entry count, and register width — everything the install step
+ *    needs to lay the program out, and everything the verifier needs
+ *    to prove the layout fits a pipeline's budgets.
+ *
+ *  - **Pass plans**: per packet-kind entry point (DATA, LONG_DATA,
+ *    SWAP, plain forwarding), a tree of guarded accesses and
+ *    if/else branches describing the control-flow structure the
+ *    program walks within one pass — stale-vs-fresh sequence checks,
+ *    even/odd seen segments, epoch-parity shadow-copy selection.
+ *
+ * The IR is deliberately tiny: a pass body is a sequence of steps, a
+ * step is either a single register access or a branch whose arms are
+ * again sequences. Guards carry a display label plus the names of the
+ * register arrays whose pass results feed the predicate (header-only
+ * predicates have no dependencies). An access with a non-empty guard
+ * is *predicated*: it may be skipped at runtime (the stateful ALU is
+ * reserved but disabled), which is exactly how the dynamic
+ * cross-check (`AccessOracle`) treats it.
+ *
+ * The verifier (`verifier.h`) walks every root-to-leaf path of every
+ * pass and proves PISA-legality statically; the oracle (`oracle.h`)
+ * replays dynamic accesses against the same paths.
+ */
+#ifndef ASK_PISA_VERIFY_ACCESS_PLAN_H
+#define ASK_PISA_VERIFY_ACCESS_PLAN_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ask::pisa::verify {
+
+/** What the single per-pass stateful-ALU operation does to the array. */
+enum class AccessKind : std::uint8_t
+{
+    kRead,  ///< read-only (value consumed, register unchanged)
+    kRmw,   ///< read-modify-write
+    kWrite, ///< write-only (previous value ignored)
+};
+
+/** Short display name ("read" / "RMW" / "write"). */
+const char* access_kind_name(AccessKind kind);
+
+/** Declaration of one register array: placement and shape. */
+struct ArrayDecl
+{
+    std::string name;
+    /** Stage index the array is placed on. */
+    std::size_t stage = 0;
+    /** Number of registers. */
+    std::size_t entries = 0;
+    /** Register width; 1..64 bits. */
+    std::uint32_t width_bits = 0;
+
+    /** SRAM footprint in bytes (entries are bit-packed, matching
+     *  RegisterArray::sram_bytes()). */
+    std::size_t sram_bytes() const;
+};
+
+/**
+ * A predicate attached to an access or branch: a human-readable label
+ * plus the register arrays whose current-pass results feed the
+ * predicate. Header-only predicates (packet fields, match-table
+ * lookups) list no dependencies.
+ */
+struct Guard
+{
+    std::string label;
+    std::vector<std::string> deps;
+};
+
+struct Arm;
+
+/**
+ * One step of a pass body: either a single register access or a
+ * branch over guard arms. (A tagged struct rather than std::variant so
+ * the recursive Step/Arm/Seq shape needs no indirection.)
+ */
+struct Step
+{
+    enum class Kind : std::uint8_t { kAccess, kBranch };
+
+    Kind kind = Kind::kAccess;
+
+    // -- kAccess fields ----------------------------------------------------
+    std::string array;
+    AccessKind access = AccessKind::kRmw;
+    /** Predication: a non-empty label means the ALU may be disabled for
+     *  this pass (the access is skippable at runtime). `guard.deps`
+     *  must name arrays of strictly earlier stages. */
+    Guard guard;
+    /** Data dependencies of a *mandatory* access: arrays whose pass
+     *  results select the operation performed (not whether it runs).
+     *  Same forward-only stage rule as guard deps. */
+    std::vector<std::string> data_deps;
+
+    // -- kBranch fields ----------------------------------------------------
+    std::vector<Arm> arms;
+};
+
+/** An ordered sequence of steps (a pass body or a branch arm). */
+struct Seq
+{
+    std::vector<Step> steps;
+};
+
+/** One arm of a branch. */
+struct Arm
+{
+    std::string label;
+    Seq body;
+};
+
+/** The access structure of one packet-kind entry point. */
+struct PassPlan
+{
+    std::string name;
+    Seq body;
+};
+
+/** The full plan: declarations plus every pass's access structure. */
+struct AccessPlan
+{
+    /** Program name (diagnostics). */
+    std::string program;
+    std::vector<ArrayDecl> arrays;
+    std::vector<PassPlan> passes;
+
+    /** Declaration lookup; nullptr when absent. */
+    const ArrayDecl* find_array(const std::string& name) const;
+};
+
+// ---- construction helpers ------------------------------------------------
+
+/** An unconditional access. */
+Step access(std::string array, AccessKind kind);
+
+/** An unconditional access whose operation consumes `data_deps`. */
+Step access(std::string array, AccessKind kind,
+            std::vector<std::string> data_deps);
+
+/** A predicated (skippable) access. */
+Step guarded_access(std::string array, AccessKind kind, Guard guard);
+
+/** A branch over `arms`, predicated on `guard`. */
+Step branch(Guard guard, std::vector<Arm> arms);
+
+}  // namespace ask::pisa::verify
+
+#endif  // ASK_PISA_VERIFY_ACCESS_PLAN_H

@@ -1,0 +1,59 @@
+#include "pisa/verify/oracle.h"
+
+#include <sstream>
+
+namespace ask::pisa::verify {
+
+AccessOracle::AccessOracle(const AccessPlan& plan)
+    : paths_(enumerate_paths(plan))
+{
+}
+
+void
+AccessOracle::begin_pass()
+{
+    ++passes_;
+    pass_log_.clear();
+    states_.clear();
+    states_.reserve(paths_.size());
+    for (std::size_t p = 0; p < paths_.size(); ++p)
+        states_.emplace_back(p, 0);
+}
+
+bool
+AccessOracle::on_access(const std::string& array, std::string* diag)
+{
+    ++accesses_;
+    pass_log_.push_back(array);
+
+    std::vector<std::pair<std::size_t, std::size_t>> next;
+    for (const auto& [p, pos] : states_) {
+        const auto& accesses = paths_[p].accesses;
+        // Advance over predicated accesses whose ALU was disabled this
+        // pass; a mandatory access that does not match kills the path.
+        for (std::size_t i = pos; i < accesses.size(); ++i) {
+            if (accesses[i].array == array) {
+                next.emplace_back(p, i + 1);
+                break;
+            }
+            if (!accesses[i].optional)
+                break;
+        }
+    }
+    states_ = std::move(next);
+    if (!states_.empty())
+        return true;
+
+    if (diag != nullptr) {
+        std::ostringstream oss;
+        oss << "access to '" << array
+            << "' was not predicted by the access plan; pass so far:";
+        for (const auto& a : pass_log_)
+            oss << " " << a;
+        oss << " (no plan path admits this sequence)";
+        *diag = oss.str();
+    }
+    return false;
+}
+
+}  // namespace ask::pisa::verify

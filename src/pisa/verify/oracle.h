@@ -1,0 +1,66 @@
+/**
+ * @file
+ * AccessOracle: the runtime half of the static verifier.
+ *
+ * Built from a (verified) AccessPlan, the oracle replays every
+ * dynamic register-array access of a pipeline pass against the plan's
+ * enumerated paths. It is an NFA over path positions: a pass starts
+ * with every path's start state alive; each access advances the
+ * states that can consume it (skipping predicated accesses whose ALUs
+ * were disabled this pass); a pass whose access lands in no surviving
+ * state was *not predicted by the plan* — the program executed an
+ * access the static proof never saw, and the caller panics.
+ *
+ * Enabled via `Pipeline::set_access_oracle()` — the
+ * `ASK_VERIFY_ACCESSES` cross-check mode — and by the fuzzer's
+ * differential campaigns, which arm it unconditionally.
+ */
+#ifndef ASK_PISA_VERIFY_ORACLE_H
+#define ASK_PISA_VERIFY_ORACLE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "pisa/verify/access_plan.h"
+#include "pisa/verify/verifier.h"
+
+namespace ask::pisa::verify {
+
+/** Replays dynamic accesses against an AccessPlan's paths. */
+class AccessOracle
+{
+  public:
+    /** `plan` must have passed verify(); the oracle enumerates its
+     *  paths once, up front. */
+    explicit AccessOracle(const AccessPlan& plan);
+
+    /** Start a new pass: every path is alive again. */
+    void begin_pass();
+
+    /**
+     * Record one data-plane access. Returns true when at least one
+     * plan path predicts it; on false, `diag` (if non-null) receives
+     * the accesses observed this pass and the paths that died.
+     */
+    bool on_access(const std::string& array, std::string* diag);
+
+    /** Passes started (for cross-checking against switch counters). */
+    std::uint64_t passes() const { return passes_; }
+
+    /** Accesses checked across all passes. */
+    std::uint64_t accesses() const { return accesses_; }
+
+  private:
+    std::vector<PathListing> paths_;
+    /** Alive NFA states: (path index, next access position). */
+    std::vector<std::pair<std::size_t, std::size_t>> states_;
+    /** Accesses observed in the current pass (diagnostics). */
+    std::vector<std::string> pass_log_;
+    std::uint64_t passes_ = 0;
+    std::uint64_t accesses_ = 0;
+};
+
+}  // namespace ask::pisa::verify
+
+#endif  // ASK_PISA_VERIFY_ORACLE_H

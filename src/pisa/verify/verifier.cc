@@ -1,0 +1,359 @@
+#include "pisa/verify/verifier.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <set>
+#include <sstream>
+#include <utility>
+
+namespace ask::pisa::verify {
+
+namespace {
+
+/** Hard cap on enumerated paths: plans are tiny control-flow trees;
+ *  anything past this is a malformed (or adversarial) plan. */
+constexpr std::size_t kMaxPaths = 4096;
+
+/** One access along an enumerated path, with the guards of every
+ *  enclosing branch (whose deps constrain it). */
+struct RichEntry
+{
+    const Step* step = nullptr;
+    std::vector<const Guard*> enclosing;
+};
+
+/** A fully materialized root-to-leaf path. */
+struct RichPath
+{
+    std::string pass;
+    std::vector<std::string> arms;
+    std::vector<RichEntry> entries;
+    /** Branch decision points: the guard and how many accesses
+     *  preceded it (its deps must be produced by those). */
+    struct BranchPoint
+    {
+        const Guard* guard = nullptr;
+        std::size_t entry_index = 0;
+    };
+    std::vector<BranchPoint> branches;
+
+    std::string
+    trace() const
+    {
+        std::string t = pass;
+        for (std::size_t i = 0; i < arms.size(); ++i)
+            t += (i == 0 ? ": " : " -> ") + arms[i];
+        return t;
+    }
+};
+
+using PathSink = std::function<void(RichPath&)>;
+
+/** DFS over a Seq in continuation-passing style: `done` receives the
+ *  path state once every step (and the caller's remaining steps) ran. */
+void
+walk_seq(const Seq& seq, std::size_t i, RichPath& cur,
+         const std::vector<const Guard*>& scope, std::size_t& paths,
+         const PathSink& done)
+{
+    if (paths > kMaxPaths)
+        return;  // pruned; reported as a violation by the caller
+    if (i == seq.steps.size()) {
+        done(cur);
+        return;
+    }
+    const Step& step = seq.steps[i];
+    if (step.kind == Step::Kind::kAccess) {
+        cur.entries.push_back({&step, scope});
+        walk_seq(seq, i + 1, cur, scope, paths, done);
+        cur.entries.pop_back();
+        return;
+    }
+    for (const Arm& arm : step.arms) {
+        cur.arms.push_back(arm.label);
+        cur.branches.push_back({&step.guard, cur.entries.size()});
+        std::vector<const Guard*> inner = scope;
+        inner.push_back(&step.guard);
+        walk_seq(arm.body, 0, cur, inner, paths,
+                 [&](RichPath& p) { walk_seq(seq, i + 1, p, scope, paths, done); });
+        cur.branches.pop_back();
+        cur.arms.pop_back();
+    }
+}
+
+void
+enumerate_rich(const AccessPlan& plan, std::size_t& paths,
+               const PathSink& sink)
+{
+    for (const auto& pass : plan.passes) {
+        RichPath cur;
+        cur.pass = pass.name;
+        walk_seq(pass.body, 0, cur, {}, paths, [&](RichPath& p) {
+            ++paths;
+            if (paths <= kMaxPaths)
+                sink(p);
+        });
+    }
+}
+
+/** Collects violations, deduplicating identical (rule, message) pairs
+ *  that different paths reach (the first path trace wins). */
+class Reporter
+{
+  public:
+    explicit Reporter(VerifyResult& out) : out_(out) {}
+
+    void
+    add(std::string rule, std::string message, std::string path = "")
+    {
+        std::string key = rule + '\0' + message;
+        if (!seen_.insert(std::move(key)).second)
+            return;
+        out_.violations.push_back(
+            {std::move(rule), std::move(message), std::move(path)});
+    }
+
+  private:
+    VerifyResult& out_;
+    std::set<std::string> seen_;
+};
+
+void
+check_structure(const AccessPlan& plan, const PipelineBudget& budget,
+                Reporter& report)
+{
+    std::set<std::string> names;
+    std::map<std::size_t, std::size_t> arrays_per_stage;
+    std::map<std::size_t, std::size_t> sram_per_stage;
+
+    for (const auto& d : plan.arrays) {
+        if (!names.insert(d.name).second)
+            report.add("declaration",
+                       "array '" + d.name + "' declared twice");
+        if (d.entries == 0)
+            report.add("declaration", "array '" + d.name + "' is empty");
+        if (d.width_bits < 1 || d.width_bits > 64)
+            report.add("declaration",
+                       "array '" + d.name + "' width must be 1..64 bits: " +
+                           std::to_string(d.width_bits));
+        if (d.stage >= budget.num_stages) {
+            report.add("stage-count",
+                       "array '" + d.name + "' placed on stage " +
+                           std::to_string(d.stage) +
+                           " but the pipeline has only " +
+                           std::to_string(budget.num_stages) +
+                           " stages (chain pipelines or shrink the program)");
+            continue;  // budgets of a nonexistent stage are meaningless
+        }
+        ++arrays_per_stage[d.stage];
+        sram_per_stage[d.stage] += d.sram_bytes();
+    }
+    for (const auto& [stage, count] : arrays_per_stage) {
+        if (count > budget.max_arrays_per_stage)
+            report.add("stage-arrays",
+                       "stage " + std::to_string(stage) + " hosts " +
+                           std::to_string(count) + " register arrays (max " +
+                           std::to_string(budget.max_arrays_per_stage) + ")");
+    }
+    for (const auto& [stage, bytes] : sram_per_stage) {
+        if (bytes > budget.sram_per_stage)
+            report.add("sram", "stage " + std::to_string(stage) +
+                                   " SRAM exhausted: arrays need " +
+                                   std::to_string(bytes) + " bytes > budget " +
+                                   std::to_string(budget.sram_per_stage));
+    }
+}
+
+void
+check_path(const AccessPlan& plan, const RichPath& path, Reporter& report,
+           std::set<std::string>& used)
+{
+    std::string trace = path.trace();
+    std::map<std::string, std::size_t> accessed_stage;  // array -> stage
+    std::size_t max_stage = 0;
+    std::string max_array;
+
+    auto check_dep = [&](const RichEntry& entry, const ArrayDecl& decl,
+                         const std::string& dep, const char* what) {
+        const ArrayDecl* dd = plan.find_array(dep);
+        if (dd == nullptr) {
+            report.add("forward-dependency",
+                       "'" + decl.name + "' " + what + " on undeclared array '" +
+                           dep + "'",
+                       trace);
+            return;
+        }
+        if (accessed_stage.find(dep) == accessed_stage.end()) {
+            report.add("forward-dependency",
+                       "'" + decl.name + "' " + what + " on '" + dep +
+                           "', which is not accessed earlier on this path",
+                       trace);
+            return;
+        }
+        if (dd->stage >= decl.stage) {
+            report.add(
+                "forward-dependency",
+                "stage " + std::to_string(decl.stage) + " '" + decl.name +
+                    "' " + what + " on '" + dep + "' (stage " +
+                    std::to_string(dd->stage) +
+                    "): an array may only feed guards of later stages",
+                trace);
+        }
+        (void)entry;
+    };
+
+    std::size_t branch_cursor = 0;
+    for (std::size_t idx = 0; idx < path.entries.size(); ++idx) {
+        const RichEntry& entry = path.entries[idx];
+
+        // Branch predicates decided before this access: their deps must
+        // already have been produced on this path.
+        while (branch_cursor < path.branches.size() &&
+               path.branches[branch_cursor].entry_index <= idx) {
+            const auto& bp = path.branches[branch_cursor];
+            if (bp.entry_index == idx) {
+                for (const auto& dep : bp.guard->deps) {
+                    bool earlier = accessed_stage.count(dep) != 0;
+                    if (!earlier)
+                        report.add("forward-dependency",
+                                   "branch '" + bp.guard->label +
+                                       "' depends on '" + dep +
+                                       "', which is not accessed earlier "
+                                       "on this path",
+                                   trace);
+                }
+            }
+            ++branch_cursor;
+        }
+
+        used.insert(entry.step->array);
+        const ArrayDecl* decl = plan.find_array(entry.step->array);
+        if (decl == nullptr) {
+            report.add("coverage",
+                       "access to undeclared array '" + entry.step->array + "'",
+                       trace);
+            continue;
+        }
+
+        auto [it, first] = accessed_stage.emplace(decl->name, decl->stage);
+        (void)it;
+        if (!first) {
+            report.add("single-access",
+                       "stage " + std::to_string(decl->stage) + " '" +
+                           decl->name + "' " +
+                           access_kind_name(entry.step->access) +
+                           " reached twice via " + trace,
+                       trace);
+            continue;
+        }
+
+        if (decl->stage < max_stage) {
+            report.add("backward-stage",
+                       "stage " + std::to_string(decl->stage) + " '" +
+                           decl->name + "' accessed after stage " +
+                           std::to_string(max_stage) + " '" + max_array + "'",
+                       trace);
+        } else {
+            max_stage = decl->stage;
+            max_array = decl->name;
+        }
+
+        for (const auto& dep : entry.step->guard.deps)
+            check_dep(entry, *decl, dep, "guard depends");
+        for (const auto& dep : entry.step->data_deps)
+            check_dep(entry, *decl, dep, "operation depends");
+        for (const Guard* g : entry.enclosing)
+            for (const auto& dep : g->deps)
+                check_dep(entry, *decl, dep,
+                          ("branch '" + g->label + "' depends").c_str());
+    }
+
+    // Trailing branch points (arms with no subsequent access): every
+    // access of the path precedes them, so the final map is the check.
+    for (; branch_cursor < path.branches.size(); ++branch_cursor) {
+        for (const auto& dep : path.branches[branch_cursor].guard->deps) {
+            if (accessed_stage.count(dep) == 0)
+                report.add("forward-dependency",
+                           "branch '" +
+                               path.branches[branch_cursor].guard->label +
+                               "' depends on '" + dep +
+                               "', which is not accessed earlier on this path",
+                           trace);
+        }
+    }
+}
+
+}  // namespace
+
+std::string
+VerifyResult::describe() const
+{
+    std::ostringstream oss;
+    oss << (ok() ? "PISA-legal" : "NOT PISA-legal") << " (" << paths_checked
+        << " paths checked";
+    if (!ok())
+        oss << ", " << violations.size() << " violations";
+    oss << ")";
+    for (const auto& v : violations) {
+        oss << "\n  [" << v.rule << "] " << v.message;
+        if (!v.path.empty() && v.message.find(v.path) == std::string::npos)
+            oss << " (via " << v.path << ")";
+    }
+    return oss.str();
+}
+
+VerifyResult
+verify(const AccessPlan& plan, const PipelineBudget& budget)
+{
+    VerifyResult out;
+    Reporter report(out);
+
+    if (budget.num_stages == 0) {
+        report.add("stage-count", "pipeline has no stages");
+        return out;
+    }
+    check_structure(plan, budget, report);
+
+    std::set<std::string> used;
+    std::size_t paths = 0;
+    enumerate_rich(plan, paths,
+                   [&](RichPath& p) { check_path(plan, p, report, used); });
+    if (paths > kMaxPaths) {
+        report.add("declaration",
+                   "plan enumerates more than " + std::to_string(kMaxPaths) +
+                       " paths; branch structure is malformed");
+        out.paths_checked = kMaxPaths;
+    } else {
+        out.paths_checked = paths;
+    }
+
+    for (const auto& d : plan.arrays) {
+        if (used.count(d.name) == 0)
+            report.add("coverage", "declared array '" + d.name +
+                                       "' is never accessed by any pass");
+    }
+    return out;
+}
+
+std::vector<PathListing>
+enumerate_paths(const AccessPlan& plan)
+{
+    std::vector<PathListing> out;
+    std::size_t paths = 0;
+    enumerate_rich(plan, paths, [&](RichPath& p) {
+        PathListing listing;
+        listing.trace = p.trace();
+        for (const auto& e : p.entries) {
+            const ArrayDecl* decl = plan.find_array(e.step->array);
+            listing.accesses.push_back({e.step->array,
+                                        decl != nullptr ? decl->stage : 0,
+                                        e.step->access,
+                                        !e.step->guard.label.empty()});
+        }
+        out.push_back(std::move(listing));
+    });
+    return out;
+}
+
+}  // namespace ask::pisa::verify

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * The static PISA-legality verifier.
+ *
+ * Given an AccessPlan and a pipeline's declared budgets, the verifier
+ * enumerates every root-to-leaf path through every pass plan and
+ * proves, for each path:
+ *
+ *  - **single access**: no register array is accessed more than once
+ *    (one stateful-ALU operation per array per pass, paper §2.2.1);
+ *  - **forward stages**: accesses proceed in non-decreasing stage
+ *    order (a packet traverses the pipeline once, front to back);
+ *  - **forward dependencies**: an array may only feed guards (and the
+ *    data dependencies of mandatory accesses) of *strictly later*
+ *    stages, and must have been accessed earlier on the same path —
+ *    the stateful ALU's result is available to downstream stages
+ *    only, mirroring the P4 compiler's dependency analysis.
+ *
+ * Structurally, independent of paths:
+ *
+ *  - every declared array fits its stage (stage index in range, at
+ *    most `max_arrays_per_stage` arrays per stage, per-stage SRAM);
+ *  - **coverage**: every accessed array is declared and every
+ *    declared array is reachable by some path (no dead state).
+ *
+ * Verification failures carry a path trace naming the branch arms
+ * that reach the violation, e.g.
+ * `stage 2 'aa_3' RMW reached twice via data: fresh -> task -> first`.
+ */
+#ifndef ASK_PISA_VERIFY_VERIFIER_H
+#define ASK_PISA_VERIFY_VERIFIER_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "pisa/verify/access_plan.h"
+
+namespace ask::pisa::verify {
+
+/** The budgets a plan is verified against. */
+struct PipelineBudget
+{
+    std::size_t num_stages = 0;
+    std::size_t sram_per_stage = 0;
+    std::size_t max_arrays_per_stage = 4;
+};
+
+/** One statically proven violation. */
+struct Violation
+{
+    /** Rule identifier: "single-access", "backward-stage",
+     *  "forward-dependency", "stage-count", "stage-arrays", "sram",
+     *  "coverage", "declaration". */
+    std::string rule;
+    std::string message;
+    /** Branch-arm trace of the offending path ("" for structural
+     *  violations), e.g. "data: fresh -> even-segment -> task". */
+    std::string path;
+};
+
+/** Everything a verification run proved (or failed to). */
+struct VerifyResult
+{
+    std::vector<Violation> violations;
+    /** Root-to-leaf paths enumerated across all passes. */
+    std::size_t paths_checked = 0;
+
+    bool ok() const { return violations.empty(); }
+
+    /** Multi-line human-readable rendering of every violation. */
+    std::string describe() const;
+};
+
+/** Statically verify `plan` against `budget`. */
+VerifyResult verify(const AccessPlan& plan, const PipelineBudget& budget);
+
+/**
+ * One fully enumerated path: the branch-arm trace and the ordered
+ * accesses along it. Exposed for the report CLI and the dynamic
+ * oracle, which replay the same enumeration the verifier proves over.
+ */
+struct PathListing
+{
+    /** "pass: arm -> arm -> ..." (just "pass" when branch-free). */
+    std::string trace;
+    /** Accesses in path order. */
+    struct Entry
+    {
+        std::string array;
+        std::size_t stage = 0;
+        AccessKind kind = AccessKind::kRmw;
+        /** Predicated (skippable at runtime). */
+        bool optional = false;
+    };
+    std::vector<Entry> accesses;
+};
+
+/**
+ * Enumerate every path of every pass. Requires a plan whose arrays
+ * are all declared (run verify() first); undeclared arrays get stage 0.
+ */
+std::vector<PathListing> enumerate_paths(const AccessPlan& plan);
+
+}  // namespace ask::pisa::verify
+
+#endif  // ASK_PISA_VERIFY_VERIFIER_H

@@ -7,6 +7,7 @@
 #include "ask/seen_window.h"
 #include "common/hash.h"
 #include "common/random.h"
+#include "pisa/verify/oracle.h"
 #include "testing/oracle.h"
 
 namespace ask::testing {
@@ -125,6 +126,44 @@ probe_register_hygiene(const ScenarioSpec& spec, core::AskCluster& cluster,
     }
 }
 
+/**
+ * Access-plan probe: with the runtime cross-check armed, every dynamic
+ * register access was already matched against the static plan (an
+ * unpredicted access panics mid-run); afterwards the oracle's counters
+ * must agree exactly with the pipeline's own — no access slipped past
+ * the cross-check, no pass went unchecked.
+ */
+void
+probe_access_plan(core::AskCluster& cluster, DiffResult& out)
+{
+    const pisa::verify::AccessOracle* oracle =
+        cluster.program().access_oracle();
+    if (oracle == nullptr) {
+        out.probe_failures.push_back(
+            {"access_plan", "runtime cross-check was not armed"});
+        return;
+    }
+    pisa::Pipeline& pipe = cluster.pisa_switch().pipeline();
+    std::uint64_t dynamic = 0;
+    for (std::size_t s = 0; s < pipe.num_stages(); ++s)
+        for (std::size_t i = 0; i < pipe.stage(s)->array_count(); ++i)
+            dynamic += pipe.stage(s)->array(i)->access_count();
+    if (oracle->accesses() != dynamic) {
+        out.probe_failures.push_back(
+            {"access_plan",
+             "oracle checked " + std::to_string(oracle->accesses()) +
+                 " accesses but the arrays record " +
+                 std::to_string(dynamic)});
+    }
+    if (oracle->passes() != pipe.pass_epoch()) {
+        out.probe_failures.push_back(
+            {"access_plan",
+             "oracle saw " + std::to_string(oracle->passes()) +
+                 " passes but the pipeline ran " +
+                 std::to_string(pipe.pass_epoch())});
+    }
+}
+
 }  // namespace
 
 bool
@@ -184,6 +223,10 @@ run_differential(const ScenarioSpec& spec)
     DiffResult out;
 
     core::AskCluster cluster(spec.cluster);
+    // Differential campaigns always run the access-plan cross-check:
+    // every register access of the run is replayed against the static
+    // proof (ASK_VERIFY_ACCESSES semantics, unconditionally).
+    cluster.program().enable_access_verification();
     if (!spec.chaos.empty())
         cluster.arm_chaos(spec.chaos);
 
@@ -257,6 +300,7 @@ run_differential(const ScenarioSpec& spec)
     probe_journal(spec, cluster, out);
     probe_register_hygiene(spec, cluster, out);
     probe_seen_models(spec, out);
+    probe_access_plan(cluster, out);
 
     return out;
 }

@@ -1,7 +1,10 @@
 /** Unit tests for the PISA switch substrate and its enforced limits. */
 #include <gtest/gtest.h>
 
+#include <string>
+
 #include "ask/switch_program.h"
+#include "common/logging.h"
 #include "net/network.h"
 #include "pisa/pipeline.h"
 #include "pisa/pisa_switch.h"
@@ -9,6 +12,23 @@
 
 namespace ask::pisa {
 namespace {
+
+/** Run `body`, expecting an install-time ask::ConfigError whose message
+ *  contains `needle`. Install-time rejects are catchable (unlike the
+ *  runtime pass-discipline panics below) so callers can probe a
+ *  configuration without dying. */
+template <typename Body>
+void
+expect_config_error(Body&& body, const std::string& needle)
+{
+    try {
+        body();
+        FAIL() << "expected ConfigError containing '" << needle << "'";
+    } catch (const ConfigError& e) {
+        EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+            << "ConfigError message lacks '" << needle << "': " << e.what();
+    }
+}
 
 TEST(RegisterArray, RmwReadsAndWrites)
 {
@@ -109,16 +129,18 @@ TEST(Stage, MaxFourRegisterArrays)
     Pipeline p(1, 1 << 20);
     for (int i = 0; i < 4; ++i)
         p.stage(0)->add_register_array("a" + std::to_string(i), 4, 32);
-    EXPECT_EXIT(p.stage(0)->add_register_array("a4", 4, 32),
-                ::testing::ExitedWithCode(1), "register arrays");
+    expect_config_error(
+        [&] { p.stage(0)->add_register_array("a4", 4, 32); },
+        "register arrays");
 }
 
 TEST(Stage, SramBudgetEnforced)
 {
     Pipeline p(1, 1024);
     p.stage(0)->add_register_array("big", 128, 64);  // 1024 bytes: fits
-    EXPECT_EXIT(p.stage(0)->add_register_array("more", 1, 64),
-                ::testing::ExitedWithCode(1), "SRAM exhausted");
+    expect_config_error(
+        [&] { p.stage(0)->add_register_array("more", 1, 64); },
+        "SRAM exhausted");
 }
 
 TEST(Pipeline, FindArrayByName)
@@ -205,7 +227,8 @@ TEST(PisaSwitch, NoProgramPanics)
 // access per register array per pass, at most four arrays per stage,
 // per-stage SRAM budgets) exist so that any AskSwitchProgram that
 // *constructs* is one a real pipeline could run. These tests pin the
-// reject paths for programs that break the rules.
+// reject paths for programs that break the rules: construction throws
+// ask::ConfigError (catchable) before any pipeline state is touched.
 
 core::AskConfig
 small_ask_config()
@@ -219,7 +242,7 @@ small_ask_config()
     return ask;
 }
 
-TEST(AskProgramLimits, TooFewStagesFatal)
+TEST(AskProgramLimits, TooFewStagesRejected)
 {
     // 8 AAs need 2 (seq/seen) + 2 (AAs, four per stage) + 1 (pkt_state)
     // = 5 stages; a 4-stage pipeline cannot host the program.
@@ -227,11 +250,16 @@ TEST(AskProgramLimits, TooFewStagesFatal)
     net::Network network(simulator);
     PisaSwitch sw(network, /*num_stages=*/4, 1 << 20);
     network.attach(&sw);
-    EXPECT_EXIT(core::AskSwitchProgram(small_ask_config(), sw),
-                ::testing::ExitedWithCode(1), "stages");
+    expect_config_error(
+        [&] { core::AskSwitchProgram program(small_ask_config(), sw); },
+        "stages");
+    // The verifier rejected before declaring anything: the pipeline is
+    // untouched and usable for another attempt.
+    for (std::size_t s = 0; s < sw.pipeline().num_stages(); ++s)
+        EXPECT_EQ(sw.pipeline().stage(s)->array_count(), 0u);
 }
 
-TEST(AskProgramLimits, SramOverflowFatal)
+TEST(AskProgramLimits, SramOverflowRejected)
 {
     // Aggregator arrays of 2^20 64-bit entries (8 MiB per AA) blow the
     // default 1.25 MiB stage budget.
@@ -242,8 +270,10 @@ TEST(AskProgramLimits, SramOverflowFatal)
     network.attach(&sw);
     core::AskConfig ask = small_ask_config();
     ask.aggregators_per_aa = 1 << 20;
-    EXPECT_EXIT(core::AskSwitchProgram(ask, sw),
-                ::testing::ExitedWithCode(1), "SRAM exhausted");
+    expect_config_error([&] { core::AskSwitchProgram program(ask, sw); },
+                        "SRAM exhausted");
+    for (std::size_t s = 0; s < sw.pipeline().num_stages(); ++s)
+        EXPECT_EQ(sw.pipeline().stage(s)->array_count(), 0u);
 }
 
 TEST(AskProgramLimits, FourArraysPerStageRespected)
@@ -267,7 +297,7 @@ TEST(AskProgramLimits, FourArraysPerStageRespected)
 
 TEST(AskProgramLimits, IllegalConfigRejected)
 {
-    // AskConfig::validate() fatal()s before any switch resources are
+    // AskConfig::validate() throws before any switch resources are
     // touched: medium groups exceeding the AA count is a user error.
     sim::Simulator simulator;
     net::Network network(simulator);
@@ -276,8 +306,8 @@ TEST(AskProgramLimits, IllegalConfigRejected)
     core::AskConfig ask = small_ask_config();
     ask.num_aas = 4;
     ask.medium_groups = 3;  // 3*2 medium AAs > 4 total
-    EXPECT_EXIT(core::AskSwitchProgram(ask, sw),
-                ::testing::ExitedWithCode(1), "exceed");
+    expect_config_error([&] { core::AskSwitchProgram program(ask, sw); },
+                        "exceed");
 }
 
 }  // namespace

@@ -1,0 +1,264 @@
+/**
+ * Throughput regression gate over committed bench baselines.
+ *
+ * bench/baselines/ holds BENCH_<experiment>.json reports (schema
+ * ask-bench/v1) captured from `--smoke` runs and committed with the
+ * code. For each baseline, the gate re-runs the matching bench binary
+ * with --smoke, extracts the throughput metrics both documents share,
+ * and fails when the current value falls more than --threshold percent
+ * below the committed one. Smoke runs compute throughput from
+ * *simulated* time, so the comparison is deterministic — a red gate
+ * means the code changed behavior, not that CI had a noisy neighbor
+ * (wall-clock microbenchmarks are deliberately excluded from
+ * baselines for the same reason).
+ *
+ *   ./build/bench/perf_gate --baseline-dir bench/baselines
+ *   ./build/bench/perf_gate --baseline-dir bench/baselines --update
+ *
+ * Flags: --baseline-dir DIR  committed reports (required)
+ *        --bench-dir DIR     bench binaries (default: next to perf_gate)
+ *        --out-dir DIR       scratch for fresh runs (default: ./perf_gate_out)
+ *        --threshold PCT     allowed regression, percent (default: 5)
+ *        --update            overwrite baselines with the fresh reports
+ */
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace fs = std::filesystem;
+using ask::obs::Json;
+
+namespace {
+
+/**
+ * Row keys that carry a throughput-class value (higher is better).
+ * Keys carrying latencies, counts, or ratios are deliberately not
+ * gated: the gate answers "did aggregation get slower", nothing else.
+ */
+const char* const kThroughputKeys[] = {
+    "akvs",             // fig03: aggregation throughput (M tuples/s)
+    "goodput_gbps",     // fig08a/fig13a: application goodput
+    "throughput_gbps",  // fig13a: on-wire throughput
+    "tlps",             // fig08a: tuple-level packets per second
+};
+
+std::optional<Json>
+load_json(const fs::path& path, std::string* why)
+{
+    std::ifstream in(path);
+    if (!in) {
+        *why = "cannot open " + path.string();
+        return std::nullopt;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    std::string error;
+    std::optional<Json> doc = Json::parse(buf.str(), &error);
+    if (!doc)
+        *why = path.string() + ": " + error;
+    return doc;
+}
+
+/** Max of `key` over all rows; nullopt when no row carries it. */
+std::optional<double>
+metric_max(const Json& doc, const std::string& key)
+{
+    const Json* rows = doc.find("rows");
+    if (!rows || !rows->is_array())
+        return std::nullopt;
+    std::optional<double> best;
+    for (std::size_t i = 0; i < rows->size(); ++i) {
+        const Json* v = rows->at(i).find(key);
+        if (v && v->is_number())
+            best = std::max(best.value_or(v->as_double()), v->as_double());
+    }
+    return best;
+}
+
+std::string
+quoted(const std::string& s)
+{
+    std::string out = "'";
+    for (char c : s) {
+        if (c == '\'')
+            out += "'\\''";
+        else
+            out += c;
+    }
+    out += "'";
+    return out;
+}
+
+struct GateResult
+{
+    bool ok = true;
+    int compared = 0;
+};
+
+GateResult
+gate_one(const std::string& experiment, const Json& baseline,
+         const Json& current, double threshold_pct)
+{
+    GateResult res;
+    for (const char* key : kThroughputKeys) {
+        std::optional<double> base = metric_max(baseline, key);
+        if (!base)
+            continue;
+        std::optional<double> cur = metric_max(current, key);
+        if (!cur) {
+            std::cerr << "perf_gate: " << experiment << ": metric '" << key
+                      << "' present in baseline but missing from the "
+                         "fresh run — schema drift; re-capture with "
+                         "--update\n";
+            res.ok = false;
+            continue;
+        }
+        double floor = *base * (1.0 - threshold_pct / 100.0);
+        double delta_pct = *base == 0.0 ? 0.0 : (*cur / *base - 1.0) * 100.0;
+        bool pass = *cur >= floor;
+        std::cout << "  " << (pass ? "ok   " : "FAIL ") << experiment << "."
+                  << key << ": baseline " << *base << ", current " << *cur
+                  << " (" << (delta_pct >= 0 ? "+" : "") << delta_pct
+                  << "%)\n";
+        if (!pass)
+            res.ok = false;
+        ++res.compared;
+    }
+    if (res.compared == 0) {
+        std::cerr << "perf_gate: " << experiment
+                  << ": baseline carries no gated throughput metric\n";
+        res.ok = false;
+    }
+    return res;
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    fs::path baseline_dir;
+    fs::path bench_dir;
+    fs::path out_root = "perf_gate_out";
+    double threshold_pct = 5.0;
+    bool update = false;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--baseline-dir" && i + 1 < argc) {
+            baseline_dir = argv[++i];
+        } else if (arg == "--bench-dir" && i + 1 < argc) {
+            bench_dir = argv[++i];
+        } else if (arg == "--out-dir" && i + 1 < argc) {
+            out_root = argv[++i];
+        } else if (arg == "--threshold" && i + 1 < argc) {
+            threshold_pct = std::atof(argv[++i]);
+        } else if (arg == "--update") {
+            update = true;
+        } else if (arg == "--help") {
+            std::cout << "usage: perf_gate --baseline-dir DIR [--bench-dir "
+                         "DIR] [--out-dir DIR] [--threshold PCT] "
+                         "[--update]\n";
+            return 0;
+        } else {
+            std::cerr << "perf_gate: unknown argument " << arg << "\n";
+            return 2;
+        }
+    }
+    if (baseline_dir.empty()) {
+        std::cerr << "perf_gate: --baseline-dir is required\n";
+        return 2;
+    }
+    if (bench_dir.empty()) {
+        fs::path self = fs::path(argv[0]);
+        bench_dir = self.has_parent_path() ? self.parent_path()
+                                           : fs::current_path();
+    }
+    // The run commands cd into per-experiment directories, so every
+    // path baked into them must survive the working-directory change.
+    bench_dir = fs::absolute(bench_dir);
+    baseline_dir = fs::absolute(baseline_dir);
+    out_root = fs::absolute(out_root);
+
+    std::vector<fs::path> baselines;
+    for (const auto& entry : fs::directory_iterator(baseline_dir)) {
+        std::string name = entry.path().filename().string();
+        if (name.rfind("BENCH_", 0) == 0 &&
+            entry.path().extension() == ".json")
+            baselines.push_back(entry.path());
+    }
+    std::sort(baselines.begin(), baselines.end());
+    if (baselines.empty()) {
+        std::cerr << "perf_gate: no BENCH_*.json baselines in "
+                  << baseline_dir << "\n";
+        return 2;
+    }
+
+    bool all_ok = true;
+    int total_compared = 0;
+    for (const fs::path& base_path : baselines) {
+        std::string stem = base_path.stem().string();  // BENCH_<experiment>
+        std::string experiment = stem.substr(std::strlen("BENCH_"));
+        fs::path binary = bench_dir / experiment;
+        if (!fs::exists(binary)) {
+            std::cerr << "perf_gate: baseline " << base_path.filename()
+                      << " has no bench binary " << binary << "\n";
+            all_ok = false;
+            continue;
+        }
+
+        fs::path dir = out_root / experiment;
+        fs::create_directories(dir);
+        std::string cmd = "cd " + quoted(dir.string()) +
+                          " && ASK_BENCH_OUT_DIR=" + quoted(dir.string()) +
+                          " " + quoted(binary.string()) +
+                          " --smoke > log.txt 2>&1";
+        std::cout << "perf_gate: running " << experiment << " --smoke\n";
+        if (std::system(cmd.c_str()) != 0) {
+            std::cerr << "perf_gate: " << experiment << " failed; see "
+                      << (dir / "log.txt") << "\n";
+            all_ok = false;
+            continue;
+        }
+
+        fs::path fresh_path = dir / base_path.filename();
+        std::string why;
+        std::optional<Json> baseline = load_json(base_path, &why);
+        if (!baseline) {
+            std::cerr << "perf_gate: " << why << "\n";
+            all_ok = false;
+            continue;
+        }
+        std::optional<Json> current = load_json(fresh_path, &why);
+        if (!current) {
+            std::cerr << "perf_gate: " << why << "\n";
+            all_ok = false;
+            continue;
+        }
+
+        GateResult res =
+            gate_one(experiment, *baseline, *current, threshold_pct);
+        all_ok = all_ok && res.ok;
+        total_compared += res.compared;
+
+        if (update) {
+            fs::copy_file(fresh_path, base_path,
+                          fs::copy_options::overwrite_existing);
+            std::cout << "  updated " << base_path << "\n";
+        }
+    }
+
+    std::cout << "perf_gate: " << total_compared << " metrics compared, "
+              << (all_ok ? "all within " : "REGRESSIONS beyond ")
+              << threshold_pct << "%\n";
+    return all_ok ? 0 : 1;
+}

@@ -20,7 +20,8 @@ list(SORT benches)
 set(ran 0)
 foreach(bench IN LISTS benches)
     get_filename_component(name "${bench}" NAME)
-    if(name STREQUAL "bench_json_check" OR IS_DIRECTORY "${bench}")
+    if(name STREQUAL "bench_json_check" OR name STREQUAL "run_all"
+       OR name STREQUAL "perf_gate" OR IS_DIRECTORY "${bench}")
         continue()
     endif()
     message(STATUS "smoke: ${name} --smoke")

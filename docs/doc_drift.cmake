@@ -1,0 +1,137 @@
+# Guards the prose against drifting from the code it documents:
+#
+#   1. every --flag a doc line attributes to ask_fuzz or ask_verify must
+#      appear in that binary's --help output (a renamed or removed CLI
+#      flag fails the docs, not a user following them);
+#   2. every intra-repo markdown link target must exist on disk.
+#
+# Invoked by the `doc_drift` ctest target:
+#
+#   cmake -DREPO_DIR=<src> -DFUZZ_BIN=<build>/testing/ask_fuzz
+#         -DVERIFY_BIN=<build>/testing/ask_verify -P docs/doc_drift.cmake
+
+cmake_policy(SET CMP0057 NEW)  # if(... IN_LIST ...)
+cmake_policy(SET CMP0012 NEW)  # while(TRUE) is the constant, not a var
+
+foreach(var REPO_DIR FUZZ_BIN VERIFY_BIN)
+    if(NOT DEFINED ${var})
+        message(FATAL_ERROR
+            "usage: cmake -DREPO_DIR=... -DFUZZ_BIN=... -DVERIFY_BIN=... "
+            "-P doc_drift.cmake")
+    endif()
+endforeach()
+
+# ---- the ground truth: --help of the documented CLIs --------------------
+
+function(help_flags bin out_var)
+    execute_process(COMMAND "${bin}" --help
+        OUTPUT_VARIABLE help ERROR_VARIABLE help_err)
+    string(APPEND help "${help_err}")
+    string(REGEX MATCHALL "--[a-z][a-z0-9-]*" flags "${help}")
+    list(REMOVE_DUPLICATES flags)
+    if(NOT flags)
+        message(FATAL_ERROR "doc_drift: ${bin} --help advertised no flags")
+    endif()
+    set(${out_var} "${flags}" PARENT_SCOPE)
+endfunction()
+
+help_flags("${FUZZ_BIN}" fuzz_flags)
+help_flags("${VERIFY_BIN}" verify_flags)
+# --help itself is always accepted (it is how the ground truth is read).
+list(APPEND fuzz_flags "--help")
+list(APPEND verify_flags "--help")
+
+# ---- the docs under check -----------------------------------------------
+
+file(GLOB doc_files
+    "${REPO_DIR}/README.md" "${REPO_DIR}/DESIGN.md"
+    "${REPO_DIR}/EXPERIMENTS.md" "${REPO_DIR}/ROADMAP.md"
+    "${REPO_DIR}/docs/*.md")
+
+set(errors 0)
+set(checked_flags 0)
+set(checked_links 0)
+
+foreach(doc IN LISTS doc_files)
+    # Iterate lines with FIND/SUBSTRING rather than file(STRINGS) or a
+    # semicolon-joined list: markdown legitimately contains backslashes,
+    # semicolons, and unbalanced square brackets, and CMake's list
+    # machinery mis-splits on all three (an unmatched `[` swallows every
+    # following separator until a `]`).
+    file(READ "${doc}" content)
+    get_filename_component(doc_dir "${doc}" DIRECTORY)
+    file(RELATIVE_PATH doc_rel "${REPO_DIR}" "${doc}")
+
+    while(NOT content STREQUAL "")
+        string(FIND "${content}" "\n" nl)
+        if(nl EQUAL -1)
+            set(line "${content}")
+            set(content "")
+        else()
+            string(SUBSTRING "${content}" 0 ${nl} line)
+            math(EXPR next "${nl} + 1")
+            string(SUBSTRING "${content}" ${next} -1 content)
+        endif()
+        # Rule 1: flags attributed to the fuzz / verify CLIs.
+        set(allowed "")
+        if(line MATCHES "ask_fuzz")
+            list(APPEND allowed ${fuzz_flags})
+        endif()
+        if(line MATCHES "ask_verify")
+            list(APPEND allowed ${verify_flags})
+        endif()
+        if(allowed)
+            string(REGEX MATCHALL "--[a-z][a-z0-9-]*" used "${line}")
+            foreach(flag IN LISTS used)
+                math(EXPR checked_flags "${checked_flags} + 1")
+                if(NOT flag IN_LIST allowed)
+                    message(SEND_ERROR
+                        "doc_drift: ${doc_rel}: flag ${flag} is not in the "
+                        "binary's --help:\n  ${line}")
+                    math(EXPR errors "${errors} + 1")
+                endif()
+            endforeach()
+        endif()
+
+        # Rule 2: intra-repo markdown link targets must exist. Matches
+        # are consumed one at a time (REGEX MATCH + advance) because a
+        # MATCHALL result list whose elements contain brackets/parens
+        # does not round-trip through foreach(IN LISTS) intact.
+        set(rest "${line}")
+        while(TRUE)
+            string(REGEX MATCH "\\]\\(([^)]+)\\)" one "${rest}")
+            if(one STREQUAL "")
+                break()
+            endif()
+            set(target "${CMAKE_MATCH_1}")
+            string(FIND "${rest}" "${one}" mpos)
+            string(LENGTH "${one}" mlen)
+            math(EXPR mnext "${mpos} + ${mlen}")
+            string(SUBSTRING "${rest}" ${mnext} -1 rest)
+            string(REGEX REPLACE "#.*$" "" target "${target}")
+            if(target STREQUAL "" OR target MATCHES "^[a-z]+://" OR
+               target MATCHES "^mailto:")
+                continue()
+            endif()
+            math(EXPR checked_links "${checked_links} + 1")
+            if(IS_ABSOLUTE "${target}")
+                set(resolved "${target}")
+            else()
+                set(resolved "${doc_dir}/${target}")
+            endif()
+            if(NOT EXISTS "${resolved}")
+                message(SEND_ERROR
+                    "doc_drift: ${doc_rel}: broken link target ${target}")
+                math(EXPR errors "${errors} + 1")
+            endif()
+        endwhile()
+    endwhile()
+endforeach()
+
+if(errors GREATER 0)
+    message(FATAL_ERROR "doc_drift: ${errors} problem(s) found")
+endif()
+list(LENGTH doc_files n_docs)
+message(STATUS
+    "doc_drift: ${n_docs} docs ok (${checked_flags} CLI flags, "
+    "${checked_links} links verified)")

@@ -144,19 +144,17 @@ DataChannel::pump()
             frame = make_long_frame(hdr, *batch);
             type = PacketType::kLongData;
             ++daemon_.stats().long_packets_sent;
-        } else if (auto built = job.builder->next_data()) {
+        } else if (job.builder->next_data_into(built_scratch_)) {
             AskHeader hdr;
             hdr.type = PacketType::kData;
             hdr.num_slots = static_cast<std::uint8_t>(cfg.num_aas);
             hdr.channel_id = global_id();
             hdr.task_id = job.task;
             hdr.seq = next_seq_;
-            hdr.bitmap = built->bitmap;
+            hdr.bitmap = built_scratch_.bitmap;
             frame = make_frame(hdr, cfg.payload_bytes());
-            for (std::uint32_t i = 0; i < cfg.num_aas; ++i) {
-                if (built->bitmap & (1ULL << i))
-                    write_slot(frame, i, built->slots[i]);
-            }
+            write_slots(frame, built_scratch_.bitmap, cfg.num_aas,
+                        built_scratch_.slots.data());
             type = PacketType::kData;
             ++daemon_.stats().data_packets_sent;
         } else {

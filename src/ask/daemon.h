@@ -220,6 +220,9 @@ class DataChannel
     std::uint64_t busy_ns_ = 0;
 
     std::deque<SendJob> jobs_;
+    /** Per-channel DATA-build scratch: pump() drains whole streams
+     *  through it, so packetization allocates nothing per packet. */
+    BuiltData built_scratch_;
     Seq next_seq_ = 0;
     std::map<Seq, InFlight> in_flight_;
     /** Congestion window (paper §7: a congestion-control window runs

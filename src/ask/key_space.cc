@@ -5,7 +5,8 @@
 
 namespace ask::core {
 
-KeySpace::KeySpace(const AskConfig& config) : config_(config)
+KeySpace::KeySpace(const AskConfig& config)
+    : config_(config), agg_seed_mixed_(mix64(hash_seeds::kAggregatorAddress))
 {
     config_.validate();
 }
@@ -88,10 +89,10 @@ std::string
 KeySpace::decode_segment(std::uint32_t seg) const
 {
     std::string out(config_.seg_bytes(), '\0');
-    for (std::uint32_t i = 0; i < config_.seg_bytes(); ++i)
-        out[i] = static_cast<char>((seg >> (8 * i)) & 0xff);
+    decode_segment_into(seg, out.data());
     return out;
 }
+
 
 std::vector<std::uint32_t>
 KeySpace::segments(const Key& key) const
@@ -105,17 +106,5 @@ KeySpace::segments(const Key& key) const
     return segs;
 }
 
-std::uint32_t
-KeySpace::aggregator_index(std::string_view padded_key,
-                           std::uint32_t copy_len) const
-{
-    ASK_ASSERT(copy_len > 0, "empty aggregator region");
-    // The "unified" index of §3.2.3: the entire (padded) key is hashed,
-    // so every segment of a medium key lands at the same index in each AA
-    // of its group. Uses the addressing seed, independent from the
-    // partition seed (see common/hash.h).
-    return static_cast<std::uint32_t>(
-        hash64(padded_key, hash_seeds::kAggregatorAddress) % copy_len);
-}
 
 }  // namespace ask::core

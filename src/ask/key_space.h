@@ -20,6 +20,8 @@
 
 #include "ask/config.h"
 #include "ask/types.h"
+#include "common/hash.h"
+#include "common/logging.h"
 
 namespace ask::core {
 
@@ -72,10 +74,34 @@ class KeySpace
     /** Decode a segment integer back into seg_bytes() raw bytes. */
     std::string decode_segment(std::uint32_t seg) const;
 
+    /**
+     * Decode a segment integer into `out` (which must hold seg_bytes()):
+     * the allocation-free form of decode_segment() for the data-plane
+     * hot path, byte-identical to it.
+     */
+    void decode_segment_into(std::uint32_t seg, char* out) const;
+
+    /**
+     * Wire segment `seg_index` taken directly from the unpadded key:
+     * equivalent to encode_segment(padded(key), seg_index) without
+     * materializing the padded string.
+     */
+    std::uint32_t encode_key_segment(std::string_view key,
+                                     std::uint32_t seg_index) const;
+
     /** Aggregator index (within one shadow copy of size `copy_len`) that
      *  the switch addresses this key to. `padded_key` is the wire form. */
     std::uint32_t aggregator_index(std::string_view padded_key,
                                    std::uint32_t copy_len) const;
+
+    /**
+     * Aggregator index of a *short* key given its wire segment: hashes
+     * the decoded bytes from a stack buffer, so it returns exactly
+     * aggregator_index(decode_segment(seg), copy_len) without the
+     * per-tuple string allocation.
+     */
+    std::uint32_t short_aggregator_index(std::uint32_t seg,
+                                         std::uint32_t copy_len) const;
 
     const AskConfig& config() const { return config_; }
 
@@ -83,7 +109,65 @@ class KeySpace
     void check_key(const Key& key) const;
 
     AskConfig config_;
+    /** mix64(hash_seeds::kAggregatorAddress), hoisted out of the
+     *  per-tuple addressing hash. */
+    std::uint64_t agg_seed_mixed_;
 };
+
+// ---- hot-path members, inline: one call per tuple each ------------------
+
+inline void
+KeySpace::decode_segment_into(std::uint32_t seg, char* out) const
+{
+    for (std::uint32_t i = 0; i < config_.seg_bytes(); ++i)
+        out[i] = static_cast<char>((seg >> (8 * i)) & 0xff);
+}
+
+inline std::uint32_t
+KeySpace::encode_key_segment(std::string_view key,
+                             std::uint32_t seg_index) const
+{
+    // The padded wire form is the key followed by NUL fill, so bytes at
+    // or past key.size() contribute zero.
+    std::uint32_t nb = config_.seg_bytes();
+    std::size_t off = static_cast<std::size_t>(seg_index) * nb;
+    std::uint32_t v = 0;
+    for (std::uint32_t i = 0; i < nb; ++i) {
+        if (off + i < key.size()) {
+            v |= static_cast<std::uint32_t>(
+                     static_cast<unsigned char>(key[off + i]))
+                 << (8 * i);
+        }
+    }
+    return v;
+}
+
+inline std::uint32_t
+KeySpace::aggregator_index(std::string_view padded_key,
+                           std::uint32_t copy_len) const
+{
+    ASK_ASSERT(copy_len > 0, "empty aggregator region");
+    // The "unified" index of §3.2.3: the entire (padded) key is hashed,
+    // so every segment of a medium key lands at the same index in each AA
+    // of its group. Uses the addressing seed, independent from the
+    // partition seed (see common/hash.h). Regions are powers of two in
+    // every stock allocation, where the reduction is a mask — identical
+    // to % but without a 64-bit divide per tuple.
+    std::uint64_t h = hash64_premixed(padded_key, agg_seed_mixed_);
+    if ((copy_len & (copy_len - 1)) == 0)
+        return static_cast<std::uint32_t>(h & (copy_len - 1));
+    return static_cast<std::uint32_t>(h % copy_len);
+}
+
+inline std::uint32_t
+KeySpace::short_aggregator_index(std::uint32_t seg,
+                                 std::uint32_t copy_len) const
+{
+    char buf[sizeof(seg)];
+    decode_segment_into(seg, buf);
+    return aggregator_index(std::string_view(buf, config_.seg_bytes()),
+                            copy_len);
+}
 
 }  // namespace ask::core
 

@@ -43,19 +43,31 @@ PacketBuilder::enqueue(const KvStream& stream)
 std::optional<BuiltData>
 PacketBuilder::next_data()
 {
-    if (!has_data())
-        return std::nullopt;
-
     BuiltData out;
+    if (!next_data_into(out))
+        return std::nullopt;
+    return out;
+}
+
+bool
+PacketBuilder::next_data_into(BuiltData& out)
+{
+    if (!has_data())
+        return false;
+
     out.slots.assign(config_.num_aas, WireSlot{});
+    out.bitmap = 0;
+    out.valid_tuples = 0;
 
     for (std::uint32_t i = 0; i < config_.short_aas(); ++i) {
         auto& q = short_queues_[i];
         if (q.empty())
             continue;
         const KvTuple& t = q.front();
-        out.slots[i] = WireSlot{
-            key_space_.encode_segment(key_space_.padded(t.key), 0), t.value};
+        // encode_key_segment reads the key bytes directly: identical to
+        // encode_segment(padded(key), 0) without the padded copy.
+        out.slots[i] =
+            WireSlot{key_space_.encode_key_segment(t.key, 0), t.value};
         out.bitmap |= 1ULL << i;
         ++out.valid_tuples;
         q.pop_front();
@@ -67,12 +79,11 @@ PacketBuilder::next_data()
         if (q.empty())
             continue;
         const KvTuple& t = q.front();
-        std::string padded = key_space_.padded(t.key);
         std::uint32_t mb = config_.medium_base(g);
         for (std::uint32_t j = 0; j < config_.medium_segments; ++j) {
             Value v = (j + 1 == config_.medium_segments) ? t.value : 0;
             out.slots[mb + j] =
-                WireSlot{key_space_.encode_segment(padded, j), v};
+                WireSlot{key_space_.encode_key_segment(t.key, j), v};
             out.bitmap |= 1ULL << (mb + j);
         }
         ++out.valid_tuples;
@@ -81,7 +92,7 @@ PacketBuilder::next_data()
     }
 
     ASK_ASSERT(out.bitmap != 0, "built an empty DATA packet");
-    return out;
+    return true;
 }
 
 std::optional<std::vector<KvTuple>>

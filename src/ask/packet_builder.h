@@ -63,6 +63,15 @@ class PacketBuilder
     std::optional<BuiltData> next_data();
 
     /**
+     * Scratch-reusing form of next_data() for the send hot path: fills
+     * `out` (reusing its slot vector's capacity, so a caller draining a
+     * stream into the same BuiltData allocates nothing per packet) and
+     * returns true, or returns false when no short/medium tuples remain.
+     * Produces bit-identical packets to next_data().
+     */
+    bool next_data_into(BuiltData& out);
+
+    /**
      * Pop the next batch of long-key tuples whose serialized size fits
      * `max_payload_bytes`. std::nullopt when none remain.
      */

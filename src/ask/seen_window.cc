@@ -19,7 +19,7 @@ is_stale(Seq s, Seq max_seq, std::uint32_t window)
 }  // namespace
 
 PlainSeen::PlainSeen(std::uint32_t window)
-    : window_(window), bits_(2 * static_cast<std::size_t>(window), false)
+    : window_(window), bits_(2 * static_cast<std::size_t>(window), 0)
 {
     ASK_ASSERT(window > 0, "window must be positive");
 }
@@ -35,16 +35,16 @@ PlainSeen::observe(Seq s)
         return SeenOutcome::kStale;
 
     std::size_t idx = s % (2 * window_);
-    bool observed = bits_[idx];
-    bits_[idx] = true;                          // Eq. (6): record appearance
-    bits_[(idx + window_) % (2 * window_)] = false;  // Eq. (7): clear ahead
-    return observed ? SeenOutcome::kDuplicate : SeenOutcome::kFresh;
+    std::uint8_t observed = bits_[idx];
+    bits_[idx] = 1;                              // Eq. (6): record appearance
+    bits_[(idx + window_) % (2 * window_)] = 0;  // Eq. (7): clear ahead
+    return observed != 0 ? SeenOutcome::kDuplicate : SeenOutcome::kFresh;
 }
 
 void
 PlainSeen::wipe()
 {
-    std::fill(bits_.begin(), bits_.end(), false);
+    std::fill(bits_.begin(), bits_.end(), 0);
     max_seq_ = 0;
     any_ = false;
 }
@@ -56,13 +56,13 @@ PlainSeen::repair(Seq next_seq)
     // stale, and the whole admitted window [next_seq, next_seq + W)
     // must read unseen. For the plain design wiped bits already mean
     // "unseen", so only the boundary needs restoring.
-    std::fill(bits_.begin(), bits_.end(), false);
+    std::fill(bits_.begin(), bits_.end(), 0);
     max_seq_ = next_seq + window_ - 1;
     any_ = true;
 }
 
 CompactSeen::CompactSeen(std::uint32_t window)
-    : window_(window), bits_(window, false)
+    : window_(window), bits_(window, 0)
 {
     ASK_ASSERT(window > 0, "window must be positive");
 }
@@ -77,29 +77,24 @@ CompactSeen::observe(Seq s)
     if (is_stale(s, max_seq_, window_))
         return SeenOutcome::kStale;
 
-    std::uint32_t q = s / window_;  // segment number
-    std::uint32_t r = s % window_;  // offset within the segment
-    bool observed;
-    if (q % 2 == 0) {
-        // Even segment: set_bit(b) — returns the previous value, sets the
-        // bit. A set bit doubles as the pre-cleared state ("1 == unseen")
-        // for the following odd segment (cases 1-2 of §3.3).
-        observed = bits_[r];
-        bits_[r] = true;
-    } else {
-        // Odd segment: clr_bitc(b) — returns the complement of the
-        // previous value, clears the bit; the cleared bit is the
-        // pre-initialized state for the next even segment (cases 3-4).
-        observed = !bits_[r];
-        bits_[r] = false;
-    }
-    return observed ? SeenOutcome::kDuplicate : SeenOutcome::kFresh;
+    // Fused set_bit/clr_bitc, branch-light: an even segment (parity 0)
+    // returns the previous bit and sets it — the set bit doubles as the
+    // pre-cleared state ("1 == unseen") for the following odd segment
+    // (cases 1-2 of §3.3). An odd segment (parity 1) returns the
+    // complement and clears it — the cleared bit pre-initializes the
+    // next even segment (cases 3-4). Both reduce to one XOR against the
+    // segment parity and an unconditional store of its complement.
+    std::uint8_t parity = (s / window_) & 1;
+    std::uint8_t& bit = bits_[s % window_];
+    std::uint8_t observed = bit ^ parity;
+    bit = parity ^ 1;
+    return observed != 0 ? SeenOutcome::kDuplicate : SeenOutcome::kFresh;
 }
 
 void
 CompactSeen::wipe()
 {
-    std::fill(bits_.begin(), bits_.end(), false);
+    std::fill(bits_.begin(), bits_.end(), 0);
     max_seq_ = 0;
     any_ = false;
 }
@@ -115,7 +110,7 @@ CompactSeen::repair(Seq next_seq)
     for (std::uint64_t seq = next_seq;
          seq < static_cast<std::uint64_t>(next_seq) + window_; ++seq) {
         std::uint32_t q = static_cast<std::uint32_t>(seq / window_);
-        bits_[seq % window_] = q % 2 == 1;
+        bits_[seq % window_] = q % 2 == 1 ? 1 : 0;
     }
     max_seq_ = next_seq + window_ - 1;
     any_ = true;

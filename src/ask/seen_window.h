@@ -67,7 +67,9 @@ class PlainSeen
 
   private:
     std::uint32_t window_;
-    std::vector<bool> bits_;
+    /** One modeled 1-bit register per entry; byte-backed so observe()
+     *  is a plain load/store (no vector<bool> bit masking). */
+    std::vector<std::uint8_t> bits_;
     Seq max_seq_ = 0;
     bool any_ = false;
 };
@@ -97,7 +99,8 @@ class CompactSeen
 
   private:
     std::uint32_t window_;
-    std::vector<bool> bits_;
+    /** Byte-backed 1-bit registers (see PlainSeen::bits_). */
+    std::vector<std::uint8_t> bits_;
     Seq max_seq_ = 0;
     bool any_ = false;
 };

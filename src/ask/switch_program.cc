@@ -186,6 +186,20 @@ AskSwitchProgram::AskSwitchProgram(const AskConfig& config,
       pipeline_(&sw.pipeline())
 {
     config_.validate();
+
+    slot_scratch_.resize(config_.num_aas);
+    medium_key_scratch_.resize(config_.max_medium_key_bytes());
+    short_mask_ = config_.short_aas() >= 64
+                      ? ~0ULL
+                      : ((1ULL << config_.short_aas()) - 1);
+    medium_masks_.reserve(config_.medium_groups);
+    for (std::uint32_t g = 0; g < config_.medium_groups; ++g) {
+        std::uint64_t mask = 0;
+        for (std::uint32_t j = 0; j < config_.medium_segments; ++j)
+            mask |= 1ULL << (config_.medium_base(g) + j);
+        medium_masks_.push_back(mask);
+    }
+
     plan_ = make_access_plan(config_);
 
     // Prove the plan PISA-legal before touching the pipeline: an illegal
@@ -260,19 +274,27 @@ AskSwitchProgram::install_task(TaskId task, const TaskRegion& region)
     auto [it, inserted] = tasks_.emplace(task, region);
     (void)it;
     ASK_ASSERT(inserted, "task ", task, " already installed");
+    cached_region_ = nullptr;
 }
 
 void
 AskSwitchProgram::remove_task(TaskId task)
 {
     tasks_.erase(task);
+    cached_region_ = nullptr;
 }
 
 const TaskRegion*
 AskSwitchProgram::find_task(TaskId task) const
 {
+    if (cached_region_ != nullptr && task == cached_task_)
+        return cached_region_;
     auto it = tasks_.find(task);
-    return it == tasks_.end() ? nullptr : &it->second;
+    if (it == tasks_.end())
+        return nullptr;
+    cached_task_ = task;
+    cached_region_ = &it->second;
+    return cached_region_;
 }
 
 std::uint32_t
@@ -363,6 +385,7 @@ void
 AskSwitchProgram::on_reboot()
 {
     tasks_.clear();
+    cached_region_ = nullptr;
 }
 
 void
@@ -434,20 +457,15 @@ AskSwitchProgram::check_window(ChannelId channel, Seq seq)
     std::uint32_t r = seq % w;
     std::size_t idx = static_cast<std::size_t>(channel) * w + r;
     if (config_.compact_seen) {
-        std::uint32_t q = seq / w;
-        if (q % 2 == 0) {
-            // set_bit: return previous value, leave the bit set.
-            seen_->rmw(idx, [&](std::uint64_t& b) {
-                verdict.observed = b != 0;
-                b = 1;
-            });
-        } else {
-            // clr_bitc: return complement of previous value, clear it.
-            seen_->rmw(idx, [&](std::uint64_t& b) {
-                verdict.observed = b == 0;
-                b = 0;
-            });
-        }
+        // Branch-light fused set_bit/clr_bitc: an even segment returns
+        // the previous bit and sets it, an odd segment returns the
+        // complement and clears it — both collapse to one XOR against
+        // the segment parity and an unconditional store.
+        std::uint64_t parity = (seq / w) & 1;
+        seen_->rmw(idx, [&](std::uint64_t& b) {
+            verdict.observed = (b ^ parity) != 0;
+            b = parity ^ 1;
+        });
     } else {
         // Reference design: 2W bits as two arrays; record in one segment
         // array, clear the slot one window ahead in the other.
@@ -487,8 +505,10 @@ AskSwitchProgram::aggregate_short(const TaskRegion& region,
                                   std::uint32_t slot_index,
                                   const WireSlot& slot)
 {
-    std::string padded = key_space_.decode_segment(slot.seg);
-    std::uint64_t idx = aa_index(region, indicator, padded);
+    std::uint64_t idx =
+        static_cast<std::uint64_t>(indicator) * config_.copy_size() +
+        region.base +
+        key_space_.short_aggregator_index(slot.seg, region.len);
     bool success = false;
     aas_[slot_index]->rmw(idx, [&](std::uint64_t& word) {
         std::uint32_t k = kpart(config_.part_bits, word);
@@ -509,22 +529,29 @@ bool
 AskSwitchProgram::aggregate_medium(const TaskRegion& region,
                                    std::uint32_t indicator,
                                    std::uint32_t group,
-                                   const std::vector<WireSlot>& slots)
+                                   const WireSlot* slots)
 {
     std::uint32_t m = config_.medium_segments;
-    ASK_ASSERT(slots.size() == m, "medium group slot count mismatch");
-
-    // The unified index: hash of the whole padded key (paper §3.2.3).
-    std::string padded;
-    for (const auto& s : slots)
-        padded += key_space_.decode_segment(s.seg);
-    std::uint64_t idx = aa_index(region, indicator, padded);
-
     std::uint32_t mb = config_.medium_base(group);
+
+    // The unified index: hash of the whole padded key (paper §3.2.3),
+    // reassembled into the preallocated scratch.
+    std::uint32_t nb = config_.seg_bytes();
+    for (std::uint32_t j = 0; j < m; ++j) {
+        key_space_.decode_segment_into(
+            slots[mb + j].seg,
+            medium_key_scratch_.data() + static_cast<std::size_t>(j) * nb);
+    }
+    std::uint64_t idx = aa_index(
+        region, indicator,
+        std::string_view(medium_key_scratch_.data(),
+                         static_cast<std::size_t>(m) * nb));
+
     bool installing = false;
     for (std::uint32_t j = 0; j < m; ++j) {
         bool ok = false;
-        Value write_val = (j + 1 == m) ? slots[j].value : 0;
+        const WireSlot& slot = slots[mb + j];
+        Value write_val = (j + 1 == m) ? slot.value : 0;
         aas_[mb + j]->rmw(idx, [&](std::uint64_t& word) {
             std::uint32_t k = kpart(config_.part_bits, word);
             if (k == 0) {
@@ -535,13 +562,13 @@ AskSwitchProgram::aggregate_medium(const TaskRegion& region,
                            "medium group invariant violated: blank segment ",
                            j, " after a matching segment");
                 installing = true;
-                word = pack_agg(config_.part_bits, slots[j].seg, write_val);
+                word = pack_agg(config_.part_bits, slot.seg, write_val);
                 ok = true;
-            } else if (k == slots[j].seg && !installing) {
+            } else if (k == slot.seg && !installing) {
                 if (j + 1 == m) {
                     Value acc = vpart(config_.part_bits, word);
-                    word = pack_agg(config_.part_bits, slots[j].seg,
-                                    apply_op(config_.op, acc, slots[j].value));
+                    word = pack_agg(config_.part_bits, slot.seg,
+                                    apply_op(config_.op, acc, slot.value));
                 }
                 ok = true;
             } else if (installing) {
@@ -574,10 +601,7 @@ AskSwitchProgram::process_data(net::Packet&& pkt, const AskHeader& hdr,
     if (!verdict.observed) {
         // Count logical tuples: one per short slot bit plus one per
         // medium group (a medium tuple occupies m bitmap bits).
-        std::uint64_t short_mask =
-            config_.short_aas() >= 64 ? ~0ULL
-                                      : ((1ULL << config_.short_aas()) - 1);
-        stats_.tuples_in += std::popcount(hdr.bitmap & short_mask);
+        stats_.tuples_in += std::popcount(hdr.bitmap & short_mask_);
         for (std::uint32_t g = 0; g < config_.medium_groups; ++g) {
             if (hdr.bitmap & (1ULL << config_.medium_base(g)))
                 ++stats_.tuples_in;
@@ -585,12 +609,20 @@ AskSwitchProgram::process_data(net::Packet&& pkt, const AskHeader& hdr,
         if (region != nullptr) {
             std::uint32_t indicator = read_indicator(*region);
 
-            // Short-key slots.
-            for (std::uint32_t i = 0; i < config_.short_aas(); ++i) {
-                if (!(hdr.bitmap & (1ULL << i)))
-                    continue;
-                WireSlot slot = read_slot(pkt.data, i);
-                if (aggregate_short(*region, indicator, i, slot)) {
+            // Batched pass: decode every occupied payload slot into the
+            // preallocated scratch once, then dispatch set bits — the
+            // register accesses themselves are unchanged (one rmw per
+            // AA, ascending order), so the PISA pass discipline and the
+            // access oracle see the exact per-tuple access pattern.
+            read_slots(pkt.data, hdr.bitmap, config_.num_aas,
+                       slot_scratch_.data());
+
+            // Short-key slots (iterate set bits only).
+            for (std::uint64_t rest = hdr.bitmap & short_mask_; rest != 0;
+                 rest &= rest - 1) {
+                auto i = static_cast<std::uint32_t>(std::countr_zero(rest));
+                if (aggregate_short(*region, indicator, i,
+                                    slot_scratch_[i])) {
                     new_bitmap &= ~(1ULL << i);
                     ++stats_.tuples_aggregated;
                 } else {
@@ -600,20 +632,14 @@ AskSwitchProgram::process_data(net::Packet&& pkt, const AskHeader& hdr,
 
             // Medium-key groups (all-or-nothing per group).
             for (std::uint32_t g = 0; g < config_.medium_groups; ++g) {
-                std::uint32_t mb = config_.medium_base(g);
-                std::uint64_t group_mask = 0;
-                for (std::uint32_t j = 0; j < config_.medium_segments; ++j)
-                    group_mask |= 1ULL << (mb + j);
+                std::uint64_t group_mask = medium_masks_[g];
                 std::uint64_t present = hdr.bitmap & group_mask;
                 if (present == 0)
                     continue;
                 ASK_ASSERT(present == group_mask,
                            "medium group bitmap must be all-or-nothing");
-                std::vector<WireSlot> slots;
-                slots.reserve(config_.medium_segments);
-                for (std::uint32_t j = 0; j < config_.medium_segments; ++j)
-                    slots.push_back(read_slot(pkt.data, mb + j));
-                if (aggregate_medium(*region, indicator, g, slots)) {
+                if (aggregate_medium(*region, indicator, g,
+                                     slot_scratch_.data())) {
                     new_bitmap &= ~group_mask;
                     ++stats_.tuples_aggregated;
                 } else {

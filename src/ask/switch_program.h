@@ -222,10 +222,10 @@ class AskSwitchProgram : public pisa::SwitchProgram
     bool aggregate_short(const TaskRegion& region, std::uint32_t indicator,
                          std::uint32_t slot_index, const WireSlot& slot);
 
-    /** Aggregate the medium-key group `g`; true on success. */
+    /** Aggregate the medium-key group `g` from `slots` (an array of all
+     *  num_aas decoded payload slots); true on success. */
     bool aggregate_medium(const TaskRegion& region, std::uint32_t indicator,
-                          std::uint32_t group,
-                          const std::vector<WireSlot>& slots);
+                          std::uint32_t group, const WireSlot* slots);
 
     std::uint64_t aa_index(const TaskRegion& region, std::uint32_t indicator,
                            std::string_view padded_key) const;
@@ -246,7 +246,24 @@ class AskSwitchProgram : public pisa::SwitchProgram
     std::vector<pisa::RegisterArray*> aas_;
     pisa::RegisterArray* pkt_state_ = nullptr;
 
+    // Hot-path scratch, sized once at install so a DATA pass performs no
+    // allocation: the decoded payload slots of the packet in flight, the
+    // reassembled medium key, and the derived bitmap masks. The batched
+    // pass still issues exactly one rmw per array (the PISA discipline
+    // and the access oracle watch it) — batching only amortizes the
+    // host-side decode/dispatch around those accesses.
+    std::vector<WireSlot> slot_scratch_;
+    std::string medium_key_scratch_;
+    std::uint64_t short_mask_ = 0;
+    std::vector<std::uint64_t> medium_masks_;
+
     std::unordered_map<TaskId, TaskRegion> tasks_;
+    /** Last find_task hit: a DATA stream revisits one task for packets
+     *  on end, so the map lookup is paid once per task switch, not once
+     *  per packet. Element pointers survive rehashing (std::unordered_map
+     *  guarantees it); the cache is dropped on install/remove/reboot. */
+    mutable TaskId cached_task_ = 0;
+    mutable const TaskRegion* cached_region_ = nullptr;
     SwitchAggStats stats_;
     ChannelId local_lo_ = 0;
     ChannelId local_hi_ = 0;  ///< 0,0 = all channels local

@@ -1,5 +1,7 @@
 #include "ask/wire.h"
 
+#include <bit>
+
 #include "common/logging.h"
 
 namespace ask::core {
@@ -111,6 +113,52 @@ read_slot(const std::vector<std::uint8_t>& data, std::uint32_t i)
     std::size_t off = kPayloadOffset + static_cast<std::size_t>(i) * 8;
     ASK_ASSERT(off + 8 <= data.size(), "slot ", i, " beyond payload");
     return WireSlot{get_u32(data, off), get_u32(data, off + 4)};
+}
+
+namespace {
+
+/** Bits of `bitmap` naming real slots, bounds-checked once against the
+ *  payload (same per-slot guarantee read_slot/write_slot give). */
+std::uint64_t
+occupied_slots(std::uint64_t bitmap, std::uint32_t num_slots,
+               std::size_t frame_bytes)
+{
+    std::uint64_t used =
+        bitmap & (num_slots >= 64 ? ~0ULL : ((1ULL << num_slots) - 1));
+    if (used != 0) {
+        auto hi = static_cast<std::uint32_t>(63 - std::countl_zero(used));
+        ASK_ASSERT(kPayloadOffset + (static_cast<std::size_t>(hi) + 1) * 8 <=
+                       frame_bytes,
+                   "slot ", hi, " beyond payload");
+    }
+    return used;
+}
+
+}  // namespace
+
+void
+read_slots(const std::vector<std::uint8_t>& data, std::uint64_t bitmap,
+           std::uint32_t num_slots, WireSlot* out)
+{
+    std::uint64_t rest = occupied_slots(bitmap, num_slots, data.size());
+    for (; rest != 0; rest &= rest - 1) {
+        auto i = static_cast<std::uint32_t>(std::countr_zero(rest));
+        std::size_t off = kPayloadOffset + static_cast<std::size_t>(i) * 8;
+        out[i] = WireSlot{get_u32(data, off), get_u32(data, off + 4)};
+    }
+}
+
+void
+write_slots(std::vector<std::uint8_t>& data, std::uint64_t bitmap,
+            std::uint32_t num_slots, const WireSlot* slots)
+{
+    std::uint64_t rest = occupied_slots(bitmap, num_slots, data.size());
+    for (; rest != 0; rest &= rest - 1) {
+        auto i = static_cast<std::uint32_t>(std::countr_zero(rest));
+        std::size_t off = kPayloadOffset + static_cast<std::size_t>(i) * 8;
+        put_u32(data, off, slots[i].seg);
+        put_u32(data, off + 4, slots[i].value);
+    }
 }
 
 std::vector<std::uint8_t>

@@ -83,6 +83,20 @@ void write_slot(std::vector<std::uint8_t>& data, std::uint32_t i,
 /** Read slot `i` of a DATA frame. */
 WireSlot read_slot(const std::vector<std::uint8_t>& data, std::uint32_t i);
 
+/**
+ * Batch-read every slot named by `bitmap` into `out` (an array of at
+ * least `num_slots` entries; slots whose bit is clear are left
+ * untouched). One bounds check and one pass over the payload instead of
+ * a per-slot call — the receive-side counterpart of write_slots().
+ */
+void read_slots(const std::vector<std::uint8_t>& data, std::uint64_t bitmap,
+                std::uint32_t num_slots, WireSlot* out);
+
+/** Batch-write every slot named by `bitmap` from `slots` into a DATA
+ *  frame in one pass (the send-side counterpart of read_slots()). */
+void write_slots(std::vector<std::uint8_t>& data, std::uint64_t bitmap,
+                 std::uint32_t num_slots, const WireSlot* slots);
+
 /** Serialize LONG_DATA tuples after the header of `data`. */
 std::vector<std::uint8_t> make_long_frame(const AskHeader& hdr,
                                           const std::vector<KvTuple>& tuples);

@@ -19,15 +19,50 @@
 
 namespace ask {
 
-/** FNV-1a 64-bit hash of a byte string. */
-std::uint64_t fnv1a64(std::string_view bytes);
+/** FNV-1a 64-bit hash of a byte string. Inline: the data plane hashes
+ *  one 2-8 byte segment per tuple, so the call itself would dominate. */
+inline std::uint64_t
+fnv1a64(std::string_view bytes)
+{
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (unsigned char c : bytes) {
+        h ^= c;
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
 
 /** Strong 64-bit finalizer (Murmur3 fmix64). */
-std::uint64_t mix64(std::uint64_t x);
+inline std::uint64_t
+mix64(std::uint64_t x)
+{
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdULL;
+    x ^= x >> 33;
+    x *= 0xc4ceb9fe1a85ec53ULL;
+    x ^= x >> 33;
+    return x;
+}
+
+/**
+ * hash64 with the seed already finalized (pre_mixed == mix64(seed)):
+ * callers hashing many strings under one seed hoist the constant seed
+ * mix out of the per-tuple path. hash64(b, s) ==
+ * hash64_premixed(b, mix64(s)) for all inputs.
+ */
+inline std::uint64_t
+hash64_premixed(std::string_view bytes, std::uint64_t pre_mixed)
+{
+    return mix64(fnv1a64(bytes) ^ pre_mixed);
+}
 
 /** Seeded 64-bit hash of a byte string; distinct seeds give independent
  *  functions for practical purposes. */
-std::uint64_t hash64(std::string_view bytes, std::uint64_t seed);
+inline std::uint64_t
+hash64(std::string_view bytes, std::uint64_t seed)
+{
+    return hash64_premixed(bytes, mix64(seed));
+}
 
 /**
  * A member of a seeded hash family, usable as a function object.

@@ -30,26 +30,18 @@ Pipeline::set_access_oracle(verify::AccessOracle* oracle)
 }
 
 void
-Pipeline::check_predicted(const std::string& array_name)
+Pipeline::check_predicted_armed(const std::string& array_name)
 {
-    if (oracle_ == nullptr)
-        return;
     std::string diag;
     if (!oracle_->on_access(array_name, &diag))
         panic("ASK_VERIFY_ACCESSES: ", diag);
 }
 
 void
-Pipeline::touch_stage(std::size_t stage_index)
+Pipeline::touch_stage_backwards(std::size_t stage_index) const
 {
-    // A packet flows forward through the stages; a program accessing a
-    // stage earlier than one it already used would require a second pass
-    // on real hardware.
-    if (stage_index < pass_stage_cursor_) {
-        panic("pipeline pass went backwards: stage ", stage_index,
-              " touched after stage ", pass_stage_cursor_);
-    }
-    pass_stage_cursor_ = stage_index;
+    panic("pipeline pass went backwards: stage ", stage_index,
+          " touched after stage ", pass_stage_cursor_);
 }
 
 void

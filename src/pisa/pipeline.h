@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "common/logging.h"
 #include "pisa/stage.h"
 
 namespace ask::pisa {
@@ -47,8 +48,18 @@ class Pipeline
     /** Current pass number (increments on begin_pass). */
     std::uint64_t pass_epoch() const { return pass_epoch_; }
 
-    /** Called by RegisterArray::rmw to enforce stage ordering. */
-    void touch_stage(std::size_t stage_index);
+    /** Called by RegisterArray::rmw to enforce stage ordering. Inline:
+     *  one call per stateful access on the data-plane hot path. */
+    void
+    touch_stage(std::size_t stage_index)
+    {
+        // A packet flows forward through the stages; a program accessing
+        // a stage earlier than one it already used would require a second
+        // pass on real hardware.
+        if (stage_index < pass_stage_cursor_) [[unlikely]]
+            touch_stage_backwards(stage_index);
+        pass_stage_cursor_ = stage_index;
+    }
 
     /**
      * Arm the ASK_VERIFY_ACCESSES runtime cross-check: every data-plane
@@ -61,8 +72,14 @@ class Pipeline
     verify::AccessOracle* access_oracle() const { return oracle_; }
 
     /** Called by RegisterArray::rmw: cross-check one access against
-     *  the armed oracle (no-op when disarmed). */
-    void check_predicted(const std::string& array_name);
+     *  the armed oracle (no-op when disarmed — the common case, so only
+     *  the null test sits on the hot path). */
+    void
+    check_predicted(const std::string& array_name)
+    {
+        if (oracle_ != nullptr) [[unlikely]]
+            check_predicted_armed(array_name);
+    }
 
     std::size_t num_stages() const { return stages_.size(); }
     Stage* stage(std::size_t i) { return stages_.at(i).get(); }
@@ -85,11 +102,38 @@ class Pipeline
     std::size_t sram_budget_bytes() const;
 
   private:
+    [[noreturn]] void touch_stage_backwards(std::size_t stage_index) const;
+    void check_predicted_armed(const std::string& array_name);
+
     std::vector<std::unique_ptr<Stage>> stages_;
     std::uint64_t pass_epoch_ = 0;
     std::size_t pass_stage_cursor_ = 0;
     verify::AccessOracle* oracle_ = nullptr;  ///< borrowed, may be null
 };
+
+// RegisterArray::check_access guards every data-plane rmw, so it must
+// inline into the switch program's per-packet loop — but it walks
+// array -> stage -> pipeline, so its body needs the two classes above and
+// lives here rather than in register_array.h.
+inline void
+RegisterArray::check_access(std::size_t index)
+{
+    ASK_ASSERT(stage_ != nullptr,
+               "register array '", name_, "' not placed on a stage");
+    ASK_ASSERT(index < values_.size(),
+               "index ", index, " out of range in '", name_, "'");
+    Pipeline* pipe = stage_->pipeline();
+    std::uint64_t epoch = pipe->pass_epoch();
+    // PISA: one stateful-ALU access per register array per packet pass.
+    if (pass_epoch_ == epoch) [[unlikely]] {
+        panic("register array '", name_,
+              "' accessed twice in one pipeline pass");
+    }
+    pipe->touch_stage(stage_->index());
+    pipe->check_predicted(name_);
+    pass_epoch_ = epoch;
+    ++access_count_;
+}
 
 }  // namespace ask::pisa
 

@@ -22,32 +22,10 @@ RegisterArray::RegisterArray(std::string name, std::size_t num_entries,
 }
 
 void
-RegisterArray::check_access(std::size_t index)
+RegisterArray::width_overflow(std::uint64_t value) const
 {
-    ASK_ASSERT(stage_ != nullptr,
-               "register array '", name_, "' not placed on a stage");
-    ASK_ASSERT(index < values_.size(),
-               "index ", index, " out of range in '", name_, "'");
-    Pipeline* pipe = stage_->pipeline();
-    std::uint64_t epoch = pipe->pass_epoch();
-    // PISA: one stateful-ALU access per register array per packet pass.
-    if (pass_epoch_ == epoch) {
-        panic("register array '", name_,
-              "' accessed twice in one pipeline pass");
-    }
-    pipe->touch_stage(stage_->index());
-    pipe->check_predicted(name_);
-    pass_epoch_ = epoch;
-    ++access_count_;
-}
-
-void
-RegisterArray::check_width(std::uint64_t value) const
-{
-    if (value > max_value_) {
-        panic("value 0x", std::hex, value, " overflows ", std::dec,
-              width_bits_, "-bit register in '", name_, "'");
-    }
+    panic("value 0x", std::hex, value, " overflows ", std::dec,
+          width_bits_, "-bit register in '", name_, "'");
 }
 
 std::uint64_t

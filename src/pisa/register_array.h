@@ -86,8 +86,18 @@ class RegisterArray
     friend class Stage;
     friend class Pipeline;
 
+    /** Defined inline at the bottom of pipeline.h (it dereferences the
+     *  owning stage and pipeline, which are incomplete here). */
     void check_access(std::size_t index);
-    void check_width(std::uint64_t value) const;
+
+    void
+    check_width(std::uint64_t value) const
+    {
+        if (value > max_value_) [[unlikely]]
+            width_overflow(value);
+    }
+
+    [[noreturn]] void width_overflow(std::uint64_t value) const;
 
     std::string name_;
     std::uint32_t width_bits_;

@@ -164,6 +164,80 @@ TEST(PacketBuilder, CountsByClass)
     EXPECT_EQ(b.long_enqueued(), 1u);
 }
 
+TEST(PacketBuilder, NextDataIntoMatchesNextData)
+{
+    // The batched hot-path form (next_data_into, one scratch reused
+    // across a whole drain) must be bit-identical to the allocating
+    // next_data() — bitmap, tuple count, and every slot including the
+    // zero-filled blanks — across full, partial, and blank-heavy
+    // packets.
+    AskConfig c = cfg8();
+    KeySpace ks(c);
+    Rng rng = seeded_rng("packet_builder_equiv", 21);
+
+    auto make_stream = [&](int shape) {
+        KvStream stream;
+        for (int i = 0; i < 600; ++i) {
+            std::string key;
+            switch (shape) {
+            case 0:  // many distinct short keys: early packets full
+                key = u64_key(rng.next_below(100000));
+                break;
+            case 1:  // one hot key: every packet one tuple, rest blank
+                key = "hot";
+                break;
+            default:  // mixed lengths incl. medium and long
+                key.resize(1 + rng.next_below(12));
+                for (auto& ch : key)
+                    ch = static_cast<char>('a' + rng.next_below(26));
+                break;
+            }
+            stream.push_back(
+                KvTuple{key, static_cast<Value>(1 + rng.next_below(1000))});
+        }
+        return stream;
+    };
+
+    for (int shape = 0; shape < 3; ++shape) {
+        KvStream stream = make_stream(shape);
+        PacketBuilder ref_builder(ks);
+        PacketBuilder batched(ks);
+        ref_builder.enqueue(stream);
+        batched.enqueue(stream);
+
+        BuiltData scratch;
+        const WireSlot* scratch_data = nullptr;
+        int packets = 0;
+        for (;;) {
+            std::optional<BuiltData> ref = ref_builder.next_data();
+            bool got = batched.next_data_into(scratch);
+            ASSERT_EQ(ref.has_value(), got) << "shape " << shape;
+            if (!ref)
+                break;
+            EXPECT_EQ(scratch.bitmap, ref->bitmap);
+            EXPECT_EQ(scratch.valid_tuples, ref->valid_tuples);
+            ASSERT_EQ(scratch.slots.size(), ref->slots.size());
+            for (std::size_t i = 0; i < ref->slots.size(); ++i) {
+                EXPECT_EQ(scratch.slots[i].seg, ref->slots[i].seg)
+                    << "shape " << shape << " packet " << packets
+                    << " slot " << i;
+                EXPECT_EQ(scratch.slots[i].value, ref->slots[i].value)
+                    << "shape " << shape << " packet " << packets
+                    << " slot " << i;
+            }
+            // The scratch really is reused: no reallocation after the
+            // first packet sizes it.
+            if (packets == 0)
+                scratch_data = scratch.slots.data();
+            else
+                EXPECT_EQ(scratch.slots.data(), scratch_data);
+            ++packets;
+        }
+        EXPECT_GT(packets, 0) << "shape " << shape;
+        EXPECT_TRUE(batched.has_long() == ref_builder.has_long());
+    }
+}
+
 TEST(PacketBuilder, DrainsEverythingExactlyOnce)
 {
     KeySpace ks(cfg8());

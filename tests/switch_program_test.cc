@@ -12,6 +12,7 @@
 
 #include "ask/controller.h"
 #include "ask/packet_builder.h"
+#include "common/random.h"
 #include "ask/switch_program.h"
 #include "ask/wire.h"
 #include "net/network.h"
@@ -321,6 +322,153 @@ TEST_F(SwitchProgramTest, MediumKeySegmentsAreNotConfusable)
     EXPECT_EQ(contents.at(x), 5u);
     EXPECT_FALSE(contents.count(chimera));
     ASSERT_EQ(receiver_.received.size(), 1u);
+}
+
+TEST_F(SwitchProgramTest, BatchedPassMatchesPerTupleReference)
+{
+    // The batched DATA pass (read_slots once, bit-iterate set slots)
+    // must behave exactly like a per-tuple walk. The reference below
+    // models the switch registers tuple by tuple through the public
+    // KeySpace API alone — same addressing, reservation, and collision
+    // rules — and every injected packet's verdict (ACK vs forward, the
+    // forwarded bitmap) plus the final register contents must match it
+    // bit for bit. Runs once with a power-of-two region (mask reduction
+    // path) and once with a non-power-of-two region (modulo path),
+    // over full, partial, and blank-slot packets with retransmissions.
+    Rng rng = seeded_rng("switch_program_equiv", 11);
+    Seq seq = 0;
+
+    for (std::uint32_t region_len : {2u, 3u}) {
+        controller_.release(kTask);
+        region_ = *controller_.allocate(kTask, region_len);
+
+        // Reference register file: (aa slot, flat index) -> (seg, value).
+        // kpart == 0 means blank, exactly as on the switch.
+        std::map<std::pair<std::uint32_t, std::uint64_t>,
+                 std::pair<std::uint32_t, Value>>
+            regs;
+        AggregateMap expect_agg;
+
+        std::uint32_t short_aas = config_.short_aas();
+        std::uint32_t m = config_.medium_segments;
+
+        for (int p = 0; p < 60; ++p) {
+            // Random tuples, at most one per short slot / medium group
+            // so they fit one packet; sometimes only one tuple (blank-
+            // heavy packet), sometimes enough to fill every slot.
+            KvStream tuples;
+            std::vector<bool> slot_used(short_aas, false);
+            std::vector<bool> group_used(config_.medium_groups, false);
+            std::uint64_t want = 1 + rng.next_below(8);
+            std::map<std::uint32_t, Key> short_keys;   // slot -> key
+            std::map<std::uint32_t, Key> medium_keys;  // group -> key
+            for (int tries = 0; tries < 200 && tuples.size() < want;
+                 ++tries) {
+                std::size_t len = 1 + rng.next_below(8);
+                Key key(len, 'a');
+                for (auto& ch : key)
+                    ch = static_cast<char>('a' + rng.next_below(26));
+                Value val = static_cast<Value>(1 + rng.next_below(100));
+                if (key_space_.classify(key) == KeyClass::kShort) {
+                    std::uint32_t s = key_space_.short_slot(key);
+                    if (slot_used[s])
+                        continue;
+                    slot_used[s] = true;
+                    short_keys[s] = key;
+                    tuples.push_back({key, val});
+                } else if (key_space_.classify(key) == KeyClass::kMedium) {
+                    std::uint32_t g = key_space_.medium_group(key);
+                    if (group_used[g])
+                        continue;
+                    group_used[g] = true;
+                    medium_keys[g] = key;
+                    tuples.push_back({key, val});
+                }
+            }
+            ASSERT_FALSE(tuples.empty());
+
+            net::Packet pkt = data_packet(tuples, seq);
+            auto hdr = parse_header(pkt.data);
+            ASSERT_TRUE(hdr.has_value());
+
+            // ---- per-tuple reference pass over the built packet ------
+            std::uint64_t expect_bitmap = hdr->bitmap;
+            for (const auto& [slot, key] : short_keys) {
+                WireSlot ws = read_slot(pkt.data, slot);
+                std::uint64_t idx =
+                    region_.base +
+                    key_space_.short_aggregator_index(ws.seg, region_.len);
+                auto& cell = regs[{slot, idx}];
+                if (cell.first == 0) {
+                    cell = {ws.seg, ws.value};
+                } else if (cell.first == ws.seg) {
+                    cell.second += ws.value;
+                } else {
+                    continue;  // collision: the bit stays set
+                }
+                expect_bitmap &= ~(1ULL << slot);
+                accumulate(expect_agg, key, ws.value, AggOp::kAdd);
+            }
+            for (const auto& [group, key] : medium_keys) {
+                std::string padded = key_space_.padded(key);
+                std::uint64_t idx =
+                    region_.base +
+                    key_space_.aggregator_index(padded, region_.len);
+                std::uint32_t mb = config_.medium_base(group);
+                // Group invariant: segments at one index are installed
+                // atomically, so they are all blank or all this key's.
+                bool blank = regs[{mb, idx}].first == 0;
+                bool match = true;
+                for (std::uint32_t j = 0; j < m; ++j) {
+                    if (regs[{mb + j, idx}].first !=
+                        key_space_.encode_segment(padded, j))
+                        match = false;
+                }
+                Value val = read_slot(pkt.data, mb + m - 1).value;
+                if (blank) {
+                    for (std::uint32_t j = 0; j < m; ++j) {
+                        regs[{mb + j, idx}] = {
+                            key_space_.encode_segment(padded, j),
+                            j + 1 == m ? val : 0};
+                    }
+                } else if (match) {
+                    regs[{mb + m - 1, idx}].second += val;
+                } else {
+                    continue;  // collision: the whole group stays set
+                }
+                for (std::uint32_t j = 0; j < m; ++j)
+                    expect_bitmap &= ~(1ULL << (mb + j));
+                accumulate(expect_agg, key, val, AggOp::kAdd);
+            }
+
+            // ---- inject (plus an occasional retransmission) ----------
+            int sends = (p % 5 == 0) ? 2 : 1;
+            for (int s = 0; s < sends; ++s) {
+                sender_.received.clear();
+                receiver_.received.clear();
+                inject(pkt);
+                if (expect_bitmap == 0) {
+                    ASSERT_EQ(sender_.received.size(), 1u)
+                        << "packet " << p << " send " << s;
+                    EXPECT_EQ(parse_header(sender_.received[0].data)->type,
+                              PacketType::kAck);
+                    EXPECT_TRUE(receiver_.received.empty());
+                } else {
+                    ASSERT_EQ(receiver_.received.size(), 1u)
+                        << "packet " << p << " send " << s;
+                    EXPECT_EQ(parse_header(receiver_.received[0].data)->bitmap,
+                              expect_bitmap)
+                        << "packet " << p << " send " << s;
+                    EXPECT_TRUE(sender_.received.empty());
+                }
+            }
+            ++seq;
+        }
+
+        // ---- final register contents match the reference -------------
+        EXPECT_EQ(switch_contents(), expect_agg)
+            << "region_len " << region_len;
+    }
 }
 
 TEST_F(SwitchProgramTest, SwapRedirectsWritesToOtherCopy)

@@ -1,7 +1,8 @@
 /**
  * Chaos sweep — aggregation-task completion time and exactness under
  * escalating fault injection: randomized link episodes of growing
- * density, a mid-task switch reboot, and a permanently sick data plane
+ * density, a mid-task switch reboot, host and controller crashes
+ * recovered from the write-ahead log, and a permanently sick data plane
  * (degraded host-side aggregation). Not a paper figure: this quantifies
  * the robustness machinery's cost — recovery is worth little if it is
  * exact but ruinously slow.
@@ -166,6 +167,38 @@ main(int argc, char** argv)
         plan.switch_reboot(2 * base.jct / 3, 300 * units::kMicrosecond);
         add_row("two switch reboots", run_one(plan, streams, truth));
     }
+    // ---- host-crash axis: WAL recovery cost by crashed role -------------
+    {
+        sim::ChaosPlan plan;
+        plan.host_crash(base.jct / 2, 300 * units::kMicrosecond,
+                        /*host=*/0);  // the receiver
+        add_row("receiver crash mid-task", run_one(plan, streams, truth));
+    }
+    {
+        sim::ChaosPlan plan;
+        plan.host_crash(base.jct / 2, 300 * units::kMicrosecond,
+                        /*host=*/1);  // a sender: full replay reset
+        add_row("sender crash mid-task", run_one(plan, streams, truth));
+    }
+    {
+        sim::ChaosPlan plan;
+        plan.host_crash(base.jct / 3, 250 * units::kMicrosecond, /*host=*/1);
+        plan.host_crash(2 * base.jct / 3, 250 * units::kMicrosecond,
+                        /*host=*/0);
+        add_row("sender then receiver crash", run_one(plan, streams, truth));
+    }
+    {
+        sim::ChaosPlan plan;
+        plan.controller_crash(base.jct / 2, 500 * units::kMicrosecond);
+        add_row("controller crash mid-task", run_one(plan, streams, truth));
+    }
+    {
+        sim::ChaosPlan plan;
+        plan.controller_crash(base.jct / 3, 400 * units::kMicrosecond);
+        plan.controller_crash(2 * base.jct / 3, 400 * units::kMicrosecond);
+        add_row("two controller crashes", run_one(plan, streams, truth));
+    }
+
     {
         sim::ChaosPlan plan;
         plan.data_blackhole(0, 3600UL * units::kSecond);
@@ -186,8 +219,10 @@ main(int argc, char** argv)
     t.print(std::cout);
     report.metrics(base.metrics);
     report.note("recovery cost: link episodes cost retransmissions, a "
-                "reboot costs a drain window plus a full replay, and the "
-                "degraded mode trades the switch's aggregation for "
-                "host-side exactness");
+                "reboot costs a drain window plus a full replay, a host "
+                "crash costs a WAL rebuild (plus a cluster-wide replay "
+                "reset when a sender died mid-stream), and the degraded "
+                "mode trades the switch's aggregation for host-side "
+                "exactness");
     return 0;
 }

@@ -22,6 +22,8 @@ AskCluster::AskCluster(const ClusterConfig& config)
     program_ = std::make_unique<AskSwitchProgram>(config_.ask, *switch_);
     program_->set_tracer(&obs_.tracer);
     controller_ = std::make_unique<AskSwitchController>(*program_);
+    controller_->set_wal(&wal_store_.controller_wal());
+    wal_store_.controller_wal().set_append_counter(&chaos_stats_.wal_appends);
 
     MgmtRetryPolicy mgmt_policy;
     mgmt_policy.max_tries = config_.ask.mgmt_max_tries;
@@ -39,6 +41,9 @@ AskCluster::AskCluster(const ClusterConfig& config)
         network_.connect(daemons_.back()->node_id(), switch_->node_id(),
                          config_.link_gbps, config_.link_propagation_ns,
                          config_.faults, config_.seed + h);
+        Wal& wal = wal_store_.host_wal(h);
+        wal.set_append_counter(&chaos_stats_.wal_appends);
+        daemons_.back()->set_wal(&wal);
     }
 
     // Wire every component's counters into the registry. The chaos
@@ -82,23 +87,31 @@ AskCluster::submit_task(TaskId task, std::uint32_t receiver_host,
         active.sender_hosts.push_back(s.host);
     active_tasks_[task] = std::move(active);
 
-    auto wrapped_done = [this, task, on_done = std::move(on_done)](
-                            AggregateMap result, TaskReport report) {
+    // The real completion callback lives in the cluster's registry, not
+    // in the daemon: a receiver crash destroys the daemon's copy, and
+    // recovery re-points the rebuilt task here via finish_task.
+    done_registry_[task] = [this, task, on_done = std::move(on_done)](
+                               AggregateMap result, TaskReport report) {
         auto it = active_tasks_.find(task);
         if (it != active_tasks_.end()) {
-            for (std::uint32_t h : it->second.sender_hosts)
-                daemons_[h]->forget_task(task);
+            for (std::uint32_t h : it->second.sender_hosts) {
+                run_on_host(h,
+                            [this, h, task] { daemons_[h]->forget_task(task); });
+            }
             active_tasks_.erase(it);
         }
         if (on_done)
             on_done(std::move(result), std::move(report));
+    };
+    auto thin_done = [this, task](AggregateMap result, TaskReport report) {
+        finish_task(task, std::move(result), std::move(report));
     };
 
     // §3.1 workflow: the receiver registers the task and obtains a switch
     // region; once ready, sender daemons are notified over the control
     // channel and begin streaming.
     receiver.start_receive(
-        task, n_senders, options, std::move(wrapped_done),
+        task, n_senders, options, std::move(thin_done),
         /*on_ready=*/[this, task, receiver_node,
                       streams = std::move(streams)]() mutable {
             simulator_.schedule_after(
@@ -106,8 +119,15 @@ AskCluster::submit_task(TaskId task, std::uint32_t receiver_host,
                 [this, task, receiver_node,
                  streams = std::move(streams)]() mutable {
                     for (auto& s : streams) {
-                        daemons_[s.host]->submit_send(task, receiver_node,
-                                                      std::move(s.stream));
+                        // A sender notified while crashed accepts the
+                        // stream when it restarts.
+                        run_on_host(
+                            s.host,
+                            [this, host = s.host, task, receiver_node,
+                             stream = std::move(s.stream)]() mutable {
+                                daemons_[host]->submit_send(
+                                    task, receiver_node, std::move(stream));
+                            });
                     }
                 });
         });
@@ -176,7 +196,12 @@ AskCluster::arm_chaos(const sim::ChaosPlan& plan)
             ++chaos_stats_.mgmt_outages;
             mgmt_->set_outage(true);
         },
-        [this](const sim::ChaosEvent&) { mgmt_->set_outage(false); });
+        [this](const sim::ChaosEvent&) {
+            // The window may overlap a controller crash or a switch
+            // reboot; the endpoint only comes back when nothing else
+            // keeps it dark.
+            mgmt_->set_outage(controller_down_ || switch_->offline());
+        });
 
     fault_scheduler_->set_handler(
         sim::ChaosKind::kMgmtDelay,
@@ -195,6 +220,35 @@ AskCluster::arm_chaos(const sim::ChaosPlan& plan)
         [this](const sim::ChaosEvent&) {
             program_->set_data_blackhole(false);
         });
+
+    auto subject_host = [this](const sim::ChaosEvent& e) {
+        return e.subject % static_cast<std::uint32_t>(daemons_.size());
+    };
+    fault_scheduler_->set_handler(
+        sim::ChaosKind::kHostCrash,
+        [this, subject_host](const sim::ChaosEvent& e) {
+            if (e.subject == sim::kControllerSubject)
+                crash_controller();
+            else
+                crash_host(subject_host(e));
+        },
+        [this, subject_host](const sim::ChaosEvent& e) {
+            if (e.subject == sim::kControllerSubject)
+                restart_controller();
+            else
+                restart_host(subject_host(e));
+        });
+    fault_scheduler_->set_handler(
+        sim::ChaosKind::kHostRestart,
+        [this, subject_host](const sim::ChaosEvent& e) {
+            if (e.subject == sim::kControllerSubject)
+                restart_controller();
+            else
+                restart_host(subject_host(e));
+        });
+
+    fault_scheduler_->set_unhandled_hook(
+        [this](const sim::ChaosEvent&) { ++chaos_stats_.unhandled_events; });
 
     fault_scheduler_->arm(plan);
 }
@@ -233,8 +287,12 @@ AskCluster::on_switch_reboot_end(const sim::ChaosEvent& e)
     }
 
     // (3) Fence every data channel: stale-drop pre-crash sequences and
-    // repair the compact-seen parity the wipe destroyed.
+    // repair the compact-seen parity the wipe destroyed. Crashed hosts
+    // are skipped — their channels re-fence at the WAL checkpoint when
+    // they restart.
     for (const auto& d : daemons_) {
+        if (d->crashed())
+            continue;
         for (std::uint32_t c = 0; c < d->num_channels(); ++c) {
             DataChannel& ch = d->channel(c);
             controller_->fence_channel(ch.global_id(), ch.next_seq());
@@ -246,22 +304,244 @@ AskCluster::on_switch_reboot_end(const sim::ChaosEvent& e)
     // fabric drain, (5) then replay the archived streams. The epoch
     // voids replays scheduled by an earlier recovery that this reboot
     // interrupted — they would stream on top of this epoch's replay.
+    // Work aimed at a crashed host waits for its restart (and composes
+    // with the WAL rebuild there): a rebuilt receiver whose registers
+    // this reboot wiped MUST still be reset, or the replay would land
+    // on top of its journaled partial aggregate.
     std::uint64_t epoch = ++recovery_epoch_;
     sim::SimTime drain_until =
         simulator_.now() + config_.ask.recovery_drain_ns;
     for (const auto& [task, info] : active_tasks_) {
-        daemons_[info.receiver_host]->prepare_replay(task, drain_until);
+        run_on_host(info.receiver_host,
+                    [this, task, host = info.receiver_host, drain_until] {
+                        daemons_[host]->prepare_replay(task, drain_until);
+                    });
         for (std::uint32_t h : info.sender_hosts) {
             simulator_.schedule_at(drain_until, [this, task, h, epoch] {
-                if (recovery_epoch_ == epoch &&
-                    active_tasks_.count(task) != 0)
-                    daemons_[h]->replay_task(task);
+                if (recovery_epoch_ != epoch || active_tasks_.count(task) == 0)
+                    return;
+                run_on_host(h, [this, task, h, epoch] {
+                    if (recovery_epoch_ == epoch &&
+                        active_tasks_.count(task) != 0)
+                        daemons_[h]->replay_task(task);
+                });
             });
         }
     }
 
-    // (6) The switch CPU is back: management RPCs flow again.
-    mgmt_->set_outage(false);
+    // (6) The switch CPU is back: management RPCs flow again — unless
+    // the controller process is itself down, in which case the endpoint
+    // stays dark until it restarts.
+    mgmt_->set_outage(controller_down_);
+}
+
+void
+AskCluster::run_on_host(std::uint32_t host, std::function<void()> fn)
+{
+    if (daemons_.at(host)->crashed())
+        pending_on_restart_[host].push_back(std::move(fn));
+    else
+        fn();
+}
+
+void
+AskCluster::finish_task(TaskId task, AggregateMap result, TaskReport report)
+{
+    auto it = done_registry_.find(task);
+    if (it == done_registry_.end())
+        return;  // already delivered (e.g. aborted during recovery)
+    TaskDoneFn done = std::move(it->second);
+    done_registry_.erase(it);
+    if (done)
+        done(std::move(result), std::move(report));
+}
+
+void
+AskCluster::abort_active_task(TaskId task, TaskStatus status,
+                              const std::string& detail)
+{
+    auto it = active_tasks_.find(task);
+    if (it == active_tasks_.end())
+        return;
+    ++chaos_stats_.crash_aborted_tasks;
+    AskDaemon& receiver = *daemons_[it->second.receiver_host];
+    if (!receiver.crashed())
+        receiver.fail_receive_task(task, status, detail);
+    // fail_receive_task no-ops when the receiver holds no task state
+    // (crashed, or the task never rebuilt); deliver from the registry.
+    if (done_registry_.count(task) != 0) {
+        TaskReport report;
+        report.finish_time = simulator_.now();
+        report.status = status;
+        report.detail = detail;
+        finish_task(task, AggregateMap{}, std::move(report));
+    }
+}
+
+void
+AskCluster::crash_host(std::uint32_t host)
+{
+    AskDaemon& d = *daemons_.at(host);
+    if (d.crashed())
+        return;  // overlapping episodes: already down
+    ++chaos_stats_.host_crashes;
+    d.crash();
+}
+
+void
+AskCluster::restart_host(std::uint32_t host)
+{
+    AskDaemon& d = *daemons_.at(host);
+    if (!d.crashed())
+        return;
+    auto make_done = [this](TaskId task) -> TaskDoneFn {
+        return [this, task](AggregateMap result, TaskReport report) {
+            finish_task(task, std::move(result), std::move(report));
+        };
+    };
+    try {
+        d.recover_from_wal(make_done);
+        ++chaos_stats_.host_recoveries;
+    } catch (const StateError& e) {
+        ++chaos_stats_.wal_rejected;
+        warn("cluster: host ", host, " WAL rejected (", e.what(),
+             "); restarting the process with empty state");
+        wal_store_.host_wal(host).clear();
+        d.recover_from_wal(make_done);
+        // Durable state evaporated with the log: every active task this
+        // host served cannot complete exactly. Fail them over guessing.
+        std::vector<TaskId> doomed;
+        for (const auto& [task, info] : active_tasks_) {
+            bool involved = info.receiver_host == host;
+            for (std::uint32_t h : info.sender_hosts)
+                involved = involved || h == host;
+            if (involved)
+                doomed.push_back(task);
+        }
+        for (TaskId task : doomed)
+            abort_active_task(task, TaskStatus::kHostCrashed,
+                              strf("host %u write-ahead log corrupt", host));
+        pending_on_restart_.erase(host);
+        return;
+    }
+    // Deferred recovery work that fired while the host was down (e.g. a
+    // switch reboot's receiver reset) composes with the rebuilt state.
+    auto pit = pending_on_restart_.find(host);
+    if (pit != pending_on_restart_.end()) {
+        std::vector<std::function<void()>> fns = std::move(pit->second);
+        pending_on_restart_.erase(pit);
+        for (auto& fn : fns)
+            fn();
+    }
+    // Mid-send crash: the dead process's in-flight accounting is gone,
+    // so which of its tuples the switch registers absorbed is
+    // unknowable. Re-establish exactness from the source archives.
+    for (const auto& [task, info] : active_tasks_) {
+        if (d.has_send_archive(task)) {
+            global_replay_reset();
+            break;
+        }
+    }
+}
+
+void
+AskCluster::crash_controller()
+{
+    if (controller_down_)
+        return;
+    controller_down_ = true;
+    ++chaos_stats_.controller_crashes;
+    // The controller process hosts the management endpoint: RPCs fail
+    // (and retry) until it restarts.
+    controller_->crash();
+    mgmt_->set_outage(true);
+}
+
+void
+AskCluster::restart_controller()
+{
+    if (!controller_down_)
+        return;
+    controller_down_ = false;
+    try {
+        controller_->recover_from_wal();
+        ++chaos_stats_.controller_recoveries;
+    } catch (const StateError& e) {
+        ++chaos_stats_.wal_rejected;
+        warn("cluster: controller WAL rejected (", e.what(),
+             "); aborting every active task");
+        wal_store_.controller_wal().clear();
+        std::vector<TaskId> doomed;
+        for (const auto& [task, info] : active_tasks_)
+            doomed.push_back(task);
+        for (TaskId task : doomed)
+            abort_active_task(task, TaskStatus::kHostCrashed,
+                              "controller write-ahead log corrupt");
+    }
+    // The endpoint returns — unless the switch is itself mid-reboot.
+    mgmt_->set_outage(switch_->offline());
+}
+
+void
+AskCluster::global_replay_reset()
+{
+    if (active_tasks_.empty())
+        return;
+    std::uint64_t epoch = ++recovery_epoch_;
+
+    // (1) Silence every live sender of every active task.
+    for (const auto& [task, info] : active_tasks_) {
+        for (std::uint32_t h : info.sender_hosts) {
+            if (!daemons_[h]->crashed())
+                daemons_[h]->abort_send(task);
+        }
+    }
+
+    // (2) Discard every active task's partial switch state. A crashed
+    // sender's in-flight accounting died with it, so which of its
+    // frames the registers absorbed is unknowable; the archives
+    // re-establish the aggregate from the source.
+    for (const auto& [task, info] : active_tasks_) {
+        if (program_->find_task(task) == nullptr)
+            continue;
+        program_->reset_epoch(task);
+        program_->read_region(task, 0, /*clear=*/true);
+        if (config_.ask.shadow_copies)
+            program_->read_region(task, 1, /*clear=*/true);
+    }
+
+    // (3) Fence every live channel so pre-reset frames stale-drop.
+    for (const auto& d : daemons_) {
+        if (d->crashed())
+            continue;
+        for (std::uint32_t c = 0; c < d->num_channels(); ++c) {
+            DataChannel& ch = d->channel(c);
+            controller_->fence_channel(ch.global_id(), ch.next_seq());
+            ++chaos_stats_.channels_fenced;
+        }
+    }
+
+    // (4) Reset receivers, drain the fabric, replay the archives — the
+    // same choreography as a switch reboot, crash-aware via run_on_host.
+    sim::SimTime drain_until =
+        simulator_.now() + config_.ask.recovery_drain_ns;
+    for (const auto& [task, info] : active_tasks_) {
+        run_on_host(info.receiver_host,
+                    [this, task, host = info.receiver_host, drain_until] {
+                        daemons_[host]->prepare_replay(task, drain_until);
+                    });
+        for (std::uint32_t h : info.sender_hosts) {
+            simulator_.schedule_at(drain_until, [this, task, h, epoch] {
+                if (recovery_epoch_ != epoch || active_tasks_.count(task) == 0)
+                    return;
+                run_on_host(h, [this, task, h, epoch] {
+                    if (recovery_epoch_ == epoch &&
+                        active_tasks_.count(task) != 0)
+                        daemons_[h]->replay_task(task);
+                });
+            });
+        }
+    }
 }
 
 ChaosStats

@@ -20,6 +20,7 @@
 #include "ask/daemon.h"
 #include "ask/mgmt.h"
 #include "ask/switch_program.h"
+#include "ask/wal.h"
 #include "net/cost_model.h"
 #include "net/network.h"
 #include "obs/observability.h"
@@ -167,6 +168,29 @@ class AskCluster
     /** Fault-injection/recovery counters over every component. */
     ChaosStats chaos_stats() const;
 
+    /** The cluster's stable storage: every host process (daemons and
+     *  the controller) journals to a WAL here before acting, and crash
+     *  recovery replays it. */
+    WalStore& wal_store() { return wal_store_; }
+
+    /** The armed fault scheduler (null until arm_chaos). */
+    sim::FaultScheduler* fault_scheduler() { return fault_scheduler_.get(); }
+
+    // ---- host-crash recovery (also callable directly from tests) ---------
+
+    /** Crash host `host`'s daemon process (its WAL survives). */
+    void crash_host(std::uint32_t host);
+    /** Restart a crashed daemon: WAL replay, deferred-work drain, and —
+     *  when the host was mid-send for an active task — a cluster-wide
+     *  replay reset. */
+    void restart_host(std::uint32_t host);
+    /** Crash the controller process (allocation journal lost; the
+     *  management endpoint goes down with it). */
+    void crash_controller();
+    /** Restart the controller: journal rebuild from its WAL, then the
+     *  management endpoint returns. */
+    void restart_controller();
+
   private:
     /** Tasks currently in flight, for reboot recovery. */
     struct ActiveTask
@@ -178,11 +202,34 @@ class AskCluster
     void on_switch_reboot_start(const sim::ChaosEvent& e);
     void on_switch_reboot_end(const sim::ChaosEvent& e);
 
+    /** Run `fn` now, or queue it until `host` restarts if it is
+     *  crashed (recovery work aimed at a dead process must wait for —
+     *  and compose with — its WAL rebuild). */
+    void run_on_host(std::uint32_t host, std::function<void()> fn);
+
+    /** Deliver (and drop from the registry) a task's completion. */
+    void finish_task(TaskId task, AggregateMap result, TaskReport report);
+
+    /** Fail an active task whose durable state is unrecoverable. */
+    void abort_active_task(TaskId task, TaskStatus status,
+                           const std::string& detail);
+
+    /**
+     * A sender crashed mid-stream: its in-flight accounting is gone, so
+     * exactness is re-established from scratch — wipe every active
+     * task's switch region, fence all live channels, reset every
+     * receiver, and replay all archived streams after a drain window.
+     */
+    void global_replay_reset();
+
     ClusterConfig config_;
     /** Declared before every component: the registry holds pointers to
      *  their live counters, so it must construct first (and destruct
      *  last). */
     obs::Observability obs_;
+    /** Stable storage. Declared before the components that journal into
+     *  it and survives their crashes by construction. */
+    WalStore wal_store_;
     sim::Simulator simulator_;
     net::Network network_;
     std::unique_ptr<pisa::PisaSwitch> switch_;
@@ -196,6 +243,16 @@ class AskCluster
      *  void once recovery N+1 has re-fenced the channels (its frames
      *  would land on top of recovery N+1's own replay). */
     std::uint64_t recovery_epoch_ = 0;
+    /** The real per-task completion callbacks. A receiver crash
+     *  destroys the daemon-held std::function; recovery re-points the
+     *  rebuilt task at this registry, so the application still hears
+     *  the outcome. */
+    std::unordered_map<TaskId, TaskDoneFn> done_registry_;
+    /** Recovery work aimed at a crashed host, drained at its restart
+     *  (after the WAL rebuild it must compose with). */
+    std::unordered_map<std::uint32_t, std::vector<std::function<void()>>>
+        pending_on_restart_;
+    bool controller_down_ = false;
     ChaosStats chaos_stats_;
     std::unique_ptr<obs::Sampler> sampler_;
 };

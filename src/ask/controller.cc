@@ -45,6 +45,17 @@ AskSwitchController::allocate(TaskId task, std::uint32_t len)
     region.len = len;
     region.epoch_slot = epoch_slot;
 
+    // Journal before acting: if we crash after this append, recovery
+    // rebuilds the allocation and re-installs it on the data plane.
+    if (wal_ != nullptr) {
+        WalRecord r;
+        r.kind = WalRecordKind::kAlloc;
+        r.task = task;
+        r.arg0 = base;
+        r.arg1 = len;
+        r.arg2 = epoch_slot;
+        wal_->append(r);
+    }
     epoch_slot_used_[epoch_slot] = true;
     allocated_[base] = {region, task};
     program_.install_task(task, region);
@@ -57,7 +68,15 @@ AskSwitchController::release(TaskId task)
     auto it = allocated_.begin();
     while (it != allocated_.end() && it->second.second != task)
         ++it;
-    ASK_ASSERT(it != allocated_.end(), "release of unknown task ", task);
+    if (it == allocated_.end())
+        fail_state("release of unknown task ", task);
+    if (wal_ != nullptr) {
+        WalRecord r;
+        r.kind = WalRecordKind::kRelease;
+        r.task = task;
+        r.arg0 = it->first;
+        wal_->append(r);
+    }
     epoch_slot_used_[it->second.first.epoch_slot] = false;
     // Clear the aggregators and reset the swap epoch so a future task
     // reusing this slice starts blank on copy 0 with epoch 0.
@@ -67,6 +86,44 @@ AskSwitchController::release(TaskId task)
         program_.read_region(task, 1, /*clear=*/true);
     allocated_.erase(it);
     program_.remove_task(task);
+}
+
+void
+AskSwitchController::crash()
+{
+    allocated_.clear();
+    epoch_slot_used_.assign(epoch_slot_used_.size(), false);
+}
+
+std::uint32_t
+AskSwitchController::recover_from_wal()
+{
+    ASK_ASSERT(wal_ != nullptr, "controller recovery without a WAL");
+    // Throwing replay: a digest mismatch surfaces as StateError and the
+    // cluster aborts the affected tasks instead of trusting the log.
+    std::vector<WalRecord> records = wal_->replay();
+    allocated_.clear();
+    epoch_slot_used_.assign(epoch_slot_used_.size(), false);
+    for (const WalRecord& r : records) {
+        if (r.kind == WalRecordKind::kAlloc) {
+            TaskRegion region;
+            region.base = r.arg0;
+            region.len = r.arg1;
+            region.epoch_slot = r.arg2;
+            allocated_[region.base] = {region, r.task};
+            epoch_slot_used_[region.epoch_slot] = true;
+        } else if (r.kind == WalRecordKind::kRelease) {
+            auto it = allocated_.find(r.arg0);
+            if (it != allocated_.end() && it->second.second == r.task) {
+                epoch_slot_used_[it->second.first.epoch_slot] = false;
+                allocated_.erase(it);
+            }
+        }
+    }
+    // The data plane survives a controller crash, but a switch reboot
+    // may have raced the outage; restore any missing install.
+    reinstall_after_reboot();
+    return static_cast<std::uint32_t>(allocated_.size());
 }
 
 std::uint32_t

@@ -14,6 +14,7 @@
 
 #include "ask/switch_program.h"
 #include "ask/types.h"
+#include "ask/wal.h"
 
 namespace ask::core {
 
@@ -35,8 +36,33 @@ class AskSwitchController
      */
     std::optional<TaskRegion> allocate(TaskId task, std::uint32_t len);
 
-    /** Release a task's region and uninstall it. */
+    /** Release a task's region and uninstall it. Throws StateError for
+     *  a task with no journaled region (e.g. a double release across a
+     *  crash) — callers on the runtime path catch and move on. */
     void release(TaskId task);
+
+    /**
+     * Attach the controller's write-ahead log. Once set, every
+     * allocation and release is journaled to the WAL *before* the
+     * in-memory journal or the data plane changes, so a crashed
+     * controller can rebuild its allocation state exactly.
+     */
+    void set_wal(Wal* wal) { wal_ = wal; }
+
+    /**
+     * Crash: lose the in-memory allocation journal and epoch-slot map
+     * (the WAL, owned by the cluster's WalStore, survives).
+     */
+    void crash();
+
+    /**
+     * Rebuild the allocation journal from the WAL (alloc/release record
+     * fold), then re-install any journaled region the data plane no
+     * longer carries (covers a switch reboot overlapping the crash).
+     * Throws StateError when the WAL fails its digest check.
+     * @return the number of regions rebuilt into the journal.
+     */
+    std::uint32_t recover_from_wal();
 
     /**
      * Slow-path read of one shadow copy of the task's region (optionally
@@ -81,6 +107,7 @@ class AskSwitchController
      */
     std::map<std::uint32_t, std::pair<TaskRegion, TaskId>> allocated_;
     std::vector<bool> epoch_slot_used_;
+    Wal* wal_ = nullptr;
 };
 
 }  // namespace ask::core

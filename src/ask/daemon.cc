@@ -24,9 +24,23 @@ task_status_name(TaskStatus status)
         return "mgmt_unreachable";
       case TaskStatus::kSendBudgetExhausted:
         return "send_budget_exhausted";
+      case TaskStatus::kHostCrashed:
+        return "host_crashed";
     }
     return "?";
 }
+
+namespace {
+
+/**
+ * Sender channels checkpoint their sequence cursor every K allocations:
+ * kSeqCheckpoint(upto = next_seq + K) promises "no seq >= upto is in
+ * use until the next checkpoint", so a restart resuming at the highest
+ * journaled `upto` can never reuse a pre-crash sequence number.
+ */
+constexpr Seq kSeqCheckpointInterval = 64;
+
+}  // namespace
 
 // ---------------------------------------------------------------------------
 // DataChannel
@@ -168,6 +182,19 @@ DataChannel::pump()
             frame = make_long_frame(hdr, *batch);
             type = PacketType::kLongData;
             ++daemon_.stats().long_packets_sent;
+        }
+
+        // Durability: promise the next K sequence numbers to the WAL
+        // before using the first of them. On the checkpoint boundary the
+        // append precedes the allocation below, so the journaled resume
+        // point always covers every seq this process could have used.
+        if (daemon_.wal_ != nullptr &&
+            next_seq_ % kSeqCheckpointInterval == 0) {
+            WalRecord r;
+            r.kind = WalRecordKind::kSeqCheckpoint;
+            r.channel = local_index_;
+            r.seq = next_seq_ + kSeqCheckpointInterval;
+            daemon_.wal_->append(r);
         }
 
         Seq seq = next_seq_++;
@@ -498,6 +525,31 @@ DataChannel::finish_conversion(Seq seq, AskSwitchProgram::ProbeResult probe)
     transmit(seq, /*is_retransmit=*/false);
 }
 
+void
+DataChannel::reset_after_crash(Seq resume)
+{
+    for (auto& [seq, entry] : in_flight_) {
+        if (entry.timer != sim::kInvalidEvent)
+            daemon_.simulator().cancel(entry.timer);
+    }
+    in_flight_.clear();
+    jobs_.clear();
+    if (fin_timer_ != sim::kInvalidEvent) {
+        daemon_.simulator().cancel(fin_timer_);
+        fin_timer_ = sim::kInvalidEvent;
+    }
+    fin_outstanding_ = false;
+    fin_tries_ = 0;
+    cwnd_ = 16;
+    srtt_ns_ = 0.0;
+    rttvar_ns_ = 0.0;
+    have_rtt_ = false;
+    // A pre-crash pump event may still be queued; it finds jobs_ empty
+    // and does nothing. core_busy_/background_busy_ are left alone:
+    // charge() takes max(now, busy), so stale values are harmless.
+    next_seq_ = resume;
+}
+
 // ---------------------------------------------------------------------------
 // AskDaemon
 // ---------------------------------------------------------------------------
@@ -551,6 +603,8 @@ AskDaemon::start_receive(TaskId task, std::uint32_t expected_senders,
     // region over the management network. Both failure modes — region
     // exhaustion and an unreachable management plane — surface to the
     // application as a failed TaskReport, never as a silent hang.
+    if (rx_tasks_.count(task) != 0)
+        fail_state("task ", task, " already receiving on host ", host_index_);
     if (tracer_ != nullptr && options.trace)
         tracer_->trace_task(task);
     auto done = std::make_shared<TaskDoneFn>(std::move(on_done));
@@ -569,6 +623,14 @@ AskDaemon::start_receive(TaskId task, std::uint32_t expected_senders,
     mgmt_.call(
         [this, task, expected_senders, options, done, fail,
          on_ready = std::move(on_ready)]() mutable {
+            if (crashed_) {
+                // The host died between requesting the region and the
+                // RPC completing; the restarted process has no record
+                // of this task and must not half-start it.
+                fail(TaskStatus::kHostCrashed,
+                     "host crashed during task setup");
+                return;
+            }
             std::uint32_t len = options.region_len > 0
                                     ? options.region_len
                                     : controller_.free_aggregators();
@@ -593,6 +655,20 @@ AskDaemon::start_receive(TaskId task, std::uint32_t expected_senders,
                 options.sender_liveness_timeout_ns < 0
                     ? config_.sender_liveness_timeout_ns
                     : options.sender_liveness_timeout_ns;
+            if (wal_ != nullptr) {
+                WalRecord r;
+                r.kind = WalRecordKind::kRxTaskStart;
+                r.task = task;
+                r.arg0 = expected_senders;
+                r.arg1 = rx.swaps_disabled ? 1 : 0;
+                r.kvs.emplace_back(
+                    "liveness_ns",
+                    static_cast<std::uint64_t>(rx.liveness_timeout_ns));
+                r.kvs.emplace_back(
+                    "start_time",
+                    static_cast<std::uint64_t>(rx.report.start_time));
+                wal_->append(r);
+            }
             auto [it, inserted] = rx_tasks_.emplace(task, std::move(rx));
             ASK_ASSERT(inserted, "task ", task, " already receiving here");
             if (it->second.liveness_timeout_ns > 0)
@@ -612,6 +688,16 @@ AskDaemon::submit_send(TaskId task, net::NodeId receiver, KvStream stream,
 {
     // Archive the stream for replay: a switch reboot wipes the partial
     // aggregate, and exactness then requires re-sending from the source.
+    if (wal_ != nullptr) {
+        WalRecord r;
+        r.kind = WalRecordKind::kSendSubmit;
+        r.task = task;
+        r.arg0 = static_cast<std::uint32_t>(receiver);
+        r.kvs.reserve(stream.size());
+        for (const auto& t : stream)
+            r.kvs.emplace_back(t.key, static_cast<std::uint64_t>(t.value));
+        wal_->append(r);
+    }
     sent_archive_[task].push_back(ArchivedSend{receiver, stream, on_complete});
     channel_for_task(task).submit_send(task, receiver, std::move(stream),
                                        std::move(on_complete));
@@ -648,7 +734,16 @@ AskDaemon::replay_task(TaskId task)
 void
 AskDaemon::forget_task(TaskId task)
 {
-    sent_archive_.erase(task);
+    auto it = sent_archive_.find(task);
+    if (it == sent_archive_.end())
+        return;
+    if (wal_ != nullptr) {
+        WalRecord r;
+        r.kind = WalRecordKind::kSendForget;
+        r.task = task;
+        wal_->append(r);
+    }
+    sent_archive_.erase(it);
 }
 
 void
@@ -705,6 +800,13 @@ AskDaemon::tuples_from_data_frame(const std::vector<std::uint8_t>& frame,
 void
 AskDaemon::receive(net::Packet pkt)
 {
+    if (crashed_) {
+        // The NIC is up but nobody is home: every frame — DATA, ACKs,
+        // FINs, SwapAcks — vanishes until the process restarts. Senders
+        // see pure loss and keep retransmitting.
+        ++chaos_.crash_dropped;
+        return;
+    }
     auto hdr = parse_header(pkt.data);
     if (!hdr) {
         warn(name(), ": dropping non-ASK packet");
@@ -842,16 +944,18 @@ AskDaemon::process_data(ReceiveTask& task, const net::Packet& pkt,
     send_ack_to(pkt.src, hdr);
 
     if (outcome == SeenOutcome::kFresh) {
-        std::uint64_t tuples = 0;
+        // Decode first, then journal, then mutate: the WAL record for a
+        // consumed packet must carry exactly the tuples the aggregate
+        // absorbs, and must be durable before the absorption.
+        KvStream decoded;
         if (hdr.type == PacketType::kData) {
-            // Aggregate the tuples the switch left in the packet.
             for (std::uint32_t i = 0; i < config_.short_aas(); ++i) {
                 if (!(hdr.bitmap & (1ULL << i)))
                     continue;
                 WireSlot slot = read_slot(pkt.data, i);
-                Key key = KeySpace::unpad(key_space_.decode_segment(slot.seg));
-                accumulate(task.local, key, slot.value, config_.op);
-                ++tuples;
+                decoded.push_back(KvTuple{
+                    KeySpace::unpad(key_space_.decode_segment(slot.seg)),
+                    slot.value});
             }
             for (std::uint32_t g = 0; g < config_.medium_groups; ++g) {
                 std::uint32_t mb = config_.medium_base(g);
@@ -867,16 +971,26 @@ AskDaemon::process_data(ReceiveTask& task, const net::Packet& pkt,
                     if (j + 1 == config_.medium_segments)
                         value = slot.value;
                 }
-                accumulate(task.local, KeySpace::unpad(padded), value,
-                           config_.op);
-                ++tuples;
+                decoded.push_back(KvTuple{KeySpace::unpad(padded), value});
             }
         } else {  // kLongData
-            for (const auto& t : parse_long_tuples(pkt.data)) {
-                accumulate(task.local, t.key, t.value, config_.op);
-                ++tuples;
-            }
+            decoded = parse_long_tuples(pkt.data);
         }
+        if (wal_ != nullptr) {
+            WalRecord r;
+            r.kind = WalRecordKind::kRxData;
+            r.task = task.id;
+            r.channel = hdr.channel_id;
+            r.seq = hdr.seq;
+            r.kvs.reserve(decoded.size());
+            for (const auto& t : decoded)
+                r.kvs.emplace_back(t.key,
+                                   static_cast<std::uint64_t>(t.value));
+            wal_->append(r);
+        }
+        std::uint64_t tuples = decoded.size();
+        for (const auto& t : decoded)
+            accumulate(task.local, t.key, t.value, config_.op);
         stats_.tuples_aggregated_locally += tuples;
         task.report.tuples_aggregated_locally += tuples;
         ASK_TRACE(tracer_, simulator().now(), task.id, hdr.channel_id,
@@ -919,6 +1033,13 @@ AskDaemon::handle_fin(const net::Packet& pkt, const AskHeader& hdr)
         return;
     }
     task.last_activity = simulator().now();
+    if (wal_ != nullptr && task.fins.count(hdr.channel_id) == 0) {
+        WalRecord r;
+        r.kind = WalRecordKind::kRxFin;
+        r.task = task.id;
+        r.channel = hdr.channel_id;
+        wal_->append(r);
+    }
     task.fins.insert(hdr.channel_id);
     DataChannel& ch = channel_for_task(hdr.task_id);
     ch.charge(cost_model_.rx_cost_ns(pkt.data.size()) +
@@ -1036,6 +1157,20 @@ AskDaemon::complete_swap(ReceiveTask& task)
                     return;
                 KvStream fetched =
                     controller_.fetch(task_id, old_copy, /*clear=*/true);
+                // Journal the drained registers with the commit: the
+                // fetch cleared them, so these tuples now exist only in
+                // this process (and, after this append, in the WAL).
+                if (wal_ != nullptr) {
+                    WalRecord r;
+                    r.kind = WalRecordKind::kRxSwapCommit;
+                    r.task = task_id;
+                    r.seq = t.swap_target;
+                    r.kvs.reserve(fetched.size());
+                    for (const auto& f : fetched)
+                        r.kvs.emplace_back(
+                            f.key, static_cast<std::uint64_t>(f.value));
+                    wal_->append(r);
+                }
                 stats_.fetch_tuples += fetched.size();
                 t.report.tuples_fetched_from_switch += fetched.size();
                 aggregate_into(t.local, fetched, config_.op);
@@ -1111,7 +1246,13 @@ AskDaemon::finalize(ReceiveTask& task)
                     t.report.tuples_fetched_from_switch += fetched.size();
                     aggregate_into(t.local, fetched, config_.op);
                 }
-                controller_.release(task_id);
+                try {
+                    controller_.release(task_id);
+                } catch (const StateError& e) {
+                    // A crash already released (or never re-journaled)
+                    // the region; the result is complete either way.
+                    warn(name(), ": finalize release: ", e.what());
+                }
 
                 if (t.liveness_timer != sim::kInvalidEvent) {
                     simulator().cancel(t.liveness_timer);
@@ -1121,6 +1262,13 @@ AskDaemon::finalize(ReceiveTask& task)
                 ASK_TRACE(tracer_, simulator().now(), task_id, 0, 0,
                           obs::TraceStage::kFinalize,
                           t.report.packets_received);
+                if (wal_ != nullptr) {
+                    WalRecord r;
+                    r.kind = WalRecordKind::kRxTaskDone;
+                    r.task = task_id;
+                    r.arg0 = static_cast<std::uint32_t>(TaskStatus::kOk);
+                    wal_->append(r);
+                }
                 TaskDoneFn on_done = std::move(t.on_done);
                 AggregateMap result = std::move(t.local);
                 TaskReport report = std::move(t.report);
@@ -1187,12 +1335,27 @@ AskDaemon::fail_receive_task(TaskId task_id, TaskStatus status,
     t.report.finish_time = simulator().now();
     t.report.status = status;
     t.report.detail = std::move(detail);
+    if (wal_ != nullptr) {
+        WalRecord r;
+        r.kind = WalRecordKind::kRxTaskDone;
+        r.task = task_id;
+        r.arg0 = static_cast<std::uint32_t>(status);
+        wal_->append(r);
+    }
     TaskDoneFn on_done = std::move(t.on_done);
     TaskReport report = std::move(t.report);
     rx_tasks_.erase(it);
     // Best-effort region release; under a permanent management outage
-    // the region is abandoned (the journal still records it).
-    mgmt_.call([this, task_id] { controller_.release(task_id); });
+    // the region is abandoned (the journal still records it). A crash
+    // racing the RPC may have released it already: swallow the typed
+    // complaint, the region is gone either way.
+    mgmt_.call([this, task_id] {
+        try {
+            controller_.release(task_id);
+        } catch (const StateError& e) {
+            warn(name(), ": release after failure: ", e.what());
+        }
+    });
     if (on_done)
         on_done(AggregateMap{}, std::move(report));
 }
@@ -1204,6 +1367,14 @@ AskDaemon::prepare_replay(TaskId task_id, sim::SimTime drain_until)
     if (it == rx_tasks_.end())
         return;
     ReceiveTask& t = it->second;
+    if (wal_ != nullptr) {
+        WalRecord r;
+        r.kind = WalRecordKind::kRxReset;
+        r.task = task_id;
+        r.kvs.emplace_back("drain_until",
+                           static_cast<std::uint64_t>(drain_until));
+        wal_->append(r);
+    }
     ++t.generation;  // scheduled fetch/finalize callbacks are now void
     t.local.clear();
     t.fins.clear();
@@ -1229,6 +1400,125 @@ AskDaemon::prepare_replay(TaskId task_id, sim::SimTime drain_until)
     // and replayed sequence numbers continue past the crash point — a
     // fresh window would mis-classify them relative to pre-crash seqs.
     ++chaos_.tasks_reset;
+}
+
+void
+AskDaemon::crash()
+{
+    ASK_ASSERT(!crashed_, "crash of an already-crashed host");
+    crashed_ = true;
+    degraded_ = false;
+    for (auto& ch : channels_)
+        ch->reset_after_crash(0);
+    for (auto& [id, t] : rx_tasks_) {
+        if (t.swap_timer != sim::kInvalidEvent)
+            simulator().cancel(t.swap_timer);
+        if (t.liveness_timer != sim::kInvalidEvent)
+            simulator().cancel(t.liveness_timer);
+    }
+    rx_tasks_.clear();
+    sent_archive_.clear();
+    warn(name(), ": host crashed");
+}
+
+std::uint32_t
+AskDaemon::recover_from_wal(
+    const std::function<TaskDoneFn(TaskId)>& make_done)
+{
+    ASK_ASSERT(wal_ != nullptr, "daemon recovery without a WAL");
+    ASK_ASSERT(crashed_, "recovery of a live daemon");
+    // Throwing replay: a corrupt log surfaces as StateError and the
+    // cluster fails the host's tasks instead of rebuilding bad state.
+    std::vector<WalRecord> records = wal_->replay();
+    WalDaemonState state = rebuild_daemon_state(records, config_.op);
+    crashed_ = false;
+
+    // Channels resume at their journaled checkpoints (>= every seq the
+    // dead process used) and the switch is fenced there, stale-dropping
+    // any pre-crash frame still wandering the fabric.
+    for (std::uint32_t i = 0; i < channels_.size(); ++i) {
+        auto rt = state.resume_seq.find(i);
+        Seq resume = rt == state.resume_seq.end() ? 0 : rt->second;
+        channels_[i]->reset_after_crash(resume);
+        if (resume > 0)
+            controller_.fence_channel(channels_[i]->global_id(), resume);
+    }
+
+    // Replay archives. The original on_complete callbacks died with the
+    // process; cluster-level replay re-drives delivery, and completion
+    // is observed at the receiver (FIN set), not the sender.
+    for (auto& [task, send] : state.sends) {
+        sent_archive_[task].push_back(
+            ArchivedSend{static_cast<net::NodeId>(send.receiver),
+                         std::move(send.stream), nullptr});
+    }
+
+    // Receive tasks: partial aggregate, FIN set, seen windows (replayed
+    // observation by observation, so post-restart retransmissions stay
+    // duplicates), swap epoch, and the completion callback re-supplied
+    // by the cluster.
+    std::uint32_t rebuilt = 0;
+    sim::SimTime now = simulator().now();
+    for (auto& [task_id, ws] : state.rx_tasks) {
+        ReceiveTask rx;
+        rx.id = task_id;
+        rx.expected_senders = ws.expected_senders;
+        rx.swaps_disabled = ws.swaps_disabled;
+        rx.local = std::move(ws.local);
+        for (std::uint32_t f : ws.fins)
+            rx.fins.insert(static_cast<ChannelId>(f));
+        rx.on_done = make_done ? make_done(task_id) : nullptr;
+        rx.report.start_time = static_cast<sim::SimTime>(ws.start_time);
+        rx.report.tuples_aggregated_locally = ws.tuples_aggregated_locally;
+        rx.report.tuples_fetched_from_switch =
+            ws.tuples_fetched_from_switch;
+        rx.report.packets_received = ws.packets_received;
+        rx.report.swaps = ws.swaps;
+        rx.committed_epoch = ws.committed_epoch;
+        // Strictly above anything the dead process handed out: its
+        // scheduled swap/finalize callbacks are void on arrival.
+        rx.generation = ws.generation;
+        rx.liveness_timeout_ns =
+            static_cast<Nanoseconds>(ws.liveness_ns);
+        rx.restarting_until = std::max(
+            now, static_cast<sim::SimTime>(ws.restart_drain_until));
+        rx.last_activity = rx.restarting_until;
+        for (const auto& [chan, seq] : ws.observed)
+            window_for(rx, static_cast<ChannelId>(chan)).observe(seq);
+
+        auto [it, inserted] = rx_tasks_.emplace(task_id, std::move(rx));
+        ASK_ASSERT(inserted, "recovered task ", task_id, " twice");
+        ReceiveTask& t = it->second;
+
+        // Reconcile an interrupted swap: if the switch's epoch ran
+        // ahead of the journaled commit, the SWAP was applied but the
+        // retired copy never drained — finish the drain now.
+        if (controller_.program().find_task(task_id) != nullptr) {
+            std::uint32_t switch_epoch = controller_.current_epoch(task_id);
+            if (switch_epoch > t.committed_epoch) {
+                t.swap_in_flight = true;
+                t.swap_target = switch_epoch;
+                t.swap_tries = 0;
+                complete_swap(t);
+            }
+        }
+
+        if (t.liveness_timeout_ns > 0)
+            arm_liveness(task_id);
+        // The crash may have interrupted the window between the last
+        // FIN and the finalize fetch; re-drive it.
+        maybe_finalize(t);
+        ++rebuilt;
+    }
+
+    // Fencing marker: the NEXT recovery's generations must exceed the
+    // ones this one just handed out.
+    WalRecord marker;
+    marker.kind = WalRecordKind::kHostRecovered;
+    wal_->append(marker);
+    warn(name(), ": recovered from WAL: ", rebuilt, " receive task(s), ",
+         state.sends.size(), " archived send(s)");
+    return rebuilt;
 }
 
 }  // namespace ask::core

@@ -38,6 +38,7 @@
 #include "ask/packet_builder.h"
 #include "ask/seen_window.h"
 #include "ask/types.h"
+#include "ask/wal.h"
 #include "ask/wire.h"
 #include "net/cost_model.h"
 #include "net/network.h"
@@ -69,6 +70,10 @@ enum class TaskStatus : std::uint8_t
     /** A sender-side frame (bypass DATA or FIN) exhausted its
      *  transmission budget; the stream was not delivered. */
     kSendBudgetExhausted,
+    /** The host (or controller) crashed and the task could not be
+     *  rebuilt from the write-ahead log — the WAL was corrupt, or the
+     *  task raced setup so no journaled state existed to recover. */
+    kHostCrashed,
 };
 
 const char* task_status_name(TaskStatus status);
@@ -212,6 +217,15 @@ class DataChannel
     void convert_in_flight_to_bypass();
     void finish_conversion(Seq seq, AskSwitchProgram::ProbeResult probe);
 
+    /**
+     * Crash-recovery reset: cancel every timer, drop jobs/in-flight
+     * state, restore the congestion/RTT estimators to their initial
+     * values, and resume the sequence space at `resume` — the highest
+     * journaled checkpoint, which is >= every sequence the channel used
+     * before the crash, so a fence at `resume` stale-drops all of them.
+     */
+    void reset_after_crash(Seq resume);
+
     AskDaemon& daemon_;
     std::uint32_t local_index_;
 
@@ -340,6 +354,47 @@ class AskDaemon : public net::Node
     void fail_receive_task(TaskId task, TaskStatus status,
                            std::string detail);
 
+    // ---- host durability (write-ahead log + crash recovery) ---------------
+
+    /**
+     * Attach this daemon's write-ahead log. Once set, every externally
+     * visible state change — task starts, journaled submits, observed
+     * DATA, FINs, swap commits, resets, completions, and sequence
+     * checkpoints — is appended *before* the in-memory state mutates,
+     * so crash() + recover_from_wal() rebuilds the daemon exactly.
+     */
+    void set_wal(Wal* wal) { wal_ = wal; }
+
+    /**
+     * Crash the host process: every channel, receive task, archive, and
+     * timer vanishes; packets arriving while crashed are dropped (the
+     * NIC stays attached, the daemon does not). The WAL — owned by the
+     * cluster's WalStore, i.e. the host's disk — survives.
+     */
+    void crash();
+    bool crashed() const { return crashed_; }
+
+    /**
+     * Restart after crash(): replay the WAL (throws StateError on a
+     * digest/framing corruption) and rebuild receive tasks, partial
+     * aggregates, receive windows, send archives, and per-channel
+     * sequence cursors. Each rebuilt receive task needs its completion
+     * callback back — the std::function died with the process — so the
+     * cluster supplies `make_done`. Channels are re-fenced at their
+     * journaled checkpoints and interrupted swaps are reconciled
+     * against the switch's current epoch.
+     * @return the number of receive tasks rebuilt.
+     */
+    std::uint32_t recover_from_wal(
+        const std::function<TaskDoneFn(TaskId)>& make_done);
+
+    /** Does this host hold a replay archive for `task`? (Used by the
+     *  cluster to decide whether a crashed host was a sender.) */
+    bool has_send_archive(TaskId task) const
+    {
+        return sent_archive_.count(task) != 0;
+    }
+
     // ---- net::Node ---------------------------------------------------------
     void receive(net::Packet pkt) override;
     std::string name() const override;
@@ -454,6 +509,10 @@ class AskDaemon : public net::Node
     std::function<void(TaskId, TaskStatus, const std::string&)>
         on_task_failure_;
     bool degraded_ = false;
+    /** Host write-ahead log (null = durability disabled). */
+    Wal* wal_ = nullptr;
+    /** Crashed and not yet restarted: all traffic is dropped. */
+    bool crashed_ = false;
     /** Borrowed observability hooks (may be null). The RTT histogram is
      *  shared across daemons: one `host.rtt_ns` per cluster. */
     obs::PacketTracer* tracer_ = nullptr;

@@ -15,9 +15,9 @@ void
 KeySpace::check_key(const Key& key) const
 {
     if (key.empty())
-        fatal("ASK keys must be non-empty");
+        fail_state("ASK keys must be non-empty");
     if (key.find('\0') != std::string::npos)
-        fatal("ASK keys must not contain NUL bytes (see ask/types.h)");
+        fail_state("ASK keys must not contain NUL bytes (see ask/types.h)");
 }
 
 KeyClass

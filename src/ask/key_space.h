@@ -43,8 +43,9 @@ class KeySpace
   public:
     explicit KeySpace(const AskConfig& config);
 
-    /** Classify a key by its length. fatal()s on invalid keys (empty or
-     *  containing NUL bytes). */
+    /** Classify a key by its length. Throws StateError on invalid keys
+     *  (empty or containing NUL bytes) — the caller decides whether a
+     *  bad key fails the task or the process. */
     KeyClass classify(const Key& key) const;
 
     /** Subspace (== AA index == payload slot) of a *short* key. */

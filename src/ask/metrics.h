@@ -60,12 +60,21 @@ namespace ask::core {
     X(mgmt_outages, kCluster, "management-plane outage windows")            \
     X(mgmt_delay_windows, kCluster, "management-plane delay windows")       \
     X(data_blackholes, kCluster, "sick-program blackhole windows")          \
+    X(host_crashes, kCluster, "host daemon crash episodes")                 \
+    X(controller_crashes, kCluster, "controller crash episodes")            \
+    X(unhandled_events, kCluster, "chaos episodes fired with no handler")   \
     /* ---- recovery actions ---- */                                        \
     X(regions_reinstalled, kCluster, "task regions re-pushed post-reboot")  \
     X(channels_fenced, kCluster, "max_seq/seen fences written")             \
+    X(host_recoveries, kCluster, "daemon WAL recoveries completed")         \
+    X(controller_recoveries, kCluster, "controller WAL recoveries")         \
+    X(wal_appends, kCluster, "write-ahead log records appended")            \
+    X(wal_rejected, kCluster, "WAL replays rejected (corrupt log)")         \
+    X(crash_aborted_tasks, kCluster, "tasks failed by unrecoverable crash") \
     X(tasks_reset, kDaemon, "receiver tasks reset for replay")              \
     X(streams_replayed, kDaemon, "sender streams re-submitted")             \
     X(drain_dropped, kDaemon, "packets dropped by drain guards")            \
+    X(crash_dropped, kDaemon, "packets dropped at a crashed host")          \
     X(degraded_entries, kDaemon, "daemons entering host-only mode")         \
     X(bypass_conversions, kDaemon, "in-flight DATA rerouted to bypass")     \
     X(probe_rpcs, kDaemon, "PktState probes during conversion")             \

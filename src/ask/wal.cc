@@ -1,0 +1,467 @@
+#include "ask/wal.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <string_view>
+#include <utility>
+
+#include "common/hash.h"
+#include "common/logging.h"
+
+namespace ask::core {
+
+namespace {
+
+/** Frame header: payload length + folded payload-hash check word. */
+constexpr std::size_t kFrameHeader = 8;
+
+void
+put_u32(std::string& out, std::uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+}
+
+void
+put_u64(std::string& out, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+}
+
+/** Bounds-checked little-endian reader over a payload slice. */
+class Reader
+{
+  public:
+    explicit Reader(std::string_view bytes) : bytes_(bytes) {}
+
+    bool
+    u8(std::uint8_t& v)
+    {
+        if (off_ + 1 > bytes_.size())
+            return false;
+        v = static_cast<std::uint8_t>(bytes_[off_++]);
+        return true;
+    }
+
+    bool
+    u32(std::uint32_t& v)
+    {
+        if (off_ + 4 > bytes_.size())
+            return false;
+        v = 0;
+        for (int i = 0; i < 4; ++i)
+            v |= static_cast<std::uint32_t>(
+                     static_cast<unsigned char>(bytes_[off_ + i]))
+                 << (8 * i);
+        off_ += 4;
+        return true;
+    }
+
+    bool
+    u64(std::uint64_t& v)
+    {
+        if (off_ + 8 > bytes_.size())
+            return false;
+        v = 0;
+        for (int i = 0; i < 8; ++i)
+            v |= static_cast<std::uint64_t>(
+                     static_cast<unsigned char>(bytes_[off_ + i]))
+                 << (8 * i);
+        off_ += 8;
+        return true;
+    }
+
+    bool
+    str(std::string& v, std::size_t n)
+    {
+        if (off_ + n > bytes_.size())
+            return false;
+        v.assign(bytes_.substr(off_, n));
+        off_ += n;
+        return true;
+    }
+
+    bool done() const { return off_ == bytes_.size(); }
+
+  private:
+    std::string_view bytes_;
+    std::size_t off_ = 0;
+};
+
+std::string
+encode_record(const WalRecord& r)
+{
+    std::string payload;
+    payload.push_back(static_cast<char>(r.kind));
+    put_u32(payload, r.task);
+    put_u32(payload, r.channel);
+    put_u32(payload, r.seq);
+    put_u32(payload, r.arg0);
+    put_u32(payload, r.arg1);
+    put_u32(payload, r.arg2);
+    put_u32(payload, static_cast<std::uint32_t>(r.kvs.size()));
+    for (const auto& [key, value] : r.kvs) {
+        put_u32(payload, static_cast<std::uint32_t>(key.size()));
+        payload.append(key);
+        put_u64(payload, value);
+    }
+    return payload;
+}
+
+bool
+decode_record(std::string_view payload, WalRecord& out)
+{
+    Reader rd(payload);
+    std::uint8_t kind = 0;
+    std::uint32_t nkvs = 0;
+    if (!rd.u8(kind) || !rd.u32(out.task) || !rd.u32(out.channel) ||
+        !rd.u32(out.seq) || !rd.u32(out.arg0) || !rd.u32(out.arg1) ||
+        !rd.u32(out.arg2) || !rd.u32(nkvs)) {
+        return false;
+    }
+    if (kind < static_cast<std::uint8_t>(WalRecordKind::kAlloc) ||
+        kind > static_cast<std::uint8_t>(WalRecordKind::kHostRecovered)) {
+        return false;
+    }
+    out.kind = static_cast<WalRecordKind>(kind);
+    out.kvs.clear();
+    out.kvs.reserve(nkvs);
+    for (std::uint32_t i = 0; i < nkvs; ++i) {
+        std::uint32_t klen = 0;
+        std::string key;
+        std::uint64_t value = 0;
+        if (!rd.u32(klen) || !rd.str(key, klen) || !rd.u64(value))
+            return false;
+        out.kvs.emplace_back(std::move(key), value);
+    }
+    return rd.done();
+}
+
+/** A named scalar in a record's kvs (0 when absent). */
+std::uint64_t
+kv_scalar(const WalRecord& r, std::string_view name)
+{
+    for (const auto& [key, value] : r.kvs)
+        if (key == name)
+            return value;
+    return 0;
+}
+
+}  // namespace
+
+const char*
+wal_record_kind_name(WalRecordKind kind)
+{
+    switch (kind) {
+      case WalRecordKind::kAlloc:
+        return "alloc";
+      case WalRecordKind::kRelease:
+        return "release";
+      case WalRecordKind::kSendSubmit:
+        return "send-submit";
+      case WalRecordKind::kSendForget:
+        return "send-forget";
+      case WalRecordKind::kSeqCheckpoint:
+        return "seq-checkpoint";
+      case WalRecordKind::kRxTaskStart:
+        return "rx-task-start";
+      case WalRecordKind::kRxData:
+        return "rx-data";
+      case WalRecordKind::kRxFin:
+        return "rx-fin";
+      case WalRecordKind::kRxSwapCommit:
+        return "rx-swap-commit";
+      case WalRecordKind::kRxReset:
+        return "rx-reset";
+      case WalRecordKind::kRxTaskDone:
+        return "rx-task-done";
+      case WalRecordKind::kHostRecovered:
+        return "host-recovered";
+    }
+    return "unknown";
+}
+
+Wal::Wal(std::string name) : name_(std::move(name))
+{
+    const char* p = std::getenv("ASK_WAL_PARANOID");
+    paranoid_ = p != nullptr && *p != '\0' && *p != '0';
+}
+
+void
+Wal::append(const WalRecord& record)
+{
+    std::string payload = encode_record(record);
+    std::uint64_t h = fnv1a64(payload);
+    put_u32(bytes_, static_cast<std::uint32_t>(payload.size()));
+    put_u32(bytes_, static_cast<std::uint32_t>(mix64(h)));
+    bytes_.append(payload);
+    record_hashes_.push_back(h);
+    digest_ = mix64(digest_ ^ h);
+    if (append_counter_ != nullptr)
+        ++*append_counter_;
+    if (paranoid_)
+        ASK_ASSERT(verify(), "WAL ", name_, " failed paranoid verify after ",
+                   wal_record_kind_name(record.kind));
+}
+
+std::vector<WalRecord>
+Wal::replay(WalReplayStatus* status) const
+{
+    WalReplayStatus local;
+    WalReplayStatus& st = status != nullptr ? *status : local;
+    st = WalReplayStatus{};
+    std::vector<WalRecord> records;
+
+    std::size_t off = 0;
+    auto corrupt_at = [&](const char* what) {
+        st.corrupt = true;
+        if (status == nullptr)
+            fail_state("WAL ", name_, ": corrupt record at byte ", off, " (",
+                       what, ")");
+    };
+
+    while (off < bytes_.size()) {
+        if (off + kFrameHeader > bytes_.size()) {
+            st.torn_tail = true;  // crash mid-header
+            break;
+        }
+        Reader hdr(std::string_view(bytes_).substr(off, kFrameHeader));
+        std::uint32_t len = 0;
+        std::uint32_t check = 0;
+        hdr.u32(len);
+        hdr.u32(check);
+        if (off + kFrameHeader + len > bytes_.size()) {
+            st.torn_tail = true;  // crash mid-payload
+            break;
+        }
+        std::string_view payload =
+            std::string_view(bytes_).substr(off + kFrameHeader, len);
+        std::uint64_t h = fnv1a64(payload);
+        std::size_t index = records.size();
+        if (static_cast<std::uint32_t>(mix64(h)) != check ||
+            index >= record_hashes_.size() || h != record_hashes_[index]) {
+            corrupt_at("log-segment hash mismatch");
+            break;
+        }
+        WalRecord r;
+        if (!decode_record(payload, r)) {
+            corrupt_at("malformed payload");
+            break;
+        }
+        records.push_back(std::move(r));
+        off += kFrameHeader + len;
+        st.valid_bytes = off;
+    }
+
+    st.records = records.size();
+    // A truncation that happens to land on a frame boundary still shows
+    // up: the verified records are a proper prefix of the segment list.
+    if (!st.corrupt && st.records < record_hashes_.size())
+        st.torn_tail = true;
+    return records;
+}
+
+bool
+Wal::verify() const
+{
+    WalReplayStatus st;
+    std::vector<WalRecord> records = replay(&st);
+    if (st.corrupt || st.torn_tail || st.records != record_hashes_.size())
+        return false;
+    std::uint64_t root = 0;
+    for (const WalRecord& r : records)
+        root = mix64(root ^ fnv1a64(encode_record(r)));
+    return root == digest_;
+}
+
+void
+Wal::clear()
+{
+    bytes_.clear();
+    record_hashes_.clear();
+    digest_ = 0;
+}
+
+obs::Json
+Wal::describe() const
+{
+    obs::Json d = obs::Json::object();
+    d.set("name", name_);
+    d.set("records", static_cast<std::uint64_t>(record_hashes_.size()));
+    d.set("size_bytes", static_cast<std::uint64_t>(bytes_.size()));
+    d.set("digest", std::to_string(digest_));
+    WalReplayStatus st;
+    std::vector<WalRecord> records = replay(&st);
+    d.set("torn_tail", st.torn_tail);
+    d.set("corrupt", st.corrupt);
+    obs::Json list = obs::Json::array();
+    for (const WalRecord& r : records) {
+        obs::Json rj = obs::Json::object();
+        rj.set("kind", wal_record_kind_name(r.kind));
+        rj.set("task", r.task);
+        rj.set("channel", r.channel);
+        rj.set("seq", r.seq);
+        rj.set("arg0", r.arg0);
+        rj.set("arg1", r.arg1);
+        rj.set("arg2", r.arg2);
+        rj.set("kvs", static_cast<std::uint64_t>(r.kvs.size()));
+        list.push_back(std::move(rj));
+    }
+    d.set("log", std::move(list));
+    return d;
+}
+
+void
+Wal::truncate_tail(std::size_t n)
+{
+    bytes_.resize(bytes_.size() - std::min(n, bytes_.size()));
+}
+
+void
+Wal::flip_byte(std::size_t offset)
+{
+    ASK_ASSERT(offset < bytes_.size(), "flip_byte past WAL end");
+    bytes_[offset] = static_cast<char>(bytes_[offset] ^ 0x40);
+}
+
+Wal&
+WalStore::wal(const std::string& name)
+{
+    auto it = wals_.find(name);
+    if (it == wals_.end())
+        it = wals_.emplace(name, Wal(name)).first;
+    return it->second;
+}
+
+Wal&
+WalStore::host_wal(std::uint32_t host)
+{
+    return wal("host" + std::to_string(host));
+}
+
+Wal&
+WalStore::controller_wal()
+{
+    return wal("controller");
+}
+
+obs::Json
+WalStore::describe() const
+{
+    obs::Json d = obs::Json::object();
+    for (const auto& [name, w] : wals_)
+        d.set(name, w.describe());
+    return d;
+}
+
+WalDaemonState
+rebuild_daemon_state(const std::vector<WalRecord>& records, AggOp op)
+{
+    WalDaemonState state;
+    std::map<TaskId, std::uint32_t> resets;
+
+    for (const WalRecord& r : records) {
+        switch (r.kind) {
+          case WalRecordKind::kRxTaskStart: {
+            WalRxTaskState& t = state.rx_tasks[r.task];
+            t = WalRxTaskState{};
+            t.expected_senders = r.arg0;
+            t.swaps_disabled = r.arg1 != 0;
+            t.liveness_ns = kv_scalar(r, "liveness_ns");
+            t.start_time = kv_scalar(r, "start_time");
+            resets[r.task] = 0;
+            break;
+          }
+          case WalRecordKind::kRxData: {
+            auto it = state.rx_tasks.find(r.task);
+            if (it == state.rx_tasks.end())
+                break;
+            WalRxTaskState& t = it->second;
+            t.observed.emplace_back(r.channel, r.seq);
+            for (const auto& [key, value] : r.kvs) {
+                accumulate(t.local, key, value, op);
+                ++t.tuples_aggregated_locally;
+            }
+            ++t.packets_received;
+            break;
+          }
+          case WalRecordKind::kRxFin: {
+            auto it = state.rx_tasks.find(r.task);
+            if (it != state.rx_tasks.end())
+                it->second.fins.insert(r.channel);
+            break;
+          }
+          case WalRecordKind::kRxSwapCommit: {
+            auto it = state.rx_tasks.find(r.task);
+            if (it == state.rx_tasks.end())
+                break;
+            WalRxTaskState& t = it->second;
+            for (const auto& [key, value] : r.kvs) {
+                accumulate(t.local, key, value, op);
+                ++t.tuples_fetched_from_switch;
+            }
+            t.committed_epoch = r.seq;
+            ++t.swaps;
+            break;
+          }
+          case WalRecordKind::kRxReset: {
+            auto it = state.rx_tasks.find(r.task);
+            if (it == state.rx_tasks.end())
+                break;
+            WalRxTaskState& t = it->second;
+            // A reset wipes the partial aggregate and progress counters
+            // for a full replay but keeps the observed seqs: the seen
+            // windows survive a reboot-replay on the live daemon too.
+            t.local.clear();
+            t.fins.clear();
+            t.committed_epoch = 0;
+            t.tuples_aggregated_locally = 0;
+            t.tuples_fetched_from_switch = 0;
+            t.packets_received = 0;
+            t.swaps = 0;
+            t.restart_drain_until = kv_scalar(r, "drain_until");
+            ++resets[r.task];
+            break;
+          }
+          case WalRecordKind::kRxTaskDone:
+            state.rx_tasks.erase(r.task);
+            resets.erase(r.task);
+            break;
+          case WalRecordKind::kSendSubmit: {
+            // A task may receive several submits from one host; the
+            // rebuilt cursor is their concatenation (aggregation is
+            // insensitive to the packetization boundary).
+            WalSendState& s = state.sends[r.task];
+            s.receiver = r.arg0;
+            s.stream.reserve(s.stream.size() + r.kvs.size());
+            for (const auto& [key, value] : r.kvs)
+                s.stream.push_back({key, static_cast<Value>(value)});
+            break;
+          }
+          case WalRecordKind::kSendForget:
+            state.sends.erase(r.task);
+            break;
+          case WalRecordKind::kSeqCheckpoint: {
+            Seq& cur = state.resume_seq[r.channel];
+            cur = std::max(cur, r.seq);
+            break;
+          }
+          case WalRecordKind::kHostRecovered:
+            ++state.recoveries;
+            break;
+          case WalRecordKind::kAlloc:
+          case WalRecordKind::kRelease:
+            break;  // controller journal records; not daemon state
+        }
+    }
+
+    // Fence stale callbacks: any generation the pre-crash process could
+    // have handed out is at most 1 (start) + resets + recoveries-so-far,
+    // so the rebuilt generation overshoots it by construction.
+    for (auto& [task, t] : state.rx_tasks)
+        t.generation = 2 + resets[task] + state.recoveries;
+    return state;
+}
+
+}  // namespace ask::core

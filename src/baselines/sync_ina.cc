@@ -110,8 +110,8 @@ class SyncInaProgram : public pisa::SwitchProgram
         std::uint32_t packed = (spec_.values_per_packet + 1) / 2;
         std::size_t needed = 2 + (packed + 3) / 4;
         if (pipe.num_stages() < needed) {
-            fatal("sync INA program needs ", needed, " stages, pipeline has ",
-                  pipe.num_stages());
+            fail_config("sync INA program needs ", needed,
+                        " stages, pipeline has ", pipe.num_stages());
         }
         if (spec_.variant == SyncVariant::kAtp) {
             owner_ = pipe.stage(0)->add_register_array("owner", spec_.slots,

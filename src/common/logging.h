@@ -112,6 +112,33 @@ fail_config(Args&&... args)
     throw ConfigError(detail::concat_args(std::forward<Args>(args)...));
 }
 
+/**
+ * A runtime state reject: an operation that is illegal against the
+ * *current* state of a live component (releasing an unknown task,
+ * starting a duplicate receive, replaying a corrupt WAL). Catchable —
+ * a simulated host crash must never take down the whole process; the
+ * recovery paths catch this, fail the affected task with a typed
+ * TaskStatus, and keep running.
+ */
+class StateError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/**
+ * Reject an operation against current runtime state: throws StateError.
+ * The runtime sibling of fail_config() — same catchability contract,
+ * but for faults that only exist once the system is running (crash
+ * artifacts, stale task handles), not for install-time configuration.
+ */
+template <typename... Args>
+[[noreturn]] void
+fail_state(Args&&... args)
+{
+    throw StateError(detail::concat_args(std::forward<Args>(args)...));
+}
+
 /** panic() when a condition that must hold does not. */
 #define ASK_ASSERT(cond, ...)                                               \
     do {                                                                    \

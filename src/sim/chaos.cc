@@ -21,6 +21,10 @@ chaos_kind_name(ChaosKind kind)
         return "mgmt-delay";
       case ChaosKind::kDataBlackhole:
         return "data-blackhole";
+      case ChaosKind::kHostCrash:
+        return "host-crash";
+      case ChaosKind::kHostRestart:
+        return "host-restart";
     }
     return "unknown";
 }
@@ -61,6 +65,24 @@ ChaosPlan&
 ChaosPlan::data_blackhole(SimTime at, SimTime duration)
 {
     return add({ChaosKind::kDataBlackhole, at, duration, 0, 0.0});
+}
+
+ChaosPlan&
+ChaosPlan::host_crash(SimTime at, SimTime outage, std::uint32_t host)
+{
+    return add({ChaosKind::kHostCrash, at, outage, host, 0.0});
+}
+
+ChaosPlan&
+ChaosPlan::host_restart(SimTime at, std::uint32_t host)
+{
+    return add({ChaosKind::kHostRestart, at, 0, host, 0.0});
+}
+
+ChaosPlan&
+ChaosPlan::controller_crash(SimTime at, SimTime outage)
+{
+    return add({ChaosKind::kHostCrash, at, outage, kControllerSubject, 0.0});
 }
 
 ChaosPlan
@@ -126,6 +148,13 @@ FaultScheduler::events_fired(ChaosKind kind) const
     return it == fired_by_kind_.end() ? 0 : it->second;
 }
 
+std::uint64_t
+FaultScheduler::unhandled_events(ChaosKind kind) const
+{
+    auto it = unhandled_by_kind_.find(kind);
+    return it == unhandled_by_kind_.end() ? 0 : it->second;
+}
+
 void
 FaultScheduler::arm(const ChaosPlan& plan)
 {
@@ -134,8 +163,15 @@ FaultScheduler::arm(const ChaosPlan& plan)
             ++events_fired_;
             ++fired_by_kind_[e.kind];
             auto it = handlers_.find(e.kind);
-            if (it == handlers_.end())
+            if (it == handlers_.end()) {
+                ++unhandled_events_;
+                ++unhandled_by_kind_[e.kind];
+                warn("chaos: ", chaos_kind_name(e.kind), " episode at ",
+                     e.at, " fired with no handler registered");
+                if (unhandled_hook_)
+                    unhandled_hook_(e);
                 return;
+            }
             if (it->second.on_start)
                 it->second.on_start(e);
             if (e.duration > 0 && it->second.on_end) {

@@ -51,7 +51,24 @@ enum class ChaosKind : std::uint8_t
      *  and SWAP packets) for the duration, while plain forwarding still
      *  works — the classic "sick ASIC program" failure. */
     kDataBlackhole = 5,
+    /** A host-side process crashes at `at`, losing all in-memory state
+     *  (partial aggregates, seen windows, send queues — or, for
+     *  subject == kControllerSubject, the allocation journal), and
+     *  restarts after `duration` by replaying its write-ahead log.
+     *  subject = host index, or kControllerSubject for the controller.
+     *  duration == 0 means the restart must be scheduled separately
+     *  with a kHostRestart event. */
+    kHostCrash = 6,
+    /** Explicitly restart a previously crashed host (recover from its
+     *  WAL). Only needed when the matching kHostCrash had duration 0;
+     *  a crash with a duration restarts itself. subject as above. */
+    kHostRestart = 7,
 };
+
+/** ChaosEvent::subject value addressing the controller process rather
+ *  than a numbered host daemon (host indices are small; this sentinel
+ *  can never collide with one). */
+constexpr std::uint32_t kControllerSubject = 0xFFFFFFFFu;
 
 /** Human-readable name of a kind (logs, bench tables). */
 const char* chaos_kind_name(ChaosKind kind);
@@ -93,6 +110,9 @@ struct ChaosPlan
     ChaosPlan& mgmt_outage(SimTime at, SimTime duration);
     ChaosPlan& mgmt_delay(SimTime at, SimTime duration, Nanoseconds extra);
     ChaosPlan& data_blackhole(SimTime at, SimTime duration);
+    ChaosPlan& host_crash(SimTime at, SimTime outage, std::uint32_t host);
+    ChaosPlan& host_restart(SimTime at, std::uint32_t host);
+    ChaosPlan& controller_crash(SimTime at, SimTime outage);
 
     /**
      * Derive a randomized but reproducible plan: `episodes` episodes
@@ -142,6 +162,23 @@ class FaultScheduler
     /** Episodes of `kind` whose start fired so far. */
     std::uint64_t events_fired(ChaosKind kind) const;
 
+    /** Episodes that fired with no handler registered for their kind.
+     *  A nonzero count means the deployment armed a plan it only
+     *  partially models — fine for a bare network sim, a wiring bug in
+     *  a full cluster. */
+    std::uint64_t unhandled_events() const { return unhandled_events_; }
+
+    /** Unhandled episodes of one kind. */
+    std::uint64_t unhandled_events(ChaosKind kind) const;
+
+    /** Invoked (if set) whenever an episode fires unhandled, so the
+     *  deployment can surface the gap in its own stats. */
+    void
+    set_unhandled_hook(Handler hook)
+    {
+        unhandled_hook_ = std::move(hook);
+    }
+
   private:
     struct Handlers
     {
@@ -151,8 +188,11 @@ class FaultScheduler
 
     Simulator& simulator_;
     std::map<ChaosKind, Handlers> handlers_;
+    Handler unhandled_hook_;
     std::uint64_t events_fired_ = 0;
+    std::uint64_t unhandled_events_ = 0;
     std::map<ChaosKind, std::uint64_t> fired_by_kind_;
+    std::map<ChaosKind, std::uint64_t> unhandled_by_kind_;
 };
 
 }  // namespace ask::sim

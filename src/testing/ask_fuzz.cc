@@ -11,11 +11,15 @@
  *     ask_fuzz                      # 500 scenarios from base seed 1
  *     ask_fuzz --seed 7 --count 64  # a different, equally replayable run
  *     ask_fuzz --smoke              # CI-sized campaign (ctest fuzz_smoke)
+ *     ask_fuzz --crash-heavy        # every scenario crashes hosts or the
+ *                                   # controller (ctest recovery_smoke)
  *     ask_fuzz --replay 1234        # re-run one scenario by seed
  *     ask_fuzz --json out.json      # write the ask-fuzz/v1 report
  *
- * The report is byte-deterministic for a given (--seed, --count): CI
- * runs the smoke campaign twice and diffs the bytes.
+ * The report is byte-deterministic for a given (--seed, --count,
+ * --crash-heavy): CI runs the smoke campaigns twice and diffs the
+ * bytes. A --crash-heavy failure replays with
+ * `--crash-heavy --replay SEED` — the flag is part of the replay key.
  */
 #include <cstdint>
 #include <cstdlib>
@@ -36,8 +40,9 @@ using namespace ask;
 usage(const char* argv0)
 {
     std::cerr << "usage: " << argv0
-              << " [--seed N] [--count N] [--smoke] [--replay SEED]\n"
-                 "       [--no-shrink] [--max-failures N] [--json PATH]\n";
+              << " [--seed N] [--count N] [--smoke] [--crash-heavy]\n"
+                 "       [--replay SEED] [--no-shrink] [--max-failures N]\n"
+                 "       [--json PATH]\n";
     std::exit(2);
 }
 
@@ -74,6 +79,8 @@ main(int argc, char** argv)
                 static_cast<std::uint32_t>(parse_u64(argv[0], value()));
         else if (std::strcmp(argv[i], "--smoke") == 0)
             options.count = 60;
+        else if (std::strcmp(argv[i], "--crash-heavy") == 0)
+            options.crash_heavy = true;
         else if (std::strcmp(argv[i], "--replay") == 0) {
             replay = true;
             replay_target = parse_u64(argv[0], value());
@@ -95,9 +102,11 @@ main(int argc, char** argv)
     if (replay) {
         std::cout << "ask_fuzz: replaying scenario seed " << replay_target
                   << "\n";
+        testing::ScenarioTuning tuning;
+        tuning.crash_heavy = options.crash_heavy;
         report =
             testing::replay_seed(replay_target, options.shrink,
-                                 options.shrink_attempts);
+                                 options.shrink_attempts, tuning);
     } else {
         std::cout << "ask_fuzz: " << options.count
                   << " scenarios from base seed " << options.base_seed
@@ -121,6 +130,7 @@ main(int argc, char** argv)
 
     std::cout << "ask_fuzz: " << report.scenarios_run << " scenarios ("
               << report.chaos_scenarios << " with chaos, "
+              << report.crash_scenarios << " with host crashes, "
               << report.total_tuples << " tuples), "
               << report.failures.size() << " failure(s)\n";
 

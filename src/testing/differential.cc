@@ -127,6 +127,77 @@ probe_register_hygiene(const ScenarioSpec& spec, core::AskCluster& cluster,
 }
 
 /**
+ * Durability probe (post-recovery equivalence): after the run drains,
+ * every process's WAL must still verify against its merkle digest, the
+ * daemon-state fold must be idempotent and show no live obligations
+ * (every journaled task start reached its done record, every archived
+ * send was forgotten), the controller journal must balance, and every
+ * crash the chaos plan injected must have been matched by a recovery
+ * that trusted the log.
+ */
+void
+probe_recovery(const ScenarioSpec& spec, core::AskCluster& cluster,
+               DiffResult& out)
+{
+    auto fail = [&out](const std::string& detail) {
+        out.probe_failures.push_back({"post_recovery_equivalence", detail});
+    };
+
+    for (std::uint32_t h = 0; h < spec.cluster.num_hosts; ++h) {
+        core::Wal& wal = cluster.wal_store().host_wal(h);
+        if (!wal.verify()) {
+            fail(wal.name() + ": log fails its digest check");
+            continue;
+        }
+        std::vector<core::WalRecord> records = wal.replay();
+        core::WalDaemonState once =
+            core::rebuild_daemon_state(records, spec.cluster.ask.op);
+        core::WalDaemonState twice =
+            core::rebuild_daemon_state(records, spec.cluster.ask.op);
+        if (!(once == twice))
+            fail(wal.name() + ": state fold is not idempotent");
+        if (!once.rx_tasks.empty())
+            fail(wal.name() + ": " + std::to_string(once.rx_tasks.size()) +
+                 " receive task(s) never reached a done record");
+        if (!once.sends.empty())
+            fail(wal.name() + ": " + std::to_string(once.sends.size()) +
+                 " archived send(s) never forgotten");
+    }
+
+    core::Wal& cwal = cluster.wal_store().controller_wal();
+    if (!cwal.verify()) {
+        fail(cwal.name() + ": log fails its digest check");
+    } else {
+        std::uint64_t allocs = 0;
+        std::uint64_t releases = 0;
+        for (const core::WalRecord& r : cwal.replay()) {
+            if (r.kind == core::WalRecordKind::kAlloc)
+                ++allocs;
+            else if (r.kind == core::WalRecordKind::kRelease)
+                ++releases;
+        }
+        if (allocs != releases)
+            fail("controller journal unbalanced: " + std::to_string(allocs) +
+                 " alloc(s) vs " + std::to_string(releases) + " release(s)");
+    }
+
+    core::ChaosStats cs = cluster.chaos_stats();
+    if (cs.host_crashes != cs.host_recoveries)
+        fail(std::to_string(cs.host_crashes) + " host crash(es) but " +
+             std::to_string(cs.host_recoveries) + " recover(ies)");
+    if (cs.controller_crashes != cs.controller_recoveries)
+        fail(std::to_string(cs.controller_crashes) +
+             " controller crash(es) but " +
+             std::to_string(cs.controller_recoveries) + " recover(ies)");
+    if (cs.wal_rejected != 0)
+        fail(std::to_string(cs.wal_rejected) +
+             " WAL(s) rejected (nothing corrupts logs in-contract)");
+    if (cs.unhandled_events != 0)
+        fail(std::to_string(cs.unhandled_events) +
+             " chaos event(s) reached no handler");
+}
+
+/**
  * Access-plan probe: with the runtime cross-check armed, every dynamic
  * register access was already matched against the static plan (an
  * unpredicted access panics mid-run); afterwards the oracle's counters
@@ -301,6 +372,7 @@ run_differential(const ScenarioSpec& spec)
     probe_register_hygiene(spec, cluster, out);
     probe_seen_models(spec, out);
     probe_access_plan(cluster, out);
+    probe_recovery(spec, cluster, out);
 
     return out;
 }

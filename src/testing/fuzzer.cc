@@ -25,6 +25,17 @@ make_failure(const ScenarioSpec& spec, const DiffResult& diff, bool shrink,
     return f;
 }
 
+bool
+has_crash_event(const ScenarioSpec& spec)
+{
+    for (const auto& e : spec.chaos.events) {
+        if (e.kind == sim::ChaosKind::kHostCrash ||
+            e.kind == sim::ChaosKind::kHostRestart)
+            return true;
+    }
+    return false;
+}
+
 }  // namespace
 
 std::uint64_t
@@ -47,6 +58,7 @@ FuzzReport::to_json() const
     d.set("base_seed", std::to_string(base_seed));
     d.set("scenarios_run", scenarios_run);
     d.set("chaos_scenarios", chaos_scenarios);
+    d.set("crash_scenarios", crash_scenarios);
     d.set("total_tuples", total_tuples);
     d.set("ok", ok());
 
@@ -74,13 +86,17 @@ run_fuzz(const FuzzOptions& options)
     FuzzReport report;
     report.base_seed = options.base_seed;
 
+    ScenarioTuning tuning;
+    tuning.crash_heavy = options.crash_heavy;
     std::uint64_t chain = options.base_seed;
     for (std::uint32_t i = 0; i < options.count; ++i) {
         std::uint64_t seed = split_mix64(chain);
-        ScenarioSpec spec = generate_scenario(seed);
+        ScenarioSpec spec = generate_scenario(seed, tuning);
         report.total_tuples += spec.total_tuples();
         if (!spec.chaos.empty())
             ++report.chaos_scenarios;
+        if (has_crash_event(spec))
+            ++report.crash_scenarios;
 
         DiffResult diff = run_differential(spec);
         ++report.scenarios_run;
@@ -100,16 +116,19 @@ run_fuzz(const FuzzOptions& options)
 }
 
 FuzzReport
-replay_seed(std::uint64_t seed, bool shrink, std::uint32_t shrink_attempts)
+replay_seed(std::uint64_t seed, bool shrink, std::uint32_t shrink_attempts,
+            const ScenarioTuning& tuning)
 {
     FuzzReport report;
     report.base_seed = seed;
     report.scenarios_run = 1;
 
-    ScenarioSpec spec = generate_scenario(seed);
+    ScenarioSpec spec = generate_scenario(seed, tuning);
     report.total_tuples = spec.total_tuples();
     if (!spec.chaos.empty())
         report.chaos_scenarios = 1;
+    if (has_crash_event(spec))
+        report.crash_scenarios = 1;
 
     DiffResult diff = run_differential(spec);
     if (!diff.ok())

@@ -31,6 +31,9 @@ struct FuzzOptions
     std::uint32_t count = 500;
     /** Shrink failing scenarios before reporting them. */
     bool shrink = true;
+    /** Crash-heavy campaign: every scenario carries host/controller
+     *  crash episodes (the `recovery_smoke` ctest target). */
+    bool crash_heavy = false;
     /** Differential-run budget per shrink session. */
     std::uint32_t shrink_attempts = 200;
     /** Stop the campaign after this many failures (0 = never). */
@@ -58,6 +61,8 @@ struct FuzzReport
     std::uint64_t base_seed = 0;
     std::uint32_t scenarios_run = 0;
     std::uint32_t chaos_scenarios = 0;
+    /** Scenarios whose chaos plan crashed a host or the controller. */
+    std::uint32_t crash_scenarios = 0;
     std::uint64_t total_tuples = 0;
     std::vector<FuzzFailure> failures;
 
@@ -76,10 +81,13 @@ FuzzReport run_fuzz(const FuzzOptions& options);
 /**
  * Re-run one scenario by seed (the `--replay` path): generate, diff,
  * and — when `shrink` and it fails — shrink. Returns the single-failure
- * report (empty failure list when the scenario passes).
+ * report (empty failure list when the scenario passes). `tuning` must
+ * match the campaign that found the seed — (seed, tuning) is the
+ * replay key.
  */
 FuzzReport replay_seed(std::uint64_t seed, bool shrink,
-                       std::uint32_t shrink_attempts = 200);
+                       std::uint32_t shrink_attempts = 200,
+                       const ScenarioTuning& tuning = {});
 
 }  // namespace ask::testing
 

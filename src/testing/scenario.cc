@@ -140,6 +140,45 @@ sample_chaos(Rng& rng, const core::ClusterConfig& cluster,
     return plan;
 }
 
+/**
+ * Host/controller crash episodes. Drawn from a dedicated Rng chain so
+ * adding crash pressure never perturbs the deployment/task/chaos draws
+ * of pre-existing seeds. A serial time cursor keeps crash windows
+ * disjoint: every crash hits a live process and every restart finds
+ * its subject crashed. Downtimes stay well below the management retry
+ * budget (~11 ms of backoff) so in-flight setup RPCs survive a
+ * controller outage, like the kMgmtOutage bound above.
+ */
+void
+sample_crashes(Rng& rng, const core::ClusterConfig& cluster,
+               std::uint64_t total_tuples, bool crash_heavy,
+               sim::ChaosPlan& plan)
+{
+    if (!crash_heavy && !rng.chance(0.25))
+        return;
+    std::uint32_t episodes = static_cast<std::uint32_t>(
+        crash_heavy ? rng.next_in(1, 4) : 1);
+    sim::SimTime horizon = estimate_active_ns(total_tuples);
+    sim::SimTime cursor = 30 * kMicrosecond;
+    for (std::uint32_t i = 0; i < episodes; ++i) {
+        sim::ChaosEvent e;
+        e.kind = sim::ChaosKind::kHostCrash;
+        if (rng.chance(0.3)) {
+            e.subject = sim::kControllerSubject;
+            e.duration = (100 + rng.next_below(500)) * kMicrosecond;
+        } else {
+            e.subject = static_cast<std::uint32_t>(
+                rng.next_below(cluster.num_hosts));
+            e.duration = (50 + rng.next_below(450)) * kMicrosecond;
+        }
+        cursor += rng.next_below(1 + static_cast<std::uint64_t>(
+                                         horizon / episodes));
+        e.at = cursor;
+        cursor = e.at + e.duration + 20 * kMicrosecond;
+        plan.add(e);
+    }
+}
+
 }  // namespace
 
 std::uint64_t
@@ -206,6 +245,12 @@ ScenarioSpec::describe() const
 
 ScenarioSpec
 generate_scenario(std::uint64_t seed)
+{
+    return generate_scenario(seed, ScenarioTuning{});
+}
+
+ScenarioSpec
+generate_scenario(std::uint64_t seed, const ScenarioTuning& tuning)
 {
     Rng rng(seed);
     ScenarioSpec spec;
@@ -275,6 +320,11 @@ generate_scenario(std::uint64_t seed)
     // ---- chaos -----------------------------------------------------------
     if (rng.chance(0.5))
         spec.chaos = sample_chaos(rng, cc, spec.total_tuples());
+
+    // Crash episodes ride a separate chain (draw-order stability).
+    Rng crash_rng(mix64(seed ^ 0xc7a54c4a5eULL));
+    sample_crashes(crash_rng, cc, spec.total_tuples(), tuning.crash_heavy,
+                   spec.chaos);
 
     return spec;
 }

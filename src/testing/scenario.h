@@ -53,12 +53,29 @@ struct ScenarioSpec
     obs::Json describe() const;
 };
 
+/** Knobs that bias the sampled space without breaking replayability:
+ *  (seed, tuning) together name a scenario. */
+struct ScenarioTuning
+{
+    /**
+     * Host-durability pressure: every scenario carries at least one
+     * host or controller crash episode (several likely), timed inside
+     * the active window. The default generator samples crashes too,
+     * just rarely.
+     */
+    bool crash_heavy = false;
+};
+
 /**
  * Materialize the scenario for `seed`. Equal seeds yield equal specs,
  * byte for byte — the generator draws every choice from one Rng chain
  * and touches no global state.
  */
 ScenarioSpec generate_scenario(std::uint64_t seed);
+
+/** Same, with sampling-bias knobs ((seed, tuning) is the replay key). */
+ScenarioSpec generate_scenario(std::uint64_t seed,
+                               const ScenarioTuning& tuning);
 
 }  // namespace ask::testing
 

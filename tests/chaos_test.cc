@@ -484,5 +484,218 @@ TEST(Chaos, EverythingEverywhereStaysExact)
     EXPECT_EQ(cs.burst_loss_windows, 1u);
 }
 
+// ---------------------------------------------------------------------------
+// Host durability: crash a host process mid-task; the WAL rebuild plus
+// re-fencing must keep the delivered aggregate exactly-once.
+// ---------------------------------------------------------------------------
+
+TEST(Chaos, ReceiverCrashMidTaskRecoversExactly)
+{
+    ClusterConfig cc = base_config();
+    cc.seed = 103;
+    std::vector<StreamSpec> streams = two_streams(103, 1200);
+    AggregateMap truth = truth_of(streams, AggOp::kAdd);
+    sim::SimTime mid = undisturbed_finish_time(cc, streams) / 2;
+
+    AskCluster cluster(cc);
+    sim::ChaosPlan plan;
+    plan.host_crash(mid, 300 * kMicrosecond, /*host=*/0);  // the receiver
+    cluster.arm_chaos(plan);
+
+    TaskResult r = cluster.run_task(1, 0, streams);
+    ASSERT_TRUE(r.ok()) << r.report.detail;
+    EXPECT_EQ(r.result, truth);
+
+    ChaosStats cs = cluster.chaos_stats();
+    EXPECT_EQ(cs.host_crashes, 1u);
+    EXPECT_EQ(cs.host_recoveries, 1u);
+    EXPECT_EQ(cs.wal_rejected, 0u);
+    EXPECT_GT(cs.wal_appends, 0u);
+    // The WAL is intact after the run and shows the recovery marker.
+    EXPECT_TRUE(cluster.wal_store().host_wal(0).verify());
+}
+
+TEST(Chaos, SenderCrashMidTaskReplaysAndStaysExact)
+{
+    ClusterConfig cc = base_config();
+    cc.seed = 107;
+    std::vector<StreamSpec> streams = two_streams(107, 1200);
+    AggregateMap truth = truth_of(streams, AggOp::kAdd);
+    sim::SimTime mid = undisturbed_finish_time(cc, streams) / 2;
+
+    AskCluster cluster(cc);
+    sim::ChaosPlan plan;
+    plan.host_crash(mid, 300 * kMicrosecond, /*host=*/1);  // a sender
+    cluster.arm_chaos(plan);
+
+    TaskResult r = cluster.run_task(1, 0, streams);
+    ASSERT_TRUE(r.ok()) << r.report.detail;
+    EXPECT_EQ(r.result, truth);
+
+    ChaosStats cs = cluster.chaos_stats();
+    EXPECT_EQ(cs.host_crashes, 1u);
+    EXPECT_EQ(cs.host_recoveries, 1u);
+    // A sender lost its in-flight accounting: exactness was
+    // re-established by the cluster-wide replay reset.
+    EXPECT_GE(cs.streams_replayed, 1u);
+    EXPECT_GE(cs.tasks_reset, 1u);
+}
+
+TEST(Chaos, ReceiverCrashWithSwapsAndLossStaysExact)
+{
+    // Crash the receiver while shadow-copy swaps are in play on a lossy
+    // fabric: recovery must reconcile a swap the switch may have
+    // advanced past the last committed epoch in the WAL.
+    ClusterConfig cc = base_config();
+    cc.ask.swap_threshold_packets = 24;
+    cc.faults = net::FaultSpec::lossy(0.05, 0.02, 0.08);
+    cc.seed = 109;
+    std::vector<StreamSpec> streams = two_streams(109, 1000);
+    AggregateMap truth = truth_of(streams, AggOp::kAdd);
+    sim::SimTime mid = undisturbed_finish_time(cc, streams) / 2;
+
+    AskCluster cluster(cc);
+    sim::ChaosPlan plan;
+    plan.host_crash(mid, 200 * kMicrosecond, /*host=*/0);
+    cluster.arm_chaos(plan);
+
+    TaskResult r = cluster.run_task(1, 0, streams);
+    ASSERT_TRUE(r.ok()) << r.report.detail;
+    EXPECT_EQ(r.result, truth);
+    EXPECT_EQ(cluster.chaos_stats().host_recoveries, 1u);
+}
+
+TEST(Chaos, ControllerCrashMidTaskStaysExact)
+{
+    ClusterConfig cc = base_config();
+    cc.seed = 113;
+    std::vector<StreamSpec> streams = two_streams(113, 1200);
+    AggregateMap truth = truth_of(streams, AggOp::kAdd);
+    sim::SimTime mid = undisturbed_finish_time(cc, streams) / 2;
+
+    AskCluster cluster(cc);
+    sim::ChaosPlan plan;
+    plan.controller_crash(mid, 500 * kMicrosecond);
+    cluster.arm_chaos(plan);
+
+    TaskResult r = cluster.run_task(1, 0, streams);
+    ASSERT_TRUE(r.ok()) << r.report.detail;
+    EXPECT_EQ(r.result, truth);
+
+    ChaosStats cs = cluster.chaos_stats();
+    EXPECT_EQ(cs.controller_crashes, 1u);
+    EXPECT_EQ(cs.controller_recoveries, 1u);
+    EXPECT_TRUE(cluster.wal_store().controller_wal().verify());
+}
+
+TEST(Chaos, ControllerCrashThenSwitchRebootStaysExact)
+{
+    // The reboot's reinstall runs against a down controller; the
+    // controller's own recovery must restore the missing installs.
+    ClusterConfig cc = base_config();
+    cc.seed = 127;
+    std::vector<StreamSpec> streams = two_streams(127, 1500);
+    AggregateMap truth = truth_of(streams, AggOp::kAdd);
+    sim::SimTime finish = undisturbed_finish_time(cc, streams);
+
+    AskCluster cluster(cc);
+    sim::ChaosPlan plan;
+    plan.controller_crash(finish / 3, 500 * kMicrosecond);
+    plan.switch_reboot(finish / 3 + 100 * kMicrosecond,
+                       200 * kMicrosecond);
+    cluster.arm_chaos(plan);
+
+    TaskResult r = cluster.run_task(1, 0, streams);
+    ASSERT_TRUE(r.ok()) << r.report.detail;
+    EXPECT_EQ(r.result, truth);
+    EXPECT_EQ(cluster.chaos_stats().controller_recoveries, 1u);
+    EXPECT_EQ(cluster.chaos_stats().switch_reboots, 1u);
+}
+
+TEST(Chaos, CrashPlansLeaveNoUnhandledEvents)
+{
+    // Satellite: with the full cluster wiring armed, every chaos kind —
+    // including the crash/restart events — must reach a handler.
+    ClusterConfig cc = base_config();
+    cc.seed = 131;
+    std::vector<StreamSpec> streams = two_streams(131, 800);
+    sim::SimTime mid = undisturbed_finish_time(cc, streams) / 2;
+
+    AskCluster cluster(cc);
+    sim::ChaosPlan plan;
+    plan.host_crash(mid, 200 * kMicrosecond, 1);
+    plan.controller_crash(mid + 400 * kMicrosecond, 300 * kMicrosecond);
+    plan.mgmt_outage(mid / 2, 100 * kMicrosecond);
+    cluster.arm_chaos(plan);
+
+    TaskResult r = cluster.run_task(1, 0, streams);
+    ASSERT_TRUE(r.ok()) << r.report.detail;
+    ASSERT_NE(cluster.fault_scheduler(), nullptr);
+    EXPECT_EQ(cluster.fault_scheduler()->unhandled_events(), 0u);
+    EXPECT_EQ(cluster.chaos_stats().unhandled_events, 0u);
+}
+
+TEST(Chaos, CorruptWalAbortsTaskWithHostCrashedStatus)
+{
+    // Crash the receiver, then damage its log before the restart: the
+    // replay must reject the log (typed error, no UB) and fail the
+    // task with kHostCrashed instead of rebuilding silently-wrong
+    // state.
+    ClusterConfig cc = base_config();
+    cc.seed = 137;
+    std::vector<StreamSpec> streams = two_streams(137, 1000);
+    sim::SimTime mid = undisturbed_finish_time(cc, streams) / 2;
+
+    AskCluster cluster(cc);
+    TaskReport report;
+    bool done = false;
+    cluster.submit_task(1, 0, streams, {},
+                        [&](AggregateMap, TaskReport rep) {
+                            report = std::move(rep);
+                            done = true;
+                        });
+    cluster.simulator().schedule_at(mid, [&] {
+        cluster.crash_host(0);
+        // Media corruption inside the first journaled record.
+        cluster.wal_store().host_wal(0).flip_byte(10);
+        cluster.restart_host(0);
+    });
+    cluster.run();
+
+    ASSERT_TRUE(done);
+    EXPECT_FALSE(report.ok());
+    EXPECT_EQ(report.status, TaskStatus::kHostCrashed) << report.detail;
+    ChaosStats cs = cluster.chaos_stats();
+    EXPECT_EQ(cs.wal_rejected, 1u);
+    EXPECT_GE(cs.crash_aborted_tasks, 1u);
+}
+
+TEST(Chaos, CrashAfterDrainRecoversToEmptyState)
+{
+    // A crash landing after the task finished must recover cleanly from
+    // a log whose every task reached its done record.
+    ClusterConfig cc = base_config();
+    cc.seed = 139;
+    std::vector<StreamSpec> streams = two_streams(139, 400);
+    AggregateMap truth = truth_of(streams, AggOp::kAdd);
+    sim::SimTime finish = undisturbed_finish_time(cc, streams);
+
+    AskCluster cluster(cc);
+    sim::ChaosPlan plan;
+    plan.host_crash(finish * 2, 100 * kMicrosecond, 0);
+    cluster.arm_chaos(plan);
+
+    TaskResult r = cluster.run_task(1, 0, streams);
+    ASSERT_TRUE(r.ok()) << r.report.detail;
+    EXPECT_EQ(r.result, truth);
+    EXPECT_EQ(cluster.chaos_stats().host_recoveries, 1u);
+
+    WalDaemonState state = rebuild_daemon_state(
+        cluster.wal_store().host_wal(0).replay(), cc.ask.op);
+    EXPECT_TRUE(state.rx_tasks.empty());
+    EXPECT_TRUE(state.sends.empty());
+    EXPECT_EQ(state.recoveries, 1u);
+}
+
 }  // namespace
 }  // namespace ask::core

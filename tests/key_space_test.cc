@@ -5,6 +5,7 @@
 #include <string>
 
 #include "ask/key_space.h"
+#include "common/logging.h"
 #include "common/string_util.h"
 
 namespace ask::core {
@@ -171,19 +172,39 @@ TEST(AskConfig, ShadowDisabledUsesFullArray)
     EXPECT_EQ(c.copy_size(), 32768u);
 }
 
-using KeySpaceDeath = KeySpace;
-
-TEST(KeySpaceDeathTest, RejectsEmptyKey)
+TEST(KeySpace, RejectsEmptyKeyWithTypedError)
 {
     KeySpace ks(small_config());
-    EXPECT_EXIT(ks.classify(""), ::testing::ExitedWithCode(1), "non-empty");
+    // A catchable StateError, not process death: a daemon can fail the
+    // offending task and keep serving its other channels.
+    EXPECT_THROW(
+        {
+            try {
+                ks.classify("");
+            } catch (const StateError& e) {
+                EXPECT_NE(std::string(e.what()).find("non-empty"),
+                          std::string::npos);
+                throw;
+            }
+        },
+        StateError);
 }
 
-TEST(KeySpaceDeathTest, RejectsNulBytes)
+TEST(KeySpace, RejectsNulBytesWithTypedError)
 {
     KeySpace ks(small_config());
     std::string bad("a\0b", 3);
-    EXPECT_EXIT(ks.classify(bad), ::testing::ExitedWithCode(1), "NUL");
+    EXPECT_THROW(
+        {
+            try {
+                ks.classify(bad);
+            } catch (const StateError& e) {
+                EXPECT_NE(std::string(e.what()).find("NUL"),
+                          std::string::npos);
+                throw;
+            }
+        },
+        StateError);
 }
 
 }  // namespace

@@ -1,0 +1,409 @@
+/**
+ * Write-ahead log tests: framing round-trips, merkle-digest integrity,
+ * the two corruption classes (torn tail tolerated, damaged record
+ * rejected with a typed error and no UB), and the pure daemon-state
+ * fold whose idempotence the crash-recovery proof rides on.
+ */
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "ask/wal.h"
+#include "common/logging.h"
+
+namespace ask::core {
+namespace {
+
+WalRecord
+data_record(TaskId task, std::uint32_t channel, Seq seq,
+            std::vector<std::pair<std::string, std::uint64_t>> kvs)
+{
+    WalRecord r;
+    r.kind = WalRecordKind::kRxData;
+    r.task = task;
+    r.channel = channel;
+    r.seq = seq;
+    r.kvs = std::move(kvs);
+    return r;
+}
+
+WalRecord
+start_record(TaskId task, std::uint32_t senders, bool swaps_disabled)
+{
+    WalRecord r;
+    r.kind = WalRecordKind::kRxTaskStart;
+    r.task = task;
+    r.arg0 = senders;
+    r.arg1 = swaps_disabled ? 1 : 0;
+    r.kvs = {{"liveness_ns", 0}, {"start_time", 100}};
+    return r;
+}
+
+std::vector<WalRecord>
+sample_records()
+{
+    std::vector<WalRecord> rs;
+    rs.push_back(start_record(7, 2, false));
+    rs.push_back(data_record(7, 3, 0, {{"alpha", 4}, {"beta", 9}}));
+    WalRecord fin;
+    fin.kind = WalRecordKind::kRxFin;
+    fin.task = 7;
+    fin.channel = 3;
+    rs.push_back(fin);
+    return rs;
+}
+
+// ---------------------------------------------------------------------------
+// Framing and integrity.
+// ---------------------------------------------------------------------------
+
+TEST(Wal, RecordsRoundTripExactly)
+{
+    Wal wal("test");
+    std::vector<WalRecord> rs = sample_records();
+    for (const WalRecord& r : rs)
+        wal.append(r);
+
+    WalReplayStatus st;
+    std::vector<WalRecord> replayed = wal.replay(&st);
+    EXPECT_FALSE(st.torn_tail);
+    EXPECT_FALSE(st.corrupt);
+    EXPECT_EQ(st.records, rs.size());
+    EXPECT_EQ(st.valid_bytes, wal.size_bytes());
+    ASSERT_EQ(replayed.size(), rs.size());
+    for (std::size_t i = 0; i < rs.size(); ++i)
+        EXPECT_EQ(replayed[i], rs[i]) << "record " << i;
+    EXPECT_TRUE(wal.verify());
+}
+
+TEST(Wal, EmptyLogIsCleanAndVerifies)
+{
+    Wal wal("empty");
+    WalReplayStatus st;
+    EXPECT_TRUE(wal.replay(&st).empty());
+    EXPECT_FALSE(st.torn_tail);
+    EXPECT_FALSE(st.corrupt);
+    EXPECT_TRUE(wal.verify());
+    EXPECT_EQ(wal.digest(), 0u);
+}
+
+TEST(Wal, TornTailYieldsTheDurablePrefix)
+{
+    Wal wal("torn");
+    for (const WalRecord& r : sample_records())
+        wal.append(r);
+    // Rip a few bytes off the last record: a crash mid-append.
+    wal.truncate_tail(3);
+
+    WalReplayStatus st;
+    std::vector<WalRecord> replayed = wal.replay(&st);
+    EXPECT_TRUE(st.torn_tail);
+    EXPECT_FALSE(st.corrupt);
+    EXPECT_EQ(replayed.size(), 2u);  // the prefix before the tear
+    EXPECT_EQ(replayed[0], sample_records()[0]);
+    // The full-log integrity check must still notice the missing tail.
+    EXPECT_FALSE(wal.verify());
+}
+
+TEST(Wal, FrameBoundaryTruncationIsStillATornTail)
+{
+    // Truncation that lands exactly on a frame boundary leaves a byte
+    // image that parses cleanly — only the segment list betrays it.
+    Wal wal("boundary");
+    std::vector<WalRecord> rs = sample_records();
+    wal.append(rs[0]);
+    std::size_t after_first = wal.size_bytes();
+    wal.append(rs[1]);
+    wal.truncate_tail(wal.size_bytes() - after_first);
+
+    WalReplayStatus st;
+    std::vector<WalRecord> replayed = wal.replay(&st);
+    EXPECT_EQ(replayed.size(), 1u);
+    EXPECT_TRUE(st.torn_tail);
+    EXPECT_FALSE(st.corrupt);
+    EXPECT_FALSE(wal.verify());
+}
+
+TEST(Wal, CorruptRecordIsReportedWithoutThrowing)
+{
+    Wal wal("corrupt");
+    for (const WalRecord& r : sample_records())
+        wal.append(r);
+    // Damage a payload byte of the first record (offset past the 8-byte
+    // frame header): media corruption, not a torn append.
+    wal.flip_byte(10);
+
+    WalReplayStatus st;
+    std::vector<WalRecord> replayed = wal.replay(&st);
+    EXPECT_TRUE(st.corrupt);
+    EXPECT_TRUE(replayed.empty());  // nothing before the damage
+    EXPECT_FALSE(wal.verify());
+}
+
+TEST(Wal, CorruptRecordThrowsTypedErrorWhenUnchecked)
+{
+    Wal wal("throwing");
+    for (const WalRecord& r : sample_records())
+        wal.append(r);
+    wal.flip_byte(10);
+    EXPECT_THROW(wal.replay(), StateError);
+}
+
+TEST(Wal, CorruptionAfterAPrefixKeepsThePrefix)
+{
+    Wal wal("prefix");
+    std::vector<WalRecord> rs = sample_records();
+    for (const WalRecord& r : rs)
+        wal.append(r);
+    // Damage inside the *last* record's frame.
+    wal.flip_byte(wal.size_bytes() - 2);
+
+    WalReplayStatus st;
+    std::vector<WalRecord> replayed = wal.replay(&st);
+    EXPECT_TRUE(st.corrupt);
+    ASSERT_EQ(replayed.size(), 2u);
+    EXPECT_EQ(replayed[0], rs[0]);
+    EXPECT_EQ(replayed[1], rs[1]);
+}
+
+TEST(Wal, DigestChangesWithEveryAppend)
+{
+    Wal wal("digest");
+    std::uint64_t last = wal.digest();
+    for (const WalRecord& r : sample_records()) {
+        wal.append(r);
+        EXPECT_NE(wal.digest(), last);
+        last = wal.digest();
+    }
+    EXPECT_EQ(wal.records(), 3u);
+    EXPECT_EQ(wal.segment_hashes().size(), 3u);
+}
+
+TEST(Wal, ClearDropsEverything)
+{
+    Wal wal("cleared");
+    for (const WalRecord& r : sample_records())
+        wal.append(r);
+    wal.clear();
+    EXPECT_EQ(wal.records(), 0u);
+    EXPECT_EQ(wal.size_bytes(), 0u);
+    EXPECT_EQ(wal.digest(), 0u);
+    EXPECT_TRUE(wal.verify());
+}
+
+TEST(Wal, AppendCounterRoutesToExternalStat)
+{
+    Wal wal("counted");
+    std::uint64_t count = 0;
+    wal.set_append_counter(&count);
+    for (const WalRecord& r : sample_records())
+        wal.append(r);
+    EXPECT_EQ(count, 3u);
+}
+
+TEST(WalStore, NamesOneLogPerProcess)
+{
+    WalStore store;
+    EXPECT_EQ(store.host_wal(0).name(), "host0");
+    EXPECT_EQ(store.host_wal(3).name(), "host3");
+    EXPECT_EQ(store.controller_wal().name(), "controller");
+    // References are stable: the same process always gets the same log.
+    store.host_wal(0).append(sample_records()[0]);
+    EXPECT_EQ(store.host_wal(0).records(), 1u);
+}
+
+TEST(Wal, DescribeReportsTheLog)
+{
+    Wal wal("described");
+    for (const WalRecord& r : sample_records())
+        wal.append(r);
+    obs::Json d = wal.describe();
+    ASSERT_NE(d.find("name"), nullptr);
+    EXPECT_EQ(d.find("name")->as_string(), "described");
+    EXPECT_EQ(d.find("records")->as_int(), 3);
+    EXPECT_FALSE(d.find("corrupt")->as_bool());
+    EXPECT_EQ(d.find("log")->size(), 3u);
+}
+
+// ---------------------------------------------------------------------------
+// The pure daemon-state fold.
+// ---------------------------------------------------------------------------
+
+TEST(WalRebuild, FoldIsIdempotent)
+{
+    std::vector<WalRecord> log;
+    log.push_back(start_record(1, 2, false));
+    log.push_back(data_record(1, 0, 0, {{"a", 1}, {"b", 2}}));
+    log.push_back(data_record(1, 1, 0, {{"a", 3}}));
+    WalRecord cp;
+    cp.kind = WalRecordKind::kSeqCheckpoint;
+    cp.channel = 0;
+    cp.seq = 64;
+    log.push_back(cp);
+
+    WalDaemonState once = rebuild_daemon_state(log, AggOp::kAdd);
+    WalDaemonState twice = rebuild_daemon_state(log, AggOp::kAdd);
+    EXPECT_EQ(once, twice);
+    ASSERT_EQ(once.rx_tasks.size(), 1u);
+    const WalRxTaskState& t = once.rx_tasks.at(1);
+    EXPECT_EQ(t.local.at("a"), 4u);
+    EXPECT_EQ(t.local.at("b"), 2u);
+    EXPECT_EQ(t.observed.size(), 2u);
+    EXPECT_EQ(t.packets_received, 2u);
+    EXPECT_EQ(t.tuples_aggregated_locally, 3u);
+}
+
+TEST(WalRebuild, DoneRemovesTheTask)
+{
+    std::vector<WalRecord> log;
+    log.push_back(start_record(1, 1, false));
+    log.push_back(data_record(1, 0, 0, {{"a", 1}}));
+    WalRecord done;
+    done.kind = WalRecordKind::kRxTaskDone;
+    done.task = 1;
+    log.push_back(done);
+
+    WalDaemonState state = rebuild_daemon_state(log, AggOp::kAdd);
+    EXPECT_TRUE(state.rx_tasks.empty());
+}
+
+TEST(WalRebuild, SubmitsConcatenateAndForgetRemoves)
+{
+    WalRecord s1;
+    s1.kind = WalRecordKind::kSendSubmit;
+    s1.task = 5;
+    s1.arg0 = 2;  // receiver host
+    s1.kvs = {{"x", 1}, {"y", 2}};
+    WalRecord s2 = s1;
+    s2.kvs = {{"z", 3}};
+
+    WalDaemonState state = rebuild_daemon_state({s1, s2}, AggOp::kAdd);
+    ASSERT_EQ(state.sends.size(), 1u);
+    const WalSendState& send = state.sends.at(5);
+    EXPECT_EQ(send.receiver, 2u);
+    ASSERT_EQ(send.stream.size(), 3u);
+    EXPECT_EQ(send.stream[2].key, "z");
+
+    WalRecord forget;
+    forget.kind = WalRecordKind::kSendForget;
+    forget.task = 5;
+    state = rebuild_daemon_state({s1, s2, forget}, AggOp::kAdd);
+    EXPECT_TRUE(state.sends.empty());
+}
+
+TEST(WalRebuild, ResetWipesProgressButKeepsObservedSeqs)
+{
+    std::vector<WalRecord> log;
+    log.push_back(start_record(1, 1, false));
+    log.push_back(data_record(1, 0, 0, {{"a", 1}}));
+    log.push_back(data_record(1, 0, 1, {{"a", 1}}));
+    WalRecord reset;
+    reset.kind = WalRecordKind::kRxReset;
+    reset.task = 1;
+    reset.kvs = {{"drain_until", 5000}};
+    log.push_back(reset);
+    log.push_back(data_record(1, 0, 2, {{"b", 7}}));
+
+    WalDaemonState state = rebuild_daemon_state(log, AggOp::kAdd);
+    const WalRxTaskState& t = state.rx_tasks.at(1);
+    // Aggregate restarted from scratch after the reset...
+    EXPECT_EQ(t.local.count("a"), 0u);
+    EXPECT_EQ(t.local.at("b"), 7u);
+    EXPECT_EQ(t.packets_received, 1u);
+    // ...but the duplicate-filter history survives it.
+    EXPECT_EQ(t.observed.size(), 3u);
+    EXPECT_EQ(t.restart_drain_until, 5000u);
+    // One reset, no recoveries: generation 2 + 1.
+    EXPECT_EQ(t.generation, 3u);
+}
+
+TEST(WalRebuild, GenerationOvershootsEveryPreCrashHandout)
+{
+    std::vector<WalRecord> log;
+    WalRecord recovered;
+    recovered.kind = WalRecordKind::kHostRecovered;
+    log.push_back(recovered);
+    log.push_back(recovered);  // host crashed twice before
+    log.push_back(start_record(9, 1, true));
+
+    WalDaemonState state = rebuild_daemon_state(log, AggOp::kAdd);
+    EXPECT_EQ(state.recoveries, 2u);
+    EXPECT_EQ(state.rx_tasks.at(9).generation, 4u);  // 2 + 0 resets + 2
+    EXPECT_TRUE(state.rx_tasks.at(9).swaps_disabled);
+}
+
+TEST(WalRebuild, ResumeSeqIsTheMaxCheckpoint)
+{
+    auto checkpoint = [](std::uint32_t channel, Seq seq) {
+        WalRecord r;
+        r.kind = WalRecordKind::kSeqCheckpoint;
+        r.channel = channel;
+        r.seq = seq;
+        return r;
+    };
+    WalDaemonState state = rebuild_daemon_state(
+        {checkpoint(0, 64), checkpoint(1, 64), checkpoint(0, 192),
+         checkpoint(0, 128)},
+        AggOp::kAdd);
+    EXPECT_EQ(state.resume_seq.at(0), 192u);
+    EXPECT_EQ(state.resume_seq.at(1), 64u);
+    EXPECT_EQ(state.resume_seq.count(2), 0u);
+}
+
+TEST(WalRebuild, FoldHonorsTheAggregationOp)
+{
+    std::vector<WalRecord> log;
+    log.push_back(start_record(1, 1, false));
+    log.push_back(data_record(1, 0, 0, {{"a", 9}}));
+    log.push_back(data_record(1, 0, 1, {{"a", 3}}));
+
+    EXPECT_EQ(rebuild_daemon_state(log, AggOp::kAdd).rx_tasks.at(1).local.at(
+                  "a"),
+              12u);
+    EXPECT_EQ(rebuild_daemon_state(log, AggOp::kMax).rx_tasks.at(1).local.at(
+                  "a"),
+              9u);
+    EXPECT_EQ(rebuild_daemon_state(log, AggOp::kMin).rx_tasks.at(1).local.at(
+                  "a"),
+              3u);
+}
+
+TEST(WalRebuild, DataForUnknownTaskIsDropped)
+{
+    // A done task's late records (or a controller journal mixed in) must
+    // not resurrect state.
+    std::vector<WalRecord> log;
+    log.push_back(data_record(42, 0, 0, {{"ghost", 1}}));
+    WalRecord alloc;
+    alloc.kind = WalRecordKind::kAlloc;
+    alloc.task = 1;
+    log.push_back(alloc);
+    WalDaemonState state = rebuild_daemon_state(log, AggOp::kAdd);
+    EXPECT_TRUE(state.rx_tasks.empty());
+    EXPECT_TRUE(state.sends.empty());
+}
+
+TEST(WalRebuild, SwapCommitMergesFetchedAggregates)
+{
+    std::vector<WalRecord> log;
+    log.push_back(start_record(1, 1, false));
+    log.push_back(data_record(1, 0, 0, {{"a", 1}}));
+    WalRecord swap;
+    swap.kind = WalRecordKind::kRxSwapCommit;
+    swap.task = 1;
+    swap.seq = 2;  // new epoch
+    swap.kvs = {{"a", 10}, {"c", 4}};
+    log.push_back(swap);
+
+    WalDaemonState state = rebuild_daemon_state(log, AggOp::kAdd);
+    const WalRxTaskState& t = state.rx_tasks.at(1);
+    EXPECT_EQ(t.local.at("a"), 11u);
+    EXPECT_EQ(t.local.at("c"), 4u);
+    EXPECT_EQ(t.committed_epoch, 2u);
+    EXPECT_EQ(t.swaps, 1u);
+    EXPECT_EQ(t.tuples_fetched_from_switch, 2u);
+}
+
+}  // namespace
+}  // namespace ask::core

@@ -203,15 +203,20 @@ balanced_task_ids(std::uint32_t sender_host, std::uint32_t channels,
  * once (each host hashes tasks with its own salt, so an id set that is
  * even on one host can be skewed on another). Greedy search over
  * candidate ids; balance is within +-ceil(count/channels) per host.
+ * `slack` loosens the per-channel cap by that many extra tasks: exact
+ * simultaneous balance becomes infeasible as the host set grows (every
+ * candidate must land on an under-full channel of *every* host at
+ * once), so large fabrics trade a little skew for a solution.
  */
 inline std::vector<std::uint32_t>
 balanced_task_ids_multi(const std::vector<std::uint32_t>& hosts,
-                        std::uint32_t channels, std::uint32_t count)
+                        std::uint32_t channels, std::uint32_t count,
+                        std::uint32_t slack = 0)
 {
     std::vector<std::uint32_t> ids;
     std::vector<std::vector<std::uint32_t>> load(
         hosts.size(), std::vector<std::uint32_t>(channels, 0));
-    std::uint32_t cap = (count + channels - 1) / channels;
+    std::uint32_t cap = (count + channels - 1) / channels + slack;
     for (std::uint32_t candidate = 1;
          ids.size() < count && candidate < 20000000; ++candidate) {
         bool ok = true;

@@ -7,23 +7,95 @@
 
 namespace ask::core {
 
+namespace {
+
+/** The deployed layout: the config's explicit Topology, or a
+ *  single-rack layout synthesized from the deprecated num_hosts. */
+Topology
+resolve_topology(const ClusterConfig& config)
+{
+    if (config.topology.has_value()) {
+        Topology topo = *config.topology;
+        topo.validate();
+        return topo;
+    }
+    return TopologyBuilder().add_rack(config.num_hosts).build();
+}
+
+/** Metric prefix for switch `s` of `topo`: rack 0's ToR keeps the
+ *  pre-fabric names, the rest are suffixed per switch. */
+std::string
+switch_prefix(const Topology& topo, std::uint32_t s, const char* base)
+{
+    if (s == 0)
+        return strf("%s.", base);
+    if (topo.has_tier() && s == topo.num_racks())
+        return strf("%s.tier.", base);
+    return strf("%s.s%u.", base, s);
+}
+
+}  // namespace
+
 AskCluster::AskCluster(const ClusterConfig& config)
-    : config_(config), network_(simulator_)
+    : config_(config), topo_(resolve_topology(config)), network_(simulator_)
 {
     config_.ask.validate();
-    ASK_ASSERT(config_.num_hosts >= 1, "cluster needs at least one host");
-    ASK_ASSERT(config_.num_hosts <= config_.ask.max_hosts,
+    ASK_ASSERT(topo_.num_hosts() <= config_.ask.max_hosts,
                "more hosts than the switch provisions state for");
 
-    switch_ = std::make_unique<pisa::PisaSwitch>(
-        network_, config_.switch_stages, config_.switch_sram_per_stage);
-    network_.attach(switch_.get());
+    const bool fabric = topo_.has_tier();
+    const std::uint32_t cph = config_.ask.channels_per_host;
 
-    program_ = std::make_unique<AskSwitchProgram>(config_.ask, *switch_);
-    program_->set_tracer(&obs_.tracer);
-    controller_ = std::make_unique<AskSwitchController>(*program_);
-    controller_->set_wal(&wal_store_.controller_wal());
-    wal_store_.controller_wal().set_append_counter(&chaos_stats_.wal_appends);
+    // Switches attach first (ToRs in rack order, then the aggregation
+    // tier), daemons after — node ids, and therefore every packet
+    // schedule, depend on this order.
+    for (std::uint32_t s = 0; s < topo_.num_switches(); ++s) {
+        switches_.push_back(std::make_unique<pisa::PisaSwitch>(
+            network_, config_.switch_stages, config_.switch_sram_per_stage));
+        network_.attach(switches_.back().get());
+    }
+
+    if (!fabric) {
+        // Classic star: one program provisioning the full channel space.
+        programs_.push_back(
+            std::make_unique<AskSwitchProgram>(config_.ask, *switches_[0]));
+    } else {
+        // Each ToR provisions exactly its rack's channel shard — the
+        // per-switch register state this buys is bounded by the rack
+        // size, not the cluster size (fig13b measures this).
+        for (std::uint32_t r = 0; r < topo_.num_racks(); ++r) {
+            auto lo = static_cast<ChannelId>(topo_.host_lo(RackId{r}) * cph);
+            auto hi = static_cast<ChannelId>(
+                lo + topo_.hosts_in(RackId{r}) * cph);
+            programs_.push_back(std::make_unique<AskSwitchProgram>(
+                config_.ask, *switches_[r], lo, hi));
+            // Leaf role: a ToR must keep cross-rack packets alive to the
+            // tier (which holds window state for every channel) even
+            // when it absorbed every tuple — see set_tree_leaf().
+            programs_.back()->set_tree_leaf(true);
+        }
+        // The tier merges everything, so it provisions every channel
+        // any deployed host can use.
+        programs_.push_back(std::make_unique<AskSwitchProgram>(
+            config_.ask, *switches_[topo_.num_racks()], 0,
+            static_cast<ChannelId>(topo_.num_hosts() * cph)));
+    }
+    for (auto& p : programs_)
+        p->set_tracer(&obs_.tracer);
+
+    if (!fabric) {
+        controller_ = std::make_unique<AskSwitchController>(*programs_[0]);
+        controller_->set_wal(&wal_store_.controller_wal());
+        wal_store_.controller_wal().set_append_counter(
+            &chaos_stats_.wal_appends);
+    } else {
+        std::vector<AskSwitchProgram*> progs;
+        for (auto& p : programs_)
+            progs.push_back(p.get());
+        auto fab = std::make_unique<FabricController>(std::move(progs));
+        fab->attach_wals(wal_store_, &chaos_stats_.wal_appends);
+        controller_ = std::move(fab);
+    }
 
     MgmtRetryPolicy mgmt_policy;
     mgmt_policy.max_tries = config_.ask.mgmt_max_tries;
@@ -33,12 +105,13 @@ AskCluster::AskCluster(const ClusterConfig& config)
                                         mgmt_policy);
 
     net::CostModel cost_model(config_.cost);
-    for (std::uint32_t h = 0; h < config_.num_hosts; ++h) {
+    for (std::uint32_t h = 0; h < topo_.num_hosts(); ++h) {
+        pisa::PisaSwitch& tor = tor_of(h);
         daemons_.push_back(std::make_unique<AskDaemon>(
-            config_.ask, cost_model, network_, h, switch_->node_id(),
+            config_.ask, cost_model, network_, HostId{h}, tor.node_id(),
             *controller_, *mgmt_, &obs_));
         network_.attach(daemons_.back().get());
-        network_.connect(daemons_.back()->node_id(), switch_->node_id(),
+        network_.connect(daemons_.back()->node_id(), tor.node_id(),
                          config_.link_gbps, config_.link_propagation_ns,
                          config_.faults, config_.seed + h);
         Wal& wal = wal_store_.host_wal(h);
@@ -46,13 +119,42 @@ AskCluster::AskCluster(const ClusterConfig& config)
         daemons_.back()->set_wal(&wal);
     }
 
+    if (fabric) {
+        // Tier uplinks, then the FIBs. ToRs forward remote-host
+        // destinations up; the tier forwards each host down its rack.
+        net::NodeId tier_node = switches_[topo_.num_racks()]->node_id();
+        for (std::uint32_t r = 0; r < topo_.num_racks(); ++r) {
+            network_.connect(switches_[r]->node_id(), tier_node,
+                             topo_.tier_link_gbps,
+                             topo_.tier_link_propagation_ns,
+                             topo_.tier_faults,
+                             config_.seed + topo_.num_hosts() + r);
+        }
+        for (std::uint32_t h = 0; h < topo_.num_hosts(); ++h) {
+            net::NodeId host_node = daemons_[h]->node_id();
+            std::uint32_t hr = topo_.rack_of_host(HostId{h}).value();
+            switches_[topo_.num_racks()]->set_route(
+                host_node, switches_[hr]->node_id());
+            for (std::uint32_t r = 0; r < topo_.num_racks(); ++r) {
+                if (r != hr)
+                    switches_[r]->set_route(host_node, tier_node);
+            }
+        }
+    }
+
     // Wire every component's counters into the registry. The chaos
     // counters are sliced by owner — cluster, management plane, daemons
     // each register exactly the fields they increment — and the
-    // disjointness of those slices is asserted, not assumed.
+    // disjointness of those slices is asserted, not assumed. Per-switch
+    // counters get per-switch prefixes (rack 0's ToR keeps the
+    // pre-fabric names).
     network_.register_metrics(obs_.registry);
-    switch_->register_metrics(obs_.registry);
-    register_switch_agg_stats(obs_.registry, program_->stats());
+    for (std::uint32_t s = 0; s < num_switches(); ++s) {
+        switches_[s]->register_metrics(obs_.registry,
+                                       switch_prefix(topo_, s, "pisa"));
+        register_switch_agg_stats(obs_.registry, programs_[s]->stats(),
+                                  switch_prefix(topo_, s, "switch"));
+    }
     register_chaos_stats(obs_.registry, chaos_stats_, StatsOwner::kCluster);
     register_chaos_stats(obs_.registry, mgmt_->chaos_stats(),
                          StatsOwner::kMgmt);
@@ -66,25 +168,42 @@ AskCluster::AskCluster(const ClusterConfig& config)
 
 AskCluster::~AskCluster() = default;
 
+bool
+AskCluster::any_switch_offline() const
+{
+    for (const auto& s : switches_) {
+        if (s->offline())
+            return true;
+    }
+    return false;
+}
+
 void
-AskCluster::submit_task(TaskId task, std::uint32_t receiver_host,
+AskCluster::submit_task(TaskId task, HostId receiver_host,
                         std::vector<StreamSpec> streams,
                         const TaskOptions& options, TaskDoneFn on_done)
 {
-    ASK_ASSERT(receiver_host < daemons_.size(), "bad receiver host");
+    ASK_ASSERT(receiver_host.value() < daemons_.size(), "bad receiver host");
     for (const auto& s : streams)
-        ASK_ASSERT(s.host < daemons_.size(), "bad sender host");
+        ASK_ASSERT(s.host.value() < daemons_.size(), "bad sender host");
 
-    AskDaemon& receiver = *daemons_[receiver_host];
+    TaskOptions opts = options;
+    if (num_switches() > 1) {
+        // No fabric-atomic epoch flip exists, so shadow-copy swaps are
+        // off in multi-switch mode; finalize drains both copies.
+        opts.swap_policy = TaskOptions::SwapPolicy::kDisabled;
+    }
+
+    AskDaemon& receiver = *daemons_[receiver_host.value()];
     net::NodeId receiver_node = receiver.node_id();
     auto n_senders = static_cast<std::uint32_t>(streams.size());
 
     // Register the task for chaos recovery: a switch reboot needs to
     // know which hosts hold replayable archives for which tasks.
     ActiveTask active;
-    active.receiver_host = receiver_host;
+    active.receiver_host = receiver_host.value();
     for (const auto& s : streams)
-        active.sender_hosts.push_back(s.host);
+        active.sender_hosts.push_back(s.host.value());
     active_tasks_[task] = std::move(active);
 
     // The real completion callback lives in the cluster's registry, not
@@ -111,7 +230,7 @@ AskCluster::submit_task(TaskId task, std::uint32_t receiver_host,
     // region; once ready, sender daemons are notified over the control
     // channel and begin streaming.
     receiver.start_receive(
-        task, n_senders, options, std::move(thin_done),
+        task, n_senders, opts, std::move(thin_done),
         /*on_ready=*/[this, task, receiver_node,
                       streams = std::move(streams)]() mutable {
             simulator_.schedule_after(
@@ -122,8 +241,8 @@ AskCluster::submit_task(TaskId task, std::uint32_t receiver_host,
                         // A sender notified while crashed accepts the
                         // stream when it restarts.
                         run_on_host(
-                            s.host,
-                            [this, host = s.host, task, receiver_node,
+                            s.host.value(),
+                            [this, host = s.host.value(), task, receiver_node,
                              stream = std::move(s.stream)]() mutable {
                                 daemons_[host]->submit_send(
                                     task, receiver_node, std::move(stream));
@@ -134,7 +253,7 @@ AskCluster::submit_task(TaskId task, std::uint32_t receiver_host,
 }
 
 TaskResult
-AskCluster::run_task(TaskId task, std::uint32_t receiver_host,
+AskCluster::run_task(TaskId task, HostId receiver_host,
                      std::vector<StreamSpec> streams,
                      const TaskOptions& options)
 {
@@ -156,33 +275,40 @@ AskCluster::arm_chaos(const sim::ChaosPlan& plan)
 {
     ASK_ASSERT(fault_scheduler_ == nullptr, "chaos already armed");
     fault_scheduler_ = std::make_unique<sim::FaultScheduler>(simulator_);
-    net::NodeId sw = switch_->node_id();
 
-    auto host_node = [this](std::uint32_t host) {
-        return daemons_[host % daemons_.size()]->node_id();
+    auto subject_host = [this](const sim::ChaosEvent& e) {
+        return e.subject % static_cast<std::uint32_t>(daemons_.size());
+    };
+    auto host_node = [this, subject_host](const sim::ChaosEvent& e) {
+        return daemons_[subject_host(e)]->node_id();
+    };
+    // Link chaos hits the subject host's access cable — the one to its
+    // own ToR.
+    auto tor_node = [this, subject_host](const sim::ChaosEvent& e) {
+        return tor_of(subject_host(e)).node_id();
     };
 
     fault_scheduler_->set_handler(
         sim::ChaosKind::kLinkBlackout,
-        [this, sw, host_node](const sim::ChaosEvent& e) {
+        [this, host_node, tor_node](const sim::ChaosEvent& e) {
             ++chaos_stats_.link_blackouts;
-            network_.set_cable_override(host_node(e.subject), sw,
+            network_.set_cable_override(host_node(e), tor_node(e),
                                         net::FaultSpec::blackout());
         },
-        [this, sw, host_node](const sim::ChaosEvent& e) {
-            network_.clear_cable_override(host_node(e.subject), sw);
+        [this, host_node, tor_node](const sim::ChaosEvent& e) {
+            network_.clear_cable_override(host_node(e), tor_node(e));
         });
 
     fault_scheduler_->set_handler(
         sim::ChaosKind::kBurstLoss,
-        [this, sw, host_node](const sim::ChaosEvent& e) {
+        [this, host_node, tor_node](const sim::ChaosEvent& e) {
             ++chaos_stats_.burst_loss_windows;
             net::FaultSpec burst = config_.faults;
             burst.loss_prob = e.intensity;
-            network_.set_cable_override(host_node(e.subject), sw, burst);
+            network_.set_cable_override(host_node(e), tor_node(e), burst);
         },
-        [this, sw, host_node](const sim::ChaosEvent& e) {
-            network_.clear_cable_override(host_node(e.subject), sw);
+        [this, host_node, tor_node](const sim::ChaosEvent& e) {
+            network_.clear_cable_override(host_node(e), tor_node(e));
         });
 
     fault_scheduler_->set_handler(
@@ -200,7 +326,7 @@ AskCluster::arm_chaos(const sim::ChaosPlan& plan)
             // The window may overlap a controller crash or a switch
             // reboot; the endpoint only comes back when nothing else
             // keeps it dark.
-            mgmt_->set_outage(controller_down_ || switch_->offline());
+            mgmt_->set_outage(controller_down_ || any_switch_offline());
         });
 
     fault_scheduler_->set_handler(
@@ -215,28 +341,27 @@ AskCluster::arm_chaos(const sim::ChaosPlan& plan)
         sim::ChaosKind::kDataBlackhole,
         [this](const sim::ChaosEvent&) {
             ++chaos_stats_.data_blackholes;
-            program_->set_data_blackhole(true);
+            for (auto& p : programs_)
+                p->set_data_blackhole(true);
         },
         [this](const sim::ChaosEvent&) {
-            program_->set_data_blackhole(false);
+            for (auto& p : programs_)
+                p->set_data_blackhole(false);
         });
 
-    auto subject_host = [this](const sim::ChaosEvent& e) {
-        return e.subject % static_cast<std::uint32_t>(daemons_.size());
-    };
     fault_scheduler_->set_handler(
         sim::ChaosKind::kHostCrash,
         [this, subject_host](const sim::ChaosEvent& e) {
             if (e.subject == sim::kControllerSubject)
                 crash_controller();
             else
-                crash_host(subject_host(e));
+                crash_host(HostId{subject_host(e)});
         },
         [this, subject_host](const sim::ChaosEvent& e) {
             if (e.subject == sim::kControllerSubject)
                 restart_controller();
             else
-                restart_host(subject_host(e));
+                restart_host(HostId{subject_host(e)});
         });
     fault_scheduler_->set_handler(
         sim::ChaosKind::kHostRestart,
@@ -244,7 +369,7 @@ AskCluster::arm_chaos(const sim::ChaosPlan& plan)
             if (e.subject == sim::kControllerSubject)
                 restart_controller();
             else
-                restart_host(subject_host(e));
+                restart_host(HostId{subject_host(e)});
         });
 
     fault_scheduler_->set_unhandled_hook(
@@ -256,26 +381,29 @@ AskCluster::arm_chaos(const sim::ChaosPlan& plan)
 void
 AskCluster::on_switch_reboot_start(const sim::ChaosEvent& e)
 {
-    (void)e;
+    SwitchId s = subject_switch(e);
     ++chaos_stats_.switch_reboots;
     // The crash destroys everything at once: the data plane stops
     // (offline drops all traffic), the register SRAM is volatile, the
     // control-plane task table lived in switch DRAM, and the switch CPU
     // takes the management endpoint down with it.
-    switch_->set_offline(true);
-    switch_->pipeline().wipe_registers();
-    program_->on_reboot();
+    pisa::PisaSwitch& sw = *switches_[s.value()];
+    sw.set_offline(true);
+    sw.pipeline().wipe_registers();
+    programs_[s.value()]->on_reboot();
     mgmt_->set_outage(true);
 }
 
 void
 AskCluster::on_switch_reboot_end(const sim::ChaosEvent& e)
 {
-    (void)e;
-    switch_->set_offline(false);
+    SwitchId s = subject_switch(e);
+    switches_[s.value()]->set_offline(false);
 
     // Recovery, in dependency order. (1) The controller re-installs
-    // every journaled region — allocation truth lives host-side.
+    // every journaled region — allocation truth lives host-side. The
+    // fabric fan-out is idempotent per switch: only the rebooted data
+    // plane is missing bindings.
     chaos_stats_.regions_reinstalled += controller_->reinstall_after_reboot();
 
     // (2) Silence the senders of every active task BEFORE fencing:
@@ -286,10 +414,18 @@ AskCluster::on_switch_reboot_end(const sim::ChaosEvent& e)
             daemons_[h]->abort_send(task);
     }
 
+    // (2b) Fabric only: the reboot wiped ONE switch's registers, but the
+    // replay streams every task from scratch — partial aggregates still
+    // sitting on the surviving switches would be double-counted. Clear
+    // them all. (A single-switch reboot needs no clear: the wipe was it.)
+    if (num_switches() > 1)
+        clear_active_regions();
+
     // (3) Fence every data channel: stale-drop pre-crash sequences and
-    // repair the compact-seen parity the wipe destroyed. Crashed hosts
-    // are skipped — their channels re-fence at the WAL checkpoint when
-    // they restart.
+    // repair the compact-seen parity the wipe destroyed. The fabric
+    // fences each channel on every switch provisioning it. Crashed
+    // hosts are skipped — their channels re-fence at the WAL checkpoint
+    // when they restart.
     for (const auto& d : daemons_) {
         if (d->crashed())
             continue;
@@ -330,9 +466,10 @@ AskCluster::on_switch_reboot_end(const sim::ChaosEvent& e)
     }
 
     // (6) The switch CPU is back: management RPCs flow again — unless
-    // the controller process is itself down, in which case the endpoint
-    // stays dark until it restarts.
-    mgmt_->set_outage(controller_down_);
+    // the controller process is itself down (or another switch of the
+    // fabric is still mid-reboot), in which case the endpoint stays
+    // dark until everything is up.
+    mgmt_->set_outage(controller_down_ || any_switch_offline());
 }
 
 void
@@ -352,6 +489,21 @@ AskCluster::finish_task(TaskId task, AggregateMap result, TaskReport report)
         return;  // already delivered (e.g. aborted during recovery)
     TaskDoneFn done = std::move(it->second);
     done_registry_.erase(it);
+    // Stamp the per-switch shard map: which switch owned which channel
+    // shard, and how much of the result came out of each region.
+    std::vector<std::uint64_t> tally = controller_->fetched_tally(task);
+    report.shards.clear();
+    for (std::uint32_t s = 0; s < num_switches(); ++s) {
+        SwitchShardInfo info;
+        info.switch_id = SwitchId{s};
+        info.is_tier = topo_.has_tier() && s == topo_.num_racks();
+        info.rack = RackId{info.is_tier ? 0 : s};
+        info.channel_lo = programs_[s]->provisioned_lo();
+        info.channel_hi = programs_[s]->provisioned_hi();
+        info.tuples_fetched = s < tally.size() ? tally[s] : 0;
+        info.stats = programs_[s]->stats();
+        report.shards.push_back(std::move(info));
+    }
     if (done)
         done(std::move(result), std::move(report));
 }
@@ -379,9 +531,9 @@ AskCluster::abort_active_task(TaskId task, TaskStatus status,
 }
 
 void
-AskCluster::crash_host(std::uint32_t host)
+AskCluster::crash_host(HostId host)
 {
-    AskDaemon& d = *daemons_.at(host);
+    AskDaemon& d = *daemons_.at(host.value());
     if (d.crashed())
         return;  // overlapping episodes: already down
     ++chaos_stats_.host_crashes;
@@ -389,9 +541,10 @@ AskCluster::crash_host(std::uint32_t host)
 }
 
 void
-AskCluster::restart_host(std::uint32_t host)
+AskCluster::restart_host(HostId host)
 {
-    AskDaemon& d = *daemons_.at(host);
+    std::uint32_t h_idx = host.value();
+    AskDaemon& d = *daemons_.at(h_idx);
     if (!d.crashed())
         return;
     auto make_done = [this](TaskId task) -> TaskDoneFn {
@@ -404,29 +557,29 @@ AskCluster::restart_host(std::uint32_t host)
         ++chaos_stats_.host_recoveries;
     } catch (const StateError& e) {
         ++chaos_stats_.wal_rejected;
-        warn("cluster: host ", host, " WAL rejected (", e.what(),
+        warn("cluster: host ", h_idx, " WAL rejected (", e.what(),
              "); restarting the process with empty state");
-        wal_store_.host_wal(host).clear();
+        wal_store_.host_wal(h_idx).clear();
         d.recover_from_wal(make_done);
         // Durable state evaporated with the log: every active task this
         // host served cannot complete exactly. Fail them over guessing.
         std::vector<TaskId> doomed;
         for (const auto& [task, info] : active_tasks_) {
-            bool involved = info.receiver_host == host;
+            bool involved = info.receiver_host == h_idx;
             for (std::uint32_t h : info.sender_hosts)
-                involved = involved || h == host;
+                involved = involved || h == h_idx;
             if (involved)
                 doomed.push_back(task);
         }
         for (TaskId task : doomed)
             abort_active_task(task, TaskStatus::kHostCrashed,
-                              strf("host %u write-ahead log corrupt", host));
-        pending_on_restart_.erase(host);
+                              strf("host %u write-ahead log corrupt", h_idx));
+        pending_on_restart_.erase(h_idx);
         return;
     }
     // Deferred recovery work that fired while the host was down (e.g. a
     // switch reboot's receiver reset) composes with the rebuilt state.
-    auto pit = pending_on_restart_.find(host);
+    auto pit = pending_on_restart_.find(h_idx);
     if (pit != pending_on_restart_.end()) {
         std::vector<std::function<void()>> fns = std::move(pit->second);
         pending_on_restart_.erase(pit);
@@ -470,7 +623,12 @@ AskCluster::restart_controller()
         ++chaos_stats_.wal_rejected;
         warn("cluster: controller WAL rejected (", e.what(),
              "); aborting every active task");
-        wal_store_.controller_wal().clear();
+        // One corrupt journal poisons the whole fan-out: clear every
+        // per-switch log and drop any partially-rebuilt journals so
+        // every sub-controller restarts consistently empty.
+        for (std::uint32_t s = 0; s < num_switches(); ++s)
+            wal_store_.wal(controller_wal_name(SwitchId{s})).clear();
+        controller_->crash();
         std::vector<TaskId> doomed;
         for (const auto& [task, info] : active_tasks_)
             doomed.push_back(task);
@@ -478,8 +636,23 @@ AskCluster::restart_controller()
             abort_active_task(task, TaskStatus::kHostCrashed,
                               "controller write-ahead log corrupt");
     }
-    // The endpoint returns — unless the switch is itself mid-reboot.
-    mgmt_->set_outage(switch_->offline());
+    // The endpoint returns — unless a switch is itself mid-reboot.
+    mgmt_->set_outage(any_switch_offline());
+}
+
+void
+AskCluster::clear_active_regions()
+{
+    for (const auto& [task, info] : active_tasks_) {
+        for (auto& p : programs_) {
+            if (p->find_task(task) == nullptr)
+                continue;
+            p->reset_epoch(task);
+            p->read_region(task, 0, /*clear=*/true);
+            if (config_.ask.shadow_copies)
+                p->read_region(task, 1, /*clear=*/true);
+        }
+    }
 }
 
 void
@@ -497,18 +670,11 @@ AskCluster::global_replay_reset()
         }
     }
 
-    // (2) Discard every active task's partial switch state. A crashed
-    // sender's in-flight accounting died with it, so which of its
-    // frames the registers absorbed is unknowable; the archives
-    // re-establish the aggregate from the source.
-    for (const auto& [task, info] : active_tasks_) {
-        if (program_->find_task(task) == nullptr)
-            continue;
-        program_->reset_epoch(task);
-        program_->read_region(task, 0, /*clear=*/true);
-        if (config_.ask.shadow_copies)
-            program_->read_region(task, 1, /*clear=*/true);
-    }
+    // (2) Discard every active task's partial switch state — on every
+    // switch of the fabric. A crashed sender's in-flight accounting
+    // died with it, so which of its frames the registers absorbed is
+    // unknowable; the archives re-establish the aggregate from source.
+    clear_active_regions();
 
     // (3) Fence every live channel so pre-reset frames stale-drop.
     for (const auto& d : daemons_) {
@@ -563,6 +729,15 @@ AskCluster::total_host_stats() const
     return total;
 }
 
+SwitchAggStats
+AskCluster::total_switch_stats() const
+{
+    SwitchAggStats total;
+    for (const auto& p : programs_)
+        total.merge(p->stats());
+    return total;
+}
+
 void
 AskCluster::enable_sampling(Nanoseconds interval_ns)
 {
@@ -608,16 +783,22 @@ AskCluster::enable_sampling(Nanoseconds interval_ns)
     }
 
     // Switch aggregation ratio over the last period: of the tuples that
-    // entered the pipeline, how many were consumed in-network.
+    // entered any pipeline of the fabric, how many were consumed
+    // in-network.
     sampler_->add_probe(
         "switch.agg_ratio",
         [this, prev_in = std::uint64_t{0},
          prev_agg = std::uint64_t{0}](sim::SimTime) mutable {
-            const SwitchAggStats& st = program_->stats();
-            std::uint64_t din = st.tuples_in - prev_in;
-            std::uint64_t dagg = st.tuples_aggregated - prev_agg;
-            prev_in = st.tuples_in;
-            prev_agg = st.tuples_aggregated;
+            std::uint64_t in = 0;
+            std::uint64_t agg = 0;
+            for (const auto& p : programs_) {
+                in += p->stats().tuples_in;
+                agg += p->stats().tuples_aggregated;
+            }
+            std::uint64_t din = in - prev_in;
+            std::uint64_t dagg = agg - prev_agg;
+            prev_in = in;
+            prev_agg = agg;
             return din > 0 ? static_cast<double>(dagg) /
                                  static_cast<double>(din)
                            : 0.0;

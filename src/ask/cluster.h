@@ -1,9 +1,20 @@
 /**
  * @file
  * AskCluster: the top-level facade wiring a complete ASK deployment —
- * simulator, star fabric, PISA switch running the ASK program, switch
- * controller, and one daemon per server. This is the public entry point
- * used by examples, tests, and benchmarks.
+ * simulator, network fabric, one or more PISA switches running the ASK
+ * program, the (fabric-aware) switch control plane, and one daemon per
+ * server. This is the public entry point used by examples, tests, and
+ * benchmarks.
+ *
+ * Topology-first API: a ClusterConfig carries an explicit Topology
+ * (racks, hosts per rack, tier links) built with TopologyBuilder. A
+ * single-rack topology wires the classic star — one ToR, every daemon
+ * attached to it. A multi-rack topology wires a two-tier tree: each
+ * rack's ToR runs an AskSwitchProgram provisioned for *its rack's
+ * channel shard*, an aggregation-tier switch provisioned for every
+ * channel merges the ToR partial aggregates, and a FabricController
+ * fans the control plane out across all of them. See
+ * docs/ARCHITECTURE.md for the life of a cross-rack DATA packet.
  */
 #ifndef ASK_ASK_CLUSTER_H
 #define ASK_ASK_CLUSTER_H
@@ -18,8 +29,10 @@
 #include "ask/config.h"
 #include "ask/controller.h"
 #include "ask/daemon.h"
+#include "ask/fabric.h"
 #include "ask/mgmt.h"
 #include "ask/switch_program.h"
+#include "ask/topology.h"
 #include "ask/wal.h"
 #include "net/cost_model.h"
 #include "net/network.h"
@@ -37,13 +50,24 @@ struct ClusterConfig
     AskConfig ask;
     net::CostModelSpec cost;
 
-    /** Servers attached to the ToR switch. */
+    /**
+     * The physical layout: racks, hosts per rack, tier links. Build
+     * one with TopologyBuilder. When unset, a single-rack topology of
+     * `num_hosts` servers is synthesized (the pre-fabric behavior).
+     */
+    std::optional<Topology> topology;
+
+    /** Servers attached to the ToR switch.
+     *  Deprecation note (back-compat shim): only consulted when
+     *  `topology` is unset; new callers should describe the layout
+     *  with TopologyBuilder instead. */
     std::uint32_t num_hosts = 2;
-    /** Per-port line rate. */
+    /** Per-port line rate (host <-> ToR). */
     double link_gbps = 100.0;
-    /** One-way cable propagation delay. */
+    /** One-way cable propagation delay (host <-> ToR). */
     Nanoseconds link_propagation_ns = 500;
-    /** Fault injection on every host<->switch cable. */
+    /** Fault injection on every host<->switch cable. Tier links carry
+     *  their own FaultSpec in the Topology. */
     net::FaultSpec faults = net::FaultSpec::reliable();
     /** Seed for fault streams. */
     std::uint64_t seed = 1;
@@ -62,7 +86,7 @@ struct ClusterConfig
 /** One sender's contribution to a task. */
 struct StreamSpec
 {
-    std::uint32_t host = 0;
+    HostId host = HostId{0};
     KvStream stream;
 };
 
@@ -92,15 +116,20 @@ class AskCluster
      * completion (simulated time). Call run() to execute. Per-task
      * knobs (region length, liveness timeout, swap policy, tracing)
      * travel in `options`: `{.region_len = 32}`.
+     *
+     * In a multi-switch fabric, shadow-copy swaps are forced to
+     * SwapPolicy::kDisabled: a swap epoch would have to flip atomically
+     * across every switch on the task's paths, which the tier protocol
+     * does not attempt (finalize drains both copies instead).
      */
-    void submit_task(TaskId task, std::uint32_t receiver_host,
+    void submit_task(TaskId task, HostId receiver_host,
                      std::vector<StreamSpec> streams,
                      const TaskOptions& options = {},
                      TaskDoneFn on_done = nullptr);
 
     /** Convenience: submit one task, run the simulator to completion,
      *  and return the result. */
-    TaskResult run_task(TaskId task, std::uint32_t receiver_host,
+    TaskResult run_task(TaskId task, HostId receiver_host,
                         std::vector<StreamSpec> streams,
                         const TaskOptions& options = {});
 
@@ -109,20 +138,66 @@ class AskCluster
 
     sim::Simulator& simulator() { return simulator_; }
     net::Network& network() { return network_; }
-    AskDaemon& daemon(std::uint32_t host) { return *daemons_.at(host); }
+    AskDaemon& daemon(HostId host) { return *daemons_.at(host.value()); }
     std::uint32_t num_hosts() const
     {
         return static_cast<std::uint32_t>(daemons_.size());
     }
-    pisa::PisaSwitch& pisa_switch() { return *switch_; }
-    AskSwitchProgram& program() { return *program_; }
+
+    // ---- topology ---------------------------------------------------------
+
+    /** The deployed layout (synthesized single-rack when the config
+     *  carried none). */
+    const Topology& topology() const { return topo_; }
+    std::uint32_t num_racks() const { return topo_.num_racks(); }
+    /** Switches in the fabric: one ToR per rack, plus the aggregation
+     *  tier when there is more than one rack. */
+    std::uint32_t num_switches() const
+    {
+        return static_cast<std::uint32_t>(switches_.size());
+    }
+    RackId rack_of(HostId host) const { return topo_.rack_of_host(host); }
+
+    // ---- per-switch accessors ---------------------------------------------
+
+    pisa::PisaSwitch& pisa_switch(SwitchId s)
+    {
+        return *switches_.at(s.value());
+    }
+    AskSwitchProgram& program(SwitchId s) { return *programs_.at(s.value()); }
+    const SwitchAggStats& switch_stats(SwitchId s) const
+    {
+        return programs_.at(s.value())->stats();
+    }
+    net::NodeId switch_node(SwitchId s) const
+    {
+        return switches_.at(s.value())->node_id();
+    }
+
+    /** The control plane: a plain AskSwitchController for one rack, a
+     *  FabricController (fan-out) for several. */
     AskSwitchController& controller() { return *controller_; }
-    const SwitchAggStats& switch_stats() const { return program_->stats(); }
+
+    // ---- deprecated single-switch shims ------------------------------------
+    // Deprecation note (back-compat shims): these pre-fabric accessors
+    // resolve to switch 0 — rack 0's ToR. They are exact on a
+    // single-rack cluster and partial views on a fabric; new code
+    // should pass a SwitchId.
+    pisa::PisaSwitch& pisa_switch() { return pisa_switch(SwitchId{0}); }
+    AskSwitchProgram& program() { return program(SwitchId{0}); }
+    const SwitchAggStats& switch_stats() const
+    {
+        return switch_stats(SwitchId{0});
+    }
+    net::NodeId switch_node() const { return switch_node(SwitchId{0}); }
+
     const ClusterConfig& config() const { return config_; }
-    net::NodeId switch_node() const { return switch_->node_id(); }
 
     /** Aggregate host stats over all daemons. */
     HostStats total_host_stats() const;
+
+    /** Aggregate switch stats over the whole fabric. */
+    SwitchAggStats total_switch_stats() const;
 
     /** The shared management plane (control network + controller RPCs). */
     MgmtPlane& mgmt() { return *mgmt_; }
@@ -159,9 +234,10 @@ class AskCluster
     /**
      * Arm a chaos plan: every episode kind is wired to the matching
      * recovery machinery — link overrides on the fabric, register wipe
-     * plus region-reinstall/fence/replay on switch reboot, outage and
-     * delay windows on the management plane, and the data-plane
-     * blackhole on the switch program. May be called once per cluster.
+     * plus region-reinstall/fence/replay on switch reboot (the subject
+     * selects which switch of the fabric reboots), outage and delay
+     * windows on the management plane, and the data-plane blackhole on
+     * every switch program. May be called once per cluster.
      */
     void arm_chaos(const sim::ChaosPlan& plan);
 
@@ -169,8 +245,8 @@ class AskCluster
     ChaosStats chaos_stats() const;
 
     /** The cluster's stable storage: every host process (daemons and
-     *  the controller) journals to a WAL here before acting, and crash
-     *  recovery replays it. */
+     *  the per-switch controller journals) writes to a WAL here before
+     *  acting, and crash recovery replays it. */
     WalStore& wal_store() { return wal_store_; }
 
     /** The armed fault scheduler (null until arm_chaos). */
@@ -179,16 +255,16 @@ class AskCluster
     // ---- host-crash recovery (also callable directly from tests) ---------
 
     /** Crash host `host`'s daemon process (its WAL survives). */
-    void crash_host(std::uint32_t host);
+    void crash_host(HostId host);
     /** Restart a crashed daemon: WAL replay, deferred-work drain, and —
      *  when the host was mid-send for an active task — a cluster-wide
      *  replay reset. */
-    void restart_host(std::uint32_t host);
-    /** Crash the controller process (allocation journal lost; the
+    void restart_host(HostId host);
+    /** Crash the controller process (allocation journals lost; the
      *  management endpoint goes down with it). */
     void crash_controller();
-    /** Restart the controller: journal rebuild from its WAL, then the
-     *  management endpoint returns. */
+    /** Restart the controller: journal rebuild from every per-switch
+     *  WAL, then the management endpoint returns. */
     void restart_controller();
 
   private:
@@ -202,27 +278,48 @@ class AskCluster
     void on_switch_reboot_start(const sim::ChaosEvent& e);
     void on_switch_reboot_end(const sim::ChaosEvent& e);
 
+    /** Which switch a chaos event's subject lands on. */
+    SwitchId subject_switch(const sim::ChaosEvent& e) const
+    {
+        return SwitchId{e.subject % num_switches()};
+    }
+
+    /** Any switch of the fabric currently offline (mgmt gating). */
+    bool any_switch_offline() const;
+
+    /** The ToR serving `host`. */
+    pisa::PisaSwitch& tor_of(std::uint32_t host)
+    {
+        return *switches_[topo_.rack_of_host(HostId{host}).value()];
+    }
+
     /** Run `fn` now, or queue it until `host` restarts if it is
      *  crashed (recovery work aimed at a dead process must wait for —
      *  and compose with — its WAL rebuild). */
     void run_on_host(std::uint32_t host, std::function<void()> fn);
 
-    /** Deliver (and drop from the registry) a task's completion. */
+    /** Deliver (and drop from the registry) a task's completion,
+     *  stamping the per-switch shard map onto the report. */
     void finish_task(TaskId task, AggregateMap result, TaskReport report);
 
     /** Fail an active task whose durable state is unrecoverable. */
     void abort_active_task(TaskId task, TaskStatus status,
                            const std::string& detail);
 
+    /** Discard every active task's partial aggregate on every switch
+     *  (before a from-scratch replay that would double-count them). */
+    void clear_active_regions();
+
     /**
      * A sender crashed mid-stream: its in-flight accounting is gone, so
      * exactness is re-established from scratch — wipe every active
-     * task's switch region, fence all live channels, reset every
+     * task's switch regions, fence all live channels, reset every
      * receiver, and replay all archived streams after a drain window.
      */
     void global_replay_reset();
 
     ClusterConfig config_;
+    Topology topo_;
     /** Declared before every component: the registry holds pointers to
      *  their live counters, so it must construct first (and destruct
      *  last). */
@@ -232,8 +329,9 @@ class AskCluster
     WalStore wal_store_;
     sim::Simulator simulator_;
     net::Network network_;
-    std::unique_ptr<pisa::PisaSwitch> switch_;
-    std::unique_ptr<AskSwitchProgram> program_;
+    /** One per SwitchId: ToRs 0..R-1, then the tier switch (if any). */
+    std::vector<std::unique_ptr<pisa::PisaSwitch>> switches_;
+    std::vector<std::unique_ptr<AskSwitchProgram>> programs_;
     std::unique_ptr<AskSwitchController> controller_;
     std::unique_ptr<MgmtPlane> mgmt_;
     std::vector<std::unique_ptr<AskDaemon>> daemons_;

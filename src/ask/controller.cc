@@ -58,6 +58,7 @@ AskSwitchController::allocate(TaskId task, std::uint32_t len)
     }
     epoch_slot_used_[epoch_slot] = true;
     allocated_[base] = {region, task};
+    fetched_.erase(task);  // a reused task id starts a fresh tally
     program_.install_task(task, region);
     return region;
 }
@@ -93,6 +94,7 @@ AskSwitchController::crash()
 {
     allocated_.clear();
     epoch_slot_used_.assign(epoch_slot_used_.size(), false);
+    fetched_.clear();
 }
 
 std::uint32_t
@@ -154,7 +156,16 @@ AskSwitchController::probe_packet(ChannelId channel, Seq seq) const
 KvStream
 AskSwitchController::fetch(TaskId task, std::uint32_t copy, bool clear)
 {
-    return program_.read_region(task, copy, clear);
+    KvStream out = program_.read_region(task, copy, clear);
+    fetched_[task] += out.size();
+    return out;
+}
+
+std::vector<std::uint64_t>
+AskSwitchController::fetched_tally(TaskId task) const
+{
+    auto it = fetched_.find(task);
+    return {it == fetched_.end() ? 0 : it->second};
 }
 
 std::uint64_t

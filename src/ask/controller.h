@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <map>
 #include <optional>
+#include <unordered_map>
 #include <vector>
 
 #include "ask/switch_program.h"
@@ -22,11 +23,18 @@ namespace ask::core {
  * Manages the aggregator index space [0, copy_size) shared by all AAs:
  * every task receives one contiguous slice visible in all AAs (and both
  * shadow copies). First-fit allocation with coalescing free.
+ *
+ * The control-plane entry points are virtual: a multi-rack fabric swaps
+ * in a FabricController (ask/fabric.h) that fans each operation out to
+ * one per-switch sub-controller, while daemons keep talking to the one
+ * `AskSwitchController&` they were wired with.
  */
 class AskSwitchController
 {
   public:
     explicit AskSwitchController(AskSwitchProgram& program);
+
+    virtual ~AskSwitchController() = default;
 
     /**
      * Allocate `len` aggregators per AA per copy for a task and install
@@ -34,12 +42,13 @@ class AskSwitchController
      * @return the region, or std::nullopt when memory or epoch slots are
      *         exhausted.
      */
-    std::optional<TaskRegion> allocate(TaskId task, std::uint32_t len);
+    virtual std::optional<TaskRegion> allocate(TaskId task,
+                                               std::uint32_t len);
 
     /** Release a task's region and uninstall it. Throws StateError for
      *  a task with no journaled region (e.g. a double release across a
      *  crash) — callers on the runtime path catch and move on. */
-    void release(TaskId task);
+    virtual void release(TaskId task);
 
     /**
      * Attach the controller's write-ahead log. Once set, every
@@ -53,7 +62,7 @@ class AskSwitchController
      * Crash: lose the in-memory allocation journal and epoch-slot map
      * (the WAL, owned by the cluster's WalStore, survives).
      */
-    void crash();
+    virtual void crash();
 
     /**
      * Rebuild the allocation journal from the WAL (alloc/release record
@@ -62,22 +71,26 @@ class AskSwitchController
      * Throws StateError when the WAL fails its digest check.
      * @return the number of regions rebuilt into the journal.
      */
-    std::uint32_t recover_from_wal();
+    virtual std::uint32_t recover_from_wal();
 
     /**
      * Slow-path read of one shadow copy of the task's region (optionally
-     * clearing it), decoding the aggregators into tuples.
+     * clearing it), decoding the aggregators into tuples. A fabric
+     * fetch concatenates every switch's slice — the software tier-merge;
+     * the receiver's aggregate_into() folds duplicates keyed across
+     * switches into one value.
      */
-    KvStream fetch(TaskId task, std::uint32_t copy, bool clear);
+    virtual KvStream fetch(TaskId task, std::uint32_t copy, bool clear);
 
     /** Aggregator entries a fetch of this task scans (cost accounting). */
-    std::uint64_t fetch_scan_entries(TaskId task) const;
+    virtual std::uint64_t fetch_scan_entries(TaskId task) const;
 
     /** Current swap epoch of the task. */
-    std::uint32_t current_epoch(TaskId task) const;
+    virtual std::uint32_t current_epoch(TaskId task) const;
 
-    /** Free aggregators per AA per copy remaining. */
-    std::uint32_t free_aggregators() const;
+    /** Free aggregators per AA per copy remaining (a fabric reports the
+     *  minimum over its switches). */
+    virtual std::uint32_t free_aggregators() const;
 
     /**
      * Failure recovery: the switch CPU rebooted and lost its task table
@@ -86,14 +99,28 @@ class AskSwitchController
      * source of truth for allocations, which is what makes this safe.
      * @return the number of regions re-installed.
      */
-    std::uint32_t reinstall_after_reboot();
+    virtual std::uint32_t reinstall_after_reboot();
 
-    /** Recovery passthrough: see AskSwitchProgram::fence_channel. */
-    void fence_channel(ChannelId channel, Seq next_seq);
+    /** Recovery passthrough: see AskSwitchProgram::fence_channel. A
+     *  fabric fences the channel on every switch provisioning it. */
+    virtual void fence_channel(ChannelId channel, Seq next_seq);
 
-    /** Degraded-mode passthrough: see AskSwitchProgram::probe_packet. */
-    AskSwitchProgram::ProbeResult probe_packet(ChannelId channel,
-                                               Seq seq) const;
+    /** Degraded-mode passthrough: see AskSwitchProgram::probe_packet.
+     *  A fabric merges the per-switch verdicts: a slot consumed on any
+     *  switch of the path is consumed. */
+    virtual AskSwitchProgram::ProbeResult probe_packet(ChannelId channel,
+                                                       Seq seq) const;
+
+    /** Switches this control plane manages (1 for the classic ToR). */
+    virtual std::uint32_t num_switches() const { return 1; }
+
+    /**
+     * Tuples fetched from each switch for `task` (slow-path drains:
+     * finalize and swap commits), indexed by SwitchId. Survives
+     * release() so completion reports can attribute the result to its
+     * owning switches; reset when the task id is re-allocated.
+     */
+    virtual std::vector<std::uint64_t> fetched_tally(TaskId task) const;
 
     AskSwitchProgram& program() { return program_; }
 
@@ -107,6 +134,8 @@ class AskSwitchController
      */
     std::map<std::uint32_t, std::pair<TaskRegion, TaskId>> allocated_;
     std::vector<bool> epoch_slot_used_;
+    /** Tuples drained per task (see fetched_tally). */
+    std::unordered_map<TaskId, std::uint64_t> fetched_;
     Wal* wal_ = nullptr;
 };
 

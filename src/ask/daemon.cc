@@ -55,7 +55,7 @@ ChannelId
 DataChannel::global_id() const
 {
     return static_cast<ChannelId>(
-        daemon_.host_index() * daemon_.config().channels_per_host +
+        daemon_.host_index().value() * daemon_.config().channels_per_host +
         local_index_);
 }
 
@@ -119,6 +119,21 @@ DataChannel::pump()
 
     while (!jobs_.empty() && !fin_outstanding_) {
         SendJob& job = jobs_.front();
+
+        // Channel-bind fence (fabric only). A tier switch never sees the
+        // sequence numbers of intra-rack tasks, so its seen-window slots
+        // for this channel can hold residue from two generations back —
+        // the self-cleaning parity scheme assumes a gap-free stream.
+        // The channel is quiescent here (the previous job fully ACKed
+        // and FINed before this one reached the front), so fencing every
+        // provisioning switch at next_seq is a clean window restart.
+        // Single-switch deployments skip this: the lone switch observes
+        // every sequence number and needs no fence.
+        if (!job.fenced) {
+            job.fenced = true;
+            if (daemon_.controller_.num_switches() > 1)
+                daemon_.controller_.fence_channel(global_id(), next_seq_);
+        }
 
         if (job.builder->empty()) {
             // All frames ACKed and none pending: close the task on this
@@ -555,7 +570,7 @@ DataChannel::reset_after_crash(Seq resume)
 // ---------------------------------------------------------------------------
 
 AskDaemon::AskDaemon(const AskConfig& config, const net::CostModel& cost_model,
-                     net::Network& network, std::uint32_t host_index,
+                     net::Network& network, HostId host_index,
                      net::NodeId switch_node, AskSwitchController& controller,
                      MgmtPlane& mgmt, obs::Observability* obs)
     : config_(config),
@@ -567,7 +582,7 @@ AskDaemon::AskDaemon(const AskConfig& config, const net::CostModel& cost_model,
       controller_(controller),
       mgmt_(mgmt)
 {
-    ASK_ASSERT(host_index < config_.max_hosts,
+    ASK_ASSERT(host_index.value() < config_.max_hosts,
                "host index exceeds configured max_hosts");
     if (obs != nullptr) {
         tracer_ = &obs->tracer;
@@ -580,7 +595,7 @@ AskDaemon::AskDaemon(const AskConfig& config, const net::CostModel& cost_model,
 std::string
 AskDaemon::name() const
 {
-    return strf("ask-daemon-%u", host_index_);
+    return strf("ask-daemon-%u", host_index_.value());
 }
 
 DataChannel&
@@ -590,7 +605,7 @@ AskDaemon::channel_for_task(TaskId task)
     // channel pools independently, so one task does not land on the
     // same local channel index cluster-wide (which would funnel all of
     // the task's flows into a single receiver-side RSS lane).
-    std::uint64_t h = mix64(task ^ mix64(host_index_ + 1));
+    std::uint64_t h = mix64(task ^ mix64(host_index_.value() + 1));
     return *channels_[h % channels_.size()];
 }
 

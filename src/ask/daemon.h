@@ -101,6 +101,31 @@ struct TaskOptions
     bool trace = false;
 };
 
+/**
+ * One switch's share of a task's in-network work: which channel shard
+ * it owns, how many tuples the slow path drained from its region, and
+ * a completion-time snapshot of its aggregation counters. Callers that
+ * used to reach through AskCluster::program() for per-switch numbers
+ * read these slices off the TaskReport instead.
+ */
+struct SwitchShardInfo
+{
+    SwitchId switch_id = SwitchId{0};
+    /** True for the aggregation-tier switch (provisions every channel);
+     *  false for a ToR (provisions its rack's shard). */
+    bool is_tier = false;
+    /** Owning rack (meaningless when is_tier). */
+    RackId rack = RackId{0};
+    /** Channel shard this switch provisions reliability state for. */
+    ChannelId channel_lo = 0;
+    ChannelId channel_hi = 0;
+    /** Tuples the control plane fetched from this switch's region for
+     *  this task (finalize and swap-commit drains). */
+    std::uint64_t tuples_fetched = 0;
+    /** The switch's cumulative aggregation counters at completion. */
+    SwitchAggStats stats;
+};
+
 /** Completion report for one aggregation task at its receiver. */
 struct TaskReport
 {
@@ -115,6 +140,9 @@ struct TaskReport
      *  specifics (counts, ids) for logs. */
     TaskStatus status = TaskStatus::kOk;
     std::string detail;
+    /** Per-switch shard map, indexed by SwitchId, filled in by the
+     *  cluster at delivery (empty for hand-wired daemons). */
+    std::vector<SwitchShardInfo> shards;
 
     bool ok() const { return status == TaskStatus::kOk; }
 };
@@ -177,6 +205,7 @@ class DataChannel
         std::unique_ptr<PacketBuilder> builder;
         std::function<void()> on_complete;
         bool replay = false;  ///< post-crash re-submission (trace flag)
+        bool fenced = false;  ///< channel-bind fence issued (fabric only)
     };
 
     struct InFlight
@@ -266,14 +295,17 @@ class AskDaemon : public net::Node
   public:
     /**
      * @param host_index   dense index of this server (0..max_hosts-1).
-     * @param switch_node  node id of the ToR switch on the fabric.
-     * @param controller   the switch control plane.
+     *                     Strongly typed; a raw std::uint32_t still
+     *                     converts implicitly (see the HostId shim).
+     * @param switch_node  node id of this host's ToR switch on the fabric.
+     * @param controller   the switch control plane (the fabric controller
+     *                     in a multi-rack deployment).
      * @param mgmt         the management network all controller RPCs use.
      * @param obs          optional observability bundle (metrics + trace);
      *                     must outlive the daemon when given.
      */
     AskDaemon(const AskConfig& config, const net::CostModel& cost_model,
-              net::Network& network, std::uint32_t host_index,
+              net::Network& network, HostId host_index,
               net::NodeId switch_node, AskSwitchController& controller,
               MgmtPlane& mgmt, obs::Observability* obs = nullptr);
 
@@ -406,7 +438,7 @@ class AskDaemon : public net::Node
     net::Network& network() { return network_; }
     sim::Simulator& simulator() { return network_.simulator(); }
     net::NodeId switch_node() const { return switch_node_; }
-    std::uint32_t host_index() const { return host_index_; }
+    HostId host_index() const { return host_index_; }
     const HostStats& stats() const { return stats_; }
     HostStats& stats() { return stats_; }
     const ChaosStats& chaos_stats() const { return chaos_; }
@@ -498,7 +530,7 @@ class AskDaemon : public net::Node
     KeySpace key_space_;
     net::CostModel cost_model_;
     net::Network& network_;
-    std::uint32_t host_index_;
+    HostId host_index_;
     net::NodeId switch_node_;
     AskSwitchController& controller_;
     MgmtPlane& mgmt_;

@@ -1,0 +1,196 @@
+#include "ask/fabric.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace ask::core {
+
+std::string
+controller_wal_name(SwitchId s)
+{
+    if (s.value() == 0)
+        return "controller";
+    return "controller.s" + std::to_string(s.value());
+}
+
+FabricController::FabricController(std::vector<AskSwitchProgram*> programs)
+    : AskSwitchController(*programs.at(0)), programs_(std::move(programs))
+{
+    subs_.reserve(programs_.size());
+    for (AskSwitchProgram* p : programs_) {
+        ASK_ASSERT(p != nullptr, "fabric controller over a null program");
+        subs_.push_back(std::make_unique<AskSwitchController>(*p));
+    }
+}
+
+void
+FabricController::attach_wals(WalStore& store, std::uint64_t* append_counter)
+{
+    for (std::size_t s = 0; s < subs_.size(); ++s) {
+        Wal& wal = store.wal(
+            controller_wal_name(SwitchId{static_cast<std::uint32_t>(s)}));
+        wal.set_append_counter(append_counter);
+        subs_[s]->set_wal(&wal);
+    }
+}
+
+std::optional<TaskRegion>
+FabricController::allocate(TaskId task, std::uint32_t len)
+{
+    // All-or-nothing: a task aggregates on every switch its packets
+    // cross, so a region that fits only some switches is useless.
+    // Sub-controllers see identical allocate/release sequences, so
+    // first-fit lands every task at the same base fabric-wide — but the
+    // rollback below keeps correctness independent of that symmetry.
+    std::optional<TaskRegion> first;
+    std::size_t done = 0;
+    for (; done < subs_.size(); ++done) {
+        std::optional<TaskRegion> r = subs_[done]->allocate(task, len);
+        if (!r.has_value())
+            break;
+        if (done == 0)
+            first = r;
+        else
+            ASK_ASSERT(r->base == first->base && r->len == first->len &&
+                           r->epoch_slot == first->epoch_slot,
+                       "fabric switches diverged on task ", task,
+                       "'s region placement");
+    }
+    if (done == subs_.size())
+        return first;
+    for (std::size_t s = 0; s < done; ++s)
+        subs_[s]->release(task);
+    return std::nullopt;
+}
+
+void
+FabricController::release(TaskId task)
+{
+    // Attempt every switch even if one throws (a double release across
+    // a crash must not strand regions on the remaining switches), then
+    // surface the first failure.
+    std::optional<StateError> deferred;
+    for (auto& sub : subs_) {
+        try {
+            sub->release(task);
+        } catch (const StateError& e) {
+            if (!deferred.has_value())
+                deferred = e;
+        }
+    }
+    if (deferred.has_value())
+        throw *deferred;
+}
+
+void
+FabricController::crash()
+{
+    for (auto& sub : subs_)
+        sub->crash();
+}
+
+std::uint32_t
+FabricController::recover_from_wal()
+{
+    // Each switch's journal replays independently; a digest mismatch on
+    // any of them throws and the cluster aborts the affected tasks.
+    std::uint32_t regions = 0;
+    for (auto& sub : subs_)
+        regions += sub->recover_from_wal();
+    return regions;
+}
+
+KvStream
+FabricController::fetch(TaskId task, std::uint32_t copy, bool clear)
+{
+    // Concatenate the per-switch slices: the software tier-merge. The
+    // caller's aggregate_into() folds keys split across switches.
+    KvStream out;
+    for (auto& sub : subs_) {
+        KvStream part = sub->fetch(task, copy, clear);
+        out.insert(out.end(), part.begin(), part.end());
+    }
+    return out;
+}
+
+std::uint64_t
+FabricController::fetch_scan_entries(TaskId task) const
+{
+    std::uint64_t entries = 0;
+    for (const auto& sub : subs_)
+        entries += sub->fetch_scan_entries(task);
+    return entries;
+}
+
+std::uint32_t
+FabricController::current_epoch(TaskId task) const
+{
+    // Epochs advance in lock-step (and swaps are disabled in fabric
+    // mode); any switch's answer is the fabric's.
+    return subs_.front()->current_epoch(task);
+}
+
+std::uint32_t
+FabricController::free_aggregators() const
+{
+    std::uint32_t free = subs_.front()->free_aggregators();
+    for (const auto& sub : subs_)
+        free = std::min(free, sub->free_aggregators());
+    return free;
+}
+
+std::uint32_t
+FabricController::reinstall_after_reboot()
+{
+    // Idempotent per switch: only a switch whose data plane lost a
+    // journaled binding (i.e. the one that rebooted) re-installs.
+    std::uint32_t count = 0;
+    for (auto& sub : subs_)
+        count += sub->reinstall_after_reboot();
+    return count;
+}
+
+void
+FabricController::fence_channel(ChannelId channel, Seq next_seq)
+{
+    // Fence everywhere the channel has reliability state: its owning
+    // ToR and the aggregation tier.
+    for (std::size_t s = 0; s < subs_.size(); ++s)
+        if (programs_[s]->provisions(channel))
+            subs_[s]->fence_channel(channel, next_seq);
+}
+
+AskSwitchProgram::ProbeResult
+FabricController::probe_packet(ChannelId channel, Seq seq) const
+{
+    // Merge the per-switch verdicts. A slot any switch consumed was
+    // aggregated (the consumer ACKs or forwards on the packet's
+    // behalf), so `remaining` is the intersection over the switches
+    // that observed the packet; `observed` is the union.
+    AskSwitchProgram::ProbeResult merged;
+    for (std::size_t s = 0; s < subs_.size(); ++s) {
+        if (!programs_[s]->provisions(channel))
+            continue;
+        AskSwitchProgram::ProbeResult r = subs_[s]->probe_packet(channel, seq);
+        if (!r.observed)
+            continue;
+        merged.remaining = merged.observed ? (merged.remaining & r.remaining)
+                                           : r.remaining;
+        merged.observed = true;
+    }
+    return merged;
+}
+
+std::vector<std::uint64_t>
+FabricController::fetched_tally(TaskId task) const
+{
+    std::vector<std::uint64_t> tally;
+    tally.reserve(subs_.size());
+    for (const auto& sub : subs_)
+        tally.push_back(sub->fetched_tally(task).at(0));
+    return tally;
+}
+
+}  // namespace ask::core

@@ -40,6 +40,7 @@ namespace ask::core {
     X(tuples_collided, "tuples that failed (collision)")                    \
     X(packets_acked, "fully aggregated -> switch ACK")                      \
     X(packets_forwarded, "partial/failed -> to receiver")                   \
+    X(residual_forwarded, "fully aggregated -> empty residual upstream")    \
     X(duplicates, "retransmissions deduplicated")                           \
     X(stale_dropped, "out-of-window packets dropped")                       \
     X(long_packets, "LONG_DATA forwarded")                                  \

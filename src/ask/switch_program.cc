@@ -37,10 +37,17 @@ vpart(std::uint32_t part_bits, std::uint64_t word)
 pisa::verify::AccessPlan
 AskSwitchProgram::make_access_plan(const AskConfig& config)
 {
+    return make_access_plan(config, config.max_channels());
+}
+
+pisa::verify::AccessPlan
+AskSwitchProgram::make_access_plan(const AskConfig& config,
+                                   std::uint32_t num_channels)
+{
     namespace v = pisa::verify;
     using v::AccessKind;
 
-    std::size_t channels = config.max_channels();
+    std::size_t channels = num_channels;
     std::size_t w = config.window;
     std::size_t aa_stages = (config.num_aas + 3) / 4;
     std::size_t last_stage = 2 + aa_stages;
@@ -180,12 +187,26 @@ AskSwitchProgram::make_access_plan(const AskConfig& config)
 
 AskSwitchProgram::AskSwitchProgram(const AskConfig& config,
                                    pisa::PisaSwitch& sw)
+    : AskSwitchProgram(config, sw, 0,
+                       static_cast<ChannelId>(config.max_channels()))
+{
+}
+
+AskSwitchProgram::AskSwitchProgram(const AskConfig& config,
+                                   pisa::PisaSwitch& sw, ChannelId lo,
+                                   ChannelId hi)
     : config_(config),
       key_space_(config),
       simulator_(&sw.simulator()),
-      pipeline_(&sw.pipeline())
+      pipeline_(&sw.pipeline()),
+      switch_(&sw),
+      prov_lo_(lo),
+      prov_hi_(hi)
 {
     config_.validate();
+    ASK_ASSERT(lo < hi, "empty provisioned channel range");
+    ASK_ASSERT(hi <= config_.max_channels(),
+               "provisioned channels exceed the switch's maximum");
 
     slot_scratch_.resize(config_.num_aas);
     medium_key_scratch_.resize(config_.max_medium_key_bytes());
@@ -200,7 +221,8 @@ AskSwitchProgram::AskSwitchProgram(const AskConfig& config,
         medium_masks_.push_back(mask);
     }
 
-    plan_ = make_access_plan(config_);
+    plan_ = make_access_plan(
+        config_, static_cast<std::uint32_t>(prov_hi_ - prov_lo_));
 
     // Prove the plan PISA-legal before touching the pipeline: an illegal
     // program never installs (and never partially declares arrays).
@@ -309,8 +331,24 @@ void
 AskSwitchProgram::set_local_channels(ChannelId lo, ChannelId hi)
 {
     ASK_ASSERT(lo < hi, "empty local channel range");
+    ASK_ASSERT(lo >= prov_lo_ && hi <= prov_hi_,
+               "local channels outside the provisioned range");
     local_lo_ = lo;
     local_hi_ = hi;
+}
+
+std::uint64_t
+AskSwitchProgram::reliability_state_bits() const
+{
+    std::uint64_t bits = 0;
+    for (const auto& d : plan_.arrays) {
+        if (d.name == "max_seq" || d.name == "seen" ||
+            d.name == "seen_even" || d.name == "seen_odd" ||
+            d.name == "pkt_state") {
+            bits += static_cast<std::uint64_t>(d.entries) * d.width_bits;
+        }
+    }
+    return bits;
 }
 
 void
@@ -391,11 +429,12 @@ AskSwitchProgram::on_reboot()
 void
 AskSwitchProgram::fence_channel(ChannelId channel, Seq next_seq)
 {
-    ASK_ASSERT(channel < config_.max_channels(), "channel id out of range");
+    ASK_ASSERT(provisions(channel), "channel not provisioned on this switch");
     std::uint32_t w = config_.window;
-    max_seq_->cp_write(channel, static_cast<std::uint64_t>(next_seq) + w - 1);
+    max_seq_->cp_write(chan_index(channel),
+                       static_cast<std::uint64_t>(next_seq) + w - 1);
 
-    std::size_t base = static_cast<std::size_t>(channel) * w;
+    std::size_t base = chan_index(channel) * w;
     if (config_.compact_seen) {
         // A fresh packet in an even segment expects bit==0 (set_bit),
         // in an odd segment bit==1 (clr_bitc). Pre-set the parity for
@@ -415,15 +454,15 @@ AskSwitchProgram::fence_channel(ChannelId channel, Seq next_seq)
 AskSwitchProgram::ProbeResult
 AskSwitchProgram::probe_packet(ChannelId channel, Seq seq) const
 {
-    ASK_ASSERT(channel < config_.max_channels(), "channel id out of range");
+    ASK_ASSERT(provisions(channel), "channel not provisioned on this switch");
     std::uint32_t w = config_.window;
     ProbeResult out;
 
-    std::uint64_t max = max_seq_->cp_read(channel);
+    std::uint64_t max = max_seq_->cp_read(chan_index(channel));
     if (static_cast<std::uint64_t>(seq) + w <= max)
         return out;  // outside the live window: report not-observed
 
-    std::size_t idx = static_cast<std::size_t>(channel) * w + seq % w;
+    std::size_t idx = chan_index(channel) * w + seq % w;
     if (config_.compact_seen) {
         std::uint64_t bit = seen_->cp_read(idx);
         out.observed = (seq / w) % 2 == 0 ? bit != 0 : bit == 0;
@@ -439,15 +478,16 @@ AskSwitchProgram::probe_packet(ChannelId channel, Seq seq) const
 AskSwitchProgram::WindowVerdict
 AskSwitchProgram::check_window(ChannelId channel, Seq seq)
 {
-    ASK_ASSERT(channel < config_.max_channels(), "channel id out of range");
+    ASK_ASSERT(provisions(channel), "channel not provisioned on this switch");
     std::uint32_t w = config_.window;
     WindowVerdict verdict;
 
     // Stage 0: max_seq = max(max_seq, seq); stale if seq <= max_seq - W.
-    std::uint64_t max_after = max_seq_->rmw(channel, [&](std::uint64_t& v) {
-        if (seq > v)
-            v = seq;
-    });
+    std::uint64_t max_after =
+        max_seq_->rmw(chan_index(channel), [&](std::uint64_t& v) {
+            if (seq > v)
+                v = seq;
+        });
     if (static_cast<std::uint64_t>(seq) + w <= max_after) {
         verdict.stale = true;
         return verdict;
@@ -455,7 +495,7 @@ AskSwitchProgram::check_window(ChannelId channel, Seq seq)
 
     // Stage 1: the receive window.
     std::uint32_t r = seq % w;
-    std::size_t idx = static_cast<std::size_t>(channel) * w + r;
+    std::size_t idx = chan_index(channel) * w + r;
     if (config_.compact_seen) {
         // Branch-light fused set_bit/clr_bitc: an even segment returns
         // the previous bit and sets it, an odd segment returns the
@@ -655,9 +695,9 @@ AskSwitchProgram::process_data(net::Packet&& pkt, const AskHeader& hdr,
 
     // Final stage: pkt_state — record the aggregation outcome on first
     // appearance (Eq. 9); restore it on retransmissions (Eq. 10).
-    std::size_t ps_idx = static_cast<std::size_t>(hdr.channel_id) *
-                             config_.window +
-                         hdr.seq % config_.window;
+    std::size_t ps_idx =
+        chan_index(hdr.channel_id) * config_.window +
+        hdr.seq % config_.window;
     pkt_state_->rmw(ps_idx, [&](std::uint64_t& state) {
         if (!verdict.observed)
             state = new_bitmap;
@@ -665,10 +705,16 @@ AskSwitchProgram::process_data(net::Packet&& pkt, const AskHeader& hdr,
             new_bitmap = state;
     });
 
-    if (new_bitmap == 0) {
-        // Fully aggregated: consume the packet and ACK the sender with
-        // the same sequence number (the switch impersonates the
-        // receiver endpoint).
+    // A leaf ToR may consume a fully aggregated packet only when the
+    // receiver is directly attached (no window-holding switch further
+    // along the route) — one FIB lookup, which the egress pipeline does
+    // anyway. Cross-rack residuals must stay alive to the tree root.
+    bool may_consume =
+        !tree_leaf_ || switch_->next_hop(pkt.dst) == pkt.dst;
+    if (new_bitmap == 0 && may_consume) {
+        // Fully aggregated at the last aggregating hop: consume the
+        // packet and ACK the sender with the same sequence number (the
+        // switch impersonates the receiver endpoint).
         ++stats_.packets_acked;
         ASK_TRACE(tracer_, simulator_->now(), hdr.task_id, hdr.channel_id,
                   hdr.seq, obs::TraceStage::kSwitchAck);
@@ -679,7 +725,14 @@ AskSwitchProgram::process_data(net::Packet&& pkt, const AskHeader& hdr,
         ack.seq = hdr.seq;
         emit.emit(pkt.src, make_control_packet(pkt.dst, pkt.src, ack));
     } else {
-        ++stats_.packets_forwarded;
+        // Partially aggregated — or a leaf ToR that absorbed everything:
+        // keep the packet alive toward the tree root so every window-
+        // holding switch on the path observes this sequence number
+        // (empty residuals die at the root, which ACKs on their behalf).
+        if (new_bitmap == 0)
+            ++stats_.residual_forwarded;
+        else
+            ++stats_.packets_forwarded;
         ASK_TRACE(tracer_, simulator_->now(), hdr.task_id, hdr.channel_id,
                   hdr.seq, obs::TraceStage::kSwitchForward, new_bitmap);
         rewrite_bitmap(pkt.data, new_bitmap);
@@ -743,11 +796,13 @@ AskSwitchProgram::process(net::Packet pkt, pisa::Emitter& emit)
         }
     }
 
-    // Multi-rack bypass (§7): data-plane state only covers this rack's
-    // own channels; cross-rack traffic is plain-forwarded toward the
-    // receiver host (aggregation happens there, or on its own ToR).
-    bool local = local_hi_ == 0 || (hdr->channel_id >= local_lo_ &&
-                                    hdr->channel_id < local_hi_);
+    // Multi-rack fabric (§7): data-plane state only covers this switch's
+    // provisioned channels (a ToR's own rack; everything for the tier
+    // switch); other racks' traffic is plain-forwarded toward the
+    // receiver host (aggregation happens at the tier, or at the host).
+    bool local = local_hi_ == 0 ? provisions(hdr->channel_id)
+                                : (hdr->channel_id >= local_lo_ &&
+                                   hdr->channel_id < local_hi_);
     if (!local && (hdr->type == PacketType::kData ||
                    hdr->type == PacketType::kLongData)) {
         net::NodeId dst = pkt.dst;

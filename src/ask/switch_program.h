@@ -71,6 +71,19 @@ class AskSwitchProgram : public pisa::SwitchProgram
      */
     AskSwitchProgram(const AskConfig& config, pisa::PisaSwitch& sw);
 
+    /**
+     * Fabric variant: provision reliability state (max_seq, seen,
+     * pkt_state) for the channel range [lo, hi) only — a rack's ToR
+     * carries state for its own hosts' channels, not the whole
+     * cluster's, which is what keeps per-switch state bounded by rack
+     * size as racks are added (paper §7). Channels outside the range
+     * are not local: their DATA/LONG_DATA traffic is plain-forwarded
+     * toward the receiver. The single-switch constructor above is
+     * exactly [0, max_channels()).
+     */
+    AskSwitchProgram(const AskConfig& config, pisa::PisaSwitch& sw,
+                     ChannelId lo, ChannelId hi);
+
     ~AskSwitchProgram() override;
 
     /**
@@ -81,6 +94,12 @@ class AskSwitchProgram : public pisa::SwitchProgram
      * the oracle the runtime cross-check replays — one source of truth.
      */
     static pisa::verify::AccessPlan make_access_plan(const AskConfig& config);
+
+    /** Same plan with the channel-indexed reliability arrays sized for
+     *  `num_channels` provisioned channels (fabric ToRs). */
+    static pisa::verify::AccessPlan make_access_plan(const AskConfig& config,
+                                                     std::uint32_t
+                                                         num_channels);
 
     /**
      * Arm the runtime cross-check: every subsequent data-plane access
@@ -123,6 +142,35 @@ class AskSwitchProgram : public pisa::SwitchProgram
      * every channel is local (single-rack deployment).
      */
     void set_local_channels(ChannelId lo, ChannelId hi);
+
+    /** Does this switch hold reliability state for `channel`? */
+    bool provisions(ChannelId channel) const
+    {
+        return channel >= prov_lo_ && channel < prov_hi_;
+    }
+
+    /** The provisioned channel range [lo, hi). */
+    ChannelId provisioned_lo() const { return prov_lo_; }
+    ChannelId provisioned_hi() const { return prov_hi_; }
+
+    /**
+     * Tree role. A leaf (rack ToR) switch must NOT consume a fully
+     * aggregated DATA packet: the seen-window scheme is self-cleaning
+     * (the arrival of seq s clears the slot that seq s+W will use), so
+     * every switch that holds window state for a channel has to observe
+     * every sequence number at least once before it is ACKed. A leaf
+     * that absorbed a whole packet therefore forwards an empty-bitmap
+     * residual upstream instead of ACKing; only the tree root (the tier
+     * switch, or the lone switch of a single-rack deployment) may
+     * impersonate the receiver and consume. Default: root.
+     */
+    void set_tree_leaf(bool leaf) { tree_leaf_ = leaf; }
+    bool tree_leaf() const { return tree_leaf_; }
+
+    /** Bits of channel-indexed reliability state (max_seq + seen +
+     *  pkt_state) this program declares — the per-switch state the
+     *  fabric bounds by rack size (fig13b's scalability metric). */
+    std::uint64_t reliability_state_bits() const;
 
     /**
      * Slow-path read of one shadow copy of a task's region, decoding
@@ -234,6 +282,7 @@ class AskSwitchProgram : public pisa::SwitchProgram
     KeySpace key_space_;
     sim::Simulator* simulator_ = nullptr;  ///< trace timestamps
     pisa::Pipeline* pipeline_ = nullptr;   ///< hosts the arrays + oracle hook
+    pisa::PisaSwitch* switch_ = nullptr;   ///< FIB lookups (tree-leaf role)
     pisa::verify::AccessPlan plan_;
     std::unique_ptr<pisa::verify::AccessOracle> oracle_;
 
@@ -264,10 +313,20 @@ class AskSwitchProgram : public pisa::SwitchProgram
      *  guarantees it); the cache is dropped on install/remove/reboot. */
     mutable TaskId cached_task_ = 0;
     mutable const TaskRegion* cached_region_ = nullptr;
+    /** Index of a provisioned channel into the channel-indexed arrays. */
+    std::size_t chan_index(ChannelId channel) const
+    {
+        return static_cast<std::size_t>(channel) - prov_lo_;
+    }
+
     SwitchAggStats stats_;
+    /** Provisioned channel range (reliability-state coverage). */
+    ChannelId prov_lo_ = 0;
+    ChannelId prov_hi_ = 0;
     ChannelId local_lo_ = 0;
-    ChannelId local_hi_ = 0;  ///< 0,0 = all channels local
+    ChannelId local_hi_ = 0;  ///< 0,0 = every provisioned channel is local
     bool data_blackhole_ = false;
+    bool tree_leaf_ = false;  ///< leaf ToR: forward residuals, never consume
     obs::PacketTracer* tracer_ = nullptr;  ///< borrowed, may be null
 };
 

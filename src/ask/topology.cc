@@ -1,0 +1,89 @@
+#include "ask/topology.h"
+
+#include "common/logging.h"
+
+namespace ask::core {
+
+std::uint32_t
+Topology::num_hosts() const
+{
+    std::uint32_t total = 0;
+    for (std::uint32_t h : rack_hosts)
+        total += h;
+    return total;
+}
+
+RackId
+Topology::rack_of_host(HostId host) const
+{
+    std::uint32_t cursor = 0;
+    for (std::uint32_t r = 0; r < num_racks(); ++r) {
+        cursor += rack_hosts[r];
+        if (host.value() < cursor)
+            return RackId{r};
+    }
+    fail_state("host ", host.value(), " beyond the topology's ",
+               num_hosts(), " hosts");
+}
+
+std::uint32_t
+Topology::host_lo(RackId rack) const
+{
+    ASK_ASSERT(rack.value() < num_racks(), "rack id out of range");
+    std::uint32_t lo = 0;
+    for (std::uint32_t r = 0; r < rack.value(); ++r)
+        lo += rack_hosts[r];
+    return lo;
+}
+
+void
+Topology::validate() const
+{
+    if (rack_hosts.empty())
+        fail_config("topology needs at least one rack");
+    for (std::uint32_t r = 0; r < num_racks(); ++r) {
+        if (rack_hosts[r] == 0)
+            fail_config("rack ", r, " has no hosts");
+    }
+    if (tier_link_gbps <= 0.0)
+        fail_config("tier links need a positive line rate");
+}
+
+TopologyBuilder&
+TopologyBuilder::add_rack(std::uint32_t hosts)
+{
+    topo_.rack_hosts.push_back(hosts);
+    return *this;
+}
+
+TopologyBuilder&
+TopologyBuilder::racks(std::uint32_t count, std::uint32_t hosts_per_rack)
+{
+    for (std::uint32_t r = 0; r < count; ++r)
+        topo_.rack_hosts.push_back(hosts_per_rack);
+    return *this;
+}
+
+TopologyBuilder&
+TopologyBuilder::tier_link(double gbps, Nanoseconds propagation_ns)
+{
+    topo_.tier_link_gbps = gbps;
+    topo_.tier_link_propagation_ns = propagation_ns;
+    return *this;
+}
+
+TopologyBuilder&
+TopologyBuilder::tier_faults(const net::FaultSpec& faults)
+{
+    topo_.tier_faults = faults;
+    return *this;
+}
+
+Topology
+TopologyBuilder::build() const
+{
+    topo_.validate();
+    return topo_;
+}
+
+}  // namespace ask::core

@@ -5,12 +5,63 @@
 #ifndef ASK_ASK_TYPES_H
 #define ASK_ASK_TYPES_H
 
+#include <compare>
 #include <cstdint>
+#include <ostream>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 namespace ask::core {
+
+namespace detail {
+
+/**
+ * A strongly typed index: wraps a dense std::uint32_t so that host,
+ * switch, and rack indices are distinct types the compiler keeps apart —
+ * `daemon(HostId)` cannot be called with a SwitchId, and a RackId cannot
+ * silently flow into a host-indexed array.
+ *
+ * Deprecation note (back-compat shim): construction from a raw
+ * std::uint32_t is *implicit* so the pre-fabric API surface
+ * (`submit_task(1, 0, ...)`, `StreamSpec{.host = 2}`) keeps compiling
+ * unchanged. New code should spell the type (`HostId{2}`); the implicit
+ * conversion is scheduled to become explicit once in-tree callers have
+ * migrated. The reverse direction (id -> integer) is explicit via
+ * value(), so two different id types never cross-assign.
+ */
+template <class Tag>
+class StrongId
+{
+  public:
+    constexpr StrongId() = default;
+    constexpr StrongId(std::uint32_t raw) : raw_(raw) {}  // NOLINT(implicit)
+
+    /** The underlying dense index (explicit escape hatch). */
+    constexpr std::uint32_t value() const { return raw_; }
+    constexpr explicit operator std::uint32_t() const { return raw_; }
+
+    constexpr auto operator<=>(const StrongId&) const = default;
+
+    friend std::ostream&
+    operator<<(std::ostream& os, StrongId id)
+    {
+        return os << id.raw_;
+    }
+
+  private:
+    std::uint32_t raw_ = 0;
+};
+
+}  // namespace detail
+
+/** A server (daemon) index, dense in [0, num_hosts). */
+using HostId = detail::StrongId<struct HostIdTag>;
+/** A switch index: ToRs are [0, num_racks), the aggregation-tier switch
+ *  (multi-rack fabrics only) follows them. */
+using SwitchId = detail::StrongId<struct SwitchIdTag>;
+/** A rack index, dense in [0, num_racks). */
+using RackId = detail::StrongId<struct RackIdTag>;
 
 /**
  * An application key: a non-empty byte string containing no NUL bytes.
@@ -90,5 +141,12 @@ void aggregate_into(AggregateMap& acc, const KvStream& stream, AggOp op);
 void merge_into(AggregateMap& acc, const AggregateMap& from, AggOp op);
 
 }  // namespace ask::core
+
+namespace ask {
+// The id types are part of the service's top-level vocabulary.
+using core::HostId;
+using core::RackId;
+using core::SwitchId;
+}  // namespace ask
 
 #endif  // ASK_ASK_TYPES_H

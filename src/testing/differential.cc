@@ -4,6 +4,7 @@
 #include <unordered_map>
 #include <utility>
 
+#include "ask/fabric.h"
 #include "ask/seen_window.h"
 #include "common/hash.h"
 #include "common/random.h"
@@ -93,11 +94,15 @@ probe_journal(const ScenarioSpec& spec, core::AskCluster& cluster,
                  std::to_string(copy) + " aggregators per AA"});
     }
     for (const auto& t : spec.tasks) {
-        if (cluster.program().find_task(t.id) != nullptr) {
-            out.probe_failures.push_back(
-                {"controller_journal",
-                 "task " + std::to_string(t.id) +
-                     " still mapped on the data plane after completion"});
+        for (std::uint32_t s = 0; s < cluster.num_switches(); ++s) {
+            if (cluster.program(core::SwitchId{s}).find_task(t.id) !=
+                nullptr) {
+                out.probe_failures.push_back(
+                    {"controller_journal",
+                     "task " + std::to_string(t.id) +
+                         " still mapped on switch " + std::to_string(s) +
+                         "'s data plane after completion"});
+            }
         }
     }
 }
@@ -106,21 +111,26 @@ void
 probe_register_hygiene(const ScenarioSpec& spec, core::AskCluster& cluster,
                        DiffResult& out)
 {
-    for (std::uint32_t i = 0; i < spec.cluster.ask.num_aas; ++i) {
-        auto* arr = cluster.pisa_switch().pipeline().find_array(
-            "aa_" + std::to_string(i));
-        if (arr == nullptr) {
-            out.probe_failures.push_back(
-                {"register_hygiene", "aa_" + std::to_string(i) + " missing"});
-            continue;
-        }
-        for (std::size_t slot = 0; slot < arr->size(); ++slot) {
-            if (arr->cp_read(slot) != 0) {
+    for (std::uint32_t s = 0; s < cluster.num_switches(); ++s) {
+        pisa::Pipeline& pipe =
+            cluster.pisa_switch(core::SwitchId{s}).pipeline();
+        for (std::uint32_t i = 0; i < spec.cluster.ask.num_aas; ++i) {
+            std::string label =
+                "switch " + std::to_string(s) + " aa_" + std::to_string(i);
+            auto* arr = pipe.find_array("aa_" + std::to_string(i));
+            if (arr == nullptr) {
                 out.probe_failures.push_back(
-                    {"register_hygiene",
-                     "aa_" + std::to_string(i) + "[" + std::to_string(slot) +
-                         "] nonzero after final fetch"});
-                break;  // one witness per array keeps reports short
+                    {"register_hygiene", label + " missing"});
+                continue;
+            }
+            for (std::size_t slot = 0; slot < arr->size(); ++slot) {
+                if (arr->cp_read(slot) != 0) {
+                    out.probe_failures.push_back(
+                        {"register_hygiene",
+                         label + "[" + std::to_string(slot) +
+                             "] nonzero after final fetch"});
+                    break;  // one witness per array keeps reports short
+                }
             }
         }
     }
@@ -164,10 +174,15 @@ probe_recovery(const ScenarioSpec& spec, core::AskCluster& cluster,
                  " archived send(s) never forgotten");
     }
 
-    core::Wal& cwal = cluster.wal_store().controller_wal();
-    if (!cwal.verify()) {
-        fail(cwal.name() + ": log fails its digest check");
-    } else {
+    // One region journal per switch in the fabric (switch 0 keeps the
+    // classic "controller" name); each must verify and balance alone.
+    for (std::uint32_t s = 0; s < cluster.num_switches(); ++s) {
+        core::Wal& cwal = cluster.wal_store().wal(
+            core::controller_wal_name(core::SwitchId{s}));
+        if (!cwal.verify()) {
+            fail(cwal.name() + ": log fails its digest check");
+            continue;
+        }
         std::uint64_t allocs = 0;
         std::uint64_t releases = 0;
         for (const core::WalRecord& r : cwal.replay()) {
@@ -177,8 +192,9 @@ probe_recovery(const ScenarioSpec& spec, core::AskCluster& cluster,
                 ++releases;
         }
         if (allocs != releases)
-            fail("controller journal unbalanced: " + std::to_string(allocs) +
-                 " alloc(s) vs " + std::to_string(releases) + " release(s)");
+            fail(cwal.name() + ": journal unbalanced: " +
+                 std::to_string(allocs) + " alloc(s) vs " +
+                 std::to_string(releases) + " release(s)");
     }
 
     core::ChaosStats cs = cluster.chaos_stats();
@@ -207,31 +223,37 @@ probe_recovery(const ScenarioSpec& spec, core::AskCluster& cluster,
 void
 probe_access_plan(core::AskCluster& cluster, DiffResult& out)
 {
-    const pisa::verify::AccessOracle* oracle =
-        cluster.program().access_oracle();
-    if (oracle == nullptr) {
-        out.probe_failures.push_back(
-            {"access_plan", "runtime cross-check was not armed"});
-        return;
-    }
-    pisa::Pipeline& pipe = cluster.pisa_switch().pipeline();
-    std::uint64_t dynamic = 0;
-    for (std::size_t s = 0; s < pipe.num_stages(); ++s)
-        for (std::size_t i = 0; i < pipe.stage(s)->array_count(); ++i)
-            dynamic += pipe.stage(s)->array(i)->access_count();
-    if (oracle->accesses() != dynamic) {
-        out.probe_failures.push_back(
-            {"access_plan",
-             "oracle checked " + std::to_string(oracle->accesses()) +
-                 " accesses but the arrays record " +
-                 std::to_string(dynamic)});
-    }
-    if (oracle->passes() != pipe.pass_epoch()) {
-        out.probe_failures.push_back(
-            {"access_plan",
-             "oracle saw " + std::to_string(oracle->passes()) +
-                 " passes but the pipeline ran " +
-                 std::to_string(pipe.pass_epoch())});
+    for (std::uint32_t s = 0; s < cluster.num_switches(); ++s) {
+        std::string label = "switch " + std::to_string(s) + ": ";
+        const pisa::verify::AccessOracle* oracle =
+            cluster.program(core::SwitchId{s}).access_oracle();
+        if (oracle == nullptr) {
+            out.probe_failures.push_back(
+                {"access_plan",
+                 label + "runtime cross-check was not armed"});
+            continue;
+        }
+        pisa::Pipeline& pipe =
+            cluster.pisa_switch(core::SwitchId{s}).pipeline();
+        std::uint64_t dynamic = 0;
+        for (std::size_t st = 0; st < pipe.num_stages(); ++st)
+            for (std::size_t i = 0; i < pipe.stage(st)->array_count(); ++i)
+                dynamic += pipe.stage(st)->array(i)->access_count();
+        if (oracle->accesses() != dynamic) {
+            out.probe_failures.push_back(
+                {"access_plan",
+                 label + "oracle checked " +
+                     std::to_string(oracle->accesses()) +
+                     " accesses but the arrays record " +
+                     std::to_string(dynamic)});
+        }
+        if (oracle->passes() != pipe.pass_epoch()) {
+            out.probe_failures.push_back(
+                {"access_plan",
+                 label + "oracle saw " + std::to_string(oracle->passes()) +
+                     " passes but the pipeline ran " +
+                     std::to_string(pipe.pass_epoch())});
+        }
     }
 }
 
@@ -295,9 +317,11 @@ run_differential(const ScenarioSpec& spec)
 
     core::AskCluster cluster(spec.cluster);
     // Differential campaigns always run the access-plan cross-check:
-    // every register access of the run is replayed against the static
-    // proof (ASK_VERIFY_ACCESSES semantics, unconditionally).
-    cluster.program().enable_access_verification();
+    // every register access of the run — on every switch of the fabric
+    // — is replayed against that switch's static proof
+    // (ASK_VERIFY_ACCESSES semantics, unconditionally).
+    for (std::uint32_t s = 0; s < cluster.num_switches(); ++s)
+        cluster.program(core::SwitchId{s}).enable_access_verification();
     if (!spec.chaos.empty())
         cluster.arm_chaos(spec.chaos);
 

@@ -199,6 +199,11 @@ ScenarioSpec::describe() const
     // the exact value (Json integers are int64).
     d.set("seed", std::to_string(seed));
     d.set("hosts", cluster.num_hosts);
+    d.set("racks", cluster.topology.has_value() ? cluster.topology->num_racks()
+                                                : 1u);
+    d.set("switches", cluster.topology.has_value()
+                          ? cluster.topology->num_switches()
+                          : 1u);
     d.set("num_aas", cluster.ask.num_aas);
     d.set("aggregators_per_aa", cluster.ask.aggregators_per_aa);
     d.set("window", cluster.ask.window);
@@ -221,7 +226,7 @@ ScenarioSpec::describe() const
         obs::Json streams_json = obs::Json::array();
         for (const auto& s : t.streams) {
             obs::Json sj = obs::Json::object();
-            sj.set("host", s.host);
+            sj.set("host", s.host.value());
             sj.set("tuples", static_cast<std::uint64_t>(s.stream.size()));
             streams_json.push_back(std::move(sj));
         }
@@ -325,6 +330,32 @@ generate_scenario(std::uint64_t seed, const ScenarioTuning& tuning)
     Rng crash_rng(mix64(seed ^ 0xc7a54c4a5eULL));
     sample_crashes(crash_rng, cc, spec.total_tuples(), tuning.crash_heavy,
                    spec.chaos);
+
+    // ---- topology --------------------------------------------------------
+    // Multi-rack layouts ride a dedicated chain as well: every draw
+    // above (deployment, streams, chaos) is byte-identical to the
+    // pre-fabric generator, and the topology choice only re-shapes the
+    // wiring into racks plus an aggregation tier. About half the
+    // scenarios exercise the hierarchical merge path — including under
+    // the ToR/tier reboot and crash chaos sampled above (reboot
+    // subjects map onto fabric switches modulo num_switches).
+    Rng topo_rng(mix64(seed ^ 0x7090a11fabULL));
+    if (cc.num_hosts >= 2 && topo_rng.chance(0.5)) {
+        auto racks = static_cast<std::uint32_t>(
+            2 + topo_rng.next_below(std::min(cc.num_hosts, 3u) - 1));
+        std::vector<std::uint32_t> per_rack(racks, 0);
+        for (std::uint32_t h = 0; h < cc.num_hosts; ++h)
+            ++per_rack[h % racks];
+        core::TopologyBuilder builder;
+        for (std::uint32_t r = 0; r < racks; ++r)
+            builder.add_rack(per_rack[r]);
+        if (topo_rng.chance(0.3)) {
+            // Occasionally squeeze the tier uplinks so the cross-rack
+            // path, not the access links, is the bottleneck.
+            builder.tier_link(/*gbps=*/40.0, /*propagation_ns=*/1500);
+        }
+        cc.topology = builder.build();
+    }
 
     return spec;
 }

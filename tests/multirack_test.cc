@@ -1,224 +1,314 @@
 /**
- * Multi-rack deployment tests (paper §7): ASK runs on each rack's ToR
- * switch and serves only that rack's hosts; cross-rack traffic bypasses
- * switch aggregation and is merged at the receiver host. Exactly-once
- * correctness must hold for intra-rack, cross-rack, and mixed tasks.
+ * Multi-rack fabric tests: each rack's ToR runs an AskSwitchProgram
+ * provisioned for its rack's channel shard, and an aggregation-tier
+ * switch merges the ToR partial aggregates before delivery (tree
+ * aggregation). Exactly-once correctness must hold for intra-rack,
+ * cross-rack, and mixed tasks — including through a mid-task ToR
+ * reboot — and per-ToR reliability state must stay bounded by the rack
+ * size, not the cluster size.
  *
- * Topology: 2 racks x 2 hosts, one ASK ToR per rack, a forwarding core
- * switch between the ToRs.
+ * Tree roles under test (see AskSwitchProgram::set_tree_leaf): a leaf
+ * ToR never consumes a cross-rack packet, even when it absorbed every
+ * tuple — it forwards an empty-bitmap residual so the tier observes
+ * every sequence number (the seen window is self-cleaning and assumes a
+ * gap-free stream). Only the tier — or a ToR whose receiver is directly
+ * attached — impersonates the receiver and ACKs.
  */
 #include <gtest/gtest.h>
 
-#include <memory>
+#include <string>
 #include <vector>
 
-#include "ask/controller.h"
-#include "ask/daemon.h"
-#include "ask/switch_program.h"
-#include "baselines/noaggr.h"
+#include "ask/cluster.h"
+#include "ask/topology.h"
+#include "common/hash.h"
 #include "common/random.h"
-#include "common/string_util.h"
-#include "net/network.h"
-#include "pisa/pisa_switch.h"
-#include "sim/simulator.h"
-#include "workload/generators.h"
+#include "sim/chaos.h"
 
 namespace ask::core {
 namespace {
 
-class MultiRackFixture : public ::testing::Test
-{
-  protected:
-    static constexpr std::uint32_t kRacks = 2;
-    static constexpr std::uint32_t kHostsPerRack = 2;
-
-    MultiRackFixture() : network_(simulator_)
-    {
-        config_.num_aas = 8;
-        config_.aggregators_per_aa = 256;
-        config_.medium_groups = 2;
-        config_.window = 16;
-        config_.channels_per_host = 2;
-        config_.max_hosts = kRacks * kHostsPerRack;
-        config_.swap_threshold_packets = 0;
-
-        // Core switch (plain forwarding).
-        core_ = std::make_unique<pisa::PisaSwitch>(network_, 4,
-                                                   pisa::kDefaultStageSramBytes);
-        network_.attach(core_.get());
-        core_->install(&forward_);
-
-        net::CostModel cost{net::CostModelSpec{}};
-        for (std::uint32_t r = 0; r < kRacks; ++r) {
-            // The rack's ToR with its own ASK program and controller.
-            tors_.push_back(std::make_unique<pisa::PisaSwitch>(network_));
-            network_.attach(tors_.back().get());
-            programs_.push_back(
-                std::make_unique<AskSwitchProgram>(config_, *tors_.back()));
-            controllers_.push_back(
-                std::make_unique<AskSwitchController>(*programs_.back()));
-            mgmts_.push_back(std::make_unique<MgmtPlane>(
-                simulator_, 20 * units::kMicrosecond, MgmtRetryPolicy{}));
-            network_.connect(tors_.back()->node_id(), core_->node_id(), 400.0,
-                             500);
-
-            // §7: the ToR serves only its local channels.
-            ChannelId lo = static_cast<ChannelId>(
-                r * kHostsPerRack * config_.channels_per_host);
-            ChannelId hi = static_cast<ChannelId>(
-                (r + 1) * kHostsPerRack * config_.channels_per_host);
-            programs_.back()->set_local_channels(lo, hi);
-
-            for (std::uint32_t h = 0; h < kHostsPerRack; ++h) {
-                std::uint32_t host_index = r * kHostsPerRack + h;
-                daemons_.push_back(std::make_unique<AskDaemon>(
-                    config_, cost, network_, host_index,
-                    tors_.back()->node_id(), *controllers_.back(),
-                    *mgmts_.back()));
-                network_.attach(daemons_.back().get());
-                network_.connect(daemons_.back()->node_id(),
-                                 tors_.back()->node_id(), 100.0, 500);
-            }
-        }
-
-        // FIBs: each ToR sends remote hosts via the core; the core sends
-        // each host via its rack's ToR.
-        for (std::uint32_t r = 0; r < kRacks; ++r) {
-            for (std::uint32_t hi = 0; hi < daemons_.size(); ++hi) {
-                std::uint32_t host_rack = hi / kHostsPerRack;
-                net::NodeId host_node = daemons_[hi]->node_id();
-                core_->set_route(host_node, tors_[host_rack]->node_id());
-                if (host_rack != r)
-                    tors_[r]->set_route(host_node, core_->node_id());
-            }
-        }
-    }
-
-    /** Run one task; returns the result and checks exactness. */
-    AggregateMap
-    run_task(TaskId task, std::uint32_t receiver,
-             const std::vector<std::pair<std::uint32_t, KvStream>>& streams)
-    {
-        AggregateMap truth;
-        for (const auto& [host, stream] : streams)
-            aggregate_into(truth, stream, AggOp::kAdd);
-
-        AggregateMap result;
-        bool done = false;
-        AskDaemon& rx = *daemons_[receiver];
-        rx.start_receive(
-            task, static_cast<std::uint32_t>(streams.size()), {},
-            [&](AggregateMap m, TaskReport) {
-                result = std::move(m);
-                done = true;
-            },
-            [&, task] {
-                for (const auto& [host, stream] : streams) {
-                    daemons_[host]->submit_send(task, rx.node_id(), stream);
-                }
-            });
-        simulator_.run();
-        EXPECT_TRUE(done);
-        EXPECT_EQ(result, truth);
-        return result;
-    }
-
-    sim::Simulator simulator_;
-    net::Network network_;
-    AskConfig config_;
-    baselines::ForwardProgram forward_;
-    std::unique_ptr<pisa::PisaSwitch> core_;
-    std::vector<std::unique_ptr<pisa::PisaSwitch>> tors_;
-    std::vector<std::unique_ptr<AskSwitchProgram>> programs_;
-    std::vector<std::unique_ptr<AskSwitchController>> controllers_;
-    std::vector<std::unique_ptr<MgmtPlane>> mgmts_;
-    std::vector<std::unique_ptr<AskDaemon>> daemons_;
-};
+using units::kMicrosecond;
 
 KvStream
-rack_stream(std::uint64_t seed, std::size_t n)
+mixed_stream(Rng& rng, std::size_t n, std::size_t distinct)
 {
-    Rng rng = seeded_rng("multirack_test", seed);
     KvStream s;
-    for (std::size_t i = 0; i < n; ++i)
-        s.push_back({u64_key(rng.next_below(64)), 1});
+    s.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        std::uint64_t id = rng.next_below(distinct);
+        std::size_t len = 1 + id % 12;  // short/medium/long mix
+        std::string key;
+        std::uint64_t x = mix64(id + 1);
+        for (std::size_t j = 0; j < len; ++j)
+            key.push_back(static_cast<char>('a' + (x >> (5 * (j % 12))) % 26));
+        s.push_back({key, static_cast<Value>(1 + id % 7)});
+    }
     return s;
 }
 
-TEST_F(MultiRackFixture, IntraRackTaskAggregatesOnItsToR)
+AggregateMap
+truth_of(const std::vector<StreamSpec>& streams, AggOp op)
 {
-    run_task(1, /*receiver=*/0, {{1, rack_stream(1, 400)}});
-    // The rack-0 ToR did the aggregation; rack 1 never saw the task.
-    EXPECT_GT(programs_[0]->stats().tuples_aggregated, 0u);
-    EXPECT_EQ(programs_[1]->stats().data_packets, 0u);
+    AggregateMap t;
+    for (const auto& s : streams)
+        aggregate_into(t, s.stream, op);
+    return t;
 }
 
-TEST_F(MultiRackFixture, CrossRackTaskBypassesSwitchAggregation)
+/** 2 racks x 2 hosts: hosts 0,1 behind ToR 0; hosts 2,3 behind ToR 1;
+ *  the tier switch is SwitchId{2}. */
+ClusterConfig
+fabric_config(std::uint64_t seed)
 {
-    // Sender in rack 1, receiver in rack 0: the paper's §7 rule says
-    // cross-rack traffic is aggregated at the receiver host only.
-    run_task(2, /*receiver=*/0, {{2, rack_stream(2, 400)}});
-    EXPECT_EQ(programs_[0]->stats().tuples_aggregated, 0u);
-    EXPECT_EQ(programs_[1]->stats().tuples_aggregated, 0u);
-    // ...and reaches the receiver host for local aggregation.
-    EXPECT_GT(daemons_[0]->stats().tuples_aggregated_locally, 0u);
+    ClusterConfig cc;
+    cc.topology = TopologyBuilder().racks(2, 2).build();
+    cc.ask.max_hosts = 4;
+    cc.ask.num_aas = 8;
+    cc.ask.aggregators_per_aa = 128;
+    cc.ask.medium_groups = 2;
+    cc.ask.window = 16;
+    cc.ask.channels_per_host = 2;
+    cc.ask.swap_threshold_packets = 0;
+    cc.seed = seed;
+    return cc;
 }
 
-TEST_F(MultiRackFixture, MixedSendersStayExact)
+KvStream
+rack_stream(std::uint64_t seed, std::size_t n, std::size_t distinct = 48)
 {
-    // One local and one remote sender: the local stream aggregates on
-    // the ToR, the remote stream at the host, and the final merge must
-    // still equal the ground truth (checked inside run_task).
-    run_task(3, /*receiver=*/1,
-             {{0, rack_stream(3, 500)}, {3, rack_stream(4, 500)}});
-    EXPECT_GT(programs_[0]->stats().tuples_aggregated, 0u);
-    EXPECT_GT(daemons_[1]->stats().tuples_aggregated_locally, 0u);
+    Rng rng = seeded_rng("multirack_test", seed);
+    return mixed_stream(rng, n, distinct);
 }
 
-TEST_F(MultiRackFixture, ConcurrentTasksInBothRacks)
+constexpr SwitchId kTor0{0};
+constexpr SwitchId kTor1{1};
+constexpr SwitchId kTier{2};
+
+TEST(MultiRack, TopologyAccessorsDescribeTheFabric)
 {
-    AggregateMap truth_a, truth_b;
-    KvStream sa = rack_stream(5, 400), sb = rack_stream(6, 400);
-    aggregate_into(truth_a, sa, AggOp::kAdd);
-    aggregate_into(truth_b, sb, AggOp::kAdd);
+    AskCluster cluster(fabric_config(1));
+    EXPECT_EQ(cluster.num_racks(), 2u);
+    EXPECT_EQ(cluster.num_switches(), 3u);
+    EXPECT_EQ(cluster.num_hosts(), 4u);
+    EXPECT_EQ(cluster.rack_of(HostId{1}), RackId{0});
+    EXPECT_EQ(cluster.rack_of(HostId{2}), RackId{1});
+    EXPECT_EQ(cluster.topology().tier_switch(), kTier);
+
+    // ToRs provision their rack's shard; the tier provisions everything.
+    std::uint32_t cph = cluster.config().ask.channels_per_host;
+    EXPECT_EQ(cluster.program(kTor0).provisioned_lo(), 0u);
+    EXPECT_EQ(cluster.program(kTor0).provisioned_hi(), 2 * cph);
+    EXPECT_EQ(cluster.program(kTor1).provisioned_lo(), 2 * cph);
+    EXPECT_EQ(cluster.program(kTor1).provisioned_hi(), 4 * cph);
+    EXPECT_EQ(cluster.program(kTier).provisioned_lo(), 0u);
+    EXPECT_EQ(cluster.program(kTier).provisioned_hi(), 4 * cph);
+    EXPECT_TRUE(cluster.program(kTor0).tree_leaf());
+    EXPECT_TRUE(cluster.program(kTor1).tree_leaf());
+    EXPECT_FALSE(cluster.program(kTier).tree_leaf());
+}
+
+TEST(MultiRack, IntraRackTaskAggregatesAndAcksOnItsToR)
+{
+    AskCluster cluster(fabric_config(2));
+    std::vector<StreamSpec> streams = {{HostId{1}, rack_stream(2, 600)}};
+    AggregateMap truth = truth_of(streams, AggOp::kAdd);
+
+    TaskResult r = cluster.run_task(1, HostId{0}, streams);
+    ASSERT_TRUE(r.ok()) << r.report.detail;
+    EXPECT_EQ(r.result, truth);
+
+    // The receiver is directly attached, so the leaf may consume: the
+    // rack-0 ToR aggregated and ACKed locally; the rest of the fabric
+    // never saw a DATA packet.
+    EXPECT_GT(cluster.switch_stats(kTor0).tuples_aggregated, 0u);
+    EXPECT_GT(cluster.switch_stats(kTor0).packets_acked, 0u);
+    EXPECT_EQ(cluster.switch_stats(kTor1).data_packets, 0u);
+    EXPECT_EQ(cluster.switch_stats(kTier).data_packets, 0u);
+}
+
+TEST(MultiRack, CrossRackResidualsDieAtTheTier)
+{
+    AskCluster cluster(fabric_config(3));
+    // Few distinct keys and a roomy region: the sender's ToR absorbs
+    // whole packets, which must still reach the tier as residuals.
+    std::vector<StreamSpec> streams = {{HostId{2}, rack_stream(3, 600, 24)}};
+    AggregateMap truth = truth_of(streams, AggOp::kAdd);
+
+    TaskResult r = cluster.run_task(2, HostId{0}, streams);
+    ASSERT_TRUE(r.ok()) << r.report.detail;
+    EXPECT_EQ(r.result, truth);
+
+    // The sender's ToR aggregates but never impersonates the receiver.
+    EXPECT_GT(cluster.switch_stats(kTor1).tuples_aggregated, 0u);
+    EXPECT_EQ(cluster.switch_stats(kTor1).packets_acked, 0u);
+    EXPECT_GT(cluster.switch_stats(kTor1).residual_forwarded, 0u);
+    // The tier observed every packet and ACKed the fully absorbed ones.
+    EXPECT_GT(cluster.switch_stats(kTier).packets_acked, 0u);
+    // The receiver's ToR does not provision the sender's channels: it
+    // bypass-forwards without recording any reliability state.
+    EXPECT_EQ(cluster.switch_stats(kTor0).data_packets, 0u);
+    EXPECT_EQ(cluster.switch_stats(kTor0).duplicates, 0u);
+}
+
+TEST(MultiRack, TaskReportCarriesTheShardMap)
+{
+    AskCluster cluster(fabric_config(4));
+    std::vector<StreamSpec> streams = {{HostId{1}, rack_stream(4, 300)},
+                                       {HostId{3}, rack_stream(5, 300)}};
+
+    TaskResult r = cluster.run_task(3, HostId{0}, streams);
+    ASSERT_TRUE(r.ok()) << r.report.detail;
+
+    ASSERT_EQ(r.report.shards.size(), 3u);
+    std::uint32_t cph = cluster.config().ask.channels_per_host;
+    std::uint64_t fetched = 0;
+    for (std::uint32_t s = 0; s < 3; ++s) {
+        const SwitchShardInfo& shard = r.report.shards[s];
+        EXPECT_EQ(shard.switch_id, SwitchId{s});
+        EXPECT_EQ(shard.is_tier, s == 2);
+        fetched += shard.tuples_fetched;
+    }
+    EXPECT_EQ(r.report.shards[0].rack, RackId{0});
+    EXPECT_EQ(r.report.shards[1].rack, RackId{1});
+    EXPECT_EQ(r.report.shards[1].channel_lo, 2 * cph);
+    EXPECT_EQ(r.report.shards[1].channel_hi, 4 * cph);
+    EXPECT_EQ(r.report.shards[2].channel_hi, 4 * cph);
+    // The shard map's fetch tallies are exactly the report's total.
+    EXPECT_EQ(fetched, r.report.tuples_fetched_from_switch);
+}
+
+TEST(MultiRack, CollidingKeysMergeAtTheTier)
+{
+    AskCluster cluster(fabric_config(5));
+    // A tiny region forces collisions at the ToRs; the collided tuples
+    // travel upward and the tier performs a genuine second-level merge.
+    std::vector<StreamSpec> streams = {{HostId{1}, rack_stream(6, 500)},
+                                       {HostId{2}, rack_stream(7, 500)}};
+    AggregateMap truth = truth_of(streams, AggOp::kAdd);
+
+    TaskOptions opts;
+    opts.region_len = 2;
+    TaskResult r = cluster.run_task(4, HostId{0}, streams, opts);
+    ASSERT_TRUE(r.ok()) << r.report.detail;
+    EXPECT_EQ(r.result, truth);
+    EXPECT_GT(cluster.switch_stats(kTor1).tuples_collided, 0u);
+    EXPECT_GT(cluster.switch_stats(kTier).tuples_aggregated, 0u);
+}
+
+TEST(MultiRack, ConcurrentTasksInBothRacksStayExact)
+{
+    AskCluster cluster(fabric_config(6));
+    std::vector<StreamSpec> sa = {{HostId{1}, rack_stream(8, 400)},
+                                  {HostId{2}, rack_stream(9, 400)}};
+    std::vector<StreamSpec> sb = {{HostId{3}, rack_stream(10, 400)}};
+    AggregateMap ta = truth_of(sa, AggOp::kAdd);
+    AggregateMap tb = truth_of(sb, AggOp::kAdd);
+
+    // Explicit regions: a defaulted task would claim the whole pool
+    // (copy_size = 64 here) and starve the one allocated after it.
+    TaskOptions half;
+    half.region_len = 24;
 
     AggregateMap ra, rb;
     int done = 0;
-    daemons_[0]->start_receive(10, 1, {},
-                               [&](AggregateMap m, TaskReport) {
-                                   ra = std::move(m);
-                                   ++done;
-                               },
-                               [&] {
-                                   daemons_[1]->submit_send(
-                                       10, daemons_[0]->node_id(), sa);
-                               });
-    daemons_[2]->start_receive(11, 1, {},
-                               [&](AggregateMap m, TaskReport) {
-                                   rb = std::move(m);
-                                   ++done;
-                               },
-                               [&] {
-                                   daemons_[3]->submit_send(
-                                       11, daemons_[2]->node_id(), sb);
-                               });
-    simulator_.run();
+    cluster.submit_task(10, HostId{0}, sa, half,
+                        [&](AggregateMap m, TaskReport) {
+                            ra = std::move(m);
+                            ++done;
+                        });
+    cluster.submit_task(11, HostId{2}, sb, half,
+                        [&](AggregateMap m, TaskReport) {
+                            rb = std::move(m);
+                            ++done;
+                        });
+    cluster.run();
     EXPECT_EQ(done, 2);
-    EXPECT_EQ(ra, truth_a);
-    EXPECT_EQ(rb, truth_b);
-    // Each rack's ToR handled only its own task.
-    EXPECT_GT(programs_[0]->stats().tuples_aggregated, 0u);
-    EXPECT_GT(programs_[1]->stats().tuples_aggregated, 0u);
+    EXPECT_EQ(ra, ta);
+    EXPECT_EQ(rb, tb);
 }
 
-TEST_F(MultiRackFixture, RemoteTrafficLeavesNoSwitchState)
+TEST(MultiRack, ToRRebootMidTaskStaysExact)
 {
-    // Cross-rack DATA must not consume the remote ToR's seen/window
-    // state (the §7 motivation: per-switch state bounded by rack size).
-    run_task(4, /*receiver=*/0, {{2, rack_stream(7, 300)}});
-    // The receiver-rack ToR forwarded but recorded nothing.
-    EXPECT_EQ(programs_[0]->stats().data_packets, 0u);
-    EXPECT_EQ(programs_[0]->stats().duplicates, 0u);
+    ClusterConfig cc = fabric_config(7);
+    std::vector<StreamSpec> streams = {{HostId{2}, rack_stream(11, 1200)},
+                                       {HostId{3}, rack_stream(12, 1200)}};
+    AggregateMap truth = truth_of(streams, AggOp::kAdd);
+
+    // Dry-run on an identical fault-free fabric to aim the reboot at
+    // the middle of the task.
+    sim::SimTime mid;
+    {
+        AskCluster dry(cc);
+        TaskResult r = dry.run_task(1, HostId{0}, streams);
+        ASSERT_TRUE(r.ok()) << r.report.detail;
+        mid = r.report.finish_time / 2;
+    }
+
+    AskCluster cluster(cc);
+    sim::ChaosPlan plan;
+    sim::ChaosEvent reboot;
+    reboot.kind = sim::ChaosKind::kSwitchReboot;
+    reboot.at = mid;
+    reboot.duration = 200 * kMicrosecond;
+    reboot.subject = 1;  // the senders' ToR (subject % num_switches)
+    plan.add(reboot);
+    cluster.arm_chaos(plan);
+
+    TaskResult r = cluster.run_task(1, HostId{0}, streams);
+    ASSERT_TRUE(r.ok()) << r.report.detail;
+    EXPECT_EQ(r.result, truth);
+    EXPECT_EQ(cluster.chaos_stats().switch_reboots, 1u);
+}
+
+TEST(MultiRack, TierRebootMidTaskStaysExact)
+{
+    ClusterConfig cc = fabric_config(8);
+    std::vector<StreamSpec> streams = {{HostId{1}, rack_stream(13, 1000)},
+                                       {HostId{2}, rack_stream(14, 1000)}};
+    AggregateMap truth = truth_of(streams, AggOp::kAdd);
+
+    sim::SimTime mid;
+    {
+        AskCluster dry(cc);
+        TaskResult r = dry.run_task(1, HostId{3}, streams);
+        ASSERT_TRUE(r.ok()) << r.report.detail;
+        mid = r.report.finish_time / 2;
+    }
+
+    AskCluster cluster(cc);
+    sim::ChaosPlan plan;
+    sim::ChaosEvent reboot;
+    reboot.kind = sim::ChaosKind::kSwitchReboot;
+    reboot.at = mid;
+    reboot.duration = 200 * kMicrosecond;
+    reboot.subject = 2;  // the aggregation tier
+    plan.add(reboot);
+    cluster.arm_chaos(plan);
+
+    TaskResult r = cluster.run_task(1, HostId{3}, streams);
+    ASSERT_TRUE(r.ok()) << r.report.detail;
+    EXPECT_EQ(r.result, truth);
+    EXPECT_EQ(cluster.chaos_stats().switch_reboots, 1u);
+}
+
+TEST(MultiRack, PerSwitchStateBoundedByRackSize)
+{
+    // The same 4 hosts as one rack vs two: each ToR of the fabric holds
+    // exactly half the channel-indexed reliability state of the
+    // monolithic switch (the tier, which provisions everything, is the
+    // part that does not shrink — the ToRs are what rack growth adds).
+    ClusterConfig flat = fabric_config(9);
+    flat.topology = TopologyBuilder().add_rack(4).build();
+    ClusterConfig split = fabric_config(9);
+
+    AskCluster one(flat);
+    AskCluster two(split);
+    std::uint64_t whole = one.program(SwitchId{0}).reliability_state_bits();
+    std::uint64_t tor = two.program(kTor0).reliability_state_bits();
+    EXPECT_EQ(tor * 2, whole);
+    EXPECT_EQ(two.program(kTor1).reliability_state_bits(), tor);
+    EXPECT_EQ(two.program(kTier).reliability_state_bits(), whole);
 }
 
 }  // namespace

@@ -1,0 +1,95 @@
+/**
+ * Topology and strong-id tests: the TopologyBuilder's validation, the
+ * host/rack index arithmetic the fabric wiring depends on, and the
+ * compile-time separation of HostId / SwitchId / RackId.
+ */
+#include <gtest/gtest.h>
+
+#include <type_traits>
+
+#include "ask/topology.h"
+#include "ask/types.h"
+#include "common/logging.h"
+
+namespace ask::core {
+namespace {
+
+// The whole point of the strong ids: they never cross-convert. The raw
+// integer still converts in (back-compat shim), but one id type cannot
+// flow into another.
+static_assert(std::is_convertible_v<std::uint32_t, HostId>);
+static_assert(!std::is_convertible_v<HostId, SwitchId>);
+static_assert(!std::is_convertible_v<SwitchId, HostId>);
+static_assert(!std::is_convertible_v<RackId, HostId>);
+static_assert(!std::is_convertible_v<HostId, RackId>);
+static_assert(!std::is_convertible_v<SwitchId, RackId>);
+// The escape hatch back to an integer is explicit only.
+static_assert(!std::is_convertible_v<HostId, std::uint32_t>);
+static_assert(std::is_constructible_v<std::uint32_t, HostId>);
+
+TEST(StrongId, ValueAndComparisons)
+{
+    HostId a{3};
+    HostId b = 3;  // implicit raw construction (deprecated shim)
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(a.value(), 3u);
+    EXPECT_LT(HostId{2}, a);
+    EXPECT_NE(HostId{0}, a);
+}
+
+TEST(Topology, SingleRackHasNoTier)
+{
+    Topology t = TopologyBuilder().add_rack(4).build();
+    EXPECT_EQ(t.num_racks(), 1u);
+    EXPECT_EQ(t.num_hosts(), 4u);
+    EXPECT_FALSE(t.has_tier());
+    EXPECT_EQ(t.num_switches(), 1u);
+    EXPECT_EQ(t.rack_of_host(HostId{3}), RackId{0});
+    EXPECT_EQ(t.host_lo(RackId{0}), 0u);
+}
+
+TEST(Topology, MultiRackIndexing)
+{
+    // Uneven racks: 2 + 3 + 1 hosts.
+    Topology t = TopologyBuilder().add_rack(2).add_rack(3).add_rack(1).build();
+    EXPECT_EQ(t.num_racks(), 3u);
+    EXPECT_EQ(t.num_hosts(), 6u);
+    EXPECT_TRUE(t.has_tier());
+    EXPECT_EQ(t.num_switches(), 4u);
+    EXPECT_EQ(t.tier_switch(), SwitchId{3});
+
+    EXPECT_EQ(t.rack_of_host(HostId{0}), RackId{0});
+    EXPECT_EQ(t.rack_of_host(HostId{1}), RackId{0});
+    EXPECT_EQ(t.rack_of_host(HostId{2}), RackId{1});
+    EXPECT_EQ(t.rack_of_host(HostId{4}), RackId{1});
+    EXPECT_EQ(t.rack_of_host(HostId{5}), RackId{2});
+
+    EXPECT_EQ(t.host_lo(RackId{0}), 0u);
+    EXPECT_EQ(t.host_lo(RackId{1}), 2u);
+    EXPECT_EQ(t.host_lo(RackId{2}), 5u);
+    EXPECT_EQ(t.hosts_in(RackId{1}), 3u);
+}
+
+TEST(Topology, RacksShorthandAndTierKnobs)
+{
+    Topology t = TopologyBuilder()
+                     .racks(4, 2)
+                     .tier_link(/*gbps=*/200.0, /*propagation_ns=*/1500)
+                     .build();
+    EXPECT_EQ(t.num_racks(), 4u);
+    EXPECT_EQ(t.num_hosts(), 8u);
+    EXPECT_DOUBLE_EQ(t.tier_link_gbps, 200.0);
+    EXPECT_EQ(t.tier_link_propagation_ns, 1500);
+}
+
+TEST(Topology, BuilderRejectsInconsistentShapes)
+{
+    EXPECT_THROW(TopologyBuilder().build(), ConfigError);  // no racks
+    EXPECT_THROW(TopologyBuilder().add_rack(0).build(),
+                 ConfigError);  // empty rack
+    EXPECT_THROW(TopologyBuilder().add_rack(2).tier_link(0.0, 100).build(),
+                 ConfigError);  // dead uplink
+}
+
+}  // namespace
+}  // namespace ask::core

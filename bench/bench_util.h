@@ -328,13 +328,16 @@ run_streaming_tasks(core::AskCluster& cluster,
                 if (--tasks_left == 0)
                     result.all_done = cluster.simulator().now();
             },
-            [&cluster, &result, &streams_left, receiver_node,
-             id = t.id, streams = std::move(t.streams)]() mutable {
+            [&cluster, &result, &streams_left, receiver_node, id = t.id,
+             op = t.options.op, streams = std::move(t.streams)]() mutable {
                 cluster.simulator().schedule_after(
                     cluster.config().notify_latency_ns,
-                    [&cluster, &result, &streams_left, receiver_node, id,
+                    [&cluster, &result, &streams_left, receiver_node, id, op,
                      streams = std::move(streams)]() mutable {
                         for (auto& s : streams) {
+                            // Senders must bind the same op the receiver
+                            // resolved, or the switch drops their frames
+                            // as op mismatches.
                             cluster.daemon(s.host).submit_send(
                                 id, receiver_node, std::move(s.stream),
                                 [&result, &streams_left, &cluster] {
@@ -342,7 +345,8 @@ run_streaming_tasks(core::AskCluster& cluster,
                                         result.senders_done =
                                             cluster.simulator().now();
                                     }
-                                });
+                                },
+                                op);
                         }
                     });
             });

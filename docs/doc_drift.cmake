@@ -1,26 +1,27 @@
 # Guards the prose against drifting from the code it documents:
 #
-#   1. every --flag a doc line attributes to ask_fuzz, ask_verify, or
-#      fig13b_scalability must appear in that binary's --help output (a
-#      renamed or removed CLI flag fails the docs, not a user following
-#      them);
+#   1. every --flag a doc line attributes to ask_fuzz, ask_verify,
+#      fig12_training, or fig13b_scalability must appear in that
+#      binary's --help output (a renamed or removed CLI flag fails the
+#      docs, not a user following them);
 #   2. every intra-repo markdown link target must exist on disk.
 #
 # Invoked by the `doc_drift` ctest target:
 #
 #   cmake -DREPO_DIR=<src> -DFUZZ_BIN=<build>/testing/ask_fuzz
 #         -DVERIFY_BIN=<build>/testing/ask_verify
+#         -DFIG12_BIN=<build>/bench/fig12_training
 #         -DFIG13B_BIN=<build>/bench/fig13b_scalability
 #         -P docs/doc_drift.cmake
 
 cmake_policy(SET CMP0057 NEW)  # if(... IN_LIST ...)
 cmake_policy(SET CMP0012 NEW)  # while(TRUE) is the constant, not a var
 
-foreach(var REPO_DIR FUZZ_BIN VERIFY_BIN FIG13B_BIN)
+foreach(var REPO_DIR FUZZ_BIN VERIFY_BIN FIG12_BIN FIG13B_BIN)
     if(NOT DEFINED ${var})
         message(FATAL_ERROR
             "usage: cmake -DREPO_DIR=... -DFUZZ_BIN=... -DVERIFY_BIN=... "
-            "-DFIG13B_BIN=... -P doc_drift.cmake")
+            "-DFIG12_BIN=... -DFIG13B_BIN=... -P doc_drift.cmake")
     endif()
 endforeach()
 
@@ -40,10 +41,12 @@ endfunction()
 
 help_flags("${FUZZ_BIN}" fuzz_flags)
 help_flags("${VERIFY_BIN}" verify_flags)
+help_flags("${FIG12_BIN}" fig12_flags)
 help_flags("${FIG13B_BIN}" fig13b_flags)
 # --help itself is always accepted (it is how the ground truth is read).
 list(APPEND fuzz_flags "--help")
 list(APPEND verify_flags "--help")
+list(APPEND fig12_flags "--help")
 list(APPEND fig13b_flags "--help")
 
 # ---- the docs under check -----------------------------------------------
@@ -84,6 +87,9 @@ foreach(doc IN LISTS doc_files)
         endif()
         if(line MATCHES "ask_verify")
             list(APPEND allowed ${verify_flags})
+        endif()
+        if(line MATCHES "fig12_training")
+            list(APPEND allowed ${fig12_flags})
         endif()
         if(line MATCHES "fig13b_scalability")
             list(APPEND allowed ${fig13b_flags})

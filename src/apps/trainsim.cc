@@ -1,10 +1,13 @@
 #include "apps/trainsim.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "ask/cluster.h"
 #include "baselines/sync_ina.h"
 #include "common/logging.h"
+#include "common/random.h"
+#include "common/string_util.h"
 #include "workload/generators.h"
 
 namespace ask::apps {
@@ -61,7 +64,7 @@ ask_push_elapsed(const TrainSpec& spec, std::uint64_t elements)
                 {w, workload::value_stream(shard, 0, 7 + w, s * shard)});
         }
         cluster.submit_task(s + 1, s, std::move(streams),
-                            {.region_len = region},
+                            {.region_len = region, .op = spec.reduce_op},
                             [&done, s](core::AggregateMap,
                                        core::TaskReport) { done[s] = true; });
     }
@@ -114,6 +117,71 @@ measure_gradient_goodput_gbps(const TrainSpec& spec)
     if (spec.backend == TrainBackend::kAsk)
         return measure_ask_push_goodput(spec);
     return measure_sync_goodput(spec);
+}
+
+FloatAccuracy
+measure_float_gradient_accuracy(const TrainSpec& spec,
+                                std::uint64_t elements)
+{
+    core::ClusterConfig cc;
+    cc.num_hosts = spec.workers;
+    cc.ask.max_hosts = cc.num_hosts;
+    cc.link_gbps = spec.link_gbps;
+
+    const std::uint32_t frac = cc.ask.float_frac_bits;
+    core::AskCluster cluster(cc);
+
+    // Build every worker's encoded gradient shard, and alongside it the
+    // two references: the exact double-precision sum per key, and the
+    // quantized ideal — the wrapping 32-bit sum of the same encodings,
+    // i.e. what a perfect fixed-point aggregator must produce.
+    std::vector<double> exact(elements, 0.0);
+    std::vector<std::uint32_t> ideal(elements, 0);
+    std::vector<core::StreamSpec> streams;
+    Rng rng = seeded_rng("float_gradient", spec.workers);
+    for (std::uint32_t w = 0; w < spec.workers; ++w) {
+        core::KvStream s;
+        s.reserve(elements);
+        for (std::uint64_t i = 0; i < elements; ++i) {
+            double g = (rng.next_double() - 0.5) * 0.2;  // gradient-scale
+            core::Value q = core::float_encode(g, frac);
+            exact[i] += g;
+            ideal[i] += q;
+            s.push_back({u64_key(i), q});
+        }
+        streams.push_back({w, std::move(s)});
+    }
+
+    core::TaskOptions opts;
+    opts.op = core::ReduceOp::kFloat;
+    core::TaskResult r = cluster.run_task(1, 0, streams, opts);
+    ASK_ASSERT(r.ok(), "float-gradient aggregation failed: ",
+               r.report.detail);
+
+    FloatAccuracy out;
+    out.elements = elements;
+    out.frac_bits = frac;
+    out.matches_quantized_ideal = true;
+    double total_err = 0.0;
+    for (std::uint64_t i = 0; i < elements; ++i) {
+        auto it = r.result.find(u64_key(i));
+        ASK_ASSERT(it != r.result.end(), "gradient key ", i, " missing");
+        // kFloat arithmetic is defined modulo 2^32 end-to-end; the
+        // 64-bit host aggregate decodes through its low word.
+        auto word = static_cast<std::uint32_t>(it->second);
+        if (word != ideal[i])
+            out.matches_quantized_ideal = false;
+        double err = std::abs(core::float_decode(word, frac) - exact[i]);
+        out.max_abs_error = std::max(out.max_abs_error, err);
+        total_err += err;
+    }
+    if (elements > 0)
+        out.mean_abs_error = total_err / static_cast<double>(elements);
+    // Each addend rounds to the grid once (half an ulp); the adds
+    // themselves are exact in the ring.
+    out.error_bound =
+        spec.workers * std::ldexp(0.5, -static_cast<int>(frac));
+    return out;
 }
 
 TrainResult

@@ -16,6 +16,7 @@
 
 #include <cstdint>
 
+#include "ask/types.h"
 #include "workload/models.h"
 
 namespace ask::apps {
@@ -41,6 +42,9 @@ struct TrainSpec
     double non_overlap = 0.12;
     /** Gradient elements simulated to measure goodput (scaled). */
     std::uint64_t probe_elements = 1 << 20;
+    /** Reduction operator the ASK push tasks bind (kFloat = fixed-point
+     *  gradient mode; the sync-INA baselines always sum). */
+    core::ReduceOp reduce_op = core::ReduceOp::kAdd;
 };
 
 /** Per-configuration outcome. */
@@ -62,6 +66,35 @@ TrainResult run_training(const TrainSpec& spec);
  * Results are deterministic for equal specs.
  */
 double measure_gradient_goodput_gbps(const TrainSpec& spec);
+
+/** Accuracy of the fixed-point (ReduceOp::kFloat) gradient path. */
+struct FloatAccuracy
+{
+    /** Gradient elements aggregated (distinct keys). */
+    std::uint64_t elements = 0;
+    /** Q-format fractional bits the values were encoded with. */
+    std::uint32_t frac_bits = 0;
+    /** Largest |decoded ASK sum - exact double sum| over all keys. */
+    double max_abs_error = 0.0;
+    /** Mean of the same absolute errors. */
+    double mean_abs_error = 0.0;
+    /** Worst-case representable bound: workers * half-ulp of the
+     *  encoding (each addend rounds once; the adds are exact). */
+    double error_bound = 0.0;
+    /** The in-network result is bit-identical to a host-side
+     *  fixed-point fold — the network added no error beyond
+     *  quantization. */
+    bool matches_quantized_ideal = false;
+};
+
+/**
+ * Aggregate `elements` synthetic float gradients per worker through the
+ * ASK service under ReduceOp::kFloat and compare the decoded sums with
+ * (a) the exact double-precision sums and (b) the quantized ideal (a
+ * host fixed-point fold of the same encodings). Deterministic.
+ */
+FloatAccuracy measure_float_gradient_accuracy(const TrainSpec& spec,
+                                              std::uint64_t elements);
 
 }  // namespace ask::apps
 

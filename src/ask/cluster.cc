@@ -194,6 +194,22 @@ AskCluster::submit_task(TaskId task, HostId receiver_host,
         opts.swap_policy = TaskOptions::SwapPolicy::kDisabled;
     }
 
+    // Resolve the reduction operator once, synchronously, and validate
+    // it against every switch program's access plan before any async
+    // setup: a tenant asking for an op the pipeline cannot host gets a
+    // ConfigError here, not a half-started task failing later.
+    ReduceOp rop = opts.op.value_or(config_.ask.op);
+    opts.op = rop;
+    for (const auto& p : programs_) {
+        if (p->access_plan().find_reduce_op(static_cast<std::uint8_t>(rop)) ==
+            nullptr) {
+            fail_config("task ", task, " requests reduce op '",
+                        reduce_op_name(rop),
+                        "', which the switch access plan does not declare "
+                        "(kFloat needs part_bits == 32)");
+        }
+    }
+
     AskDaemon& receiver = *daemons_[receiver_host.value()];
     net::NodeId receiver_node = receiver.node_id();
     auto n_senders = static_cast<std::uint32_t>(streams.size());
@@ -231,11 +247,11 @@ AskCluster::submit_task(TaskId task, HostId receiver_host,
     // channel and begin streaming.
     receiver.start_receive(
         task, n_senders, opts, std::move(thin_done),
-        /*on_ready=*/[this, task, receiver_node,
+        /*on_ready=*/[this, task, receiver_node, rop,
                       streams = std::move(streams)]() mutable {
             simulator_.schedule_after(
                 config_.notify_latency_ns,
-                [this, task, receiver_node,
+                [this, task, receiver_node, rop,
                  streams = std::move(streams)]() mutable {
                     for (auto& s : streams) {
                         // A sender notified while crashed accepts the
@@ -243,9 +259,10 @@ AskCluster::submit_task(TaskId task, HostId receiver_host,
                         run_on_host(
                             s.host.value(),
                             [this, host = s.host.value(), task, receiver_node,
-                             stream = std::move(s.stream)]() mutable {
+                             stream = std::move(s.stream), rop]() mutable {
                                 daemons_[host]->submit_send(
-                                    task, receiver_node, std::move(stream));
+                                    task, receiver_node, std::move(stream),
+                                    nullptr, rop);
                             });
                     }
                 });

@@ -36,6 +36,13 @@ AskConfig::validate() const
         fail_config("management backoff must satisfy 0 < base <= cap");
     if (recovery_drain_ns < 0 || sender_liveness_timeout_ns < 0)
         fail_config("robustness timeouts must be non-negative");
+    if (static_cast<std::uint8_t>(op) >= kNumReduceOps)
+        fail_config("unknown reduce op id: ", static_cast<unsigned>(op));
+    if (op == ReduceOp::kFloat && part_bits != 32)
+        fail_config("kFloat fixed-point reduction requires 32-bit vParts "
+                    "(part_bits == 32), got ", part_bits);
+    if (float_frac_bits == 0 || float_frac_bits > 31)
+        fail_config("float_frac_bits must be 1..31: ", float_frac_bits);
 }
 
 }  // namespace ask::core

@@ -103,7 +103,12 @@ struct AskConfig
     Nanoseconds mgmt_backoff_cap_ns = 2 * units::kMillisecond;
 
     // ---- Semantics ---------------------------------------------------------
-    AggOp op = AggOp::kAdd;
+    /** Default reduction operator; a task may override it per-task via
+     *  TaskOptions::op. kFloat requires part_bits == 32. */
+    ReduceOp op = ReduceOp::kAdd;
+    /** Fractional bits of the kFloat fixed-point encoding (Q-format
+     *  two's complement, see float_encode()). Must be 1..31. */
+    std::uint32_t float_frac_bits = 16;
 
     // ---- Derived quantities ------------------------------------------------
     /** Bytes of one payload slot: key segment + value. */

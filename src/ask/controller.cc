@@ -12,7 +12,7 @@ AskSwitchController::AskSwitchController(AskSwitchProgram& program)
 }
 
 std::optional<TaskRegion>
-AskSwitchController::allocate(TaskId task, std::uint32_t len)
+AskSwitchController::allocate(TaskId task, std::uint32_t len, ReduceOp op)
 {
     if (len == 0 || len > capacity_)
         return std::nullopt;
@@ -44,6 +44,19 @@ AskSwitchController::allocate(TaskId task, std::uint32_t len)
     region.base = base;
     region.len = len;
     region.epoch_slot = epoch_slot;
+    region.op = op;
+
+    // Reject an undeclared operator BEFORE journaling or mutating: the
+    // install below would throw the same ConfigError, but only after
+    // the WAL and journal already recorded a region that never existed.
+    if (program_.access_plan().find_reduce_op(
+            static_cast<std::uint8_t>(op)) == nullptr) {
+        fail_config("task ", task, " requests reduce op '",
+                    reduce_op_name(op), "' (id ",
+                    static_cast<unsigned>(op),
+                    "), which this switch program's access plan does not "
+                    "declare");
+    }
 
     // Journal before acting: if we crash after this append, recovery
     // rebuilds the allocation and re-installs it on the data plane.
@@ -54,6 +67,7 @@ AskSwitchController::allocate(TaskId task, std::uint32_t len)
         r.arg0 = base;
         r.arg1 = len;
         r.arg2 = epoch_slot;
+        r.kvs.emplace_back("op", static_cast<std::uint64_t>(op));
         wal_->append(r);
     }
     epoch_slot_used_[epoch_slot] = true;
@@ -112,6 +126,10 @@ AskSwitchController::recover_from_wal()
             region.base = r.arg0;
             region.len = r.arg1;
             region.epoch_slot = r.arg2;
+            // Pre-op journals carry no "op" kv; those regions were kAdd.
+            for (const auto& [key, value] : r.kvs)
+                if (key == "op")
+                    region.op = static_cast<ReduceOp>(value);
             allocated_[region.base] = {region, r.task};
             epoch_slot_used_[region.epoch_slot] = true;
         } else if (r.kind == WalRecordKind::kRelease) {

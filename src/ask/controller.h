@@ -37,13 +37,16 @@ class AskSwitchController
     virtual ~AskSwitchController() = default;
 
     /**
-     * Allocate `len` aggregators per AA per copy for a task and install
-     * it on the data plane.
+     * Allocate `len` aggregators per AA per copy for a task, bind the
+     * region to reduction operator `op`, and install it on the data
+     * plane. Throws ask::ConfigError when the switch program's access
+     * plan does not declare `op` (e.g. kFloat on a narrow-word build).
      * @return the region, or std::nullopt when memory or epoch slots are
      *         exhausted.
      */
     virtual std::optional<TaskRegion> allocate(TaskId task,
-                                               std::uint32_t len);
+                                               std::uint32_t len,
+                                               ReduceOp op = ReduceOp::kAdd);
 
     /** Release a task's region and uninstall it. Throws StateError for
      *  a task with no journaled region (e.g. a double release across a

@@ -82,7 +82,8 @@ DataChannel::charge_background(Nanoseconds cost)
 
 void
 DataChannel::submit_send(TaskId task, net::NodeId receiver, KvStream stream,
-                         std::function<void()> on_complete, bool replay)
+                         ReduceOp op, std::function<void()> on_complete,
+                         bool replay)
 {
     SendJob job;
     job.task = task;
@@ -90,6 +91,7 @@ DataChannel::submit_send(TaskId task, net::NodeId receiver, KvStream stream,
     job.builder = std::make_unique<PacketBuilder>(daemon_.key_space());
     job.builder->enqueue(stream);
     job.on_complete = std::move(on_complete);
+    job.op = op;
     job.replay = replay;
     daemon_.stats().tuples_sent += stream.size();
     ASK_TRACE(daemon_.tracer_, daemon_.simulator().now(), task, global_id(),
@@ -167,6 +169,7 @@ DataChannel::pump()
             ASK_ASSERT(batch.has_value(), "builder non-empty but no frames");
             AskHeader hdr;
             hdr.type = PacketType::kLongData;
+            hdr.op = job.op;
             hdr.channel_id = global_id();
             hdr.task_id = job.task;
             hdr.seq = next_seq_;
@@ -176,6 +179,7 @@ DataChannel::pump()
         } else if (job.builder->next_data_into(built_scratch_)) {
             AskHeader hdr;
             hdr.type = PacketType::kData;
+            hdr.op = job.op;
             hdr.num_slots = static_cast<std::uint8_t>(cfg.num_aas);
             hdr.channel_id = global_id();
             hdr.task_id = job.task;
@@ -191,6 +195,7 @@ DataChannel::pump()
             ASK_ASSERT(batch.has_value(), "builder non-empty but no frames");
             AskHeader hdr;
             hdr.type = PacketType::kLongData;
+            hdr.op = job.op;
             hdr.channel_id = global_id();
             hdr.task_id = job.task;
             hdr.seq = next_seq_;
@@ -525,6 +530,7 @@ DataChannel::finish_conversion(Seq seq, AskSwitchProgram::ProbeResult probe)
     KvStream tuples = daemon_.tuples_from_data_frame(entry.frame, unconsumed);
     AskHeader lh;
     lh.type = PacketType::kLongData;
+    lh.op = hdr->op;
     lh.channel_id = hdr->channel_id;
     lh.task_id = hdr->task_id;
     lh.seq = seq;
@@ -649,7 +655,8 @@ AskDaemon::start_receive(TaskId task, std::uint32_t expected_senders,
             std::uint32_t len = options.region_len > 0
                                     ? options.region_len
                                     : controller_.free_aggregators();
-            auto region = controller_.allocate(task, len);
+            ReduceOp rop = options.op.value_or(config_.op);
+            auto region = controller_.allocate(task, len, rop);
             if (!region) {
                 ++chaos_.alloc_failures;
                 fail(TaskStatus::kRegionExhausted,
@@ -660,6 +667,7 @@ AskDaemon::start_receive(TaskId task, std::uint32_t expected_senders,
             }
             ReceiveTask rx;
             rx.id = task;
+            rx.op = rop;
             rx.expected_senders = expected_senders;
             rx.on_done = std::move(*done);
             rx.report.start_time = simulator().now();
@@ -682,6 +690,7 @@ AskDaemon::start_receive(TaskId task, std::uint32_t expected_senders,
                 r.kvs.emplace_back(
                     "start_time",
                     static_cast<std::uint64_t>(rx.report.start_time));
+                r.kvs.emplace_back("op", static_cast<std::uint64_t>(rx.op));
                 wal_->append(r);
             }
             auto [it, inserted] = rx_tasks_.emplace(task, std::move(rx));
@@ -699,8 +708,16 @@ AskDaemon::start_receive(TaskId task, std::uint32_t expected_senders,
 
 void
 AskDaemon::submit_send(TaskId task, net::NodeId receiver, KvStream stream,
-                       std::function<void()> on_complete)
+                       std::function<void()> on_complete,
+                       std::optional<ReduceOp> op)
 {
+    // Lift every observation into the reduction monoid exactly once,
+    // here at the source. For kCount the value becomes 1; every site
+    // downstream — switch merge, receiver fold, WAL replay — then
+    // combines already-lifted partials and must never lift again.
+    ReduceOp rop = op.value_or(config_.op);
+    for (auto& t : stream)
+        t.value = reduce_lift(rop, t.value);
     // Archive the stream for replay: a switch reboot wipes the partial
     // aggregate, and exactness then requires re-sending from the source.
     if (wal_ != nullptr) {
@@ -708,13 +725,15 @@ AskDaemon::submit_send(TaskId task, net::NodeId receiver, KvStream stream,
         r.kind = WalRecordKind::kSendSubmit;
         r.task = task;
         r.arg0 = static_cast<std::uint32_t>(receiver);
+        r.arg1 = static_cast<std::uint32_t>(rop);
         r.kvs.reserve(stream.size());
         for (const auto& t : stream)
             r.kvs.emplace_back(t.key, static_cast<std::uint64_t>(t.value));
         wal_->append(r);
     }
-    sent_archive_[task].push_back(ArchivedSend{receiver, stream, on_complete});
-    channel_for_task(task).submit_send(task, receiver, std::move(stream),
+    sent_archive_[task].push_back(
+        ArchivedSend{receiver, stream, rop, on_complete});
+    channel_for_task(task).submit_send(task, receiver, std::move(stream), rop,
                                        std::move(on_complete));
 }
 
@@ -735,8 +754,9 @@ AskDaemon::replay_task(TaskId task)
         return 0;
     std::uint32_t n = 0;
     for (const auto& a : it->second) {
-        // Straight to the channel: replay must not re-archive.
-        channel_for_task(task).submit_send(task, a.receiver, a.stream,
+        // Straight to the channel: replay must not re-archive (and the
+        // archived stream is already lifted — no second lift).
+        channel_for_task(task).submit_send(task, a.receiver, a.stream, a.op,
                                            a.on_complete, /*replay=*/true);
         ++n;
     }
@@ -947,6 +967,14 @@ AskDaemon::process_data(ReceiveTask& task, const net::Packet& pkt,
                         const AskHeader& hdr, DataChannel& ch)
 {
     ++stats_.packets_received;
+    // A frame whose op id contradicts the task is a misconfigured sender
+    // (or corrupted header): drop it before the seen window so it neither
+    // consumes a sequence number nor earns an ACK. This also covers the
+    // LONG_DATA bypass path, which never crosses the switch's op check.
+    if (hdr.op != task.op) {
+        ++stats_.op_mismatch_dropped;
+        return;
+    }
     SeenOutcome outcome = window_for(task, hdr.channel_id).observe(hdr.seq);
     if (outcome == SeenOutcome::kStale)
         return;  // pre-window duplicate: the original was ACKed long ago
@@ -1004,8 +1032,9 @@ AskDaemon::process_data(ReceiveTask& task, const net::Packet& pkt,
             wal_->append(r);
         }
         std::uint64_t tuples = decoded.size();
+        // Combine-only: the sender lifted every value at submit_send.
         for (const auto& t : decoded)
-            accumulate(task.local, t.key, t.value, config_.op);
+            accumulate(task.local, t.key, t.value, task.op);
         stats_.tuples_aggregated_locally += tuples;
         task.report.tuples_aggregated_locally += tuples;
         ASK_TRACE(tracer_, simulator().now(), task.id, hdr.channel_id,
@@ -1188,7 +1217,8 @@ AskDaemon::complete_swap(ReceiveTask& task)
                 }
                 stats_.fetch_tuples += fetched.size();
                 t.report.tuples_fetched_from_switch += fetched.size();
-                aggregate_into(t.local, fetched, config_.op);
+                // Switch registers hold lifted partials: combine only.
+                merge_stream_into(t.local, fetched, t.op);
                 t.committed_epoch = t.swap_target;
                 t.packets_since_swap = 0;
                 t.swap_in_flight = false;
@@ -1259,7 +1289,8 @@ AskDaemon::finalize(ReceiveTask& task)
                         controller_.fetch(task_id, copy, /*clear=*/true);
                     stats_.fetch_tuples += fetched.size();
                     t.report.tuples_fetched_from_switch += fetched.size();
-                    aggregate_into(t.local, fetched, config_.op);
+                    // Switch registers hold lifted partials: combine only.
+                    merge_stream_into(t.local, fetched, t.op);
                 }
                 try {
                     controller_.release(task_id);
@@ -1465,7 +1496,7 @@ AskDaemon::recover_from_wal(
     for (auto& [task, send] : state.sends) {
         sent_archive_[task].push_back(
             ArchivedSend{static_cast<net::NodeId>(send.receiver),
-                         std::move(send.stream), nullptr});
+                         std::move(send.stream), send.op, nullptr});
     }
 
     // Receive tasks: partial aggregate, FIN set, seen windows (replayed
@@ -1477,6 +1508,7 @@ AskDaemon::recover_from_wal(
     for (auto& [task_id, ws] : state.rx_tasks) {
         ReceiveTask rx;
         rx.id = task_id;
+        rx.op = ws.op;
         rx.expected_senders = ws.expected_senders;
         rx.swaps_disabled = ws.swaps_disabled;
         rx.local = std::move(ws.local);

@@ -99,6 +99,11 @@ struct TaskOptions
     SwapPolicy swap_policy = SwapPolicy::kAuto;
     /** Opt this task into packet-lifecycle tracing. */
     bool trace = false;
+    /** Reduction operator for this task; nullopt = AskConfig::op. The
+     *  resolved op must be declared by every switch program's access
+     *  plan (kFloat needs part_bits == 32) or submission throws
+     *  ask::ConfigError. */
+    std::optional<ReduceOp> op = std::nullopt;
 };
 
 /**
@@ -164,10 +169,13 @@ class DataChannel
     /** Next unused sequence number (the fence boundary at recovery). */
     Seq next_seq() const { return next_seq_; }
 
-    /** Enqueue a sending task (FIFO within the channel). `replay`
-     *  marks post-crash re-submissions for the packet tracer. */
+    /** Enqueue a sending task (FIFO within the channel). `op` is the
+     *  task's resolved reduction operator (stamped into every frame);
+     *  `replay` marks post-crash re-submissions for the packet
+     *  tracer. */
     void submit_send(TaskId task, net::NodeId receiver, KvStream stream,
-                     std::function<void()> on_complete, bool replay = false);
+                     ReduceOp op, std::function<void()> on_complete,
+                     bool replay = false);
 
     // ---- packet handlers (called by the daemon's dispatcher) ------------
     void on_ack(Seq seq);
@@ -204,6 +212,7 @@ class DataChannel
         net::NodeId receiver = 0;
         std::unique_ptr<PacketBuilder> builder;
         std::function<void()> on_complete;
+        ReduceOp op = ReduceOp::kAdd;  ///< stamped into every frame
         bool replay = false;  ///< post-crash re-submission (trace flag)
         bool fenced = false;  ///< channel-bind fence issued (fabric only)
     };
@@ -325,9 +334,12 @@ class AskDaemon : public net::Node
 
     /** Submit a key-value stream for `task` toward `receiver`. The
      *  stream is archived until forget_task() so it can be replayed
-     *  after a switch failure. */
+     *  after a switch failure. `op` is the task's reduction operator
+     *  (nullopt = the config default); kCount streams are lifted
+     *  (value -> 1) here, once, before anything downstream folds them. */
     void submit_send(TaskId task, net::NodeId receiver, KvStream stream,
-                     std::function<void()> on_complete = nullptr);
+                     std::function<void()> on_complete = nullptr,
+                     std::optional<ReduceOp> op = std::nullopt);
 
     /** The packet tracer of the observability bundle (null without). */
     obs::PacketTracer* tracer() { return tracer_; }
@@ -459,6 +471,10 @@ class AskDaemon : public net::Node
     struct ReceiveTask
     {
         TaskId id = 0;
+        /** Resolved reduction operator: the fold every local aggregate
+         *  and fetched partial of this task goes through, and the op id
+         *  arriving frames must carry. */
+        ReduceOp op = ReduceOp::kAdd;
         std::uint32_t expected_senders = 0;
         std::set<ChannelId> fins;
         AggregateMap local;
@@ -522,7 +538,8 @@ class AskDaemon : public net::Node
     struct ArchivedSend
     {
         net::NodeId receiver = 0;
-        KvStream stream;
+        KvStream stream;  ///< already lifted (kCount values are 1)
+        ReduceOp op = ReduceOp::kAdd;
         std::function<void()> on_complete;
     };
 

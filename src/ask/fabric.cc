@@ -37,7 +37,7 @@ FabricController::attach_wals(WalStore& store, std::uint64_t* append_counter)
 }
 
 std::optional<TaskRegion>
-FabricController::allocate(TaskId task, std::uint32_t len)
+FabricController::allocate(TaskId task, std::uint32_t len, ReduceOp op)
 {
     // All-or-nothing: a task aggregates on every switch its packets
     // cross, so a region that fits only some switches is useless.
@@ -47,14 +47,15 @@ FabricController::allocate(TaskId task, std::uint32_t len)
     std::optional<TaskRegion> first;
     std::size_t done = 0;
     for (; done < subs_.size(); ++done) {
-        std::optional<TaskRegion> r = subs_[done]->allocate(task, len);
+        std::optional<TaskRegion> r = subs_[done]->allocate(task, len, op);
         if (!r.has_value())
             break;
         if (done == 0)
             first = r;
         else
             ASK_ASSERT(r->base == first->base && r->len == first->len &&
-                           r->epoch_slot == first->epoch_slot,
+                           r->epoch_slot == first->epoch_slot &&
+                           r->op == first->op,
                        "fabric switches diverged on task ", task,
                        "'s region placement");
     }
@@ -106,7 +107,9 @@ KvStream
 FabricController::fetch(TaskId task, std::uint32_t copy, bool clear)
 {
     // Concatenate the per-switch slices: the software tier-merge. The
-    // caller's aggregate_into() folds keys split across switches.
+    // caller folds keys split across switches with merge_stream_into()
+    // under the region's bound ReduceOp — a concatenation is op-agnostic,
+    // so min/max regions tier-merge just as correctly as sums.
     KvStream out;
     for (auto& sub : subs_) {
         KvStream part = sub->fetch(task, copy, clear);

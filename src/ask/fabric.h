@@ -13,7 +13,8 @@
  *     travel, so every switch on any path needs the region.
  *   - fetch concatenates the per-switch region drains — the software
  *     tier-merge of the partial aggregates; the receiver's
- *     aggregate_into() folds keys split across switches.
+ *     merge_stream_into() folds keys split across switches under the
+ *     task's bound ReduceOp (not an assumed `+`).
  *   - fence_channel reaches every switch provisioning the channel (the
  *     owning ToR and the tier), so a recovery fence is fabric-wide.
  *   - probe_packet merges verdicts: a slot consumed on ANY switch of
@@ -69,8 +70,9 @@ class FabricController : public AskSwitchController
 
     // ---- AskSwitchController ----------------------------------------------
 
-    std::optional<TaskRegion> allocate(TaskId task,
-                                       std::uint32_t len) override;
+    std::optional<TaskRegion> allocate(
+        TaskId task, std::uint32_t len,
+        ReduceOp op = ReduceOp::kAdd) override;
     void release(TaskId task) override;
     void crash() override;
     std::uint32_t recover_from_wal() override;

@@ -43,6 +43,7 @@ namespace ask::core {
     X(residual_forwarded, "fully aggregated -> empty residual upstream")    \
     X(duplicates, "retransmissions deduplicated")                           \
     X(stale_dropped, "out-of-window packets dropped")                       \
+    X(op_mismatch, "DATA whose op id contradicts the bound region")         \
     X(long_packets, "LONG_DATA forwarded")                                  \
     X(swaps, "shadow-copy swaps applied")                                   \
     X(unknown_task, "DATA for unknown task regions")                        \
@@ -97,6 +98,7 @@ namespace ask::core {
     X(tuples_aggregated_locally, "tuples aggregated at the receiver host")  \
     X(packets_received, "packets arriving at the receiver host")            \
     X(duplicates_received, "duplicate packets at the receiver host")        \
+    X(op_mismatch_dropped, "DATA whose op id contradicts the rx task")      \
     X(fetch_tuples, "tuples fetched from switch regions")                   \
     X(swap_requests, "shadow-copy swaps initiated")
 

@@ -73,6 +73,22 @@ AskSwitchProgram::make_access_plan(const AskConfig& config,
     plan.arrays.push_back(
         {"pkt_state", last_stage, channels * w, config.num_aas});
 
+    // Reduction operators the aggregator ALUs compile in. The integer
+    // menu (add / unsigned max / unsigned min, plus count == add over
+    // lifted ones) fits any PISA stateful ALU; the fixed-point float
+    // mode reuses the wrapping add and therefore needs the full 32-bit
+    // vPart (two's-complement Q-format, see float_encode()).
+    auto declare_op = [&](ReduceOp op) {
+        plan.reduce_ops.push_back({static_cast<std::uint8_t>(op),
+                                   reduce_op_name(op), config.part_bits});
+    };
+    declare_op(ReduceOp::kAdd);
+    declare_op(ReduceOp::kMax);
+    declare_op(ReduceOp::kMin);
+    declare_op(ReduceOp::kCount);
+    if (config.part_bits == 32)
+        declare_op(ReduceOp::kFloat);
+
     // ---- shared fragments ---------------------------------------------
 
     // Receive window (stage 1), branched on the sequence segment parity
@@ -293,6 +309,12 @@ AskSwitchProgram::install_task(TaskId task, const TaskRegion& region)
     ASK_ASSERT(region.base + region.len <= config_.copy_size(),
                "task region exceeds a shadow copy");
     ASK_ASSERT(region.epoch_slot < config_.max_tasks, "bad epoch slot");
+    if (plan_.find_reduce_op(static_cast<std::uint8_t>(region.op)) == nullptr) {
+        fail_config("task ", task, " binds reduce op '",
+                    reduce_op_name(region.op),
+                    "' (id ", static_cast<unsigned>(region.op),
+                    "), which this program's access plan does not declare");
+    }
     auto [it, inserted] = tasks_.emplace(task, region);
     (void)it;
     ASK_ASSERT(inserted, "task ", task, " already installed");
@@ -558,7 +580,7 @@ AskSwitchProgram::aggregate_short(const TaskRegion& region,
         } else if (k == slot.seg) {
             Value acc = vpart(config_.part_bits, word);
             word = pack_agg(config_.part_bits, slot.seg,
-                            apply_op(config_.op, acc, slot.value));
+                            apply_op(region.op, acc, slot.value));
             success = true;
         }
     });
@@ -608,7 +630,7 @@ AskSwitchProgram::aggregate_medium(const TaskRegion& region,
                 if (j + 1 == m) {
                     Value acc = vpart(config_.part_bits, word);
                     word = pack_agg(config_.part_bits, slot.seg,
-                                    apply_op(config_.op, acc, slot.value));
+                                    apply_op(region.op, acc, slot.value));
                 }
                 ok = true;
             } else if (installing) {
@@ -627,6 +649,17 @@ AskSwitchProgram::process_data(net::Packet&& pkt, const AskHeader& hdr,
                                pisa::Emitter& emit)
 {
     ++stats_.data_packets;
+
+    // Op binding check (a match-table lookup, before any register is
+    // touched): a frame whose op id contradicts the installed region
+    // would merge with the wrong ALU function, so it is dropped whole —
+    // it must not consume a sequence number or flip seen parity either.
+    const TaskRegion* region = find_task(hdr.task_id);
+    if (region != nullptr && hdr.op != region->op) {
+        ++stats_.op_mismatch;
+        return;
+    }
+
     WindowVerdict verdict = check_window(hdr.channel_id, hdr.seq);
     if (verdict.stale) {
         ++stats_.stale_dropped;
@@ -635,7 +668,6 @@ AskSwitchProgram::process_data(net::Packet&& pkt, const AskHeader& hdr,
         return;
     }
 
-    const TaskRegion* region = find_task(hdr.task_id);
     std::uint64_t new_bitmap = hdr.bitmap;
 
     if (!verdict.observed) {

@@ -51,6 +51,11 @@ struct TaskRegion
     std::uint32_t len = 0;
     /** Index into the swap_epoch register array. */
     std::uint32_t epoch_slot = 0;
+    /** Reduction operator bound to the task: the ALU function every
+     *  aggregator merge of this region uses, and the op id DATA frames
+     *  of the task must carry (mismatches are dropped). Must be
+     *  declared by the program's AccessPlan or install_task() throws. */
+    ReduceOp op = ReduceOp::kAdd;
 };
 
 /** The ASK switch program. */

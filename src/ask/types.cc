@@ -1,27 +1,96 @@
 #include "ask/types.h"
 
+#include <cmath>
+#include <limits>
+
 namespace ask::core {
 
 namespace {
 
 std::uint64_t
-apply_op64(AggOp op, std::uint64_t acc, std::uint64_t v)
+apply_op64(ReduceOp op, std::uint64_t acc, std::uint64_t v)
 {
     switch (op) {
-      case AggOp::kAdd:
+      case ReduceOp::kAdd:
+      case ReduceOp::kCount:
         return acc + v;
-      case AggOp::kMax:
+      case ReduceOp::kMax:
         return acc > v ? acc : v;
-      case AggOp::kMin:
+      case ReduceOp::kMin:
         return acc < v ? acc : v;
+      case ReduceOp::kFloat:
+        // Fixed-point arithmetic is modulo 2^32 end-to-end, exactly as
+        // on the switch ALU — keep the host fold in the same ring so
+        // partials merged from any mix of paths agree bit-for-bit.
+        return static_cast<std::uint32_t>(acc + v);
     }
     return acc;
 }
 
 }  // namespace
 
+const char*
+reduce_op_name(ReduceOp op)
+{
+    switch (op) {
+      case ReduceOp::kAdd:
+        return "sum";
+      case ReduceOp::kMax:
+        return "max";
+      case ReduceOp::kMin:
+        return "min";
+      case ReduceOp::kCount:
+        return "count";
+      case ReduceOp::kFloat:
+        return "float";
+    }
+    return "?";
+}
+
+bool
+parse_reduce_op(const std::string& name, ReduceOp& out)
+{
+    if (name == "sum" || name == "add") {
+        out = ReduceOp::kAdd;
+    } else if (name == "max") {
+        out = ReduceOp::kMax;
+    } else if (name == "min") {
+        out = ReduceOp::kMin;
+    } else if (name == "count") {
+        out = ReduceOp::kCount;
+    } else if (name == "float") {
+        out = ReduceOp::kFloat;
+    } else {
+        return false;
+    }
+    return true;
+}
+
+Value
+float_encode(double x, std::uint32_t frac_bits)
+{
+    const double scaled = std::round(std::ldexp(x, static_cast<int>(frac_bits)));
+    constexpr double kMin = static_cast<double>(std::numeric_limits<std::int32_t>::min());
+    constexpr double kMax = static_cast<double>(std::numeric_limits<std::int32_t>::max());
+    std::int32_t q;
+    if (std::isnan(scaled) || scaled <= kMin)
+        q = std::numeric_limits<std::int32_t>::min();
+    else if (scaled >= kMax)
+        q = std::numeric_limits<std::int32_t>::max();
+    else
+        q = static_cast<std::int32_t>(scaled);
+    return static_cast<Value>(q);
+}
+
+double
+float_decode(std::uint64_t v, std::uint32_t frac_bits)
+{
+    const auto q = static_cast<std::int32_t>(static_cast<std::uint32_t>(v));
+    return std::ldexp(static_cast<double>(q), -static_cast<int>(frac_bits));
+}
+
 void
-accumulate(AggregateMap& acc, const Key& key, std::uint64_t value, AggOp op)
+accumulate(AggregateMap& acc, const Key& key, std::uint64_t value, ReduceOp op)
 {
     auto [it, inserted] = acc.try_emplace(key, value);
     if (!inserted)
@@ -29,14 +98,21 @@ accumulate(AggregateMap& acc, const Key& key, std::uint64_t value, AggOp op)
 }
 
 void
-aggregate_into(AggregateMap& acc, const KvStream& stream, AggOp op)
+aggregate_into(AggregateMap& acc, const KvStream& stream, ReduceOp op)
+{
+    for (const auto& kv : stream)
+        accumulate(acc, kv.key, reduce_lift64(op, kv.value), op);
+}
+
+void
+merge_stream_into(AggregateMap& acc, const KvStream& stream, ReduceOp op)
 {
     for (const auto& kv : stream)
         accumulate(acc, kv.key, kv.value, op);
 }
 
 void
-merge_into(AggregateMap& acc, const AggregateMap& from, AggOp op)
+merge_into(AggregateMap& acc, const AggregateMap& from, ReduceOp op)
 {
     for (const auto& [k, v] : from) {
         auto [it, inserted] = acc.try_emplace(k, v);

@@ -106,39 +106,136 @@ using ChannelId = std::uint16_t;
 /** Per-channel packet sequence number. */
 using Seq = std::uint32_t;
 
-/** Aggregation operator supported by the switch ALU. */
-enum class AggOp : std::uint8_t
+/**
+ * Reduction operator bound to a task's aggregation domain.
+ *
+ * The enum splits into a *lift* (applied once when a raw tuple enters
+ * the domain — see reduce_lift()) and a binary *combine* (apply_op()):
+ *
+ *  - kAdd:   lift = identity, combine = 32-bit wrapping add.
+ *  - kMax:   lift = identity, combine = unsigned max (idempotent).
+ *  - kMin:   lift = identity, combine = unsigned min (idempotent).
+ *  - kCount: lift = v |-> 1,  combine = add — partial counts from
+ *            different shards add, so the switch ALU stays a sum.
+ *  - kFloat: fixed-point gradients. Values are Q-format two's
+ *            complement (AskConfig::float_frac_bits fractional bits,
+ *            see float_encode()); combine is the same wrapping 32-bit
+ *            add, which handles negatives for free. Requires 32-bit
+ *            vParts (part_bits == 32).
+ *
+ * The numeric ids are wire format (carried in the frame type byte) and
+ * WAL format: existing values must never be renumbered.
+ */
+enum class ReduceOp : std::uint8_t
 {
     kAdd = 0,
     kMax = 1,
     kMin = 2,
+    kCount = 3,
+    kFloat = 4,
 };
 
-/** Apply an AggOp to two 32-bit operands (the switch ALU semantics). */
+/** One past the largest valid ReduceOp id (wire validation bound). */
+inline constexpr std::uint8_t kNumReduceOps = 5;
+
+/** Deprecated alias: the operator predates per-task binding, when it
+ *  was a single cluster-wide "aggregation op". */
+using AggOp = ReduceOp;
+
+/** Short lower-case name ("sum", "max", "min", "count", "float"). */
+const char* reduce_op_name(ReduceOp op);
+
+/** Parse a name as printed by reduce_op_name() ("add" also accepted
+ *  for kAdd). Returns false on unknown names. */
+bool parse_reduce_op(const std::string& name, ReduceOp& out);
+
+/** True when re-applying an already-merged contribution cannot change
+ *  the aggregate (min/max). Non-idempotent ops lean on the seen-window
+ *  for exactly-once; idempotent ops would survive replay regardless. */
+constexpr bool
+reduce_op_idempotent(ReduceOp op)
+{
+    return op == ReduceOp::kMax || op == ReduceOp::kMin;
+}
+
+/** Identity element of the *combine*: folding it in leaves any
+ *  aggregate unchanged. (Empty windows fold to no entry at all; the
+ *  identity exists so property tests can state that law.) */
+constexpr Value
+reduce_identity(ReduceOp op)
+{
+    return op == ReduceOp::kMin ? ~static_cast<Value>(0)
+                                : static_cast<Value>(0);
+}
+
+/** Lift a raw tuple value into the aggregation domain. Applied exactly
+ *  once per tuple, at the point it first enters a fold (sender
+ *  packetization feeds the switch raw; the receiver lifts on decode).
+ *  Count maps every observation to 1; all other ops are identity. */
+constexpr Value
+reduce_lift(ReduceOp op, Value v)
+{
+    return op == ReduceOp::kCount ? static_cast<Value>(1) : v;
+}
+
+/** 64-bit lift for host-side folds. */
+constexpr std::uint64_t
+reduce_lift64(ReduceOp op, std::uint64_t v)
+{
+    return op == ReduceOp::kCount ? static_cast<std::uint64_t>(1) : v;
+}
+
+/** Apply a ReduceOp *combine* to two 32-bit operands (the switch ALU
+ *  semantics). Operands must already be lifted. */
 inline Value
-apply_op(AggOp op, Value acc, Value v)
+apply_op(ReduceOp op, Value acc, Value v)
 {
     switch (op) {
-      case AggOp::kAdd:
+      case ReduceOp::kAdd:
+      case ReduceOp::kCount:
+      case ReduceOp::kFloat:
         return static_cast<Value>(acc + v);  // wraps mod 2^32
-      case AggOp::kMax:
+      case ReduceOp::kMax:
         return acc > v ? acc : v;
-      case AggOp::kMin:
+      case ReduceOp::kMin:
         return acc < v ? acc : v;
     }
     return acc;
 }
 
-/** Accumulate one observation into a 64-bit host-side aggregate map. */
+// ---- fixed-point float encoding (kFloat) ---------------------------------
+
+/** Encode a real number as Q-format two's complement with `frac_bits`
+ *  fractional bits (round to nearest, saturating at the int32 range).
+ *  The switch's wrapping 32-bit add then sums encodings exactly. */
+Value float_encode(double x, std::uint32_t frac_bits);
+
+/** Decode a Q-format word back to a real number (sign-extending). A
+ *  64-bit host aggregate decodes through its low 32 bits — kFloat
+ *  arithmetic is defined modulo 2^32 end-to-end, like the switch. */
+double float_decode(std::uint64_t v, std::uint32_t frac_bits);
+
+// ---- host-side folds -----------------------------------------------------
+
+/** Combine one already-lifted observation into a 64-bit host-side
+ *  aggregate map (first observation of a key is stored as-is). */
 void accumulate(AggregateMap& acc, const Key& key, std::uint64_t value,
-                AggOp op);
+                ReduceOp op);
 
-/** Reference aggregation of whole streams on the host (ground truth for
- *  tests; also the receiver-side merge primitive). */
-void aggregate_into(AggregateMap& acc, const KvStream& stream, AggOp op);
+/** Fold a *raw* stream on the host: lifts every tuple, then combines.
+ *  This is the reference aggregation (ground truth for tests) and the
+ *  receiver-side fold for tuples arriving straight from senders. */
+void aggregate_into(AggregateMap& acc, const KvStream& stream, ReduceOp op);
 
-/** Merge `from` into `acc` with the given operator. */
-void merge_into(AggregateMap& acc, const AggregateMap& from, AggOp op);
+/** Fold a stream of *partials* (switch fetches, tier drains): combines
+ *  without lifting — a count partial is already a count, not a raw
+ *  observation. For every op except kCount this matches
+ *  aggregate_into(); splitting the two keeps lift exactly-once. */
+void merge_stream_into(AggregateMap& acc, const KvStream& stream,
+                       ReduceOp op);
+
+/** Merge the partials in `from` into `acc` (combine only, no lift). */
+void merge_into(AggregateMap& acc, const AggregateMap& from, ReduceOp op);
 
 }  // namespace ask::core
 

@@ -148,6 +148,19 @@ kv_scalar(const WalRecord& r, std::string_view name)
     return 0;
 }
 
+/** Like kv_scalar, but distinguishes "absent" from an explicit 0 —
+ *  needed for fields (like the ReduceOp id, where 0 == kAdd) whose
+ *  absence means "pre-upgrade log, use the caller's default". */
+std::uint64_t
+kv_scalar_or(const WalRecord& r, std::string_view name,
+             std::uint64_t fallback)
+{
+    for (const auto& [key, value] : r.kvs)
+        if (key == name)
+            return value;
+    return fallback;
+}
+
 }  // namespace
 
 const char*
@@ -356,7 +369,8 @@ WalStore::describe() const
 }
 
 WalDaemonState
-rebuild_daemon_state(const std::vector<WalRecord>& records, AggOp op)
+rebuild_daemon_state(const std::vector<WalRecord>& records,
+                     ReduceOp default_op)
 {
     WalDaemonState state;
     std::map<TaskId, std::uint32_t> resets;
@@ -368,6 +382,8 @@ rebuild_daemon_state(const std::vector<WalRecord>& records, AggOp op)
             t = WalRxTaskState{};
             t.expected_senders = r.arg0;
             t.swaps_disabled = r.arg1 != 0;
+            t.op = static_cast<ReduceOp>(kv_scalar_or(
+                r, "op", static_cast<std::uint64_t>(default_op)));
             t.liveness_ns = kv_scalar(r, "liveness_ns");
             t.start_time = kv_scalar(r, "start_time");
             resets[r.task] = 0;
@@ -379,8 +395,9 @@ rebuild_daemon_state(const std::vector<WalRecord>& records, AggOp op)
                 break;
             WalRxTaskState& t = it->second;
             t.observed.emplace_back(r.channel, r.seq);
+            // Combine-only: journaled tuples were lifted at the sender.
             for (const auto& [key, value] : r.kvs) {
-                accumulate(t.local, key, value, op);
+                accumulate(t.local, key, value, t.op);
                 ++t.tuples_aggregated_locally;
             }
             ++t.packets_received;
@@ -397,8 +414,9 @@ rebuild_daemon_state(const std::vector<WalRecord>& records, AggOp op)
             if (it == state.rx_tasks.end())
                 break;
             WalRxTaskState& t = it->second;
+            // Fetched registers are lifted partials: combine only.
             for (const auto& [key, value] : r.kvs) {
-                accumulate(t.local, key, value, op);
+                accumulate(t.local, key, value, t.op);
                 ++t.tuples_fetched_from_switch;
             }
             t.committed_epoch = r.seq;
@@ -434,6 +452,7 @@ rebuild_daemon_state(const std::vector<WalRecord>& records, AggOp op)
             // insensitive to the packetization boundary).
             WalSendState& s = state.sends[r.task];
             s.receiver = r.arg0;
+            s.op = static_cast<ReduceOp>(r.arg1);
             s.stream.reserve(s.stream.size() + r.kvs.size());
             for (const auto& [key, value] : r.kvs)
                 s.stream.push_back({key, static_cast<Value>(value)});

@@ -57,7 +57,8 @@ enum class WalRecordKind : std::uint8_t
     /** Controller: region released (task completed or aborted). */
     kRelease = 2,
     /** Sender: stream accepted for transmission. task; arg0 = receiver
-     *  host; kvs = the stream (replay cursor source). */
+     *  host, arg1 = ReduceOp id; kvs = the stream, already lifted
+     *  (replay cursor source — a replay must not lift again). */
     kSendSubmit = 3,
     /** Sender: archived stream dropped (receiver finished the task). */
     kSendForget = 4,
@@ -65,7 +66,8 @@ enum class WalRecordKind : std::uint8_t
      *  use; a restarted channel must resume at `seq`. */
     kSeqCheckpoint = 5,
     /** Receiver: task accepted. arg0 = expected senders, arg1 = 1 if
-     *  swaps disabled; kvs carry liveness_ns / start_time. */
+     *  swaps disabled; kvs carry liveness_ns / start_time / op (the
+     *  ReduceOp id; absent in pre-op logs, meaning kAdd). */
     kRxTaskStart = 6,
     /** Receiver: fresh DATA packet consumed. channel + seq locate the
      *  seen-window slot; kvs = the decoded tuples it contributed. */
@@ -228,6 +230,8 @@ struct WalRxTaskState
 {
     std::uint32_t expected_senders = 0;
     bool swaps_disabled = false;
+    /** The task's reduction operator; folds below combine with it. */
+    ReduceOp op = ReduceOp::kAdd;
     /** Bit-cast of the task's liveness timeout (ns, -1 = disabled). */
     std::uint64_t liveness_ns = static_cast<std::uint64_t>(-1);
     std::uint64_t start_time = 0;
@@ -255,6 +259,9 @@ struct WalRxTaskState
 struct WalSendState
 {
     std::uint32_t receiver = 0;
+    /** Operator the stream was submitted under (stamped into frames). */
+    ReduceOp op = ReduceOp::kAdd;
+    /** Already lifted at submit_send; replay re-sends verbatim. */
     KvStream stream;
 
     bool operator==(const WalSendState&) const = default;
@@ -277,11 +284,14 @@ struct WalDaemonState
 
 /**
  * Fold a daemon WAL's records into the state a restart installs. Pure:
- * same records + same op => operator==-identical state (the recovery
- * idempotence proof rides on this).
+ * same records + same default op => operator==-identical state (the
+ * recovery idempotence proof rides on this). `default_op` applies to
+ * records from pre-op logs that carry no explicit operator; every fold
+ * is combine-only — journaled tuples were lifted before they were
+ * journaled.
  */
 WalDaemonState rebuild_daemon_state(const std::vector<WalRecord>& records,
-                                    AggOp op);
+                                    ReduceOp default_op);
 
 }  // namespace ask::core
 

@@ -66,7 +66,9 @@ std::vector<std::uint8_t>
 make_frame(const AskHeader& hdr, std::uint32_t payload_bytes)
 {
     std::vector<std::uint8_t> data(kPayloadOffset + payload_bytes, 0);
-    data[kHeaderOffset + 0] = static_cast<std::uint8_t>(hdr.type);
+    data[kHeaderOffset + 0] = static_cast<std::uint8_t>(
+        (static_cast<std::uint8_t>(hdr.op) << 4) |
+        (static_cast<std::uint8_t>(hdr.type) & 0x0F));
     data[kHeaderOffset + 1] = hdr.num_slots;
     put_u16(data, kHeaderOffset + 2, hdr.channel_id);
     put_u32(data, kHeaderOffset + 4, hdr.task_id);
@@ -80,8 +82,17 @@ parse_header(const std::vector<std::uint8_t>& data)
 {
     if (data.size() < kPayloadOffset)
         return std::nullopt;
+    const std::uint8_t op_type = data[kHeaderOffset + 0];
+    const std::uint8_t type = op_type & 0x0F;
+    const std::uint8_t op = op_type >> 4;
+    if (type < static_cast<std::uint8_t>(PacketType::kData) ||
+        type > static_cast<std::uint8_t>(PacketType::kSwapAck))
+        return std::nullopt;
+    if (op >= kNumReduceOps)
+        return std::nullopt;
     AskHeader hdr;
-    hdr.type = static_cast<PacketType>(data[kHeaderOffset + 0]);
+    hdr.type = static_cast<PacketType>(type);
+    hdr.op = static_cast<ReduceOp>(op);
     hdr.num_slots = data[kHeaderOffset + 1];
     hdr.channel_id = get_u16(data, kHeaderOffset + 2);
     hdr.task_id = get_u32(data, kHeaderOffset + 4);

@@ -7,7 +7,10 @@
  *   [20-byte IP header (modeled)] [20-byte ASK header] [payload]
  *
  * ASK header fields (little-endian):
- *   u8  type        packet type (PacketType)
+ *   u8  op_type     low 4 bits: packet type (PacketType);
+ *                   high 4 bits: ReduceOp id of the task's channel.
+ *                   Pre-op frames carried a bare type byte, so their
+ *                   high nibble is 0 == kAdd (the old only op).
  *   u8  num_slots   DATA: number of payload slots (== num_aas)
  *   u16 channel_id  cluster-wide data-channel id
  *   u32 task_id     aggregation task
@@ -51,6 +54,10 @@ enum class PacketType : std::uint8_t
 struct AskHeader
 {
     PacketType type = PacketType::kData;
+    /** Reduction operator of the originating channel; validated against
+     *  the installed region by the switch and against the task by the
+     *  receiver, so a mismatched sender cannot corrupt an aggregate. */
+    ReduceOp op = ReduceOp::kAdd;
     std::uint8_t num_slots = 0;
     ChannelId channel_id = 0;
     TaskId task_id = 0;
@@ -70,7 +77,9 @@ struct WireSlot
 std::vector<std::uint8_t> make_frame(const AskHeader& hdr,
                                      std::uint32_t payload_bytes);
 
-/** Parse the ASK header; std::nullopt if the buffer is too short. */
+/** Parse the ASK header; std::nullopt if the buffer is too short, the
+ *  type nibble is not a known PacketType, or the op nibble is not a
+ *  known ReduceOp (unknown op ids must be rejected, never folded). */
 std::optional<AskHeader> parse_header(const std::vector<std::uint8_t>& data);
 
 /** Rewrite the bitmap field of an already-serialized frame in place. */

@@ -30,6 +30,15 @@ AccessPlan::find_array(const std::string& name) const
     return nullptr;
 }
 
+const ReduceOpDecl*
+AccessPlan::find_reduce_op(std::uint8_t id) const
+{
+    for (const auto& op : reduce_ops)
+        if (op.id == id)
+            return &op;
+    return nullptr;
+}
+
 Step
 access(std::string array, AccessKind kind)
 {

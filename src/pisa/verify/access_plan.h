@@ -49,6 +49,24 @@ enum class AccessKind : std::uint8_t
 /** Short display name ("read" / "RMW" / "write"). */
 const char* access_kind_name(AccessKind kind);
 
+/**
+ * Declaration of one reduction operator the program's stateful ALUs
+ * implement. PISA ALUs support a small fixed menu of update functions
+ * (add, signed/unsigned min/max, bitwise ops); a plan lists the ones
+ * the program compiles in so install-time binding can reject any op
+ * the hardware pass was not built for — an undeclared op would
+ * silently aggregate with the wrong function.
+ */
+struct ReduceOpDecl
+{
+    /** Wire/config id of the operator (ask::core::ReduceOp value). */
+    std::uint8_t id = 0;
+    /** Display name ("sum", "max", ...). */
+    std::string name;
+    /** Operand width the ALU folds at; 1..32 bits (vPart width). */
+    std::uint32_t value_bits = 0;
+};
+
 /** Declaration of one register array: placement and shape. */
 struct ArrayDecl
 {
@@ -133,9 +151,14 @@ struct AccessPlan
     std::string program;
     std::vector<ArrayDecl> arrays;
     std::vector<PassPlan> passes;
+    /** Reduction operators the aggregation pass implements. */
+    std::vector<ReduceOpDecl> reduce_ops;
 
     /** Declaration lookup; nullptr when absent. */
     const ArrayDecl* find_array(const std::string& name) const;
+
+    /** Reduce-op lookup by id; nullptr when the op is undeclared. */
+    const ReduceOpDecl* find_reduce_op(std::uint8_t id) const;
 };
 
 // ---- construction helpers ------------------------------------------------

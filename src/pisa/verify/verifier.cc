@@ -163,6 +163,25 @@ check_structure(const AccessPlan& plan, const PipelineBudget& budget,
                                    std::to_string(bytes) + " bytes > budget " +
                                    std::to_string(budget.sram_per_stage));
     }
+
+    std::set<unsigned> op_ids;
+    std::set<std::string> op_names;
+    for (const auto& op : plan.reduce_ops) {
+        if (!op_ids.insert(op.id).second)
+            report.add("reduce-op", "reduce op id " + std::to_string(op.id) +
+                                        " declared twice");
+        if (op.name.empty())
+            report.add("reduce-op", "reduce op id " + std::to_string(op.id) +
+                                        " has no name");
+        else if (!op_names.insert(op.name).second)
+            report.add("reduce-op",
+                       "reduce op '" + op.name + "' declared twice");
+        if (op.value_bits < 1 || op.value_bits > 32)
+            report.add("reduce-op",
+                       "reduce op '" + op.name +
+                           "' operand width must be 1..32 bits: " +
+                           std::to_string(op.value_bits));
+    }
 }
 
 void

@@ -51,7 +51,7 @@ struct Violation
 {
     /** Rule identifier: "single-access", "backward-stage",
      *  "forward-dependency", "stage-count", "stage-arrays", "sram",
-     *  "coverage", "declaration". */
+     *  "coverage", "declaration", "reduce-op". */
     std::string rule;
     std::string message;
     /** Branch-arm trace of the offending path ("" for structural

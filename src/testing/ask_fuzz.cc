@@ -133,6 +133,12 @@ main(int argc, char** argv)
               << report.crash_scenarios << " with host crashes, "
               << report.total_tuples << " tuples), "
               << report.failures.size() << " failure(s)\n";
+    std::cout << "ask_fuzz: op coverage:";
+    for (std::size_t i = 0; i < report.op_tasks.size(); ++i)
+        std::cout << " "
+                  << core::reduce_op_name(static_cast<core::ReduceOp>(i))
+                  << "=" << report.op_tasks[i];
+    std::cout << "\n";
 
     if (!report.ok()) {
         for (const auto& f : report.failures) {

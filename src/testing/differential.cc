@@ -257,6 +257,51 @@ probe_access_plan(core::AskCluster& cluster, DiffResult& out)
     }
 }
 
+/**
+ * Exactly-once probe for the reduction algebra: fold every stream TWICE
+ * (the worst-case "every packet was retransmitted and replayed after a
+ * reboot" trace) and compare against the single-application truth.
+ * Idempotent ops (min/max) must absorb the replay — doubled == truth —
+ * which is why they never needed the seen window for correctness. For
+ * non-idempotent ops (sum/count/float) the doubled fold MUST differ on
+ * any non-trivial stream; the cluster's delivered result is then
+ * checked against it, so a seen-window regression that double-applies
+ * retransmissions across ToR/tier reboots produces a named witness
+ * here, not just a generic key divergence.
+ */
+void
+probe_exactly_once(const ScenarioSpec& spec, const TaskSpec& task,
+                   const core::AggregateMap& delivered, DiffResult& out)
+{
+    core::ReduceOp op = task.options.op.value_or(spec.cluster.ask.op);
+    core::AggregateMap truth = ground_truth(task, spec.cluster.ask.op);
+    core::AggregateMap doubled;
+    for (int pass = 0; pass < 2; ++pass)
+        for (const auto& s : task.streams)
+            core::aggregate_into(doubled, s.stream, op);
+
+    std::string label = "task " + std::to_string(task.id) + " (" +
+                        core::reduce_op_name(op) + "): ";
+    if (core::reduce_op_idempotent(op)) {
+        if (!maps_equal(truth, doubled)) {
+            out.probe_failures.push_back(
+                {"exactly_once",
+                 label + "idempotent op changed under full replay"});
+        }
+        return;
+    }
+    if (truth.empty())
+        return;  // no mass to conserve
+    if (maps_equal(truth, doubled))
+        return;  // degenerate (all-zero values): no distinguishing power
+    if (maps_equal(delivered, doubled)) {
+        out.probe_failures.push_back(
+            {"exactly_once",
+             label + "delivered aggregate matches the DOUBLE-application "
+                     "fold — retransmission replay was applied twice"});
+    }
+}
+
 }  // namespace
 
 bool
@@ -374,6 +419,7 @@ run_differential(const ScenarioSpec& spec)
                     out.divergences.push_back(
                         {t.id, key, std::nullopt, actual});
             }
+            probe_exactly_once(spec, t, c.result, out);
         }
         out.tasks.push_back(std::move(outcome));
     }

@@ -25,6 +25,15 @@ make_failure(const ScenarioSpec& spec, const DiffResult& diff, bool shrink,
     return f;
 }
 
+void
+tally_ops(const ScenarioSpec& spec, FuzzReport& report)
+{
+    for (const auto& t : spec.tasks) {
+        core::ReduceOp op = t.options.op.value_or(spec.cluster.ask.op);
+        ++report.op_tasks[static_cast<std::size_t>(op)];
+    }
+}
+
 bool
 has_crash_event(const ScenarioSpec& spec)
 {
@@ -60,6 +69,11 @@ FuzzReport::to_json() const
     d.set("chaos_scenarios", chaos_scenarios);
     d.set("crash_scenarios", crash_scenarios);
     d.set("total_tuples", total_tuples);
+    obs::Json ops = obs::Json::object();
+    for (std::size_t i = 0; i < op_tasks.size(); ++i)
+        ops.set(core::reduce_op_name(static_cast<core::ReduceOp>(i)),
+                op_tasks[i]);
+    d.set("op_coverage", std::move(ops));
     d.set("ok", ok());
 
     obs::Json fails = obs::Json::array();
@@ -93,6 +107,7 @@ run_fuzz(const FuzzOptions& options)
         std::uint64_t seed = split_mix64(chain);
         ScenarioSpec spec = generate_scenario(seed, tuning);
         report.total_tuples += spec.total_tuples();
+        tally_ops(spec, report);
         if (!spec.chaos.empty())
             ++report.chaos_scenarios;
         if (has_crash_event(spec))
@@ -125,6 +140,7 @@ replay_seed(std::uint64_t seed, bool shrink, std::uint32_t shrink_attempts,
 
     ScenarioSpec spec = generate_scenario(seed, tuning);
     report.total_tuples = spec.total_tuples();
+    tally_ops(spec, report);
     if (!spec.chaos.empty())
         report.chaos_scenarios = 1;
     if (has_crash_event(spec))

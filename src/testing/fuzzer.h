@@ -13,6 +13,7 @@
 #ifndef ASK_TESTING_FUZZER_H
 #define ASK_TESTING_FUZZER_H
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <vector>
@@ -64,6 +65,10 @@ struct FuzzReport
     /** Scenarios whose chaos plan crashed a host or the controller. */
     std::uint32_t crash_scenarios = 0;
     std::uint64_t total_tuples = 0;
+    /** Tasks run per ReduceOp (index = op id): proves every operator —
+     *  sum, max, min, count, and fixed-point float — actually had its
+     *  oracle armed during the campaign. */
+    std::array<std::uint64_t, core::kNumReduceOps> op_tasks{};
     std::vector<FuzzFailure> failures;
 
     bool ok() const { return failures.empty(); }

@@ -5,8 +5,12 @@
 namespace ask::testing {
 
 core::AggregateMap
-ground_truth(const TaskSpec& task, core::AggOp op)
+ground_truth(const TaskSpec& task, core::ReduceOp default_op)
 {
+    // Resolve the operator exactly like the service does: a per-task
+    // override beats the cluster default.
+    core::ReduceOp op = task.options.op.value_or(default_op);
+
     // Direct fold: every tuple of every stream, in order.
     core::AggregateMap direct;
     for (const auto& s : task.streams)

@@ -22,8 +22,11 @@
 
 namespace ask::testing {
 
-/** The exact per-key aggregate `task` must produce under `op`. */
-core::AggregateMap ground_truth(const TaskSpec& task, core::AggOp op);
+/** The exact per-key aggregate `task` must produce. `default_op` is
+ *  the cluster-wide operator; a per-task TaskOptions::op override wins,
+ *  mirroring exactly how the service resolves it. */
+core::AggregateMap ground_truth(const TaskSpec& task,
+                                core::ReduceOp default_op);
 
 /** True when the two maps hold exactly the same key set and values. */
 bool maps_equal(const core::AggregateMap& a, const core::AggregateMap& b);

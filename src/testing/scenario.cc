@@ -220,6 +220,8 @@ ScenarioSpec::describe() const
         tj.set("id", t.id);
         tj.set("receiver", t.receiver_host);
         tj.set("region_len", t.options.region_len);
+        tj.set("op", core::reduce_op_name(
+                         t.options.op.value_or(cluster.ask.op)));
         tj.set("swaps_disabled",
                t.options.swap_policy ==
                    core::TaskOptions::SwapPolicy::kDisabled);
@@ -320,6 +322,21 @@ generate_scenario(std::uint64_t seed, const ScenarioTuning& tuning)
                 task.streams.push_back({h, sample_stream(rng)});
         }
         spec.tasks.push_back(std::move(task));
+    }
+
+    // Per-task reduction operators ride a dedicated chain so arming
+    // them never perturbed the deployment/stream draws of pre-existing
+    // seeds. Roughly a third of tasks inherit the cluster default (op
+    // stays nullopt — exercising the fallback), the rest override with
+    // a uniform draw over the full menu, kCount and kFloat included
+    // (part_bits is 32 in every sampled deployment, so kFloat is
+    // always declared by the access plan).
+    Rng op_rng(mix64(seed ^ 0x5edc0b5a11ULL));
+    for (TaskSpec& task : spec.tasks) {
+        if (op_rng.chance(0.35))
+            continue;
+        task.options.op = static_cast<core::ReduceOp>(
+            op_rng.next_below(core::kNumReduceOps));
     }
 
     // ---- chaos -----------------------------------------------------------

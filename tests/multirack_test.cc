@@ -196,6 +196,67 @@ TEST(MultiRack, CollidingKeysMergeAtTheTier)
     EXPECT_GT(cluster.switch_stats(kTier).tuples_aggregated, 0u);
 }
 
+TEST(MultiRack, MinMaxAcrossRacksMergeWithBoundOp)
+{
+    // Regression: the ToR residual path and the tier's software merge
+    // used to assume '+'. A min/max task spanning both racks — with a
+    // tiny region forcing collisions and genuine second-level merges —
+    // must equal the sequential fold under the bound operator (a sum
+    // would overshoot min and scramble max whenever the same key is
+    // merged at two levels).
+    for (ReduceOp op : {ReduceOp::kMin, ReduceOp::kMax}) {
+        AskCluster cluster(fabric_config(20));
+        std::vector<StreamSpec> streams = {{HostId{1}, rack_stream(30, 500)},
+                                           {HostId{2}, rack_stream(31, 500)}};
+        AggregateMap truth = truth_of(streams, op);
+
+        TaskOptions opts;
+        opts.op = op;
+        opts.region_len = 2;
+        TaskResult r = cluster.run_task(5, HostId{0}, streams, opts);
+        ASSERT_TRUE(r.ok()) << r.report.detail;
+        EXPECT_EQ(r.result, truth) << reduce_op_name(op);
+        EXPECT_GT(cluster.switch_stats(kTier).tuples_aggregated, 0u)
+            << reduce_op_name(op);
+    }
+}
+
+TEST(MultiRack, CountTaskSurvivesToRRebootExactlyOnce)
+{
+    // count is not idempotent: any retransmission the reboot provokes
+    // that slipped past the seen window would inflate the tally. The
+    // delivered counts must match the sequential fold exactly.
+    ClusterConfig cc = fabric_config(21);
+    std::vector<StreamSpec> streams = {{HostId{2}, rack_stream(32, 900)},
+                                       {HostId{3}, rack_stream(33, 900)}};
+    TaskOptions opts;
+    opts.op = ReduceOp::kCount;
+    AggregateMap truth = truth_of(streams, ReduceOp::kCount);
+
+    sim::SimTime mid;
+    {
+        AskCluster dry(cc);
+        TaskResult r = dry.run_task(1, HostId{0}, streams, opts);
+        ASSERT_TRUE(r.ok()) << r.report.detail;
+        mid = r.report.finish_time / 2;
+    }
+
+    AskCluster cluster(cc);
+    sim::ChaosPlan plan;
+    sim::ChaosEvent reboot;
+    reboot.kind = sim::ChaosKind::kSwitchReboot;
+    reboot.at = mid;
+    reboot.duration = 200 * kMicrosecond;
+    reboot.subject = 1;  // the senders' ToR
+    plan.add(reboot);
+    cluster.arm_chaos(plan);
+
+    TaskResult r = cluster.run_task(1, HostId{0}, streams, opts);
+    ASSERT_TRUE(r.ok()) << r.report.detail;
+    EXPECT_EQ(r.result, truth);
+    EXPECT_EQ(cluster.chaos_stats().switch_reboots, 1u);
+}
+
 TEST(MultiRack, ConcurrentTasksInBothRacksStayExact)
 {
     AskCluster cluster(fabric_config(6));

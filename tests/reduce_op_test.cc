@@ -1,0 +1,223 @@
+/**
+ * Property tests of the reduction-operator algebra (ask/types.h).
+ *
+ * The whole aggregation service leans on three algebraic facts about
+ * every ReduceOp: the combine is associative and commutative (switch,
+ * tier, and host may fold partials in any grouping and order), the
+ * lift happens exactly once per observation (kCount), and idempotent
+ * ops absorb replay while non-idempotent ops rely on the seen window.
+ * These tests pin each fact per operator, plus the fixed-point codec
+ * kFloat rides on.
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "ask/types.h"
+#include "common/random.h"
+
+namespace ask::core {
+namespace {
+
+constexpr std::array<ReduceOp, kNumReduceOps> kAllOps = {
+    ReduceOp::kAdd, ReduceOp::kMax, ReduceOp::kMin, ReduceOp::kCount,
+    ReduceOp::kFloat};
+
+/** Fold a value list left-to-right with the op's combine. */
+std::uint64_t
+fold(ReduceOp op, const std::vector<std::uint64_t>& values)
+{
+    AggregateMap m;
+    for (std::uint64_t v : values)
+        accumulate(m, "k", v, op);
+    return m.at("k");
+}
+
+TEST(ReduceOpAlgebra, CombineIsCommutative)
+{
+    Rng rng = seeded_rng("reduce_commute", 1);
+    for (ReduceOp op : kAllOps) {
+        for (int trial = 0; trial < 50; ++trial) {
+            std::vector<std::uint64_t> values;
+            std::uint64_t n = 2 + rng.next_below(6);
+            for (std::uint64_t i = 0; i < n; ++i)
+                values.push_back(rng.next_below(1u << 20));
+            std::uint64_t forward = fold(op, values);
+            std::reverse(values.begin(), values.end());
+            EXPECT_EQ(fold(op, values), forward)
+                << reduce_op_name(op) << " trial " << trial;
+        }
+    }
+}
+
+TEST(ReduceOpAlgebra, CombineIsAssociative)
+{
+    // Host-side merge order must not matter: fold everything directly
+    // vs fold per-sender partials and merge the partials — the same
+    // self-check the oracle runs, here over every operator.
+    Rng rng = seeded_rng("reduce_assoc", 2);
+    for (ReduceOp op : kAllOps) {
+        for (int trial = 0; trial < 50; ++trial) {
+            std::vector<KvStream> senders(1 + rng.next_below(4));
+            AggregateMap direct;
+            for (auto& s : senders) {
+                std::uint64_t n = 1 + rng.next_below(8);
+                for (std::uint64_t i = 0; i < n; ++i) {
+                    Key key = "k" + std::to_string(rng.next_below(5));
+                    auto v = static_cast<Value>(rng.next_below(1u << 20));
+                    s.push_back({key, v});
+                }
+                aggregate_into(direct, s, op);
+            }
+            AggregateMap merged;
+            for (const auto& s : senders) {
+                AggregateMap partial;
+                aggregate_into(partial, s, op);
+                merge_into(merged, partial, op);
+            }
+            EXPECT_EQ(direct, merged)
+                << reduce_op_name(op) << " trial " << trial;
+        }
+    }
+}
+
+TEST(ReduceOpAlgebra, IdentityElementIsNeutral)
+{
+    // An empty window drains as the identity; combining it with any
+    // partial must leave the partial unchanged.
+    Rng rng = seeded_rng("reduce_identity", 3);
+    for (ReduceOp op : kAllOps) {
+        for (int trial = 0; trial < 100; ++trial) {
+            auto v = static_cast<Value>(rng.next_u64() & 0xFFFFFFFFu);
+            EXPECT_EQ(apply_op(op, reduce_identity(op), v), v)
+                << reduce_op_name(op) << " value " << v;
+        }
+    }
+}
+
+TEST(ReduceOpAlgebra, EmptyStreamFoldsToEmptyAggregate)
+{
+    for (ReduceOp op : kAllOps) {
+        AggregateMap m;
+        aggregate_into(m, {}, op);
+        EXPECT_TRUE(m.empty()) << reduce_op_name(op);
+        merge_stream_into(m, {}, op);
+        EXPECT_TRUE(m.empty()) << reduce_op_name(op);
+    }
+}
+
+TEST(ReduceOpAlgebra, IdempotenceMatchesReplayBehaviour)
+{
+    // min/max absorb a full replay of the stream; sum/count/float must
+    // not — that difference is exactly what the seen window exists for.
+    EXPECT_TRUE(reduce_op_idempotent(ReduceOp::kMax));
+    EXPECT_TRUE(reduce_op_idempotent(ReduceOp::kMin));
+    EXPECT_FALSE(reduce_op_idempotent(ReduceOp::kAdd));
+    EXPECT_FALSE(reduce_op_idempotent(ReduceOp::kCount));
+    EXPECT_FALSE(reduce_op_idempotent(ReduceOp::kFloat));
+
+    KvStream stream = {{"a", 3}, {"b", 7}, {"a", 5}};
+    for (ReduceOp op : kAllOps) {
+        AggregateMap once;
+        aggregate_into(once, stream, op);
+        AggregateMap twice;
+        aggregate_into(twice, stream, op);
+        aggregate_into(twice, stream, op);
+        if (reduce_op_idempotent(op))
+            EXPECT_EQ(once, twice) << reduce_op_name(op);
+        else
+            EXPECT_NE(once, twice) << reduce_op_name(op);
+    }
+}
+
+TEST(ReduceOpAlgebra, CountLiftsEveryObservationToOne)
+{
+    EXPECT_EQ(reduce_lift(ReduceOp::kCount, 42u), 1u);
+    EXPECT_EQ(reduce_lift(ReduceOp::kCount, 0u), 1u);
+    EXPECT_EQ(reduce_lift(ReduceOp::kAdd, 42u), 42u);
+    EXPECT_EQ(reduce_lift(ReduceOp::kMin, 42u), 42u);
+
+    KvStream stream = {{"a", 9}, {"b", 1}, {"a", 100}, {"a", 3}};
+    AggregateMap m;
+    aggregate_into(m, stream, ReduceOp::kCount);
+    EXPECT_EQ(m.at("a"), 3u);
+    EXPECT_EQ(m.at("b"), 1u);
+
+    // merge_stream_into is combine-only: partial counts add, they are
+    // not re-lifted to 1.
+    AggregateMap merged;
+    merge_stream_into(merged, {{"a", 3}}, ReduceOp::kCount);
+    merge_stream_into(merged, {{"a", 2}}, ReduceOp::kCount);
+    EXPECT_EQ(merged.at("a"), 5u);
+}
+
+TEST(ReduceOpAlgebra, NamesParseAndRoundTrip)
+{
+    for (ReduceOp op : kAllOps) {
+        ReduceOp parsed = ReduceOp::kAdd;
+        ASSERT_TRUE(parse_reduce_op(reduce_op_name(op), parsed))
+            << reduce_op_name(op);
+        EXPECT_EQ(parsed, op);
+    }
+    ReduceOp parsed = ReduceOp::kMax;
+    EXPECT_TRUE(parse_reduce_op("add", parsed));  // alias for sum
+    EXPECT_EQ(parsed, ReduceOp::kAdd);
+    EXPECT_FALSE(parse_reduce_op("median", parsed));
+}
+
+TEST(FixedPointCodec, RoundTripsWithinPrecision)
+{
+    const std::uint32_t frac = 16;
+    Rng rng = seeded_rng("fixed_point", 4);
+    for (int trial = 0; trial < 200; ++trial) {
+        double x = (rng.next_double() - 0.5) * 60000.0;
+        double back = float_decode(float_encode(x, frac), frac);
+        EXPECT_NEAR(back, x, 1.0 / (1 << frac)) << "x=" << x;
+    }
+    EXPECT_EQ(float_decode(float_encode(0.0, frac), frac), 0.0);
+    EXPECT_EQ(float_decode(float_encode(-1.5, frac), frac), -1.5);
+}
+
+TEST(FixedPointCodec, AdditionIsExactInTheRing)
+{
+    // The switch ALU adds 32-bit words mod 2^32; two's-complement makes
+    // that exact signed addition as long as the true sum stays in
+    // range — gradients of mixed sign cancel correctly.
+    const std::uint32_t frac = 16;
+    Rng rng = seeded_rng("fixed_point_add", 5);
+    for (int trial = 0; trial < 200; ++trial) {
+        double a = (rng.next_double() - 0.5) * 1000.0;
+        double b = (rng.next_double() - 0.5) * 1000.0;
+        std::uint64_t word = apply_op(ReduceOp::kFloat,
+                                      float_encode(a, frac),
+                                      float_encode(b, frac));
+        double qa = float_decode(float_encode(a, frac), frac);
+        double qb = float_decode(float_encode(b, frac), frac);
+        EXPECT_EQ(float_decode(word, frac), qa + qb)
+            << "a=" << a << " b=" << b;
+    }
+}
+
+TEST(FixedPointCodec, SaturatesAtInt32RangeAndRejectsNan)
+{
+    const std::uint32_t frac = 16;
+    double max_rep = float_decode(float_encode(1e12, frac), frac);
+    EXPECT_EQ(max_rep,
+              std::ldexp(static_cast<double>(
+                             std::numeric_limits<std::int32_t>::max()),
+                         -static_cast<int>(frac)));
+    double min_rep = float_decode(float_encode(-1e12, frac), frac);
+    EXPECT_EQ(min_rep,
+              std::ldexp(static_cast<double>(
+                             std::numeric_limits<std::int32_t>::min()),
+                         -static_cast<int>(frac)));
+    EXPECT_EQ(float_encode(std::nan(""), frac),
+              float_encode(-1e12, frac));
+}
+
+}  // namespace
+}  // namespace ask::core

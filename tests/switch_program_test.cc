@@ -9,7 +9,9 @@
 
 #include <algorithm>
 #include <map>
+#include <utility>
 
+#include "common/logging.h"
 #include "ask/controller.h"
 #include "ask/packet_builder.h"
 #include "common/random.h"
@@ -81,6 +83,7 @@ class SwitchProgramTest : public ::testing::Test
         AskHeader hdr;
         hdr.type = PacketType::kData;
         hdr.num_slots = static_cast<std::uint8_t>(config_.num_aas);
+        hdr.op = op_;
         hdr.channel_id = kChannel;
         hdr.task_id = kTask;
         hdr.seq = seq;
@@ -115,7 +118,7 @@ class SwitchProgramTest : public ::testing::Test
         for (std::uint32_t copy = 0; copy < 2; ++copy) {
             for (const auto& kv :
                  program_.read_region(kTask, copy, /*clear=*/false))
-                accumulate(out, kv.key, kv.value, AggOp::kAdd);
+                accumulate(out, kv.key, kv.value, op_);
         }
         return out;
     }
@@ -130,6 +133,9 @@ class SwitchProgramTest : public ::testing::Test
     SinkNode sender_;
     SinkNode receiver_;
     TaskRegion region_;
+    /** Op stamped on built DATA frames and used to fold register
+     *  contents; tests that reallocate with another op set this too. */
+    ReduceOp op_ = ReduceOp::kAdd;
 };
 
 TEST_F(SwitchProgramTest, FullyAggregatedPacketIsAckedAndConsumed)
@@ -332,15 +338,21 @@ TEST_F(SwitchProgramTest, BatchedPassMatchesPerTupleReference)
     // KeySpace API alone — same addressing, reservation, and collision
     // rules — and every injected packet's verdict (ACK vs forward, the
     // forwarded bitmap) plus the final register contents must match it
-    // bit for bit. Runs once with a power-of-two region (mask reduction
-    // path) and once with a non-power-of-two region (modulo path),
-    // over full, partial, and blank-slot packets with retransmissions.
+    // bit for bit. Runs with a power-of-two region (mask reduction
+    // path) and a non-power-of-two region (modulo path), over full,
+    // partial, and blank-slot packets with retransmissions — and under
+    // every distinct ALU combine (add covers count/float, whose combine
+    // is the same wrapping add; max and min exercise the comparisons).
     Rng rng = seeded_rng("switch_program_equiv", 11);
     Seq seq = 0;
 
-    for (std::uint32_t region_len : {2u, 3u}) {
+    const std::pair<ReduceOp, std::uint32_t> variants[] = {
+        {ReduceOp::kAdd, 2u}, {ReduceOp::kAdd, 3u},
+        {ReduceOp::kMax, 2u}, {ReduceOp::kMin, 3u}};
+    for (const auto& [op, region_len] : variants) {
+        op_ = op;
         controller_.release(kTask);
-        region_ = *controller_.allocate(kTask, region_len);
+        region_ = *controller_.allocate(kTask, region_len, op);
 
         // Reference register file: (aa slot, flat index) -> (seg, value).
         // kpart == 0 means blank, exactly as on the switch.
@@ -402,12 +414,12 @@ TEST_F(SwitchProgramTest, BatchedPassMatchesPerTupleReference)
                 if (cell.first == 0) {
                     cell = {ws.seg, ws.value};
                 } else if (cell.first == ws.seg) {
-                    cell.second += ws.value;
+                    cell.second = apply_op(op, cell.second, ws.value);
                 } else {
                     continue;  // collision: the bit stays set
                 }
                 expect_bitmap &= ~(1ULL << slot);
-                accumulate(expect_agg, key, ws.value, AggOp::kAdd);
+                accumulate(expect_agg, key, ws.value, op);
             }
             for (const auto& [group, key] : medium_keys) {
                 std::string padded = key_space_.padded(key);
@@ -432,13 +444,14 @@ TEST_F(SwitchProgramTest, BatchedPassMatchesPerTupleReference)
                             j + 1 == m ? val : 0};
                     }
                 } else if (match) {
-                    regs[{mb + m - 1, idx}].second += val;
+                    auto& value_cell = regs[{mb + m - 1, idx}];
+                    value_cell.second = apply_op(op, value_cell.second, val);
                 } else {
                     continue;  // collision: the whole group stays set
                 }
                 for (std::uint32_t j = 0; j < m; ++j)
                     expect_bitmap &= ~(1ULL << (mb + j));
-                accumulate(expect_agg, key, val, AggOp::kAdd);
+                accumulate(expect_agg, key, val, op);
             }
 
             // ---- inject (plus an occasional retransmission) ----------
@@ -467,8 +480,111 @@ TEST_F(SwitchProgramTest, BatchedPassMatchesPerTupleReference)
 
         // ---- final register contents match the reference -------------
         EXPECT_EQ(switch_contents(), expect_agg)
-            << "region_len " << region_len;
+            << reduce_op_name(op) << " region_len " << region_len;
     }
+    op_ = ReduceOp::kAdd;
+}
+
+TEST_F(SwitchProgramTest, PerOpSwitchMergeMatchesHostFold)
+{
+    // Same shape of repeated-key packets under every operator: the
+    // switch's blank-install-then-combine must equal a plain host-side
+    // accumulate fold of the (already lifted) values. Seq keeps
+    // increasing across ops — the seen window is per channel, not per
+    // task, so it survives the release/reallocate cycles.
+    Seq seq = 0;
+    const std::uint32_t frac = config_.float_frac_bits;
+    for (ReduceOp op : {ReduceOp::kAdd, ReduceOp::kMax, ReduceOp::kMin,
+                        ReduceOp::kCount, ReduceOp::kFloat}) {
+        controller_.release(kTask);
+        region_ = *controller_.allocate(kTask, 32, op);
+        op_ = op;
+
+        // The sender lifts exactly once, so the switch only ever sees
+        // lifted values: count observations arrive as 1, float values
+        // as Q-format words — including a negative one, which the
+        // wrapping two's-complement add must cancel exactly.
+        std::vector<KvStream> packets;
+        if (op == ReduceOp::kCount) {
+            packets = {{{"aa", 1}, {"bb", 1}}, {{"aa", 1}}, {{"aa", 1}}};
+        } else if (op == ReduceOp::kFloat) {
+            packets = {{{"aa", float_encode(2.5, frac)}},
+                       {{"aa", float_encode(-1.25, frac)},
+                        {"bb", float_encode(0.5, frac)}}};
+        } else {
+            packets = {{{"aa", 7}, {"bb", 3}}, {{"aa", 41}}, {{"bb", 3}}};
+        }
+
+        AggregateMap expect;
+        for (const auto& stream : packets) {
+            merge_stream_into(expect, stream, op);
+            inject(data_packet(stream, seq++));
+        }
+        EXPECT_EQ(switch_contents(), expect) << reduce_op_name(op);
+        if (op == ReduceOp::kFloat) {
+            EXPECT_EQ(float_decode(switch_contents().at("aa"), frac), 1.25);
+        }
+    }
+    op_ = ReduceOp::kAdd;
+}
+
+TEST_F(SwitchProgramTest, OpMismatchDroppedBeforeWindow)
+{
+    // A DATA frame whose op id contradicts the task's bound operator is
+    // dropped before the seen window observes its seq: no ACK, no
+    // forward — and a correct-op frame with the SAME seq afterwards
+    // still aggregates (the mismatch left no reliability state behind).
+    op_ = ReduceOp::kMax;
+    net::Packet wrong = data_packet({{"aa", 5}}, 0);
+    op_ = ReduceOp::kAdd;
+    inject(std::move(wrong));
+    EXPECT_TRUE(sender_.received.empty());
+    EXPECT_TRUE(receiver_.received.empty());
+    EXPECT_EQ(program_.stats().op_mismatch, 1u);
+    EXPECT_TRUE(switch_contents().empty());
+
+    inject(data_packet({{"aa", 5}}, 0));
+    EXPECT_EQ(switch_contents().at("aa"), 5u);
+    EXPECT_EQ(program_.stats().duplicates, 0u);
+    ASSERT_EQ(sender_.received.size(), 1u);
+    EXPECT_EQ(parse_header(sender_.received[0].data)->type,
+              PacketType::kAck);
+}
+
+TEST(SwitchController, UndeclaredOpRejectedBeforeAllocation)
+{
+    // 16-bit vParts cannot carry Q-format floats, so the access plan of
+    // a part_bits == 16 program does not declare kFloat: asking for it
+    // throws ConfigError before any region is journalled or installed,
+    // while the declared ops still allocate normally.
+    sim::Simulator simulator;
+    net::Network network(simulator);
+    pisa::PisaSwitch sw(network, 16, pisa::kDefaultStageSramBytes);
+    AskConfig cfg = test_config();
+    cfg.part_bits = 16;
+    AskSwitchProgram program(cfg, sw);
+    AskSwitchController ctl(program);
+
+    std::uint32_t free_before = ctl.free_aggregators();
+    EXPECT_THROW(ctl.allocate(1, 10, ReduceOp::kFloat), ConfigError);
+    EXPECT_EQ(ctl.free_aggregators(), free_before);  // nothing leaked
+    EXPECT_TRUE(ctl.allocate(1, 10, ReduceOp::kMin).has_value());
+}
+
+TEST(SwitchController, UnknownOpIdRejectedAtInstall)
+{
+    // The data-plane backstop: an op id outside the access plan's
+    // declarations never installs, whatever path produced the region.
+    sim::Simulator simulator;
+    net::Network network(simulator);
+    pisa::PisaSwitch sw(network, 16, pisa::kDefaultStageSramBytes);
+    AskConfig cfg = test_config();
+    AskSwitchProgram program(cfg, sw);
+
+    TaskRegion region;
+    region.len = 4;
+    region.op = static_cast<ReduceOp>(9);
+    EXPECT_THROW(program.install_task(1, region), ConfigError);
 }
 
 TEST_F(SwitchProgramTest, SwapRedirectsWritesToOtherCopy)

@@ -80,6 +80,50 @@ TEST(AccessPlanVerify, ShadowCopiesOffIsLegal)
     EXPECT_TRUE(result.ok()) << result.describe();
 }
 
+TEST(AccessPlanVerify, ReduceOpsDeclaredPerPartBits)
+{
+    // 32-bit vParts compile all five operators; 16-bit vParts cannot
+    // carry Q-format floats, so kFloat is absent from that plan — the
+    // declaration gap is what install-time binding rejects against.
+    core::AskConfig config;
+    config.validate();
+    AccessPlan plan = core::AskSwitchProgram::make_access_plan(config);
+    EXPECT_EQ(plan.reduce_ops.size(), 5u);
+    ASSERT_NE(plan.find_reduce_op(4), nullptr);
+    EXPECT_EQ(plan.find_reduce_op(4)->name, "float");
+    EXPECT_EQ(plan.find_reduce_op(4)->value_bits, 32u);
+
+    core::AskConfig narrow;
+    narrow.part_bits = 16;
+    narrow.validate();
+    AccessPlan p16 = core::AskSwitchProgram::make_access_plan(narrow);
+    EXPECT_EQ(p16.reduce_ops.size(), 4u);
+    EXPECT_EQ(p16.find_reduce_op(4), nullptr);
+    for (std::uint8_t id = 0; id < 4; ++id)
+        EXPECT_NE(p16.find_reduce_op(id), nullptr) << unsigned(id);
+    VerifyResult result = verify(p16, default_budget());
+    EXPECT_TRUE(result.ok()) << result.describe();
+}
+
+TEST(AccessPlanVerify, MalformedReduceOpDeclarationsRejected)
+{
+    core::AskConfig config;
+    config.validate();
+    const AccessPlan base = core::AskSwitchProgram::make_access_plan(config);
+
+    auto expect_rejected = [&](ReduceOpDecl decl, const char* why) {
+        AccessPlan plan = base;
+        plan.reduce_ops.push_back(std::move(decl));
+        VerifyResult result = verify(plan, default_budget());
+        EXPECT_NE(find_violation(result, "reduce-op"), nullptr) << why;
+    };
+    expect_rejected({0, "sum2", 32}, "duplicate id");
+    expect_rejected({9, "", 32}, "missing name");
+    expect_rejected({9, "sum", 32}, "duplicate name");
+    expect_rejected({9, "wide", 64}, "operand wider than a vPart");
+    expect_rejected({9, "null", 0}, "zero-width operand");
+}
+
 TEST(AccessPlanVerify, PlanMatchesInstalledPlacement)
 {
     // The constructor declares exactly the plan's arrays: same names,

@@ -369,6 +369,62 @@ TEST(WalRebuild, FoldHonorsTheAggregationOp)
               3u);
 }
 
+TEST(WalRebuild, PerTaskOpKvOverridesTheDefault)
+{
+    // A journalled "op" kv pins the task's operator; the default_op
+    // argument only covers pre-upgrade logs that never recorded one.
+    std::vector<WalRecord> log;
+    WalRecord start = start_record(1, 1, false);
+    start.kvs.emplace_back("op", static_cast<std::uint64_t>(AggOp::kMax));
+    log.push_back(start);
+    log.push_back(data_record(1, 0, 0, {{"a", 9}}));
+    log.push_back(data_record(1, 0, 1, {{"a", 3}}));
+
+    WalDaemonState state = rebuild_daemon_state(log, AggOp::kAdd);
+    EXPECT_EQ(state.rx_tasks.at(1).op, AggOp::kMax);
+    EXPECT_EQ(state.rx_tasks.at(1).local.at("a"), 9u);
+
+    // An explicit "op" of 0 is kAdd, not "absent": it must win over a
+    // non-add default.
+    WalRecord start_add = start_record(2, 1, false);
+    start_add.kvs.emplace_back("op", 0);
+    std::vector<WalRecord> log2 = {start_add,
+                                   data_record(2, 0, 0, {{"a", 9}}),
+                                   data_record(2, 0, 1, {{"a", 3}})};
+    state = rebuild_daemon_state(log2, AggOp::kMin);
+    EXPECT_EQ(state.rx_tasks.at(2).op, AggOp::kAdd);
+    EXPECT_EQ(state.rx_tasks.at(2).local.at("a"), 12u);
+
+    // No "op" kv at all: the caller's default applies.
+    std::vector<WalRecord> log3 = {start_record(3, 1, false),
+                                   data_record(3, 0, 0, {{"a", 9}}),
+                                   data_record(3, 0, 1, {{"a", 3}})};
+    state = rebuild_daemon_state(log3, AggOp::kMin);
+    EXPECT_EQ(state.rx_tasks.at(3).op, AggOp::kMin);
+    EXPECT_EQ(state.rx_tasks.at(3).local.at("a"), 3u);
+}
+
+TEST(WalRebuild, SendSubmitRestoresItsOp)
+{
+    // The archived stream is journalled already lifted; arg1 carries the
+    // op so replay_task re-submits without a second lift, under the
+    // operator the application chose.
+    WalRecord s;
+    s.kind = WalRecordKind::kSendSubmit;
+    s.task = 5;
+    s.arg0 = 2;  // receiver host
+    s.arg1 = static_cast<std::uint32_t>(AggOp::kCount);
+    s.kvs = {{"x", 1}};
+    WalDaemonState state = rebuild_daemon_state({s}, AggOp::kAdd);
+    EXPECT_EQ(state.sends.at(5).op, AggOp::kCount);
+
+    // Pre-op records carry arg1 == 0, which is kAdd — the only operator
+    // that existed when they were written.
+    s.arg1 = 0;
+    state = rebuild_daemon_state({s}, AggOp::kMax);
+    EXPECT_EQ(state.sends.at(5).op, AggOp::kAdd);
+}
+
 TEST(WalRebuild, DataForUnknownTaskIsDropped)
 {
     // A done task's late records (or a controller journal mixed in) must

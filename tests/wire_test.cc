@@ -148,6 +148,48 @@ TEST(Wire, AllPacketTypesSurviveRoundTrip)
     }
 }
 
+TEST(Wire, ReduceOpRoundTripsInHeader)
+{
+    for (std::uint8_t id = 0; id < kNumReduceOps; ++id) {
+        auto op = static_cast<ReduceOp>(id);
+        AskHeader h = sample_header();
+        h.op = op;
+        auto parsed = parse_header(make_frame(h, 8));
+        ASSERT_TRUE(parsed.has_value()) << "op " << unsigned(id);
+        EXPECT_EQ(parsed->op, op);
+        EXPECT_EQ(parsed->type, PacketType::kData);  // nibbles untangled
+
+        // LONG_DATA carries the op the same way (the degraded bypass
+        // path must not lose the channel's operator).
+        AskHeader lh;
+        lh.op = op;
+        auto long_parsed = parse_header(make_long_frame(lh, {{"k", 1}}));
+        ASSERT_TRUE(long_parsed.has_value());
+        EXPECT_EQ(long_parsed->op, op);
+        EXPECT_EQ(long_parsed->type, PacketType::kLongData);
+    }
+}
+
+TEST(Wire, PreOpFramesParseAsSum)
+{
+    // Before the op nibble existed, byte 0 carried a bare type: high
+    // nibble 0. Those bytes must keep parsing, as kAdd.
+    auto data = make_frame(sample_header(), 0);
+    EXPECT_EQ(data[20] >> 4, 0);  // kAdd frames ARE the legacy bytes
+    EXPECT_EQ(parse_header(data)->op, ReduceOp::kAdd);
+}
+
+TEST(Wire, UnknownOpIdRejectedWithoutUb)
+{
+    // Every op nibble outside [0, kNumReduceOps) must be refused —
+    // folding an unknown operator would silently corrupt aggregates.
+    for (std::uint32_t id = kNumReduceOps; id < 16; ++id) {
+        auto data = make_frame(sample_header(), 8);
+        data[20] = static_cast<std::uint8_t>((id << 4) | (data[20] & 0x0F));
+        EXPECT_FALSE(parse_header(data).has_value()) << "op " << id;
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Property tests over fuzzed payloads
 // ---------------------------------------------------------------------------
@@ -163,6 +205,7 @@ TEST(WireProperty, HeaderRoundTripsFuzzedFields)
         h.task_id = static_cast<TaskId>(rng.next_u64());
         h.seq = static_cast<Seq>(rng.next_u64());
         h.bitmap = rng.next_u64();
+        h.op = static_cast<ReduceOp>(rng.next_below(kNumReduceOps));
         std::uint32_t payload =
             static_cast<std::uint32_t>(rng.next_below(300));
 
@@ -170,6 +213,7 @@ TEST(WireProperty, HeaderRoundTripsFuzzedFields)
         auto parsed = parse_header(data);
         ASSERT_TRUE(parsed.has_value());
         EXPECT_EQ(parsed->type, h.type);
+        EXPECT_EQ(parsed->op, h.op);
         EXPECT_EQ(parsed->num_slots, h.num_slots);
         EXPECT_EQ(parsed->channel_id, h.channel_id);
         EXPECT_EQ(parsed->task_id, h.task_id);

@@ -4,7 +4,10 @@
 #      fig12_training, or fig13b_scalability must appear in that
 #      binary's --help output (a renamed or removed CLI flag fails the
 #      docs, not a user following them);
-#   2. every intra-repo markdown link target must exist on disk.
+#   2. every intra-repo markdown link target must exist on disk;
+#   3. every `--preset <name>` a doc tells the reader to pass to cmake
+#      or ctest must be a preset defined in CMakePresets.json (the
+#      runbook's lane names cannot drift from the preset file).
 #
 # Invoked by the `doc_drift` ctest target:
 #
@@ -39,6 +42,22 @@ function(help_flags bin out_var)
     set(${out_var} "${flags}" PARENT_SCOPE)
 endfunction()
 
+# The preset names docs may reference (rule 3). Harvested from the
+# "name" keys of CMakePresets.json; the file is small enough that a
+# regex over the raw text is exact (names are flat strings).
+file(READ "${REPO_DIR}/CMakePresets.json" presets_json)
+string(REGEX MATCHALL "\"name\"[ \t]*:[ \t]*\"[a-zA-Z0-9_-]+\""
+    preset_name_pairs "${presets_json}")
+set(preset_names "")
+foreach(pair IN LISTS preset_name_pairs)
+    string(REGEX REPLACE ".*\"([a-zA-Z0-9_-]+)\"$" "\\1" pname "${pair}")
+    list(APPEND preset_names "${pname}")
+endforeach()
+list(REMOVE_DUPLICATES preset_names)
+if(NOT preset_names)
+    message(FATAL_ERROR "doc_drift: no preset names in CMakePresets.json")
+endif()
+
 help_flags("${FUZZ_BIN}" fuzz_flags)
 help_flags("${VERIFY_BIN}" verify_flags)
 help_flags("${FIG12_BIN}" fig12_flags)
@@ -59,6 +78,7 @@ file(GLOB doc_files
 set(errors 0)
 set(checked_flags 0)
 set(checked_links 0)
+set(checked_presets 0)
 
 foreach(doc IN LISTS doc_files)
     # Iterate lines with FIND/SUBSTRING rather than file(STRINGS) or a
@@ -107,6 +127,23 @@ foreach(doc IN LISTS doc_files)
             endforeach()
         endif()
 
+        # Rule 3: preset names handed to cmake/ctest must be defined.
+        if(line MATCHES "(cmake|ctest)")
+            string(REGEX MATCHALL "--preset[ \t=]+[a-zA-Z0-9_-]+"
+                preset_uses "${line}")
+            foreach(use IN LISTS preset_uses)
+                string(REGEX REPLACE "^--preset[ \t=]+" "" used_preset
+                    "${use}")
+                math(EXPR checked_presets "${checked_presets} + 1")
+                if(NOT used_preset IN_LIST preset_names)
+                    message(SEND_ERROR
+                        "doc_drift: ${doc_rel}: preset ${used_preset} is "
+                        "not defined in CMakePresets.json:\n  ${line}")
+                    math(EXPR errors "${errors} + 1")
+                endif()
+            endforeach()
+        endif()
+
         # Rule 2: intra-repo markdown link targets must exist. Matches
         # are consumed one at a time (REGEX MATCH + advance) because a
         # MATCHALL result list whose elements contain brackets/parens
@@ -148,4 +185,4 @@ endif()
 list(LENGTH doc_files n_docs)
 message(STATUS
     "doc_drift: ${n_docs} docs ok (${checked_flags} CLI flags, "
-    "${checked_links} links verified)")
+    "${checked_links} links, ${checked_presets} preset names verified)")

@@ -169,6 +169,23 @@ class DataChannel
     /** Next unused sequence number (the fence boundary at recovery). */
     Seq next_seq() const { return next_seq_; }
 
+    /**
+     * Automaton-extraction hook: the sequence numbers currently unACKed
+     * (sorted ascending). The semantic model checker proves every
+     * in-flight seq strictly below the channel cursor on all reachable
+     * states; the fuzzer's reachability probe re-checks the relation on
+     * live daemons through this accessor.
+     */
+    std::vector<Seq>
+    in_flight_seqs() const
+    {
+        std::vector<Seq> seqs;
+        seqs.reserve(in_flight_.size());
+        for (const auto& [seq, entry] : in_flight_)
+            seqs.push_back(seq);
+        return seqs;
+    }
+
     /** Enqueue a sending task (FIFO within the channel). `op` is the
      *  task's resolved reduction operator (stamped into every frame);
      *  `replay` marks post-crash re-submissions for the packet

@@ -61,6 +61,29 @@ PlainSeen::repair(Seq next_seq)
     any_ = true;
 }
 
+SeenSnapshot
+PlainSeen::snapshot() const
+{
+    SeenSnapshot snap;
+    snap.compact = false;
+    snap.window = window_;
+    snap.bits = bits_;
+    snap.max_seq = max_seq_;
+    snap.any = any_;
+    return snap;
+}
+
+void
+PlainSeen::restore(const SeenSnapshot& snap)
+{
+    ASK_ASSERT(!snap.compact && snap.window == window_ &&
+                   snap.bits.size() == bits_.size(),
+               "snapshot shape does not match this window");
+    bits_ = snap.bits;
+    max_seq_ = snap.max_seq;
+    any_ = snap.any;
+}
+
 CompactSeen::CompactSeen(std::uint32_t window)
     : window_(window), bits_(window, 0)
 {
@@ -114,6 +137,29 @@ CompactSeen::repair(Seq next_seq)
     }
     max_seq_ = next_seq + window_ - 1;
     any_ = true;
+}
+
+SeenSnapshot
+CompactSeen::snapshot() const
+{
+    SeenSnapshot snap;
+    snap.compact = true;
+    snap.window = window_;
+    snap.bits = bits_;
+    snap.max_seq = max_seq_;
+    snap.any = any_;
+    return snap;
+}
+
+void
+CompactSeen::restore(const SeenSnapshot& snap)
+{
+    ASK_ASSERT(snap.compact && snap.window == window_ &&
+                   snap.bits.size() == bits_.size(),
+               "snapshot shape does not match this window");
+    bits_ = snap.bits;
+    max_seq_ = snap.max_seq;
+    any_ = snap.any;
 }
 
 HostReceiveWindow::HostReceiveWindow(std::uint32_t window)

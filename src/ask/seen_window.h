@@ -41,6 +41,43 @@ enum class SeenOutcome : std::uint8_t
     kStale,      ///< older than the window: drop entirely
 };
 
+/**
+ * Control-plane snapshot of one receive window: the automaton-extraction
+ * hook the semantic model checker (src/pisa/model/) reads. The same
+ * struct serves two roles — it is the canonical window encoding during
+ * state-space exploration, and the fuzzer's reachability probe builds
+ * one from live registers (AskSwitchProgram::extract_seen) to check the
+ * observed state against the model's proved invariants.
+ *
+ * The plain layout covers both in-tree plain implementations: PlainSeen's
+ * 2W-bit ring (slot = s mod 2W) and the switch's split seen_even/seen_odd
+ * arrays are index-isomorphic, since s mod 2W = (⌊s/W⌋ mod 2)·W + s mod W
+ * — the even array is slots [0, W), the odd array slots [W, 2W).
+ */
+struct SeenSnapshot
+{
+    bool compact = false;        ///< W-bit parity design vs 2W-bit plain
+    std::uint32_t window = 0;    ///< W
+    std::vector<std::uint8_t> bits;  ///< W (compact) or 2W (plain) bits
+    Seq max_seq = 0;
+    bool any = false;            ///< false only before the first observe
+
+    /** Slot that records sequence `s` (Eq. 6 / Eq. 8). */
+    std::size_t
+    record_slot(Seq s) const
+    {
+        return compact ? s % window : s % (2 * window);
+    }
+
+    /** Slot the plain design clears one window ahead of `s` (Eq. 7).
+     *  Only meaningful when !compact. */
+    std::size_t
+    ahead_slot(Seq s) const
+    {
+        return (record_slot(s) + window) % (2 * window);
+    }
+};
+
 /** The reference 2W-bit receive window. */
 class PlainSeen
 {
@@ -64,6 +101,13 @@ class PlainSeen
     std::uint32_t window() const { return window_; }
     /** Bits of state this design needs (for the ablation bench). */
     std::size_t state_bits() const { return bits_.size(); }
+
+    /** Automaton-extraction hook for the model checker / probes. */
+    SeenSnapshot snapshot() const;
+    /** Inverse of snapshot(): control-plane state injection (used by
+     *  the model checker's mutation harness to reconstruct defective
+     *  fence outcomes). The snapshot's shape must match this window. */
+    void restore(const SeenSnapshot& snap);
 
   private:
     std::uint32_t window_;
@@ -96,6 +140,12 @@ class CompactSeen
 
     std::uint32_t window() const { return window_; }
     std::size_t state_bits() const { return bits_.size(); }
+
+    /** Automaton-extraction hook for the model checker / probes. */
+    SeenSnapshot snapshot() const;
+    /** Inverse of snapshot(): control-plane state injection (see
+     *  PlainSeen::restore). */
+    void restore(const SeenSnapshot& snap);
 
   private:
     std::uint32_t window_;

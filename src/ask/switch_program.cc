@@ -473,6 +473,38 @@ AskSwitchProgram::fence_channel(ChannelId channel, Seq next_seq)
     pkt_state_->cp_clear(base, w);
 }
 
+SeenSnapshot
+AskSwitchProgram::extract_seen(ChannelId channel) const
+{
+    ASK_ASSERT(provisions(channel), "channel not provisioned on this switch");
+    std::uint32_t w = config_.window;
+    std::size_t base = chan_index(channel) * w;
+
+    SeenSnapshot snap;
+    snap.compact = config_.compact_seen;
+    snap.window = w;
+    snap.max_seq = static_cast<Seq>(max_seq_->cp_read(chan_index(channel)));
+    // The registers have no "never observed" flag: a freshly installed
+    // channel reads all-zero, which satisfies every snapshot invariant,
+    // so the snapshot is reported as live unconditionally.
+    snap.any = true;
+    if (config_.compact_seen) {
+        snap.bits.resize(w);
+        for (std::uint32_t i = 0; i < w; ++i)
+            snap.bits[i] =
+                static_cast<std::uint8_t>(seen_->cp_read(base + i));
+    } else {
+        snap.bits.resize(2 * static_cast<std::size_t>(w));
+        for (std::uint32_t i = 0; i < w; ++i) {
+            snap.bits[i] =
+                static_cast<std::uint8_t>(seen_even_->cp_read(base + i));
+            snap.bits[w + i] =
+                static_cast<std::uint8_t>(seen_odd_->cp_read(base + i));
+        }
+    }
+    return snap;
+}
+
 AskSwitchProgram::ProbeResult
 AskSwitchProgram::probe_packet(ChannelId channel, Seq seq) const
 {

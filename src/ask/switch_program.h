@@ -33,6 +33,7 @@
 #include "ask/config.h"
 #include "ask/key_space.h"
 #include "ask/metrics.h"
+#include "ask/seen_window.h"
 #include "ask/types.h"
 #include "ask/wire.h"
 #include "obs/trace.h"
@@ -217,6 +218,17 @@ class AskSwitchProgram : public pisa::SwitchProgram
          *  meaningful when observed. */
         std::uint64_t remaining = 0;
     };
+
+    /**
+     * Automaton-extraction hook: control-plane read of one channel's
+     * live receive-window registers as a SeenSnapshot — the same shape
+     * the semantic model checker (src/pisa/model/) explores, so the
+     * fuzzer's reachability probe can evaluate the model's proved
+     * invariants directly on switch state. For the plain design the
+     * snapshot concatenates seen_even (slots [0, W)) and seen_odd
+     * (slots [W, 2W)), matching SeenSnapshot's ring indexing.
+     */
+    SeenSnapshot extract_seen(ChannelId channel) const;
 
     /**
      * Read-only control-plane probe of one (channel, seq): did the

@@ -1,0 +1,504 @@
+#include "pisa/model/channel_model.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "pisa/model/invariants.h"
+
+namespace ask::pisa::model {
+
+namespace {
+
+/** Apply-time violation codes (State::violation_code). */
+constexpr std::uint8_t kVerdictDivergence = 1;
+
+const char*
+packet_kind_name(std::uint8_t kind)
+{
+    switch (kind) {
+      case ChannelModel::kData:
+        return "data";
+      case ChannelModel::kAck:
+        return "ack";
+      case ChannelModel::kMismatch:
+        return "mismatch";
+    }
+    return "?";
+}
+
+/** The foreign operator an op-mismatched frame was lifted under:
+ *  chosen so its lift visibly differs from the task's own. */
+core::ReduceOp
+foreign_op(core::ReduceOp op)
+{
+    return op == core::ReduceOp::kCount ? core::ReduceOp::kAdd
+                                        : core::ReduceOp::kCount;
+}
+
+}  // namespace
+
+ChannelModel::ChannelModel(const ChannelBounds& bounds, Mutation mutation)
+    : bounds_(bounds), mutation_(mutation)
+{
+    ASK_ASSERT(bounds.payloads > 0 && bounds.payloads <= 8,
+               "payload bound out of range");
+    ASK_ASSERT(bounds.window > 0, "window must be positive");
+    ASK_ASSERT(!mutation_is_routing(mutation),
+               "routing mutations belong to RoutingModel");
+}
+
+core::Value
+ChannelModel::payload_value(std::uint8_t p)
+{
+    // Distinct small primes: any double merge, missing merge, or
+    // spurious lift changes the sum, the count, and (for the largest)
+    // the max.
+    static constexpr core::Value kValues[] = {2, 3, 5, 7, 11, 13, 17, 19};
+    return kValues[p % 8];
+}
+
+ChannelModel::State
+ChannelModel::initial() const
+{
+    State s;
+    s.payloads.resize(bounds_.payloads);
+    s.plain = core::PlainSeen(bounds_.window);
+    s.compact = core::CompactSeen(bounds_.window);
+    s.copy_value = {core::reduce_identity(bounds_.op),
+                    core::reduce_identity(bounds_.op)};
+    s.copy_counts[0].assign(bounds_.payloads, 0);
+    s.copy_counts[1].assign(bounds_.payloads, 0);
+    s.host_value = core::reduce_identity(bounds_.op);
+    s.host_counts.assign(bounds_.payloads, 0);
+    return s;
+}
+
+std::vector<Event>
+ChannelModel::enabled(const State& s) const
+{
+    std::vector<Event> out;
+    if (s.violation_code != 0)
+        return out;  // stop at the first defect: the trace ends here
+
+    bool room = s.net.size() < bounds_.net_capacity;
+
+    if (!s.fin_done) {
+        // kSend: the next unsent payload, within the sliding window.
+        core::Seq base = s.next_seq;
+        std::uint32_t outstanding = 0;
+        bool has_unsent = false;
+        bool all_acked = true;
+        for (const PayloadState& p : s.payloads) {
+            if (p.sent && !p.acked) {
+                ++outstanding;
+                base = std::min(base, p.seq);
+            }
+            if (!p.sent)
+                has_unsent = true;
+            if (!p.sent || !p.acked)
+                all_acked = false;
+        }
+        if (has_unsent && room && outstanding < bounds_.window &&
+            s.next_seq < base + bounds_.window)
+            out.push_back({EventKind::kSend, 0});
+
+        for (std::uint8_t p = 0; p < s.payloads.size(); ++p) {
+            const PayloadState& ps = s.payloads[p];
+            if (ps.sent && !ps.acked && ps.tries < bounds_.max_retransmits &&
+                room)
+                out.push_back({EventKind::kRetransmit, p});
+        }
+
+        if (s.mismatches < bounds_.max_mismatches && room) {
+            for (const PayloadState& p : s.payloads)
+                if (p.sent && !p.acked) {
+                    out.push_back({EventKind::kInjectMismatch, 0});
+                    break;
+                }
+        }
+
+        if (s.swaps < bounds_.max_swaps)
+            out.push_back({EventKind::kSwap, 0});
+        if (all_acked)
+            out.push_back({EventKind::kFin, 0});
+        if (s.reboots < bounds_.max_reboots)
+            out.push_back({EventKind::kSwitchReboot, 0});
+        if (s.crashes < bounds_.max_crashes)
+            out.push_back({EventKind::kHostCrash, 0});
+    }
+
+    for (std::uint8_t i = 0; i < s.net.size(); ++i) {
+        out.push_back({EventKind::kDeliver, i});
+        out.push_back({EventKind::kDrop, i});
+        if (s.dups < bounds_.max_duplicates && room)
+            out.push_back({EventKind::kDuplicate, i});
+    }
+    return out;
+}
+
+void
+ChannelModel::deliver_data(State& s, const Packet& pkt) const
+{
+    bool mismatch = pkt.kind == kMismatch;
+    // The real pipeline validates the frame's op id against the
+    // installed region BEFORE the window stage: a mismatched frame
+    // must never perturb reliability state.
+    if (mismatch && mutation_ != Mutation::kObserveBeforeOpCheck &&
+        mutation_ != Mutation::kMismatchConsumes)
+        return;
+
+    core::SeenOutcome plain_verdict = s.plain.observe(pkt.seq);
+    core::SeenOutcome compact_verdict = s.compact.observe(pkt.seq);
+    if (plain_verdict != compact_verdict) {
+        s.violation_code = kVerdictDivergence;
+        s.violation_seq = pkt.seq;
+        return;
+    }
+    if (mismatch && mutation_ == Mutation::kObserveBeforeOpCheck)
+        return;  // the defect: window touched, then the op check drops
+
+    bool consume = plain_verdict == core::SeenOutcome::kFresh;
+    if (mutation_ == Mutation::kAckWithoutConsume)
+        consume = false;
+    if (mutation_ == Mutation::kDuplicateConsumes &&
+        plain_verdict == core::SeenOutcome::kDuplicate)
+        consume = true;
+    if (mutation_ == Mutation::kStaleConsumes &&
+        plain_verdict == core::SeenOutcome::kStale)
+        consume = true;
+
+    if (consume) {
+        core::Value raw = payload_value(pkt.payload);
+        core::Value lifted = mismatch
+                                 ? core::reduce_lift(foreign_op(bounds_.op),
+                                                     raw)
+                                 : core::reduce_lift(bounds_.op, raw);
+        std::uint32_t copy = s.epoch & 1;
+        s.copy_value[copy] =
+            core::apply_op(bounds_.op, s.copy_value[copy], lifted);
+        ++s.copy_counts[copy][pkt.payload];
+    }
+    if (plain_verdict != core::SeenOutcome::kStale)
+        s.net.push_back(Packet{kAck, pkt.payload, pkt.seq});
+}
+
+void
+ChannelModel::deliver_ack(State& s, const Packet& pkt) const
+{
+    for (PayloadState& p : s.payloads)
+        if (p.sent && !p.acked && p.seq == pkt.seq)
+            p.acked = true;
+}
+
+void
+ChannelModel::fetch_copy(State& s, std::uint32_t copy) const
+{
+    if (mutation_ == Mutation::kSwapDrainLoses) {
+        // The defect: the drain discards the fetched partials.
+        s.copy_value[copy] = core::reduce_identity(bounds_.op);
+        std::fill(s.copy_counts[copy].begin(), s.copy_counts[copy].end(), 0);
+        return;
+    }
+    core::Value partial = s.copy_value[copy];
+    if (mutation_ == Mutation::kDoubleLiftCount)
+        partial = core::reduce_lift(bounds_.op, partial);  // lifted again
+    s.host_value = core::apply_op(bounds_.op, s.host_value, partial);
+    for (std::size_t p = 0; p < s.host_counts.size(); ++p)
+        s.host_counts[p] = static_cast<std::uint8_t>(
+            s.host_counts[p] + s.copy_counts[copy][p]);
+    s.copy_value[copy] = core::reduce_identity(bounds_.op);
+    std::fill(s.copy_counts[copy].begin(), s.copy_counts[copy].end(), 0);
+}
+
+void
+ChannelModel::recover(State& s, core::Seq resume, bool wipe_windows) const
+{
+    // AskCluster's choreography: silence the senders, clear every
+    // active region, fence each channel, reset the receiver partial,
+    // then replay the full archive with fresh sequence numbers.
+    if (wipe_windows) {
+        s.plain.wipe();
+        s.compact.wipe();
+    }
+    s.copy_value = {core::reduce_identity(bounds_.op),
+                    core::reduce_identity(bounds_.op)};
+    std::fill(s.copy_counts[0].begin(), s.copy_counts[0].end(), 0);
+    std::fill(s.copy_counts[1].begin(), s.copy_counts[1].end(), 0);
+    s.epoch = 0;
+    s.host_value = core::reduce_identity(bounds_.op);
+    std::fill(s.host_counts.begin(), s.host_counts.end(), 0);
+
+    for (PayloadState& p : s.payloads) {
+        if (mutation_ == Mutation::kReplayOnlyUnacked && p.acked)
+            continue;  // the defect: ACKed payloads are never re-sent
+        p = PayloadState{};
+    }
+
+    core::Seq fence_at = resume;
+    if (mutation_ == Mutation::kFenceOffByOne && fence_at > 0)
+        --fence_at;
+    if (mutation_ == Mutation::kSkipFence)
+        return;
+    s.plain.repair(fence_at);
+    if (mutation_ == Mutation::kSkipCompactRepair) {
+        // The defect: fence_channel writes max_seq but skips the
+        // parity pre-set loop, leaving whatever bits are in the array.
+        core::SeenSnapshot snap = s.compact.snapshot();
+        snap.max_seq = fence_at + bounds_.window - 1;
+        snap.any = true;
+        s.compact.restore(snap);
+    } else {
+        s.compact.repair(fence_at);
+    }
+}
+
+ChannelModel::State
+ChannelModel::apply(const State& prev, Event ev) const
+{
+    State s = prev;
+    switch (ev.kind) {
+      case EventKind::kSend: {
+        for (std::uint8_t p = 0; p < s.payloads.size(); ++p) {
+            PayloadState& ps = s.payloads[p];
+            if (ps.sent)
+                continue;
+            // Durability: the promise is journaled before the
+            // allocation it covers (checkpoint interval 1).
+            if (mutation_ != Mutation::kSkipWalCheckpoint)
+                s.wal_promise = std::max(s.wal_promise, s.next_seq + 1);
+            ps.seq = s.next_seq++;
+            ps.sent = true;
+            ps.acked = false;
+            ps.tries = 0;
+            s.net.push_back(Packet{kData, p, ps.seq});
+            break;
+        }
+        break;
+      }
+      case EventKind::kRetransmit: {
+        PayloadState& ps = s.payloads[ev.arg];
+        ++ps.tries;
+        s.net.push_back(Packet{kData, ev.arg, ps.seq});
+        break;
+      }
+      case EventKind::kInjectMismatch: {
+        for (std::uint8_t p = 0; p < s.payloads.size(); ++p) {
+            const PayloadState& ps = s.payloads[p];
+            if (ps.sent && !ps.acked) {
+                s.net.push_back(Packet{kMismatch, p, ps.seq});
+                ++s.mismatches;
+                break;
+            }
+        }
+        break;
+      }
+      case EventKind::kDeliver: {
+        Packet pkt = s.net[ev.arg];
+        s.net.erase(s.net.begin() + ev.arg);
+        if (pkt.kind == kAck)
+            deliver_ack(s, pkt);
+        else
+            deliver_data(s, pkt);
+        break;
+      }
+      case EventKind::kDrop:
+        s.net.erase(s.net.begin() + ev.arg);
+        break;
+      case EventKind::kDuplicate:
+        s.net.push_back(s.net[ev.arg]);
+        ++s.dups;
+        break;
+      case EventKind::kSwap: {
+        std::uint32_t retired = s.epoch & 1;
+        s.epoch ^= 1;
+        ++s.swaps;
+        fetch_copy(s, retired);
+        break;
+      }
+      case EventKind::kFin:
+        fetch_copy(s, s.epoch & 1);
+        fetch_copy(s, (s.epoch & 1) ^ 1);
+        s.fin_done = true;
+        break;
+      case EventKind::kSwitchReboot:
+        ++s.reboots;
+        recover(s, s.next_seq, /*wipe_windows=*/true);
+        break;
+      case EventKind::kHostCrash: {
+        ++s.crashes;
+        // The crashed sender restarts from the WAL: the cursor is
+        // reset to the journaled promise and every channel re-fenced
+        // there (registers survive — the switch did not reboot).
+        core::Seq resume = s.wal_promise;
+        s.next_seq = resume;
+        recover(s, resume, /*wipe_windows=*/false);
+        break;
+      }
+    }
+    std::sort(s.net.begin(), s.net.end());
+    return s;
+}
+
+std::optional<PropertyViolation>
+ChannelModel::check(const State& s) const
+{
+    if (s.violation_code == kVerdictDivergence)
+        return PropertyViolation{
+            "parity-equivalence",
+            strf("plain and compact windows disagree on seq %u",
+                 s.violation_seq)};
+
+    for (std::size_t p = 0; p < s.payloads.size(); ++p) {
+        std::uint32_t total = s.copy_counts[0][p] + s.copy_counts[1][p] +
+                              s.host_counts[p];
+        if (total > 1)
+            return PropertyViolation{
+                "exactly-once",
+                strf("payload %zu merged %u times", p, total)};
+    }
+
+    for (const Packet& pkt : s.net)
+        if (pkt.kind != kAck && pkt.seq >= s.next_seq)
+            return PropertyViolation{
+                "cursor-dominance",
+                strf("in-flight %s seq %u >= sender cursor %u",
+                     packet_kind_name(pkt.kind), pkt.seq, s.next_seq)};
+
+    core::SeenSnapshot plain_snap = s.plain.snapshot();
+    core::SeenSnapshot compact_snap = s.compact.snapshot();
+    if (auto msg = check_seen_snapshot(plain_snap))
+        return PropertyViolation{"clear-ahead", *msg};
+    if (auto msg = check_seen_snapshot(compact_snap))
+        return PropertyViolation{"window-shape", *msg};
+
+    ChannelRelation rel;
+    rel.switch_max_seq = std::max<std::uint64_t>(
+        plain_snap.any ? plain_snap.max_seq : 0,
+        compact_snap.any ? compact_snap.max_seq : 0);
+    rel.daemon_next_seq = s.next_seq;
+    rel.wal_resume = s.wal_promise;
+    rel.window = bounds_.window;
+    if (auto msg = check_channel_relation(rel))
+        return PropertyViolation{
+            s.next_seq > s.wal_promise ? "wal-promise" : "window-bound",
+            *msg};
+
+    if (s.fin_done) {
+        for (std::size_t p = 0; p < s.payloads.size(); ++p) {
+            std::uint32_t total = s.copy_counts[0][p] + s.copy_counts[1][p] +
+                                  s.host_counts[p];
+            if (total != 1)
+                return PropertyViolation{
+                    "completion",
+                    strf("task finished but payload %zu was merged %u "
+                         "times",
+                         p, total)};
+        }
+        if (s.host_value != expected_final())
+            return PropertyViolation{
+                bounds_.op == core::ReduceOp::kCount ? "lift-once"
+                                                     : "completion",
+                strf("final aggregate %u != reference fold %u",
+                     s.host_value, expected_final())};
+    }
+    return std::nullopt;
+}
+
+core::Value
+ChannelModel::expected_final() const
+{
+    core::Value acc = core::reduce_identity(bounds_.op);
+    for (std::uint8_t p = 0; p < bounds_.payloads; ++p)
+        acc = core::apply_op(bounds_.op, acc,
+                             core::reduce_lift(bounds_.op,
+                                               payload_value(p)));
+    return acc;
+}
+
+std::string
+ChannelModel::encode(const State& s) const
+{
+    ByteWriter w;
+    w.u32(s.next_seq);
+    w.u32(s.wal_promise);
+    for (const PayloadState& p : s.payloads) {
+        w.u32(p.seq);
+        w.u8(static_cast<std::uint8_t>((p.sent ? 1 : 0) |
+                                       (p.acked ? 2 : 0)));
+        w.u8(p.tries);
+    }
+    w.u8(static_cast<std::uint8_t>(s.net.size()));
+    for (const Packet& pkt : s.net) {
+        w.u8(pkt.kind);
+        w.u8(pkt.payload);
+        w.u32(pkt.seq);
+    }
+    w.u8(s.epoch);
+    w.u32(s.copy_value[0]);
+    w.u32(s.copy_value[1]);
+    w.bytes(s.copy_counts[0]);
+    w.bytes(s.copy_counts[1]);
+    w.u32(s.host_value);
+    w.bytes(s.host_counts);
+    w.u8(s.fin_done ? 1 : 0);
+    w.u8(s.reboots);
+    w.u8(s.crashes);
+    w.u8(s.swaps);
+    w.u8(s.dups);
+    w.u8(s.mismatches);
+    w.u8(s.violation_code);
+    w.u32(s.violation_seq);
+    core::SeenSnapshot plain_snap = s.plain.snapshot();
+    w.bytes(plain_snap.bits);
+    w.u32(plain_snap.max_seq);
+    w.u8(plain_snap.any ? 1 : 0);
+    core::SeenSnapshot compact_snap = s.compact.snapshot();
+    w.bytes(compact_snap.bits);
+    w.u32(compact_snap.max_seq);
+    w.u8(compact_snap.any ? 1 : 0);
+    return w.take();
+}
+
+std::string
+ChannelModel::describe_event(const State& s, Event ev) const
+{
+    switch (ev.kind) {
+      case EventKind::kSend:
+        for (std::size_t p = 0; p < s.payloads.size(); ++p)
+            if (!s.payloads[p].sent)
+                return strf("send(p%zu seq%u)", p, s.next_seq);
+        return "send(?)";
+      case EventKind::kDeliver:
+      case EventKind::kDrop:
+      case EventKind::kDuplicate: {
+        const Packet& pkt = s.net[ev.arg];
+        return strf("%s(%s p%u seq%u)", event_kind_name(ev.kind),
+                    packet_kind_name(pkt.kind),
+                    static_cast<unsigned>(pkt.payload), pkt.seq);
+      }
+      case EventKind::kRetransmit:
+        return strf("retransmit(p%u seq%u)",
+                    static_cast<unsigned>(ev.arg),
+                    s.payloads[ev.arg].seq);
+      case EventKind::kInjectMismatch:
+        for (std::size_t p = 0; p < s.payloads.size(); ++p)
+            if (s.payloads[p].sent && !s.payloads[p].acked)
+                return strf("inject-mismatch(p%zu seq%u)", p,
+                            s.payloads[p].seq);
+        return "inject-mismatch(?)";
+      case EventKind::kSwap:
+        return strf("swap(epoch %u -> %u)",
+                    static_cast<unsigned>(s.epoch),
+                    static_cast<unsigned>(s.epoch ^ 1));
+      case EventKind::kFin:
+        return "fin";
+      case EventKind::kSwitchReboot:
+        return strf("switch-reboot(fence at %u)", s.next_seq);
+      case EventKind::kHostCrash:
+        return strf("host-crash(resume %u)", s.wal_promise);
+    }
+    return "?";
+}
+
+}  // namespace ask::pisa::model

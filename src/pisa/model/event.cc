@@ -1,0 +1,67 @@
+#include "pisa/model/event.h"
+
+namespace ask::pisa::model {
+
+const char*
+event_kind_name(EventKind kind)
+{
+    switch (kind) {
+      case EventKind::kSend: return "send";
+      case EventKind::kDeliver: return "deliver";
+      case EventKind::kDrop: return "drop";
+      case EventKind::kDuplicate: return "duplicate";
+      case EventKind::kRetransmit: return "retransmit";
+      case EventKind::kInjectMismatch: return "inject-mismatch";
+      case EventKind::kSwap: return "swap";
+      case EventKind::kFin: return "fin";
+      case EventKind::kSwitchReboot: return "switch-reboot";
+      case EventKind::kHostCrash: return "host-crash";
+    }
+    return "?";
+}
+
+const char*
+mutation_name(Mutation m)
+{
+    switch (m) {
+      case Mutation::kNone: return "none";
+      case Mutation::kSkipCompactRepair: return "skip-compact-repair";
+      case Mutation::kSkipFence: return "skip-fence";
+      case Mutation::kFenceOffByOne: return "fence-off-by-one";
+      case Mutation::kDoubleLiftCount: return "double-lift-count";
+      case Mutation::kObserveBeforeOpCheck: return "observe-before-op-check";
+      case Mutation::kDuplicateConsumes: return "duplicate-consumes";
+      case Mutation::kStaleConsumes: return "stale-consumes";
+      case Mutation::kAckWithoutConsume: return "ack-without-consume";
+      case Mutation::kSkipWalCheckpoint: return "skip-wal-checkpoint";
+      case Mutation::kReplayOnlyUnacked: return "replay-only-unacked";
+      case Mutation::kSwapDrainLoses: return "swap-drain-loses";
+      case Mutation::kMismatchConsumes: return "mismatch-consumes";
+      case Mutation::kTorConsumesResidual: return "tor-consumes-residual";
+      case Mutation::kLeafSkipsObserve: return "leaf-skips-observe";
+    }
+    return "?";
+}
+
+std::vector<Mutation>
+all_mutations()
+{
+    return {
+        Mutation::kSkipCompactRepair,
+        Mutation::kSkipFence,
+        Mutation::kFenceOffByOne,
+        Mutation::kDoubleLiftCount,
+        Mutation::kObserveBeforeOpCheck,
+        Mutation::kDuplicateConsumes,
+        Mutation::kStaleConsumes,
+        Mutation::kAckWithoutConsume,
+        Mutation::kSkipWalCheckpoint,
+        Mutation::kReplayOnlyUnacked,
+        Mutation::kSwapDrainLoses,
+        Mutation::kMismatchConsumes,
+        Mutation::kTorConsumesResidual,
+        Mutation::kLeafSkipsObserve,
+    };
+}
+
+}  // namespace ask::pisa::model

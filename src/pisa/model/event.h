@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Core vocabulary of the semantic model checker (src/pisa/model/).
+ *
+ * The checker explores small protocol automata extracted from the real
+ * ASK components. Every automaton shares one event alphabet — the
+ * fault/interleaving actions of the reliability mechanism (§3.3) and
+ * its recovery choreography — and one mutation catalogue: single
+ * protocol defects the mutation harness seeds to prove the checker can
+ * actually see the bugs it claims to rule out.
+ */
+#ifndef ASK_PISA_MODEL_EVENT_H
+#define ASK_PISA_MODEL_EVENT_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ask::pisa::model {
+
+/** One scheduler/fault action. `arg` selects the object it acts on
+ *  (a network-packet index or a payload index), 0 when unused. */
+enum class EventKind : std::uint8_t
+{
+    kSend,            ///< sender emits the next unsent payload
+    kDeliver,         ///< network delivers packet `arg`
+    kDrop,            ///< network loses packet `arg`
+    kDuplicate,       ///< network duplicates packet `arg`
+    kRetransmit,      ///< sender retransmits payload `arg` (same seq)
+    kInjectMismatch,  ///< a frame with a foreign ReduceOp id appears
+    kSwap,            ///< control plane swaps the shadow copies
+    kFin,             ///< all ACKed: FIN + fetch of both copies
+    kSwitchReboot,    ///< reboot + reinstall + fence + full replay
+    kHostCrash,       ///< sender host crash + WAL replay + re-fence
+};
+
+const char* event_kind_name(EventKind kind);
+
+struct Event
+{
+    EventKind kind = EventKind::kSend;
+    std::uint8_t arg = 0;
+
+    bool
+    operator==(const Event& o) const
+    {
+        return kind == o.kind && arg == o.arg;
+    }
+};
+
+/** A schedule: the events applied from the initial state, in order. */
+using Trace = std::vector<Event>;
+
+/**
+ * The seeded protocol defects of the mutation harness. Each mutant is a
+ * single localized change to one automaton's transition function; the
+ * acceptance gate is that exploration finds a counterexample trace for
+ * every one (and none for kNone).
+ */
+enum class Mutation : std::uint8_t
+{
+    kNone = 0,
+    // ---- channel automaton ----------------------------------------------
+    kSkipCompactRepair,    ///< fence writes max_seq but not the parity bits
+    kSkipFence,            ///< recovery wipes windows but never re-fences
+    kFenceOffByOne,        ///< fence re-arms at next_seq - 1
+    kDoubleLiftCount,      ///< fetched partials are lifted again (kCount)
+    kObserveBeforeOpCheck, ///< op-mismatched frames touch the window first
+    kDuplicateConsumes,    ///< duplicate verdict still merges the payload
+    kStaleConsumes,        ///< stale verdict still merges the payload
+    kAckWithoutConsume,    ///< fresh frame ACKed but never aggregated
+    kSkipWalCheckpoint,    ///< sender never journals its seq promise
+    kReplayOnlyUnacked,    ///< post-crash replay skips ACKed payloads
+    kSwapDrainLoses,       ///< SWAP clears the retired copy without merging
+    kMismatchConsumes,     ///< op check ignored: foreign frames aggregate
+    // ---- routing automaton ----------------------------------------------
+    kTorConsumesResidual,  ///< leaf ToR consumes instead of forwarding
+    kLeafSkipsObserve,     ///< leaf ToR forwards without window observe
+};
+
+const char* mutation_name(Mutation m);
+
+/** True for mutations of the fabric-routing automaton. */
+inline bool
+mutation_is_routing(Mutation m)
+{
+    return m == Mutation::kTorConsumesResidual ||
+           m == Mutation::kLeafSkipsObserve;
+}
+
+/** Every mutation the harness seeds, in catalogue order. */
+std::vector<Mutation> all_mutations();
+
+/**
+ * Canonical little-endian byte encoding used for state hashing: two
+ * states are the same vertex of the explored graph iff their encodings
+ * are byte-equal.
+ */
+class ByteWriter
+{
+  public:
+    void
+    u8(std::uint8_t v)
+    {
+        out_.push_back(static_cast<char>(v));
+    }
+
+    void
+    u32(std::uint32_t v)
+    {
+        for (int i = 0; i < 4; ++i)
+            out_.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+    }
+
+    void
+    u64(std::uint64_t v)
+    {
+        for (int i = 0; i < 8; ++i)
+            out_.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+    }
+
+    void
+    bytes(const std::vector<std::uint8_t>& v)
+    {
+        u32(static_cast<std::uint32_t>(v.size()));
+        for (std::uint8_t b : v)
+            u8(b);
+    }
+
+    std::string
+    take()
+    {
+        return std::move(out_);
+    }
+
+  private:
+    std::string out_;
+};
+
+}  // namespace ask::pisa::model
+
+#endif  // ASK_PISA_MODEL_EVENT_H

@@ -1,0 +1,234 @@
+/**
+ * @file
+ * Bounded explicit-state exploration over a protocol automaton.
+ *
+ * A Model supplies:
+ *
+ *   struct State;                                  // copyable
+ *   State initial() const;
+ *   std::vector<Event> enabled(const State&) const;
+ *   State apply(const State&, Event) const;        // total on enabled events
+ *   std::optional<PropertyViolation> check(const State&) const;
+ *   std::string encode(const State&) const;        // canonical bytes
+ *   std::string describe_event(const State&, Event) const;
+ *
+ * explore() runs level-synchronous BFS with exact state hashing (two
+ * states are merged iff their canonical encodings are byte-equal), so
+ * the first counterexample found is of minimal event count. Only the
+ * current and next BFS levels keep full states in memory; the visited
+ * set stores encodings plus a parent/event table for trace
+ * reconstruction.
+ *
+ * Counterexamples then pass through the same greedy-deletion shrink
+ * discipline as fuzz scenarios (testing/shrink.h): repeatedly drop one
+ * event, keep the candidate only when replay still violates, stop at a
+ * fixpoint or budget. BFS minimality means deletions rarely apply; the
+ * pass matters for depth-truncated searches and keeps the reported
+ * trace 1-minimal regardless of how it was found.
+ *
+ * Exploration is fully deterministic: BFS order is the (deterministic)
+ * insertion order, nothing iterates the hash map, and no clock or RNG
+ * is consulted — the same model and bounds always produce the same
+ * result, byte for byte.
+ */
+#ifndef ASK_PISA_MODEL_EXPLORER_H
+#define ASK_PISA_MODEL_EXPLORER_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "pisa/model/event.h"
+
+namespace ask::pisa::model {
+
+/** One violated property: a stable identifier plus human diagnosis. */
+struct PropertyViolation
+{
+    std::string property;  ///< e.g. "exactly-once", "parity-equivalence"
+    std::string message;
+};
+
+struct ExploreOptions
+{
+    std::size_t max_states = 2'000'000;
+    std::size_t max_depth = 128;
+    std::uint32_t shrink_attempts = 128;
+};
+
+/** A found counterexample: the violated property and a minimal trace. */
+struct Counterexample
+{
+    PropertyViolation violation;
+    Trace trace;
+    /** Human rendering of each trace event (from describe_event). */
+    std::vector<std::string> rendered;
+    std::uint32_t shrink_attempts = 0;
+    std::uint32_t shrink_accepted = 0;
+};
+
+struct ExploreResult
+{
+    std::size_t states = 0;       ///< distinct states visited
+    std::size_t transitions = 0;  ///< edges expanded
+    std::size_t depth = 0;        ///< deepest completed BFS level
+    bool truncated = false;       ///< hit max_states or max_depth
+    std::optional<Counterexample> counterexample;
+};
+
+/**
+ * Replay `trace` from the initial state. Returns the first violation
+ * found (possibly before the trace ends), or nullopt when the trace
+ * either completes cleanly or requests an event that is not enabled
+ * (an invalid shrink candidate). `executed`/`rendered`, when non-null,
+ * receive the prefix actually applied up to the violation.
+ */
+template <class Model>
+std::optional<PropertyViolation>
+run_trace(const Model& model, const Trace& trace, Trace* executed = nullptr,
+          std::vector<std::string>* rendered = nullptr)
+{
+    typename Model::State state = model.initial();
+    if (auto v = model.check(state))
+        return v;
+    for (const Event& ev : trace) {
+        bool enabled = false;
+        for (const Event& candidate : model.enabled(state))
+            if (candidate == ev) {
+                enabled = true;
+                break;
+            }
+        if (!enabled)
+            return std::nullopt;
+        if (rendered != nullptr)
+            rendered->push_back(model.describe_event(state, ev));
+        if (executed != nullptr)
+            executed->push_back(ev);
+        state = model.apply(state, ev);
+        if (auto v = model.check(state))
+            return v;
+    }
+    return std::nullopt;
+}
+
+/** Greedy one-event-deletion shrink (see file comment). */
+template <class Model>
+Trace
+shrink_trace(const Model& model, Trace trace, std::uint32_t budget,
+             std::uint32_t& attempts, std::uint32_t& accepted)
+{
+    bool progress = true;
+    while (progress && attempts < budget) {
+        progress = false;
+        for (std::size_t i = 0; i < trace.size() && attempts < budget; ++i) {
+            Trace candidate;
+            candidate.reserve(trace.size() - 1);
+            for (std::size_t j = 0; j < trace.size(); ++j)
+                if (j != i)
+                    candidate.push_back(trace[j]);
+            ++attempts;
+            Trace executed;
+            if (run_trace(model, candidate, &executed)) {
+                // Keep only the prefix up to the violation: strictly
+                // smaller, so the loop terminates.
+                trace = std::move(executed);
+                ++accepted;
+                progress = true;
+                break;
+            }
+        }
+    }
+    return trace;
+}
+
+template <class Model>
+ExploreResult
+explore(const Model& model, const ExploreOptions& opt = {})
+{
+    using State = typename Model::State;
+    struct Node
+    {
+        std::int32_t parent;
+        Event via;
+    };
+
+    ExploreResult result;
+    std::vector<Node> nodes;
+    std::unordered_map<std::string, std::int32_t> visited;
+    // (node index, state) pairs of the current BFS level.
+    std::vector<std::pair<std::int32_t, State>> frontier;
+
+    auto finish_with = [&](std::int32_t node, PropertyViolation violation) {
+        Trace trace;
+        for (std::int32_t i = node; nodes[i].parent >= 0;
+             i = nodes[i].parent)
+            trace.push_back(nodes[i].via);
+        for (std::size_t lo = 0, hi = trace.size(); lo + 1 < hi; ++lo, --hi)
+            std::swap(trace[lo], trace[hi - 1]);
+
+        Counterexample cex;
+        cex.trace = shrink_trace(model, std::move(trace),
+                                 opt.shrink_attempts, cex.shrink_attempts,
+                                 cex.shrink_accepted);
+        Trace executed;
+        if (auto v = run_trace(model, cex.trace, &executed, &cex.rendered)) {
+            cex.violation = *v;
+            cex.trace = std::move(executed);
+        } else {
+            // Shrinking is validity-checked, so the final trace must
+            // still violate; keep the original diagnosis if not.
+            cex.violation = std::move(violation);
+        }
+        result.counterexample = std::move(cex);
+    };
+
+    // Returns true when exploration must stop (violation found).
+    auto admit = [&](State&& state, std::int32_t parent, Event via,
+                     std::vector<std::pair<std::int32_t, State>>& next)
+        -> bool {
+        auto [it, fresh] = visited.emplace(
+            model.encode(state), static_cast<std::int32_t>(nodes.size()));
+        if (!fresh)
+            return false;
+        nodes.push_back(Node{parent, via});
+        ++result.states;
+        if (auto v = model.check(state)) {
+            finish_with(it->second, std::move(*v));
+            return true;
+        }
+        next.emplace_back(it->second, std::move(state));
+        return false;
+    };
+
+    if (admit(model.initial(), -1, Event{}, frontier))
+        return result;
+
+    while (!frontier.empty()) {
+        if (result.depth >= opt.max_depth) {
+            result.truncated = true;
+            return result;
+        }
+        std::vector<std::pair<std::int32_t, State>> next;
+        for (const auto& [index, state] : frontier) {
+            for (const Event& ev : model.enabled(state)) {
+                ++result.transitions;
+                if (admit(model.apply(state, ev), index, ev, next))
+                    return result;
+                if (result.states >= opt.max_states) {
+                    result.truncated = true;
+                    return result;
+                }
+            }
+        }
+        frontier = std::move(next);
+        ++result.depth;
+    }
+    return result;
+}
+
+}  // namespace ask::pisa::model
+
+#endif  // ASK_PISA_MODEL_EXPLORER_H

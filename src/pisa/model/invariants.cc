@@ -1,0 +1,51 @@
+#include "pisa/model/invariants.h"
+
+#include "common/string_util.h"
+
+namespace ask::pisa::model {
+
+std::optional<std::string>
+check_seen_snapshot(const core::SeenSnapshot& snap)
+{
+    if (snap.window == 0)
+        return "window must be positive";
+    std::size_t expected =
+        snap.compact ? snap.window : 2 * static_cast<std::size_t>(snap.window);
+    if (snap.bits.size() != expected)
+        return strf("snapshot has %zu bits, expected %zu", snap.bits.size(),
+                    expected);
+    for (std::size_t i = 0; i < snap.bits.size(); ++i)
+        if (snap.bits[i] > 1)
+            return strf("bit %zu reads %u, registers are 1-bit", i,
+                        static_cast<unsigned>(snap.bits[i]));
+    if (!snap.compact && snap.any &&
+        snap.bits[snap.ahead_slot(snap.max_seq)] != 0)
+        return strf("clear-ahead violated: slot %zu (one window ahead of "
+                    "max_seq %u) is set",
+                    snap.ahead_slot(snap.max_seq), snap.max_seq);
+    return std::nullopt;
+}
+
+std::optional<std::string>
+check_channel_relation(const ChannelRelation& r)
+{
+    if (r.window == 0)
+        return "window must be positive";
+    std::uint64_t bound =
+        static_cast<std::uint64_t>(r.daemon_next_seq) + r.window - 1;
+    if (r.switch_max_seq > bound)
+        return strf("switch max_seq %llu exceeds sender bound next_seq %u "
+                    "+ W - 1 = %llu",
+                    static_cast<unsigned long long>(r.switch_max_seq),
+                    r.daemon_next_seq,
+                    static_cast<unsigned long long>(bound));
+    if (r.wal_resume.has_value() &&
+        static_cast<std::uint64_t>(r.daemon_next_seq) > *r.wal_resume)
+        return strf("WAL promise violated: cursor %u ran past the journaled "
+                    "resume point %llu",
+                    r.daemon_next_seq,
+                    static_cast<unsigned long long>(*r.wal_resume));
+    return std::nullopt;
+}
+
+}  // namespace ask::pisa::model

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Reachable-state invariants of the ASK protocol automata.
+ *
+ * These predicates play a double role:
+ *
+ *  - during model checking they are asserted on every state the
+ *    explorer reaches, so a clean verification run *proves* them over
+ *    the bounded state space;
+ *  - the fuzzer's reachability probe (testing/differential.cc)
+ *    evaluates the very same predicates on states extracted from live
+ *    components (AskSwitchProgram::extract_seen,
+ *    DataChannel::next_seq/in_flight_seqs, the WAL resume fold), so a
+ *    dynamically observed state outside the model's reachable set
+ *    fails the scenario.
+ *
+ * Soundness notes (why each predicate holds on every reachable state):
+ *
+ *  - plain clear-ahead: the slot one window ahead of max_seq is clear.
+ *    Recording into that slot would require observing a sequence
+ *    t <= max_seq with t ≡ max_seq + W (mod 2W); the only candidate in
+ *    the non-stale range (max_seq - W, max_seq] is max_seq - W itself,
+ *    which is exactly the stale boundary and is dropped before the
+ *    bits are touched. Wipes and fences zero the slot outright.
+ *  - compact bits admit no per-bit predicate: a W-bit snapshot cannot
+ *    distinguish "observed" from "parity-repaired" without knowing the
+ *    observed-vs-fenced frontier, so the compact design is constrained
+ *    through the cross-component relations instead.
+ *  - max_seq <= next_seq + W - 1: observes record sequences the sender
+ *    already allocated (< next_seq, and the cursor is monotone), and
+ *    fences write exactly next_seq + W - 1.
+ *  - next_seq <= wal_resume: the sender journals kSeqCheckpoint
+ *    (upto = next_seq + K) *before* allocating the first of those
+ *    sequence numbers, and crash recovery resets the cursor to the
+ *    highest journaled upto.
+ */
+#ifndef ASK_PISA_MODEL_INVARIANTS_H
+#define ASK_PISA_MODEL_INVARIANTS_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "ask/seen_window.h"
+#include "ask/types.h"
+
+namespace ask::pisa::model {
+
+/**
+ * Structural + clear-ahead invariants of one receive-window snapshot.
+ * Returns a description of the first violated predicate, or nullopt.
+ */
+std::optional<std::string> check_seen_snapshot(
+    const core::SeenSnapshot& snap);
+
+/** Cross-component view of one channel: switch window registers vs the
+ *  sender cursor vs the journaled WAL resume point. */
+struct ChannelRelation
+{
+    std::uint64_t switch_max_seq = 0;
+    core::Seq daemon_next_seq = 0;
+    /** Highest journaled kSeqCheckpoint `upto`; nullopt when the
+     *  channel never checkpointed (no WAL, or nothing sent). */
+    std::optional<std::uint64_t> wal_resume;
+    std::uint32_t window = 0;
+};
+
+/** The cross-component relations (see file comment). */
+std::optional<std::string> check_channel_relation(const ChannelRelation& r);
+
+}  // namespace ask::pisa::model
+
+#endif  // ASK_PISA_MODEL_INVARIANTS_H

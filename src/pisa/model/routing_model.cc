@@ -1,0 +1,259 @@
+#include "pisa/model/routing_model.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "pisa/model/invariants.h"
+
+namespace ask::pisa::model {
+
+RoutingModel::RoutingModel(const RoutingBounds& bounds, Mutation mutation)
+    : bounds_(bounds),
+      mutation_(mutation),
+      topology_(core::TopologyBuilder().racks(bounds.racks, 1).build()),
+      receiver_(HostId{bounds.racks - 1})
+{
+    ASK_ASSERT(bounds.racks >= 1 && bounds.racks <= 8,
+               "rack bound out of range");
+    ASK_ASSERT(bounds.seqs >= 1 && bounds.seqs <= 16,
+               "seq bound out of range");
+    ASK_ASSERT(mutation == Mutation::kNone || mutation_is_routing(mutation),
+               "channel mutations belong to ChannelModel");
+}
+
+bool
+RoutingModel::crosses_tier(std::uint8_t ch) const
+{
+    if (!topology_.has_tier())
+        return false;
+    return topology_.rack_of_host(HostId{ch}) !=
+           topology_.rack_of_host(receiver_);
+}
+
+RoutingModel::State
+RoutingModel::initial() const
+{
+    std::size_t channels = num_channels();
+    std::size_t slots = channels * bounds_.seqs;
+    State s;
+    s.next_send.assign(channels, 0);
+    s.consumed.assign(slots, 0);
+    s.fresh_tor.assign(slots, 0);
+    s.fresh_tier.assign(slots, 0);
+    s.retx.assign(slots, 0);
+    s.tor_seen.assign(channels, core::PlainSeen(bounds_.window));
+    s.tier_seen.assign(channels, core::PlainSeen(bounds_.window));
+    return s;
+}
+
+std::vector<Event>
+RoutingModel::enabled(const State& s) const
+{
+    std::vector<Event> out;
+    bool room = s.net.size() < bounds_.net_capacity;
+
+    for (std::uint8_t ch = 0; ch < num_channels(); ++ch)
+        if (s.next_send[ch] < bounds_.seqs && room)
+            out.push_back({EventKind::kSend, ch});
+
+    for (std::uint8_t ch = 0; ch < num_channels(); ++ch)
+        for (std::uint8_t seq = 0; seq < s.next_send[ch]; ++seq) {
+            std::size_t sl = slot(ch, seq);
+            if (s.consumed[sl] == 0 && s.retx[sl] < bounds_.max_retransmits &&
+                room)
+                out.push_back(
+                    {EventKind::kRetransmit, static_cast<std::uint8_t>(sl)});
+        }
+
+    for (std::uint8_t i = 0; i < s.net.size(); ++i) {
+        out.push_back({EventKind::kDeliver, i});
+        out.push_back({EventKind::kDrop, i});
+        if (s.dups < bounds_.max_duplicates && room)
+            out.push_back({EventKind::kDuplicate, i});
+    }
+    return out;
+}
+
+RoutingModel::State
+RoutingModel::apply(const State& prev, Event ev) const
+{
+    State s = prev;
+    switch (ev.kind) {
+      case EventKind::kSend: {
+        std::uint8_t ch = ev.arg;
+        s.net.push_back(Packet{ch, s.next_send[ch], kAtTor});
+        ++s.next_send[ch];
+        break;
+      }
+      case EventKind::kRetransmit: {
+        std::uint8_t ch = static_cast<std::uint8_t>(ev.arg / bounds_.seqs);
+        std::uint8_t seq = static_cast<std::uint8_t>(ev.arg % bounds_.seqs);
+        ++s.retx[ev.arg];
+        s.net.push_back(Packet{ch, seq, kAtTor});
+        break;
+      }
+      case EventKind::kDeliver: {
+        Packet pkt = s.net[ev.arg];
+        s.net.erase(s.net.begin() + ev.arg);
+        bool cross = crosses_tier(pkt.channel);
+        bool at_tier = pkt.at == kAtTier;
+        bool last = at_tier || !cross;
+        std::size_t sl = slot(pkt.channel, pkt.seq);
+
+        if (mutation_ == Mutation::kLeafSkipsObserve && !last) {
+            // The defect: the leaf forwards without touching its
+            // window, breaking the self-cleaning chain.
+            s.net.push_back(Packet{pkt.channel, pkt.seq, kAtTier});
+            break;
+        }
+
+        core::PlainSeen& win = at_tier ? s.tier_seen[pkt.channel]
+                                       : s.tor_seen[pkt.channel];
+        core::SeenOutcome verdict = win.observe(pkt.seq);
+        if (verdict == core::SeenOutcome::kFresh) {
+            ++(at_tier ? s.fresh_tier : s.fresh_tor)[sl];
+            if (last) {
+                ++s.consumed[sl];
+            } else if (mutation_ == Mutation::kTorConsumesResidual) {
+                // The defect: the leaf absorbs a fully aggregated
+                // packet and impersonates the receiver, so the tier
+                // never observes this sequence number.
+                ++s.consumed[sl];
+            } else {
+                s.net.push_back(Packet{pkt.channel, pkt.seq, kAtTier});
+            }
+        } else if (verdict == core::SeenOutcome::kDuplicate && !last) {
+            // A duplicate's residual is still forwarded upstream: the
+            // root must be the one to (re-)ACK it.
+            s.net.push_back(Packet{pkt.channel, pkt.seq, kAtTier});
+        }
+        // Stale packets are dropped outright.
+        break;
+      }
+      case EventKind::kDrop:
+        s.net.erase(s.net.begin() + ev.arg);
+        break;
+      case EventKind::kDuplicate:
+        s.net.push_back(s.net[ev.arg]);
+        ++s.dups;
+        break;
+      default:
+        ASK_ASSERT(false, "event not part of the routing alphabet");
+    }
+    std::sort(s.net.begin(), s.net.end());
+    return s;
+}
+
+std::optional<PropertyViolation>
+RoutingModel::check(const State& s) const
+{
+    for (std::uint8_t ch = 0; ch < num_channels(); ++ch)
+        for (std::uint8_t seq = 0; seq < bounds_.seqs; ++seq) {
+            std::size_t sl = slot(ch, seq);
+            if (s.consumed[sl] > 1)
+                return PropertyViolation{
+                    "routing-soundness",
+                    strf("channel %u seq %u consumed %u times",
+                         static_cast<unsigned>(ch),
+                         static_cast<unsigned>(seq), s.consumed[sl])};
+            if (s.fresh_tor[sl] > 1 || s.fresh_tier[sl] > 1)
+                return PropertyViolation{
+                    "routing-soundness",
+                    strf("channel %u seq %u observed fresh more than once "
+                         "at one switch",
+                         static_cast<unsigned>(ch),
+                         static_cast<unsigned>(seq))};
+        }
+
+    // Coverage is judged on completed runs: everything sent and
+    // consumed, nothing left in flight.
+    bool done = s.net.empty();
+    for (std::uint8_t ch = 0; ch < num_channels() && done; ++ch) {
+        if (s.next_send[ch] < bounds_.seqs)
+            done = false;
+        for (std::uint8_t seq = 0; seq < bounds_.seqs && done; ++seq)
+            if (s.consumed[slot(ch, seq)] == 0)
+                done = false;
+    }
+    if (done) {
+        for (std::uint8_t ch = 0; ch < num_channels(); ++ch)
+            for (std::uint8_t seq = 0; seq < bounds_.seqs; ++seq) {
+                std::size_t sl = slot(ch, seq);
+                if (s.fresh_tor[sl] != 1)
+                    return PropertyViolation{
+                        "routing-coverage",
+                        strf("ToR of rack %u never observed channel %u "
+                             "seq %u fresh",
+                             static_cast<unsigned>(ch),
+                             static_cast<unsigned>(ch),
+                             static_cast<unsigned>(seq))};
+                if (crosses_tier(ch) && s.fresh_tier[sl] != 1)
+                    return PropertyViolation{
+                        "routing-coverage",
+                        strf("tier switch never observed channel %u seq %u "
+                             "fresh",
+                             static_cast<unsigned>(ch),
+                             static_cast<unsigned>(seq))};
+            }
+    }
+    return std::nullopt;
+}
+
+std::string
+RoutingModel::encode(const State& s) const
+{
+    ByteWriter w;
+    w.bytes(s.next_send);
+    w.bytes(s.consumed);
+    w.bytes(s.fresh_tor);
+    w.bytes(s.fresh_tier);
+    w.bytes(s.retx);
+    for (const core::PlainSeen& win : s.tor_seen) {
+        core::SeenSnapshot snap = win.snapshot();
+        w.bytes(snap.bits);
+        w.u32(snap.max_seq);
+        w.u8(snap.any ? 1 : 0);
+    }
+    for (const core::PlainSeen& win : s.tier_seen) {
+        core::SeenSnapshot snap = win.snapshot();
+        w.bytes(snap.bits);
+        w.u32(snap.max_seq);
+        w.u8(snap.any ? 1 : 0);
+    }
+    w.u8(static_cast<std::uint8_t>(s.net.size()));
+    for (const Packet& pkt : s.net) {
+        w.u8(pkt.channel);
+        w.u8(pkt.seq);
+        w.u8(pkt.at);
+    }
+    w.u8(s.dups);
+    return w.take();
+}
+
+std::string
+RoutingModel::describe_event(const State& s, Event ev) const
+{
+    switch (ev.kind) {
+      case EventKind::kSend:
+        return strf("send(ch%u seq%u)", static_cast<unsigned>(ev.arg),
+                    static_cast<unsigned>(s.next_send[ev.arg]));
+      case EventKind::kRetransmit:
+        return strf("retransmit(ch%u seq%u)",
+                    static_cast<unsigned>(ev.arg / bounds_.seqs),
+                    static_cast<unsigned>(ev.arg % bounds_.seqs));
+      case EventKind::kDeliver:
+      case EventKind::kDrop:
+      case EventKind::kDuplicate: {
+        const Packet& pkt = s.net[ev.arg];
+        return strf("%s(ch%u seq%u at %s)", event_kind_name(ev.kind),
+                    static_cast<unsigned>(pkt.channel),
+                    static_cast<unsigned>(pkt.seq),
+                    pkt.at == kAtTier ? "tier" : "tor");
+      }
+      default:
+        return "?";
+    }
+}
+
+}  // namespace ask::pisa::model

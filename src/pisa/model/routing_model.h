@@ -1,0 +1,125 @@
+/**
+ * @file
+ * The fabric-routing automaton: residual forwarding over a real
+ * core::Topology.
+ *
+ * The seen-window scheme is self-cleaning — the arrival of seq s
+ * clears the slot seq s+W will use — so every switch that holds window
+ * state for a channel must observe every sequence number of that
+ * channel exactly once before it is consumed. The fabric guarantees
+ * this by role: leaf ToRs observe and forward (an empty-bitmap
+ * residual when the packet was fully absorbed), and only the tree root
+ * (the tier switch, or the lone ToR of a single-rack fabric, or the
+ * receiver's own ToR for rack-local channels that never transit the
+ * tier) consumes and ACKs.
+ *
+ * This model builds the window-holder set of each channel from a real
+ * Topology (one host per rack, the receiver in the last rack; channel
+ * h belongs to host h) and checks, under delivery/drop/duplicate/
+ * retransmit interleavings with a real PlainSeen per (holder, channel):
+ *
+ *  - routing-soundness (safety): each (channel, seq) observes fresh at
+ *    most once per holder and is consumed at most once overall;
+ *  - routing-coverage (on completed runs): every window-holding switch
+ *    observed every sequence number exactly once, and every sequence
+ *    was consumed exactly once at the channel's root.
+ *
+ * Retransmission is modeled with oracle ACKs (enabled while the seq is
+ * unconsumed and in budget); the omitted behaviors — retransmits of
+ * already-consumed seqs — only add duplicate deliveries, which the
+ * kDuplicate event already covers at the last hop.
+ */
+#ifndef ASK_PISA_MODEL_ROUTING_MODEL_H
+#define ASK_PISA_MODEL_ROUTING_MODEL_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ask/seen_window.h"
+#include "ask/topology.h"
+#include "ask/types.h"
+#include "pisa/model/event.h"
+#include "pisa/model/explorer.h"
+
+namespace ask::pisa::model {
+
+/** Exploration bounds of the routing automaton. */
+struct RoutingBounds
+{
+    std::uint32_t racks = 2;           ///< topology: racks x 1 host
+    std::uint32_t seqs = 2;            ///< sequence numbers per channel
+    std::uint32_t window = 2;          ///< W of the holder windows
+    std::uint32_t net_capacity = 4;
+    std::uint32_t max_retransmits = 1; ///< per (channel, seq)
+    std::uint32_t max_duplicates = 1;  ///< whole run
+};
+
+class RoutingModel
+{
+  public:
+    /** Hop positions on a channel's path. */
+    static constexpr std::uint8_t kAtTor = 0;   ///< at the owning ToR
+    static constexpr std::uint8_t kAtTier = 1;  ///< at the tier switch
+
+    struct Packet
+    {
+        std::uint8_t channel = 0;
+        std::uint8_t seq = 0;
+        std::uint8_t at = kAtTor;
+
+        bool
+        operator<(const Packet& o) const
+        {
+            if (channel != o.channel)
+                return channel < o.channel;
+            if (seq != o.seq)
+                return seq < o.seq;
+            return at < o.at;
+        }
+    };
+
+    struct State
+    {
+        std::vector<std::uint8_t> next_send;    ///< per channel
+        std::vector<std::uint8_t> consumed;     ///< per (channel, seq)
+        std::vector<std::uint8_t> fresh_tor;    ///< per (channel, seq)
+        std::vector<std::uint8_t> fresh_tier;   ///< per (channel, seq)
+        std::vector<std::uint8_t> retx;         ///< per (channel, seq)
+        std::vector<core::PlainSeen> tor_seen;  ///< per channel, owning ToR
+        std::vector<core::PlainSeen> tier_seen; ///< per channel, tier
+        std::vector<Packet> net;
+        std::uint8_t dups = 0;
+    };
+
+    RoutingModel(const RoutingBounds& bounds, Mutation mutation);
+
+    State initial() const;
+    std::vector<Event> enabled(const State& s) const;
+    State apply(const State& s, Event ev) const;
+    std::optional<PropertyViolation> check(const State& s) const;
+    std::string encode(const State& s) const;
+    std::string describe_event(const State& s, Event ev) const;
+
+    const core::Topology& topology() const { return topology_; }
+    std::uint32_t num_channels() const { return bounds_.racks; }
+    /** Does channel `ch`'s stream transit the tier switch? */
+    bool crosses_tier(std::uint8_t ch) const;
+
+  private:
+    std::size_t
+    slot(std::uint8_t ch, std::uint8_t seq) const
+    {
+        return static_cast<std::size_t>(ch) * bounds_.seqs + seq;
+    }
+
+    RoutingBounds bounds_;
+    Mutation mutation_;
+    core::Topology topology_;
+    HostId receiver_;
+};
+
+}  // namespace ask::pisa::model
+
+#endif  // ASK_PISA_MODEL_ROUTING_MODEL_H

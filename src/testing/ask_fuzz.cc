@@ -28,7 +28,6 @@
 #include <iostream>
 #include <string>
 
-#include "common/logging.h"
 #include "common/random.h"
 #include "testing/fuzzer.h"
 
@@ -122,8 +121,12 @@ main(int argc, char** argv)
 
     if (!json_path.empty()) {
         std::ofstream out(json_path);
-        if (!out)
-            fatal("ask_fuzz: cannot write ", json_path);
+        if (!out) {
+            // An unwritable report path is an operator error, not a
+            // bug: diagnose and exit cleanly instead of abort()ing.
+            std::cerr << "ask_fuzz: cannot write " << json_path << "\n";
+            return 1;
+        }
         out << report.to_json().dump(2) << "\n";
         std::cout << "ask_fuzz: report written to " << json_path << "\n";
     }

@@ -19,10 +19,21 @@
  * ctest target.
  *
  *     ask_verify --sweep
+ *
+ * Model mode runs the semantic model checker (src/pisa/model/): bounded
+ * explicit-state exploration of the channel and fabric-routing automata
+ * extracted from the real components, plus the mutation harness that
+ * proves every seeded protocol defect is caught. The report is the
+ * byte-stable `ask-model/v1` schema.
+ *
+ *     ask_verify --model
+ *     ask_verify --model --model-json report.json
+ *     ask_verify --model --model-payloads 2 --model-no-mutants
  */
 #include <cstdint>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iomanip>
 #include <iostream>
 #include <sstream>
@@ -33,6 +44,7 @@
 #include "ask/switch_program.h"
 #include "common/logging.h"
 #include "net/network.h"
+#include "pisa/model/checker.h"
 #include "pisa/pipeline.h"
 #include "pisa/pisa_switch.h"
 #include "pisa/verify/verifier.h"
@@ -50,7 +62,10 @@ usage(const char* argv0)
         << " [--num-aas N] [--aggregators N] [--window N] [--hosts N]\n"
            "       [--medium-groups N] [--medium-segments N] [--tasks N]\n"
            "       [--plain-seen] [--no-shadow] [--stages N] [--sram BYTES]\n"
-           "       [--paths] [--sweep]\n";
+           "       [--paths] [--sweep]\n"
+           "       [--model] [--model-json PATH] [--model-payloads N]\n"
+           "       [--model-window N] [--model-racks N]\n"
+           "       [--model-max-states N] [--model-no-mutants]\n";
     std::exit(2);
 }
 
@@ -266,6 +281,67 @@ sweep()
     return disagreements;
 }
 
+/**
+ * Model mode: run the full model-check campaign, print a per-run
+ * summary (with the counterexample trace whenever a run fails its
+ * expectation), optionally dump the `ask-model/v1` JSON report.
+ * Returns the process exit code (0 = campaign passed).
+ */
+int
+run_model(const pisa::model::ModelCheckOptions& options,
+          const std::string& json_path)
+{
+    pisa::model::ModelReport report = pisa::model::run_model_check(options);
+
+    for (const auto& run : report.runs) {
+        std::cout << (run.ok() ? "  ok   " : " FAIL  ") << run.automaton
+                  << "  " << run.config
+                  << "  mutation=" << pisa::model::mutation_name(run.mutation)
+                  << "  states=" << run.states
+                  << " transitions=" << run.transitions
+                  << " depth=" << run.depth
+                  << (run.truncated ? " (truncated)" : "") << "\n";
+        if (run.counterexample.has_value()) {
+            const auto& cex = *run.counterexample;
+            std::cout << "         " << cex.violation.property << ": "
+                      << cex.violation.message << "\n";
+            // Mutants are supposed to violate — only spell the trace
+            // out when a run failed its expectation.
+            if (!run.ok())
+                for (const std::string& line : cex.rendered)
+                    std::cout << "           " << line << "\n";
+            else
+                std::cout << "         counterexample: "
+                          << cex.trace.size() << " event(s)\n";
+        } else if (!run.ok()) {
+            std::cout << "         expected a counterexample, "
+                         "exploration found none\n";
+        }
+    }
+
+    if (!json_path.empty()) {
+        std::ofstream out(json_path);
+        if (!out) {
+            std::cerr << "ask_verify: cannot write " << json_path << "\n";
+            return 1;
+        }
+        out << report.to_json().dump(2) << "\n";
+    }
+
+    std::size_t mutants = 0, caught = 0;
+    for (const auto& run : report.runs)
+        if (run.mutation != pisa::model::Mutation::kNone) {
+            ++mutants;
+            if (run.counterexample.has_value())
+                ++caught;
+        }
+    std::cout << "ask_verify: model check " << report.runs.size()
+              << " run(s), " << caught << "/" << mutants
+              << " mutant(s) caught: "
+              << (report.ok() ? "passed" : "FAILED") << "\n";
+    return report.ok() ? 0 : 1;
+}
+
 }  // namespace
 
 int
@@ -276,6 +352,9 @@ main(int argc, char** argv)
     std::size_t sram = pisa::kDefaultStageSramBytes;
     bool show_paths = false;
     bool run_sweep = false;
+    bool model_mode = false;
+    pisa::model::ModelCheckOptions model_options;
+    std::string model_json;
 
     for (int i = 1; i < argc; ++i) {
         auto value = [&]() -> const char* {
@@ -316,10 +395,29 @@ main(int argc, char** argv)
             show_paths = true;
         else if (std::strcmp(argv[i], "--sweep") == 0)
             run_sweep = true;
+        else if (std::strcmp(argv[i], "--model") == 0)
+            model_mode = true;
+        else if (std::strcmp(argv[i], "--model-json") == 0)
+            model_json = value();
+        else if (std::strcmp(argv[i], "--model-payloads") == 0)
+            model_options.payloads =
+                static_cast<std::uint32_t>(parse_u64(argv[0], value()));
+        else if (std::strcmp(argv[i], "--model-window") == 0)
+            model_options.window =
+                static_cast<std::uint32_t>(parse_u64(argv[0], value()));
+        else if (std::strcmp(argv[i], "--model-racks") == 0)
+            model_options.racks =
+                static_cast<std::uint32_t>(parse_u64(argv[0], value()));
+        else if (std::strcmp(argv[i], "--model-max-states") == 0)
+            model_options.max_states = parse_u64(argv[0], value());
+        else if (std::strcmp(argv[i], "--model-no-mutants") == 0)
+            model_options.mutants = false;
         else
             usage(argv[0]);
     }
 
+    if (model_mode)
+        return run_model(model_options, model_json);
     if (run_sweep)
         return sweep() == 0 ? 0 : 1;
     return report(config, stages, sram, show_paths);

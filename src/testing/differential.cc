@@ -8,6 +8,7 @@
 #include "ask/seen_window.h"
 #include "common/hash.h"
 #include "common/random.h"
+#include "pisa/model/invariants.h"
 #include "pisa/verify/oracle.h"
 #include "testing/oracle.h"
 
@@ -211,6 +212,83 @@ probe_recovery(const ScenarioSpec& spec, core::AskCluster& cluster,
     if (cs.unhandled_events != 0)
         fail(std::to_string(cs.unhandled_events) +
              " chaos event(s) reached no handler");
+}
+
+/**
+ * Model-reachability probe: cross-check the dynamically observed
+ * component states against the semantic model's reachable-state
+ * envelope. The model checker (src/pisa/model/) proves a set of state
+ * invariants over ALL reachable states of the extracted automata —
+ * window shape, plain clear-ahead, switch max_seq <= cursor + W - 1,
+ * cursor <= journaled WAL promise, in-flight seq < cursor. Here the
+ * same predicates (the very functions the checker uses) run against
+ * the live system after the run drains: every seen window extracted
+ * off the switch registers of every provisioned channel, every channel
+ * cursor, and every WAL fold's resume promise. A failure means the
+ * real components reached a state the model calls unreachable — i.e.
+ * the extraction in src/pisa/model/ abstracted away a real behavior
+ * and its proofs are about the wrong automaton.
+ */
+void
+probe_model_reachability(const ScenarioSpec& spec, core::AskCluster& cluster,
+                         DiffResult& out)
+{
+    auto fail = [&out](const std::string& detail) {
+        out.probe_failures.push_back({"model_reachability", detail});
+    };
+
+    // Host side: channel cursors, in-flight seqs, and WAL promises.
+    std::uint32_t cph = spec.cluster.ask.channels_per_host;
+    std::vector<core::Seq> cursor(
+        static_cast<std::size_t>(spec.cluster.num_hosts) * cph, 0);
+    std::vector<std::optional<std::uint64_t>> promise(cursor.size());
+    for (std::uint32_t h = 0; h < spec.cluster.num_hosts; ++h) {
+        core::AskDaemon& daemon = cluster.daemon(core::HostId{h});
+        core::Wal& wal = cluster.wal_store().host_wal(h);
+        core::WalDaemonState folded;
+        if (wal.verify())  // digest failures are probe_recovery's story
+            folded = core::rebuild_daemon_state(wal.replay(),
+                                                spec.cluster.ask.op);
+        for (std::uint32_t c = 0; c < daemon.num_channels(); ++c) {
+            core::DataChannel& chan = daemon.channel(c);
+            core::ChannelId id = chan.global_id();
+            cursor.at(id) = chan.next_seq();
+            auto it = folded.resume_seq.find(c);
+            if (it != folded.resume_seq.end())
+                promise.at(id) = it->second;
+            for (core::Seq s : chan.in_flight_seqs()) {
+                if (s >= chan.next_seq())
+                    fail("channel " + std::to_string(id) +
+                         ": in-flight seq " + std::to_string(s) +
+                         " not below cursor " +
+                         std::to_string(chan.next_seq()));
+            }
+        }
+    }
+
+    // Switch side: every provisioned window against the model's state
+    // invariants, then the cross-component relation per (switch,
+    // channel) pair.
+    for (std::uint32_t s = 0; s < cluster.num_switches(); ++s) {
+        const core::AskSwitchProgram& program =
+            cluster.program(core::SwitchId{s});
+        for (core::ChannelId ch = 0; ch < cursor.size(); ++ch) {
+            if (!program.provisions(ch))
+                continue;
+            core::SeenSnapshot snap = program.extract_seen(ch);
+            std::string label = "switch " + std::to_string(s) +
+                                " channel " + std::to_string(ch) + ": ";
+            if (auto err = pisa::model::check_seen_snapshot(snap))
+                fail(label + *err);
+            pisa::model::ChannelRelation rel;
+            rel.switch_max_seq = snap.max_seq;
+            rel.daemon_next_seq = cursor.at(ch);
+            rel.wal_resume = promise.at(ch);
+            rel.window = snap.window;
+            if (auto err = pisa::model::check_channel_relation(rel))
+                fail(label + *err);
+        }
+    }
 }
 
 /**
@@ -443,6 +521,7 @@ run_differential(const ScenarioSpec& spec)
     probe_seen_models(spec, out);
     probe_access_plan(cluster, out);
     probe_recovery(spec, cluster, out);
+    probe_model_reachability(spec, cluster, out);
 
     return out;
 }

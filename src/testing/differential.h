@@ -20,7 +20,14 @@
  *    2W-bit and the compact W-bit designs (§3.3, Eqs. 6-8);
  *  - PISA discipline: register-access and pass-legality violations
  *    panic() inside the switch model, so a run that completes has also
- *    passed the hardware-feasibility probes.
+ *    passed the hardware-feasibility probes;
+ *  - model reachability: the dynamically observed component states —
+ *    every provisioned seen window extracted off the switch registers,
+ *    every channel cursor, every WAL resume promise — must satisfy the
+ *    state invariants the semantic model checker (src/pisa/model/)
+ *    proves over all reachable automaton states; a live state outside
+ *    the model's reachable envelope means the extraction abstracted
+ *    away a real behavior.
  *
  * The result is plain data with a deterministic describe() — same spec,
  * same bytes — so fuzz reports diff cleanly across runs and machines.

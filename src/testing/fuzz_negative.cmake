@@ -1,0 +1,33 @@
+# Negative CLI test, invoked by the `fuzz_negative` ctest target:
+#
+#   cmake -DFUZZ_BIN=<build>/testing/ask_fuzz -DOUT_DIR=<scratch> -P fuzz_negative.cmake
+#
+# An unwritable --json path is an operator error, not a bug: ask_fuzz
+# must diagnose it on stderr and exit 1 cleanly — no abort(), no stack
+# trace, and the campaign itself still runs.
+
+if(NOT DEFINED FUZZ_BIN OR NOT DEFINED OUT_DIR)
+    message(FATAL_ERROR "usage: cmake -DFUZZ_BIN=... -DOUT_DIR=... -P fuzz_negative.cmake")
+endif()
+
+file(REMOVE_RECURSE "${OUT_DIR}")
+file(MAKE_DIRECTORY "${OUT_DIR}")
+
+execute_process(
+    COMMAND "${FUZZ_BIN}" --count 1
+            --json "${OUT_DIR}/no-such-dir/report.json"
+    WORKING_DIRECTORY "${OUT_DIR}"
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+
+# A clean diagnosis is exit code exactly 1; a crash (abort, signal)
+# surfaces as a non-numeric or negative result.
+if(NOT rc STREQUAL "1")
+    message(FATAL_ERROR "fuzz_negative: expected clean exit 1, got '${rc}'\n${out}\n${err}")
+endif()
+if(NOT err MATCHES "ask_fuzz: cannot write")
+    message(FATAL_ERROR "fuzz_negative: missing stderr diagnosis\nstdout: ${out}\nstderr: ${err}")
+endif()
+
+message(STATUS "fuzz_negative: unwritable --json path diagnosed cleanly")

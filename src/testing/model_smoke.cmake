@@ -1,0 +1,39 @@
+# Bounded model-check campaign for CI, invoked by the `model_smoke`
+# ctest target:
+#
+#   cmake -DVERIFY_BIN=<build>/testing/ask_verify -DOUT_DIR=<scratch> -P model_smoke.cmake
+#
+# Runs the full semantic model check twice — clean exploration of the
+# channel and routing automata plus the mutation harness — and requires
+# (a) a passing campaign (clean models verify, every mutant caught) and
+# (b) byte-identical ask-model/v1 reports: exploration is deterministic
+# by construction, and this is where that contract is enforced.
+
+if(NOT DEFINED VERIFY_BIN OR NOT DEFINED OUT_DIR)
+    message(FATAL_ERROR "usage: cmake -DVERIFY_BIN=... -DOUT_DIR=... -P model_smoke.cmake")
+endif()
+
+file(REMOVE_RECURSE "${OUT_DIR}")
+file(MAKE_DIRECTORY "${OUT_DIR}")
+
+foreach(run a b)
+    message(STATUS "model_smoke: campaign ${run}")
+    execute_process(
+        COMMAND "${VERIFY_BIN}" --model
+                --model-json "${OUT_DIR}/report_${run}.json"
+        WORKING_DIRECTORY "${OUT_DIR}"
+        RESULT_VARIABLE rc
+        OUTPUT_VARIABLE out
+        ERROR_VARIABLE err)
+    if(NOT rc EQUAL 0)
+        message(FATAL_ERROR "model_smoke: campaign ${run} exited ${rc}\n${out}\n${err}")
+    endif()
+endforeach()
+
+file(READ "${OUT_DIR}/report_a.json" report_a)
+file(READ "${OUT_DIR}/report_b.json" report_b)
+if(NOT report_a STREQUAL report_b)
+    message(FATAL_ERROR "model_smoke: reports differ between identical campaigns")
+endif()
+
+message(STATUS "model_smoke: campaign passed, byte-identical reports")

@@ -1,0 +1,291 @@
+/**
+ * @file
+ * The semantic model checker's own test suite: clean automata verify
+ * exhaustively, every seeded mutant yields a counterexample that
+ * replays and is 1-minimal, golden traces and the ask-model/v1 report
+ * are byte-stable, and the state invariants shared with the fuzzer's
+ * reachability probe hold on live window objects.
+ */
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "ask/seen_window.h"
+#include "pisa/model/channel_model.h"
+#include "pisa/model/checker.h"
+#include "pisa/model/invariants.h"
+#include "pisa/model/routing_model.h"
+
+namespace ask {
+namespace {
+
+using pisa::model::ChannelBounds;
+using pisa::model::ChannelModel;
+using pisa::model::Counterexample;
+using pisa::model::ExploreOptions;
+using pisa::model::ExploreResult;
+using pisa::model::Mutation;
+using pisa::model::RoutingBounds;
+using pisa::model::RoutingModel;
+using pisa::model::Trace;
+
+// ---- clean verification ---------------------------------------------------
+
+TEST(ModelChannel, CleanVerifiesExhaustively)
+{
+    // net_capacity 2 keeps the space test-sized (~200k states) while
+    // still allowing concurrent DATA+ACK / DATA+DATA interleavings; the
+    // full net_capacity=3 space is covered by the model_smoke ctest.
+    for (core::ReduceOp op : {core::ReduceOp::kAdd, core::ReduceOp::kCount,
+                              core::ReduceOp::kMax}) {
+        ChannelBounds bounds;
+        bounds.net_capacity = 2;
+        bounds.op = op;
+        ChannelModel model(bounds, Mutation::kNone);
+        ExploreResult result = pisa::model::explore(model);
+        EXPECT_FALSE(result.truncated)
+            << core::reduce_op_name(op) << ": raise max_states";
+        EXPECT_FALSE(result.counterexample.has_value())
+            << core::reduce_op_name(op) << ": "
+            << result.counterexample->violation.property << ": "
+            << result.counterexample->violation.message;
+        EXPECT_GT(result.states, 100000u);
+    }
+}
+
+TEST(ModelRouting, CleanVerifiesExhaustively)
+{
+    for (std::uint32_t racks : {1u, 2u}) {
+        RoutingBounds bounds;
+        bounds.racks = racks;
+        RoutingModel model(bounds, Mutation::kNone);
+        ExploreResult result = pisa::model::explore(model);
+        EXPECT_FALSE(result.truncated);
+        EXPECT_FALSE(result.counterexample.has_value())
+            << "racks=" << racks << ": "
+            << result.counterexample->violation.property << ": "
+            << result.counterexample->violation.message;
+    }
+}
+
+// ---- mutation harness -----------------------------------------------------
+
+/** Explore one mutant under the configuration designed to expose it. */
+ExploreResult
+explore_mutant(Mutation m)
+{
+    if (pisa::model::mutation_is_routing(m)) {
+        RoutingBounds bounds;  // racks=2: the fabric has a tier switch
+        RoutingModel model(bounds, m);
+        return pisa::model::explore(model);
+    }
+    ChannelBounds bounds;
+    // Under kAdd a re-lift is the identity; kCount exposes it.
+    bounds.op = m == Mutation::kDoubleLiftCount ? core::ReduceOp::kCount
+                                                : core::ReduceOp::kAdd;
+    ChannelModel model(bounds, m);
+    return pisa::model::explore(model);
+}
+
+/** Replay `trace` on the mutant's model; nullopt when it finishes
+ *  clean or requests a disabled event. */
+std::optional<pisa::model::PropertyViolation>
+replay_mutant(Mutation m, const Trace& trace)
+{
+    if (pisa::model::mutation_is_routing(m)) {
+        RoutingModel model(RoutingBounds{}, m);
+        return pisa::model::run_trace(model, trace);
+    }
+    ChannelBounds bounds;
+    bounds.op = m == Mutation::kDoubleLiftCount ? core::ReduceOp::kCount
+                                                : core::ReduceOp::kAdd;
+    ChannelModel model(bounds, m);
+    return pisa::model::run_trace(model, trace);
+}
+
+TEST(ModelMutants, EveryMutantYieldsAReplayableCounterexample)
+{
+    std::vector<Mutation> mutants = pisa::model::all_mutations();
+    ASSERT_GE(mutants.size(), 10u);  // the harness floor
+    for (Mutation m : mutants) {
+        ExploreResult result = explore_mutant(m);
+        ASSERT_TRUE(result.counterexample.has_value())
+            << pisa::model::mutation_name(m) << " was not caught";
+        const Counterexample& cex = *result.counterexample;
+        EXPECT_FALSE(cex.trace.empty() &&
+                     cex.violation.property.empty())
+            << pisa::model::mutation_name(m);
+        // The reported trace must actually reproduce the violation.
+        auto replayed = replay_mutant(m, cex.trace);
+        ASSERT_TRUE(replayed.has_value())
+            << pisa::model::mutation_name(m)
+            << ": counterexample does not replay";
+        EXPECT_EQ(replayed->property, cex.violation.property)
+            << pisa::model::mutation_name(m);
+    }
+}
+
+TEST(ModelMutants, CounterexamplesAreOneMinimal)
+{
+    // The shrink discipline's fixpoint guarantee: no single event can
+    // be deleted from a reported trace and still violate.
+    for (Mutation m : {Mutation::kDuplicateConsumes,
+                       Mutation::kAckWithoutConsume,
+                       Mutation::kTorConsumesResidual}) {
+        ExploreResult result = explore_mutant(m);
+        ASSERT_TRUE(result.counterexample.has_value());
+        const Trace& trace = result.counterexample->trace;
+        for (std::size_t i = 0; i < trace.size(); ++i) {
+            Trace candidate;
+            for (std::size_t j = 0; j < trace.size(); ++j)
+                if (j != i)
+                    candidate.push_back(trace[j]);
+            EXPECT_FALSE(replay_mutant(m, candidate).has_value())
+                << pisa::model::mutation_name(m)
+                << ": still violates without event " << i;
+        }
+    }
+}
+
+// ---- golden counterexample traces -----------------------------------------
+// BFS order, state encodings, and the shrink pass are all
+// deterministic, so these exact traces are part of the ask-model/v1
+// report contract. A change here means the exploration order changed —
+// bump the schema if that is intentional.
+
+TEST(ModelGolden, DuplicateConsumesTrace)
+{
+    ExploreResult result = explore_mutant(Mutation::kDuplicateConsumes);
+    ASSERT_TRUE(result.counterexample.has_value());
+    const Counterexample& cex = *result.counterexample;
+    EXPECT_EQ(cex.violation.property, "exactly-once");
+    EXPECT_EQ(cex.violation.message, "payload 0 merged 2 times");
+    std::vector<std::string> expected = {
+        "send(p0 seq0)",
+        "retransmit(p0 seq0)",
+        "deliver(data p0 seq0)",
+        "deliver(data p0 seq0)",
+    };
+    EXPECT_EQ(cex.rendered, expected);
+}
+
+TEST(ModelGolden, TorConsumesResidualTrace)
+{
+    ExploreResult result = explore_mutant(Mutation::kTorConsumesResidual);
+    ASSERT_TRUE(result.counterexample.has_value());
+    const Counterexample& cex = *result.counterexample;
+    EXPECT_EQ(cex.violation.property, "routing-soundness");
+    EXPECT_EQ(cex.violation.message, "channel 0 seq 0 consumed 2 times");
+    std::vector<std::string> expected = {
+        "send(ch0 seq0)",
+        "retransmit(ch0 seq0)",
+        "deliver(ch0 seq0 at tor)",
+        "deliver(ch0 seq0 at tor)",
+        "deliver(ch0 seq0 at tier)",
+    };
+    EXPECT_EQ(cex.rendered, expected);
+}
+
+// ---- report schema and determinism ----------------------------------------
+
+TEST(ModelReport, ByteStableAndAllMutantsCaught)
+{
+    // Truncate the clean explorations: determinism and schema shape are
+    // under test here, exhaustiveness is model_smoke's job. Every
+    // mutant is caught well inside this bound.
+    pisa::model::ModelCheckOptions options;
+    options.max_states = 30000;
+
+    pisa::model::ModelReport first = pisa::model::run_model_check(options);
+    pisa::model::ModelReport second = pisa::model::run_model_check(options);
+    EXPECT_TRUE(first.ok());
+    EXPECT_EQ(first.to_json().dump(2), second.to_json().dump(2));
+
+    obs::Json j = first.to_json();
+    ASSERT_NE(j.find("schema"), nullptr);
+    EXPECT_EQ(j.find("schema")->as_string(), "ask-model/v1");
+    const obs::Json* summary = j.find("summary");
+    ASSERT_NE(summary, nullptr);
+    EXPECT_EQ(summary->find("mutants")->as_int(), 14);
+    EXPECT_EQ(summary->find("mutants_caught")->as_int(), 14);
+    EXPECT_TRUE(summary->find("ok")->as_bool());
+    const obs::Json* runs = j.find("runs");
+    ASSERT_NE(runs, nullptr);
+    EXPECT_EQ(runs->size(), first.runs.size());
+    // Every run entry carries the full stats block.
+    for (std::size_t i = 0; i < runs->size(); ++i) {
+        const obs::Json& r = runs->at(i);
+        EXPECT_NE(r.find("automaton"), nullptr);
+        EXPECT_NE(r.find("mutation"), nullptr);
+        EXPECT_NE(r.find("states"), nullptr);
+        EXPECT_NE(r.find("counterexample"), nullptr);
+    }
+}
+
+// ---- extraction hooks and shared invariants -------------------------------
+
+TEST(ModelInvariants, LiveWindowSnapshotsSatisfyTheModelPredicates)
+{
+    core::PlainSeen plain(4);
+    core::CompactSeen compact(4);
+    for (core::Seq s = 0; s < 11; ++s) {
+        plain.observe(s);
+        compact.observe(s);
+        EXPECT_EQ(pisa::model::check_seen_snapshot(plain.snapshot()),
+                  std::nullopt)
+            << "after seq " << s;
+        EXPECT_EQ(pisa::model::check_seen_snapshot(compact.snapshot()),
+                  std::nullopt)
+            << "after seq " << s;
+    }
+    // Fence repair lands inside the envelope too.
+    plain.wipe();
+    plain.repair(11);
+    compact.wipe();
+    compact.repair(11);
+    EXPECT_EQ(pisa::model::check_seen_snapshot(plain.snapshot()),
+              std::nullopt);
+    EXPECT_EQ(pisa::model::check_seen_snapshot(compact.snapshot()),
+              std::nullopt);
+}
+
+TEST(ModelInvariants, SnapshotRestoreRoundTrips)
+{
+    core::PlainSeen a(4);
+    for (core::Seq s : {0u, 1u, 3u, 5u, 4u})
+        a.observe(s);
+    core::PlainSeen b(4);
+    b.restore(a.snapshot());
+    // Same classification behavior afterwards.
+    for (core::Seq s = 0; s < 10; ++s) {
+        core::PlainSeen a2(4);
+        a2.restore(a.snapshot());
+        core::PlainSeen b2(4);
+        b2.restore(b.snapshot());
+        EXPECT_EQ(a2.observe(s), b2.observe(s)) << "seq " << s;
+    }
+}
+
+TEST(ModelInvariants, ChannelRelationDirections)
+{
+    pisa::model::ChannelRelation rel;
+    rel.window = 4;
+    rel.daemon_next_seq = 10;
+    rel.switch_max_seq = 13;  // exactly next_seq + W - 1
+    rel.wal_resume = 10;      // exactly the cursor
+    EXPECT_EQ(pisa::model::check_channel_relation(rel), std::nullopt);
+
+    rel.switch_max_seq = 14;  // the switch ran ahead of the sender
+    EXPECT_NE(pisa::model::check_channel_relation(rel), std::nullopt);
+
+    rel.switch_max_seq = 13;
+    rel.wal_resume = 9;  // the cursor ran past the journaled promise
+    EXPECT_NE(pisa::model::check_channel_relation(rel), std::nullopt);
+
+    rel.wal_resume = std::nullopt;  // nothing journaled yet: no claim
+    EXPECT_EQ(pisa::model::check_channel_relation(rel), std::nullopt);
+}
+
+}  // namespace
+}  // namespace ask

@@ -1,0 +1,79 @@
+# Determinism lint, invoked by the `determinism_lint` ctest target:
+#
+#   cmake -DREPO_DIR=<repo> -P tools/determinism_lint.cmake
+#
+# The simulator core, the ASK protocol layer, and the PISA switch model
+# (src/sim, src/ask, src/pisa) are contractually deterministic: every
+# result — fuzz reports, recovery replays, model-check reports — must be
+# byte-reproducible from a seed. This lint fails on source constructs
+# that smuggle in ambient nondeterminism:
+#
+#   rand               rand() / srand() (use common/random.h Rng)
+#   random-device      std::random_device
+#   raw-engine         direct std::mt19937 (engines live behind Rng)
+#   wall-clock         system_clock / steady_clock / high_resolution_clock,
+#                      gettimeofday, std::time(), std::clock()
+#   unordered-iter     range-for over an unordered container: iteration
+#                      order is implementation-defined, so anything it
+#                      feeds into output or aggregation diverges across
+#                      platforms (copy keys out and sort instead)
+#
+# Intentional exceptions go into tools/determinism_allowlist.txt, one
+# per line, as exactly `<path relative to repo>:<ban name>` (e.g.
+# `src/sim/foo.cc:wall-clock`), justified by a `#` comment line above
+# the entry. Entries are matched verbatim — no trailing comments.
+
+if(NOT DEFINED REPO_DIR)
+    message(FATAL_ERROR "usage: cmake -DREPO_DIR=<repo> -P determinism_lint.cmake")
+endif()
+
+# ban name -> pattern (CMake regex; no lookarounds, so leading
+# character classes exclude identifier continuations like sim_time()).
+set(ban_names rand random-device raw-engine wall-clock unordered-iter)
+set(ban_rand "[^a-zA-Z_]s?rand[ \t]*\\(")
+set(ban_random-device "random_device")
+set(ban_raw-engine "mt19937")
+set(ban_wall-clock "system_clock|steady_clock|high_resolution_clock|gettimeofday|std::time[ \t]*\\(|std::clock[ \t]*\\(")
+set(ban_unordered-iter "for[ \t]*\\(.*:.*unordered")
+
+set(allowlist "")
+if(EXISTS "${REPO_DIR}/tools/determinism_allowlist.txt")
+    file(STRINGS "${REPO_DIR}/tools/determinism_allowlist.txt" allowlist)
+endif()
+
+file(GLOB_RECURSE sources
+    "${REPO_DIR}/src/sim/*.h" "${REPO_DIR}/src/sim/*.cc"
+    "${REPO_DIR}/src/ask/*.h" "${REPO_DIR}/src/ask/*.cc"
+    "${REPO_DIR}/src/pisa/*.h" "${REPO_DIR}/src/pisa/*.cc")
+list(SORT sources)
+
+set(violations 0)
+set(scanned 0)
+foreach(path IN LISTS sources)
+    math(EXPR scanned "${scanned} + 1")
+    file(RELATIVE_PATH rel "${REPO_DIR}" "${path}")
+    file(STRINGS "${path}" lines)
+    set(lineno 0)
+    foreach(line IN LISTS lines)
+        math(EXPR lineno "${lineno} + 1")
+        foreach(ban IN LISTS ban_names)
+            if(line MATCHES "${ban_${ban}}")
+                list(FIND allowlist "${rel}:${ban}" allowed)
+                if(allowed EQUAL -1)
+                    math(EXPR violations "${violations} + 1")
+                    message(SEND_ERROR
+                        "determinism_lint: ${rel}:${lineno}: banned "
+                        "nondeterminism [${ban}]: ${line}")
+                endif()
+            endif()
+        endforeach()
+    endforeach()
+endforeach()
+
+if(violations GREATER 0)
+    message(FATAL_ERROR "determinism_lint: ${violations} violation(s) in "
+        "src/sim, src/ask, src/pisa — use common/random.h Rng for "
+        "randomness, the simulator clock for time, and sorted copies "
+        "for unordered-container output")
+endif()
+message(STATUS "determinism_lint: ${scanned} file(s) clean")

@@ -6,11 +6,14 @@
  * TLP quantization produces the paper's glitches at x = 18 and 26.
  */
 #include <cstdint>
+#include <functional>
 #include <iostream>
+#include <vector>
 
 #include "baselines/noaggr.h"
 #include "bench_util.h"
 #include "net/cost_model.h"
+#include "sim/engine.h"
 
 namespace {
 
@@ -41,15 +44,34 @@ main(int argc, char** argv)
     TextTable t;
     t.header({"tuples/pkt", "goodput (Gbps)", "ideal (Gbps)", "TLPs", ""});
     net::CostModel cm;
-    for (std::uint32_t x = 1; x <= 64;
-         x += (x < 32 || full) ? 1 : 4) {
-        baselines::BulkSpec spec;
-        spec.payload_bytes = 8 * x;
-        spec.sender_channels = 4;
-        // Fixed transfer duration across x: equal simulated work.
-        spec.tuples_per_sender = static_cast<std::uint64_t>(
-            static_cast<double>(base_tuples) * (x / 32.0 + 0.3));
-        baselines::BulkResult r = baselines::run_noaggr(spec);
+    std::vector<std::uint32_t> xs;
+    for (std::uint32_t x = 1; x <= 64; x += (x < 32 || full) ? 1 : 4)
+        xs.push_back(x);
+
+    // Every sweep point is an independent replica simulation, so the
+    // sweep fans out over ASK_SIM_THREADS workers; rows are emitted in
+    // x order afterwards, so the table and the report bytes are
+    // identical at any thread count (the sim_parallel_ab ctest holds
+    // this binary to that).
+    std::vector<baselines::BulkResult> results(xs.size());
+    std::vector<std::function<void()>> jobs;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        jobs.push_back([&results, &xs, base_tuples, i] {
+            baselines::BulkSpec spec;
+            spec.payload_bytes = 8 * xs[i];
+            spec.sender_channels = 4;
+            // Fixed transfer duration across x: equal simulated work.
+            spec.tuples_per_sender = static_cast<std::uint64_t>(
+                static_cast<double>(base_tuples) * (xs[i] / 32.0 + 0.3));
+            results[i] = baselines::run_noaggr(spec);
+        });
+    }
+    sim::ParallelEngine engine;
+    engine.run_isolated(jobs);
+
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        std::uint32_t x = xs[i];
+        const baselines::BulkResult& r = results[i];
         std::uint32_t tlps = cm.tlp_count(40 + 8ull * x);
         bool glitch = x > 1 && tlps > cm.tlp_count(40 + 8ull * (x - 1));
         t.row({std::to_string(x), fmt_double(r.goodput_gbps, 2),

@@ -49,6 +49,8 @@ const char* const kThroughputKeys[] = {
     "goodput_gbps",     // fig08a/fig13a: application goodput
     "throughput_gbps",  // fig13a: on-wire throughput
     "tlps",             // fig08a: tuple-level packets per second
+    "determinism_ok",   // sim_parallel: 1 iff every thread count matched
+                        // the 1-thread digest (machine-independent)
 };
 
 std::optional<Json>
@@ -138,6 +140,60 @@ gate_one(const std::string& experiment, const Json& baseline,
                   << ": baseline carries no gated throughput metric\n";
         res.ok = false;
     }
+    return res;
+}
+
+/** params.<key> of `doc` as a double, when present and numeric. */
+std::optional<double>
+param_number(const Json& doc, const char* key)
+{
+    const Json* params = doc.find("params");
+    if (!params)
+        return std::nullopt;
+    const Json* v = params->find(key);
+    if (!v || !v->is_number())
+        return std::nullopt;
+    return v->as_double();
+}
+
+/**
+ * The wall-clock speedup rule: a report whose params declare a
+ * speedup_floor promises that `speedup` reaches that floor at
+ * speedup_threads workers — but only on machines that can physically
+ * show it. The fresh run records its own core count in params.cores;
+ * with fewer cores than speedup_threads the floor is reported as
+ * skipped, never faked, while the determinism_ok metric above stays
+ * enforced everywhere (it does not depend on hardware).
+ */
+GateResult
+gate_speedup_floor(const std::string& experiment, const Json& current)
+{
+    GateResult res;
+    std::optional<double> floor = param_number(current, "speedup_floor");
+    if (!floor)
+        return res;
+    double need_cores = param_number(current, "speedup_threads").value_or(0);
+    double cores = param_number(current, "cores").value_or(0);
+    if (cores < need_cores) {
+        std::cout << "  skip " << experiment << ".speedup: floor " << *floor
+                  << "x needs " << need_cores << " cores, machine has "
+                  << cores << "\n";
+        return res;
+    }
+    std::optional<double> best = metric_max(current, "speedup");
+    if (!best) {
+        std::cerr << "perf_gate: " << experiment
+                  << ": params promise a speedup_floor but no row carries "
+                     "a 'speedup' metric\n";
+        res.ok = false;
+        return res;
+    }
+    bool pass = *best >= *floor;
+    std::cout << "  " << (pass ? "ok   " : "FAIL ") << experiment
+              << ".speedup: floor " << *floor << "x, measured " << *best
+              << "x at " << cores << " cores\n";
+    res.ok = pass;
+    ++res.compared;
     return res;
 }
 
@@ -249,6 +305,10 @@ main(int argc, char** argv)
             gate_one(experiment, *baseline, *current, threshold_pct);
         all_ok = all_ok && res.ok;
         total_compared += res.compared;
+
+        GateResult sres = gate_speedup_floor(experiment, *current);
+        all_ok = all_ok && sres.ok;
+        total_compared += sres.compared;
 
         if (update) {
             fs::copy_file(fresh_path, base_path,

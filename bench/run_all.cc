@@ -32,6 +32,8 @@
 #include <thread>
 #include <vector>
 
+#include <sys/wait.h>
+
 namespace fs = std::filesystem;
 
 namespace {
@@ -49,6 +51,10 @@ struct BenchJob
     std::string name;
     fs::path binary;
     int exit_code = -1;
+    /** Human-readable failure cause: "exit N" or "signal N" — decoded
+     *  from the child's wait status so a red CI log names the failing
+     *  bench with its actual exit code, not a raw wait(2) word. */
+    std::string status = "not run";
     double seconds = 0.0;
 };
 
@@ -83,7 +89,19 @@ run_one(BenchJob& job, const fs::path& out_root, const std::string& mode_flag,
     auto start = std::chrono::steady_clock::now();
     int rc = std::system(cmd.c_str());
     auto end = std::chrono::steady_clock::now();
-    job.exit_code = rc;
+    if (rc == -1) {
+        job.exit_code = 127;
+        job.status = "could not spawn";
+    } else if (WIFEXITED(rc)) {
+        job.exit_code = WEXITSTATUS(rc);
+        job.status = "exit " + std::to_string(job.exit_code);
+    } else if (WIFSIGNALED(rc)) {
+        job.exit_code = 128 + WTERMSIG(rc);
+        job.status = "signal " + std::to_string(WTERMSIG(rc));
+    } else {
+        job.exit_code = rc;
+        job.status = "wait status " + std::to_string(rc);
+    }
     job.seconds = std::chrono::duration<double>(end - start).count();
 }
 
@@ -178,9 +196,11 @@ main(int argc, char** argv)
             run_one(todo[i], out_root, mode_flag, seed);
             std::lock_guard<std::mutex> lock(print_mu);
             std::cout << (todo[i].exit_code == 0 ? "  ok   " : "  FAIL ")
-                      << todo[i].name << "  ("
-                      << static_cast<int>(todo[i].seconds * 1000) << " ms)"
-                      << std::endl;
+                      << todo[i].name;
+            if (todo[i].exit_code != 0)
+                std::cout << "  [" << todo[i].status << "]";
+            std::cout << "  (" << static_cast<int>(todo[i].seconds * 1000)
+                      << " ms)" << std::endl;
         }
     };
     std::vector<std::thread> pool;
@@ -194,8 +214,8 @@ main(int argc, char** argv)
     for (const auto& job : todo) {
         if (job.exit_code != 0) {
             all_ok = false;
-            std::cerr << "run_all: " << job.name << " exited "
-                      << job.exit_code << "; see "
+            std::cerr << "run_all: " << job.name << " failed ("
+                      << job.status << "); see "
                       << (out_root / job.name / "log.txt") << "\n";
             continue;
         }

@@ -7,7 +7,12 @@
 #   2. every intra-repo markdown link target must exist on disk;
 #   3. every `--preset <name>` a doc tells the reader to pass to cmake
 #      or ctest must be a preset defined in CMakePresets.json (the
-#      runbook's lane names cannot drift from the preset file).
+#      runbook's lane names cannot drift from the preset file);
+#   4. every `ASK_SOMETHING=value` environment/cache assignment a doc
+#      shows must name a variable the code actually consults — a
+#      getenv("ASK_...") in src/ or bench/, or an ASK_* build knob in
+#      the top-level CMakeLists.txt (a renamed env var would otherwise
+#      leave readers exporting a no-op).
 #
 # Invoked by the `doc_drift` ctest target:
 #
@@ -15,16 +20,19 @@
 #         -DVERIFY_BIN=<build>/testing/ask_verify
 #         -DFIG12_BIN=<build>/bench/fig12_training
 #         -DFIG13B_BIN=<build>/bench/fig13b_scalability
+#         -DSIM_PARALLEL_BIN=<build>/bench/sim_parallel
 #         -P docs/doc_drift.cmake
 
 cmake_policy(SET CMP0057 NEW)  # if(... IN_LIST ...)
 cmake_policy(SET CMP0012 NEW)  # while(TRUE) is the constant, not a var
 
-foreach(var REPO_DIR FUZZ_BIN VERIFY_BIN FIG12_BIN FIG13B_BIN)
+foreach(var REPO_DIR FUZZ_BIN VERIFY_BIN FIG12_BIN FIG13B_BIN
+            SIM_PARALLEL_BIN)
     if(NOT DEFINED ${var})
         message(FATAL_ERROR
             "usage: cmake -DREPO_DIR=... -DFUZZ_BIN=... -DVERIFY_BIN=... "
-            "-DFIG12_BIN=... -DFIG13B_BIN=... -P doc_drift.cmake")
+            "-DFIG12_BIN=... -DFIG13B_BIN=... -DSIM_PARALLEL_BIN=... "
+            "-P doc_drift.cmake")
     endif()
 endforeach()
 
@@ -62,11 +70,36 @@ help_flags("${FUZZ_BIN}" fuzz_flags)
 help_flags("${VERIFY_BIN}" verify_flags)
 help_flags("${FIG12_BIN}" fig12_flags)
 help_flags("${FIG13B_BIN}" fig13b_flags)
+help_flags("${SIM_PARALLEL_BIN}" sim_parallel_flags)
 # --help itself is always accepted (it is how the ground truth is read).
 list(APPEND fuzz_flags "--help")
 list(APPEND verify_flags "--help")
 list(APPEND fig12_flags "--help")
 list(APPEND fig13b_flags "--help")
+list(APPEND sim_parallel_flags "--help")
+
+# The env/cache variable names docs may assign (rule 4): every
+# getenv("ASK_...") in the sources and benches, plus the ASK_* build
+# knobs declared in the top-level CMakeLists.txt.
+set(known_env "")
+file(GLOB_RECURSE env_sources
+    "${REPO_DIR}/src/*.cc" "${REPO_DIR}/src/*.h"
+    "${REPO_DIR}/bench/*.cc" "${REPO_DIR}/bench/*.h")
+foreach(src IN LISTS env_sources)
+    file(READ "${src}" src_text)
+    string(REGEX MATCHALL "getenv\\(\"ASK_[A-Z_]+\"" uses "${src_text}")
+    foreach(use IN LISTS uses)
+        string(REGEX REPLACE ".*\"(ASK_[A-Z_]+)\"" "\\1" ename "${use}")
+        list(APPEND known_env "${ename}")
+    endforeach()
+endforeach()
+file(READ "${REPO_DIR}/CMakeLists.txt" top_cmake)
+string(REGEX MATCHALL "ASK_[A-Z_]+" cmake_knobs "${top_cmake}")
+list(APPEND known_env ${cmake_knobs})
+list(REMOVE_DUPLICATES known_env)
+if(NOT known_env)
+    message(FATAL_ERROR "doc_drift: harvested no ASK_* variable names")
+endif()
 
 # ---- the docs under check -----------------------------------------------
 
@@ -79,6 +112,7 @@ set(errors 0)
 set(checked_flags 0)
 set(checked_links 0)
 set(checked_presets 0)
+set(checked_envs 0)
 
 foreach(doc IN LISTS doc_files)
     # Iterate lines with FIND/SUBSTRING rather than file(STRINGS) or a
@@ -114,6 +148,11 @@ foreach(doc IN LISTS doc_files)
         if(line MATCHES "fig13b_scalability")
             list(APPEND allowed ${fig13b_flags})
         endif()
+        # sim_parallel_ab is the ctest target, not the bench binary —
+        # its lines carry ctest flags, which rule 1 must not judge.
+        if(line MATCHES "sim_parallel" AND NOT line MATCHES "sim_parallel_ab")
+            list(APPEND allowed ${sim_parallel_flags})
+        endif()
         if(allowed)
             string(REGEX MATCHALL "--[a-z][a-z0-9-]*" used "${line}")
             foreach(flag IN LISTS used)
@@ -143,6 +182,19 @@ foreach(doc IN LISTS doc_files)
                 endif()
             endforeach()
         endif()
+
+        # Rule 4: ASK_* assignments must name a variable the code reads.
+        string(REGEX MATCHALL "ASK_[A-Z_]+=" env_uses "${line}")
+        foreach(use IN LISTS env_uses)
+            string(REGEX REPLACE "=$" "" used_env "${use}")
+            math(EXPR checked_envs "${checked_envs} + 1")
+            if(NOT used_env IN_LIST known_env)
+                message(SEND_ERROR
+                    "doc_drift: ${doc_rel}: ${used_env} is not consulted "
+                    "anywhere in src/, bench/, or CMakeLists.txt:\n  ${line}")
+                math(EXPR errors "${errors} + 1")
+            endif()
+        endforeach()
 
         # Rule 2: intra-repo markdown link targets must exist. Matches
         # are consumed one at a time (REGEX MATCH + advance) because a
@@ -185,4 +237,5 @@ endif()
 list(LENGTH doc_files n_docs)
 message(STATUS
     "doc_drift: ${n_docs} docs ok (${checked_flags} CLI flags, "
-    "${checked_links} links, ${checked_presets} preset names verified)")
+    "${checked_links} links, ${checked_presets} preset names, "
+    "${checked_envs} env assignments verified)")

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <cstdlib>
+#include <mutex>
 
 #include "common/logging.h"
 
@@ -106,6 +107,18 @@ Rng::fork()
 
 namespace {
 
+// The registry may be fed from parallel-engine workers (a bench sweep
+// point seeding an Rng while another runs), so it is mutex-guarded.
+// Entries then arrive in thread-schedule order — replay still works
+// because ASK_SEED overrides every entry at once, and nothing folds
+// the registry into deterministic output.
+std::mutex&
+seed_registry_mu()
+{
+    static std::mutex mu;
+    return mu;
+}
+
 std::vector<SeedRecord>&
 seed_registry()
 {
@@ -118,18 +131,21 @@ seed_registry()
 void
 note_seed(const std::string& label, std::uint64_t seed)
 {
+    std::lock_guard<std::mutex> lock(seed_registry_mu());
     seed_registry().push_back({label, seed});
 }
 
 const std::vector<SeedRecord>&
 noted_seeds()
 {
+    // Read from the sequential test harness only (after workers quiesce).
     return seed_registry();
 }
 
 void
 clear_noted_seeds()
 {
+    std::lock_guard<std::mutex> lock(seed_registry_mu());
     seed_registry().clear();
 }
 

@@ -1,8 +1,11 @@
 #include "testing/fuzzer.h"
 
+#include <algorithm>
+#include <optional>
 #include <utility>
 
 #include "common/random.h"
+#include "sim/engine.h"
 
 namespace ask::testing {
 
@@ -94,6 +97,42 @@ FuzzReport::to_json() const
     return d;
 }
 
+namespace {
+
+/** Everything one scenario contributes to the campaign report. */
+struct ScenarioOutcome
+{
+    std::uint64_t total_tuples = 0;
+    std::array<std::uint64_t, core::kNumReduceOps> op_tasks{};
+    bool chaos = false;
+    bool crash = false;
+    std::optional<FuzzFailure> failure;
+};
+
+/** Generate + diff (+ shrink) one seed. Touches nothing shared, so it
+ *  is safe to run on any engine worker. */
+ScenarioOutcome
+run_scenario(std::uint64_t seed, const ScenarioTuning& tuning, bool shrink,
+             std::uint32_t shrink_attempts)
+{
+    ScenarioOutcome out;
+    ScenarioSpec spec = generate_scenario(seed, tuning);
+    out.total_tuples = spec.total_tuples();
+    for (const auto& t : spec.tasks) {
+        core::ReduceOp op = t.options.op.value_or(spec.cluster.ask.op);
+        ++out.op_tasks[static_cast<std::size_t>(op)];
+    }
+    out.chaos = !spec.chaos.empty();
+    out.crash = has_crash_event(spec);
+
+    DiffResult diff = run_differential(spec);
+    if (!diff.ok())
+        out.failure = make_failure(spec, diff, shrink, shrink_attempts);
+    return out;
+}
+
+}  // namespace
+
 FuzzReport
 run_fuzz(const FuzzOptions& options)
 {
@@ -102,30 +141,62 @@ run_fuzz(const FuzzOptions& options)
 
     ScenarioTuning tuning;
     tuning.crash_heavy = options.crash_heavy;
-    std::uint64_t chain = options.base_seed;
-    for (std::uint32_t i = 0; i < options.count; ++i) {
-        std::uint64_t seed = split_mix64(chain);
-        ScenarioSpec spec = generate_scenario(seed, tuning);
-        report.total_tuples += spec.total_tuples();
-        tally_ops(spec, report);
-        if (!spec.chaos.empty())
-            ++report.chaos_scenarios;
-        if (has_crash_event(spec))
-            ++report.crash_scenarios;
 
-        DiffResult diff = run_differential(spec);
-        ++report.scenarios_run;
-        if (!diff.ok()) {
-            report.failures.push_back(make_failure(
-                spec, diff, options.shrink, options.shrink_attempts));
+    // The whole seed chain up front: seed i depends only on (base, i),
+    // never on what earlier scenarios did, so the campaign can fan out.
+    std::vector<std::uint64_t> seeds(options.count);
+    std::uint64_t chain = options.base_seed;
+    for (std::uint32_t i = 0; i < options.count; ++i)
+        seeds[i] = split_mix64(chain);
+
+    sim::SimOptions sim_options = sim::SimOptions::from_env();
+    if (options.num_threads != 0)
+        sim_options.num_threads = options.num_threads;
+    sim::ParallelEngine engine(sim_options);
+
+    // Scenarios run in fixed-size waves (replica islands on the engine
+    // pool), then fold into the report strictly in scenario order. The
+    // wave size is a constant, NOT the thread count: the fold — and so
+    // the report bytes, including where a max_failures campaign stops —
+    // must be a pure function of (base_seed, count). A wave may compute
+    // scenarios beyond the stop point; they are discarded unfolded,
+    // exactly as if the sequential loop had never reached them.
+    constexpr std::uint32_t kWave = 16;
+    for (std::uint32_t start = 0; start < options.count; start += kWave) {
+        std::uint32_t wave =
+            std::min(kWave, options.count - start);
+        std::vector<ScenarioOutcome> outcomes(wave);
+        std::vector<std::function<void()>> jobs;
+        jobs.reserve(wave);
+        for (std::uint32_t j = 0; j < wave; ++j) {
+            jobs.push_back([&outcomes, &seeds, &tuning, &options, start, j] {
+                outcomes[j] =
+                    run_scenario(seeds[start + j], tuning, options.shrink,
+                                 options.shrink_attempts);
+            });
         }
-        if (options.progress)
-            options.progress(i + 1, options.count,
-                             static_cast<std::uint32_t>(
-                                 report.failures.size()));
-        if (options.max_failures != 0 &&
-            report.failures.size() >= options.max_failures)
-            break;
+        engine.run_isolated(jobs);
+
+        for (std::uint32_t j = 0; j < wave; ++j) {
+            ScenarioOutcome& out = outcomes[j];
+            report.total_tuples += out.total_tuples;
+            for (std::size_t op = 0; op < out.op_tasks.size(); ++op)
+                report.op_tasks[op] += out.op_tasks[op];
+            if (out.chaos)
+                ++report.chaos_scenarios;
+            if (out.crash)
+                ++report.crash_scenarios;
+            ++report.scenarios_run;
+            if (out.failure)
+                report.failures.push_back(std::move(*out.failure));
+            if (options.progress)
+                options.progress(start + j + 1, options.count,
+                                 static_cast<std::uint32_t>(
+                                     report.failures.size()));
+            if (options.max_failures != 0 &&
+                report.failures.size() >= options.max_failures)
+                return report;
+        }
     }
     return report;
 }
